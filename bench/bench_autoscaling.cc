@@ -1,0 +1,151 @@
+// E2 — Watermark-based auto-scaling (paper §3.1).
+//
+// Replays a TPC-H-weighted Poisson workload whose rate steps up 6x for
+// twenty minutes, and an Internet-log workload with periodic spikes.
+// Prints the cluster-size and concurrency time series (the figure §3.1
+// describes) and checks:
+//   * the cluster scales out after the load step, with the 1-2 minute
+//     provisioning lag of the paper,
+//   * it scales back in after the load drops (lazy scale-in),
+//   * scaling keeps p95 pending time of the steady phase low.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "workload/arrivals.h"
+#include "workload/loggen.h"
+#include "workload/tpch.h"
+
+using namespace pixels;
+using namespace pixels::bench;
+
+namespace {
+
+struct TraceResult {
+  ScenarioResult scenario;
+  MetricsRegistry vm_metrics;
+  SimTime duration;
+};
+
+TraceResult RunTrace(const std::vector<SimTime>& arrivals,
+                     const std::vector<QuerySpec>& specs, SimTime duration) {
+  CoordinatorParams cparams;
+  cparams.vm.initial_vms = 2;
+  cparams.vm.slots_per_vm = 4;
+  cparams.vm.max_vms = 32;
+  cparams.vm.high_watermark = 5.0;
+  cparams.vm.low_watermark = 0.75;
+  cparams.vm.scale_in_cooldown = 1 * kMinutes;
+  QueryServerParams sparams;
+  TraceResult out;
+  std::vector<ServiceLevel> levels(arrivals.size(), ServiceLevel::kRelaxed);
+  out.scenario = RunScenario(cparams, sparams, arrivals, specs, levels,
+                             30 * kMinutes, 42, &out.vm_metrics);
+  out.duration = duration;
+  return out;
+}
+
+std::vector<QuerySpec> MixedSpecs(size_t n, uint64_t seed, double scale) {
+  Random rng(seed);
+  std::vector<QuerySpec> specs;
+  const auto& queries = TpchQuerySet();
+  for (size_t i = 0; i < n; ++i) {
+    const auto& q =
+        queries[rng.Uniform(0, static_cast<int64_t>(queries.size()) - 1)];
+    QuerySpec spec;
+    spec.work_vcpu_seconds = q.weight * scale;
+    spec.bytes_to_scan = static_cast<uint64_t>(q.weight * 0.4e9);
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E2: watermark auto-scaling (paper §3.1) ===\n\n");
+
+  // --- TPC-H load step: 0.05 q/s, stepping to 1.2 q/s in minutes 20-40 ---
+  Random rng(3);
+  const SimTime total = 70 * kMinutes;
+  auto base = PoissonArrivals(&rng, 0.05, total);
+  auto burst = PoissonArrivals(&rng, 1.15, 20 * kMinutes);
+  for (auto& t : burst) t += 20 * kMinutes;
+  base.insert(base.end(), burst.begin(), burst.end());
+  std::sort(base.begin(), base.end());
+
+  auto specs = MixedSpecs(base.size(), 5, 8.0);
+  auto tpch = RunTrace(base, specs, total);
+
+  std::printf("-- TPC-H load step (0.05 -> 1.2 -> 0.05 q/s) --\n");
+  PrintSeries("vms", tpch.vm_metrics.Series("vms"), total, 2 * kMinutes);
+
+  const TimeSeries& vms = tpch.vm_metrics.Series("vms");
+  double vms_before = vms.TimeWeightedMean(10 * kMinutes, 20 * kMinutes);
+  double vms_during = vms.TimeWeightedMean(30 * kMinutes, 40 * kMinutes);
+  double vms_after = vms.TimeWeightedMean(60 * kMinutes, 70 * kMinutes);
+
+  // Scale-out lag: first VM-count increase after the step at t=20min.
+  SimTime first_growth = -1;
+  double base_level = vms.ValueAt(20 * kMinutes);
+  for (const auto& s : vms.samples()) {
+    if (s.time > 20 * kMinutes && s.value > base_level) {
+      first_growth = s.time;
+      break;
+    }
+  }
+
+  auto stats = Summarize(tpch.scenario.outcomes);
+  std::printf("\ncluster size: before=%.1f during-burst=%.1f after=%.1f\n",
+              vms_before, vms_during, vms_after);
+  std::printf("scale-out events=%d scale-in events=%d\n",
+              tpch.scenario.scale_out_events, tpch.scenario.scale_in_events);
+  std::printf("first growth after step: +%.0fs\n",
+              first_growth < 0 ? -1.0
+                               : static_cast<double>(first_growth - 20 * kMinutes) /
+                                     1000.0);
+  std::printf("pending: mean=%.1fs p95=%.1fs (all relaxed)\n\n",
+              stats.mean_pending_s, stats.p95_pending_s);
+
+  bool ok = true;
+  ok &= Check(vms_during > vms_before * 1.5,
+              "cluster grows under the sustained load step");
+  ok &= Check(vms_after < vms_during,
+              "cluster shrinks again after the load drops (scale-in)");
+  ok &= Check(first_growth > 0 &&
+                  first_growth - 20 * kMinutes >= 60 * kSeconds &&
+                  first_growth - 20 * kMinutes <= 150 * kSeconds,
+              "provisioning lag is 1-2 minutes after the trigger (paper)");
+  ok &= Check(stats.finished == stats.total, "workload fully completes");
+
+  // --- Internet-log workload with periodic spikes ---
+  Random rng2(13);
+  auto log_arrivals = PeriodicSpikeArrivals(&rng2, 0.2, 2.0, 15 * kMinutes,
+                                            2 * kMinutes, 60 * kMinutes);
+  Random rng3(17);
+  std::vector<QuerySpec> log_specs;
+  const auto& log_queries = LogQuerySet();
+  for (size_t i = 0; i < log_arrivals.size(); ++i) {
+    const auto& q =
+        log_queries[rng3.Uniform(0, static_cast<int64_t>(log_queries.size()) - 1)];
+    QuerySpec spec;
+    spec.work_vcpu_seconds = q.weight * 12.0;
+    spec.bytes_to_scan = static_cast<uint64_t>(q.weight * 0.3e9);
+    log_specs.push_back(spec);
+  }
+  auto logs = RunTrace(log_arrivals, log_specs, 60 * kMinutes);
+  auto log_stats = Summarize(logs.scenario.outcomes);
+  std::printf("-- Internet-log periodic spikes --\n");
+  PrintSeries("vms", logs.vm_metrics.Series("vms"), 60 * kMinutes,
+              2 * kMinutes);
+  std::printf("\npending: mean=%.1fs p95=%.1fs; scale events out=%d in=%d\n\n",
+              log_stats.mean_pending_s, log_stats.p95_pending_s,
+              logs.scenario.scale_out_events, logs.scenario.scale_in_events);
+
+  ok &= Check(log_stats.finished == log_stats.total,
+              "log workload fully completes");
+  ok &= Check(logs.scenario.scale_out_events > 0,
+              "periodic spikes trigger scale-out");
+
+  std::printf("\nE2 overall: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

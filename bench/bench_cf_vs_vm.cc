@@ -1,0 +1,141 @@
+// E3 — CF acceleration vs pure-VM vs pure-CF under a workload spike
+// (paper §1, §2, §3.1; cost figures from [7]).
+//
+// The same spike workload runs through three engine configurations:
+//   pure-VM : CF disabled, queries queue while the cluster scales;
+//   hybrid  : Pixels-Turbo — CF workers absorb the spike until VMs arrive;
+//   pure-CF : no VM cluster, every query runs in cloud functions.
+// Reports spike-phase latency and total cost, checking the paper's shape:
+//   * hybrid removes the queueing spike pure-VM suffers,
+//   * pure-CF is fast but its resource unit price is 9-24x the VM price,
+//   * hybrid costs far less than pure-CF and close to pure-VM.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "workload/arrivals.h"
+
+using namespace pixels;
+using namespace pixels::bench;
+
+namespace {
+
+struct Config {
+  const char* name;
+  bool cf_enabled;
+  int initial_vms;
+  int max_vms;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("=== E3: pure-VM vs hybrid vs pure-CF (paper §1/§3.1) ===\n\n");
+
+  // Sustained 0.8 q/s for 30 minutes with a 4 q/s spike in minutes 5-7.
+  // The sustained phase is what makes the cost comparison meaningful: the
+  // paper's point is that CF is 1-2 orders of magnitude more expensive on
+  // sustained workloads, while VMs cannot absorb the spike in time.
+  Random rng(23);
+  auto arrivals = SpikeArrivals(&rng, 0.8, 4.0, 5 * kMinutes, 2 * kMinutes,
+                                30 * kMinutes);
+  std::vector<QuerySpec> specs;
+  Random work_rng(29);
+  for (size_t i = 0; i < arrivals.size(); ++i) {
+    QuerySpec spec;
+    spec.work_vcpu_seconds = work_rng.UniformDouble(20.0, 60.0);
+    spec.bytes_to_scan = static_cast<uint64_t>(spec.work_vcpu_seconds * 1e8);
+    specs.push_back(spec);
+  }
+
+  const Config configs[] = {
+      {"pure-VM", false, 8, 32},
+      {"hybrid", true, 8, 32},
+      {"pure-CF", true, 0, 0},
+  };
+
+  struct Row {
+    PendingStats stats;
+    double vm_cost, cf_cost;
+    double spike_p95;
+  };
+  Row rows[3];
+
+  for (int c = 0; c < 3; ++c) {
+    CoordinatorParams cparams;
+    cparams.vm.initial_vms = configs[c].initial_vms;
+    cparams.vm.min_vms = configs[c].initial_vms == 0 ? 0 : 1;
+    cparams.vm.max_vms = configs[c].max_vms;
+    cparams.vm.slots_per_vm = 4;
+    cparams.vm.high_watermark = 5.0;
+    QueryServerParams sparams;
+    std::vector<QuerySpec> cfg_specs = specs;
+    std::vector<ServiceLevel> levels(
+        arrivals.size(),
+        configs[c].cf_enabled ? ServiceLevel::kImmediate
+                              : ServiceLevel::kRelaxed);
+    // For the pure-VM config, disable the relaxed hold so queries go
+    // straight to the coordinator queue (grace period zero).
+    if (!configs[c].cf_enabled) sparams.relaxed_grace_period = 0;
+
+    auto result = RunScenario(cparams, sparams, arrivals, cfg_specs, levels,
+                               15 * kMinutes);
+    rows[c].stats = Summarize(result.outcomes);
+    rows[c].vm_cost = result.vm_cost_usd;
+    rows[c].cf_cost = result.cf_cost_usd;
+
+    // Spike-phase p95 pending (arrivals in [5min, 7min)).
+    std::vector<double> spike_pendings;
+    for (const auto& o : result.outcomes) {
+      if (o.finished && o.submit_time >= 5 * kMinutes &&
+          o.submit_time < 7 * kMinutes) {
+        spike_pendings.push_back(static_cast<double>(o.pending_ms) / 1000.0);
+      }
+    }
+    rows[c].spike_p95 = Percentile(spike_pendings, 95);
+  }
+
+  std::printf("%-10s %10s %12s %12s %12s %12s %10s\n", "config",
+              "spike_p95", "mean_pend", "vm_cost$", "cf_cost$", "total$",
+              "cf_queries");
+  for (int c = 0; c < 3; ++c) {
+    std::printf("%-10s %8.1fs %10.1fs %12.4f %12.4f %12.4f %10zu\n",
+                configs[c].name, rows[c].spike_p95,
+                rows[c].stats.mean_pending_s, rows[c].vm_cost, rows[c].cf_cost,
+                rows[c].vm_cost + rows[c].cf_cost, rows[c].stats.used_cf);
+  }
+  std::printf("\n");
+
+  const Row& vm = rows[0];
+  const Row& hybrid = rows[1];
+  const Row& cf = rows[2];
+
+  // Resource unit price ratio achieved on the same work.
+  PricingModel pricing;
+  double unit_ratio = pricing.CfPricePerVcpuSecond() / pricing.VmPricePerVcpuSecond();
+
+  bool ok = true;
+  ok &= Check(vm.spike_p95 > 45.0,
+              "pure-VM: spike queries queue while the cluster provisions "
+              "(60-120 s VM startup)");
+  ok &= Check(hybrid.spike_p95 <= 1.0,
+              "hybrid: CF acceleration removes the queueing spike");
+  ok &= Check(cf.spike_p95 <= 2.0, "pure-CF: elastic, no queueing");
+  ok &= Check(unit_ratio >= 9.0 && unit_ratio <= 24.0,
+              "CF resource unit price is 9-24x the VM price (paper §2)");
+  // Per-query compute cost (marginal resource use, utilization-free).
+  double per_query_ratio =
+      cf.stats.mean_compute_cost / vm.stats.mean_compute_cost;
+  std::printf("per-query compute cost: CF/VM = %.1fx\n", per_query_ratio);
+  ok &= Check(per_query_ratio >= 9.0,
+              "pure-CF per-query cost >= 9x pure-VM (paper: 9-24x + startup)");
+  ok &= Check(cf.cf_cost > (vm.vm_cost + vm.cf_cost) * 1.5,
+              "pure-CF total cost far exceeds the pure-VM configuration");
+  ok &= Check(hybrid.vm_cost + hybrid.cf_cost < cf.cf_cost,
+              "hybrid costs less than pure-CF");
+  ok &= Check(hybrid.stats.used_cf > 0 &&
+                  hybrid.stats.used_cf < hybrid.stats.total / 2,
+              "hybrid uses CF only for the spike fraction of queries");
+
+  std::printf("\nE3 overall: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

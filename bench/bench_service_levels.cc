@@ -1,0 +1,109 @@
+// E1 — Flexible service levels and prices (paper §3.2).
+//
+// The same bursty TPC-H-weighted workload is replayed three times, each
+// time submitting every query at one service level. The bench reports the
+// pending-time distribution and per-query bill per level — the figure a
+// full evaluation of §3.2 would plot — and checks the paper's claims:
+//   * pending-time bounds order immediate <= relaxed <= best-of-effort,
+//   * immediate queries start (almost) instantly even during the spike,
+//   * relaxed pending time is bounded by the grace period,
+//   * bills follow the 5 : 1 : 0.5 $/TB price list.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "workload/arrivals.h"
+#include "workload/tpch.h"
+
+using namespace pixels;
+using namespace pixels::bench;
+
+int main() {
+  std::printf("=== E1: service levels and prices (paper §3.2) ===\n\n");
+
+  // Workload: 0.2 q/s base with a 3 q/s spike in minutes 10-13, one hour.
+  Random arrival_rng(7);
+  auto arrivals = SpikeArrivals(&arrival_rng, 0.2, 3.0, 10 * kMinutes,
+                                3 * kMinutes, 60 * kMinutes);
+  // Query mix: TPC-H weights scaled to vCPU-seconds, ~0.5-3 GB scans.
+  Random mix_rng(11);
+  std::vector<QuerySpec> specs;
+  const auto& queries = TpchQuerySet();
+  for (size_t i = 0; i < arrivals.size(); ++i) {
+    const auto& q = queries[mix_rng.Uniform(0, static_cast<int64_t>(queries.size()) - 1)];
+    QuerySpec spec;
+    spec.work_vcpu_seconds = q.weight * 20.0;
+    spec.bytes_to_scan = static_cast<uint64_t>(q.weight * 0.5e9);
+    specs.push_back(spec);
+  }
+
+  CoordinatorParams cparams;
+  cparams.vm.initial_vms = 2;
+  cparams.vm.slots_per_vm = 4;
+  cparams.vm.high_watermark = 5.0;
+  cparams.vm.low_watermark = 0.75;
+  QueryServerParams sparams;
+  sparams.relaxed_grace_period = 5 * kMinutes;
+
+  struct Row {
+    const char* name;
+    ServiceLevel level;
+    PendingStats stats;
+    double cf_cost = 0;
+  };
+  Row rows[] = {{"immediate", ServiceLevel::kImmediate, {}, 0},
+                {"relaxed", ServiceLevel::kRelaxed, {}, 0},
+                {"best-of-effort", ServiceLevel::kBestEffort, {}, 0}};
+
+  for (auto& row : rows) {
+    std::vector<ServiceLevel> levels(arrivals.size(), row.level);
+    auto result =
+        RunScenario(cparams, sparams, arrivals, specs, levels, 4 * kHours);
+    row.stats = Summarize(result.outcomes);
+    row.cf_cost = result.cf_cost_usd;
+  }
+
+  std::printf("%-16s %9s %10s %10s %10s %12s %10s %8s\n", "level",
+              "finished", "mean_pend", "p50_pend", "p95_pend", "bill/query",
+              "$rate/TB", "used_cf");
+  // All levels replay the same workload, so the achieved $/TB rate is the
+  // mean bill over the mean scanned bytes.
+  double mean_bytes = 0;
+  for (const auto& s : specs) mean_bytes += static_cast<double>(s.bytes_to_scan);
+  mean_bytes /= static_cast<double>(specs.size());
+  for (const auto& row : rows) {
+    std::printf("%-16s %6zu/%-3zu %8.1fs %8.1fs %8.1fs %11.5f %9.2f %7zu\n",
+                row.name, row.stats.finished, row.stats.total,
+                row.stats.mean_pending_s, row.stats.p50_pending_s,
+                row.stats.p95_pending_s, row.stats.mean_bill,
+                row.stats.mean_bill / (mean_bytes / kBytesPerTB),
+                row.stats.used_cf);
+  }
+  std::printf("\n");
+
+  const PendingStats& imm = rows[0].stats;
+  const PendingStats& rel = rows[1].stats;
+  const PendingStats& best = rows[2].stats;
+
+  bool ok = true;
+  ok &= Check(imm.finished == imm.total && rel.finished == rel.total,
+              "immediate and relaxed workloads fully complete");
+  ok &= Check(imm.p95_pending_s <= 1.0,
+              "immediate: p95 pending <= 1 s (guaranteed immediate start)");
+  ok &= Check(imm.mean_pending_s <= rel.mean_pending_s &&
+                  rel.mean_pending_s <= best.mean_pending_s,
+              "pending times order immediate <= relaxed <= best-of-effort");
+  ok &= Check(rel.max_pending_s <= 5 * 60 + 30,
+              "relaxed: max pending bounded by the 5-minute grace period");
+  ok &= Check(best.p95_pending_s > rel.p95_pending_s,
+              "best-of-effort: no pending-time guarantee (worst p95)");
+  ok &= Check(std::abs(rel.mean_bill / imm.mean_bill - 0.2) < 0.01,
+              "relaxed bill = 20% of immediate (paper: $1 vs $5 per TB)");
+  ok &= Check(std::abs(best.mean_bill / imm.mean_bill - 0.1) < 0.01,
+              "best-of-effort bill = 10% of immediate ($0.5 per TB)");
+  ok &= Check(rows[0].cf_cost > 0 && rows[1].cf_cost == 0 &&
+                  rows[2].cf_cost == 0,
+              "only the immediate level engages CF acceleration");
+
+  std::printf("\nE1 overall: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

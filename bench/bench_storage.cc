@@ -1,0 +1,195 @@
+// E6 — Columnar storage microbenchmarks (google-benchmark).
+//
+// The substrate behind $/TB-scan billing: encoding/decoding throughput of
+// every chunk encoding, full-scan vs projected-scan vs zone-map-pruned
+// scan throughput of the .pxl reader, and writer throughput.
+#include <benchmark/benchmark.h>
+
+#include "catalog/catalog.h"
+#include "common/random.h"
+#include "exec/executor.h"
+#include "format/reader.h"
+#include "format/writer.h"
+#include "storage/memory_store.h"
+#include "workload/tpch.h"
+
+namespace pixels {
+namespace {
+
+ColumnVector MakeIntColumn(size_t n, bool sorted) {
+  Random rng(1);
+  ColumnVector col(TypeId::kInt64);
+  int64_t acc = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (sorted) {
+      acc += rng.Uniform(0, 10);
+      col.AppendInt(acc);
+    } else {
+      col.AppendInt(rng.Uniform(-1000000, 1000000));
+    }
+  }
+  return col;
+}
+
+ColumnVector MakeStringColumn(size_t n, int cardinality) {
+  Random rng(2);
+  ColumnVector col(TypeId::kString);
+  std::vector<std::string> dict;
+  for (int i = 0; i < cardinality; ++i) dict.push_back(rng.NextString(12));
+  for (size_t i = 0; i < n; ++i) {
+    col.AppendString(dict[static_cast<size_t>(rng.Uniform(0, cardinality - 1))]);
+  }
+  return col;
+}
+
+void BM_EncodeInt(benchmark::State& state) {
+  const auto encoding = static_cast<Encoding>(state.range(0));
+  const bool sorted = encoding == Encoding::kDelta;
+  ColumnVector col = MakeIntColumn(65536, sorted);
+  for (auto _ : state) {
+    ByteWriter out;
+    benchmark::DoNotOptimize(EncodeColumn(col, encoding, &out));
+  }
+  state.SetItemsProcessed(state.iterations() * 65536);
+  state.SetLabel(EncodingName(encoding));
+}
+BENCHMARK(BM_EncodeInt)
+    ->Arg(static_cast<int>(Encoding::kPlain))
+    ->Arg(static_cast<int>(Encoding::kRunLength))
+    ->Arg(static_cast<int>(Encoding::kDelta));
+
+void BM_DecodeInt(benchmark::State& state) {
+  const auto encoding = static_cast<Encoding>(state.range(0));
+  const bool sorted = encoding == Encoding::kDelta;
+  ColumnVector col = MakeIntColumn(65536, sorted);
+  ByteWriter out;
+  (void)EncodeColumn(col, encoding, &out);
+  for (auto _ : state) {
+    ByteReader in(out.data());
+    benchmark::DoNotOptimize(DecodeColumn(TypeId::kInt64, encoding, &in, 65536));
+  }
+  state.SetItemsProcessed(state.iterations() * 65536);
+  state.SetLabel(EncodingName(encoding));
+}
+BENCHMARK(BM_DecodeInt)
+    ->Arg(static_cast<int>(Encoding::kPlain))
+    ->Arg(static_cast<int>(Encoding::kRunLength))
+    ->Arg(static_cast<int>(Encoding::kDelta));
+
+void BM_EncodeString(benchmark::State& state) {
+  const auto encoding = static_cast<Encoding>(state.range(0));
+  ColumnVector col = MakeStringColumn(16384, 32);
+  for (auto _ : state) {
+    ByteWriter out;
+    benchmark::DoNotOptimize(EncodeColumn(col, encoding, &out));
+  }
+  state.SetItemsProcessed(state.iterations() * 16384);
+  state.SetLabel(EncodingName(encoding));
+}
+BENCHMARK(BM_EncodeString)
+    ->Arg(static_cast<int>(Encoding::kPlain))
+    ->Arg(static_cast<int>(Encoding::kDictionary));
+
+// --- reader scans over a generated lineitem table ---
+
+struct ScanFixture {
+  std::shared_ptr<MemoryStore> storage;
+  std::shared_ptr<Catalog> catalog;
+
+  ScanFixture() {
+    storage = std::make_shared<MemoryStore>();
+    catalog = std::make_shared<Catalog>(storage);
+    TpchOptions options;
+    options.scale_factor = 0.005;  // 30k lineitem rows
+    options.rows_per_file = 30000;
+    (void)GenerateTpch(catalog.get(), "tpch", options);
+  }
+
+  static ScanFixture& Get() {
+    static ScanFixture fixture;
+    return fixture;
+  }
+};
+
+void BM_ScanFull(benchmark::State& state) {
+  auto& f = ScanFixture::Get();
+  auto table = f.catalog->GetTable("tpch", "lineitem");
+  uint64_t bytes = 0;
+  for (auto _ : state) {
+    auto reader = PixelsReader::Open(f.storage.get(), (*table)->files[0]);
+    auto batches = (*reader)->Scan(ScanOptions{});
+    benchmark::DoNotOptimize(batches);
+    bytes += (*reader)->scan_stats().bytes_scanned;
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_ScanFull);
+
+void BM_ScanProjected(benchmark::State& state) {
+  auto& f = ScanFixture::Get();
+  auto table = f.catalog->GetTable("tpch", "lineitem");
+  ScanOptions options;
+  options.columns = {"l_extendedprice", "l_discount"};
+  uint64_t bytes = 0;
+  for (auto _ : state) {
+    auto reader = PixelsReader::Open(f.storage.get(), (*table)->files[0]);
+    auto batches = (*reader)->Scan(options);
+    benchmark::DoNotOptimize(batches);
+    bytes += (*reader)->scan_stats().bytes_scanned;
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_ScanProjected);
+
+void BM_ScanZoneMapPruned(benchmark::State& state) {
+  auto& f = ScanFixture::Get();
+  auto table = f.catalog->GetTable("tpch", "lineitem");
+  ScanOptions options;
+  options.columns = {"l_extendedprice"};
+  options.predicates = {
+      {"l_shipdate", "<", Value::Int(*ParseDate("1900-01-01"))}};
+  for (auto _ : state) {
+    auto reader = PixelsReader::Open(f.storage.get(), (*table)->files[0]);
+    auto batches = (*reader)->Scan(options);
+    benchmark::DoNotOptimize(batches);
+  }
+}
+BENCHMARK(BM_ScanZoneMapPruned);
+
+void BM_WriteLineitemFile(benchmark::State& state) {
+  Random rng(3);
+  FileSchema schema = {{"a", TypeId::kInt64},
+                       {"b", TypeId::kDouble},
+                       {"c", TypeId::kString}};
+  for (auto _ : state) {
+    MemoryStore store;
+    PixelsWriter writer(schema);
+    for (int i = 0; i < 20000; ++i) {
+      (void)writer.AppendRow({Value::Int(i), Value::Double(i * 0.5),
+                              Value::String(i % 3 == 0 ? "x" : "yy")});
+    }
+    benchmark::DoNotOptimize(writer.Finish(&store, "f.pxl"));
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_WriteLineitemFile);
+
+void BM_EndToEndQ6(benchmark::State& state) {
+  auto& f = ScanFixture::Get();
+  for (auto _ : state) {
+    ExecContext ctx;
+    ctx.catalog = f.catalog.get();
+    auto result = ExecuteQuery(
+        "SELECT sum(l_extendedprice * l_discount) FROM lineitem WHERE "
+        "l_shipdate >= DATE '1994-01-01' AND l_shipdate < DATE '1995-01-01' "
+        "AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24",
+        "tpch", &ctx);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_EndToEndQ6);
+
+}  // namespace
+}  // namespace pixels
+
+BENCHMARK_MAIN();

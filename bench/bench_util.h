@@ -1,0 +1,155 @@
+// Shared plumbing for the macro-benches: a simulation harness that feeds
+// an arrival trace of query submissions through the query server, plus
+// table/series printing and PASS/FAIL shape checks.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cloud/metrics.h"
+#include "common/random.h"
+#include "common/sim_clock.h"
+#include "server/query_server.h"
+#include "turbo/coordinator.h"
+
+namespace pixels {
+namespace bench {
+
+/// Outcome of one simulated submission.
+struct QueryOutcome {
+  int64_t server_id = 0;
+  ServiceLevel level = ServiceLevel::kImmediate;
+  SimTime submit_time = 0;
+  SimTime pending_ms = -1;
+  SimTime execution_ms = -1;
+  double bill_usd = 0;
+  double compute_cost_usd = 0;
+  bool used_cf = false;
+  bool finished = false;
+};
+
+/// Runs one scheduling scenario: `arrivals[i]` submits `specs[i]` at
+/// `levels[i]`. Returns per-query outcomes after draining the simulation.
+struct ScenarioResult {
+  std::vector<QueryOutcome> outcomes;
+  double vm_cost_usd = 0;
+  double cf_cost_usd = 0;
+  double billed_usd = 0;
+  int scale_out_events = 0;
+  int scale_in_events = 0;
+  int final_vms = 0;
+  SimTime end_time = 0;
+};
+
+inline ScenarioResult RunScenario(const CoordinatorParams& cparams,
+                                  const QueryServerParams& sparams,
+                                  const std::vector<SimTime>& arrivals,
+                                  const std::vector<QuerySpec>& specs,
+                                  const std::vector<ServiceLevel>& levels,
+                                  SimTime drain = 2 * kHours,
+                                  uint64_t seed = 42,
+                                  MetricsRegistry* vm_metrics_out = nullptr) {
+  SimClock clock;
+  Random rng(seed);
+  Coordinator coordinator(&clock, &rng, cparams);
+  QueryServer server(&clock, &coordinator, sparams);
+  coordinator.Start();
+
+  ScenarioResult result;
+  result.outcomes.resize(arrivals.size());
+
+  for (size_t i = 0; i < arrivals.size(); ++i) {
+    clock.ScheduleAt(arrivals[i], [&, i] {
+      Submission s;
+      s.level = levels[i];
+      s.query = specs[i];
+      QueryOutcome& out = result.outcomes[i];
+      out.level = levels[i];
+      out.submit_time = clock.Now();
+      out.server_id = server.Submit(
+          s, [&out](const SubmissionRecord& srec, const QueryRecord& qrec) {
+            out.finished = true;
+            out.pending_ms = qrec.start_time - srec.received_time;
+            out.execution_ms = qrec.ExecutionTime();
+            out.bill_usd = srec.bill_usd;
+            out.compute_cost_usd = qrec.compute_cost_usd;
+            out.used_cf = qrec.used_cf;
+          });
+    });
+  }
+
+  SimTime last_arrival = arrivals.empty() ? 0 : arrivals.back();
+  clock.RunUntil(last_arrival + drain);
+  result.end_time = clock.Now();
+  result.vm_cost_usd = coordinator.TotalVmCostUsd();
+  result.cf_cost_usd = coordinator.TotalCfCostUsd();
+  result.billed_usd = server.TotalBilledUsd();
+  result.scale_out_events = coordinator.vm_cluster().scale_out_events();
+  result.scale_in_events = coordinator.vm_cluster().scale_in_events();
+  result.final_vms = coordinator.vm_cluster().num_vms();
+  if (vm_metrics_out != nullptr) {
+    *vm_metrics_out = coordinator.vm_cluster().metrics();
+  }
+  server.Stop();
+  coordinator.Stop();
+  clock.RunAll();
+  return result;
+}
+
+/// Pending-time statistics of the finished subset.
+struct PendingStats {
+  size_t finished = 0;
+  size_t total = 0;
+  double mean_pending_s = 0;
+  double p50_pending_s = 0;
+  double p95_pending_s = 0;
+  double max_pending_s = 0;
+  double mean_bill = 0;
+  double mean_compute_cost = 0;
+  size_t used_cf = 0;
+};
+
+inline PendingStats Summarize(const std::vector<QueryOutcome>& outcomes) {
+  PendingStats s;
+  s.total = outcomes.size();
+  std::vector<double> pendings;
+  double bill = 0, cost = 0;
+  for (const auto& o : outcomes) {
+    if (!o.finished) continue;
+    ++s.finished;
+    pendings.push_back(static_cast<double>(o.pending_ms) / 1000.0);
+    bill += o.bill_usd;
+    cost += o.compute_cost_usd;
+    s.used_cf += o.used_cf;
+  }
+  if (s.finished == 0) return s;
+  double total_pending = 0;
+  for (double p : pendings) total_pending += p;
+  s.mean_pending_s = total_pending / static_cast<double>(s.finished);
+  s.p50_pending_s = Percentile(pendings, 50);
+  s.p95_pending_s = Percentile(pendings, 95);
+  s.max_pending_s = Percentile(pendings, 100);
+  s.mean_bill = bill / static_cast<double>(s.finished);
+  s.mean_compute_cost = cost / static_cast<double>(s.finished);
+  return s;
+}
+
+/// Prints a PASS/FAIL line for a shape check; returns `ok` for chaining.
+inline bool Check(bool ok, const std::string& what) {
+  std::printf("[%s] %s\n", ok ? "PASS" : "FAIL", what.c_str());
+  return ok;
+}
+
+/// Prints a time series downsampled to `stride` seconds as "t_s value".
+inline void PrintSeries(const char* name, const TimeSeries& series,
+                        SimTime t_end, SimTime stride) {
+  std::printf("# series: %s (time_s value)\n", name);
+  for (SimTime t = 0; t <= t_end; t += stride) {
+    std::printf("%8.0f  %10.2f\n", static_cast<double>(t) / 1000.0,
+                series.ValueAt(t));
+  }
+}
+
+}  // namespace bench
+}  // namespace pixels

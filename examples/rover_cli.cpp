@@ -1,0 +1,193 @@
+// Pixels-Rover as a CLI: the demo workflow of paper §4, minus the browser.
+//
+//   $ ./rover_cli
+//
+// Drives the real browser-server backend (rover/backend.h): authenticate
+// (§4 "after logging in through authentication"), browse the schema
+// sidebar (§4.1), translate analytic questions via the CodeS service,
+// edit one translation, submit with a service level and result-size limit
+// (§4.2), poll the status-and-result blocks (§4.3), and fetch the
+// per-user bill.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "rover/backend.h"
+#include "storage/memory_store.h"
+#include "workload/tpch.h"
+
+using namespace pixels;
+
+namespace {
+void Banner(const std::string& text) {
+  std::printf("\n==== %s ====\n", text.c_str());
+}
+}  // namespace
+
+int main() {
+  Banner("PixelsDB / Pixels-Rover (CLI session)");
+
+  // --- backend wiring: catalog + engine + query server + CodeS + auth ---
+  auto storage = std::make_shared<MemoryStore>();
+  auto catalog = std::make_shared<Catalog>(storage);
+  TpchOptions topt;
+  topt.scale_factor = 0.002;
+  topt.rows_per_file = 3000;
+  Status st = GenerateTpch(catalog.get(), "tpch", topt);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  SimClock clock;
+  Random rng(42);
+  CoordinatorParams cparams;
+  cparams.vm.initial_vms = 1;
+  cparams.vm.slots_per_vm = 2;
+  Coordinator coordinator(&clock, &rng, cparams, catalog);
+  coordinator.Start();
+  QueryServer server(&clock, &coordinator);
+  CodesService codes(catalog.get());
+  for (const auto& [w, t] : TpchSynonyms()) codes.AddSynonym(w, t);
+  AuthService auth;
+  (void)auth.RegisterUser("analyst", "demo-password", {"tpch"});
+  RoverBackend backend(catalog.get(), &server, &codes, &auth, &clock);
+
+  // --- login ---
+  auto token = backend.Login("analyst", "demo-password");
+  if (!token.ok()) {
+    std::fprintf(stderr, "login failed: %s\n", token.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("user 'analyst' logged in (token %.12s...).\n", token->c_str());
+
+  // --- §4.1 schema sidebar ---
+  Banner("Schemas (sidebar)");
+  auto schemas = backend.ListSchemas(*token);
+  if (schemas.ok()) {
+    const Json& dbs = schemas->Get("databases");
+    for (size_t d = 0; d < dbs.size(); ++d) {
+      const Json& db = dbs.At(d);
+      std::printf("  %s\n", db.Get("database").AsString().c_str());
+      const Json& tables = db.Get("tables");
+      for (size_t t = 0; t < tables.size(); ++t) {
+        const Json& table = tables.At(t);
+        std::printf("    %-10s (%zu columns, %lld rows)\n",
+                    table.Get("table").AsString().c_str(),
+                    table.Get("columns").size(),
+                    static_cast<long long>(table.Get("row_count").AsInt()));
+      }
+    }
+  }
+  (void)backend.SelectDatabase(*token, "tpch");
+  std::printf("database 'tpch' selected.\n");
+
+  // --- §4.2 translate, edit, submit ---
+  struct Step {
+    const char* question;
+    ServiceLevel level;
+    int64_t result_limit;
+    const char* edit;  // optional manual edit before submitting
+  };
+  const Step steps[] = {
+      {"how many orders are there?", ServiceLevel::kImmediate, 10, nullptr},
+      {"total revenue of lineitem per returnflag", ServiceLevel::kRelaxed, 10,
+       nullptr},
+      {"average acctbal of customer per mktsegment, top 3",
+       ServiceLevel::kBestEffort, 10, nullptr},
+      {"first 5 orders", ServiceLevel::kImmediate, 5,
+       "SELECT o_orderkey, o_totalprice FROM orders ORDER BY o_totalprice "
+       "DESC LIMIT 5"},
+  };
+
+  std::vector<int64_t> submitted;
+  for (const auto& step : steps) {
+    Banner("Translator");
+    std::printf("analyst> %s\n", step.question);
+    auto translation = backend.Translate(*token, step.question);
+    if (!translation.ok()) {
+      std::printf("codes  > translation failed: %s\n",
+                  translation.status().ToString().c_str());
+      continue;
+    }
+    int64_t query_id = translation->Get("query_id").AsInt();
+    std::printf("codes  > %s\n", translation->Get("sql").AsString().c_str());
+    if (step.edit != nullptr) {
+      (void)backend.EditQuery(*token, query_id, step.edit);
+      std::printf("edit   > %s\n", step.edit);
+    }
+    std::printf("submit > level=%s result_limit=%lld\n",
+                ServiceLevelName(step.level),
+                static_cast<long long>(step.result_limit));
+    auto id = backend.Submit(*token, query_id, step.level, step.result_limit);
+    if (id.ok()) submitted.push_back(*id);
+  }
+
+  // --- §4.3 status blocks: one mid-flight poll, then drain ---
+  Banner("Query Result (status blocks)");
+  clock.RunUntil(clock.Now() + 2 * kSeconds);
+  for (int64_t id : submitted) {
+    auto status = backend.QueryStatus(*token, id);
+    if (status.ok()) {
+      std::printf("  [%s] query %lld: %s\n",
+                  status->Get("service_level").AsString().c_str(),
+                  static_cast<long long>(id),
+                  status->Get("status").AsString().c_str());
+    }
+  }
+  clock.RunUntil(clock.Now() + 30 * kMinutes);
+
+  for (int64_t id : submitted) {
+    auto status = backend.QueryStatus(*token, id);
+    if (!status.ok()) continue;
+    std::printf("\n-- query %lld [%s] --\n", static_cast<long long>(id),
+                status->Get("service_level").AsString().c_str());
+    std::printf("   sql: %s\n", status->Get("sql").AsString().c_str());
+    std::printf(
+        "   status: %s | pending %.1fs | execution %.1fs | cost $%.6f\n",
+        status->Get("status").AsString().c_str(),
+        status->Get("pending_ms").AsNumber() / 1000.0,
+        status->Get("execution_ms").AsNumber() / 1000.0,
+        status->Get("cost_usd").AsNumber());
+    if (status->Has("error")) {
+      std::printf("   error: %s\n", status->Get("error").AsString().c_str());
+      continue;
+    }
+    if (status->Has("columns")) {
+      const Json& columns = status->Get("columns");
+      for (size_t c = 0; c < columns.size(); ++c) {
+        std::printf("%s%s", c > 0 ? "\t" : "   ",
+                    columns.At(c).AsString().c_str());
+      }
+      std::printf("\n");
+      const Json& rows = status->Get("rows");
+      for (size_t r = 0; r < rows.size(); ++r) {
+        std::printf("   ");
+        for (size_t c = 0; c < rows.At(r).size(); ++c) {
+          const Json& cell = rows.At(r).At(c);
+          if (c > 0) std::printf("\t");
+          if (cell.is_string()) {
+            std::printf("%s", cell.AsString().c_str());
+          } else if (cell.is_null()) {
+            std::printf("NULL");
+          } else {
+            std::printf("%g", cell.AsNumber());
+          }
+        }
+        std::printf("\n");
+      }
+    }
+  }
+
+  // --- per-user bill ---
+  Banner("Billing");
+  auto bill = backend.BillingSummary(*token);
+  if (bill.ok()) std::printf("%s\n", bill->Pretty().c_str());
+
+  (void)backend.Logout(*token);
+  server.Stop();
+  coordinator.Stop();
+  clock.RunAll();
+  std::printf("\nsession closed.\n");
+  return 0;
+}

@@ -1,0 +1,152 @@
+#include "catalog/catalog.h"
+
+namespace pixels {
+
+Status Catalog::CreateDatabase(const std::string& db) {
+  if (databases_.count(db) > 0) {
+    return Status::AlreadyExists("database exists: " + db);
+  }
+  databases_[db] = DatabaseSchema{db, {}};
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> Catalog::ListDatabases() const {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : databases_) out.push_back(name);
+  return out;
+}
+
+Result<const DatabaseSchema*> Catalog::GetDatabase(const std::string& db) const {
+  auto it = databases_.find(db);
+  if (it == databases_.end()) return Status::NotFound("no database: " + db);
+  return &it->second;
+}
+
+Status Catalog::CreateTable(const std::string& db, const std::string& table,
+                            FileSchema columns) {
+  auto it = databases_.find(db);
+  if (it == databases_.end()) return Status::NotFound("no database: " + db);
+  if (it->second.FindTable(table) != nullptr) {
+    return Status::AlreadyExists("table exists: " + db + "." + table);
+  }
+  if (columns.empty()) {
+    return Status::InvalidArgument("table needs at least one column");
+  }
+  TableSchema schema;
+  schema.name = table;
+  schema.columns = std::move(columns);
+  it->second.tables.push_back(std::move(schema));
+  return Status::OK();
+}
+
+Result<TableSchema*> Catalog::GetTableMutable(const std::string& db,
+                                              const std::string& table) {
+  auto it = databases_.find(db);
+  if (it == databases_.end()) return Status::NotFound("no database: " + db);
+  TableSchema* t = it->second.FindTable(table);
+  if (t == nullptr) return Status::NotFound("no table: " + db + "." + table);
+  return t;
+}
+
+Status Catalog::AddTableFile(const std::string& db, const std::string& table,
+                             const std::string& path) {
+  PIXELS_ASSIGN_OR_RETURN(TableSchema * schema, GetTableMutable(db, table));
+  PIXELS_ASSIGN_OR_RETURN(auto reader, PixelsReader::Open(storage_.get(), path));
+  if (reader->schema() != schema->columns) {
+    return Status::InvalidArgument("file schema mismatch for " + path);
+  }
+  PIXELS_ASSIGN_OR_RETURN(uint64_t size, storage_->Size(path));
+  schema->files.push_back(path);
+  schema->row_count += reader->NumRows();
+  schema->total_bytes += size;
+  return Status::OK();
+}
+
+Result<const TableSchema*> Catalog::GetTable(const std::string& db,
+                                             const std::string& table) const {
+  auto it = databases_.find(db);
+  if (it == databases_.end()) return Status::NotFound("no database: " + db);
+  const TableSchema* t = it->second.FindTable(table);
+  if (t == nullptr) return Status::NotFound("no table: " + db + "." + table);
+  return t;
+}
+
+Status Catalog::DropTable(const std::string& db, const std::string& table) {
+  auto it = databases_.find(db);
+  if (it == databases_.end()) return Status::NotFound("no database: " + db);
+  auto& tables = it->second.tables;
+  for (size_t i = 0; i < tables.size(); ++i) {
+    if (tables[i].name == table) {
+      tables.erase(tables.begin() + static_cast<ptrdiff_t>(i));
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no table: " + db + "." + table);
+}
+
+Status Catalog::ReplaceTableFiles(const std::string& db,
+                                  const std::string& table,
+                                  const std::vector<std::string>& files) {
+  PIXELS_ASSIGN_OR_RETURN(TableSchema * schema, GetTableMutable(db, table));
+  // Validate before mutating anything.
+  uint64_t rows = 0, bytes = 0;
+  for (const auto& path : files) {
+    PIXELS_ASSIGN_OR_RETURN(auto reader, PixelsReader::Open(storage_.get(), path));
+    if (reader->schema() != schema->columns) {
+      return Status::InvalidArgument("file schema mismatch for " + path);
+    }
+    PIXELS_ASSIGN_OR_RETURN(uint64_t size, storage_->Size(path));
+    rows += reader->NumRows();
+    bytes += size;
+  }
+  schema->files = files;
+  schema->row_count = rows;
+  schema->total_bytes = bytes;
+  return Status::OK();
+}
+
+Result<std::vector<RowBatchPtr>> Catalog::ScanTable(const std::string& db,
+                                                    const std::string& table,
+                                                    const ScanOptions& options,
+                                                    uint64_t* bytes_scanned) {
+  PIXELS_ASSIGN_OR_RETURN(const TableSchema* schema, GetTable(db, table));
+  std::vector<RowBatchPtr> out;
+  for (const auto& path : schema->files) {
+    PIXELS_ASSIGN_OR_RETURN(auto reader, PixelsReader::Open(storage_.get(), path));
+    PIXELS_ASSIGN_OR_RETURN(auto batches, reader->Scan(options));
+    if (bytes_scanned != nullptr) {
+      *bytes_scanned += reader->scan_stats().bytes_scanned;
+    }
+    for (auto& b : batches) out.push_back(std::move(b));
+  }
+  return out;
+}
+
+Status Catalog::SaveToStorage(const std::string& path) const {
+  Json dbs = Json::Array();
+  for (const auto& [_, db] : databases_) dbs.Append(db.ToJson());
+  Json doc = Json::Object();
+  doc.Set("format_version", 1);
+  doc.Set("databases", std::move(dbs));
+  return WriteString(storage_.get(), path, doc.Dump());
+}
+
+Status Catalog::LoadFromStorage(const std::string& path) {
+  PIXELS_ASSIGN_OR_RETURN(std::string text, ReadString(storage_.get(), path));
+  PIXELS_ASSIGN_OR_RETURN(Json doc, Json::Parse(text));
+  if (doc.Get("format_version").AsInt() != 1) {
+    return Status::Corruption("unsupported catalog format version");
+  }
+  std::map<std::string, DatabaseSchema> loaded;
+  const Json& dbs = doc.Get("databases");
+  for (size_t i = 0; i < dbs.size(); ++i) {
+    PIXELS_ASSIGN_OR_RETURN(DatabaseSchema db,
+                            DatabaseSchema::FromJson(dbs.At(i)));
+    std::string name = db.name;
+    loaded.emplace(std::move(name), std::move(db));
+  }
+  databases_ = std::move(loaded);
+  return Status::OK();
+}
+
+}  // namespace pixels

@@ -1,0 +1,76 @@
+// Catalog: the metadata service run by the Coordinator. Registers
+// databases/tables, tracks file-level statistics, and loads table data
+// for the execution engine.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "catalog/schema.h"
+#include "format/batch.h"
+#include "format/reader.h"
+#include "storage/storage.h"
+
+namespace pixels {
+
+/// In-memory catalog over a Storage backend. Table data lives in .pxl
+/// files; the catalog records where they are and how big.
+class Catalog {
+ public:
+  explicit Catalog(std::shared_ptr<Storage> storage)
+      : storage_(std::move(storage)) {}
+
+  Status CreateDatabase(const std::string& db);
+  Result<std::vector<std::string>> ListDatabases() const;
+  Result<const DatabaseSchema*> GetDatabase(const std::string& db) const;
+
+  /// Registers a table whose columns are given; data files are added later
+  /// via AddTableFile.
+  Status CreateTable(const std::string& db, const std::string& table,
+                     FileSchema columns);
+
+  /// Attaches a written .pxl file to a table, updating row/byte counts
+  /// from the file footer. The file's schema must match the table's.
+  Status AddTableFile(const std::string& db, const std::string& table,
+                      const std::string& path);
+
+  Result<const TableSchema*> GetTable(const std::string& db,
+                                      const std::string& table) const;
+
+  Status DropTable(const std::string& db, const std::string& table);
+
+  /// Replaces a table's file list (compaction switch-over): validates every
+  /// new file's schema, then swaps the list and recomputes row/byte stats.
+  Status ReplaceTableFiles(const std::string& db, const std::string& table,
+                           const std::vector<std::string>& files);
+
+  /// Scans every file of a table with projection + zone-map pruning.
+  /// `bytes_scanned` (if non-null) accumulates encoded bytes fetched, the
+  /// quantity the query server bills per TB.
+  Result<std::vector<RowBatchPtr>> ScanTable(const std::string& db,
+                                             const std::string& table,
+                                             const ScanOptions& options,
+                                             uint64_t* bytes_scanned = nullptr);
+
+  /// Persists all catalog metadata (databases, tables, file lists,
+  /// statistics) as one JSON object at `path` in the catalog's storage.
+  /// The coordinator — the only long-running component (paper §2) — calls
+  /// this so metadata survives restarts.
+  Status SaveToStorage(const std::string& path) const;
+
+  /// Replaces this catalog's contents with metadata previously written by
+  /// SaveToStorage. Backing .pxl files are not validated here; reads fail
+  /// naturally if objects went missing.
+  Status LoadFromStorage(const std::string& path);
+
+  Storage* storage() const { return storage_.get(); }
+
+ private:
+  Result<TableSchema*> GetTableMutable(const std::string& db,
+                                       const std::string& table);
+
+  std::shared_ptr<Storage> storage_;
+  std::map<std::string, DatabaseSchema> databases_;
+};
+
+}  // namespace pixels

@@ -1,0 +1,94 @@
+#include "catalog/compaction.h"
+
+#include "format/writer.h"
+
+namespace pixels {
+
+Result<CompactionResult> CompactTable(Catalog* catalog, const std::string& db,
+                                      const std::string& table,
+                                      const CompactionOptions& options) {
+  PIXELS_ASSIGN_OR_RETURN(const TableSchema* schema,
+                          catalog->GetTable(db, table));
+  CompactionResult result;
+  result.files_before = schema->files.size();
+  result.bytes_before = schema->total_bytes;
+  const FileSchema columns = schema->columns;
+  const std::vector<std::string> old_files = schema->files;
+
+  const std::string prefix = options.path_prefix.empty()
+                                 ? db + "/" + table + "/compacted"
+                                 : options.path_prefix;
+
+  // Stream old files into new writers.
+  std::vector<std::string> new_files;
+  WriterOptions wopts;
+  wopts.row_group_size = options.row_group_size;
+  std::unique_ptr<PixelsWriter> writer;
+  uint64_t rows_in_file = 0;
+  int file_index = 0;
+
+  auto flush = [&]() -> Status {
+    if (writer == nullptr) return Status::OK();
+    std::string path = prefix + "." + std::to_string(file_index++) + ".pxl";
+    PIXELS_RETURN_NOT_OK(writer->Finish(catalog->storage(), path));
+    new_files.push_back(path);
+    writer.reset();
+    rows_in_file = 0;
+    return Status::OK();
+  };
+
+  for (const auto& path : old_files) {
+    PIXELS_ASSIGN_OR_RETURN(auto reader,
+                            PixelsReader::Open(catalog->storage(), path));
+    if (reader->schema() != columns) {
+      return Status::Corruption("file schema drift in " + path);
+    }
+    for (size_t g = 0; g < reader->NumRowGroups(); ++g) {
+      PIXELS_ASSIGN_OR_RETURN(RowBatchPtr batch, reader->ReadRowGroup(g, {}));
+      size_t offset = 0;
+      while (offset < batch->num_rows()) {
+        if (writer == nullptr) {
+          writer = std::make_unique<PixelsWriter>(columns, wopts);
+        }
+        const uint64_t room = options.target_rows_per_file - rows_in_file;
+        const size_t take = static_cast<size_t>(std::min<uint64_t>(
+            room, batch->num_rows() - offset));
+        if (take == batch->num_rows() && offset == 0) {
+          PIXELS_RETURN_NOT_OK(writer->Append(*batch));
+        } else {
+          std::vector<uint32_t> sel;
+          sel.reserve(take);
+          for (size_t i = 0; i < take; ++i) {
+            sel.push_back(static_cast<uint32_t>(offset + i));
+          }
+          PIXELS_RETURN_NOT_OK(writer->Append(*batch->Gather(sel)));
+        }
+        rows_in_file += take;
+        result.rows += take;
+        offset += take;
+        if (rows_in_file >= options.target_rows_per_file) {
+          PIXELS_RETURN_NOT_OK(flush());
+        }
+      }
+    }
+  }
+  PIXELS_RETURN_NOT_OK(flush());
+
+  // Atomically (from the catalog's point of view) switch the file list.
+  PIXELS_RETURN_NOT_OK(catalog->ReplaceTableFiles(db, table, new_files));
+
+  if (options.delete_inputs) {
+    for (const auto& path : old_files) {
+      // Best effort: a stale object is garbage, not corruption.
+      (void)catalog->storage()->Delete(path);
+    }
+  }
+
+  PIXELS_ASSIGN_OR_RETURN(const TableSchema* after,
+                          catalog->GetTable(db, table));
+  result.files_after = after->files.size();
+  result.bytes_after = after->total_bytes;
+  return result;
+}
+
+}  // namespace pixels

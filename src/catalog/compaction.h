@@ -1,0 +1,37 @@
+// Table compaction: rewrites a table's many small .pxl files into fewer
+// large ones. Small files are what CF workers leave behind (each worker
+// writes its own output); compaction restores scan efficiency and reduces
+// per-request object-store cost.
+#pragma once
+
+#include "catalog/catalog.h"
+
+namespace pixels {
+
+struct CompactionOptions {
+  /// Rows per output file.
+  uint64_t target_rows_per_file = 100000;
+  /// Rows per row group inside the output files.
+  size_t row_group_size = 8192;
+  /// Path prefix for the new files; defaults to "<db>/<table>/compacted".
+  std::string path_prefix;
+  /// Delete the input objects after the catalog switches over.
+  bool delete_inputs = true;
+};
+
+struct CompactionResult {
+  size_t files_before = 0;
+  size_t files_after = 0;
+  uint64_t rows = 0;
+  uint64_t bytes_before = 0;
+  uint64_t bytes_after = 0;
+};
+
+/// Compacts `db.table`. On success the catalog references only the new
+/// files; on failure the table is left untouched (new files may remain as
+/// garbage objects, never referenced).
+Result<CompactionResult> CompactTable(Catalog* catalog, const std::string& db,
+                                      const std::string& table,
+                                      const CompactionOptions& options = {});
+
+}  // namespace pixels

@@ -1,0 +1,193 @@
+#include "catalog/csv.h"
+
+#include <cstdlib>
+
+#include "format/writer.h"
+
+namespace pixels {
+
+namespace {
+
+/// Splits one CSV record honoring quotes; advances *pos past the record's
+/// terminating newline.
+std::vector<std::string> SplitRecord(const std::string& text, size_t* pos,
+                                     char delimiter) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  size_t i = *pos;
+  while (i < text.size()) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == delimiter) {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else if (c == '\n') {
+      ++i;
+      break;
+    } else if (c != '\r') {
+      field.push_back(c);
+    }
+    ++i;
+  }
+  fields.push_back(std::move(field));
+  *pos = i;
+  return fields;
+}
+
+Result<Value> CoerceField(const std::string& field, TypeId type,
+                          const CsvOptions& options, size_t line) {
+  if (field.empty() || field == options.null_literal) return Value::Null();
+  auto err = [&](const std::string& what) {
+    return Status::ParseError("csv line " + std::to_string(line) + ": " + what +
+                              " '" + field + "'");
+  };
+  switch (type) {
+    case TypeId::kBool: {
+      if (field == "true" || field == "1" || field == "t") return Value::Bool(true);
+      if (field == "false" || field == "0" || field == "f") {
+        return Value::Bool(false);
+      }
+      return err("invalid boolean");
+    }
+    case TypeId::kInt32:
+    case TypeId::kInt64:
+    case TypeId::kTimestamp: {
+      char* end = nullptr;
+      long long v = std::strtoll(field.c_str(), &end, 10);
+      if (end != field.c_str() + field.size()) return err("invalid integer");
+      return Value::Int(v);
+    }
+    case TypeId::kDouble: {
+      char* end = nullptr;
+      double v = std::strtod(field.c_str(), &end);
+      if (end != field.c_str() + field.size()) return err("invalid double");
+      return Value::Double(v);
+    }
+    case TypeId::kDate: {
+      auto days = ParseDate(field);
+      if (!days.ok()) return err("invalid date");
+      return Value::Int(*days);
+    }
+    case TypeId::kString:
+      return Value::String(field);
+  }
+  return err("unknown type");
+}
+
+}  // namespace
+
+Result<std::vector<std::vector<Value>>> ParseCsv(const std::string& text,
+                                                 const FileSchema& schema,
+                                                 const CsvOptions& options) {
+  std::vector<std::vector<Value>> rows;
+  size_t pos = 0;
+  size_t line = 0;
+  if (options.has_header && pos < text.size()) {
+    ++line;
+    auto header = SplitRecord(text, &pos, options.delimiter);
+    if (header.size() != schema.size()) {
+      return Status::ParseError("csv header has " +
+                                std::to_string(header.size()) +
+                                " fields, schema has " +
+                                std::to_string(schema.size()));
+    }
+    for (size_t c = 0; c < schema.size(); ++c) {
+      if (header[c] != schema[c].name) {
+        return Status::ParseError("csv header field '" + header[c] +
+                                  "' does not match column '" +
+                                  schema[c].name + "'");
+      }
+    }
+  }
+  while (pos < text.size()) {
+    ++line;
+    auto fields = SplitRecord(text, &pos, options.delimiter);
+    if (fields.size() == 1 && fields[0].empty()) continue;  // blank line
+    if (fields.size() != schema.size()) {
+      return Status::ParseError("csv line " + std::to_string(line) + " has " +
+                                std::to_string(fields.size()) +
+                                " fields, expected " +
+                                std::to_string(schema.size()));
+    }
+    std::vector<Value> row;
+    row.reserve(fields.size());
+    for (size_t c = 0; c < fields.size(); ++c) {
+      PIXELS_ASSIGN_OR_RETURN(
+          Value v, CoerceField(fields[c], schema[c].type, options, line));
+      row.push_back(std::move(v));
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+Result<uint64_t> LoadCsvTable(Catalog* catalog, const std::string& db,
+                              const std::string& table,
+                              const FileSchema& schema,
+                              const std::string& csv_text,
+                              const std::string& path,
+                              const CsvOptions& options) {
+  PIXELS_ASSIGN_OR_RETURN(auto rows, ParseCsv(csv_text, schema, options));
+  Status st = catalog->CreateTable(db, table, schema);
+  if (!st.ok() && !st.IsAlreadyExists()) return st;
+  WriterOptions wopts;
+  wopts.row_group_size = options.row_group_size;
+  PixelsWriter writer(schema, wopts);
+  for (const auto& row : rows) {
+    PIXELS_RETURN_NOT_OK(writer.AppendRow(row));
+  }
+  PIXELS_RETURN_NOT_OK(writer.Finish(catalog->storage(), path));
+  PIXELS_RETURN_NOT_OK(catalog->AddTableFile(db, table, path));
+  return static_cast<uint64_t>(rows.size());
+}
+
+std::string TableToCsv(const Table& table, char delimiter) {
+  auto quote = [&](const std::string& s) -> std::string {
+    bool needs = s.find(delimiter) != std::string::npos ||
+                 s.find('"') != std::string::npos ||
+                 s.find('\n') != std::string::npos;
+    if (!needs) return s;
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"') out += "\"\"";
+      else out.push_back(c);
+    }
+    out += '"';
+    return out;
+  };
+
+  std::string out;
+  auto names = table.ColumnNames();
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) out.push_back(delimiter);
+    out += quote(names[i]);
+  }
+  out.push_back('\n');
+  for (const auto& batch : table.batches()) {
+    for (size_t r = 0; r < batch->num_rows(); ++r) {
+      for (size_t c = 0; c < batch->num_columns(); ++c) {
+        if (c > 0) out.push_back(delimiter);
+        Value v = batch->column(c)->GetValue(r);
+        if (v.is_null()) continue;  // empty field = NULL
+        out += quote(v.kind == Value::Kind::kString ? v.s : v.ToString());
+      }
+      out.push_back('\n');
+    }
+  }
+  return out;
+}
+
+}  // namespace pixels

@@ -1,0 +1,41 @@
+// CSV import/export: load external data into Pixels tables and render
+// query results for download.
+#pragma once
+
+#include "catalog/catalog.h"
+
+namespace pixels {
+
+/// CSV parsing options.
+struct CsvOptions {
+  char delimiter = ',';
+  /// First line is a header (validated against the schema when present).
+  bool has_header = true;
+  /// The spelling that maps to NULL (in addition to the empty field).
+  std::string null_literal = "";
+  /// Rows buffered per row group in the produced .pxl file.
+  size_t row_group_size = 8192;
+};
+
+/// Parses `text` as CSV rows matching `schema` (column order). Values are
+/// coerced: integer-like columns via strtoll, doubles via strtod, dates
+/// via yyyy-mm-dd, booleans via true/false/1/0. Quoted fields with ""
+/// escapes are supported. Returns the parsed rows.
+Result<std::vector<std::vector<Value>>> ParseCsv(const std::string& text,
+                                                 const FileSchema& schema,
+                                                 const CsvOptions& options = {});
+
+/// Creates table `db.table` with `schema` (unless it exists), writes the
+/// CSV rows as a .pxl file at `path`, and registers it. Returns rows
+/// loaded.
+Result<uint64_t> LoadCsvTable(Catalog* catalog, const std::string& db,
+                              const std::string& table,
+                              const FileSchema& schema,
+                              const std::string& csv_text,
+                              const std::string& path,
+                              const CsvOptions& options = {});
+
+/// Renders a result table as CSV (header + rows, RFC-4180 quoting).
+std::string TableToCsv(const Table& table, char delimiter = ',');
+
+}  // namespace pixels

@@ -1,0 +1,104 @@
+#include "catalog/schema.h"
+
+namespace pixels {
+
+int TableSchema::FindColumn(const std::string& column) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].name == column) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Result<TypeId> TableSchema::ColumnType(const std::string& column) const {
+  int idx = FindColumn(column);
+  if (idx < 0) {
+    return Status::NotFound("no column '" + column + "' in table " + name);
+  }
+  return columns[static_cast<size_t>(idx)].type;
+}
+
+Json TableSchema::ToJson() const {
+  Json cols = Json::Array();
+  for (const auto& c : columns) {
+    Json col = Json::Object();
+    col.Set("name", c.name);
+    col.Set("type", TypeName(c.type));
+    cols.Append(std::move(col));
+  }
+  Json fs = Json::Array();
+  for (const auto& f : files) fs.Append(f);
+  Json out = Json::Object();
+  out.Set("table", name);
+  out.Set("columns", std::move(cols));
+  out.Set("files", std::move(fs));
+  out.Set("row_count", static_cast<int64_t>(row_count));
+  out.Set("total_bytes", static_cast<int64_t>(total_bytes));
+  return out;
+}
+
+Result<TableSchema> TableSchema::FromJson(const Json& json) {
+  if (!json.is_object() || !json.Get("table").is_string()) {
+    return Status::ParseError("table json needs a 'table' name");
+  }
+  TableSchema out;
+  out.name = json.Get("table").AsString();
+  const Json& cols = json.Get("columns");
+  for (size_t i = 0; i < cols.size(); ++i) {
+    const Json& col = cols.At(i);
+    if (!col.Get("name").is_string() || !col.Get("type").is_string()) {
+      return Status::ParseError("column json needs name and type");
+    }
+    PIXELS_ASSIGN_OR_RETURN(TypeId type,
+                            TypeFromName(col.Get("type").AsString()));
+    out.columns.push_back(ColumnDef{col.Get("name").AsString(), type});
+  }
+  if (out.columns.empty()) {
+    return Status::ParseError("table '" + out.name + "' has no columns");
+  }
+  const Json& fs = json.Get("files");
+  for (size_t i = 0; i < fs.size(); ++i) {
+    out.files.push_back(fs.At(i).AsString());
+  }
+  out.row_count = static_cast<uint64_t>(json.Get("row_count").AsInt());
+  out.total_bytes = static_cast<uint64_t>(json.Get("total_bytes").AsInt());
+  return out;
+}
+
+const TableSchema* DatabaseSchema::FindTable(const std::string& table) const {
+  for (const auto& t : tables) {
+    if (t.name == table) return &t;
+  }
+  return nullptr;
+}
+
+TableSchema* DatabaseSchema::FindTable(const std::string& table) {
+  for (auto& t : tables) {
+    if (t.name == table) return &t;
+  }
+  return nullptr;
+}
+
+Json DatabaseSchema::ToJson() const {
+  Json ts = Json::Array();
+  for (const auto& t : tables) ts.Append(t.ToJson());
+  Json out = Json::Object();
+  out.Set("database", name);
+  out.Set("tables", std::move(ts));
+  return out;
+}
+
+Result<DatabaseSchema> DatabaseSchema::FromJson(const Json& json) {
+  if (!json.is_object() || !json.Get("database").is_string()) {
+    return Status::ParseError("database json needs a 'database' name");
+  }
+  DatabaseSchema out;
+  out.name = json.Get("database").AsString();
+  const Json& ts = json.Get("tables");
+  for (size_t i = 0; i < ts.size(); ++i) {
+    PIXELS_ASSIGN_OR_RETURN(TableSchema table, TableSchema::FromJson(ts.At(i)));
+    out.tables.push_back(std::move(table));
+  }
+  return out;
+}
+
+}  // namespace pixels

@@ -1,0 +1,53 @@
+// Logical schema objects managed by the catalog (the Coordinator's
+// metadata in the paper).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "format/file_format.h"
+
+namespace pixels {
+
+/// A table: name, columns, backing .pxl files, and coarse statistics.
+struct TableSchema {
+  std::string name;
+  FileSchema columns;
+  std::vector<std::string> files;  // storage paths of .pxl objects
+  uint64_t row_count = 0;
+  uint64_t total_bytes = 0;  // encoded bytes across files
+
+  /// Index of the named column, or -1.
+  int FindColumn(const std::string& column) const;
+
+  /// Type of the named column.
+  Result<TypeId> ColumnType(const std::string& column) const;
+
+  /// {"table": name, "columns": [{"name":..,"type":..},..], "files":
+  /// [...], ...} — the shape sent to the text-to-SQL service and stored by
+  /// catalog persistence.
+  Json ToJson() const;
+
+  /// Parses the ToJson shape back into a table schema.
+  static Result<TableSchema> FromJson(const Json& json);
+};
+
+/// A database: a named set of tables.
+struct DatabaseSchema {
+  std::string name;
+  std::vector<TableSchema> tables;
+
+  const TableSchema* FindTable(const std::string& table) const;
+  TableSchema* FindTable(const std::string& table);
+
+  /// {"database": name, "tables": [...]} — the schema message compiled by
+  /// Pixels-Rover's backend for CodeS.
+  Json ToJson() const;
+
+  /// Parses the ToJson shape back into a database schema.
+  static Result<DatabaseSchema> FromJson(const Json& json);
+};
+
+}  // namespace pixels

@@ -1,0 +1,45 @@
+#include "cloud/cf_service.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pixels {
+
+CfService::CfService(SimClock* clock, Random* rng, CfServiceParams params,
+                     PricingModel pricing)
+    : clock_(clock), rng_(rng), params_(params), pricing_(pricing) {}
+
+CfInvocationResult CfService::Invoke(int workers, double work_vcpu_seconds,
+                                     std::function<void()> done) {
+  CfInvocationResult result;
+  workers = std::max(workers, 1);
+  result.workers = workers;
+  result.startup_latency =
+      rng_->Uniform(params_.startup_min, params_.startup_max);
+
+  const double per_worker_vcpu_seconds =
+      work_vcpu_seconds / static_cast<double>(workers);
+  SimTime run_ms = static_cast<SimTime>(std::ceil(
+      per_worker_vcpu_seconds / params_.vcpus_per_worker * 1000.0));
+  run_ms = std::min(run_ms, params_.max_duration);
+  result.run_duration = run_ms;
+
+  for (int w = 0; w < workers; ++w) {
+    result.cost_usd += pricing_.CfInvocationCost(params_.vcpus_per_worker,
+                                                 run_ms);
+  }
+  accrued_cost_ += result.cost_usd;
+  total_invocations_ += workers;
+  in_flight_ += workers;
+  metrics_.Series("cf_in_flight").Record(clock_->Now(), in_flight_);
+
+  const SimTime total = result.startup_latency + result.run_duration;
+  clock_->Schedule(total, [this, workers, cb = std::move(done)] {
+    in_flight_ -= workers;
+    metrics_.Series("cf_in_flight").Record(clock_->Now(), in_flight_);
+    if (cb) cb();
+  });
+  return result;
+}
+
+}  // namespace pixels

@@ -1,0 +1,79 @@
+#include "cloud/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pixels {
+
+double TimeSeries::Min() const {
+  double m = samples_.empty() ? 0 : samples_[0].value;
+  for (const auto& s : samples_) m = std::min(m, s.value);
+  return m;
+}
+
+double TimeSeries::Max() const {
+  double m = samples_.empty() ? 0 : samples_[0].value;
+  for (const auto& s : samples_) m = std::max(m, s.value);
+  return m;
+}
+
+double TimeSeries::Mean() const {
+  if (samples_.empty()) return 0;
+  double total = 0;
+  for (const auto& s : samples_) total += s.value;
+  return total / static_cast<double>(samples_.size());
+}
+
+double TimeSeries::ValueAt(SimTime t) const {
+  double v = 0;
+  for (const auto& s : samples_) {
+    if (s.time > t) break;
+    v = s.value;
+  }
+  return v;
+}
+
+double TimeSeries::TimeWeightedMean(SimTime t0, SimTime t1) const {
+  if (t1 <= t0) return ValueAt(t0);
+  double area = 0;
+  SimTime cursor = t0;
+  double value = ValueAt(t0);
+  for (const auto& s : samples_) {
+    if (s.time <= t0) continue;
+    if (s.time >= t1) break;
+    area += value * static_cast<double>(s.time - cursor);
+    cursor = s.time;
+    value = s.value;
+  }
+  area += value * static_cast<double>(t1 - cursor);
+  return area / static_cast<double>(t1 - t0);
+}
+
+double MetricsRegistry::Counter(const std::string& counter) const {
+  auto it = counters_.find(counter);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::string MetricsRegistry::ToCsv(const std::string& name) const {
+  std::string out;
+  auto it = series_.find(name);
+  if (it == series_.end()) return out;
+  for (const auto& s : it->second.samples()) {
+    out += name + "," +
+           std::to_string(static_cast<double>(s.time) / kSeconds) + "," +
+           std::to_string(s.value) + "\n";
+  }
+  return out;
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  double rank = (p / 100.0) * static_cast<double>(values.size() - 1);
+  size_t lo = static_cast<size_t>(std::floor(rank));
+  size_t hi = static_cast<size_t>(std::ceil(rank));
+  double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1 - frac) + values[hi] * frac;
+}
+
+}  // namespace pixels

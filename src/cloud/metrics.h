@@ -1,0 +1,60 @@
+// Time-series and counter recording for the simulation benches: every
+// figure-style bench prints series collected through this.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/sim_clock.h"
+
+namespace pixels {
+
+/// One (time, value) sample.
+struct Sample {
+  SimTime time;
+  double value;
+};
+
+/// A named series of samples, appended in time order.
+class TimeSeries {
+ public:
+  void Record(SimTime t, double value) { samples_.push_back({t, value}); }
+  const std::vector<Sample>& samples() const { return samples_; }
+  size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double Min() const;
+  double Max() const;
+  double Mean() const;
+  /// Last value at or before `t` (0 when none).
+  double ValueAt(SimTime t) const;
+  /// Time-weighted average over [t0, t1] treating samples as step changes.
+  double TimeWeightedMean(SimTime t0, SimTime t1) const;
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+/// A registry of named series and scalar counters.
+class MetricsRegistry {
+ public:
+  TimeSeries& Series(const std::string& name) { return series_[name]; }
+  const std::map<std::string, TimeSeries>& AllSeries() const { return series_; }
+
+  void Add(const std::string& counter, double delta) { counters_[counter] += delta; }
+  double Counter(const std::string& counter) const;
+
+  /// Renders "name,time_s,value" CSV lines for the given series.
+  std::string ToCsv(const std::string& name) const;
+
+ private:
+  std::map<std::string, TimeSeries> series_;
+  std::map<std::string, double> counters_;
+};
+
+/// Percentile over a sample of doubles (p in [0,100]); 0 for empty input.
+double Percentile(std::vector<double> values, double p);
+
+}  // namespace pixels

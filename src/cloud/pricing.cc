@@ -1,0 +1,12 @@
+#include "cloud/pricing.h"
+
+namespace pixels {
+
+double PricingModel::CfInvocationCost(double vcpus, int64_t duration_ms) const {
+  int64_t quantum = cf_billing_quantum_ms > 0 ? cf_billing_quantum_ms : 1;
+  int64_t billed_ms = ((duration_ms + quantum - 1) / quantum) * quantum;
+  double vcpu_seconds = vcpus * static_cast<double>(billed_ms) / 1000.0;
+  return cf_invocation_cost + vcpu_seconds * CfPricePerVcpuSecond();
+}
+
+}  // namespace pixels

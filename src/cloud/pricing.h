@@ -1,0 +1,44 @@
+// Cloud resource pricing. Calibrated to the figures quoted in the paper:
+// CF resource-unit prices are 9-24x those of VMs (§2, [7]); the query
+// server's $/TB-scan price list lives in server/service_level.h.
+#pragma once
+
+#include <cstdint>
+
+namespace pixels {
+
+/// Per-resource pricing parameters of the simulated cloud.
+struct PricingModel {
+  /// VM price per vCPU-hour (m5-family on-demand ballpark).
+  double vm_price_per_vcpu_hour = 0.048;
+
+  /// CF unit-price multiplier vs VM per vCPU-second. The paper reports
+  /// 9-24x depending on function size and region; default mid-range.
+  double cf_unit_price_ratio = 12.0;
+
+  /// Fixed per-invocation cost of a CF worker (request pricing).
+  double cf_invocation_cost = 0.0000002;
+
+  /// CF billing granularity in milliseconds (durations round up).
+  int64_t cf_billing_quantum_ms = 1;
+
+  double VmPricePerVcpuSecond() const {
+    return vm_price_per_vcpu_hour / 3600.0;
+  }
+  double CfPricePerVcpuSecond() const {
+    return VmPricePerVcpuSecond() * cf_unit_price_ratio;
+  }
+
+  /// Cost of `vcpu_seconds` of VM compute.
+  double VmComputeCost(double vcpu_seconds) const {
+    return vcpu_seconds * VmPricePerVcpuSecond();
+  }
+
+  /// Cost of one CF invocation running `vcpus` for `duration_ms`.
+  double CfInvocationCost(double vcpus, int64_t duration_ms) const;
+};
+
+/// Bytes in one terabyte (decimal, as cloud billing uses).
+inline constexpr double kBytesPerTB = 1e12;
+
+}  // namespace pixels

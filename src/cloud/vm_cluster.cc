@@ -1,0 +1,152 @@
+#include "cloud/vm_cluster.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace pixels {
+
+VmCluster::VmCluster(SimClock* clock, Random* rng, VmClusterParams params,
+                     PricingModel pricing)
+    : clock_(clock),
+      rng_(rng),
+      params_(params),
+      pricing_(pricing),
+      active_vms_(std::clamp(params.initial_vms, params.min_vms,
+                             params.max_vms)),
+      last_accrual_(clock->Now()) {
+  metrics_.Series("vms").Record(clock_->Now(), active_vms_);
+  metrics_.Series("concurrency").Record(clock_->Now(), 0);
+}
+
+void VmCluster::Start() {
+  if (monitoring_) return;
+  monitoring_ = true;
+  monitor_event_ = clock_->Schedule(params_.monitor_interval,
+                                    [this] { MonitorTick(); });
+}
+
+void VmCluster::Stop() {
+  if (!monitoring_) return;
+  monitoring_ = false;
+  clock_->Cancel(monitor_event_);
+}
+
+bool VmCluster::TryStartQuery() {
+  if (running_queries_ >= TotalSlots()) return false;
+  ++running_queries_;
+  RecordConcurrencySample();
+  return true;
+}
+
+void VmCluster::FinishQuery() {
+  PIXELS_DCHECK(running_queries_ > 0) << "FinishQuery without running query";
+  if (running_queries_ > 0) --running_queries_;
+  RecordConcurrencySample();
+  if (capacity_cb_) capacity_cb_();
+}
+
+void VmCluster::RecordConcurrencySample() {
+  metrics_.Series("concurrency").Record(clock_->Now(), Concurrency());
+}
+
+void VmCluster::AccrueCost() {
+  const SimTime now = clock_->Now();
+  if (now > last_accrual_) {
+    const double seconds = static_cast<double>(now - last_accrual_) / 1000.0;
+    accrued_cost_ += pricing_.VmComputeCost(
+        seconds * active_vms_ * params_.vcpus_per_vm);
+    last_accrual_ = now;
+  }
+}
+
+double VmCluster::AccruedCostUsd() {
+  AccrueCost();
+  return accrued_cost_;
+}
+
+void VmCluster::MonitorTick() {
+  if (!monitoring_) return;
+  const SimTime now = clock_->Now();
+  // Maintain the sliding concurrency window.
+  concurrency_window_.push_back({now, Concurrency()});
+  while (!concurrency_window_.empty() &&
+         concurrency_window_.front().time < now - params_.scale_in_window) {
+    concurrency_window_.pop_front();
+  }
+
+  // Inclusive comparison: the query server stops feeding relaxed queries
+  // exactly at the watermark, so a strict '>' could plateau right at the
+  // threshold without ever triggering the scale-out that would unblock it.
+  if (Concurrency() >= params_.high_watermark &&
+      active_vms_ + pending_vms_ < params_.max_vms) {
+    TriggerScaleOut();
+  } else {
+    double avg = 0;
+    for (const auto& s : concurrency_window_) avg += s.value;
+    avg /= static_cast<double>(std::max<size_t>(concurrency_window_.size(), 1));
+    const bool window_full =
+        !concurrency_window_.empty() &&
+        now - concurrency_window_.front().time >=
+            params_.scale_in_window - params_.monitor_interval;
+    const bool cooled =
+        params_.scale_in_cooldown <= 0 || last_scale_in_ < 0 ||
+        now - last_scale_in_ >= params_.scale_in_cooldown;
+    if (window_full && avg < params_.low_watermark &&
+        active_vms_ > params_.min_vms && cooled) {
+      TriggerScaleIn();
+    }
+  }
+  monitor_event_ = clock_->Schedule(params_.monitor_interval,
+                                    [this] { MonitorTick(); });
+}
+
+void VmCluster::TriggerScaleOut() {
+  // Target-tracking: size the cluster for the observed demand (running +
+  // waiting queries) instead of creeping up one step per tick, which
+  // overshoots under steady load. A saturated cluster always gets at
+  // least `scale_out_step` more VMs.
+  const int demand_vms = static_cast<int>(
+      std::ceil(Concurrency() / std::max(params_.slots_per_vm, 1)));
+  int target = demand_vms;
+  if (FreeSlots() <= 0) {
+    target = std::max(target,
+                      active_vms_ + pending_vms_ + params_.scale_out_step);
+  }
+  target = std::min(target, params_.max_vms);
+  const int to_add = target - active_vms_ - pending_vms_;
+  if (to_add <= 0) return;
+  ++scale_out_events_;
+  pending_vms_ += to_add;
+  metrics_.Add("scale_out_vms", to_add);
+  for (int i = 0; i < to_add; ++i) {
+    const SimTime delay = rng_->Uniform(params_.provision_delay_min,
+                                        params_.provision_delay_max);
+    clock_->Schedule(delay, [this] {
+      AccrueCost();
+      --pending_vms_;
+      ++active_vms_;
+      metrics_.Series("vms").Record(clock_->Now(), active_vms_);
+      if (capacity_cb_) capacity_cb_();
+    });
+  }
+  PIXELS_LOG(kDebug) << "scale-out: +" << to_add << " VMs (active "
+                     << active_vms_ << ", pending " << pending_vms_ << ")";
+}
+
+void VmCluster::TriggerScaleIn() {
+  AccrueCost();
+  // Release one VM gracefully; never drop below running queries' needs.
+  const int min_for_load = (running_queries_ + params_.slots_per_vm - 1) /
+                           std::max(params_.slots_per_vm, 1);
+  if (active_vms_ - 1 < std::max(params_.min_vms, min_for_load)) return;
+  --active_vms_;
+  ++scale_in_events_;
+  last_scale_in_ = clock_->Now();
+  metrics_.Add("scale_in_vms", 1);
+  metrics_.Series("vms").Record(clock_->Now(), active_vms_);
+  PIXELS_LOG(kDebug) << "scale-in: -1 VM (active " << active_vms_ << ")";
+}
+
+}  // namespace pixels

@@ -1,0 +1,136 @@
+// Simulated auto-scaled VM cluster (paper §3.1). VMs take 1-2 minutes to
+// provision; the autoscaler monitors query concurrency against a high
+// watermark (scale out) and a low watermark over an observation window
+// (lazy scale in, paper §3.2 footnote 2).
+#pragma once
+
+#include <deque>
+#include <functional>
+
+#include "cloud/metrics.h"
+#include "cloud/pricing.h"
+#include "common/random.h"
+#include "common/sim_clock.h"
+
+namespace pixels {
+
+/// Cluster sizing, scaling, and scheduling parameters.
+struct VmClusterParams {
+  int vcpus_per_vm = 8;
+  /// Concurrent query slots per VM.
+  int slots_per_vm = 4;
+  int initial_vms = 2;
+  int min_vms = 1;
+  int max_vms = 64;
+  /// Provisioning lag, uniform in [min, max] (paper: 1-2 minutes).
+  SimTime provision_delay_min = 60 * kSeconds;
+  SimTime provision_delay_max = 120 * kSeconds;
+  /// Scale-out trigger: cluster-wide running query concurrency above this
+  /// (paper example: 5).
+  double high_watermark = 5.0;
+  /// Scale-in trigger: average concurrency within the observation window
+  /// below this (paper example: 0.75).
+  double low_watermark = 0.75;
+  /// Concurrency sampling / scaling decision interval.
+  SimTime monitor_interval = 5 * kSeconds;
+  /// Observation window for the scale-in average.
+  SimTime scale_in_window = 60 * kSeconds;
+  /// Lazy scale-in: minimum time between scale-in events (0 = eager).
+  SimTime scale_in_cooldown = 120 * kSeconds;
+  /// VMs added per scale-out event.
+  int scale_out_step = 2;
+};
+
+/// Discrete-event VM cluster simulator. The coordinator drives it via
+/// TryStartQuery/FinishQuery; the autoscaler runs on the clock.
+class VmCluster {
+ public:
+  VmCluster(SimClock* clock, Random* rng, VmClusterParams params,
+            PricingModel pricing);
+
+  /// Begins the monitor loop; must be called once before the simulation runs.
+  void Start();
+
+  /// Stops monitoring (ends the periodic event so RunAll terminates).
+  void Stop();
+
+  /// Claims a query slot if one is free. Returns false when saturated.
+  bool TryStartQuery();
+
+  /// Releases a slot claimed by TryStartQuery. Invokes the idle callback
+  /// so the coordinator can dequeue waiting queries.
+  void FinishQuery();
+
+  /// Called whenever capacity may have become available (query finished
+  /// or VMs provisioned).
+  void SetCapacityAvailableCallback(std::function<void()> cb) {
+    capacity_cb_ = std::move(cb);
+  }
+
+  int num_vms() const { return active_vms_; }
+  int pending_vms() const { return pending_vms_; }
+  int running_queries() const { return running_queries_; }
+  int TotalSlots() const { return active_vms_ * params_.slots_per_vm; }
+  int FreeSlots() const { return TotalSlots() - running_queries_; }
+
+  /// Reports the number of admitted-but-waiting queries (the coordinator's
+  /// queue). Included in the watermark metric so sustained backlog drives
+  /// scale-out even when every slot is busy.
+  void SetBacklog(int backlog) { backlog_ = backlog < 0 ? 0 : backlog; }
+  int backlog() const { return backlog_; }
+
+  /// Cluster-wide query concurrency (running + waiting), the watermark
+  /// metric of paper §3.1.
+  double Concurrency() const {
+    return static_cast<double>(running_queries_ + backlog_);
+  }
+
+  bool AboveHighWatermark() const {
+    return Concurrency() >= params_.high_watermark;
+  }
+  bool BelowLowWatermark() const {
+    return Concurrency() < params_.low_watermark;
+  }
+
+  /// Accrued VM cost (integrates active VMs over virtual time).
+  double AccruedCostUsd();
+
+  /// Cumulative scale events.
+  int scale_out_events() const { return scale_out_events_; }
+  int scale_in_events() const { return scale_in_events_; }
+
+  const VmClusterParams& params() const { return params_; }
+  MetricsRegistry& metrics() { return metrics_; }
+
+ private:
+  void MonitorTick();
+  void TriggerScaleOut();
+  void TriggerScaleIn();
+  void AccrueCost();
+  void RecordConcurrencySample();
+
+  SimClock* clock_;
+  Random* rng_;
+  VmClusterParams params_;
+  PricingModel pricing_;
+
+  int active_vms_;
+  int pending_vms_ = 0;
+  int running_queries_ = 0;
+  int backlog_ = 0;
+
+  bool monitoring_ = false;
+  uint64_t monitor_event_ = 0;
+  std::deque<Sample> concurrency_window_;
+  SimTime last_scale_in_ = -1;
+  int scale_out_events_ = 0;
+  int scale_in_events_ = 0;
+
+  SimTime last_accrual_ = 0;
+  double accrued_cost_ = 0;
+
+  std::function<void()> capacity_cb_;
+  MetricsRegistry metrics_;
+};
+
+}  // namespace pixels

@@ -1,0 +1,76 @@
+#include "common/bytes.h"
+
+namespace pixels {
+
+void ByteWriter::PutVarint(uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<uint8_t>(v));
+}
+
+void ByteWriter::PutSignedVarint(int64_t v) {
+  // Zigzag encoding maps small magnitudes to small varints.
+  PutVarint((static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63));
+}
+
+void ByteWriter::PutString(const std::string& s) {
+  PutVarint(s.size());
+  PutBytes(s.data(), s.size());
+}
+
+void ByteWriter::PutBytes(const void* data, size_t n) {
+  const auto* b = static_cast<const uint8_t*>(data);
+  buf_.insert(buf_.end(), b, b + n);
+}
+
+Status ByteReader::Seek(size_t pos) {
+  if (pos > size_) return Status::InvalidArgument("byte reader: seek out of range");
+  pos_ = pos;
+  return Status::OK();
+}
+
+Result<uint8_t> ByteReader::GetU8() { return GetFixed<uint8_t>(); }
+Result<uint16_t> ByteReader::GetU16() { return GetFixed<uint16_t>(); }
+Result<uint32_t> ByteReader::GetU32() { return GetFixed<uint32_t>(); }
+Result<uint64_t> ByteReader::GetU64() { return GetFixed<uint64_t>(); }
+Result<int32_t> ByteReader::GetI32() { return GetFixed<int32_t>(); }
+Result<int64_t> ByteReader::GetI64() { return GetFixed<int64_t>(); }
+Result<double> ByteReader::GetF64() { return GetFixed<double>(); }
+
+Result<uint64_t> ByteReader::GetVarint() {
+  uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    if (AtEnd()) return Status::Corruption("byte reader: truncated varint");
+    if (shift >= 64) return Status::Corruption("byte reader: varint overflow");
+    uint8_t b = data_[pos_++];
+    v |= static_cast<uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) break;
+    shift += 7;
+  }
+  return v;
+}
+
+Result<int64_t> ByteReader::GetSignedVarint() {
+  PIXELS_ASSIGN_OR_RETURN(uint64_t z, GetVarint());
+  return static_cast<int64_t>((z >> 1) ^ (~(z & 1) + 1));
+}
+
+Result<std::string> ByteReader::GetString() {
+  PIXELS_ASSIGN_OR_RETURN(uint64_t n, GetVarint());
+  if (remaining() < n) return Status::Corruption("byte reader: truncated string");
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+Status ByteReader::GetBytes(void* out, size_t n) {
+  if (remaining() < n) return Status::Corruption("byte reader: truncated bytes");
+  std::memcpy(out, data_ + pos_, n);
+  pos_ += n;
+  return Status::OK();
+}
+
+}  // namespace pixels

@@ -1,0 +1,99 @@
+// Byte-buffer reader/writer with varint support. Used by the Pixels file
+// format for headers, footers, and encoded column chunks.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace pixels {
+
+/// Append-only binary buffer with little-endian fixed-width and varint
+/// primitives. The encoders write through this.
+class ByteWriter {
+ public:
+  const std::vector<uint8_t>& data() const { return buf_; }
+  std::vector<uint8_t> Release() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+  void Clear() { buf_.clear(); }
+
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+  void PutU16(uint16_t v) { PutFixed(&v, sizeof(v)); }
+  void PutU32(uint32_t v) { PutFixed(&v, sizeof(v)); }
+  void PutU64(uint64_t v) { PutFixed(&v, sizeof(v)); }
+  void PutI32(int32_t v) { PutFixed(&v, sizeof(v)); }
+  void PutI64(int64_t v) { PutFixed(&v, sizeof(v)); }
+  void PutF64(double v) { PutFixed(&v, sizeof(v)); }
+
+  /// LEB128 unsigned varint.
+  void PutVarint(uint64_t v);
+
+  /// Zigzag-encoded signed varint.
+  void PutSignedVarint(int64_t v);
+
+  /// Varint length followed by raw bytes.
+  void PutString(const std::string& s);
+
+  /// Raw byte append.
+  void PutBytes(const void* data, size_t n);
+
+ private:
+  void PutFixed(const void* p, size_t n) {
+    const auto* b = static_cast<const uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+
+  std::vector<uint8_t> buf_;
+};
+
+/// Sequential reader over a byte span; all getters validate bounds and
+/// return Status/Result instead of crashing on truncated input.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<uint8_t>& v)
+      : ByteReader(v.data(), v.size()) {}
+
+  size_t position() const { return pos_; }
+  size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ >= size_; }
+
+  /// Moves the cursor to an absolute offset.
+  Status Seek(size_t pos);
+
+  Result<uint8_t> GetU8();
+  Result<uint16_t> GetU16();
+  Result<uint32_t> GetU32();
+  Result<uint64_t> GetU64();
+  Result<int32_t> GetI32();
+  Result<int64_t> GetI64();
+  Result<double> GetF64();
+  Result<uint64_t> GetVarint();
+  Result<int64_t> GetSignedVarint();
+  Result<std::string> GetString();
+
+  /// Copies `n` raw bytes into `out`.
+  Status GetBytes(void* out, size_t n);
+
+ private:
+  template <typename T>
+  Result<T> GetFixed() {
+    if (remaining() < sizeof(T)) {
+      return Status::Corruption("byte reader: truncated fixed-width value");
+    }
+    T v;
+    std::memcpy(&v, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace pixels

@@ -1,0 +1,82 @@
+#include "common/config.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace pixels {
+
+namespace {
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+}  // namespace
+
+Result<Config> Config::FromString(const std::string& text) {
+  Config cfg;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::string t = Trim(line);
+    if (t.empty() || t[0] == '#') continue;
+    size_t eq = t.find('=');
+    if (eq == std::string::npos) {
+      return Status::ParseError("config line " + std::to_string(lineno) +
+                                ": missing '='");
+    }
+    std::string key = Trim(t.substr(0, eq));
+    if (key.empty()) {
+      return Status::ParseError("config line " + std::to_string(lineno) +
+                                ": empty key");
+    }
+    cfg.Set(key, Trim(t.substr(eq + 1)));
+  }
+  return cfg;
+}
+
+void Config::Set(const std::string& key, std::string value) {
+  values_[key] = std::move(value);
+}
+
+bool Config::Has(const std::string& key) const { return values_.count(key) > 0; }
+
+std::string Config::GetString(const std::string& key, const std::string& def) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? def : it->second;
+}
+
+int64_t Config::GetInt(const std::string& key, int64_t def) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Config::GetDouble(const std::string& key, double def) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Config::GetBool(const std::string& key, bool def) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  const std::string& v = it->second;
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+std::string Config::ToString() const {
+  std::string out;
+  for (const auto& [k, v] : values_) {
+    out += k;
+    out += '=';
+    out += v;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace pixels

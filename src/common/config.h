@@ -1,0 +1,38 @@
+// Simple string key/value configuration with typed getters, mirroring the
+// property files Pixels uses for engine configuration.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/result.h"
+
+namespace pixels {
+
+/// Key/value configuration. Typed getters fall back to a caller-supplied
+/// default when the key is absent, and fail loudly on malformed values.
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses `key=value` lines; '#' starts a comment; blank lines ignored.
+  static Result<Config> FromString(const std::string& text);
+
+  void Set(const std::string& key, std::string value);
+  bool Has(const std::string& key) const;
+
+  std::string GetString(const std::string& key, const std::string& def) const;
+  int64_t GetInt(const std::string& key, int64_t def) const;
+  double GetDouble(const std::string& key, double def) const;
+  bool GetBool(const std::string& key, bool def) const;
+
+  /// Serializes back to `key=value` lines in key order.
+  std::string ToString() const;
+
+  size_t size() const { return values_.size(); }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace pixels

@@ -1,0 +1,90 @@
+// Minimal JSON value, parser, and writer. Used for the CodeS-style
+// question+schema messages exchanged between Pixels-Rover and the
+// text-to-SQL service, and for catalog serialization.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace pixels {
+
+/// A JSON value: null, bool, number (double), string, array, or object.
+/// Objects preserve key order of insertion? No — keys are kept sorted
+/// (std::map) for deterministic serialization.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}              // NOLINT
+  Json(double n) : type_(Type::kNumber), num_(n) {}           // NOLINT
+  Json(int n) : type_(Type::kNumber), num_(n) {}              // NOLINT
+  Json(int64_t n)                                             // NOLINT
+      : type_(Type::kNumber), num_(static_cast<double>(n)) {}
+  Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}  // NOLINT
+  Json(const char* s) : type_(Type::kString), str_(s) {}      // NOLINT
+
+  static Json Array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  static Json Object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return num_; }
+  int64_t AsInt() const { return static_cast<int64_t>(num_); }
+  const std::string& AsString() const { return str_; }
+
+  /// Array access.
+  size_t size() const;
+  const Json& At(size_t i) const;
+  void Append(Json v);
+
+  /// Object access. `Get` returns null-Json for missing keys.
+  bool Has(const std::string& key) const;
+  const Json& Get(const std::string& key) const;
+  void Set(const std::string& key, Json v);
+  const std::map<std::string, Json>& items() const { return obj_; }
+
+  /// Compact serialization (no whitespace), deterministic key order.
+  std::string Dump() const;
+
+  /// Pretty serialization with 2-space indentation.
+  std::string Pretty() const;
+
+  /// Parses a JSON document; rejects trailing garbage.
+  static Result<Json> Parse(const std::string& text);
+
+  bool operator==(const Json& other) const;
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+  static void EscapeTo(std::string* out, const std::string& s);
+
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::map<std::string, Json> obj_;
+};
+
+}  // namespace pixels

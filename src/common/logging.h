@@ -1,0 +1,56 @@
+// Minimal leveled logger with a process-global level, used across modules.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace pixels {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the process-global minimum level that is emitted.
+void SetLogLevel(LogLevel level);
+
+/// Returns the current process-global log level.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Emits one formatted log line to stderr; called by the PIXELS_LOG macro.
+void EmitLog(LogLevel level, const char* file, int line, const std::string& msg);
+
+/// Stream collector whose destructor emits the accumulated message.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { EmitLog(level_, file_, line_, stream_.str()); }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define PIXELS_LOG(level)                                             \
+  if (static_cast<int>(::pixels::LogLevel::level) <                   \
+      static_cast<int>(::pixels::GetLogLevel())) {                    \
+  } else                                                              \
+    ::pixels::internal::LogMessage(::pixels::LogLevel::level,         \
+                                   __FILE__, __LINE__)                \
+        .stream()
+
+#define PIXELS_DCHECK(cond)                                                    \
+  if (cond) {                                                                  \
+  } else                                                                       \
+    ::pixels::internal::LogMessage(::pixels::LogLevel::kError, __FILE__,       \
+                                   __LINE__)                                   \
+        .stream()                                                              \
+        << "DCHECK failed: " #cond " "
+
+}  // namespace pixels

@@ -1,0 +1,129 @@
+#include "common/random.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace pixels {
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+// splitmix64 for seeding.
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+Random::Random(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(sm);
+}
+
+uint64_t Random::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+int64_t Random::Uniform(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  const uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  return lo + static_cast<int64_t>(Next() % range);
+}
+
+double Random::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Random::UniformDouble(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+bool Random::Bernoulli(double p) { return NextDouble() < p; }
+
+double Random::Exponential(double rate) {
+  assert(rate > 0);
+  double u = NextDouble();
+  // Guard against log(0).
+  if (u <= 0) u = 0x1.0p-53;
+  return -std::log(u) / rate;
+}
+
+double Random::Gaussian() {
+  // Box-Muller transform.
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  if (u1 <= 0) u1 = 0x1.0p-53;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+double Random::Gaussian(double mean, double stddev) {
+  return mean + stddev * Gaussian();
+}
+
+int64_t Random::Zipf(int64_t n, double s) {
+  assert(n > 0);
+  if (s <= 0) return Uniform(0, n - 1);
+  // Inverse-CDF sampling over the truncated harmonic sum. Linear in n but
+  // acceptable for the small domains (columns, tables, keys) used here.
+  double norm = 0;
+  for (int64_t i = 1; i <= n; ++i) norm += 1.0 / std::pow(static_cast<double>(i), s);
+  double u = NextDouble() * norm;
+  double acc = 0;
+  for (int64_t i = 1; i <= n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i), s);
+    if (acc >= u) return i - 1;
+  }
+  return n - 1;
+}
+
+int64_t Random::Poisson(double mean) {
+  assert(mean >= 0);
+  if (mean <= 0) return 0;
+  if (mean < 30) {
+    // Knuth's method.
+    const double limit = std::exp(-mean);
+    double p = 1.0;
+    int64_t k = 0;
+    do {
+      ++k;
+      p *= NextDouble();
+    } while (p > limit);
+    return k - 1;
+  }
+  // Normal approximation for large means.
+  const double v = Gaussian(mean, std::sqrt(mean));
+  return v < 0 ? 0 : static_cast<int64_t>(v + 0.5);
+}
+
+std::string Random::NextString(size_t length) {
+  std::string out(length, 'a');
+  for (auto& c : out) c = static_cast<char>('a' + Next() % 26);
+  return out;
+}
+
+size_t Random::WeightedPick(const std::vector<double>& weights) {
+  assert(!weights.empty());
+  double total = 0;
+  for (double w : weights) total += w;
+  assert(total > 0);
+  double u = NextDouble() * total;
+  double acc = 0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (acc >= u) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace pixels

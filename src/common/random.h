@@ -1,0 +1,58 @@
+// Deterministic pseudo-random generation used by all simulators and
+// workload generators so that every run is reproducible from a seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pixels {
+
+/// xoshiro256** generator: fast, high quality, fully deterministic.
+class Random {
+ public:
+  /// Seeds the generator; the same seed yields the same stream.
+  explicit Random(uint64_t seed = 42);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// True with probability p.
+  bool Bernoulli(double p);
+
+  /// Exponentially distributed value with the given rate (mean 1/rate).
+  double Exponential(double rate);
+
+  /// Standard normal via Box-Muller.
+  double Gaussian();
+
+  /// Gaussian with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  /// Zipf-distributed integer in [0, n) with skew s (s=0 is uniform).
+  int64_t Zipf(int64_t n, double s);
+
+  /// Poisson-distributed count with the given mean.
+  int64_t Poisson(double mean);
+
+  /// Random lowercase ASCII string of the given length.
+  std::string NextString(size_t length);
+
+  /// Picks one element index weighted by `weights` (must be non-empty and
+  /// sum to a positive value).
+  size_t WeightedPick(const std::vector<double>& weights);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace pixels

@@ -1,0 +1,80 @@
+// Result<T>: a value-or-Status holder, in the style of arrow::Result.
+#pragma once
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace pixels {
+
+/// Holds either a value of type T or a non-OK Status.
+///
+/// Use `ok()` to test, `ValueOrDie()` / `operator*` to access the value,
+/// and `status()` to access the error. Constructing from an OK Status is a
+/// programming error (asserted).
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding a value (implicit, like arrow::Result).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a Result holding an error status.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(repr_).ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error status, or OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// Access the held value; undefined when !ok().
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    assert(ok());
+    return std::move(std::get<T>(repr_));
+  }
+
+  T& operator*() & { return ValueOrDie(); }
+  const T& operator*() const& { return ValueOrDie(); }
+  T&& operator*() && { return std::move(*this).ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+
+  /// Moves the value out, or returns `alternative` when an error is held.
+  T ValueOr(T alternative) && {
+    if (ok()) return std::move(std::get<T>(repr_));
+    return alternative;
+  }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its
+/// error status to the caller.
+#define PIXELS_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                 \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).ValueOrDie();
+
+#define PIXELS_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define PIXELS_ASSIGN_OR_RETURN_NAME(a, b) PIXELS_ASSIGN_OR_RETURN_CONCAT(a, b)
+
+#define PIXELS_ASSIGN_OR_RETURN(lhs, rexpr)                                    \
+  PIXELS_ASSIGN_OR_RETURN_IMPL(                                                \
+      PIXELS_ASSIGN_OR_RETURN_NAME(_result_tmp_, __COUNTER__), lhs, rexpr)
+
+}  // namespace pixels

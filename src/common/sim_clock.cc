@@ -1,0 +1,50 @@
+#include "common/sim_clock.h"
+
+#include <algorithm>
+
+namespace pixels {
+
+uint64_t SimClock::Schedule(SimTime delay, Callback cb) {
+  return ScheduleAt(now_ + std::max<SimTime>(delay, 0), std::move(cb));
+}
+
+uint64_t SimClock::ScheduleAt(SimTime when, Callback cb) {
+  const uint64_t id = next_id_++;
+  queue_.push(Event{std::max(when, now_), next_seq_++, id, std::move(cb)});
+  pending_ids_.insert(id);
+  return id;
+}
+
+bool SimClock::Cancel(uint64_t event_id) {
+  return pending_ids_.erase(event_id) > 0;
+}
+
+bool SimClock::PopAndRun() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (pending_ids_.erase(ev.id) == 0) {
+      continue;  // cancelled: skip without advancing the clock
+    }
+    now_ = ev.when;
+    ev.cb();
+    return true;
+  }
+  return false;
+}
+
+void SimClock::RunUntil(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    if (!PopAndRun()) break;
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+void SimClock::RunAll() {
+  while (PopAndRun()) {
+  }
+}
+
+bool SimClock::Step() { return PopAndRun(); }
+
+}  // namespace pixels

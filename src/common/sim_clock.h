@@ -1,0 +1,79 @@
+// Discrete-event simulation kernel. The entire cloud layer (VM cluster,
+// cloud functions, query server) runs on this virtual clock, which makes
+// every scheduling experiment deterministic and independent of wall time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace pixels {
+
+/// Simulated time in milliseconds since simulation start.
+using SimTime = int64_t;
+
+constexpr SimTime kMillis = 1;
+constexpr SimTime kSeconds = 1000;
+constexpr SimTime kMinutes = 60 * kSeconds;
+constexpr SimTime kHours = 60 * kMinutes;
+
+/// An event queue plus virtual clock. Events are callbacks scheduled at
+/// absolute or relative virtual times; `RunUntil`/`RunAll` advance the
+/// clock by executing events in timestamp order (FIFO among ties).
+class SimClock {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current virtual time.
+  SimTime Now() const { return now_; }
+
+  /// Schedules `cb` to run at `Now() + delay`. Negative delays clamp to 0.
+  /// Returns an event id usable with `Cancel`.
+  uint64_t Schedule(SimTime delay, Callback cb);
+
+  /// Schedules `cb` at an absolute virtual time (clamped to Now()).
+  uint64_t ScheduleAt(SimTime when, Callback cb);
+
+  /// Cancels a pending event; returns false if it already ran, was already
+  /// cancelled, or never existed.
+  bool Cancel(uint64_t event_id);
+
+  /// Runs events until the queue empties or the clock would pass `deadline`.
+  /// The clock is left at max(deadline, time of last event run).
+  void RunUntil(SimTime deadline);
+
+  /// Runs every pending event (including ones scheduled while running).
+  void RunAll();
+
+  /// Runs a single event if one is pending; returns false when idle.
+  bool Step();
+
+  /// Number of live (not yet run, not cancelled) events.
+  size_t pending_events() const { return pending_ids_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    uint64_t seq;
+    uint64_t id;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool PopAndRun();
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t next_id_ = 1;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<uint64_t> pending_ids_;
+};
+
+}  // namespace pixels

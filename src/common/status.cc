@@ -1,0 +1,47 @@
+#include "common/status.h"
+
+namespace pixels {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kIOError:
+      return "IOError";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kNotImplemented:
+      return "NotImplemented";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kTimeout:
+      return "Timeout";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kParseError:
+      return "ParseError";
+    case StatusCode::kTypeError:
+      return "TypeError";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code());
+  out += ": ";
+  out += message();
+  return out;
+}
+
+}  // namespace pixels

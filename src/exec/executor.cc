@@ -1,0 +1,135 @@
+#include "exec/executor.h"
+
+#include <cctype>
+
+#include "exec/hash_agg.h"
+#include "exec/hash_join.h"
+#include "exec/operators.h"
+#include "exec/sort.h"
+#include "plan/binder.h"
+#include "plan/optimizer.h"
+
+namespace pixels {
+
+Result<OperatorPtr> BuildOperator(const PlanPtr& plan, ExecContext* ctx) {
+  switch (plan->kind) {
+    case LogicalPlan::Kind::kScan:
+      return OperatorPtr(new ScanOperator(*plan, ctx));
+    case LogicalPlan::Kind::kFilter: {
+      PIXELS_ASSIGN_OR_RETURN(OperatorPtr child,
+                              BuildOperator(plan->children[0], ctx));
+      return OperatorPtr(new FilterOperator(std::move(child), *plan->predicate));
+    }
+    case LogicalPlan::Kind::kProject: {
+      PIXELS_ASSIGN_OR_RETURN(OperatorPtr child,
+                              BuildOperator(plan->children[0], ctx));
+      return OperatorPtr(
+          new ProjectOperator(std::move(child), plan->exprs, plan->names));
+    }
+    case LogicalPlan::Kind::kJoin: {
+      PIXELS_ASSIGN_OR_RETURN(OperatorPtr left,
+                              BuildOperator(plan->children[0], ctx));
+      PIXELS_ASSIGN_OR_RETURN(OperatorPtr right,
+                              BuildOperator(plan->children[1], ctx));
+      return OperatorPtr(
+          new HashJoinOperator(std::move(left), std::move(right), *plan));
+    }
+    case LogicalPlan::Kind::kAggregate: {
+      PIXELS_ASSIGN_OR_RETURN(OperatorPtr child,
+                              BuildOperator(plan->children[0], ctx));
+      return OperatorPtr(new HashAggOperator(std::move(child), *plan));
+    }
+    case LogicalPlan::Kind::kSort: {
+      PIXELS_ASSIGN_OR_RETURN(OperatorPtr child,
+                              BuildOperator(plan->children[0], ctx));
+      return OperatorPtr(new SortOperator(std::move(child), *plan));
+    }
+    case LogicalPlan::Kind::kLimit: {
+      PIXELS_ASSIGN_OR_RETURN(OperatorPtr child,
+                              BuildOperator(plan->children[0], ctx));
+      return OperatorPtr(new LimitOperator(std::move(child), plan->limit));
+    }
+    case LogicalPlan::Kind::kDistinct: {
+      PIXELS_ASSIGN_OR_RETURN(OperatorPtr child,
+                              BuildOperator(plan->children[0], ctx));
+      return OperatorPtr(new DistinctOperator(std::move(child)));
+    }
+    case LogicalPlan::Kind::kMaterializedView:
+      return OperatorPtr(new ViewOperator(*plan));
+  }
+  return Status::Internal("unknown plan node kind");
+}
+
+Result<TablePtr> ExecutePlan(const PlanPtr& plan, ExecContext* ctx) {
+  PIXELS_ASSIGN_OR_RETURN(OperatorPtr root, BuildOperator(plan, ctx));
+  PIXELS_RETURN_NOT_OK(root->Open());
+  auto table = std::make_shared<Table>();
+  while (true) {
+    PIXELS_ASSIGN_OR_RETURN(RowBatchPtr batch, root->Next());
+    if (batch == nullptr) break;
+    if (batch->num_rows() > 0 || table->batches().empty()) {
+      table->AddBatch(std::move(batch));
+    }
+  }
+  root->Close();
+  return table;
+}
+
+bool IsExplainStatement(const std::string& sql, std::string* inner) {
+  size_t i = 0;
+  while (i < sql.size() && std::isspace(static_cast<unsigned char>(sql[i]))) {
+    ++i;
+  }
+  const char* kExplain = "explain";
+  size_t j = 0;
+  while (j < 7 && i + j < sql.size() &&
+         std::tolower(static_cast<unsigned char>(sql[i + j])) == kExplain[j]) {
+    ++j;
+  }
+  if (j != 7) return false;
+  // Must be a whole word.
+  if (i + 7 < sql.size() &&
+      (std::isalnum(static_cast<unsigned char>(sql[i + 7])) ||
+       sql[i + 7] == '_')) {
+    return false;
+  }
+  if (inner != nullptr) *inner = sql.substr(i + 7);
+  return true;
+}
+
+Result<std::string> ExplainQuery(const std::string& sql, const std::string& db,
+                                 const Catalog& catalog) {
+  std::string inner = sql;
+  IsExplainStatement(sql, &inner);
+  PIXELS_ASSIGN_OR_RETURN(PlanPtr plan, PlanQuery(inner, catalog, db));
+  PIXELS_ASSIGN_OR_RETURN(plan, Optimize(std::move(plan), catalog));
+  return plan->ToString();
+}
+
+Result<TablePtr> ExecuteQuery(const std::string& sql, const std::string& db,
+                              ExecContext* ctx) {
+  std::string inner;
+  if (IsExplainStatement(sql, &inner)) {
+    PIXELS_ASSIGN_OR_RETURN(std::string text,
+                            ExplainQuery(inner, db, *ctx->catalog));
+    auto table = std::make_shared<Table>();
+    auto batch = std::make_shared<RowBatch>();
+    auto col = MakeVector(TypeId::kString);
+    // One row per plan line keeps the EXPLAIN output readable in clients.
+    size_t start = 0;
+    while (start < text.size()) {
+      size_t end = text.find('\n', start);
+      if (end == std::string::npos) end = text.size();
+      col->AppendString(text.substr(start, end - start));
+      start = end + 1;
+    }
+    batch->AddColumn("plan", std::move(col));
+    table->AddBatch(std::move(batch));
+    return table;
+  }
+  PIXELS_ASSIGN_OR_RETURN(PlanPtr plan, PlanQuery(sql, *ctx->catalog, db));
+  PIXELS_ASSIGN_OR_RETURN(plan, Optimize(std::move(plan), *ctx->catalog));
+  return ExecutePlan(plan, ctx);
+}
+
+}  // namespace pixels

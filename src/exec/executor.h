@@ -1,0 +1,32 @@
+// Executor: builds the physical operator tree from a logical plan and
+// drives it to a materialized result table. This is the query runtime
+// shared by VM workers and CF workers.
+#pragma once
+
+#include "exec/operator.h"
+#include "plan/logical_plan.h"
+
+namespace pixels {
+
+/// Builds the operator tree for `plan`.
+Result<OperatorPtr> BuildOperator(const PlanPtr& plan, ExecContext* ctx);
+
+/// Executes `plan` to completion, returning the result table.
+Result<TablePtr> ExecutePlan(const PlanPtr& plan, ExecContext* ctx);
+
+/// Parse → bind → optimize → execute, in one call. Fills `ctx` counters.
+/// A statement of the form `EXPLAIN <select>` is not executed; it returns
+/// a one-column table ("plan") holding the optimized plan rendering.
+Result<TablePtr> ExecuteQuery(const std::string& sql, const std::string& db,
+                              ExecContext* ctx);
+
+/// Returns the optimized logical plan of `sql` as indented text (the
+/// output of `EXPLAIN`).
+Result<std::string> ExplainQuery(const std::string& sql, const std::string& db,
+                                 const Catalog& catalog);
+
+/// True when the statement is an EXPLAIN; `*inner` receives the SELECT
+/// text that follows.
+bool IsExplainStatement(const std::string& sql, std::string* inner);
+
+}  // namespace pixels

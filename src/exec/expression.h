@@ -1,0 +1,28 @@
+// Expression evaluation over row batches. Supports the full AST: scalar
+// arithmetic/comparison/logic, LIKE, BETWEEN, IN, IS NULL, CASE, string
+// and date scalar functions, and CAST.
+#pragma once
+
+#include "common/result.h"
+#include "format/batch.h"
+#include "sql/ast.h"
+
+namespace pixels {
+
+/// Evaluates `expr` against every row of `batch`, returning a vector of
+/// the same length. Column references resolve by qualified name with the
+/// batch's relaxed matching rules.
+Result<ColumnVectorPtr> EvaluateExpr(const Expr& expr, const RowBatch& batch);
+
+/// Evaluates `expr` for a single row.
+Result<Value> EvaluateExprRow(const Expr& expr, const RowBatch& batch,
+                              size_t row);
+
+/// SQL LIKE with % and _ wildcards.
+bool LikeMatch(const std::string& text, const std::string& pattern);
+
+/// Builds a typed vector from scalar values: strings force kString, any
+/// double forces kDouble, otherwise kInt64 (all-null defaults to kInt64).
+Result<ColumnVectorPtr> BuildVectorFromValues(const std::vector<Value>& values);
+
+}  // namespace pixels

@@ -1,0 +1,233 @@
+#include "exec/hash_agg.h"
+
+#include "exec/expression.h"
+#include "exec/operators.h"
+
+namespace pixels {
+
+void HashAggOperator::AggState::Update(const Value& v, bool distinct) {
+  if (v.is_null()) return;
+  if (distinct) {
+    distinct_keys.insert(ValuesKey({v}));
+    return;
+  }
+  ++count;
+  if (v.kind == Value::Kind::kDouble) {
+    any_double = true;
+    sum_d += v.d;
+  } else {
+    sum_i += v.i;
+    sum_d += static_cast<double>(v.i);
+  }
+  if (!has_minmax) {
+    min = v;
+    max = v;
+    has_minmax = true;
+  } else {
+    if (v.Compare(min) < 0) min = v;
+    if (v.Compare(max) > 0) max = v;
+  }
+}
+
+Status HashAggOperator::Consume() {
+  while (true) {
+    PIXELS_ASSIGN_OR_RETURN(RowBatchPtr batch, child_->Next());
+    if (batch == nullptr) break;
+    if (batch->num_rows() == 0) continue;
+    // Evaluate group keys and aggregate arguments for the whole batch.
+    std::vector<ColumnVectorPtr> key_cols;
+    for (const auto& g : plan_.group_exprs) {
+      PIXELS_ASSIGN_OR_RETURN(ColumnVectorPtr col, EvaluateExpr(*g, *batch));
+      key_cols.push_back(std::move(col));
+    }
+    std::vector<ColumnVectorPtr> arg_cols(plan_.agg_exprs.size());
+    for (size_t a = 0; a < plan_.agg_exprs.size(); ++a) {
+      const Expr& call = *plan_.agg_exprs[a];
+      if (call.args.empty() || call.args[0]->kind == Expr::Kind::kStar) {
+        continue;  // COUNT(*): no argument
+      }
+      PIXELS_ASSIGN_OR_RETURN(arg_cols[a],
+                              EvaluateExpr(*call.args[0], *batch));
+    }
+    for (size_t r = 0; r < batch->num_rows(); ++r) {
+      std::vector<Value> keys;
+      keys.reserve(key_cols.size());
+      for (const auto& col : key_cols) keys.push_back(col->GetValue(r));
+      std::string key = ValuesKey(keys);
+      auto [it, inserted] = group_index_.emplace(key, groups_.size());
+      if (inserted) {
+        Group g;
+        g.keys = std::move(keys);
+        g.states.resize(plan_.agg_exprs.size());
+        groups_.push_back(std::move(g));
+      }
+      Group& group = groups_[it->second];
+      for (size_t a = 0; a < plan_.agg_exprs.size(); ++a) {
+        const Expr& call = *plan_.agg_exprs[a];
+        if (call.name == "count" &&
+            (call.args.empty() || call.args[0]->kind == Expr::Kind::kStar)) {
+          group.states[a].UpdateCountStar();
+        } else {
+          group.states[a].Update(arg_cols[a]->GetValue(r), call.distinct);
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status HashAggOperator::ConsumeMerge() {
+  while (true) {
+    PIXELS_ASSIGN_OR_RETURN(RowBatchPtr batch, child_->Next());
+    if (batch == nullptr) break;
+    if (batch->num_rows() == 0) continue;
+    // Locate group columns and state columns by name.
+    std::vector<int> key_idx;
+    for (const auto& gname : plan_.group_names) {
+      int idx = batch->FindColumn(gname);
+      if (idx < 0) {
+        return Status::Internal("merge: missing group column " + gname);
+      }
+      key_idx.push_back(idx);
+    }
+    struct StateCols {
+      int primary = -1;  // N (sum/count/min/max) or N$sum (avg)
+      int cnt = -1;      // N$cnt (avg only)
+    };
+    std::vector<StateCols> state_idx(plan_.agg_exprs.size());
+    for (size_t a = 0; a < plan_.agg_exprs.size(); ++a) {
+      const std::string& name = plan_.agg_names[a];
+      if (plan_.agg_exprs[a]->name == "avg") {
+        state_idx[a].primary = batch->FindColumn(name + "$sum");
+        state_idx[a].cnt = batch->FindColumn(name + "$cnt");
+        if (state_idx[a].primary < 0 || state_idx[a].cnt < 0) {
+          return Status::Internal("merge: missing avg state for " + name);
+        }
+      } else {
+        state_idx[a].primary = batch->FindColumn(name);
+        if (state_idx[a].primary < 0) {
+          return Status::Internal("merge: missing state column " + name);
+        }
+      }
+    }
+    for (size_t r = 0; r < batch->num_rows(); ++r) {
+      std::vector<Value> keys;
+      for (int idx : key_idx) {
+        keys.push_back(batch->column(static_cast<size_t>(idx))->GetValue(r));
+      }
+      std::string key = ValuesKey(keys);
+      auto [it, inserted] = group_index_.emplace(key, groups_.size());
+      if (inserted) {
+        Group g;
+        g.keys = std::move(keys);
+        g.states.resize(plan_.agg_exprs.size());
+        groups_.push_back(std::move(g));
+      }
+      Group& group = groups_[it->second];
+      for (size_t a = 0; a < plan_.agg_exprs.size(); ++a) {
+        const std::string& fn = plan_.agg_exprs[a]->name;
+        AggState& st = group.states[a];
+        Value v = batch->column(static_cast<size_t>(state_idx[a].primary))
+                      ->GetValue(r);
+        if (fn == "count") {
+          // Partial counts merge by summation into the final count.
+          if (!v.is_null()) st.count += v.AsInt();
+        } else if (fn == "sum") {
+          st.Update(v, false);  // merged via summation
+        } else if (fn == "min" || fn == "max") {
+          st.Update(v, false);
+        } else if (fn == "avg") {
+          Value cnt = batch->column(static_cast<size_t>(state_idx[a].cnt))
+                          ->GetValue(r);
+          if (!v.is_null()) {
+            st.any_double = true;
+            st.sum_d += v.AsDouble();
+          }
+          if (!cnt.is_null()) st.count += cnt.AsInt();
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status HashAggOperator::Open() {
+  PIXELS_RETURN_NOT_OK(child_->Open());
+  if (plan_.merge_partials) return ConsumeMerge();
+  return Consume();
+}
+
+Result<RowBatchPtr> HashAggOperator::Emit() {
+  // Global aggregation over an empty input still emits one row.
+  if (groups_.empty() && plan_.group_exprs.empty()) {
+    Group g;
+    g.states.resize(plan_.agg_exprs.size());
+    groups_.push_back(std::move(g));
+  }
+
+  auto out = std::make_shared<RowBatch>();
+  // Group key columns.
+  for (size_t k = 0; k < plan_.group_names.size(); ++k) {
+    std::vector<Value> vals;
+    vals.reserve(groups_.size());
+    for (const auto& g : groups_) vals.push_back(g.keys[k]);
+    PIXELS_ASSIGN_OR_RETURN(ColumnVectorPtr col, BuildVectorFromValues(vals));
+    out->AddColumn(plan_.group_names[k], std::move(col));
+  }
+
+  // Aggregate columns.
+  for (size_t a = 0; a < plan_.agg_exprs.size(); ++a) {
+    const std::string& fn = plan_.agg_exprs[a]->name;
+    const std::string& name = plan_.agg_names[a];
+    const bool distinct = plan_.agg_exprs[a]->distinct;
+
+    auto finalize = [&](const AggState& st) -> Value {
+      if (fn == "count") {
+        if (distinct) return Value::Int(static_cast<int64_t>(st.distinct_keys.size()));
+        return Value::Int(st.count);
+      }
+      if (st.count == 0) return Value::Null();
+      if (fn == "sum") {
+        return st.any_double ? Value::Double(st.sum_d) : Value::Int(st.sum_i);
+      }
+      if (fn == "avg") {
+        return Value::Double(st.sum_d / static_cast<double>(st.count));
+      }
+      if (fn == "min") return st.min;
+      if (fn == "max") return st.max;
+      return Value::Null();
+    };
+
+    if (plan_.partial && fn == "avg") {
+      // Two state columns: N$sum, N$cnt.
+      std::vector<Value> sums, cnts;
+      for (const auto& g : groups_) {
+        const AggState& st = g.states[a];
+        sums.push_back(st.count == 0 ? Value::Null() : Value::Double(st.sum_d));
+        cnts.push_back(Value::Int(st.count));
+      }
+      PIXELS_ASSIGN_OR_RETURN(ColumnVectorPtr sum_col,
+                              BuildVectorFromValues(sums));
+      PIXELS_ASSIGN_OR_RETURN(ColumnVectorPtr cnt_col,
+                              BuildVectorFromValues(cnts));
+      out->AddColumn(name + "$sum", std::move(sum_col));
+      out->AddColumn(name + "$cnt", std::move(cnt_col));
+      continue;
+    }
+
+    std::vector<Value> vals;
+    vals.reserve(groups_.size());
+    for (const auto& g : groups_) vals.push_back(finalize(g.states[a]));
+    PIXELS_ASSIGN_OR_RETURN(ColumnVectorPtr col, BuildVectorFromValues(vals));
+    out->AddColumn(name, std::move(col));
+  }
+  return out;
+}
+
+Result<RowBatchPtr> HashAggOperator::Next() {
+  if (emitted_) return RowBatchPtr(nullptr);
+  emitted_ = true;
+  return Emit();
+}
+
+}  // namespace pixels

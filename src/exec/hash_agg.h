@@ -1,0 +1,54 @@
+// Hash aggregation supporting sum/count/avg/min/max, COUNT(DISTINCT),
+// grouped and global aggregation, and the partial/merge modes used by the
+// CF sub-plan split (see plan/subplan.h for the partial-state layout).
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "exec/operator.h"
+#include "plan/logical_plan.h"
+
+namespace pixels {
+
+class HashAggOperator : public Operator {
+ public:
+  HashAggOperator(OperatorPtr child, const LogicalPlan& plan)
+      : child_(std::move(child)), plan_(plan) {}
+
+  Status Open() override;
+  Result<RowBatchPtr> Next() override;
+  void Close() override { child_->Close(); }
+
+ private:
+  struct AggState {
+    double sum_d = 0;
+    int64_t sum_i = 0;
+    bool any_double = false;
+    int64_t count = 0;
+    bool has_minmax = false;
+    Value min;
+    Value max;
+    std::set<std::string> distinct_keys;
+
+    void Update(const Value& v, bool distinct);
+    void UpdateCountStar() { ++count; }
+  };
+
+  struct Group {
+    std::vector<Value> keys;
+    std::vector<AggState> states;
+  };
+
+  Status Consume();
+  Status ConsumeMerge();
+  Result<RowBatchPtr> Emit();
+
+  OperatorPtr child_;
+  const LogicalPlan& plan_;
+  std::map<std::string, size_t> group_index_;
+  std::vector<Group> groups_;
+  bool emitted_ = false;
+};
+
+}  // namespace pixels

@@ -1,0 +1,229 @@
+#include "exec/hash_join.h"
+
+#include "exec/expression.h"
+#include "exec/operators.h"
+#include "plan/optimizer.h"
+
+namespace pixels {
+
+namespace {
+
+/// Relaxed membership: `ref` (qualified name) resolves in `cols`.
+bool RefIn(const std::string& ref, const std::vector<std::string>& cols) {
+  for (const auto& c : cols) {
+    if (c == ref) return true;
+  }
+  // Basename match (unambiguous).
+  auto base = [](const std::string& s) {
+    size_t dot = s.rfind('.');
+    return dot == std::string::npos ? s : s.substr(dot + 1);
+  };
+  int hits = 0;
+  for (const auto& c : cols) {
+    if (base(c) == base(ref)) ++hits;
+  }
+  return hits == 1;
+}
+
+bool AllRefsIn(const Expr& e, const std::vector<std::string>& cols) {
+  std::vector<std::string> refs;
+  CollectColumnRefs(e, &refs);
+  if (refs.empty()) return false;
+  for (const auto& r : refs) {
+    if (!RefIn(r, cols)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Status HashJoinOperator::ExtractKeys(const RowBatch&, const RowBatch&) {
+  keys_extracted_ = true;
+  if (plan_.join_condition == nullptr) {
+    use_hash_ = false;  // cross join
+    return Status::OK();
+  }
+  const auto left_cols = plan_.children[0]->OutputColumns();
+  const auto right_cols = plan_.children[1]->OutputColumns();
+  std::vector<ExprPtr> residual_conjuncts;
+  for (auto& conjunct : SplitConjuncts(*plan_.join_condition)) {
+    if (conjunct->kind == Expr::Kind::kBinary && conjunct->op == "=") {
+      Expr& l = *conjunct->args[0];
+      Expr& r = *conjunct->args[1];
+      if (AllRefsIn(l, left_cols) && AllRefsIn(r, right_cols)) {
+        left_keys_.push_back(l.Clone());
+        right_keys_.push_back(r.Clone());
+        continue;
+      }
+      if (AllRefsIn(r, left_cols) && AllRefsIn(l, right_cols)) {
+        left_keys_.push_back(r.Clone());
+        right_keys_.push_back(l.Clone());
+        continue;
+      }
+    }
+    residual_conjuncts.push_back(std::move(conjunct));
+  }
+  residual_ = CombineConjuncts(std::move(residual_conjuncts));
+  use_hash_ = !left_keys_.empty();
+  if (plan_.join_type == JoinClause::Type::kLeft &&
+      (!use_hash_ || residual_ != nullptr)) {
+    return Status::NotImplemented(
+        "LEFT JOIN requires a pure equi-join condition");
+  }
+  return Status::OK();
+}
+
+Status HashJoinOperator::BuildSide() {
+  while (true) {
+    PIXELS_ASSIGN_OR_RETURN(RowBatchPtr batch, right_->Next());
+    if (batch == nullptr) break;
+    if (batch->num_rows() == 0) continue;
+    if (right_names_.empty()) {
+      for (size_t c = 0; c < batch->num_columns(); ++c) {
+        right_names_.push_back(batch->name(c));
+        right_types_.push_back(batch->column(c)->type());
+      }
+    }
+    build_batches_.push_back(batch);
+  }
+  if (right_names_.empty()) {
+    // Empty build side: take declared columns for null padding.
+    right_names_ = plan_.children[1]->OutputColumns();
+    right_types_.assign(right_names_.size(), TypeId::kInt64);
+  }
+  if (use_hash_) {
+    for (size_t bi = 0; bi < build_batches_.size(); ++bi) {
+      const RowBatch& batch = *build_batches_[bi];
+      std::vector<ColumnVectorPtr> key_cols;
+      for (const auto& k : right_keys_) {
+        PIXELS_ASSIGN_OR_RETURN(ColumnVectorPtr col, EvaluateExpr(*k, batch));
+        key_cols.push_back(std::move(col));
+      }
+      for (size_t r = 0; r < batch.num_rows(); ++r) {
+        std::vector<Value> key;
+        bool has_null = false;
+        for (const auto& col : key_cols) {
+          Value v = col->GetValue(r);
+          has_null |= v.is_null();
+          key.push_back(std::move(v));
+        }
+        if (has_null) continue;  // nulls never join
+        hash_table_.emplace(ValuesKey(key),
+                            BuildRow{bi, static_cast<uint32_t>(r)});
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status HashJoinOperator::Open() {
+  PIXELS_RETURN_NOT_OK(left_->Open());
+  PIXELS_RETURN_NOT_OK(right_->Open());
+  PIXELS_RETURN_NOT_OK(ExtractKeys(RowBatch{}, RowBatch{}));
+  return BuildSide();
+}
+
+Result<RowBatchPtr> HashJoinOperator::Next() {
+  while (true) {
+    PIXELS_ASSIGN_OR_RETURN(RowBatchPtr probe, left_->Next());
+    if (probe == nullptr) return RowBatchPtr(nullptr);
+    if (probe->num_rows() == 0) continue;
+
+    // Output accumulators: gather probe rows and append build rows.
+    std::vector<uint32_t> probe_sel;
+    std::vector<ColumnVectorPtr> build_out;
+    for (TypeId t : right_types_) build_out.push_back(MakeVector(t));
+    auto emit_pair = [&](uint32_t probe_row, const BuildRow* build_row) {
+      probe_sel.push_back(probe_row);
+      for (size_t c = 0; c < build_out.size(); ++c) {
+        if (build_row == nullptr) {
+          build_out[c]->AppendNull();
+        } else {
+          build_out[c]->AppendFrom(
+              *build_batches_[build_row->batch_index]->column(c),
+              build_row->row);
+        }
+      }
+    };
+
+    if (use_hash_) {
+      std::vector<ColumnVectorPtr> key_cols;
+      for (const auto& k : left_keys_) {
+        PIXELS_ASSIGN_OR_RETURN(ColumnVectorPtr col, EvaluateExpr(*k, *probe));
+        key_cols.push_back(std::move(col));
+      }
+      for (size_t r = 0; r < probe->num_rows(); ++r) {
+        std::vector<Value> key;
+        bool has_null = false;
+        for (const auto& col : key_cols) {
+          Value v = col->GetValue(r);
+          has_null |= v.is_null();
+          key.push_back(std::move(v));
+        }
+        bool matched = false;
+        if (!has_null) {
+          auto range = hash_table_.equal_range(ValuesKey(key));
+          for (auto it = range.first; it != range.second; ++it) {
+            emit_pair(static_cast<uint32_t>(r), &it->second);
+            matched = true;
+          }
+        }
+        if (!matched && plan_.join_type == JoinClause::Type::kLeft) {
+          emit_pair(static_cast<uint32_t>(r), nullptr);
+        }
+      }
+    } else {
+      // Nested loop: every probe row against every build row.
+      for (size_t r = 0; r < probe->num_rows(); ++r) {
+        for (size_t bi = 0; bi < build_batches_.size(); ++bi) {
+          for (size_t br = 0; br < build_batches_[bi]->num_rows(); ++br) {
+            BuildRow row{bi, static_cast<uint32_t>(br)};
+            emit_pair(static_cast<uint32_t>(r), &row);
+          }
+        }
+      }
+    }
+
+    if (probe_sel.empty()) continue;
+    RowBatchPtr left_part = probe->Gather(probe_sel);
+    auto combined = std::make_shared<RowBatch>();
+    for (size_t c = 0; c < left_part->num_columns(); ++c) {
+      combined->AddColumn(left_part->name(c), left_part->column(c));
+    }
+    for (size_t c = 0; c < build_out.size(); ++c) {
+      combined->AddColumn(right_names_[c], build_out[c]);
+    }
+
+    // Residual condition (non-equi conjuncts, or the whole condition for
+    // nested-loop inner joins).
+    const Expr* filter = nullptr;
+    if (residual_ != nullptr) {
+      filter = residual_.get();
+    } else if (!use_hash_ && plan_.join_condition != nullptr) {
+      filter = plan_.join_condition.get();
+    }
+    if (filter != nullptr && combined->num_rows() > 0) {
+      PIXELS_ASSIGN_OR_RETURN(ColumnVectorPtr mask,
+                              EvaluateExpr(*filter, *combined));
+      std::vector<uint32_t> sel;
+      for (size_t i = 0; i < mask->size(); ++i) {
+        if (!mask->IsNull(i) && mask->GetValue(i).AsBool()) {
+          sel.push_back(static_cast<uint32_t>(i));
+        }
+      }
+      if (sel.empty()) continue;
+      combined = combined->Gather(sel);
+    }
+    if (combined->num_rows() == 0) continue;
+    return combined;
+  }
+}
+
+void HashJoinOperator::Close() {
+  left_->Close();
+  right_->Close();
+  build_batches_.clear();
+  hash_table_.clear();
+}
+
+}  // namespace pixels

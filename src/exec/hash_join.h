@@ -1,0 +1,47 @@
+// Hash join (equi-keys extracted from the condition) with nested-loop
+// fallback for non-equi and cross joins. Inner and left-outer supported.
+#pragma once
+
+#include <unordered_map>
+
+#include "exec/operator.h"
+#include "plan/logical_plan.h"
+
+namespace pixels {
+
+/// Joins children[0] (probe/left) with children[1] (build/right).
+class HashJoinOperator : public Operator {
+ public:
+  HashJoinOperator(OperatorPtr left, OperatorPtr right,
+                   const LogicalPlan& plan)
+      : left_(std::move(left)), right_(std::move(right)), plan_(plan) {}
+
+  Status Open() override;
+  Result<RowBatchPtr> Next() override;
+  void Close() override;
+
+ private:
+  struct BuildRow {
+    size_t batch_index;
+    uint32_t row;
+  };
+
+  Status BuildSide();
+  Status ExtractKeys(const RowBatch& left_sample, const RowBatch& right_sample);
+
+  OperatorPtr left_;
+  OperatorPtr right_;
+  const LogicalPlan& plan_;
+
+  std::vector<RowBatchPtr> build_batches_;
+  std::unordered_multimap<std::string, BuildRow> hash_table_;
+  bool keys_extracted_ = false;
+  std::vector<ExprPtr> left_keys_;
+  std::vector<ExprPtr> right_keys_;
+  ExprPtr residual_;  // non-equi parts of the condition (may be null)
+  bool use_hash_ = false;
+  std::vector<std::string> right_names_;  // output columns of build side
+  std::vector<TypeId> right_types_;
+};
+
+}  // namespace pixels

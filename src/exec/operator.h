@@ -1,0 +1,38 @@
+// Pull-based (Volcano-style, vectorized) physical operator interface.
+#pragma once
+
+#include <memory>
+
+#include "catalog/catalog.h"
+#include "format/batch.h"
+
+namespace pixels {
+
+/// Shared execution state: catalog access plus scan accounting that feeds
+/// billing ($/TB-scan) and the benches.
+struct ExecContext {
+  Catalog* catalog = nullptr;
+  /// Encoded bytes fetched from storage by scans in this query.
+  uint64_t bytes_scanned = 0;
+  /// Rows produced by scans (post zone-map pruning, pre filtering).
+  uint64_t rows_scanned = 0;
+};
+
+/// A physical operator producing a stream of row batches.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  /// Prepares the operator (recursively opens children).
+  virtual Status Open() = 0;
+
+  /// Produces the next batch, or nullptr at end of stream.
+  virtual Result<RowBatchPtr> Next() = 0;
+
+  /// Releases resources.
+  virtual void Close() {}
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+}  // namespace pixels

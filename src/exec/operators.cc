@@ -1,0 +1,142 @@
+#include "exec/operators.h"
+
+#include "common/bytes.h"
+#include "exec/expression.h"
+#include "format/stats.h"
+
+namespace pixels {
+
+std::string RowKey(const RowBatch& batch, size_t row,
+                   const std::vector<int>& columns) {
+  ByteWriter w;
+  for (int c : columns) {
+    Value v = batch.column(static_cast<size_t>(c))->GetValue(row);
+    stats_internal::SerializeValue(v, &w);
+  }
+  const auto& bytes = w.data();
+  return std::string(bytes.begin(), bytes.end());
+}
+
+std::string ValuesKey(const std::vector<Value>& values) {
+  ByteWriter w;
+  for (const auto& v : values) stats_internal::SerializeValue(v, &w);
+  const auto& bytes = w.data();
+  return std::string(bytes.begin(), bytes.end());
+}
+
+Status ScanOperator::Open() {
+  PIXELS_ASSIGN_OR_RETURN(const TableSchema* schema,
+                          ctx_->catalog->GetTable(plan_.db, plan_.table));
+  const std::vector<std::string>& files =
+      plan_.file_subset.empty() ? schema->files : plan_.file_subset;
+  ScanOptions options;
+  options.columns = plan_.columns;
+  options.predicates = plan_.pushed;
+  const std::string& qualifier =
+      plan_.table_alias.empty() ? plan_.table : plan_.table_alias;
+  for (const auto& path : files) {
+    PIXELS_ASSIGN_OR_RETURN(auto reader,
+                            PixelsReader::Open(ctx_->catalog->storage(), path));
+    PIXELS_ASSIGN_OR_RETURN(auto batches, reader->Scan(options));
+    ctx_->bytes_scanned += reader->scan_stats().bytes_scanned;
+    ctx_->rows_scanned += reader->scan_stats().rows_read;
+    for (auto& b : batches) {
+      // Qualify column names with the scan alias.
+      auto qualified = std::make_shared<RowBatch>();
+      for (size_t c = 0; c < b->num_columns(); ++c) {
+        qualified->AddColumn(qualifier + "." + b->name(c), b->column(c));
+      }
+      batches_.push_back(std::move(qualified));
+    }
+  }
+  return Status::OK();
+}
+
+Result<RowBatchPtr> ScanOperator::Next() {
+  if (next_ >= batches_.size()) return RowBatchPtr(nullptr);
+  return batches_[next_++];
+}
+
+Result<RowBatchPtr> FilterOperator::Next() {
+  while (true) {
+    PIXELS_ASSIGN_OR_RETURN(RowBatchPtr batch, child_->Next());
+    if (batch == nullptr) return RowBatchPtr(nullptr);
+    if (batch->num_rows() == 0) continue;
+    PIXELS_ASSIGN_OR_RETURN(ColumnVectorPtr mask,
+                            EvaluateExpr(predicate_, *batch));
+    std::vector<uint32_t> sel;
+    sel.reserve(batch->num_rows());
+    for (size_t i = 0; i < mask->size(); ++i) {
+      if (!mask->IsNull(i) && mask->GetValue(i).AsBool()) {
+        sel.push_back(static_cast<uint32_t>(i));
+      }
+    }
+    if (sel.empty()) continue;
+    if (sel.size() == batch->num_rows()) return batch;
+    return batch->Gather(sel);
+  }
+}
+
+Result<RowBatchPtr> ProjectOperator::Next() {
+  PIXELS_ASSIGN_OR_RETURN(RowBatchPtr batch, child_->Next());
+  if (batch == nullptr) return RowBatchPtr(nullptr);
+  auto out = std::make_shared<RowBatch>();
+  for (size_t i = 0; i < exprs_.size(); ++i) {
+    PIXELS_ASSIGN_OR_RETURN(ColumnVectorPtr col,
+                            EvaluateExpr(*exprs_[i], *batch));
+    out->AddColumn(names_[i], std::move(col));
+  }
+  return out;
+}
+
+Result<RowBatchPtr> LimitOperator::Next() {
+  if (remaining_ <= 0) return RowBatchPtr(nullptr);
+  PIXELS_ASSIGN_OR_RETURN(RowBatchPtr batch, child_->Next());
+  if (batch == nullptr) return RowBatchPtr(nullptr);
+  if (static_cast<int64_t>(batch->num_rows()) <= remaining_) {
+    remaining_ -= static_cast<int64_t>(batch->num_rows());
+    return batch;
+  }
+  std::vector<uint32_t> sel;
+  for (int64_t i = 0; i < remaining_; ++i) {
+    sel.push_back(static_cast<uint32_t>(i));
+  }
+  remaining_ = 0;
+  return batch->Gather(sel);
+}
+
+Result<RowBatchPtr> DistinctOperator::Next() {
+  while (true) {
+    PIXELS_ASSIGN_OR_RETURN(RowBatchPtr batch, child_->Next());
+    if (batch == nullptr) return RowBatchPtr(nullptr);
+    std::vector<int> all_cols;
+    for (size_t c = 0; c < batch->num_columns(); ++c) {
+      all_cols.push_back(static_cast<int>(c));
+    }
+    std::vector<uint32_t> sel;
+    for (size_t r = 0; r < batch->num_rows(); ++r) {
+      if (seen_.insert(RowKey(*batch, r, all_cols)).second) {
+        sel.push_back(static_cast<uint32_t>(r));
+      }
+    }
+    if (sel.empty()) continue;
+    if (sel.size() == batch->num_rows()) return batch;
+    return batch->Gather(sel);
+  }
+}
+
+Status ViewOperator::Open() {
+  if (plan_.view == nullptr) {
+    return Status::FailedPrecondition(
+        "materialized view placeholder not injected");
+  }
+  return Status::OK();
+}
+
+Result<RowBatchPtr> ViewOperator::Next() {
+  const auto& batches = plan_.view->batches();
+  if (next_ >= batches.size()) return RowBatchPtr(nullptr);
+  return batches[next_++];
+}
+
+}  // namespace pixels

@@ -1,0 +1,113 @@
+// Basic physical operators: scan, filter, project, limit, distinct, and
+// materialized-view iteration. Join / aggregate / sort live in their own
+// translation units.
+#pragma once
+
+#include <set>
+
+#include "exec/operator.h"
+#include "plan/logical_plan.h"
+
+namespace pixels {
+
+/// Scans a base table through the Pixels readers: projection + zone-map
+/// pruning, output columns qualified with the scan alias.
+class ScanOperator : public Operator {
+ public:
+  ScanOperator(const LogicalPlan& scan, ExecContext* ctx)
+      : plan_(scan), ctx_(ctx) {}
+
+  Status Open() override;
+  Result<RowBatchPtr> Next() override;
+
+ private:
+  const LogicalPlan& plan_;
+  ExecContext* ctx_;
+  std::vector<RowBatchPtr> batches_;
+  size_t next_ = 0;
+};
+
+/// Emits only rows whose predicate evaluates to true (SQL semantics:
+/// null is not true).
+class FilterOperator : public Operator {
+ public:
+  FilterOperator(OperatorPtr child, const Expr& predicate)
+      : child_(std::move(child)), predicate_(predicate) {}
+
+  Status Open() override { return child_->Open(); }
+  Result<RowBatchPtr> Next() override;
+  void Close() override { child_->Close(); }
+
+ private:
+  OperatorPtr child_;
+  const Expr& predicate_;
+};
+
+/// Computes one output column per expression.
+class ProjectOperator : public Operator {
+ public:
+  ProjectOperator(OperatorPtr child, const std::vector<ExprPtr>& exprs,
+                  const std::vector<std::string>& names)
+      : child_(std::move(child)), exprs_(exprs), names_(names) {}
+
+  Status Open() override { return child_->Open(); }
+  Result<RowBatchPtr> Next() override;
+  void Close() override { child_->Close(); }
+
+ private:
+  OperatorPtr child_;
+  const std::vector<ExprPtr>& exprs_;
+  const std::vector<std::string>& names_;
+};
+
+/// Truncates the stream after n rows.
+class LimitOperator : public Operator {
+ public:
+  LimitOperator(OperatorPtr child, int64_t limit)
+      : child_(std::move(child)), remaining_(limit) {}
+
+  Status Open() override { return child_->Open(); }
+  Result<RowBatchPtr> Next() override;
+  void Close() override { child_->Close(); }
+
+ private:
+  OperatorPtr child_;
+  int64_t remaining_;
+};
+
+/// Streaming duplicate elimination over all columns.
+class DistinctOperator : public Operator {
+ public:
+  explicit DistinctOperator(OperatorPtr child) : child_(std::move(child)) {}
+
+  Status Open() override { return child_->Open(); }
+  Result<RowBatchPtr> Next() override;
+  void Close() override { child_->Close(); }
+
+ private:
+  OperatorPtr child_;
+  std::set<std::string> seen_;
+};
+
+/// Iterates a materialized table (CF sub-plan result or inline view).
+class ViewOperator : public Operator {
+ public:
+  explicit ViewOperator(const LogicalPlan& view) : plan_(view) {}
+
+  Status Open() override;
+  Result<RowBatchPtr> Next() override;
+
+ private:
+  const LogicalPlan& plan_;
+  size_t next_ = 0;
+};
+
+/// Serializes row `row` of `batch` into a collision-free key (used by
+/// distinct, hash join, and hash aggregation).
+std::string RowKey(const RowBatch& batch, size_t row,
+                   const std::vector<int>& columns);
+
+/// Serializes a list of Values into a collision-free key.
+std::string ValuesKey(const std::vector<Value>& values);
+
+}  // namespace pixels

@@ -1,0 +1,121 @@
+#include "format/batch.h"
+
+namespace pixels {
+
+namespace {
+// Returns the part after the last '.'.
+std::string BaseName(const std::string& name) {
+  size_t dot = name.rfind('.');
+  return dot == std::string::npos ? name : name.substr(dot + 1);
+}
+}  // namespace
+
+void RowBatch::AddColumn(std::string name, ColumnVectorPtr col) {
+  names_.push_back(std::move(name));
+  columns_.push_back(std::move(col));
+}
+
+int RowBatch::FindColumn(const std::string& name) const {
+  // Pass 1: exact match.
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<int>(i);
+  }
+  // Pass 2: unqualified lookup against qualified columns (and vice versa),
+  // only when unambiguous.
+  int found = -1;
+  const std::string base = BaseName(name);
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (BaseName(names_[i]) == base) {
+      if (found >= 0) return -1;  // ambiguous
+      found = static_cast<int>(i);
+    }
+  }
+  return found;
+}
+
+std::shared_ptr<RowBatch> RowBatch::Gather(
+    const std::vector<uint32_t>& sel) const {
+  auto out = std::make_shared<RowBatch>();
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    out->AddColumn(names_[c], columns_[c]->Gather(sel));
+  }
+  return out;
+}
+
+std::string RowBatch::RowToString(size_t i) const {
+  std::string out;
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    if (c > 0) out += '\t';
+    Value v = columns_[c]->GetValue(i);
+    // Strings render unquoted in result listings.
+    out += v.kind == Value::Kind::kString ? v.s : v.ToString();
+  }
+  return out;
+}
+
+uint64_t RowBatch::ApproxBytes() const {
+  uint64_t total = 0;
+  for (const auto& col : columns_) {
+    size_t w = FixedWidth(col->type());
+    if (w > 0) {
+      total += col->size() * (w + 1);
+    } else {
+      for (size_t i = 0; i < col->size(); ++i) {
+        total += (col->IsNull(i) ? 0 : col->GetString(i).size()) + 5;
+      }
+    }
+  }
+  return total;
+}
+
+size_t Table::num_rows() const {
+  size_t n = 0;
+  for (const auto& b : batches_) n += b->num_rows();
+  return n;
+}
+
+std::vector<std::string> Table::ColumnNames() const {
+  std::vector<std::string> names;
+  if (!batches_.empty()) {
+    for (size_t i = 0; i < batches_[0]->num_columns(); ++i) {
+      names.push_back(batches_[0]->name(i));
+    }
+  }
+  return names;
+}
+
+std::string Table::ToString(size_t limit) const {
+  std::string out;
+  auto names = ColumnNames();
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) out += '\t';
+    out += names[i];
+  }
+  out += '\n';
+  size_t printed = 0;
+  for (const auto& b : batches_) {
+    for (size_t r = 0; r < b->num_rows() && printed < limit; ++r, ++printed) {
+      out += b->RowToString(r);
+      out += '\n';
+    }
+    if (printed >= limit) break;
+  }
+  size_t total = num_rows();
+  if (total > printed) {
+    out += "... (" + std::to_string(total - printed) + " more rows)\n";
+  }
+  return out;
+}
+
+std::vector<Value> Table::CollectColumn(const std::string& name) const {
+  std::vector<Value> out;
+  for (const auto& b : batches_) {
+    int idx = b->FindColumn(name);
+    if (idx < 0) continue;
+    const auto& col = b->column(static_cast<size_t>(idx));
+    for (size_t i = 0; i < col->size(); ++i) out.push_back(col->GetValue(i));
+  }
+  return out;
+}
+
+}  // namespace pixels

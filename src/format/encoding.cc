@@ -1,0 +1,426 @@
+#include "format/encoding.h"
+
+#include <map>
+
+namespace pixels {
+
+namespace {
+
+void WriteValidity(const ColumnVector& col, ByteWriter* out) {
+  const size_t n = col.size();
+  uint8_t byte = 0;
+  int bit = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (!col.IsNull(i)) byte |= static_cast<uint8_t>(1u << bit);
+    if (++bit == 8) {
+      out->PutU8(byte);
+      byte = 0;
+      bit = 0;
+    }
+  }
+  if (bit != 0) out->PutU8(byte);
+}
+
+Result<std::vector<uint8_t>> ReadValidity(ByteReader* in, size_t num_rows) {
+  std::vector<uint8_t> valid(num_rows, 0);
+  const size_t num_bytes = (num_rows + 7) / 8;
+  for (size_t b = 0; b < num_bytes; ++b) {
+    PIXELS_ASSIGN_OR_RETURN(uint8_t byte, in->GetU8());
+    for (int bit = 0; bit < 8; ++bit) {
+      size_t i = b * 8 + static_cast<size_t>(bit);
+      if (i >= num_rows) break;
+      valid[i] = (byte >> bit) & 1;
+    }
+  }
+  return valid;
+}
+
+// --- plain ---
+
+Status EncodePlain(const ColumnVector& col, ByteWriter* out) {
+  WriteValidity(col, out);
+  for (size_t i = 0; i < col.size(); ++i) {
+    if (col.IsNull(i)) continue;
+    switch (col.type()) {
+      case TypeId::kBool:
+        out->PutU8(col.GetBool(i) ? 1 : 0);
+        break;
+      case TypeId::kInt32:
+      case TypeId::kDate:
+        out->PutI32(static_cast<int32_t>(col.GetInt(i)));
+        break;
+      case TypeId::kInt64:
+      case TypeId::kTimestamp:
+        out->PutI64(col.GetInt(i));
+        break;
+      case TypeId::kDouble:
+        out->PutF64(col.GetDouble(i));
+        break;
+      case TypeId::kString:
+        out->PutString(col.GetString(i));
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+Result<ColumnVectorPtr> DecodePlain(TypeId type, ByteReader* in,
+                                    size_t num_rows) {
+  PIXELS_ASSIGN_OR_RETURN(std::vector<uint8_t> valid, ReadValidity(in, num_rows));
+  auto col = MakeVector(type);
+  col->Reserve(num_rows);
+  for (size_t i = 0; i < num_rows; ++i) {
+    if (!valid[i]) {
+      col->AppendNull();
+      continue;
+    }
+    switch (type) {
+      case TypeId::kBool: {
+        PIXELS_ASSIGN_OR_RETURN(uint8_t v, in->GetU8());
+        col->AppendBool(v != 0);
+        break;
+      }
+      case TypeId::kInt32:
+      case TypeId::kDate: {
+        PIXELS_ASSIGN_OR_RETURN(int32_t v, in->GetI32());
+        col->AppendInt(v);
+        break;
+      }
+      case TypeId::kInt64:
+      case TypeId::kTimestamp: {
+        PIXELS_ASSIGN_OR_RETURN(int64_t v, in->GetI64());
+        col->AppendInt(v);
+        break;
+      }
+      case TypeId::kDouble: {
+        PIXELS_ASSIGN_OR_RETURN(double v, in->GetF64());
+        col->AppendDouble(v);
+        break;
+      }
+      case TypeId::kString: {
+        PIXELS_ASSIGN_OR_RETURN(std::string v, in->GetString());
+        col->AppendString(std::move(v));
+        break;
+      }
+    }
+  }
+  return col;
+}
+
+// --- run length (integer-like) ---
+
+Status EncodeRunLength(const ColumnVector& col, ByteWriter* out) {
+  WriteValidity(col, out);
+  // Collect non-null values, then emit (value, run) pairs.
+  std::vector<int64_t> vals;
+  vals.reserve(col.size());
+  for (size_t i = 0; i < col.size(); ++i) {
+    if (!col.IsNull(i)) vals.push_back(col.GetInt(i));
+  }
+  out->PutVarint(vals.size());
+  size_t i = 0;
+  while (i < vals.size()) {
+    size_t j = i + 1;
+    while (j < vals.size() && vals[j] == vals[i]) ++j;
+    out->PutSignedVarint(vals[i]);
+    out->PutVarint(j - i);
+    i = j;
+  }
+  return Status::OK();
+}
+
+Result<ColumnVectorPtr> DecodeRunLength(TypeId type, ByteReader* in,
+                                        size_t num_rows) {
+  PIXELS_ASSIGN_OR_RETURN(std::vector<uint8_t> valid, ReadValidity(in, num_rows));
+  PIXELS_ASSIGN_OR_RETURN(uint64_t num_vals, in->GetVarint());
+  std::vector<int64_t> vals;
+  vals.reserve(num_vals);
+  while (vals.size() < num_vals) {
+    PIXELS_ASSIGN_OR_RETURN(int64_t v, in->GetSignedVarint());
+    PIXELS_ASSIGN_OR_RETURN(uint64_t run, in->GetVarint());
+    if (run == 0 || vals.size() + run > num_vals) {
+      return Status::Corruption("rle: bad run length");
+    }
+    vals.insert(vals.end(), run, v);
+  }
+  auto col = MakeVector(type);
+  col->Reserve(num_rows);
+  size_t next = 0;
+  for (size_t i = 0; i < num_rows; ++i) {
+    if (!valid[i]) {
+      col->AppendNull();
+    } else {
+      if (next >= vals.size()) return Status::Corruption("rle: value underflow");
+      if (type == TypeId::kBool) {
+        col->AppendBool(vals[next++] != 0);
+      } else {
+        col->AppendInt(vals[next++]);
+      }
+    }
+  }
+  return col;
+}
+
+// --- delta (integer-like) ---
+
+Status EncodeDelta(const ColumnVector& col, ByteWriter* out) {
+  WriteValidity(col, out);
+  int64_t prev = 0;
+  bool first = true;
+  uint64_t count = 0;
+  for (size_t i = 0; i < col.size(); ++i) {
+    if (!col.IsNull(i)) ++count;
+  }
+  out->PutVarint(count);
+  for (size_t i = 0; i < col.size(); ++i) {
+    if (col.IsNull(i)) continue;
+    int64_t v = col.GetInt(i);
+    if (first) {
+      out->PutSignedVarint(v);
+      first = false;
+    } else {
+      out->PutSignedVarint(v - prev);
+    }
+    prev = v;
+  }
+  return Status::OK();
+}
+
+Result<ColumnVectorPtr> DecodeDelta(TypeId type, ByteReader* in,
+                                    size_t num_rows) {
+  PIXELS_ASSIGN_OR_RETURN(std::vector<uint8_t> valid, ReadValidity(in, num_rows));
+  PIXELS_ASSIGN_OR_RETURN(uint64_t num_vals, in->GetVarint());
+  auto col = MakeVector(type);
+  col->Reserve(num_rows);
+  int64_t prev = 0;
+  bool first = true;
+  uint64_t consumed = 0;
+  for (size_t i = 0; i < num_rows; ++i) {
+    if (!valid[i]) {
+      col->AppendNull();
+      continue;
+    }
+    if (consumed >= num_vals) return Status::Corruption("delta: value underflow");
+    PIXELS_ASSIGN_OR_RETURN(int64_t d, in->GetSignedVarint());
+    int64_t v = first ? d : prev + d;
+    first = false;
+    prev = v;
+    ++consumed;
+    if (type == TypeId::kBool) {
+      col->AppendBool(v != 0);
+    } else {
+      col->AppendInt(v);
+    }
+  }
+  return col;
+}
+
+// --- dictionary (strings) ---
+
+Status EncodeDictionary(const ColumnVector& col, ByteWriter* out) {
+  WriteValidity(col, out);
+  std::map<std::string, uint32_t> dict;
+  std::vector<const std::string*> order;
+  std::vector<uint32_t> codes;
+  for (size_t i = 0; i < col.size(); ++i) {
+    if (col.IsNull(i)) continue;
+    const std::string& s = col.GetString(i);
+    auto [it, inserted] = dict.emplace(s, static_cast<uint32_t>(dict.size()));
+    if (inserted) order.push_back(&it->first);
+    codes.push_back(it->second);
+  }
+  out->PutVarint(order.size());
+  for (const auto* s : order) out->PutString(*s);
+  out->PutVarint(codes.size());
+  for (uint32_t c : codes) out->PutVarint(c);
+  return Status::OK();
+}
+
+Result<ColumnVectorPtr> DecodeDictionary(TypeId type, ByteReader* in,
+                                         size_t num_rows) {
+  PIXELS_ASSIGN_OR_RETURN(std::vector<uint8_t> valid, ReadValidity(in, num_rows));
+  PIXELS_ASSIGN_OR_RETURN(uint64_t dict_size, in->GetVarint());
+  std::vector<std::string> dict;
+  dict.reserve(dict_size);
+  for (uint64_t i = 0; i < dict_size; ++i) {
+    PIXELS_ASSIGN_OR_RETURN(std::string s, in->GetString());
+    dict.push_back(std::move(s));
+  }
+  PIXELS_ASSIGN_OR_RETURN(uint64_t num_codes, in->GetVarint());
+  auto col = MakeVector(type);
+  col->Reserve(num_rows);
+  uint64_t consumed = 0;
+  for (size_t i = 0; i < num_rows; ++i) {
+    if (!valid[i]) {
+      col->AppendNull();
+      continue;
+    }
+    if (consumed >= num_codes) return Status::Corruption("dict: code underflow");
+    PIXELS_ASSIGN_OR_RETURN(uint64_t code, in->GetVarint());
+    ++consumed;
+    if (code >= dict.size()) return Status::Corruption("dict: code out of range");
+    col->AppendString(dict[code]);
+  }
+  return col;
+}
+
+// --- bit-packed (bools) ---
+
+Status EncodeBitPacked(const ColumnVector& col, ByteWriter* out) {
+  WriteValidity(col, out);
+  uint8_t byte = 0;
+  int bit = 0;
+  for (size_t i = 0; i < col.size(); ++i) {
+    bool v = !col.IsNull(i) && col.GetBool(i);
+    if (v) byte |= static_cast<uint8_t>(1u << bit);
+    if (++bit == 8) {
+      out->PutU8(byte);
+      byte = 0;
+      bit = 0;
+    }
+  }
+  if (bit != 0) out->PutU8(byte);
+  return Status::OK();
+}
+
+Result<ColumnVectorPtr> DecodeBitPacked(TypeId type, ByteReader* in,
+                                        size_t num_rows) {
+  PIXELS_ASSIGN_OR_RETURN(std::vector<uint8_t> valid, ReadValidity(in, num_rows));
+  const size_t num_bytes = (num_rows + 7) / 8;
+  std::vector<uint8_t> bits(num_rows, 0);
+  for (size_t b = 0; b < num_bytes; ++b) {
+    PIXELS_ASSIGN_OR_RETURN(uint8_t byte, in->GetU8());
+    for (int bit = 0; bit < 8; ++bit) {
+      size_t i = b * 8 + static_cast<size_t>(bit);
+      if (i >= num_rows) break;
+      bits[i] = (byte >> bit) & 1;
+    }
+  }
+  auto col = MakeVector(type);
+  col->Reserve(num_rows);
+  for (size_t i = 0; i < num_rows; ++i) {
+    if (!valid[i]) {
+      col->AppendNull();
+    } else {
+      col->AppendBool(bits[i] != 0);
+    }
+  }
+  return col;
+}
+
+}  // namespace
+
+const char* EncodingName(Encoding e) {
+  switch (e) {
+    case Encoding::kPlain:
+      return "plain";
+    case Encoding::kRunLength:
+      return "rle";
+    case Encoding::kDelta:
+      return "delta";
+    case Encoding::kDictionary:
+      return "dictionary";
+    case Encoding::kBitPacked:
+      return "bitpacked";
+  }
+  return "unknown";
+}
+
+bool EncodingSupports(Encoding e, TypeId t) {
+  switch (e) {
+    case Encoding::kPlain:
+      return true;
+    case Encoding::kRunLength:
+    case Encoding::kDelta:
+      return IsIntegerLike(t);
+    case Encoding::kDictionary:
+      return t == TypeId::kString;
+    case Encoding::kBitPacked:
+      return t == TypeId::kBool;
+  }
+  return false;
+}
+
+Status EncodeColumn(const ColumnVector& col, Encoding encoding,
+                    ByteWriter* out) {
+  if (!EncodingSupports(encoding, col.type())) {
+    return Status::InvalidArgument(std::string("encoding ") +
+                                   EncodingName(encoding) +
+                                   " does not support type " +
+                                   TypeName(col.type()));
+  }
+  switch (encoding) {
+    case Encoding::kPlain:
+      return EncodePlain(col, out);
+    case Encoding::kRunLength:
+      return EncodeRunLength(col, out);
+    case Encoding::kDelta:
+      return EncodeDelta(col, out);
+    case Encoding::kDictionary:
+      return EncodeDictionary(col, out);
+    case Encoding::kBitPacked:
+      return EncodeBitPacked(col, out);
+  }
+  return Status::InvalidArgument("unknown encoding");
+}
+
+Result<ColumnVectorPtr> DecodeColumn(TypeId type, Encoding encoding,
+                                     ByteReader* in, size_t num_rows) {
+  if (!EncodingSupports(encoding, type)) {
+    return Status::Corruption(std::string("encoding ") + EncodingName(encoding) +
+                              " invalid for type " + TypeName(type));
+  }
+  switch (encoding) {
+    case Encoding::kPlain:
+      return DecodePlain(type, in, num_rows);
+    case Encoding::kRunLength:
+      return DecodeRunLength(type, in, num_rows);
+    case Encoding::kDelta:
+      return DecodeDelta(type, in, num_rows);
+    case Encoding::kDictionary:
+      return DecodeDictionary(type, in, num_rows);
+    case Encoding::kBitPacked:
+      return DecodeBitPacked(type, in, num_rows);
+  }
+  return Status::Corruption("unknown encoding tag");
+}
+
+Encoding ChooseEncoding(const ColumnVector& col) {
+  if (col.type() == TypeId::kBool) return Encoding::kBitPacked;
+  if (col.type() == TypeId::kString) {
+    // Dictionary-encode when the column repeats values.
+    std::map<std::string, int> seen;
+    size_t sampled = 0;
+    for (size_t i = 0; i < col.size() && sampled < 512; ++i) {
+      if (col.IsNull(i)) continue;
+      ++sampled;
+      seen[col.GetString(i)]++;
+    }
+    if (sampled >= 16 && seen.size() * 2 <= sampled) return Encoding::kDictionary;
+    return Encoding::kPlain;
+  }
+  if (col.type() == TypeId::kDouble) return Encoding::kPlain;
+  // Integer-like: measure run-length and sortedness on a prefix.
+  size_t runs = 0, ascending = 0, total = 0;
+  int64_t prev = 0;
+  bool have_prev = false;
+  for (size_t i = 0; i < col.size() && total < 1024; ++i) {
+    if (col.IsNull(i)) continue;
+    int64_t v = col.GetInt(i);
+    if (have_prev) {
+      ++total;
+      if (v == prev) ++runs;
+      if (v >= prev) ++ascending;
+    }
+    prev = v;
+    have_prev = true;
+  }
+  if (total >= 8) {
+    if (runs * 2 >= total) return Encoding::kRunLength;
+    if (ascending * 10 >= total * 9) return Encoding::kDelta;
+  }
+  // Small-magnitude integers still benefit from delta+varint; default plain.
+  return Encoding::kPlain;
+}
+
+}  // namespace pixels

@@ -1,0 +1,69 @@
+// On-disk layout of a Pixels (.pxl) file:
+//
+//   [magic "PXL1"]
+//   [row group 0: column chunk 0][column chunk 1]...
+//   [row group 1: ...]...
+//   [footer: schema, row-group metadata, per-chunk stats]
+//   [footer offset: u64][magic "PXL1"]
+//
+// Chunks are independently encoded (encoding.h) and located by absolute
+// (offset, length), so a reader fetches exactly the projected columns of
+// the row groups that survive zone-map pruning — the behaviour $/TB-scan
+// billing rewards.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "format/encoding.h"
+#include "format/stats.h"
+#include "format/type.h"
+
+namespace pixels {
+
+/// File magic, also used as the trailing sentinel.
+inline constexpr char kPixelsMagic[4] = {'P', 'X', 'L', '1'};
+
+/// One column of a file schema.
+struct ColumnDef {
+  std::string name;
+  TypeId type;
+
+  bool operator==(const ColumnDef& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// Ordered column definitions of one file/table.
+using FileSchema = std::vector<ColumnDef>;
+
+/// Location + encoding + stats of one column chunk.
+struct ChunkMeta {
+  uint64_t offset = 0;
+  uint64_t length = 0;
+  Encoding encoding = Encoding::kPlain;
+  ColumnStats stats;
+};
+
+/// Metadata of one row group.
+struct RowGroupMeta {
+  uint64_t num_rows = 0;
+  std::vector<ChunkMeta> chunks;  // one per schema column
+};
+
+/// Parsed file footer.
+struct FileFooter {
+  FileSchema schema;
+  std::vector<RowGroupMeta> row_groups;
+
+  uint64_t NumRows() const {
+    uint64_t n = 0;
+    for (const auto& rg : row_groups) n += rg.num_rows;
+    return n;
+  }
+
+  void Serialize(ByteWriter* out) const;
+  static Result<FileFooter> Deserialize(ByteReader* in);
+};
+
+}  // namespace pixels

@@ -1,0 +1,111 @@
+#include "format/reader.h"
+
+#include <cstring>
+
+namespace pixels {
+
+Result<std::unique_ptr<PixelsReader>> PixelsReader::Open(
+    Storage* storage, const std::string& path) {
+  PIXELS_ASSIGN_OR_RETURN(uint64_t size, storage->Size(path));
+  const uint64_t trailer_len = sizeof(uint64_t) + sizeof(kPixelsMagic);
+  if (size < sizeof(kPixelsMagic) + trailer_len) {
+    return Status::Corruption("file too small: " + path);
+  }
+  // Trailer: footer offset + magic.
+  PIXELS_ASSIGN_OR_RETURN(std::vector<uint8_t> trailer,
+                          storage->ReadRange(path, size - trailer_len, trailer_len));
+  if (std::memcmp(trailer.data() + sizeof(uint64_t), kPixelsMagic,
+                  sizeof(kPixelsMagic)) != 0) {
+    return Status::Corruption("bad trailing magic: " + path);
+  }
+  uint64_t footer_offset;
+  std::memcpy(&footer_offset, trailer.data(), sizeof(uint64_t));
+  if (footer_offset < sizeof(kPixelsMagic) || footer_offset >= size - trailer_len) {
+    return Status::Corruption("bad footer offset: " + path);
+  }
+  PIXELS_ASSIGN_OR_RETURN(
+      std::vector<uint8_t> footer_bytes,
+      storage->ReadRange(path, footer_offset, size - trailer_len - footer_offset));
+  ByteReader reader(footer_bytes);
+  PIXELS_ASSIGN_OR_RETURN(FileFooter footer, FileFooter::Deserialize(&reader));
+  return std::unique_ptr<PixelsReader>(
+      new PixelsReader(storage, path, std::move(footer), size));
+}
+
+Result<int> PixelsReader::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < footer_.schema.size(); ++i) {
+    if (footer_.schema[i].name == name) return static_cast<int>(i);
+  }
+  return Status::NotFound("no column '" + name + "' in " + path_);
+}
+
+Result<ColumnStats> PixelsReader::FileStats(const std::string& column) const {
+  PIXELS_ASSIGN_OR_RETURN(int idx, ColumnIndex(column));
+  ColumnStats merged;
+  for (const auto& rg : footer_.row_groups) {
+    merged.Merge(rg.chunks[static_cast<size_t>(idx)].stats);
+  }
+  return merged;
+}
+
+Result<RowBatchPtr> PixelsReader::ReadRowGroup(
+    size_t index, const std::vector<std::string>& columns) {
+  if (index >= footer_.row_groups.size()) {
+    return Status::InvalidArgument("row group index out of range");
+  }
+  const RowGroupMeta& rg = footer_.row_groups[index];
+  std::vector<int> col_indexes;
+  if (columns.empty()) {
+    for (size_t i = 0; i < footer_.schema.size(); ++i) {
+      col_indexes.push_back(static_cast<int>(i));
+    }
+  } else {
+    for (const auto& name : columns) {
+      PIXELS_ASSIGN_OR_RETURN(int idx, ColumnIndex(name));
+      col_indexes.push_back(idx);
+    }
+  }
+  auto batch = std::make_shared<RowBatch>();
+  for (int idx : col_indexes) {
+    const ChunkMeta& chunk = rg.chunks[static_cast<size_t>(idx)];
+    PIXELS_ASSIGN_OR_RETURN(
+        std::vector<uint8_t> bytes,
+        storage_->ReadRange(path_, chunk.offset, chunk.length));
+    scan_stats_.bytes_scanned += bytes.size();
+    ByteReader reader(bytes);
+    PIXELS_ASSIGN_OR_RETURN(
+        ColumnVectorPtr col,
+        DecodeColumn(footer_.schema[static_cast<size_t>(idx)].type,
+                     chunk.encoding, &reader, rg.num_rows));
+    batch->AddColumn(footer_.schema[static_cast<size_t>(idx)].name,
+                     std::move(col));
+  }
+  return batch;
+}
+
+bool PixelsReader::RowGroupMayMatch(
+    const RowGroupMeta& rg, const std::vector<ScanPredicate>& predicates) const {
+  for (const auto& pred : predicates) {
+    auto idx = ColumnIndex(pred.column);
+    if (!idx.ok()) continue;  // unknown column: cannot prune
+    const ColumnStats& stats = rg.chunks[static_cast<size_t>(*idx)].stats;
+    if (!stats.MayMatch(pred.op, pred.literal)) return false;
+  }
+  return true;
+}
+
+Result<std::vector<RowBatchPtr>> PixelsReader::Scan(const ScanOptions& options) {
+  scan_stats_ = ScanStats{};
+  scan_stats_.row_groups_total = footer_.row_groups.size();
+  std::vector<RowBatchPtr> out;
+  for (size_t g = 0; g < footer_.row_groups.size(); ++g) {
+    if (!RowGroupMayMatch(footer_.row_groups[g], options.predicates)) continue;
+    PIXELS_ASSIGN_OR_RETURN(RowBatchPtr batch, ReadRowGroup(g, options.columns));
+    ++scan_stats_.row_groups_read;
+    scan_stats_.rows_read += batch->num_rows();
+    out.push_back(std::move(batch));
+  }
+  return out;
+}
+
+}  // namespace pixels

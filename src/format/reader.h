@@ -1,0 +1,84 @@
+// PixelsReader: opens a .pxl object, exposes schema and stats, and scans
+// projected columns with zone-map-based row-group skipping.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "format/batch.h"
+#include "format/file_format.h"
+#include "storage/storage.h"
+
+namespace pixels {
+
+/// A simple comparison predicate pushed into the scan for row-group
+/// pruning. Conjunction semantics across a vector of these.
+struct ScanPredicate {
+  std::string column;
+  std::string op;  // "=", "<", "<=", ">", ">=", "<>"
+  Value literal;
+};
+
+/// Scan configuration: which columns to materialize (empty = all) and
+/// which predicates to use for pruning.
+struct ScanOptions {
+  std::vector<std::string> columns;
+  std::vector<ScanPredicate> predicates;
+};
+
+/// Counters describing one scan, fed into billing ($/TB-scan) and the
+/// storage benches.
+struct ScanStats {
+  uint64_t row_groups_total = 0;
+  uint64_t row_groups_read = 0;
+  uint64_t rows_read = 0;
+  uint64_t bytes_scanned = 0;  // encoded chunk bytes actually fetched
+};
+
+/// Random-access reader over one Pixels file.
+class PixelsReader {
+ public:
+  /// Opens a file: reads the trailer, validates magic, parses the footer.
+  static Result<std::unique_ptr<PixelsReader>> Open(Storage* storage,
+                                                    const std::string& path);
+
+  const FileSchema& schema() const { return footer_.schema; }
+  uint64_t NumRows() const { return footer_.NumRows(); }
+  size_t NumRowGroups() const { return footer_.row_groups.size(); }
+
+  /// File-level stats of one column (merged across row groups).
+  Result<ColumnStats> FileStats(const std::string& column) const;
+
+  /// Reads one row group with projection; `options.predicates` are NOT
+  /// applied row-wise here — only used by `Scan` for pruning.
+  Result<RowBatchPtr> ReadRowGroup(size_t index,
+                                   const std::vector<std::string>& columns);
+
+  /// Scans the whole file: prunes row groups whose zone maps cannot match
+  /// the predicates, reads remaining ones with projection. Returns the
+  /// surviving batches; exact filtering is the executor's job.
+  Result<std::vector<RowBatchPtr>> Scan(const ScanOptions& options);
+
+  /// Stats of the most recent Scan.
+  const ScanStats& scan_stats() const { return scan_stats_; }
+
+ private:
+  PixelsReader(Storage* storage, std::string path, FileFooter footer,
+               uint64_t file_size)
+      : storage_(storage),
+        path_(std::move(path)),
+        footer_(std::move(footer)),
+        file_size_(file_size) {}
+
+  Result<int> ColumnIndex(const std::string& name) const;
+  bool RowGroupMayMatch(const RowGroupMeta& rg,
+                        const std::vector<ScanPredicate>& predicates) const;
+
+  Storage* storage_;
+  std::string path_;
+  FileFooter footer_;
+  uint64_t file_size_;
+  ScanStats scan_stats_;
+};
+
+}  // namespace pixels

@@ -1,0 +1,43 @@
+// Column statistics (zone maps): min/max/null-count per column chunk,
+// used by the reader for predicate-based row-group skipping and by the
+// optimizer for cardinality estimates.
+#pragma once
+
+#include "common/bytes.h"
+#include "format/vector.h"
+
+namespace pixels {
+
+/// Min/max/null-count statistics of one column chunk.
+struct ColumnStats {
+  uint64_t num_values = 0;
+  uint64_t null_count = 0;
+  bool has_min_max = false;
+  Value min;
+  Value max;
+
+  /// Folds one value into the stats.
+  void Update(const Value& v);
+
+  /// Folds a whole vector into the stats.
+  void UpdateVector(const ColumnVector& col);
+
+  /// Merges another chunk's stats (for file-level stats).
+  void Merge(const ColumnStats& other);
+
+  /// True when a chunk with these stats could contain a value satisfying
+  /// `op` against `literal` (ops: "=", "<", "<=", ">", ">=", "<>").
+  /// Conservative: returns true when unknown.
+  bool MayMatch(const std::string& op, const Value& literal) const;
+
+  void Serialize(ByteWriter* out) const;
+  static Result<ColumnStats> Deserialize(ByteReader* in);
+};
+
+namespace stats_internal {
+/// Serializes a Value (kind tag + payload).
+void SerializeValue(const Value& v, ByteWriter* out);
+Result<Value> DeserializeValue(ByteReader* in);
+}  // namespace stats_internal
+
+}  // namespace pixels

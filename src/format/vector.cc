@@ -1,0 +1,141 @@
+#include "format/vector.h"
+
+namespace pixels {
+
+size_t ColumnVector::NullCount() const {
+  size_t n = 0;
+  for (uint8_t v : valid_) n += (v == 0);
+  return n;
+}
+
+Value ColumnVector::GetValue(size_t i) const {
+  if (IsNull(i)) return Value::Null();
+  switch (type_) {
+    case TypeId::kBool:
+      return Value::Bool(ints_[i] != 0);
+    case TypeId::kInt32:
+    case TypeId::kInt64:
+    case TypeId::kDate:
+    case TypeId::kTimestamp:
+      return Value::Int(ints_[i]);
+    case TypeId::kDouble:
+      return Value::Double(doubles_[i]);
+    case TypeId::kString:
+      return Value::String(strings_[i]);
+  }
+  return Value::Null();
+}
+
+void ColumnVector::AppendNull() {
+  valid_.push_back(0);
+  if (type_ == TypeId::kDouble) {
+    doubles_.push_back(0);
+  } else if (type_ == TypeId::kString) {
+    strings_.emplace_back();
+  } else {
+    ints_.push_back(0);
+  }
+}
+
+void ColumnVector::AppendInt(int64_t v) {
+  valid_.push_back(1);
+  if (type_ == TypeId::kDouble) {
+    doubles_.push_back(static_cast<double>(v));
+  } else {
+    ints_.push_back(v);
+  }
+}
+
+void ColumnVector::AppendDouble(double v) {
+  valid_.push_back(1);
+  if (type_ == TypeId::kDouble) {
+    doubles_.push_back(v);
+  } else {
+    ints_.push_back(static_cast<int64_t>(v));
+  }
+}
+
+void ColumnVector::AppendString(std::string v) {
+  valid_.push_back(1);
+  strings_.push_back(std::move(v));
+}
+
+void ColumnVector::AppendBool(bool v) {
+  valid_.push_back(1);
+  ints_.push_back(v ? 1 : 0);
+}
+
+Status ColumnVector::AppendValue(const Value& v) {
+  if (v.is_null()) {
+    AppendNull();
+    return Status::OK();
+  }
+  const bool want_string = type_ == TypeId::kString;
+  const bool have_string = v.kind == Value::Kind::kString;
+  if (want_string != have_string) {
+    return Status::TypeError(std::string("cannot append ") +
+                             (have_string ? "string" : "numeric") +
+                             " value to " + TypeName(type_) + " column");
+  }
+  if (want_string) {
+    AppendString(v.s);
+  } else if (type_ == TypeId::kDouble) {
+    AppendDouble(v.AsDouble());
+  } else {
+    AppendInt(v.AsInt());
+  }
+  return Status::OK();
+}
+
+void ColumnVector::AppendFrom(const ColumnVector& other, size_t i) {
+  if (other.IsNull(i)) {
+    AppendNull();
+    return;
+  }
+  if (type_ == TypeId::kDouble) {
+    valid_.push_back(1);
+    doubles_.push_back(other.type_ == TypeId::kDouble
+                           ? other.doubles_[i]
+                           : static_cast<double>(other.ints_[i]));
+  } else if (type_ == TypeId::kString) {
+    valid_.push_back(1);
+    strings_.push_back(other.strings_[i]);
+  } else {
+    valid_.push_back(1);
+    ints_.push_back(other.type_ == TypeId::kDouble
+                        ? static_cast<int64_t>(other.doubles_[i])
+                        : other.ints_[i]);
+  }
+}
+
+void ColumnVector::Reserve(size_t n) {
+  valid_.reserve(n);
+  if (type_ == TypeId::kDouble) {
+    doubles_.reserve(n);
+  } else if (type_ == TypeId::kString) {
+    strings_.reserve(n);
+  } else {
+    ints_.reserve(n);
+  }
+}
+
+void ColumnVector::Clear() {
+  valid_.clear();
+  ints_.clear();
+  doubles_.clear();
+  strings_.clear();
+}
+
+std::shared_ptr<ColumnVector> ColumnVector::Gather(
+    const std::vector<uint32_t>& sel) const {
+  auto out = std::make_shared<ColumnVector>(type_);
+  out->Reserve(sel.size());
+  for (uint32_t i : sel) out->AppendFrom(*this, i);
+  return out;
+}
+
+ColumnVectorPtr MakeVector(TypeId type) {
+  return std::make_shared<ColumnVector>(type);
+}
+
+}  // namespace pixels

@@ -1,0 +1,40 @@
+#include "nl2sql/codes_service.h"
+
+namespace pixels {
+
+void CodesService::AddSynonym(const std::string& word,
+                              const std::string& schema_token) {
+  synonyms_.emplace_back(word, schema_token);
+}
+
+Result<Translation> CodesService::Translate(const std::string& db,
+                                            const std::string& question) const {
+  PIXELS_ASSIGN_OR_RETURN(const DatabaseSchema* schema,
+                          catalog_->GetDatabase(db));
+  SemanticParser parser(*schema);
+  for (const auto& [w, t] : synonyms_) parser.AddSynonym(w, t);
+  return parser.Translate(question);
+}
+
+Json CodesService::HandleRequest(const Json& request) const {
+  Json response = Json::Object();
+  if (!request.is_object() || !request.Has("question") ||
+      !request.Get("question").is_string()) {
+    response.Set("error", "request must contain a 'question' string");
+    return response;
+  }
+  const std::string db = request.Get("database").is_string()
+                             ? request.Get("database").AsString()
+                             : "default";
+  auto translation = Translate(db, request.Get("question").AsString());
+  if (!translation.ok()) {
+    response.Set("error", translation.status().ToString());
+    return response;
+  }
+  response.Set("sql", translation->sql);
+  response.Set("table", translation->table);
+  response.Set("confidence", translation->confidence);
+  return response;
+}
+
+}  // namespace pixels

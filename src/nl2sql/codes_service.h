@@ -1,0 +1,41 @@
+// The CodeS-style text-to-SQL service (paper §2(3), §3.3): a REST-like
+// single-turn API. Pixels-Rover's backend compiles a JSON message with
+// the question and the selected database's schema elements; the service
+// prunes the schema, generates SQL, and responds in one round trip.
+#pragma once
+
+#include <memory>
+
+#include "catalog/catalog.h"
+#include "common/json.h"
+#include "nl2sql/semantic_parser.h"
+
+namespace pixels {
+
+/// In-process stand-in for the CodeS REST endpoint. The service is
+/// pluggable in PixelsDB (§2), so this class is the only seam the rest of
+/// the system sees.
+class CodesService {
+ public:
+  explicit CodesService(const Catalog* catalog) : catalog_(catalog) {}
+
+  /// Registers domain synonyms applied to every database's parser.
+  void AddSynonym(const std::string& word, const std::string& schema_token);
+
+  /// Handles one JSON request of the form
+  ///   {"question": "...", "database": "...", "schema": {...}}
+  /// (the schema element is what Pixels-Rover sends; the service itself
+  /// re-reads it from the catalog). Responds with
+  ///   {"sql": "...", "table": "...", "confidence": x} or {"error": "..."}.
+  Json HandleRequest(const Json& request) const;
+
+  /// Convenience: direct translation without the JSON envelope.
+  Result<Translation> Translate(const std::string& db,
+                                const std::string& question) const;
+
+ private:
+  const Catalog* catalog_;
+  std::vector<std::pair<std::string, std::string>> synonyms_;
+};
+
+}  // namespace pixels

@@ -1,0 +1,296 @@
+#include "nl2sql/nl_benchmark.h"
+
+#include <algorithm>
+
+#include "exec/executor.h"
+#include "sql/parser.h"
+
+namespace pixels {
+
+namespace {
+
+bool ExprPtrEquals(const ExprPtr& a, const ExprPtr& b) {
+  if ((a == nullptr) != (b == nullptr)) return false;
+  if (a == nullptr) return true;
+  return a->Equals(*b);
+}
+
+bool StmtEquals(const SelectStmt& a, const SelectStmt& b) {
+  if (a.distinct != b.distinct || a.has_from != b.has_from ||
+      a.limit != b.limit || a.items.size() != b.items.size() ||
+      a.group_by.size() != b.group_by.size() ||
+      a.order_by.size() != b.order_by.size() ||
+      a.joins.size() != b.joins.size()) {
+    return false;
+  }
+  if (a.has_from && a.from.table != b.from.table) return false;
+  for (size_t i = 0; i < a.items.size(); ++i) {
+    if (!a.items[i].expr->Equals(*b.items[i].expr)) return false;
+  }
+  if (!ExprPtrEquals(a.where, b.where)) return false;
+  for (size_t i = 0; i < a.group_by.size(); ++i) {
+    if (!a.group_by[i]->Equals(*b.group_by[i])) return false;
+  }
+  if (!ExprPtrEquals(a.having, b.having)) return false;
+  for (size_t i = 0; i < a.order_by.size(); ++i) {
+    if (a.order_by[i].ascending != b.order_by[i].ascending ||
+        !a.order_by[i].expr->Equals(*b.order_by[i].expr)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Multiset of row strings, order-insensitive result comparison (unless
+/// the statement has ORDER BY, where we keep order).
+std::vector<std::string> ResultRows(const Table& table) {
+  std::vector<std::string> rows;
+  for (const auto& b : table.batches()) {
+    for (size_t r = 0; r < b->num_rows(); ++r) {
+      rows.push_back(b->RowToString(r));
+    }
+  }
+  return rows;
+}
+
+}  // namespace
+
+bool NlBenchmark::SqlEquivalent(const std::string& a, const std::string& b) {
+  auto pa = ParseSelect(a);
+  auto pb = ParseSelect(b);
+  if (!pa.ok() || !pb.ok()) return false;
+  return StmtEquals(**pa, **pb);
+}
+
+std::string NlBenchmark::NlName(const std::string& ident) {
+  auto tokens = SchemaLinker::SplitIdentifier(ident);
+  std::string out;
+  for (const auto& t : tokens) {
+    if (t.size() <= 1) continue;
+    if (!out.empty()) out += ' ';
+    out += t;
+  }
+  return out.empty() ? ident : out;
+}
+
+NlBenchmark::NlBenchmark(const DatabaseSchema& schema, uint64_t seed)
+    : schema_(schema), rng_(seed) {
+  for (const auto& table : schema_.tables) {
+    TableProfile p;
+    p.table = &table;
+    for (const auto& col : table.columns) {
+      switch (col.type) {
+        case TypeId::kInt32:
+        case TypeId::kInt64:
+        case TypeId::kDouble:
+          p.numeric_cols.push_back(col.name);
+          break;
+        case TypeId::kString:
+          p.string_cols.push_back(col.name);
+          break;
+        case TypeId::kDate:
+          p.date_cols.push_back(col.name);
+          break;
+        default:
+          break;
+      }
+    }
+    profiles_.push_back(std::move(p));
+  }
+}
+
+std::vector<NlCase> NlBenchmark::Generate(size_t n) {
+  std::vector<NlCase> cases;
+  if (profiles_.empty()) return cases;
+
+  auto pick = [&](const std::vector<std::string>& v) -> std::string {
+    return v[static_cast<size_t>(rng_.Uniform(0, static_cast<int64_t>(v.size()) - 1))];
+  };
+
+  while (cases.size() < n) {
+    const TableProfile& p =
+        profiles_[static_cast<size_t>(rng_.Uniform(0, static_cast<int64_t>(profiles_.size()) - 1))];
+    const std::string& t = p.table->name;
+    const int kind = static_cast<int>(rng_.Uniform(0, 13));
+    NlCase c;
+    switch (kind) {
+      case 0: {  // total per group
+        if (p.numeric_cols.empty() || p.string_cols.empty()) continue;
+        std::string m = pick(p.numeric_cols), g = pick(p.string_cols);
+        c.question = "what is the total " + NlName(m) + " of " + t + " per " +
+                     NlName(g) + "?";
+        c.gold_sql = "SELECT " + g + ", sum(" + m + ") FROM " + t +
+                     " GROUP BY " + g;
+        c.category = "agg_per_group";
+        break;
+      }
+      case 1: {  // average per group
+        if (p.numeric_cols.empty() || p.string_cols.empty()) continue;
+        std::string m = pick(p.numeric_cols), g = pick(p.string_cols);
+        c.question =
+            "average " + NlName(m) + " in " + t + " for each " + NlName(g);
+        c.gold_sql = "SELECT " + g + ", avg(" + m + ") FROM " + t +
+                     " GROUP BY " + g;
+        c.category = "avg_per_group";
+        break;
+      }
+      case 2: {  // global count
+        c.question = "how many " + t + " are there?";
+        c.gold_sql = "SELECT count(*) FROM " + t;
+        c.category = "count_all";
+        break;
+      }
+      case 3: {  // count with numeric filter
+        if (p.numeric_cols.empty()) continue;
+        std::string m = pick(p.numeric_cols);
+        int64_t threshold = rng_.Uniform(1, 1000);
+        c.question = "how many " + t + " have " + NlName(m) +
+                     " greater than " + std::to_string(threshold) + "?";
+        c.gold_sql = "SELECT count(*) FROM " + t + " WHERE " + m + " > " +
+                     std::to_string(threshold);
+        c.category = "count_filtered";
+        break;
+      }
+      case 4: {  // listing sorted
+        if (p.numeric_cols.empty() || p.string_cols.empty()) continue;
+        std::string a = pick(p.string_cols), b = pick(p.numeric_cols);
+        c.question = "show the " + NlName(a) + " and " + NlName(b) + " of " +
+                     t + " ordered by " + NlName(b) + " descending";
+        c.gold_sql = "SELECT " + a + ", " + b + " FROM " + t + " ORDER BY " +
+                     b + " DESC";
+        c.category = "listing_sorted";
+        break;
+      }
+      case 5: {  // top-N groups by measure
+        if (p.numeric_cols.empty() || p.string_cols.empty()) continue;
+        std::string m = pick(p.numeric_cols), g = pick(p.string_cols);
+        int64_t k = rng_.Uniform(3, 10);
+        c.question = "total " + NlName(m) + " of " + t + " per " + NlName(g) +
+                     ", top " + std::to_string(k);
+        c.gold_sql = "SELECT " + g + ", sum(" + m + ") FROM " + t +
+                     " GROUP BY " + g + " ORDER BY sum(" + m + ") DESC LIMIT " +
+                     std::to_string(k);
+        c.category = "top_n";
+        break;
+      }
+      case 6: {  // string contains
+        if (p.string_cols.empty()) continue;
+        std::string s = pick(p.string_cols);
+        std::string needle = rng_.NextString(3);
+        c.question = "list " + t + " where " + NlName(s) + " contains '" +
+                     needle + "'";
+        c.gold_sql = "SELECT * FROM " + t + " WHERE " + s + " LIKE '%" +
+                     needle + "%'";
+        c.category = "contains";
+        break;
+      }
+      case 7: {  // min and max per group
+        if (p.numeric_cols.empty() || p.string_cols.empty()) continue;
+        std::string m = pick(p.numeric_cols), g = pick(p.string_cols);
+        c.question = "minimum and maximum " + NlName(m) + " of " + t +
+                     " per " + NlName(g);
+        c.gold_sql = "SELECT " + g + ", min(" + m + "), max(" + m + ") FROM " +
+                     t + " GROUP BY " + g;
+        c.category = "minmax_per_group";
+        break;
+      }
+      case 8: {  // date filter
+        if (p.date_cols.empty() || p.numeric_cols.empty()) continue;
+        std::string d = pick(p.date_cols), m = pick(p.numeric_cols);
+        int32_t days = static_cast<int32_t>(rng_.Uniform(9000, 20000));
+        std::string date = FormatDate(days);
+        c.question = "total " + NlName(m) + " of " + t + " after " + date;
+        c.gold_sql = "SELECT sum(" + m + ") FROM " + t + " WHERE " + d +
+                     " > DATE '" + date + "'";
+        c.category = "date_filter";
+        break;
+      }
+      case 9: {  // first N listing
+        int64_t k = rng_.Uniform(5, 20);
+        c.question = "first " + std::to_string(k) + " " + t;
+        c.gold_sql = "SELECT * FROM " + t + " LIMIT " + std::to_string(k);
+        c.category = "first_n";
+        break;
+      }
+      case 12: {  // sum with "sum of" phrasing
+        if (p.numeric_cols.empty() || p.string_cols.empty()) continue;
+        std::string m = pick(p.numeric_cols), g = pick(p.string_cols);
+        c.question =
+            "sum of " + NlName(m) + " per " + NlName(g) + " in " + t;
+        c.gold_sql = "SELECT " + g + ", sum(" + m + ") FROM " + t +
+                     " GROUP BY " + g;
+        c.category = "sum_of_per_group";
+        break;
+      }
+      case 13: {  // count per group
+        if (p.string_cols.empty()) continue;
+        std::string g = pick(p.string_cols);
+        c.question = "count of " + t + " per " + NlName(g);
+        c.gold_sql = "SELECT " + g + ", count(*) FROM " + t + " GROUP BY " + g;
+        c.category = "count_per_group";
+        break;
+      }
+      case 10: {  // HARD: "breakdown ... across" paraphrase
+        if (p.numeric_cols.empty() || p.string_cols.empty()) continue;
+        std::string m = pick(p.numeric_cols), g = pick(p.string_cols);
+        c.question = "give me a breakdown of " + NlName(m) + " across " +
+                     NlName(g) + " in " + t;
+        c.gold_sql = "SELECT " + g + ", sum(" + m + ") FROM " + t +
+                     " GROUP BY " + g;
+        c.hard = true;
+        c.category = "hard_breakdown";
+        break;
+      }
+      default: {  // HARD: "which ... the most" paraphrase
+        if (p.numeric_cols.empty() || p.string_cols.empty()) continue;
+        std::string m = pick(p.numeric_cols), g = pick(p.string_cols);
+        c.question = "which " + NlName(g) + " generated the most " +
+                     NlName(m) + " in " + t + "?";
+        c.gold_sql = "SELECT " + g + ", sum(" + m + ") FROM " + t +
+                     " GROUP BY " + g + " ORDER BY sum(" + m +
+                     ") DESC LIMIT 1";
+        c.hard = true;
+        c.category = "hard_superlative";
+        break;
+      }
+    }
+    cases.push_back(std::move(c));
+  }
+  return cases;
+}
+
+NlEvalResult NlBenchmark::Evaluate(const std::vector<NlCase>& cases,
+                                   const SemanticParser& parser,
+                                   Catalog* catalog,
+                                   const std::string& db) const {
+  NlEvalResult result;
+  result.total = cases.size();
+  for (const auto& c : cases) {
+    auto translation = parser.Translate(c.question);
+    if (!translation.ok()) continue;
+    ++result.translated;
+    const bool exact = SqlEquivalent(translation->sql, c.gold_sql);
+    if (exact) ++result.exact_match;
+    if (catalog != nullptr) {
+      ExecContext ctx_gold, ctx_got;
+      ctx_gold.catalog = catalog;
+      ctx_got.catalog = catalog;
+      auto gold = ExecuteQuery(c.gold_sql, db, &ctx_gold);
+      auto got = ExecuteQuery(translation->sql, db, &ctx_got);
+      if (gold.ok() && got.ok()) {
+        ++result.executed;
+        auto rows_gold = ResultRows(**gold);
+        auto rows_got = ResultRows(**got);
+        // Order-insensitive unless the gold query orders.
+        if (c.gold_sql.find("ORDER BY") == std::string::npos) {
+          std::sort(rows_gold.begin(), rows_gold.end());
+          std::sort(rows_got.begin(), rows_got.end());
+        }
+        if (rows_gold == rows_got) ++result.execution_match;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace pixels

@@ -1,0 +1,77 @@
+// NL-to-SQL benchmark harness (experiment E5): generates natural-language
+// question / gold-SQL pairs over any database schema, runs them through
+// the translator, and scores exact-match and execution-match accuracy.
+// A slice of deliberately out-of-grammar paraphrases keeps the measured
+// accuracy honest (CodeS reports >80% single-turn accuracy; a substitute
+// that scored 100% on its own grammar would be meaningless).
+#pragma once
+
+#include "catalog/catalog.h"
+#include "common/random.h"
+#include "nl2sql/semantic_parser.h"
+
+namespace pixels {
+
+/// One benchmark case.
+struct NlCase {
+  std::string question;
+  std::string gold_sql;
+  /// True for paraphrases outside the supported grammar (hard slice).
+  bool hard = false;
+  std::string category;  // template id, e.g. "agg_per_group"
+};
+
+/// Accuracy summary.
+struct NlEvalResult {
+  size_t total = 0;
+  size_t translated = 0;       // parser produced SQL at all
+  size_t exact_match = 0;      // AST-equivalent to gold
+  size_t execution_match = 0;  // same result set (when executed)
+  size_t executed = 0;         // cases where both sides executed
+
+  double ExactAccuracy() const {
+    return total == 0 ? 0 : static_cast<double>(exact_match) / total;
+  }
+  double ExecutionAccuracy() const {
+    return executed == 0 ? 0
+                         : static_cast<double>(execution_match) / executed;
+  }
+};
+
+/// Deterministic question generator + scorer over one database schema.
+class NlBenchmark {
+ public:
+  NlBenchmark(const DatabaseSchema& schema, uint64_t seed);
+
+  /// Generates `n` cases; roughly 15% fall in the hard slice.
+  std::vector<NlCase> Generate(size_t n);
+
+  /// Scores the parser on the cases. When `catalog` is non-null, both the
+  /// gold and the produced SQL are executed against it for the
+  /// execution-match metric.
+  NlEvalResult Evaluate(const std::vector<NlCase>& cases,
+                        const SemanticParser& parser,
+                        Catalog* catalog = nullptr,
+                        const std::string& db = "default") const;
+
+  /// AST-level equivalence of two SQL strings (both must parse).
+  static bool SqlEquivalent(const std::string& a, const std::string& b);
+
+ private:
+  struct TableProfile {
+    const TableSchema* table;
+    std::vector<std::string> numeric_cols;
+    std::vector<std::string> string_cols;
+    std::vector<std::string> date_cols;
+  };
+
+  /// Natural-language rendering of an identifier ("l_extendedprice" ->
+  /// "extendedprice").
+  static std::string NlName(const std::string& ident);
+
+  const DatabaseSchema& schema_;
+  Random rng_;
+  std::vector<TableProfile> profiles_;
+};
+
+}  // namespace pixels

@@ -1,0 +1,161 @@
+#include "nl2sql/schema_linker.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace pixels {
+
+std::vector<LinkedColumn> LinkedSchema::TopTableColumns() const {
+  std::vector<LinkedColumn> out;
+  if (tables.empty()) return out;
+  for (const auto& c : columns) {
+    if (c.table == tables[0].table) out.push_back(c);
+  }
+  return out;
+}
+
+SchemaLinker::SchemaLinker(const DatabaseSchema& schema) : schema_(schema) {}
+
+void SchemaLinker::AddSynonym(const std::string& word,
+                              const std::string& schema_token) {
+  std::string w = word, t = schema_token;
+  for (auto& c : w) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  for (auto& c : t) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  synonyms_.emplace(std::move(w), std::move(t));
+}
+
+std::vector<std::string> SchemaLinker::TokenizeText(const std::string& text) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char ch : text) {
+    if (std::isalnum(static_cast<unsigned char>(ch))) {
+      cur.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(ch))));
+    } else if (!cur.empty()) {
+      out.push_back(std::move(cur));
+      cur.clear();
+    }
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+std::vector<std::string> SchemaLinker::SplitIdentifier(const std::string& ident) {
+  std::vector<std::string> out;
+  std::string cur;
+  char prev = 0;
+  auto flush = [&] {
+    if (!cur.empty()) {
+      out.push_back(cur);
+      cur.clear();
+    }
+  };
+  for (size_t i = 0; i < ident.size(); ++i) {
+    char ch = ident[i];
+    if (ch == '_' || ch == '.' || ch == ' ') {
+      flush();
+      prev = 0;
+      continue;
+    }
+    // Split on lower->Upper boundaries only, so acronym runs ("XML") stay
+    // one token.
+    if (std::isupper(static_cast<unsigned char>(ch)) &&
+        std::islower(static_cast<unsigned char>(prev))) {
+      flush();
+    }
+    cur.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(ch))));
+    prev = ch;
+  }
+  flush();
+  return out;
+}
+
+std::string SchemaLinker::Stem(const std::string& word) {
+  // Strip a plural 's' but keep -ss ("class") and -us ("status") endings.
+  if (word.size() > 3 && word.back() == 's' && word[word.size() - 2] != 's' &&
+      word[word.size() - 2] != 'u') {
+    return word.substr(0, word.size() - 1);
+  }
+  return word;
+}
+
+double SchemaLinker::ScoreTokens(
+    const std::vector<std::string>& question_tokens,
+    const std::vector<std::string>& ident_tokens) const {
+  if (ident_tokens.empty()) return 0;
+  double matched = 0;
+  for (const auto& it : ident_tokens) {
+    if (it.size() <= 1) continue;  // skip prefixes like "l", "o"
+    const std::string stem_it = Stem(it);
+    // Exact (or synonym) token matches outrank substring containment, so
+    // "totalprice" beats "orderkey" for the word "totalprice" even when
+    // another question word ("orders") is a substring of "orderkey".
+    double hit = 0;
+    for (const auto& qt : question_tokens) {
+      const std::string stem_q = Stem(qt);
+      if (stem_q == stem_it) {
+        hit = 1.0;
+        break;
+      }
+      // Synonym expansion: question word mapped to schema token.
+      auto range = synonyms_.equal_range(qt);
+      bool syn = false;
+      for (auto s = range.first; s != range.second && !syn; ++s) {
+        if (Stem(s->second) == stem_it) syn = true;
+      }
+      if (syn) {
+        hit = 1.0;
+        break;
+      }
+      // Substring containment for longer tokens (e.g. "price" in
+      // "extendedprice") counts, but less than an exact match.
+      if (stem_it.size() >= 5 && stem_q.size() >= 4 &&
+          stem_it.find(stem_q) != std::string::npos) {
+        hit = std::max(hit, 0.6);
+      }
+    }
+    matched += hit;
+  }
+  // Normalize by identifier length so exact matches rank first.
+  double meaningful = 0;
+  for (const auto& it : ident_tokens) {
+    if (it.size() > 1) meaningful += 1;
+  }
+  if (meaningful == 0) return 0;
+  return matched / meaningful;
+}
+
+LinkedSchema SchemaLinker::Link(const std::string& question, size_t max_tables,
+                                size_t max_columns) const {
+  const auto qtokens = TokenizeText(question);
+  LinkedSchema out;
+
+  for (const auto& table : schema_.tables) {
+    double tscore = ScoreTokens(qtokens, SplitIdentifier(table.name));
+    double best_col = 0;
+    for (const auto& col : table.columns) {
+      double cscore = ScoreTokens(qtokens, SplitIdentifier(col.name));
+      if (cscore > 0) {
+        out.columns.push_back(LinkedColumn{table.name, col.name, cscore});
+        best_col = std::max(best_col, cscore);
+      }
+    }
+    // A table is relevant if named directly or if it owns matching columns.
+    double combined = tscore + 0.5 * best_col;
+    if (combined > 0) {
+      out.tables.push_back(LinkedTable{table.name, combined});
+    }
+  }
+  std::stable_sort(out.tables.begin(), out.tables.end(),
+                   [](const LinkedTable& a, const LinkedTable& b) {
+                     return a.score > b.score;
+                   });
+  std::stable_sort(out.columns.begin(), out.columns.end(),
+                   [](const LinkedColumn& a, const LinkedColumn& b) {
+                     return a.score > b.score;
+                   });
+  if (out.tables.size() > max_tables) out.tables.resize(max_tables);
+  if (out.columns.size() > max_columns) out.columns.resize(max_columns);
+  return out;
+}
+
+}  // namespace pixels

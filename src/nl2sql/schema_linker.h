@@ -1,0 +1,70 @@
+// Schema linking ("schema pruning", paper §3.3): identifies the schema
+// elements most related to a natural-language question so that arbitrarily
+// wide tables can be handled without context truncation. This is the
+// first stage of the CodeS-substitute translator.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+
+namespace pixels {
+
+/// A column matched to the question with a relevance score.
+struct LinkedColumn {
+  std::string table;
+  std::string column;
+  double score = 0;
+};
+
+/// A table matched to the question.
+struct LinkedTable {
+  std::string table;
+  double score = 0;
+};
+
+/// The pruned schema handed to the generation stage.
+struct LinkedSchema {
+  std::vector<LinkedTable> tables;    // descending score
+  std::vector<LinkedColumn> columns;  // descending score
+  /// Columns of the top table only, convenience view.
+  std::vector<LinkedColumn> TopTableColumns() const;
+};
+
+/// Scores question tokens against table/column identifiers, with synonym
+/// expansion and sub-token matching for snake_case identifiers.
+class SchemaLinker {
+ public:
+  explicit SchemaLinker(const DatabaseSchema& schema);
+
+  /// Registers a natural-language synonym for a schema token, e.g.
+  /// AddSynonym("revenue", "extendedprice").
+  void AddSynonym(const std::string& word, const std::string& schema_token);
+
+  /// Links the question to the schema, returning the top `max_tables`
+  /// tables and `max_columns` columns overall.
+  LinkedSchema Link(const std::string& question, size_t max_tables = 4,
+                    size_t max_columns = 16) const;
+
+  /// Lower-cased word tokens of free text (letters/digits runs).
+  static std::vector<std::string> TokenizeText(const std::string& text);
+
+  /// Splits an identifier into lower-cased sub-tokens on '_' and case
+  /// boundaries, e.g. "l_extendedprice" -> {"l","extendedprice"},
+  /// "orderDate" -> {"order","date"}.
+  static std::vector<std::string> SplitIdentifier(const std::string& ident);
+
+  /// Strips a trailing plural 's' (best-effort stemming).
+  static std::string Stem(const std::string& word);
+
+ private:
+  double ScoreTokens(const std::vector<std::string>& question_tokens,
+                     const std::vector<std::string>& ident_tokens) const;
+
+  const DatabaseSchema& schema_;
+  std::multimap<std::string, std::string> synonyms_;
+};
+
+}  // namespace pixels

@@ -1,0 +1,493 @@
+#include "nl2sql/semantic_parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <set>
+
+#include "format/type.h"
+
+namespace pixels {
+
+namespace {
+
+/// A question token: word, number, quoted string, or ISO date.
+struct QToken {
+  enum class Kind { kWord, kNumber, kString, kDate };
+  Kind kind;
+  std::string text;   // lower-cased word / raw string
+  double number = 0;
+  int32_t date = 0;   // days since epoch
+};
+
+std::vector<QToken> LexQuestion(const std::string& question) {
+  std::vector<QToken> out;
+  size_t i = 0;
+  const size_t n = question.size();
+  while (i < n) {
+    char c = question[i];
+    if (c == '\'' || c == '"') {
+      char quote = c;
+      size_t start = ++i;
+      while (i < n && question[i] != quote) ++i;
+      out.push_back({QToken::Kind::kString, question.substr(start, i - start),
+                     0, 0});
+      if (i < n) ++i;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      // Date: YYYY-MM-DD.
+      if (i + 10 <= n && question[i + 4] == '-' && question[i + 7] == '-') {
+        std::string maybe = question.substr(i, 10);
+        auto days = ParseDate(maybe);
+        if (days.ok()) {
+          out.push_back({QToken::Kind::kDate, maybe, 0, *days});
+          i += 10;
+          continue;
+        }
+      }
+      size_t start = i;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(question[i])) ||
+                       question[i] == '.')) {
+        ++i;
+      }
+      std::string num = question.substr(start, i - start);
+      out.push_back({QToken::Kind::kNumber, num,
+                     std::strtod(num.c_str(), nullptr), 0});
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(question[i])) ||
+                       question[i] == '_')) {
+        ++i;
+      }
+      std::string word = question.substr(start, i - start);
+      for (auto& ch : word) {
+        ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+      }
+      out.push_back({QToken::Kind::kWord, std::move(word), 0, 0});
+      continue;
+    }
+    ++i;
+  }
+  return out;
+}
+
+const std::set<std::string>& StopWords() {
+  static const std::set<std::string> kStop = {
+      "the", "a",  "an", "of", "for", "in", "on", "at", "to",  "from",
+      "me",  "us", "is", "are", "was", "were", "please", "all", "their",
+      "its", "that", "with", "and"};
+  return kStop;
+}
+
+struct AggIntent {
+  std::string function;  // sum/avg/count/min/max
+  size_t keyword_pos;
+};
+
+const std::map<std::string, std::string>& AggKeywords() {
+  static const std::map<std::string, std::string> kAgg = {
+      {"total", "sum"},     {"sum", "sum"},       {"average", "avg"},
+      {"mean", "avg"},      {"avg", "avg"},       {"count", "count"},
+      {"number", "count"},  {"maximum", "max"},   {"max", "max"},
+      {"largest", "max"},   {"highest", "max"},   {"biggest", "max"},
+      {"minimum", "min"},   {"min", "min"},       {"smallest", "min"},
+      {"lowest", "min"},    {"earliest", "min"},  {"latest", "max"},
+  };
+  return kAgg;
+}
+
+}  // namespace
+
+SemanticParser::SemanticParser(const DatabaseSchema& schema)
+    : schema_(schema), linker_(schema) {}
+
+void SemanticParser::AddSynonym(const std::string& word,
+                                const std::string& schema_token) {
+  linker_.AddSynonym(word, schema_token);
+}
+
+Result<Translation> SemanticParser::Translate(const std::string& question) const {
+  const std::vector<QToken> tokens = LexQuestion(question);
+  if (tokens.empty()) return Status::InvalidArgument("empty question");
+
+  // Schema linking over the whole question picks the table.
+  LinkedSchema linked = linker_.Link(question, 2, 24);
+  if (linked.tables.empty()) {
+    return Status::InvalidArgument("question mentions no known table or column");
+  }
+  const std::string table_name = linked.tables[0].table;
+  const TableSchema* table = schema_.FindTable(table_name);
+  if (table == nullptr) return Status::Internal("linker returned unknown table");
+
+  // Table-name stems are never column evidence ("count of nation" must
+  // not resolve to n_nationkey via substring match).
+  std::set<std::string> table_stems;
+  for (const auto& t : SchemaLinker::SplitIdentifier(table_name)) {
+    table_stems.insert(SchemaLinker::Stem(t));
+  }
+
+  // Resolves a phrase (window of words) to a column of the chosen table.
+  auto find_column = [&](size_t begin, size_t end) -> std::string {
+    std::string phrase;
+    for (size_t i = begin; i < end && i < tokens.size(); ++i) {
+      if (tokens[i].kind != QToken::Kind::kWord) break;
+      if (StopWords().count(tokens[i].text) > 0) continue;
+      if (table_stems.count(SchemaLinker::Stem(tokens[i].text)) > 0) continue;
+      if (!phrase.empty()) phrase += ' ';
+      phrase += tokens[i].text;
+    }
+    if (phrase.empty()) return "";
+    LinkedSchema ls = linker_.Link(phrase, 4, 8);
+    for (const auto& col : ls.columns) {
+      if (col.table == table_name) return col.column;
+    }
+    return "";
+  };
+
+  auto word_at = [&](size_t i) -> const std::string& {
+    static const std::string kEmpty;
+    if (i >= tokens.size() || tokens[i].kind != QToken::Kind::kWord) {
+      return kEmpty;
+    }
+    return tokens[i].text;
+  };
+
+  auto stmt = std::make_unique<SelectStmt>();
+  stmt->has_from = true;
+  stmt->from.table = table_name;
+
+  // ---- aggregates ----
+  std::vector<std::pair<std::string, std::string>> aggs;  // (fn, column)
+  bool count_star = false;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& w = word_at(i);
+    if (w == "how" && word_at(i + 1) == "many") {
+      count_star = true;
+      continue;
+    }
+    auto it = AggKeywords().find(w);
+    if (it == AggKeywords().end()) continue;
+    // Measure phrase follows the keyword (up to 3 meaningful words).
+    std::string col = find_column(i + 1, i + 4);
+    if (col.empty() && it->second == "count") {
+      count_star = true;
+      continue;
+    }
+    if (!col.empty()) {
+      aggs.emplace_back(it->second, col);
+    }
+  }
+
+  // ---- group by: "per X", "by each X", "for each X", "grouped by X" ----
+  std::vector<std::string> group_cols;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& w = word_at(i);
+    bool trigger = false;
+    size_t phrase_start = 0;
+    if (w == "per") {
+      trigger = true;
+      phrase_start = i + 1;
+    } else if (w == "each" && (word_at(i - 1) == "for" || word_at(i - 1) == "by")) {
+      trigger = true;
+      phrase_start = i + 1;
+    } else if (w == "grouped" && word_at(i + 1) == "by") {
+      trigger = true;
+      phrase_start = i + 2;
+    }
+    if (!trigger) continue;
+    std::string col = find_column(phrase_start, phrase_start + 3);
+    if (!col.empty() &&
+        std::find(group_cols.begin(), group_cols.end(), col) ==
+            group_cols.end()) {
+      group_cols.push_back(col);
+    }
+  }
+
+  // ---- filters ----
+  std::vector<ExprPtr> conjuncts;
+  std::set<std::string> filter_cols;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& w = word_at(i);
+    // Comparison phrasings anchored on a column to the left.
+    struct CmpPattern {
+      const char* phrase1;
+      const char* phrase2;  // optional second word
+      const char* op;
+    };
+    static const CmpPattern kPatterns[] = {
+        {"greater", "than", ">"},  {"more", "than", ">"},
+        {"above", nullptr, ">"},   {"over", nullptr, ">"},
+        {"exceeding", nullptr, ">"},
+        {"less", "than", "<"},     {"fewer", "than", "<"},
+        {"below", nullptr, "<"},   {"under", nullptr, "<"},
+        {"at", "least", ">="},     {"at", "most", "<="},
+        {"equals", nullptr, "="},  {"equal", "to", "="},
+        {"is", nullptr, "="},      {"after", nullptr, ">"},
+        {"before", nullptr, "<"},  {"since", nullptr, ">="},
+    };
+    for (const auto& p : kPatterns) {
+      if (w != p.phrase1) continue;
+      size_t value_pos = i + 1;
+      if (p.phrase2 != nullptr) {
+        if (word_at(i + 1) != p.phrase2) continue;
+        value_pos = i + 2;
+      }
+      if (value_pos >= tokens.size()) continue;
+      const QToken& vt = tokens[value_pos];
+      Value literal;
+      if (vt.kind == QToken::Kind::kNumber) {
+        literal = vt.number == std::floor(vt.number)
+                      ? Value::Int(static_cast<int64_t>(vt.number))
+                      : Value::Double(vt.number);
+      } else if (vt.kind == QToken::Kind::kDate) {
+        literal = Value::Int(vt.date);
+      } else if (vt.kind == QToken::Kind::kString) {
+        literal = Value::String(vt.text);
+      } else {
+        continue;  // "is shipped" etc. — not a comparison value
+      }
+      // Column phrase: up to 3 words to the left of the pattern.
+      std::string col = find_column(i >= 3 ? i - 3 : 0, i);
+      if (vt.kind == QToken::Kind::kDate) {
+        // Date comparisons must land on a date column; when the phrase
+        // resolved to a non-date column (e.g. the aggregate's measure in
+        // "total amount of sales after 2024-01-01"), prefer the table's
+        // first date column.
+        bool col_is_date = false;
+        if (!col.empty()) {
+          auto type = table->ColumnType(col);
+          col_is_date = type.ok() && *type == TypeId::kDate;
+        }
+        if (!col_is_date) {
+          col.clear();
+          for (const auto& c : table->columns) {
+            if (c.type == TypeId::kDate) {
+              col = c.name;
+              break;
+            }
+          }
+        }
+      }
+      if (col.empty()) continue;
+      filter_cols.insert(col);
+      conjuncts.push_back(MakeBinary(p.op, MakeColumnRef("", col),
+                                     MakeLiteral(std::move(literal))));
+      break;
+    }
+    // "between A and B".
+    if (w == "between" && i + 3 < tokens.size() &&
+        word_at(i + 2) == "and") {
+      const QToken& a = tokens[i + 1];
+      const QToken& b = tokens[i + 3];
+      auto to_value = [](const QToken& t) -> Value {
+        if (t.kind == QToken::Kind::kNumber) {
+          return t.number == std::floor(t.number)
+                     ? Value::Int(static_cast<int64_t>(t.number))
+                     : Value::Double(t.number);
+        }
+        if (t.kind == QToken::Kind::kDate) return Value::Int(t.date);
+        return Value::String(t.text);
+      };
+      if (a.kind != QToken::Kind::kWord && b.kind != QToken::Kind::kWord) {
+        std::string col = find_column(i >= 3 ? i - 3 : 0, i);
+        if (col.empty() && a.kind == QToken::Kind::kDate) {
+          for (const auto& c : table->columns) {
+            if (c.type == TypeId::kDate) {
+              col = c.name;
+              break;
+            }
+          }
+        }
+        if (!col.empty()) {
+          auto e = std::make_unique<Expr>();
+          e->kind = Expr::Kind::kBetween;
+          e->args.push_back(MakeColumnRef("", col));
+          e->args.push_back(MakeLiteral(to_value(a)));
+          e->args.push_back(MakeLiteral(to_value(b)));
+          filter_cols.insert(col);
+          conjuncts.push_back(std::move(e));
+        }
+      }
+    }
+    // "contains 'x'" / "containing 'x'" → LIKE '%x%'.
+    if ((w == "contains" || w == "containing") && i + 1 < tokens.size() &&
+        tokens[i + 1].kind == QToken::Kind::kString) {
+      std::string col = find_column(i >= 3 ? i - 3 : 0, i);
+      if (col.empty()) {
+        for (const auto& c : table->columns) {
+          if (c.type == TypeId::kString) {
+            col = c.name;
+            break;
+          }
+        }
+      }
+      if (!col.empty()) {
+        filter_cols.insert(col);
+        conjuncts.push_back(MakeBinary(
+            "LIKE", MakeColumnRef("", col),
+            MakeLiteral(Value::String("%" + tokens[i + 1].text + "%"))));
+      }
+    }
+    // Bare quoted value: "<column> 'value'" equality when preceded by a
+    // column phrase and not already consumed by a pattern above.
+    if (tokens[i].kind == QToken::Kind::kString && i > 0 &&
+        tokens[i - 1].kind == QToken::Kind::kWord) {
+      const std::string& prev = word_at(i - 1);
+      if (prev != "contains" && prev != "containing" && prev != "is" &&
+          prev != "equals" && prev != "to") {
+        std::string col = find_column(i >= 3 ? i - 3 : 0, i);
+        if (!col.empty()) {
+          filter_cols.insert(col);
+          conjuncts.push_back(MakeBinary("=", MakeColumnRef("", col),
+                                         MakeLiteral(Value::String(
+                                             tokens[i].text))));
+        }
+      }
+    }
+  }
+
+  // ---- top N / order / limit ----
+  int64_t limit = -1;
+  bool order_desc = false;
+  std::string order_col;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& w = word_at(i);
+    if ((w == "top" || w == "first") && i + 1 < tokens.size() &&
+        tokens[i + 1].kind == QToken::Kind::kNumber) {
+      limit = static_cast<int64_t>(tokens[i + 1].number);
+      if (w == "top") order_desc = true;
+    }
+    if ((w == "sorted" || w == "ordered" || w == "order") &&
+        word_at(i + 1) == "by") {
+      order_col = find_column(i + 2, i + 5);
+      // Scan ahead for direction.
+      for (size_t j = i + 2; j < std::min(tokens.size(), i + 7); ++j) {
+        const std::string& d = word_at(j);
+        if (d == "descending" || d == "desc" || d == "decreasing") {
+          order_desc = true;
+        }
+      }
+    }
+  }
+
+  // ---- assemble the statement ----
+  const bool grouped = !group_cols.empty();
+  const bool aggregated = grouped || count_star || !aggs.empty();
+
+  if (aggregated) {
+    for (const auto& g : group_cols) {
+      stmt->items.push_back(SelectItem{MakeColumnRef("", g), ""});
+      stmt->group_by.push_back(MakeColumnRef("", g));
+    }
+    if (aggs.empty() && count_star) {
+      std::vector<ExprPtr> star;
+      star.push_back(MakeStar());
+      stmt->items.push_back(SelectItem{MakeFunction("count", std::move(star)), ""});
+    }
+    for (const auto& [fn, col] : aggs) {
+      std::vector<ExprPtr> arg;
+      arg.push_back(MakeColumnRef("", col));
+      stmt->items.push_back(SelectItem{MakeFunction(fn, std::move(arg)), ""});
+    }
+    if (count_star && !aggs.empty()) {
+      std::vector<ExprPtr> star;
+      star.push_back(MakeStar());
+      stmt->items.push_back(SelectItem{MakeFunction("count", std::move(star)), ""});
+    }
+    // Top-N over groups orders by the first aggregate.
+    if (limit >= 0 && grouped && !stmt->items.empty()) {
+      const SelectItem& last = stmt->items.back();
+      stmt->order_by.push_back(OrderItem{last.expr->Clone(), !order_desc});
+      stmt->limit = limit;
+    }
+  } else {
+    // Listing query: pick explicitly mentioned columns, else *. Link
+    // against the question with the table-name words removed, so "first
+    // 10 customers" does not select a column that merely echoes the table
+    // name (customer_name).
+    std::string without_table;
+    {
+      std::set<std::string> table_tokens;
+      for (const auto& t : SchemaLinker::SplitIdentifier(table_name)) {
+        table_tokens.insert(SchemaLinker::Stem(t));
+      }
+      for (const auto& tok : tokens) {
+        if (tok.kind == QToken::Kind::kWord &&
+            table_tokens.count(SchemaLinker::Stem(tok.text)) > 0) {
+          continue;
+        }
+        if (!without_table.empty()) without_table += ' ';
+        without_table += tok.text;
+      }
+    }
+    LinkedSchema listing_link = linker_.Link(without_table, 4, 24);
+    std::vector<std::string> cols;
+    for (const auto& c : listing_link.columns) {
+      // Columns only mentioned as filter anchors ("... where name contains
+      // 'x'") are not selected: CodeS-style output uses SELECT * there.
+      if (c.table == table_name && filter_cols.count(c.column) == 0 &&
+          std::find(cols.begin(), cols.end(), c.column) == cols.end()) {
+        cols.push_back(c.column);
+      }
+    }
+    // Order the selected columns by their first mention in the question.
+    auto first_mention = [&](const std::string& column) -> size_t {
+      auto ident_tokens = SchemaLinker::SplitIdentifier(column);
+      for (size_t i = 0; i < tokens.size(); ++i) {
+        if (tokens[i].kind != QToken::Kind::kWord) continue;
+        const std::string stem_q = SchemaLinker::Stem(tokens[i].text);
+        for (const auto& it : ident_tokens) {
+          if (it.size() <= 1) continue;
+          const std::string stem_it = SchemaLinker::Stem(it);
+          if (stem_it == stem_q ||
+              (stem_it.size() >= 5 && stem_q.size() >= 4 &&
+               stem_it.find(stem_q) != std::string::npos)) {
+            return i;
+          }
+        }
+      }
+      return tokens.size();
+    };
+    std::stable_sort(cols.begin(), cols.end(),
+                     [&](const std::string& a, const std::string& b) {
+                       return first_mention(a) < first_mention(b);
+                     });
+    if (cols.empty()) {
+      stmt->items.push_back(SelectItem{MakeStar(), ""});
+    } else {
+      for (const auto& c : cols) {
+        stmt->items.push_back(SelectItem{MakeColumnRef("", c), ""});
+      }
+    }
+    if (limit >= 0) stmt->limit = limit;
+  }
+
+  if (!order_col.empty()) {
+    stmt->order_by.clear();
+    stmt->order_by.push_back(
+        OrderItem{MakeColumnRef("", order_col), !order_desc});
+    if (limit >= 0) stmt->limit = limit;
+  }
+
+  if (!conjuncts.empty()) {
+    ExprPtr where = std::move(conjuncts[0]);
+    for (size_t i = 1; i < conjuncts.size(); ++i) {
+      where = MakeBinary("AND", std::move(where), std::move(conjuncts[i]));
+    }
+    stmt->where = std::move(where);
+  }
+
+  Translation out;
+  out.table = table_name;
+  out.sql = stmt->ToString();
+  out.stmt = std::move(stmt);
+  out.confidence = linked.tables[0].score;
+  return out;
+}
+
+}  // namespace pixels

@@ -1,0 +1,50 @@
+// Template/grammar-based semantic parser: the generation stage of the
+// CodeS substitute. Translates analytic questions over one table into
+// executable SQL in a single turn, using the pruned schema from the
+// linker. (The original CodeS is a fine-tuned LLM; this deterministic
+// parser preserves the interface and the single-turn behaviour so the
+// full PixelsDB pipeline can run offline.)
+#pragma once
+
+#include "common/result.h"
+#include "nl2sql/schema_linker.h"
+#include "sql/ast.h"
+
+namespace pixels {
+
+/// Translation output: the SQL plus the parser's interpretation notes
+/// (useful for debugging translations in Pixels-Rover).
+struct Translation {
+  std::string sql;
+  SelectStmtPtr stmt;
+  std::string table;
+  double confidence = 0;  // crude: fraction of question tokens consumed
+};
+
+/// Deterministic NL→SQL for a fixed question grammar:
+///  - listing:     "show/list <columns> of <table> [filters] [top N]"
+///  - counting:    "how many <table> [filters]"
+///  - aggregates:  "what is the total/average/min/max <column> [of <table>]
+///                  [per <column>] [filters]"
+///  - top-N:       "top N <group> by <measure>" / "which <group> has the
+///                  highest <measure>"
+///  - filters:     "<column> (is/equals/above/below/at least/at most/
+///                  between/contains/starting after/before) <value>"
+///  - ordering:    "sorted/ordered by <column> [descending]"
+class SemanticParser {
+ public:
+  explicit SemanticParser(const DatabaseSchema& schema);
+
+  /// Registers a synonym forwarded to the schema linker.
+  void AddSynonym(const std::string& word, const std::string& schema_token);
+
+  /// Translates one question; fails with InvalidArgument when the
+  /// question does not fit the grammar (a real model would guess).
+  Result<Translation> Translate(const std::string& question) const;
+
+ private:
+  const DatabaseSchema& schema_;
+  SchemaLinker linker_;
+};
+
+}  // namespace pixels

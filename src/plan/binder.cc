@@ -1,0 +1,421 @@
+#include "plan/binder.h"
+
+#include <map>
+#include <set>
+
+#include "sql/parser.h"
+
+namespace pixels {
+
+namespace {
+
+/// Name-resolution scope: the tables visible to column references.
+class Scope {
+ public:
+  Status AddTable(const std::string& qualifier, const TableSchema* schema) {
+    if (by_qualifier_.count(qualifier) > 0) {
+      return Status::InvalidArgument("duplicate table alias: " + qualifier);
+    }
+    by_qualifier_[qualifier] = schema;
+    order_.push_back(qualifier);
+    return Status::OK();
+  }
+
+  /// Resolves a column reference; fills the qualifier for bare names.
+  Status ResolveColumn(Expr* ref) const {
+    if (!ref->qualifier.empty()) {
+      auto it = by_qualifier_.find(ref->qualifier);
+      if (it == by_qualifier_.end()) {
+        return Status::InvalidArgument("unknown table alias '" +
+                                       ref->qualifier + "'");
+      }
+      if (it->second->FindColumn(ref->name) < 0) {
+        return Status::InvalidArgument("no column '" + ref->name +
+                                       "' in table " + ref->qualifier);
+      }
+      return Status::OK();
+    }
+    std::string found;
+    for (const auto& q : order_) {
+      if (by_qualifier_.at(q)->FindColumn(ref->name) >= 0) {
+        if (!found.empty()) {
+          return Status::InvalidArgument("ambiguous column '" + ref->name +
+                                         "' (in " + found + " and " + q + ")");
+        }
+        found = q;
+      }
+    }
+    if (found.empty()) {
+      return Status::InvalidArgument("unknown column '" + ref->name + "'");
+    }
+    ref->qualifier = found;
+    return Status::OK();
+  }
+
+  /// All columns in FROM order, qualified.
+  std::vector<std::pair<std::string, std::string>> AllColumns() const {
+    std::vector<std::pair<std::string, std::string>> out;
+    for (const auto& q : order_) {
+      for (const auto& col : by_qualifier_.at(q)->columns) {
+        out.emplace_back(q, col.name);
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::map<std::string, const TableSchema*> by_qualifier_;
+  std::vector<std::string> order_;
+};
+
+/// Recursively resolves all column refs in an expression.
+Status ResolveExpr(Expr* e, const Scope& scope) {
+  if (e->kind == Expr::Kind::kColumnRef) return scope.ResolveColumn(e);
+  if (e->kind == Expr::Kind::kStar) {
+    // Only COUNT(*) reaches here (SELECT * is expanded earlier).
+    return Status::OK();
+  }
+  for (auto& a : e->args) PIXELS_RETURN_NOT_OK(ResolveExpr(a.get(), scope));
+  return Status::OK();
+}
+
+/// Collects aggregate calls in an expression into `out` (deduplicated by
+/// canonical string).
+void CollectAggregates(const Expr& e, std::map<std::string, const Expr*>* out) {
+  if (e.kind == Expr::Kind::kFunction && IsAggregateFunction(e.name)) {
+    out->emplace(e.ToString(), &e);
+    return;  // no nested aggregates
+  }
+  for (const auto& a : e.args) CollectAggregates(*a, out);
+}
+
+/// Rewrites an expression for evaluation above an Aggregate node:
+/// aggregate subtrees become column refs to their canonical output name;
+/// subtrees equal to a group expression become refs to the group output.
+/// Returns an error if a bare column survives (not grouped, not aggregated).
+Result<ExprPtr> RewriteOverAggregate(
+    const Expr& e, const std::vector<ExprPtr>& group_exprs,
+    const std::vector<std::string>& group_names,
+    const std::map<std::string, std::string>& agg_name_of) {
+  // Group expression match first (a group key used verbatim).
+  for (size_t g = 0; g < group_exprs.size(); ++g) {
+    if (e.Equals(*group_exprs[g])) {
+      return MakeColumnRef("", group_names[g]);
+    }
+  }
+  if (e.kind == Expr::Kind::kFunction && IsAggregateFunction(e.name)) {
+    auto it = agg_name_of.find(e.ToString());
+    if (it == agg_name_of.end()) {
+      return Status::Internal("aggregate not collected: " + e.ToString());
+    }
+    return MakeColumnRef("", it->second);
+  }
+  if (e.kind == Expr::Kind::kColumnRef) {
+    return Status::InvalidArgument(
+        "column '" + e.QualifiedName() +
+        "' must appear in GROUP BY or inside an aggregate");
+  }
+  ExprPtr out = e.Clone();
+  for (size_t i = 0; i < out->args.size(); ++i) {
+    PIXELS_ASSIGN_OR_RETURN(
+        out->args[i], RewriteOverAggregate(*e.args[i], group_exprs, group_names,
+                                           agg_name_of));
+  }
+  return out;
+}
+
+/// Output name for a select item without an explicit alias.
+std::string DefaultItemName(const Expr& e) {
+  if (e.kind == Expr::Kind::kColumnRef) return e.name;
+  return e.ToString();
+}
+
+}  // namespace
+
+Result<PlanPtr> BindSelect(const SelectStmt& stmt, const Catalog& catalog,
+                           const std::string& db) {
+  if (!stmt.has_from) {
+    // SELECT <literals>: bind as a projection over a one-row dummy view.
+    auto one_row = std::make_shared<Table>();
+    auto batch = std::make_shared<RowBatch>();
+    auto col = MakeVector(TypeId::kInt64);
+    col->AppendInt(1);
+    batch->AddColumn("$dummy", std::move(col));
+    one_row->AddBatch(std::move(batch));
+    PlanPtr plan = MakeMaterializedView(std::move(one_row));
+    std::vector<ExprPtr> exprs;
+    std::vector<std::string> names;
+    for (const auto& item : stmt.items) {
+      if (item.expr->kind == Expr::Kind::kStar) {
+        return Status::InvalidArgument("SELECT * requires FROM");
+      }
+      if (item.expr->ContainsAggregate()) {
+        return Status::InvalidArgument("aggregates require FROM");
+      }
+      names.push_back(item.alias.empty() ? DefaultItemName(*item.expr)
+                                         : item.alias);
+      exprs.push_back(item.expr->Clone());
+    }
+    return MakeProject(std::move(plan), std::move(exprs), std::move(names));
+  }
+
+  // 1. Build the scope and scan/join tree.
+  Scope scope;
+  auto add_table = [&](const TableRef& ref) -> Result<PlanPtr> {
+    PIXELS_ASSIGN_OR_RETURN(const TableSchema* schema,
+                            catalog.GetTable(db, ref.table));
+    const std::string qualifier = ref.EffectiveName();
+    PIXELS_RETURN_NOT_OK(scope.AddTable(qualifier, schema));
+    PlanPtr scan = MakeScan(db, ref.table, qualifier);
+    for (const auto& col : schema->columns) scan->columns.push_back(col.name);
+    return scan;
+  };
+
+  PIXELS_ASSIGN_OR_RETURN(PlanPtr plan, add_table(stmt.from));
+  for (const auto& join : stmt.joins) {
+    PIXELS_ASSIGN_OR_RETURN(PlanPtr right, add_table(join.table));
+    ExprPtr cond;
+    if (join.on) {
+      cond = join.on->Clone();
+      PIXELS_RETURN_NOT_OK(ResolveExpr(cond.get(), scope));
+    }
+    plan = MakeJoin(std::move(plan), std::move(right), join.type,
+                    std::move(cond));
+  }
+
+  // 2. WHERE.
+  if (stmt.where) {
+    ExprPtr where = stmt.where->Clone();
+    if (where->ContainsAggregate()) {
+      return Status::InvalidArgument("aggregates are not allowed in WHERE");
+    }
+    PIXELS_RETURN_NOT_OK(ResolveExpr(where.get(), scope));
+    plan = MakeFilter(std::move(plan), std::move(where));
+  }
+
+  // 3. Expand SELECT * and resolve select expressions.
+  std::vector<SelectItem> items;
+  for (const auto& item : stmt.items) {
+    if (item.expr->kind == Expr::Kind::kStar) {
+      for (const auto& [q, c] : scope.AllColumns()) {
+        items.push_back(SelectItem{MakeColumnRef(q, c), ""});
+      }
+      continue;
+    }
+    SelectItem copy;
+    copy.expr = item.expr->Clone();
+    copy.alias = item.alias;
+    PIXELS_RETURN_NOT_OK(ResolveExpr(copy.expr.get(), scope));
+    items.push_back(std::move(copy));
+  }
+  if (items.empty()) return Status::InvalidArgument("empty select list");
+
+  // 4. Aggregation.
+  bool has_aggregates = !stmt.group_by.empty() || stmt.having != nullptr;
+  for (const auto& item : items) {
+    has_aggregates = has_aggregates || item.expr->ContainsAggregate();
+  }
+
+  ExprPtr having;
+  if (stmt.having) {
+    having = stmt.having->Clone();
+    PIXELS_RETURN_NOT_OK(ResolveExpr(having.get(), scope));
+  }
+
+  std::vector<ExprPtr> final_exprs;
+  std::vector<std::string> final_names;
+  std::shared_ptr<LogicalPlan> agg_node;
+  std::map<std::string, std::string> agg_name_of;
+
+  if (has_aggregates) {
+    auto agg = std::make_shared<LogicalPlan>();
+    agg->kind = LogicalPlan::Kind::kAggregate;
+    agg->children.push_back(plan);
+
+    for (const auto& g : stmt.group_by) {
+      ExprPtr ge = g->Clone();
+      PIXELS_RETURN_NOT_OK(ResolveExpr(ge.get(), scope));
+      if (ge->ContainsAggregate()) {
+        return Status::InvalidArgument("aggregates not allowed in GROUP BY");
+      }
+      agg->group_names.push_back(ge->kind == Expr::Kind::kColumnRef
+                                     ? ge->QualifiedName()
+                                     : ge->ToString());
+      agg->group_exprs.push_back(std::move(ge));
+    }
+
+    // Collect aggregate calls from select items, HAVING, and ORDER BY.
+    std::map<std::string, const Expr*> agg_calls;
+    for (const auto& item : items) CollectAggregates(*item.expr, &agg_calls);
+    if (having) CollectAggregates(*having, &agg_calls);
+    std::vector<ExprPtr> resolved_order;
+    for (const auto& o : stmt.order_by) {
+      ExprPtr oe = o.expr->Clone();
+      if (oe->kind != Expr::Kind::kLiteral) {
+        // Resolution may fail when it references an output alias; that is
+        // handled later, so ignore errors here for non-aggregate refs.
+        Status st = ResolveExpr(oe.get(), scope);
+        if (st.ok()) CollectAggregates(*oe, &agg_calls);
+      }
+      resolved_order.push_back(std::move(oe));
+    }
+
+    for (const auto& [canon, call] : agg_calls) {
+      agg_name_of[canon] = canon;  // output column named by canonical string
+      agg->agg_names.push_back(canon);
+      agg->agg_exprs.push_back(call->Clone());
+    }
+    agg_node = agg;
+    plan = agg;
+
+    // HAVING becomes a filter over aggregate outputs.
+    if (having) {
+      PIXELS_ASSIGN_OR_RETURN(
+          ExprPtr rewritten,
+          RewriteOverAggregate(*having, agg->group_exprs, agg->group_names,
+                               agg_name_of));
+      plan = MakeFilter(std::move(plan), std::move(rewritten));
+    }
+
+    for (auto& item : items) {
+      PIXELS_ASSIGN_OR_RETURN(
+          ExprPtr rewritten,
+          RewriteOverAggregate(*item.expr, agg->group_exprs, agg->group_names,
+                               agg_name_of));
+      final_names.push_back(item.alias.empty() ? DefaultItemName(*item.expr)
+                                               : item.alias);
+      final_exprs.push_back(std::move(rewritten));
+    }
+  } else {
+    for (auto& item : items) {
+      final_names.push_back(item.alias.empty() ? DefaultItemName(*item.expr)
+                                               : item.alias);
+      final_exprs.push_back(item.expr->Clone());
+    }
+  }
+
+  // Keep originals for ORDER BY matching before moving into the project.
+  std::vector<ExprPtr> select_originals;
+  for (const auto& item : items) select_originals.push_back(item.expr->Clone());
+
+  plan = MakeProject(std::move(plan), std::move(final_exprs),
+                     std::move(final_names));
+  LogicalPlan* project_node = plan.get();
+  const std::vector<std::string>& out_names = plan->names;
+  const size_t visible_columns = out_names.size();
+
+  if (stmt.distinct) {
+    auto d = std::make_shared<LogicalPlan>();
+    d->kind = LogicalPlan::Kind::kDistinct;
+    d->children.push_back(plan);
+    plan = d;
+  }
+
+  // 5. ORDER BY: positional, by output alias/name, by select expression,
+  // or (for plain queries) by any resolvable expression via a hidden
+  // projection column dropped after the sort.
+  // Appends `resolved` as a hidden projection column and returns a
+  // reference to it usable as a sort key.
+  auto add_hidden_sort_key = [&](const Expr& resolved) -> Result<ExprPtr> {
+    if (stmt.distinct) {
+      return Status::InvalidArgument(
+          "ORDER BY of a DISTINCT query must reference the select list");
+    }
+    ExprPtr proj_expr;
+    if (has_aggregates) {
+      PIXELS_ASSIGN_OR_RETURN(
+          proj_expr,
+          RewriteOverAggregate(resolved, agg_node->group_exprs,
+                               agg_node->group_names, agg_name_of));
+    } else {
+      proj_expr = resolved.Clone();
+    }
+    std::string hidden = "$sort" + std::to_string(project_node->names.size());
+    project_node->exprs.push_back(std::move(proj_expr));
+    project_node->names.push_back(hidden);
+    return MakeColumnRef("", hidden);
+  };
+
+  if (!stmt.order_by.empty()) {
+    auto sort = std::make_shared<LogicalPlan>();
+    sort->kind = LogicalPlan::Kind::kSort;
+    sort->children.push_back(plan);
+    for (const auto& o : stmt.order_by) {
+      ExprPtr key;
+      if (o.expr->kind == Expr::Kind::kLiteral &&
+          o.expr->literal.kind == Value::Kind::kInt) {
+        int64_t pos = o.expr->literal.i;
+        if (pos < 1 || pos > static_cast<int64_t>(out_names.size())) {
+          return Status::InvalidArgument("ORDER BY position out of range");
+        }
+        key = MakeColumnRef("", out_names[static_cast<size_t>(pos - 1)]);
+      } else if (o.expr->kind == Expr::Kind::kColumnRef &&
+                 o.expr->qualifier.empty()) {
+        // Try alias / output-name match first.
+        bool matched = false;
+        for (const auto& n : out_names) {
+          if (n == o.expr->name) {
+            key = MakeColumnRef("", n);
+            matched = true;
+            break;
+          }
+        }
+        if (!matched) {
+          ExprPtr oe = o.expr->Clone();
+          PIXELS_RETURN_NOT_OK(ResolveExpr(oe.get(), scope));
+          // Match against the original select expressions.
+          for (size_t i = 0; i < select_originals.size(); ++i) {
+            if (oe->Equals(*select_originals[i])) {
+              key = MakeColumnRef("", out_names[i]);
+              matched = true;
+              break;
+            }
+          }
+          if (!matched) {
+            PIXELS_ASSIGN_OR_RETURN(key, add_hidden_sort_key(*oe));
+          }
+        }
+      } else {
+        // Expression: match against select expressions, else hidden key.
+        ExprPtr oe = o.expr->Clone();
+        PIXELS_RETURN_NOT_OK(ResolveExpr(oe.get(), scope));
+        bool matched = false;
+        for (size_t i = 0; i < select_originals.size(); ++i) {
+          if (oe->Equals(*select_originals[i])) {
+            key = MakeColumnRef("", out_names[i]);
+            matched = true;
+            break;
+          }
+        }
+        if (!matched) {
+          PIXELS_ASSIGN_OR_RETURN(key, add_hidden_sort_key(*oe));
+        }
+      }
+      sort->order_by.push_back(OrderItem{std::move(key), o.ascending});
+    }
+    plan = sort;
+  }
+
+  // Drop hidden sort columns after the sort.
+  if (project_node->names.size() > visible_columns) {
+    std::vector<ExprPtr> vis_exprs;
+    std::vector<std::string> vis_names;
+    for (size_t i = 0; i < visible_columns; ++i) {
+      vis_exprs.push_back(MakeColumnRef("", project_node->names[i]));
+      vis_names.push_back(project_node->names[i]);
+    }
+    plan = MakeProject(std::move(plan), std::move(vis_exprs),
+                       std::move(vis_names));
+  }
+
+  if (stmt.limit >= 0) plan = MakeLimit(std::move(plan), stmt.limit);
+  return plan;
+}
+
+Result<PlanPtr> PlanQuery(const std::string& sql, const Catalog& catalog,
+                          const std::string& db) {
+  PIXELS_ASSIGN_OR_RETURN(SelectStmtPtr stmt, ParseSelect(sql));
+  return BindSelect(*stmt, catalog, db);
+}
+
+}  // namespace pixels

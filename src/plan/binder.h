@@ -1,0 +1,22 @@
+// Binder: resolves a parsed SelectStmt against the catalog and produces a
+// logical plan — name resolution, aggregate extraction, and validation.
+#pragma once
+
+#include "catalog/catalog.h"
+#include "plan/logical_plan.h"
+#include "sql/ast.h"
+
+namespace pixels {
+
+/// Binds `stmt` against `catalog`, resolving unqualified tables in
+/// database `db`. Produces an unoptimized logical plan:
+///   Scan/Join → Filter(where) → [Aggregate → Filter(having)] → Project
+///   → [Distinct] → [Sort] → [Limit]
+Result<PlanPtr> BindSelect(const SelectStmt& stmt, const Catalog& catalog,
+                           const std::string& db);
+
+/// Convenience: parse + bind.
+Result<PlanPtr> PlanQuery(const std::string& sql, const Catalog& catalog,
+                          const std::string& db);
+
+}  // namespace pixels

@@ -1,0 +1,444 @@
+#include "plan/optimizer.h"
+
+#include <cmath>
+#include <set>
+
+namespace pixels {
+
+namespace {
+
+bool IsLiteral(const Expr& e) { return e.kind == Expr::Kind::kLiteral; }
+
+/// LIKE pattern matching with % (any run) and _ (any char).
+bool LikeMatch(const std::string& text, const std::string& pattern) {
+  // Iterative two-pointer algorithm with backtracking on '%'.
+  size_t t = 0, p = 0, star_p = std::string::npos, star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() && (pattern[p] == '_' || pattern[p] == text[t])) {
+      ++t;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+}  // namespace
+
+Result<Value> EvaluateConstant(const Expr& e) {
+  switch (e.kind) {
+    case Expr::Kind::kLiteral:
+      return e.literal;
+    case Expr::Kind::kUnary: {
+      PIXELS_ASSIGN_OR_RETURN(Value v, EvaluateConstant(*e.args[0]));
+      if (e.op == "NOT") {
+        if (v.is_null()) return Value::Null();
+        return Value::Bool(!v.AsBool());
+      }
+      if (e.op == "-") {
+        if (v.is_null()) return Value::Null();
+        if (v.kind == Value::Kind::kDouble) return Value::Double(-v.d);
+        return Value::Int(-v.i);
+      }
+      return Status::NotImplemented("constant unary op " + e.op);
+    }
+    case Expr::Kind::kBinary: {
+      PIXELS_ASSIGN_OR_RETURN(Value a, EvaluateConstant(*e.args[0]));
+      // Short-circuit logic with SQL three-valued semantics approximated.
+      if (e.op == "AND") {
+        if (!a.is_null() && !a.AsBool()) return Value::Bool(false);
+        PIXELS_ASSIGN_OR_RETURN(Value b2, EvaluateConstant(*e.args[1]));
+        if (!b2.is_null() && !b2.AsBool()) return Value::Bool(false);
+        if (a.is_null() || b2.is_null()) return Value::Null();
+        return Value::Bool(true);
+      }
+      if (e.op == "OR") {
+        if (!a.is_null() && a.AsBool()) return Value::Bool(true);
+        PIXELS_ASSIGN_OR_RETURN(Value b2, EvaluateConstant(*e.args[1]));
+        if (!b2.is_null() && b2.AsBool()) return Value::Bool(true);
+        if (a.is_null() || b2.is_null()) return Value::Null();
+        return Value::Bool(false);
+      }
+      PIXELS_ASSIGN_OR_RETURN(Value b, EvaluateConstant(*e.args[1]));
+      if (a.is_null() || b.is_null()) return Value::Null();
+      if (e.op == "=") return Value::Bool(a.Compare(b) == 0);
+      if (e.op == "<>") return Value::Bool(a.Compare(b) != 0);
+      if (e.op == "<") return Value::Bool(a.Compare(b) < 0);
+      if (e.op == "<=") return Value::Bool(a.Compare(b) <= 0);
+      if (e.op == ">") return Value::Bool(a.Compare(b) > 0);
+      if (e.op == ">=") return Value::Bool(a.Compare(b) >= 0);
+      if (e.op == "LIKE") {
+        if (a.kind != Value::Kind::kString || b.kind != Value::Kind::kString) {
+          return Status::TypeError("LIKE requires strings");
+        }
+        return Value::Bool(LikeMatch(a.s, b.s));
+      }
+      if (e.op == "||") {
+        if (a.kind != Value::Kind::kString || b.kind != Value::Kind::kString) {
+          return Status::TypeError("|| requires strings");
+        }
+        return Value::String(a.s + b.s);
+      }
+      // Arithmetic.
+      const bool dbl =
+          a.kind == Value::Kind::kDouble || b.kind == Value::Kind::kDouble;
+      if (e.op == "+") {
+        return dbl ? Value::Double(a.AsDouble() + b.AsDouble())
+                   : Value::Int(a.i + b.i);
+      }
+      if (e.op == "-") {
+        return dbl ? Value::Double(a.AsDouble() - b.AsDouble())
+                   : Value::Int(a.i - b.i);
+      }
+      if (e.op == "*") {
+        return dbl ? Value::Double(a.AsDouble() * b.AsDouble())
+                   : Value::Int(a.i * b.i);
+      }
+      if (e.op == "/") {
+        if (dbl) {
+          if (b.AsDouble() == 0) return Value::Null();
+          return Value::Double(a.AsDouble() / b.AsDouble());
+        }
+        if (b.i == 0) return Value::Null();
+        return Value::Int(a.i / b.i);
+      }
+      if (e.op == "%") {
+        if (b.AsInt() == 0) return Value::Null();
+        return Value::Int(a.AsInt() % b.AsInt());
+      }
+      return Status::NotImplemented("constant binary op " + e.op);
+    }
+    case Expr::Kind::kBetween: {
+      PIXELS_ASSIGN_OR_RETURN(Value v, EvaluateConstant(*e.args[0]));
+      PIXELS_ASSIGN_OR_RETURN(Value lo, EvaluateConstant(*e.args[1]));
+      PIXELS_ASSIGN_OR_RETURN(Value hi, EvaluateConstant(*e.args[2]));
+      if (v.is_null() || lo.is_null() || hi.is_null()) return Value::Null();
+      bool in = v.Compare(lo) >= 0 && v.Compare(hi) <= 0;
+      return Value::Bool(e.negated ? !in : in);
+    }
+    case Expr::Kind::kInList: {
+      PIXELS_ASSIGN_OR_RETURN(Value v, EvaluateConstant(*e.args[0]));
+      if (v.is_null()) return Value::Null();
+      bool found = false;
+      for (size_t i = 1; i < e.args.size(); ++i) {
+        PIXELS_ASSIGN_OR_RETURN(Value item, EvaluateConstant(*e.args[i]));
+        if (!item.is_null() && v.Compare(item) == 0) {
+          found = true;
+          break;
+        }
+      }
+      return Value::Bool(e.negated ? !found : found);
+    }
+    case Expr::Kind::kIsNull: {
+      PIXELS_ASSIGN_OR_RETURN(Value v, EvaluateConstant(*e.args[0]));
+      return Value::Bool(e.negated ? !v.is_null() : v.is_null());
+    }
+    case Expr::Kind::kCase: {
+      size_t pairs = (e.args.size() - (e.has_else ? 1 : 0)) / 2;
+      for (size_t i = 0; i < pairs; ++i) {
+        PIXELS_ASSIGN_OR_RETURN(Value cond, EvaluateConstant(*e.args[2 * i]));
+        if (!cond.is_null() && cond.AsBool()) {
+          return EvaluateConstant(*e.args[2 * i + 1]);
+        }
+      }
+      if (e.has_else) return EvaluateConstant(*e.args.back());
+      return Value::Null();
+    }
+    default:
+      return Status::InvalidArgument("not a constant expression");
+  }
+}
+
+ExprPtr FoldConstants(ExprPtr expr) {
+  for (auto& a : expr->args) a = FoldConstants(std::move(a));
+  if (expr->kind == Expr::Kind::kLiteral ||
+      expr->kind == Expr::Kind::kColumnRef ||
+      expr->kind == Expr::Kind::kStar) {
+    return expr;
+  }
+  // Aggregates are never folded.
+  if (expr->kind == Expr::Kind::kFunction) return expr;
+  bool all_literal = true;
+  for (const auto& a : expr->args) all_literal &= IsLiteral(*a);
+  if (!all_literal) return expr;
+  auto value = EvaluateConstant(*expr);
+  if (!value.ok()) return expr;
+  return MakeLiteral(std::move(value).ValueOrDie());
+}
+
+std::vector<ExprPtr> SplitConjuncts(const Expr& expr) {
+  std::vector<ExprPtr> out;
+  if (expr.kind == Expr::Kind::kBinary && expr.op == "AND") {
+    auto left = SplitConjuncts(*expr.args[0]);
+    auto right = SplitConjuncts(*expr.args[1]);
+    for (auto& e : left) out.push_back(std::move(e));
+    for (auto& e : right) out.push_back(std::move(e));
+    return out;
+  }
+  out.push_back(expr.Clone());
+  return out;
+}
+
+ExprPtr CombineConjuncts(std::vector<ExprPtr> conjuncts) {
+  if (conjuncts.empty()) return nullptr;
+  ExprPtr out = std::move(conjuncts[0]);
+  for (size_t i = 1; i < conjuncts.size(); ++i) {
+    out = MakeBinary("AND", std::move(out), std::move(conjuncts[i]));
+  }
+  return out;
+}
+
+void CollectColumnRefs(const Expr& expr, std::vector<std::string>* out) {
+  if (expr.kind == Expr::Kind::kColumnRef) {
+    out->push_back(expr.QualifiedName());
+    return;
+  }
+  for (const auto& a : expr.args) CollectColumnRefs(*a, out);
+}
+
+namespace {
+
+/// The qualifiers (table aliases) referenced by an expression.
+std::set<std::string> Qualifiers(const Expr& e) {
+  std::vector<std::string> refs;
+  CollectColumnRefs(e, &refs);
+  std::set<std::string> out;
+  for (const auto& r : refs) {
+    size_t dot = r.rfind('.');
+    out.insert(dot == std::string::npos ? r : r.substr(0, dot));
+  }
+  return out;
+}
+
+/// The set of qualifiers produced by a plan subtree.
+void PlanQualifiers(const LogicalPlan& plan, std::set<std::string>* out) {
+  if (plan.kind == LogicalPlan::Kind::kScan) {
+    out->insert(plan.table_alias.empty() ? plan.table : plan.table_alias);
+  }
+  for (const auto& c : plan.children) PlanQualifiers(*c, out);
+}
+
+/// Tries to convert a conjunct into a scan predicate (col op literal /
+/// literal op col / BETWEEN literals). Returns predicates to add.
+std::vector<ScanPredicate> ToScanPredicates(const Expr& e) {
+  std::vector<ScanPredicate> out;
+  auto flip = [](const std::string& op) -> std::string {
+    if (op == "<") return ">";
+    if (op == "<=") return ">=";
+    if (op == ">") return "<";
+    if (op == ">=") return "<=";
+    return op;  // = and <> are symmetric
+  };
+  if (e.kind == Expr::Kind::kBinary) {
+    static const std::set<std::string> kOps = {"=", "<>", "<", "<=", ">", ">="};
+    if (kOps.count(e.op) == 0) return out;
+    const Expr& l = *e.args[0];
+    const Expr& r = *e.args[1];
+    if (l.kind == Expr::Kind::kColumnRef && IsLiteral(r)) {
+      out.push_back(ScanPredicate{l.name, e.op, r.literal});
+    } else if (r.kind == Expr::Kind::kColumnRef && IsLiteral(l)) {
+      out.push_back(ScanPredicate{r.name, flip(e.op), l.literal});
+    }
+    return out;
+  }
+  if (e.kind == Expr::Kind::kBetween && !e.negated &&
+      e.args[0]->kind == Expr::Kind::kColumnRef && IsLiteral(*e.args[1]) &&
+      IsLiteral(*e.args[2])) {
+    out.push_back(ScanPredicate{e.args[0]->name, ">=", e.args[1]->literal});
+    out.push_back(ScanPredicate{e.args[0]->name, "<=", e.args[2]->literal});
+  }
+  return out;
+}
+
+/// Pushes filter conjuncts down through joins toward scans. Conjuncts that
+/// reference a single side of a join move below it; single-scan conjuncts
+/// that are simple comparisons also register as zone-map predicates (the
+/// filter itself remains, since zone maps only prune row groups).
+PlanPtr PushdownFilters(PlanPtr plan) {
+  for (auto& c : plan->children) c = PushdownFilters(std::move(c));
+  if (plan->kind != LogicalPlan::Kind::kFilter) return plan;
+
+  PlanPtr child = plan->children[0];
+  std::vector<ExprPtr> conjuncts = SplitConjuncts(*plan->predicate);
+
+  if (child->kind == LogicalPlan::Kind::kJoin &&
+      child->join_type != JoinClause::Type::kLeft) {
+    std::set<std::string> left_q, right_q;
+    PlanQualifiers(*child->children[0], &left_q);
+    PlanQualifiers(*child->children[1], &right_q);
+    std::vector<ExprPtr> stay, to_left, to_right;
+    for (auto& cj : conjuncts) {
+      auto quals = Qualifiers(*cj);
+      bool in_left = true, in_right = true;
+      for (const auto& q : quals) {
+        if (left_q.count(q) == 0) in_left = false;
+        if (right_q.count(q) == 0) in_right = false;
+      }
+      if (in_left && !quals.empty()) {
+        to_left.push_back(std::move(cj));
+      } else if (in_right && !quals.empty()) {
+        to_right.push_back(std::move(cj));
+      } else {
+        stay.push_back(std::move(cj));
+      }
+    }
+    if (!to_left.empty()) {
+      child->children[0] = PushdownFilters(
+          MakeFilter(child->children[0], CombineConjuncts(std::move(to_left))));
+    }
+    if (!to_right.empty()) {
+      child->children[1] = PushdownFilters(MakeFilter(
+          child->children[1], CombineConjuncts(std::move(to_right))));
+    }
+    if (stay.empty()) return child;
+    plan->predicate = CombineConjuncts(std::move(stay));
+    return plan;
+  }
+
+  if (child->kind == LogicalPlan::Kind::kScan) {
+    for (const auto& cj : conjuncts) {
+      for (auto& sp : ToScanPredicates(*cj)) {
+        child->pushed.push_back(std::move(sp));
+      }
+    }
+    return plan;  // filter retained for exact row filtering
+  }
+  return plan;
+}
+
+void FoldPlanExprs(LogicalPlan* plan) {
+  if (plan->predicate) plan->predicate = FoldConstants(std::move(plan->predicate));
+  if (plan->join_condition) {
+    plan->join_condition = FoldConstants(std::move(plan->join_condition));
+  }
+  for (auto& e : plan->exprs) e = FoldConstants(std::move(e));
+  for (auto& e : plan->group_exprs) e = FoldConstants(std::move(e));
+  for (auto& o : plan->order_by) o.expr = FoldConstants(std::move(o.expr));
+  for (auto& c : plan->children) FoldPlanExprs(c.get());
+}
+
+/// Collects every column name (qualified) used above each scan, then
+/// narrows scan projections to the used set.
+void CollectUsedColumns(const LogicalPlan& plan, std::set<std::string>* used) {
+  auto add_expr = [&](const Expr& e) {
+    std::vector<std::string> refs;
+    CollectColumnRefs(e, &refs);
+    for (auto& r : refs) used->insert(std::move(r));
+  };
+  if (plan.predicate) add_expr(*plan.predicate);
+  if (plan.join_condition) add_expr(*plan.join_condition);
+  for (const auto& e : plan.exprs) add_expr(*e);
+  for (const auto& e : plan.group_exprs) add_expr(*e);
+  for (const auto& e : plan.agg_exprs) add_expr(*e);
+  for (const auto& o : plan.order_by) add_expr(*o.expr);
+  for (const auto& c : plan.children) CollectUsedColumns(*c, used);
+}
+
+void PruneProjections(LogicalPlan* plan, const std::set<std::string>& used,
+                      bool all_needed) {
+  if (plan->kind == LogicalPlan::Kind::kScan && !all_needed) {
+    const std::string q =
+        plan->table_alias.empty() ? plan->table : plan->table_alias;
+    std::vector<std::string> kept;
+    for (const auto& col : plan->columns) {
+      if (used.count(q + "." + col) > 0 || used.count(col) > 0) {
+        kept.push_back(col);
+      }
+    }
+    // A scan must produce at least one column to carry row count.
+    if (kept.empty() && !plan->columns.empty()) kept.push_back(plan->columns[0]);
+    plan->columns = std::move(kept);
+  }
+  // A Distinct over the raw scan output needs all columns below it only if
+  // there is no project in between; projects reset the needed set.
+  for (auto& c : plan->children) {
+    PruneProjections(c.get(), used,
+                     all_needed && plan->kind != LogicalPlan::Kind::kProject &&
+                         plan->kind != LogicalPlan::Kind::kAggregate);
+  }
+}
+
+/// Swaps inner equi-join children so the smaller side builds the hash
+/// table. Left joins and cross joins are left untouched (not symmetric /
+/// no keys).
+void ReorderJoins(LogicalPlan* plan, const Catalog& catalog) {
+  for (auto& c : plan->children) ReorderJoins(c.get(), catalog);
+  if (plan->kind != LogicalPlan::Kind::kJoin ||
+      plan->join_type != JoinClause::Type::kInner ||
+      plan->join_condition == nullptr) {
+    return;
+  }
+  uint64_t left_rows = EstimateRows(*plan->children[0], catalog);
+  uint64_t right_rows = EstimateRows(*plan->children[1], catalog);
+  // The right child is the build side; keep the smaller input there.
+  if (right_rows > left_rows) {
+    std::swap(plan->children[0], plan->children[1]);
+  }
+}
+
+}  // namespace
+
+uint64_t EstimateRows(const LogicalPlan& plan, const Catalog& catalog) {
+  switch (plan.kind) {
+    case LogicalPlan::Kind::kScan: {
+      auto table = catalog.GetTable(plan.db, plan.table);
+      uint64_t rows = table.ok() ? (*table)->row_count : 1000;
+      // Each pushed zone-map predicate is assumed to halve the scan.
+      for (size_t i = 0; i < plan.pushed.size() && rows > 1; ++i) rows /= 2;
+      return std::max<uint64_t>(rows, 1);
+    }
+    case LogicalPlan::Kind::kFilter:
+      return std::max<uint64_t>(
+          EstimateRows(*plan.children[0], catalog) / 4, 1);
+    case LogicalPlan::Kind::kJoin: {
+      uint64_t l = EstimateRows(*plan.children[0], catalog);
+      uint64_t r = EstimateRows(*plan.children[1], catalog);
+      if (plan.join_type == JoinClause::Type::kCross) return l * r;
+      return std::max(l, r);
+    }
+    case LogicalPlan::Kind::kAggregate:
+      return plan.group_exprs.empty()
+                 ? 1
+                 : std::max<uint64_t>(
+                       EstimateRows(*plan.children[0], catalog) / 10, 1);
+    case LogicalPlan::Kind::kLimit: {
+      uint64_t child = EstimateRows(*plan.children[0], catalog);
+      return plan.limit >= 0
+                 ? std::min<uint64_t>(child, static_cast<uint64_t>(plan.limit))
+                 : child;
+    }
+    case LogicalPlan::Kind::kMaterializedView:
+      return plan.view != nullptr ? std::max<uint64_t>(plan.view->num_rows(), 1)
+                                  : 1;
+    default:
+      return plan.children.empty()
+                 ? 1
+                 : EstimateRows(*plan.children[0], catalog);
+  }
+}
+
+Result<PlanPtr> Optimize(PlanPtr plan, const Catalog& catalog,
+                         OptimizerOptions options) {
+  if (options.fold_constants) FoldPlanExprs(plan.get());
+  if (options.pushdown_predicates) plan = PushdownFilters(std::move(plan));
+  if (options.optimize_join_order) ReorderJoins(plan.get(), catalog);
+  if (options.prune_projections) {
+    std::set<std::string> used;
+    CollectUsedColumns(*plan, &used);
+    // If the root (or any node up to the first project) needs all columns
+    // (e.g. SELECT * handled via explicit projection, so normally not),
+    // we start with all_needed=false: the binder always adds a Project.
+    PruneProjections(plan.get(), used, false);
+  }
+  return plan;
+}
+
+}  // namespace pixels

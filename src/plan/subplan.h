@@ -1,0 +1,49 @@
+// CF sub-plan splitting (paper §3.1): the expensive operators (scans,
+// joins, aggregations) at the bottom of a plan are cut into a sub-plan
+// that ephemeral CF workers execute; its result re-enters the top-level
+// plan as a materialized view.
+//
+// When the sub-plan root is an aggregation with mergeable functions, it is
+// split into a partial aggregate (per worker) and a final merge aggregate
+// (top-level). Partial state layout, for an aggregate call with canonical
+// output name N:
+//   sum/min/max: one state column named N
+//   count:       one state column named N (merged with sum)
+//   avg:         two state columns N$sum and N$cnt (final: sum/cnt)
+// COUNT(DISTINCT ...) is not mergeable; the split then happens below the
+// aggregation and the whole aggregate runs top-level.
+#pragma once
+
+#include "catalog/catalog.h"
+#include "plan/logical_plan.h"
+
+namespace pixels {
+
+/// Result of splitting a plan at the materialized-view seam.
+struct SubPlanSplit {
+  /// The pushed-down sub-plan (runs in CF workers). Null when the plan has
+  /// no heavy subtree worth pushing (e.g. a pure SELECT of literals).
+  PlanPtr subplan;
+  /// The top-level plan with a MaterializedView placeholder; call
+  /// `InjectView` to fill it with the CF result.
+  PlanPtr final_plan;
+  /// True when subplan's root is a partial aggregate and final_plan
+  /// contains the matching merge aggregate.
+  bool partial_agg = false;
+};
+
+/// Splits `plan` (post-optimization) for CF execution.
+Result<SubPlanSplit> SplitForCf(const PlanPtr& plan);
+
+/// Replaces the (single) MaterializedView placeholder in `final_plan` with
+/// the given table. Fails if the plan has no empty placeholder.
+Status InjectView(const PlanPtr& final_plan, TablePtr view);
+
+/// Partitions a sub-plan for `num_workers` CF workers: the largest scan's
+/// files are distributed round-robin; other scans replicate. Returns one
+/// plan per worker (fewer when the largest table has fewer files).
+Result<std::vector<PlanPtr>> PartitionSubplan(const PlanPtr& subplan,
+                                              int num_workers,
+                                              const Catalog& catalog);
+
+}  // namespace pixels

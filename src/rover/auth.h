@@ -1,0 +1,59 @@
+// Authentication for Pixels-Rover (paper §4: "after logging in through
+// authentication"). Users have credentials and a set of authorized
+// databases; logins produce opaque session tokens.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace pixels {
+
+/// In-memory user registry + session-token issuer.
+///
+/// Passwords are stored as salted FNV-1a hashes — fine for a demo system;
+/// swap the hash for a real KDF in production deployments.
+class AuthService {
+ public:
+  /// Registers a user who may query the given databases.
+  Status RegisterUser(const std::string& user, const std::string& password,
+                      std::set<std::string> authorized_dbs);
+
+  /// Extends a user's database grants.
+  Status GrantDatabase(const std::string& user, const std::string& db);
+
+  /// Validates credentials and issues a session token.
+  Result<std::string> Login(const std::string& user,
+                            const std::string& password);
+
+  /// Invalidates a session token.
+  Status Logout(const std::string& token);
+
+  /// Resolves a token to its user name.
+  Result<std::string> Authenticate(const std::string& token) const;
+
+  /// True when `user` may access `db`.
+  bool IsAuthorized(const std::string& user, const std::string& db) const;
+
+  /// Databases the user may access (sorted).
+  std::vector<std::string> AuthorizedDbs(const std::string& user) const;
+
+ private:
+  struct UserRecord {
+    uint64_t password_hash;
+    uint64_t salt;
+    std::set<std::string> dbs;
+  };
+
+  static uint64_t HashPassword(const std::string& password, uint64_t salt);
+
+  std::map<std::string, UserRecord> users_;
+  std::map<std::string, std::string> sessions_;  // token -> user
+  uint64_t next_token_ = 1;
+};
+
+}  // namespace pixels

@@ -1,0 +1,222 @@
+#include "rover/backend.h"
+
+namespace pixels {
+
+Result<Json> RoverBackend::ListSchemas(const std::string& token) const {
+  PIXELS_ASSIGN_OR_RETURN(std::string user, UserOf(token));
+  Json dbs = Json::Array();
+  for (const auto& db : auth_->AuthorizedDbs(user)) {
+    auto schema = catalog_->GetDatabase(db);
+    if (!schema.ok()) continue;  // granted but not (yet) present
+    dbs.Append((*schema)->ToJson());
+  }
+  Json out = Json::Object();
+  out.Set("databases", std::move(dbs));
+  return out;
+}
+
+Status RoverBackend::SelectDatabase(const std::string& token,
+                                    const std::string& db) {
+  PIXELS_ASSIGN_OR_RETURN(std::string user, UserOf(token));
+  if (!auth_->IsAuthorized(user, db)) {
+    return Status::FailedPrecondition("user " + user +
+                                      " is not authorized for " + db);
+  }
+  PIXELS_RETURN_NOT_OK(catalog_->GetDatabase(db).status());
+  selected_db_[user] = db;
+  return Status::OK();
+}
+
+Result<Json> RoverBackend::Translate(const std::string& token,
+                                     const std::string& question) {
+  PIXELS_ASSIGN_OR_RETURN(std::string user, UserOf(token));
+  auto db_it = selected_db_.find(user);
+  if (db_it == selected_db_.end()) {
+    return Status::FailedPrecondition("no database selected");
+  }
+  // Compile the JSON message the paper describes (§2(3)) and go through
+  // the service's single-turn API.
+  Json request = Json::Object();
+  request.Set("question", question);
+  request.Set("database", db_it->second);
+  auto schema = catalog_->GetDatabase(db_it->second);
+  if (schema.ok()) request.Set("schema", (*schema)->ToJson());
+  Json response = codes_->HandleRequest(request);
+  if (response.Has("error")) {
+    return Status::InvalidArgument(response.Get("error").AsString());
+  }
+
+  RoverQuery q;
+  q.id = next_query_id_++;
+  q.user = user;
+  q.question = question;
+  q.sql = response.Get("sql").AsString();
+  queries_[q.id] = q;
+
+  Json out = Json::Object();
+  out.Set("query_id", q.id);
+  out.Set("sql", q.sql);
+  if (response.Has("confidence")) {
+    out.Set("confidence", response.Get("confidence"));
+  }
+  return out;
+}
+
+Status RoverBackend::EditQuery(const std::string& token, int64_t query_id,
+                               const std::string& sql) {
+  PIXELS_ASSIGN_OR_RETURN(std::string user, UserOf(token));
+  auto it = queries_.find(query_id);
+  if (it == queries_.end() || it->second.user != user) {
+    return Status::NotFound("no such query block");
+  }
+  if (it->second.server_id != 0) {
+    return Status::FailedPrecondition("query already submitted");
+  }
+  it->second.sql = sql;
+  return Status::OK();
+}
+
+Result<int64_t> RoverBackend::Submit(const std::string& token,
+                                     int64_t query_id, ServiceLevel level,
+                                     int64_t result_limit,
+                                     const std::string& raw_sql) {
+  PIXELS_ASSIGN_OR_RETURN(std::string user, UserOf(token));
+  auto db_it = selected_db_.find(user);
+  if (db_it == selected_db_.end()) {
+    return Status::FailedPrecondition("no database selected");
+  }
+
+  RoverQuery* q = nullptr;
+  if (query_id != 0) {
+    auto it = queries_.find(query_id);
+    if (it == queries_.end() || it->second.user != user) {
+      return Status::NotFound("no such query block");
+    }
+    if (it->second.server_id != 0) {
+      return Status::FailedPrecondition("query already submitted");
+    }
+    q = &it->second;
+  } else {
+    if (raw_sql.empty()) {
+      return Status::InvalidArgument("raw submission needs SQL text");
+    }
+    RoverQuery fresh;
+    fresh.id = next_query_id_++;
+    fresh.user = user;
+    fresh.sql = raw_sql;
+    auto [it, _] = queries_.emplace(fresh.id, std::move(fresh));
+    q = &it->second;
+  }
+
+  Submission submission;
+  submission.level = level;
+  submission.result_limit = result_limit;
+  submission.query.sql = q->sql;
+  submission.query.db = db_it->second;
+  submission.query.execute_real = true;
+  q->level = level;
+  q->server_id = server_->Submit(submission);
+  return q->id;
+}
+
+Result<Json> RoverBackend::QueryStatus(const std::string& token,
+                                       int64_t query_id,
+                                       size_t max_rows) const {
+  PIXELS_ASSIGN_OR_RETURN(std::string user, UserOf(token));
+  auto it = queries_.find(query_id);
+  if (it == queries_.end() || it->second.user != user) {
+    return Status::NotFound("no such query block");
+  }
+  const RoverQuery& q = it->second;
+  Json out = Json::Object();
+  out.Set("query_id", q.id);
+  out.Set("question", q.question);
+  out.Set("sql", q.sql);
+  if (q.server_id == 0) {
+    out.Set("status", "translated");
+    return out;
+  }
+  out.Set("service_level", ServiceLevelName(q.level));
+  PIXELS_ASSIGN_OR_RETURN(auto status, server_->GetStatus(q.server_id));
+  out.Set("status", QueryStateName(status.state));
+  out.Set("pending_ms", status.pending_ms);
+  out.Set("execution_ms", status.execution_ms);
+  out.Set("cost_usd", status.bill_usd);
+  out.Set("used_cf", status.used_cf);
+  if (status.state == QueryState::kFailed) {
+    out.Set("error", status.error);
+  }
+  if (status.state == QueryState::kFinished) {
+    const SubmissionRecord* rec = server_->GetRecord(q.server_id);
+    // Prefer the server-side record: it holds the result after the
+    // submission form's result-size limit was applied.
+    TablePtr result_table;
+    if (rec != nullptr && rec->result != nullptr) {
+      result_table = rec->result;
+    } else if (rec != nullptr && rec->coordinator_id != 0) {
+      const QueryRecord* qrec =
+          server_->coordinator()->GetQuery(rec->coordinator_id);
+      if (qrec != nullptr) result_table = qrec->result;
+    }
+    if (result_table != nullptr) {
+      Json columns = Json::Array();
+      for (const auto& name : result_table->ColumnNames()) {
+        columns.Append(name);
+      }
+      Json rows = Json::Array();
+      size_t emitted = 0;
+      for (const auto& batch : result_table->batches()) {
+        for (size_t r = 0; r < batch->num_rows() && emitted < max_rows;
+             ++r, ++emitted) {
+          Json row = Json::Array();
+          for (size_t c = 0; c < batch->num_columns(); ++c) {
+            Value v = batch->column(c)->GetValue(r);
+            if (v.is_null()) {
+              row.Append(Json());
+            } else if (v.kind == Value::Kind::kString) {
+              row.Append(v.s);
+            } else if (v.kind == Value::Kind::kDouble) {
+              row.Append(v.d);
+            } else if (v.kind == Value::Kind::kBool) {
+              row.Append(v.i != 0);
+            } else {
+              row.Append(v.i);
+            }
+          }
+          rows.Append(std::move(row));
+        }
+      }
+      out.Set("columns", std::move(columns));
+      out.Set("rows", std::move(rows));
+      out.Set("total_rows", static_cast<int64_t>(result_table->num_rows()));
+    }
+  }
+  return out;
+}
+
+Result<Json> RoverBackend::BillingSummary(const std::string& token) const {
+  PIXELS_ASSIGN_OR_RETURN(std::string user, UserOf(token));
+  double total = 0;
+  int64_t queries = 0;
+  Json per_level = Json::Object();
+  std::map<std::string, double> level_totals;
+  for (const auto& [_, q] : queries_) {
+    if (q.user != user || q.server_id == 0) continue;
+    const SubmissionRecord* rec = server_->GetRecord(q.server_id);
+    if (rec == nullptr) continue;
+    ++queries;
+    total += rec->bill_usd;
+    level_totals[ServiceLevelName(q.level)] += rec->bill_usd;
+  }
+  for (const auto& [level, amount] : level_totals) {
+    per_level.Set(level, amount);
+  }
+  Json out = Json::Object();
+  out.Set("user", user);
+  out.Set("queries", queries);
+  out.Set("total_usd", total);
+  out.Set("by_level", std::move(per_level));
+  return out;
+}
+
+}  // namespace pixels

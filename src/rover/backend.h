@@ -1,0 +1,95 @@
+// The Pixels-Rover backend (paper §2(1)): the server side of the
+// browser-server architecture. It authenticates users, serves the schema
+// sidebar, forwards questions to the text-to-SQL service, submits queries
+// to the serverless engine at the chosen service level, and exposes the
+// status/result blocks of §4.3 — all as JSON, the wire format the web
+// frontend would consume.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "nl2sql/codes_service.h"
+#include "rover/auth.h"
+#include "server/query_server.h"
+
+namespace pixels {
+
+/// One user-visible query entry (a translator code block + its
+/// status-and-result block).
+struct RoverQuery {
+  int64_t id = 0;              // backend-assigned, per session
+  int64_t server_id = 0;       // id in the query server
+  std::string user;
+  std::string question;        // empty when SQL was typed/edited directly
+  std::string sql;
+  ServiceLevel level = ServiceLevel::kImmediate;
+};
+
+/// The backend facade. All calls take the session token from Login.
+class RoverBackend {
+ public:
+  RoverBackend(Catalog* catalog, QueryServer* server, CodesService* codes,
+               AuthService* auth, SimClock* clock)
+      : catalog_(catalog),
+        server_(server),
+        codes_(codes),
+        auth_(auth),
+        clock_(clock) {}
+
+  /// Authenticates and opens a session.
+  Result<std::string> Login(const std::string& user,
+                            const std::string& password) {
+    return auth_->Login(user, password);
+  }
+
+  Status Logout(const std::string& token) { return auth_->Logout(token); }
+
+  /// The schema sidebar (§4.1): authorized databases with their tables
+  /// and columns, as {"databases": [...]}.
+  Result<Json> ListSchemas(const std::string& token) const;
+
+  /// Selects the database the translator works against (§4.2 drop-down).
+  Status SelectDatabase(const std::string& token, const std::string& db);
+
+  /// Translates a question against the selected database via the
+  /// text-to-SQL service. Returns {"sql": ..., "query_id": n} and records
+  /// the translation as a pending code block that Submit can reference.
+  Result<Json> Translate(const std::string& token, const std::string& question);
+
+  /// Replaces the SQL of a translated block (the edit button of §4.2).
+  Status EditQuery(const std::string& token, int64_t query_id,
+                   const std::string& sql);
+
+  /// Submits a translated/edited block (or raw SQL when query_id == 0)
+  /// with a service level and result-size limit (§4.2 submission form).
+  Result<int64_t> Submit(const std::string& token, int64_t query_id,
+                         ServiceLevel level, int64_t result_limit = 0,
+                         const std::string& raw_sql = "");
+
+  /// One status-and-result block (§4.3): status, pending/execution time,
+  /// monetary cost, and (when finished) the result rows; failed queries
+  /// carry the error message.
+  Result<Json> QueryStatus(const std::string& token, int64_t query_id,
+                           size_t max_rows = 100) const;
+
+  /// Per-user spend summary across this session's queries.
+  Result<Json> BillingSummary(const std::string& token) const;
+
+ private:
+  Result<std::string> UserOf(const std::string& token) const {
+    return auth_->Authenticate(token);
+  }
+
+  Catalog* catalog_;
+  QueryServer* server_;
+  CodesService* codes_;
+  AuthService* auth_;
+  SimClock* clock_;
+
+  std::map<std::string, std::string> selected_db_;  // user -> db
+  std::map<int64_t, RoverQuery> queries_;           // backend query id
+  int64_t next_query_id_ = 1;
+};
+
+}  // namespace pixels

@@ -1,0 +1,198 @@
+#include "server/query_server.h"
+
+#include <algorithm>
+
+namespace pixels {
+
+QueryServer::QueryServer(SimClock* clock, Coordinator* coordinator,
+                         QueryServerParams params)
+    : clock_(clock), coordinator_(coordinator), params_(params) {}
+
+void QueryServer::Stop() {
+  stopped_ = true;
+  if (polling_) {
+    clock_->Cancel(poll_event_);
+    polling_ = false;
+  }
+}
+
+void QueryServer::EnsurePolling() {
+  if (polling_ || stopped_) return;
+  polling_ = true;
+  poll_event_ = clock_->Schedule(params_.poll_interval, [this] { Poll(); });
+}
+
+int64_t QueryServer::Submit(Submission submission, FinishCallback on_finish) {
+  const int64_t id = next_id_++;
+  SubmissionRecord rec;
+  rec.server_id = id;
+  rec.level = submission.level;
+  rec.received_time = clock_->Now();
+  records_[id] = rec;
+  if (on_finish) callbacks_[id] = std::move(on_finish);
+
+  // Apply the result-size limit by wrapping the SQL? The engine applies
+  // LIMIT in the plan; here we record the effective limit on the spec for
+  // real executions (client-side truncation otherwise).
+  if (submission.result_limit <= 0) {
+    submission.result_limit = params_.default_result_limit;
+  }
+  pending_specs_[id] = std::move(submission);
+  metrics_.Add("submissions", 1);
+  metrics_.Add(std::string("submissions_") +
+                   ServiceLevelName(records_[id].level),
+               1);
+
+  switch (records_[id].level) {
+    case ServiceLevel::kImmediate:
+      // Paper: received and immediately submitted, CF enabled.
+      DispatchToCoordinator(id, /*cf_enabled=*/true);
+      break;
+    case ServiceLevel::kRelaxed:
+      // Paper: submitted with CF disabled if concurrency below the high
+      // watermark; otherwise held until the grace period expires.
+      if (!coordinator_->EngineAboveHighWatermark()) {
+        DispatchToCoordinator(id, /*cf_enabled=*/false);
+      } else {
+        relaxed_held_.push_back(
+            Held{id, clock_->Now() + params_.relaxed_grace_period});
+        coordinator_->SetExternalPending(
+            static_cast<int>(relaxed_held_.size()));
+        EnsurePolling();
+      }
+      break;
+    case ServiceLevel::kBestEffort:
+      // Paper: only scheduled when concurrency is below the low watermark.
+      if (coordinator_->BelowLowWatermark()) {
+        DispatchToCoordinator(id, /*cf_enabled=*/false);
+      } else {
+        best_effort_held_.push_back(Held{id, 0});
+        EnsurePolling();
+      }
+      break;
+  }
+  return id;
+}
+
+void QueryServer::DispatchToCoordinator(int64_t server_id, bool cf_enabled) {
+  auto spec_it = pending_specs_.find(server_id);
+  if (spec_it == pending_specs_.end()) return;
+  Submission submission = std::move(spec_it->second);
+  pending_specs_.erase(spec_it);
+
+  SubmissionRecord& rec = records_[server_id];
+  rec.dispatch_time = clock_->Now();
+
+  QuerySpec spec = std::move(submission.query);
+  spec.cf_enabled = cf_enabled;
+  const int64_t result_limit = submission.result_limit;
+
+  rec.coordinator_id = coordinator_->Submit(
+      std::move(spec),
+      [this, server_id, result_limit](const QueryRecord& qrec) {
+        SubmissionRecord& srec = records_[server_id];
+        srec.bill_usd = params_.prices.Bill(srec.level, qrec.bytes_scanned);
+        total_billed_ += srec.bill_usd;
+        metrics_.Add("billed_usd", srec.bill_usd);
+        // Enforce the result-size limit client-side.
+        QueryRecord limited = qrec;
+        if (result_limit > 0 && limited.result != nullptr &&
+            limited.result->num_rows() >
+                static_cast<uint64_t>(result_limit)) {
+          auto truncated = std::make_shared<Table>();
+          int64_t remaining = result_limit;
+          for (const auto& batch : limited.result->batches()) {
+            if (remaining <= 0) break;
+            if (static_cast<int64_t>(batch->num_rows()) <= remaining) {
+              truncated->AddBatch(batch);
+              remaining -= static_cast<int64_t>(batch->num_rows());
+            } else {
+              std::vector<uint32_t> sel;
+              for (int64_t i = 0; i < remaining; ++i) {
+                sel.push_back(static_cast<uint32_t>(i));
+              }
+              truncated->AddBatch(batch->Gather(sel));
+              remaining = 0;
+            }
+          }
+          limited.result = truncated;
+        }
+        srec.result = limited.result;
+        auto cb = callbacks_.find(server_id);
+        if (cb != callbacks_.end()) {
+          FinishCallback fn = std::move(cb->second);
+          callbacks_.erase(cb);
+          fn(srec, limited);
+        }
+      });
+}
+
+void QueryServer::Poll() {
+  polling_ = false;
+  const SimTime now = clock_->Now();
+
+  // Relaxed: dispatch when concurrency drops below the high watermark or
+  // the grace period expires (paper §3.2(2)).
+  while (!relaxed_held_.empty()) {
+    const Held& h = relaxed_held_.front();
+    if (!coordinator_->EngineAboveHighWatermark() || now >= h.deadline) {
+      int64_t id = h.server_id;
+      relaxed_held_.pop_front();
+      coordinator_->SetExternalPending(static_cast<int>(relaxed_held_.size()));
+      DispatchToCoordinator(id, /*cf_enabled=*/false);
+    } else {
+      break;
+    }
+  }
+
+  // Best-of-effort: dispatch one at a time while the cluster is nearly
+  // idle (below the low watermark), absorbing would-be scale-ins.
+  while (!best_effort_held_.empty() && coordinator_->BelowLowWatermark()) {
+    int64_t id = best_effort_held_.front().server_id;
+    best_effort_held_.pop_front();
+    DispatchToCoordinator(id, /*cf_enabled=*/false);
+    // Dispatch raises concurrency; BelowLowWatermark re-checks naturally.
+  }
+
+  metrics_.Series("held_queries").Record(now,
+                                         static_cast<double>(HeldQueries()));
+  if (!relaxed_held_.empty() || !best_effort_held_.empty()) {
+    EnsurePolling();
+  }
+}
+
+Result<QueryServer::StatusView> QueryServer::GetStatus(int64_t server_id) const {
+  auto it = records_.find(server_id);
+  if (it == records_.end()) {
+    return Status::NotFound("no such submission: " + std::to_string(server_id));
+  }
+  const SubmissionRecord& rec = it->second;
+  StatusView view;
+  view.level = rec.level;
+  view.bill_usd = rec.bill_usd;
+  if (rec.coordinator_id == 0) {
+    view.state = QueryState::kPending;
+    view.pending_ms = clock_->Now() - rec.received_time;
+    return view;
+  }
+  const QueryRecord* qrec = coordinator_->GetQuery(rec.coordinator_id);
+  if (qrec == nullptr) return Status::Internal("dangling coordinator id");
+  view.state = qrec->state;
+  view.used_cf = qrec->used_cf;
+  view.error = qrec->error;
+  if (qrec->start_time >= 0) {
+    // Pending covers server hold + coordinator queue.
+    view.pending_ms = qrec->start_time - rec.received_time;
+  } else {
+    view.pending_ms = clock_->Now() - rec.received_time;
+  }
+  view.execution_ms = qrec->ExecutionTime();
+  return view;
+}
+
+const SubmissionRecord* QueryServer::GetRecord(int64_t server_id) const {
+  auto it = records_.find(server_id);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+}  // namespace pixels

@@ -1,0 +1,120 @@
+// The Query Server (paper §3.2): receives queries from clients (e.g.
+// Pixels-Rover), schedules them at the requested service level, and bills
+// per TB scanned.
+//
+//  - Immediate: submitted to the coordinator at once with CF enabled.
+//  - Relaxed: submitted with CF disabled when VM concurrency is below the
+//    high watermark; otherwise held in the server queue until capacity
+//    appears or the grace period expires (then submitted anyway — the
+//    coordinator queues it for VMs, still without CF).
+//  - Best-of-effort: only submitted when VM concurrency is below the low
+//    watermark; no pending-time guarantee.
+#pragma once
+
+#include <deque>
+
+#include "server/service_level.h"
+#include "turbo/coordinator.h"
+
+namespace pixels {
+
+/// Query-server configuration.
+struct QueryServerParams {
+  PriceList prices;
+  /// Grace period for relaxed queries (paper example: 5 minutes).
+  SimTime relaxed_grace_period = 5 * kMinutes;
+  /// Interval at which held queries re-check cluster load.
+  SimTime poll_interval = 2 * kSeconds;
+  /// Cap on result rows returned to clients (the submission form's
+  /// result-size limit; 0 = unlimited).
+  int64_t default_result_limit = 0;
+};
+
+/// A submission through the query server.
+struct Submission {
+  QuerySpec query;
+  ServiceLevel level = ServiceLevel::kImmediate;
+  /// Overrides the server's default result-size limit when positive.
+  int64_t result_limit = 0;
+};
+
+/// Billing + scheduling record kept per submission.
+struct SubmissionRecord {
+  int64_t server_id = 0;       // id in the query server
+  int64_t coordinator_id = 0;  // id once submitted to the coordinator (0 = held)
+  ServiceLevel level = ServiceLevel::kImmediate;
+  SimTime received_time = 0;
+  SimTime dispatch_time = -1;  // when handed to the coordinator
+  double bill_usd = 0;         // $/TB-scan price charged to the user
+  /// The result as returned to the client, after the submission form's
+  /// result-size limit was applied (null until finished).
+  TablePtr result;
+};
+
+/// The serverless query frontend.
+class QueryServer {
+ public:
+  QueryServer(SimClock* clock, Coordinator* coordinator,
+              QueryServerParams params = {});
+
+  /// Stops the polling loop (lets SimClock::RunAll terminate).
+  void Stop();
+
+  using FinishCallback = std::function<void(const SubmissionRecord&,
+                                            const QueryRecord&)>;
+
+  /// Accepts a query at a service level. `on_finish` fires with both the
+  /// server-side record (incl. the bill) and the engine-side record.
+  int64_t Submit(Submission submission, FinishCallback on_finish = nullptr);
+
+  /// Combined view of one submission's status (pending covers both the
+  /// server hold queue and the coordinator queue).
+  struct StatusView {
+    QueryState state = QueryState::kPending;
+    ServiceLevel level = ServiceLevel::kImmediate;
+    SimTime pending_ms = -1;
+    SimTime execution_ms = -1;
+    double bill_usd = 0;
+    bool used_cf = false;
+    std::string error;
+  };
+  Result<StatusView> GetStatus(int64_t server_id) const;
+
+  const SubmissionRecord* GetRecord(int64_t server_id) const;
+
+  /// Queries currently held by the server (not yet at the coordinator).
+  size_t HeldQueries() const { return relaxed_held_.size() + best_effort_held_.size(); }
+
+  double TotalBilledUsd() const { return total_billed_; }
+  Coordinator* coordinator() const { return coordinator_; }
+  const QueryServerParams& params() const { return params_; }
+  MetricsRegistry& metrics() { return metrics_; }
+
+ private:
+  struct Held {
+    int64_t server_id;
+    SimTime deadline;  // grace-period expiry (relaxed only)
+  };
+
+  void Poll();
+  void EnsurePolling();
+  void DispatchToCoordinator(int64_t server_id, bool cf_enabled);
+
+  SimClock* clock_;
+  Coordinator* coordinator_;
+  QueryServerParams params_;
+
+  int64_t next_id_ = 1;
+  std::map<int64_t, SubmissionRecord> records_;
+  std::map<int64_t, Submission> pending_specs_;
+  std::map<int64_t, FinishCallback> callbacks_;
+  std::deque<Held> relaxed_held_;
+  std::deque<Held> best_effort_held_;
+  bool polling_ = false;
+  uint64_t poll_event_ = 0;
+  bool stopped_ = false;
+  double total_billed_ = 0;
+  MetricsRegistry metrics_;
+};
+
+}  // namespace pixels

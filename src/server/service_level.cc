@@ -1,0 +1,32 @@
+#include "server/service_level.h"
+
+#include "cloud/pricing.h"
+
+namespace pixels {
+
+const char* ServiceLevelName(ServiceLevel level) {
+  switch (level) {
+    case ServiceLevel::kImmediate:
+      return "immediate";
+    case ServiceLevel::kRelaxed:
+      return "relaxed";
+    case ServiceLevel::kBestEffort:
+      return "best-of-effort";
+  }
+  return "?";
+}
+
+Result<ServiceLevel> ServiceLevelFromName(const std::string& name) {
+  if (name == "immediate") return ServiceLevel::kImmediate;
+  if (name == "relaxed") return ServiceLevel::kRelaxed;
+  if (name == "best-of-effort" || name == "best-effort" || name == "besteffort") {
+    return ServiceLevel::kBestEffort;
+  }
+  return Status::InvalidArgument("unknown service level: " + name);
+}
+
+double PriceList::Bill(ServiceLevel level, uint64_t bytes) const {
+  return RateFor(level) * static_cast<double>(bytes) / kBytesPerTB;
+}
+
+}  // namespace pixels

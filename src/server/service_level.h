@@ -1,0 +1,47 @@
+// Service levels and prices (paper §3.2): Immediate ($5/TB-scan, CF
+// acceleration allowed, immediate start), Relaxed ($1/TB-scan, CF
+// disabled, queued up to a grace period while the cluster scales), and
+// Best-of-effort ($0.5/TB-scan, scheduled only when concurrency is below
+// the low watermark).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace pixels {
+
+enum class ServiceLevel : uint8_t {
+  kImmediate = 0,
+  kRelaxed = 1,
+  kBestEffort = 2,
+};
+
+const char* ServiceLevelName(ServiceLevel level);
+
+Result<ServiceLevel> ServiceLevelFromName(const std::string& name);
+
+/// $/TB-scan price list (paper §3.2 demo prices).
+struct PriceList {
+  double immediate_per_tb = 5.0;    // matches AWS Athena
+  double relaxed_per_tb = 1.0;      // 20% of immediate
+  double best_effort_per_tb = 0.5;  // 10% of immediate
+
+  double RateFor(ServiceLevel level) const {
+    switch (level) {
+      case ServiceLevel::kImmediate:
+        return immediate_per_tb;
+      case ServiceLevel::kRelaxed:
+        return relaxed_per_tb;
+      case ServiceLevel::kBestEffort:
+        return best_effort_per_tb;
+    }
+    return immediate_per_tb;
+  }
+
+  /// The bill for a query that scanned `bytes` at `level`.
+  double Bill(ServiceLevel level, uint64_t bytes) const;
+};
+
+}  // namespace pixels

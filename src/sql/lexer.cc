@@ -1,0 +1,160 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <set>
+
+namespace pixels {
+
+namespace {
+const std::set<std::string>& Keywords() {
+  static const std::set<std::string> kKeywords = {
+      "SELECT", "FROM",    "WHERE",  "GROUP",    "BY",       "HAVING",
+      "ORDER",  "LIMIT",   "AS",     "AND",      "OR",       "NOT",
+      "JOIN",   "INNER",   "LEFT",   "RIGHT",    "OUTER",    "CROSS",
+      "ON",     "ASC",     "DESC",   "DISTINCT", "BETWEEN",  "IN",
+      "IS",     "NULL",    "LIKE",   "TRUE",     "FALSE",    "CASE",
+      "WHEN",   "THEN",    "ELSE",   "END",      "CAST",     "DATE",
+      "INTERVAL", "EXISTS", "UNION",  "ALL",     "OFFSET",   "EXPLAIN",
+  };
+  return kKeywords;
+}
+}  // namespace
+
+bool IsReservedKeyword(const std::string& word) {
+  return Keywords().count(word) > 0;
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comments.
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    // Identifiers / keywords.
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_')) {
+        ++i;
+      }
+      std::string word = sql.substr(start, i - start);
+      std::string upper = word;
+      for (auto& ch : upper) ch = static_cast<char>(std::toupper(ch));
+      if (Keywords().count(upper) > 0) {
+        tok.type = TokenType::kKeyword;
+        tok.text = upper;
+      } else {
+        tok.type = TokenType::kIdentifier;
+        for (auto& ch : word) ch = static_cast<char>(std::tolower(ch));
+        tok.text = word;
+      }
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Quoted identifiers.
+    if (c == '"') {
+      size_t start = ++i;
+      while (i < n && sql[i] != '"') ++i;
+      if (i >= n) {
+        return Status::ParseError("unterminated quoted identifier at offset " +
+                                  std::to_string(tok.offset));
+      }
+      tok.type = TokenType::kIdentifier;
+      tok.text = sql.substr(start, i - start);
+      ++i;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // String literals with '' escape.
+    if (c == '\'') {
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {
+            text.push_back('\'');
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        text.push_back(sql[i++]);
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(tok.offset));
+      }
+      tok.type = TokenType::kStringLiteral;
+      tok.text = std::move(text);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Numbers.
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t start = i;
+      bool is_double = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      if (i < n && sql[i] == '.') {
+        is_double = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      if (i < n && (sql[i] == 'e' || sql[i] == 'E')) {
+        is_double = true;
+        ++i;
+        if (i < n && (sql[i] == '+' || sql[i] == '-')) ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      std::string text = sql.substr(start, i - start);
+      if (is_double) {
+        tok.type = TokenType::kDoubleLiteral;
+        tok.double_value = std::strtod(text.c_str(), nullptr);
+      } else {
+        tok.type = TokenType::kIntLiteral;
+        tok.int_value = std::strtoll(text.c_str(), nullptr, 10);
+      }
+      tok.text = std::move(text);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Operators and punctuation.
+    tok.type = TokenType::kOperator;
+    std::string two = (i + 1 < n) ? sql.substr(i, 2) : "";
+    if (two == "<=" || two == ">=" || two == "<>" || two == "!=" ||
+        two == "||") {
+      tok.text = two == "!=" ? "<>" : two;
+      i += 2;
+    } else if (std::string("=<>+-*/%.,()").find(c) != std::string::npos) {
+      tok.text = std::string(1, c);
+      ++i;
+    } else {
+      return Status::ParseError(std::string("unexpected character '") + c +
+                                "' at offset " + std::to_string(i));
+    }
+    tokens.push_back(std::move(tok));
+  }
+  Token eof;
+  eof.type = TokenType::kEof;
+  eof.offset = n;
+  tokens.push_back(std::move(eof));
+  return tokens;
+}
+
+}  // namespace pixels

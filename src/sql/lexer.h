@@ -1,0 +1,19 @@
+// SQL lexer: turns query text into a token stream.
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "sql/token.h"
+
+namespace pixels {
+
+/// Tokenizes `sql`. Keywords are recognized case-insensitively and
+/// normalized to upper case; unquoted identifiers are lower-cased
+/// (standard SQL folding); the final token is always kEof.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+/// True when `word` (upper case) is a reserved SQL keyword.
+bool IsReservedKeyword(const std::string& word);
+
+}  // namespace pixels

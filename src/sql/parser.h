@@ -1,0 +1,21 @@
+// Recursive-descent SQL parser producing SelectStmt ASTs.
+#pragma once
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace pixels {
+
+/// Parses one SELECT statement (optionally terminated by nothing else).
+/// Supported grammar: SELECT [DISTINCT] items FROM table [AS a]
+/// ([LEFT|CROSS] JOIN table [AS b] [ON expr])* [WHERE expr]
+/// [GROUP BY exprs] [HAVING expr] [ORDER BY expr [ASC|DESC], ...]
+/// [LIMIT n], with full scalar/aggregate expressions, BETWEEN, IN, LIKE,
+/// IS [NOT] NULL, CASE, and DATE 'yyyy-mm-dd' literals.
+Result<SelectStmtPtr> ParseSelect(const std::string& sql);
+
+/// Parses a standalone scalar expression (used in tests and by the NL
+/// benchmark's equivalence checks).
+Result<ExprPtr> ParseExpression(const std::string& text);
+
+}  // namespace pixels

@@ -1,0 +1,34 @@
+// SQL token model shared by the lexer and parser.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pixels {
+
+enum class TokenType : uint8_t {
+  kEof = 0,
+  kIdentifier,   // unquoted or "quoted"
+  kKeyword,      // normalized to upper case
+  kIntLiteral,
+  kDoubleLiteral,
+  kStringLiteral,  // contents without quotes
+  kOperator,       // = <> < <= > >= + - * / % || . , ( )
+};
+
+struct Token {
+  TokenType type = TokenType::kEof;
+  std::string text;    // normalized text (keywords upper, identifiers lower)
+  int64_t int_value = 0;
+  double double_value = 0;
+  size_t offset = 0;  // byte offset in the input, for error messages
+
+  bool IsKeyword(const char* kw) const {
+    return type == TokenType::kKeyword && text == kw;
+  }
+  bool IsOp(const char* op) const {
+    return type == TokenType::kOperator && text == op;
+  }
+};
+
+}  // namespace pixels

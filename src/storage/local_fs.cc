@@ -1,0 +1,112 @@
+#include "storage/local_fs.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <system_error>
+
+namespace pixels {
+
+namespace fs = std::filesystem;
+
+Result<std::unique_ptr<LocalFs>> LocalFs::Open(const std::string& root) {
+  std::error_code ec;
+  fs::create_directories(root, ec);
+  if (ec) return Status::IOError("cannot create root " + root + ": " + ec.message());
+  return std::unique_ptr<LocalFs>(new LocalFs(fs::path(root)));
+}
+
+Result<fs::path> LocalFs::Resolve(const std::string& path) const {
+  if (path.empty()) return Status::InvalidArgument("empty path");
+  fs::path p(path);
+  for (const auto& part : p) {
+    if (part == "..") return Status::InvalidArgument("path escapes root: " + path);
+  }
+  return root_ / p;
+}
+
+Result<std::vector<uint8_t>> LocalFs::Read(const std::string& path) {
+  PIXELS_ASSIGN_OR_RETURN(fs::path full, Resolve(path));
+  std::FILE* f = std::fopen(full.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<uint8_t> data(static_cast<size_t>(size));
+  size_t n = size > 0 ? std::fread(data.data(), 1, data.size(), f) : 0;
+  std::fclose(f);
+  if (n != data.size()) return Status::IOError("short read on " + path);
+  return data;
+}
+
+Result<std::vector<uint8_t>> LocalFs::ReadRange(const std::string& path,
+                                                uint64_t offset,
+                                                uint64_t length) {
+  PIXELS_ASSIGN_OR_RETURN(fs::path full, Resolve(path));
+  std::FILE* f = std::fopen(full.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+  std::fseek(f, 0, SEEK_END);
+  uint64_t size = static_cast<uint64_t>(std::ftell(f));
+  if (offset + length > size) {
+    std::fclose(f);
+    return Status::InvalidArgument("read range exceeds file size: " + path);
+  }
+  std::fseek(f, static_cast<long>(offset), SEEK_SET);
+  std::vector<uint8_t> data(static_cast<size_t>(length));
+  size_t n = length > 0 ? std::fread(data.data(), 1, data.size(), f) : 0;
+  std::fclose(f);
+  if (n != data.size()) return Status::IOError("short read on " + path);
+  return data;
+}
+
+Status LocalFs::Write(const std::string& path,
+                      const std::vector<uint8_t>& data) {
+  PIXELS_ASSIGN_OR_RETURN(fs::path full, Resolve(path));
+  std::error_code ec;
+  fs::create_directories(full.parent_path(), ec);
+  if (ec) return Status::IOError("mkdir failed for " + path + ": " + ec.message());
+  std::FILE* f = std::fopen(full.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot create " + path);
+  size_t n = data.empty() ? 0 : std::fwrite(data.data(), 1, data.size(), f);
+  std::fclose(f);
+  if (n != data.size()) return Status::IOError("short write on " + path);
+  return Status::OK();
+}
+
+Result<uint64_t> LocalFs::Size(const std::string& path) {
+  PIXELS_ASSIGN_OR_RETURN(fs::path full, Resolve(path));
+  std::error_code ec;
+  uint64_t size = fs::file_size(full, ec);
+  if (ec) return Status::NotFound("cannot stat " + path + ": " + ec.message());
+  return size;
+}
+
+Result<std::vector<std::string>> LocalFs::List(const std::string& prefix) {
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (auto it = fs::recursive_directory_iterator(root_, ec);
+       !ec && it != fs::recursive_directory_iterator(); it.increment(ec)) {
+    if (!it->is_regular_file(ec)) continue;
+    std::string rel = fs::relative(it->path(), root_, ec).generic_string();
+    if (rel.compare(0, prefix.size(), prefix) == 0) out.push_back(rel);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Status LocalFs::Delete(const std::string& path) {
+  PIXELS_ASSIGN_OR_RETURN(fs::path full, Resolve(path));
+  std::error_code ec;
+  if (!fs::remove(full, ec) || ec) {
+    return Status::NotFound("cannot delete " + path);
+  }
+  return Status::OK();
+}
+
+bool LocalFs::Exists(const std::string& path) {
+  auto full = Resolve(path);
+  if (!full.ok()) return false;
+  std::error_code ec;
+  return fs::is_regular_file(*full, ec);
+}
+
+}  // namespace pixels

@@ -1,0 +1,36 @@
+// Local-filesystem Storage backend, rooted at a directory.
+#pragma once
+
+#include <filesystem>
+
+#include "storage/storage.h"
+
+namespace pixels {
+
+/// Maps object paths to files under a root directory. Parent directories
+/// are created on write. Paths may not escape the root ("..").
+class LocalFs : public Storage {
+ public:
+  /// `root` is created if it does not exist.
+  static Result<std::unique_ptr<LocalFs>> Open(const std::string& root);
+
+  Result<std::vector<uint8_t>> Read(const std::string& path) override;
+  Result<std::vector<uint8_t>> ReadRange(const std::string& path,
+                                         uint64_t offset,
+                                         uint64_t length) override;
+  Status Write(const std::string& path,
+               const std::vector<uint8_t>& data) override;
+  Result<uint64_t> Size(const std::string& path) override;
+  Result<std::vector<std::string>> List(const std::string& prefix) override;
+  Status Delete(const std::string& path) override;
+  bool Exists(const std::string& path) override;
+
+ private:
+  explicit LocalFs(std::filesystem::path root) : root_(std::move(root)) {}
+
+  Result<std::filesystem::path> Resolve(const std::string& path) const;
+
+  std::filesystem::path root_;
+};
+
+}  // namespace pixels

@@ -1,0 +1,73 @@
+#include "storage/memory_store.h"
+
+namespace pixels {
+
+Result<std::vector<uint8_t>> MemoryStore::Read(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = objects_.find(path);
+  if (it == objects_.end()) return Status::NotFound("no such object: " + path);
+  return it->second;
+}
+
+Result<std::vector<uint8_t>> MemoryStore::ReadRange(const std::string& path,
+                                                    uint64_t offset,
+                                                    uint64_t length) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = objects_.find(path);
+  if (it == objects_.end()) return Status::NotFound("no such object: " + path);
+  const auto& obj = it->second;
+  if (offset + length > obj.size()) {
+    return Status::InvalidArgument("read range [" + std::to_string(offset) +
+                                   ", +" + std::to_string(length) +
+                                   ") exceeds object size " +
+                                   std::to_string(obj.size()) + ": " + path);
+  }
+  return std::vector<uint8_t>(obj.begin() + static_cast<ptrdiff_t>(offset),
+                              obj.begin() + static_cast<ptrdiff_t>(offset + length));
+}
+
+Status MemoryStore::Write(const std::string& path,
+                          const std::vector<uint8_t>& data) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  objects_[path] = data;
+  return Status::OK();
+}
+
+Result<uint64_t> MemoryStore::Size(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = objects_.find(path);
+  if (it == objects_.end()) return Status::NotFound("no such object: " + path);
+  return static_cast<uint64_t>(it->second.size());
+}
+
+Result<std::vector<std::string>> MemoryStore::List(const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  for (auto it = objects_.lower_bound(prefix); it != objects_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+Status MemoryStore::Delete(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (objects_.erase(path) == 0) {
+    return Status::NotFound("no such object: " + path);
+  }
+  return Status::OK();
+}
+
+bool MemoryStore::Exists(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return objects_.count(path) > 0;
+}
+
+uint64_t MemoryStore::TotalBytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t total = 0;
+  for (const auto& [_, v] : objects_) total += v.size();
+  return total;
+}
+
+}  // namespace pixels

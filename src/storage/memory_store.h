@@ -1,0 +1,34 @@
+// In-memory Storage backend; the default substrate for tests and for the
+// simulated object store.
+#pragma once
+
+#include <map>
+#include <mutex>
+
+#include "storage/storage.h"
+
+namespace pixels {
+
+/// Thread-safe map-backed object store.
+class MemoryStore : public Storage {
+ public:
+  Result<std::vector<uint8_t>> Read(const std::string& path) override;
+  Result<std::vector<uint8_t>> ReadRange(const std::string& path,
+                                         uint64_t offset,
+                                         uint64_t length) override;
+  Status Write(const std::string& path,
+               const std::vector<uint8_t>& data) override;
+  Result<uint64_t> Size(const std::string& path) override;
+  Result<std::vector<std::string>> List(const std::string& prefix) override;
+  Status Delete(const std::string& path) override;
+  bool Exists(const std::string& path) override;
+
+  /// Total bytes across all stored objects.
+  uint64_t TotalBytes() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::vector<uint8_t>> objects_;
+};
+
+}  // namespace pixels

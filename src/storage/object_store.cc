@@ -1,0 +1,57 @@
+#include "storage/object_store.h"
+
+namespace pixels {
+
+double ObjectStore::EstimateReadLatencyMs(uint64_t bytes) const {
+  const double transfer_ms =
+      static_cast<double>(bytes) / (params_.bandwidth_mbps * 1e6) * 1000.0;
+  return params_.first_byte_latency_ms + transfer_ms;
+}
+
+void ObjectStore::RecordGet(uint64_t bytes) {
+  ++stats_.get_requests;
+  stats_.bytes_read += bytes;
+  stats_.simulated_read_ms += EstimateReadLatencyMs(bytes);
+  stats_.request_cost_usd += params_.get_price_per_1000 / 1000.0;
+}
+
+Result<std::vector<uint8_t>> ObjectStore::Read(const std::string& path) {
+  auto r = inner_->Read(path);
+  if (r.ok()) RecordGet(r.ValueOrDie().size());
+  return r;
+}
+
+Result<std::vector<uint8_t>> ObjectStore::ReadRange(const std::string& path,
+                                                    uint64_t offset,
+                                                    uint64_t length) {
+  auto r = inner_->ReadRange(path, offset, length);
+  if (r.ok()) RecordGet(r.ValueOrDie().size());
+  return r;
+}
+
+Status ObjectStore::Write(const std::string& path,
+                          const std::vector<uint8_t>& data) {
+  Status s = inner_->Write(path, data);
+  if (s.ok()) {
+    ++stats_.put_requests;
+    stats_.bytes_written += data.size();
+    stats_.request_cost_usd += params_.put_price_per_1000 / 1000.0;
+  }
+  return s;
+}
+
+Result<uint64_t> ObjectStore::Size(const std::string& path) {
+  return inner_->Size(path);
+}
+
+Result<std::vector<std::string>> ObjectStore::List(const std::string& prefix) {
+  return inner_->List(prefix);
+}
+
+Status ObjectStore::Delete(const std::string& path) {
+  return inner_->Delete(path);
+}
+
+bool ObjectStore::Exists(const std::string& path) { return inner_->Exists(path); }
+
+}  // namespace pixels

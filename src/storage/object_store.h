@@ -1,0 +1,67 @@
+// Simulated cloud object store (S3-like). Wraps any Storage backend and
+// adds the dimensions the scheduling study needs: per-request first-byte
+// latency, bandwidth-limited transfer time, and request / scanned-byte
+// accounting that feeds the $/TB-scan billing of the query server.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "storage/storage.h"
+
+namespace pixels {
+
+/// Latency and pricing parameters of the simulated object store. Defaults
+/// approximate S3: ~15 ms first byte, ~90 MB/s per reader stream,
+/// $0.0004 per 1000 GETs, $0.005 per 1000 PUTs.
+struct ObjectStoreParams {
+  double first_byte_latency_ms = 15.0;
+  double bandwidth_mbps = 90.0;  // MB per second per stream
+  double get_price_per_1000 = 0.0004;
+  double put_price_per_1000 = 0.005;
+};
+
+/// Accumulated usage counters. Monotonic; callers snapshot and diff.
+struct ObjectStoreStats {
+  uint64_t get_requests = 0;
+  uint64_t put_requests = 0;
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  /// Simulated wall time spent in reads, had they run against S3.
+  double simulated_read_ms = 0;
+  /// Request cost in dollars (GET + PUT).
+  double request_cost_usd = 0;
+};
+
+/// Storage decorator that forwards to `inner` and records usage.
+class ObjectStore : public Storage {
+ public:
+  ObjectStore(std::shared_ptr<Storage> inner, ObjectStoreParams params = {})
+      : inner_(std::move(inner)), params_(params) {}
+
+  Result<std::vector<uint8_t>> Read(const std::string& path) override;
+  Result<std::vector<uint8_t>> ReadRange(const std::string& path,
+                                         uint64_t offset,
+                                         uint64_t length) override;
+  Status Write(const std::string& path,
+               const std::vector<uint8_t>& data) override;
+  Result<uint64_t> Size(const std::string& path) override;
+  Result<std::vector<std::string>> List(const std::string& prefix) override;
+  Status Delete(const std::string& path) override;
+  bool Exists(const std::string& path) override;
+
+  const ObjectStoreStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = ObjectStoreStats{}; }
+
+  /// Simulated latency of reading `bytes` in one request, in milliseconds.
+  double EstimateReadLatencyMs(uint64_t bytes) const;
+
+ private:
+  void RecordGet(uint64_t bytes);
+
+  std::shared_ptr<Storage> inner_;
+  ObjectStoreParams params_;
+  ObjectStoreStats stats_;
+};
+
+}  // namespace pixels

@@ -1,0 +1,16 @@
+#include "storage/storage.h"
+
+namespace pixels {
+
+Status WriteString(Storage* storage, const std::string& path,
+                   const std::string& data) {
+  std::vector<uint8_t> bytes(data.begin(), data.end());
+  return storage->Write(path, bytes);
+}
+
+Result<std::string> ReadString(Storage* storage, const std::string& path) {
+  PIXELS_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, storage->Read(path));
+  return std::string(bytes.begin(), bytes.end());
+}
+
+}  // namespace pixels

@@ -1,0 +1,53 @@
+// Storage abstraction. The Pixels file format reads and writes through
+// this interface, so the same reader code runs against the local file
+// system, an in-memory store (tests), or the simulated cloud object store
+// (which adds S3-like latency and request/scan accounting).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace pixels {
+
+/// A byte-addressable object/file store keyed by path.
+class Storage {
+ public:
+  virtual ~Storage() = default;
+
+  /// Reads the whole object.
+  virtual Result<std::vector<uint8_t>> Read(const std::string& path) = 0;
+
+  /// Reads `length` bytes starting at `offset`. Fails if the range exceeds
+  /// the object size.
+  virtual Result<std::vector<uint8_t>> ReadRange(const std::string& path,
+                                                 uint64_t offset,
+                                                 uint64_t length) = 0;
+
+  /// Creates or replaces the object.
+  virtual Status Write(const std::string& path,
+                       const std::vector<uint8_t>& data) = 0;
+
+  /// Object size in bytes.
+  virtual Result<uint64_t> Size(const std::string& path) = 0;
+
+  /// Paths with the given prefix, sorted.
+  virtual Result<std::vector<std::string>> List(const std::string& prefix) = 0;
+
+  virtual Status Delete(const std::string& path) = 0;
+
+  virtual bool Exists(const std::string& path) = 0;
+};
+
+/// Helper: writes a string payload.
+Status WriteString(Storage* storage, const std::string& path,
+                   const std::string& data);
+
+/// Helper: reads an object as a string.
+Result<std::string> ReadString(Storage* storage, const std::string& path);
+
+}  // namespace pixels

@@ -1,0 +1,92 @@
+#include "turbo/cf_worker.h"
+
+#include "exec/executor.h"
+#include "format/writer.h"
+
+namespace pixels {
+
+Result<TablePtr> RoundTripView(const Table& view, Storage* storage,
+                               const std::string& path) {
+  // Derive the file schema from the view's first batch.
+  if (view.batches().empty()) {
+    // Nothing to persist; an empty table round-trips to itself.
+    return std::make_shared<Table>();
+  }
+  const RowBatch& first = *view.batches()[0];
+  FileSchema schema;
+  for (size_t c = 0; c < first.num_columns(); ++c) {
+    schema.push_back(ColumnDef{first.name(c), first.column(c)->type()});
+  }
+  PixelsWriter writer(schema);
+  for (const auto& batch : view.batches()) {
+    PIXELS_RETURN_NOT_OK(writer.Append(*batch));
+  }
+  PIXELS_RETURN_NOT_OK(writer.Finish(storage, path));
+
+  PIXELS_ASSIGN_OR_RETURN(auto reader, PixelsReader::Open(storage, path));
+  auto out = std::make_shared<Table>();
+  for (size_t g = 0; g < reader->NumRowGroups(); ++g) {
+    PIXELS_ASSIGN_OR_RETURN(RowBatchPtr batch, reader->ReadRowGroup(g, {}));
+    out->AddBatch(std::move(batch));
+  }
+  return out;
+}
+
+Result<CfExecution> ExecuteWithCfPushdown(const PlanPtr& plan,
+                                          Catalog* catalog,
+                                          const CfWorkerOptions& options) {
+  CfExecution out;
+  PIXELS_ASSIGN_OR_RETURN(SubPlanSplit split, SplitForCf(plan));
+
+  ExecContext top_ctx;
+  top_ctx.catalog = catalog;
+
+  if (split.subplan == nullptr) {
+    // Nothing heavy to push: run the plan as-is.
+    PIXELS_ASSIGN_OR_RETURN(out.result, ExecutePlan(plan, &top_ctx));
+    out.bytes_scanned = top_ctx.bytes_scanned;
+    out.work_vcpu_seconds = static_cast<double>(out.bytes_scanned) /
+                            options.bytes_per_vcpu_second;
+    return out;
+  }
+
+  // Partition the sub-plan across the worker fleet.
+  PIXELS_ASSIGN_OR_RETURN(
+      std::vector<PlanPtr> worker_plans,
+      PartitionSubplan(split.subplan, std::max(options.num_workers, 1),
+                       *catalog));
+  out.workers_used = static_cast<int>(worker_plans.size());
+  out.pushdown_used = true;
+
+  // Each worker executes its partition; results concatenate into the view.
+  auto view = std::make_shared<Table>();
+  for (size_t w = 0; w < worker_plans.size(); ++w) {
+    ExecContext worker_ctx;
+    worker_ctx.catalog = catalog;
+    PIXELS_ASSIGN_OR_RETURN(TablePtr part,
+                            ExecutePlan(worker_plans[w], &worker_ctx));
+    out.bytes_scanned += worker_ctx.bytes_scanned;
+    if (options.intermediate_store != nullptr) {
+      // Worker results land in object storage (paper: S3) and the
+      // top-level plan reads them back.
+      PIXELS_ASSIGN_OR_RETURN(
+          part, RoundTripView(*part, options.intermediate_store,
+                              options.view_prefix + "." + std::to_string(w) +
+                                  ".pxl"));
+    }
+    for (const auto& batch : part->batches()) view->AddBatch(batch);
+  }
+  out.view = view;
+  out.work_vcpu_seconds = static_cast<double>(out.bytes_scanned) /
+                          options.bytes_per_vcpu_second;
+
+  // Inject the materialized view and run the top-level plan.
+  PIXELS_RETURN_NOT_OK(InjectView(split.final_plan, view));
+  ExecContext final_ctx;
+  final_ctx.catalog = catalog;
+  PIXELS_ASSIGN_OR_RETURN(out.result, ExecutePlan(split.final_plan, &final_ctx));
+  out.bytes_scanned += final_ctx.bytes_scanned;
+  return out;
+}
+
+}  // namespace pixels

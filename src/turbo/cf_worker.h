@@ -1,0 +1,46 @@
+// CF worker execution of pushed-down sub-plans (paper §3.1): the sub-plan
+// is partitioned over a fleet of ephemeral workers, each worker's result
+// is written to cloud object storage, and the concatenation re-enters the
+// top-level plan as a materialized view.
+#pragma once
+
+#include "catalog/catalog.h"
+#include "plan/subplan.h"
+
+namespace pixels {
+
+/// Outcome of executing a plan with CF pushdown.
+struct CfExecution {
+  TablePtr result;          // final query result
+  TablePtr view;            // the materialized view produced by workers
+  int workers_used = 0;     // actual fleet size
+  uint64_t bytes_scanned = 0;
+  bool pushdown_used = false;
+  /// Per-worker vCPU-seconds estimate derived from bytes (for billing).
+  double work_vcpu_seconds = 0;
+};
+
+/// Options for CF execution.
+struct CfWorkerOptions {
+  int num_workers = 8;
+  /// Storage for worker-produced materialized views (paper: S3). Null
+  /// keeps views in memory.
+  Storage* intermediate_store = nullptr;
+  /// Path prefix for materialized-view objects.
+  std::string view_prefix = "intermediate/view";
+  /// Scan throughput per vCPU used to convert bytes to work (bytes/s).
+  double bytes_per_vcpu_second = 100e6;
+};
+
+/// Executes `plan` with the sub-plan pushed down to a simulated CF worker
+/// fleet. Falls back to plain execution when nothing is pushable.
+Result<CfExecution> ExecuteWithCfPushdown(const PlanPtr& plan,
+                                          Catalog* catalog,
+                                          const CfWorkerOptions& options);
+
+/// Writes a materialized table as a .pxl object and reads it back —
+/// the round trip a CF worker result takes through object storage.
+Result<TablePtr> RoundTripView(const Table& view, Storage* storage,
+                               const std::string& path);
+
+}  // namespace pixels

@@ -1,0 +1,202 @@
+#include "turbo/coordinator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "exec/executor.h"
+#include "plan/binder.h"
+#include "plan/optimizer.h"
+
+namespace pixels {
+
+Coordinator::Coordinator(SimClock* clock, Random* rng,
+                         CoordinatorParams params,
+                         std::shared_ptr<Catalog> catalog)
+    : clock_(clock),
+      rng_(rng),
+      params_(params),
+      catalog_(std::move(catalog)),
+      vm_(clock, rng, params.vm, params.pricing),
+      cf_(clock, rng, params.cf, params.pricing) {
+  vm_.SetCapacityAvailableCallback([this] { DispatchFromQueue(); });
+}
+
+void Coordinator::Start() { vm_.Start(); }
+
+void Coordinator::Stop() { vm_.Stop(); }
+
+double Coordinator::EstimateWork(const QuerySpec& spec) const {
+  if (spec.work_vcpu_seconds > 0) return spec.work_vcpu_seconds;
+  if (spec.bytes_to_scan > 0) {
+    return static_cast<double>(spec.bytes_to_scan) /
+           params_.bytes_per_vcpu_second;
+  }
+  return 1.0;  // a nominal small query
+}
+
+int64_t Coordinator::Submit(QuerySpec spec, QueryCallback on_finish) {
+  const int64_t id = next_id_++;
+  QueryRecord rec;
+  rec.id = id;
+  rec.spec = std::move(spec);
+  rec.state = QueryState::kPending;
+  rec.submit_time = clock_->Now();
+  rec.bytes_scanned = rec.spec.bytes_to_scan;
+  queries_[id] = std::move(rec);
+  if (on_finish) callbacks_[id] = std::move(on_finish);
+
+  QueryRecord* r = &queries_[id];
+  metrics_.Add("queries_submitted", 1);
+
+  if (vm_.TryStartQuery()) {
+    StartInVm(r);
+  } else if (r->spec.cf_enabled &&
+             cf_.CanInvoke(std::max(r->spec.cf_workers,
+                                    params_.default_cf_workers))) {
+    StartInCf(r);
+  } else {
+    vm_queue_.push_back(id);
+    UpdateBacklog();
+    metrics_.Series("vm_queue_depth").Record(clock_->Now(),
+                                             static_cast<double>(vm_queue_.size()));
+  }
+  return id;
+}
+
+void Coordinator::SetExternalPending(int n) {
+  external_pending_ = n < 0 ? 0 : n;
+  UpdateBacklog();
+}
+
+void Coordinator::UpdateBacklog() {
+  vm_.SetBacklog(static_cast<int>(vm_queue_.size()) + external_pending_);
+}
+
+void Coordinator::DispatchFromQueue() {
+  while (!vm_queue_.empty()) {
+    if (!vm_.TryStartQuery()) break;
+    int64_t id = vm_queue_.front();
+    vm_queue_.pop_front();
+    StartInVm(&queries_[id]);
+  }
+  UpdateBacklog();
+  metrics_.Series("vm_queue_depth").Record(clock_->Now(),
+                                           static_cast<double>(vm_queue_.size()));
+}
+
+void Coordinator::MaybeExecuteReal(QueryRecord* rec, bool via_cf) {
+  if (!rec->spec.execute_real || catalog_ == nullptr || rec->spec.sql.empty()) {
+    return;
+  }
+  if (via_cf) {
+    auto plan = PlanQuery(rec->spec.sql, *catalog_, rec->spec.db);
+    if (!plan.ok()) {
+      rec->error = plan.status().ToString();
+      return;
+    }
+    auto optimized = Optimize(std::move(plan).ValueOrDie(), *catalog_);
+    if (!optimized.ok()) {
+      rec->error = optimized.status().ToString();
+      return;
+    }
+    CfWorkerOptions options;
+    options.num_workers = std::max(rec->spec.cf_workers,
+                                   params_.default_cf_workers);
+    options.intermediate_store = catalog_->storage();
+    options.view_prefix = "intermediate/q" + std::to_string(rec->id);
+    auto exec = ExecuteWithCfPushdown(std::move(optimized).ValueOrDie(),
+                                      catalog_.get(), options);
+    if (!exec.ok()) {
+      rec->error = exec.status().ToString();
+      return;
+    }
+    rec->result = exec->result;
+    rec->bytes_scanned = exec->bytes_scanned;
+    rec->cf_workers_used = exec->workers_used;
+    return;
+  }
+  ExecContext ctx;
+  ctx.catalog = catalog_.get();
+  auto result = ExecuteQuery(rec->spec.sql, rec->spec.db, &ctx);
+  if (!result.ok()) {
+    rec->error = result.status().ToString();
+    return;
+  }
+  rec->result = std::move(result).ValueOrDie();
+  rec->bytes_scanned = ctx.bytes_scanned;
+}
+
+void Coordinator::StartInVm(QueryRecord* rec) {
+  rec->state = QueryState::kRunning;
+  rec->start_time = clock_->Now();
+  MaybeExecuteReal(rec, /*via_cf=*/false);
+
+  const double work = rec->spec.execute_real && rec->bytes_scanned > 0
+                          ? static_cast<double>(rec->bytes_scanned) /
+                                params_.bytes_per_vcpu_second
+                          : EstimateWork(rec->spec);
+  const double query_vcpus =
+      static_cast<double>(params_.vm.vcpus_per_vm) /
+      std::max(params_.vm.slots_per_vm, 1);
+  const SimTime duration =
+      params_.query_overhead +
+      static_cast<SimTime>(std::ceil(work / query_vcpus * 1000.0));
+  rec->compute_cost_usd =
+      params_.pricing.VmComputeCost(work);
+
+  clock_->Schedule(duration, [this, id = rec->id] {
+    QueryRecord* r = &queries_[id];
+    vm_.FinishQuery();
+    Finish(r);
+  });
+}
+
+void Coordinator::StartInCf(QueryRecord* rec) {
+  rec->state = QueryState::kRunning;
+  rec->start_time = clock_->Now();
+  rec->used_cf = true;
+  metrics_.Add("queries_cf_accelerated", 1);
+  MaybeExecuteReal(rec, /*via_cf=*/true);
+
+  const double work = rec->spec.execute_real && rec->bytes_scanned > 0
+                          ? static_cast<double>(rec->bytes_scanned) /
+                                params_.bytes_per_vcpu_second
+                          : EstimateWork(rec->spec);
+  const int workers = rec->cf_workers_used > 0
+                          ? rec->cf_workers_used
+                          : std::max(rec->spec.cf_workers,
+                                     params_.default_cf_workers);
+  CfInvocationResult inv =
+      cf_.Invoke(workers, work, [this, id = rec->id] {
+        Finish(&queries_[id]);
+      });
+  rec->cf_workers_used = inv.workers;
+  rec->compute_cost_usd = inv.cost_usd;
+}
+
+void Coordinator::Finish(QueryRecord* rec) {
+  rec->finish_time = clock_->Now();
+  rec->state = rec->error.empty() ? QueryState::kFinished : QueryState::kFailed;
+  metrics_.Add(rec->error.empty() ? "queries_finished" : "queries_failed", 1);
+  auto cb = callbacks_.find(rec->id);
+  if (cb != callbacks_.end()) {
+    QueryCallback fn = std::move(cb->second);
+    callbacks_.erase(cb);
+    fn(*rec);
+  }
+}
+
+const QueryRecord* Coordinator::GetQuery(int64_t id) const {
+  auto it = queries_.find(id);
+  return it == queries_.end() ? nullptr : &it->second;
+}
+
+std::vector<const QueryRecord*> Coordinator::AllQueries() const {
+  std::vector<const QueryRecord*> out;
+  out.reserve(queries_.size());
+  for (const auto& [_, rec] : queries_) out.push_back(&rec);
+  return out;
+}
+
+}  // namespace pixels

@@ -1,0 +1,125 @@
+// The Coordinator (paper §2): the only long-running component of
+// Pixels-Turbo. It manages metadata, admits queries into the VM cluster,
+// invokes CF workers to absorb load the cluster cannot serve in time, and
+// collects results and statistics.
+//
+// This paper's modification (§3.1): an API for the query server to check
+// the system's load status (query concurrency) and to specify per query
+// whether CF acceleration is enabled.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+
+#include "catalog/catalog.h"
+#include "cloud/cf_service.h"
+#include "cloud/vm_cluster.h"
+#include "turbo/cf_worker.h"
+#include "turbo/query_task.h"
+
+namespace pixels {
+
+/// Coordinator configuration.
+struct CoordinatorParams {
+  VmClusterParams vm;
+  CfServiceParams cf;
+  PricingModel pricing;
+  /// Default CF fleet size per accelerated query.
+  int default_cf_workers = 8;
+  /// Scan throughput per vCPU (bytes/s), used to estimate query work from
+  /// bytes and to derive execution durations.
+  double bytes_per_vcpu_second = 100e6;
+  /// Fixed per-query overhead (planning, result collection).
+  SimTime query_overhead = 200 * kMillis;
+};
+
+/// Coordinator of the hybrid serverless query engine.
+class Coordinator {
+ public:
+  using QueryCallback = std::function<void(const QueryRecord&)>;
+
+  Coordinator(SimClock* clock, Random* rng, CoordinatorParams params,
+              std::shared_ptr<Catalog> catalog = nullptr);
+
+  /// Starts the VM cluster autoscaler.
+  void Start();
+  /// Stops periodic events so SimClock::RunAll can terminate.
+  void Stop();
+
+  /// Submits a query. Dispatch policy (paper §3.1):
+  ///  - free VM slot → run in the VM cluster;
+  ///  - cluster saturated and spec.cf_enabled → run in CF workers now;
+  ///  - otherwise → wait in the coordinator queue for VM capacity.
+  /// `on_finish` fires when the query finishes or fails.
+  int64_t Submit(QuerySpec spec, QueryCallback on_finish = nullptr);
+
+  const QueryRecord* GetQuery(int64_t id) const;
+
+  /// Reports demand the coordinator cannot see: queries held in the
+  /// query server's relaxed queue. Counted into the autoscaling signal so
+  /// the grace period actually "gives time for the VM cluster to scale
+  /// out" (paper §3.2(2)).
+  void SetExternalPending(int n);
+
+  /// Load-status API used by the query server (paper §2). Total demand:
+  /// running queries plus every queued/held one (the autoscaling signal).
+  double Concurrency() const { return vm_.Concurrency(); }
+  bool AboveHighWatermark() const { return vm_.AboveHighWatermark(); }
+  bool BelowLowWatermark() const { return vm_.BelowLowWatermark(); }
+
+  /// Concurrency as seen inside the engine (running + coordinator queue),
+  /// excluding demand still held in the query server. The server's
+  /// relaxed gate compares THIS against the high watermark — gating on
+  /// total demand would let the held queries keep their own gate closed.
+  double EngineConcurrency() const {
+    return static_cast<double>(vm_.running_queries()) +
+           static_cast<double>(vm_queue_.size());
+  }
+  bool EngineAboveHighWatermark() const {
+    return EngineConcurrency() >= params_.vm.high_watermark;
+  }
+  size_t QueueDepth() const { return vm_queue_.size(); }
+
+  VmCluster& vm_cluster() { return vm_; }
+  CfService& cf_service() { return cf_; }
+  Catalog* catalog() { return catalog_.get(); }
+  const CoordinatorParams& params() const { return params_; }
+
+  /// Cluster-level accrued costs.
+  double TotalVmCostUsd() { return vm_.AccruedCostUsd(); }
+  double TotalCfCostUsd() const { return cf_.AccruedCostUsd(); }
+
+  /// All records (submission order).
+  std::vector<const QueryRecord*> AllQueries() const;
+
+  MetricsRegistry& metrics() { return metrics_; }
+
+ private:
+  /// Estimated work for a spec (vCPU-seconds).
+  double EstimateWork(const QuerySpec& spec) const;
+
+  void DispatchFromQueue();
+  void UpdateBacklog();
+  void StartInVm(QueryRecord* rec);
+  void StartInCf(QueryRecord* rec);
+  /// Runs the SQL through the real engine if requested; updates record.
+  void MaybeExecuteReal(QueryRecord* rec, bool via_cf);
+  void Finish(QueryRecord* rec);
+
+  SimClock* clock_;
+  Random* rng_;
+  CoordinatorParams params_;
+  std::shared_ptr<Catalog> catalog_;
+  VmCluster vm_;
+  CfService cf_;
+
+  int64_t next_id_ = 1;
+  std::map<int64_t, QueryRecord> queries_;
+  std::map<int64_t, QueryCallback> callbacks_;
+  std::deque<int64_t> vm_queue_;
+  int external_pending_ = 0;
+  MetricsRegistry metrics_;
+};
+
+}  // namespace pixels

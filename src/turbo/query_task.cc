@@ -1,0 +1,19 @@
+#include "turbo/query_task.h"
+
+namespace pixels {
+
+const char* QueryStateName(QueryState s) {
+  switch (s) {
+    case QueryState::kPending:
+      return "pending";
+    case QueryState::kRunning:
+      return "running";
+    case QueryState::kFinished:
+      return "finished";
+    case QueryState::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+}  // namespace pixels

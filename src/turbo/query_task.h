@@ -1,0 +1,80 @@
+// Query lifecycle objects shared by the coordinator and the query server:
+// the four statuses of §4.3 (pending, running, finished, failed) plus the
+// execution statistics Pixels-Rover displays (pending time, execution
+// time, monetary cost).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/sim_clock.h"
+#include "format/batch.h"
+
+namespace pixels {
+
+/// Paper §4.3: pending (waiting to execute), running, finished, failed.
+enum class QueryState : uint8_t { kPending, kRunning, kFinished, kFailed };
+
+const char* QueryStateName(QueryState s);
+
+/// A query submission handed to the coordinator.
+struct QuerySpec {
+  /// SQL text; may be empty for purely synthetic scheduling studies.
+  std::string sql;
+  std::string db = "default";
+
+  /// Total compute work of the query in vCPU-seconds. When 0 and a real
+  /// execution happens, it is estimated from bytes scanned.
+  double work_vcpu_seconds = 0;
+
+  /// Expected bytes scanned (used for scheduling estimates and billing
+  /// when no real execution happens).
+  uint64_t bytes_to_scan = 0;
+
+  /// Paper §3.1 API: whether adaptive CF acceleration may be used for
+  /// this query when the VM cluster is overloaded.
+  bool cf_enabled = false;
+
+  /// Run the SQL through the real engine (catalog must be attached to the
+  /// coordinator); otherwise the query is simulated from the cost model.
+  bool execute_real = false;
+
+  /// CF fleet size when acceleration engages (0 = coordinator default).
+  int cf_workers = 0;
+};
+
+/// Execution record of one query.
+struct QueryRecord {
+  int64_t id = 0;
+  QuerySpec spec;
+  QueryState state = QueryState::kPending;
+
+  SimTime submit_time = 0;
+  SimTime start_time = -1;
+  SimTime finish_time = -1;
+
+  /// True when the query (or its pushed-down sub-plan) ran in CF workers.
+  bool used_cf = false;
+  int cf_workers_used = 0;
+
+  /// Attributed resource cost (VM vCPU-seconds or CF invocation cost).
+  double compute_cost_usd = 0;
+  /// Bytes scanned: real when executed, estimated otherwise.
+  uint64_t bytes_scanned = 0;
+
+  std::string error;
+  TablePtr result;
+
+  /// Time spent waiting before execution began (§4.3 statistic).
+  SimTime PendingTime() const {
+    if (start_time < 0) return -1;
+    return start_time - submit_time;
+  }
+  /// Execution duration (§4.3 statistic).
+  SimTime ExecutionTime() const {
+    if (start_time < 0 || finish_time < 0) return -1;
+    return finish_time - start_time;
+  }
+};
+
+}  // namespace pixels

@@ -1,0 +1,43 @@
+#include <algorithm>
+#include "workload/arrivals.h"
+
+namespace pixels {
+
+std::vector<SimTime> PoissonArrivals(Random* rng, double rate_per_second,
+                                     SimTime duration) {
+  std::vector<SimTime> out;
+  if (rate_per_second <= 0) return out;
+  double t_ms = 0;
+  while (true) {
+    t_ms += rng->Exponential(rate_per_second) * 1000.0;
+    if (t_ms >= static_cast<double>(duration)) break;
+    out.push_back(static_cast<SimTime>(t_ms));
+  }
+  return out;
+}
+
+std::vector<SimTime> SpikeArrivals(Random* rng, double base_rate,
+                                   double spike_rate, SimTime spike_start,
+                                   SimTime spike_duration, SimTime duration) {
+  std::vector<SimTime> out = PoissonArrivals(rng, base_rate, duration);
+  auto spike = PoissonArrivals(rng, spike_rate, spike_duration);
+  for (SimTime t : spike) out.push_back(t + spike_start);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<SimTime> PeriodicSpikeArrivals(Random* rng, double base_rate,
+                                           double spike_rate, SimTime period,
+                                           SimTime spike_len,
+                                           SimTime duration) {
+  std::vector<SimTime> out = PoissonArrivals(rng, base_rate, duration);
+  for (SimTime start = period / 2; start < duration; start += period) {
+    SimTime len = std::min(spike_len, duration - start);
+    auto spike = PoissonArrivals(rng, spike_rate, len);
+    for (SimTime t : spike) out.push_back(t + start);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace pixels

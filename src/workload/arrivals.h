@@ -1,0 +1,30 @@
+// Query arrival processes for the scheduling experiments: steady Poisson
+// traffic, a single workload spike, and periodic spikes (the pattern that
+// exposes eager scale-in, paper §3.2 footnote 2).
+#pragma once
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/sim_clock.h"
+
+namespace pixels {
+
+/// Poisson arrivals at `rate_per_second` over [0, duration).
+std::vector<SimTime> PoissonArrivals(Random* rng, double rate_per_second,
+                                     SimTime duration);
+
+/// Base-rate Poisson traffic with one spike of `spike_rate` during
+/// [spike_start, spike_start + spike_duration).
+std::vector<SimTime> SpikeArrivals(Random* rng, double base_rate,
+                                   double spike_rate, SimTime spike_start,
+                                   SimTime spike_duration, SimTime duration);
+
+/// Periodic spikes: base rate with spikes of `spike_rate` lasting
+/// `spike_len` every `period`.
+std::vector<SimTime> PeriodicSpikeArrivals(Random* rng, double base_rate,
+                                           double spike_rate, SimTime period,
+                                           SimTime spike_len,
+                                           SimTime duration);
+
+}  // namespace pixels

@@ -1,0 +1,115 @@
+#include "workload/loggen.h"
+
+#include "common/random.h"
+#include "format/writer.h"
+
+namespace pixels {
+
+namespace {
+const char* kUrls[] = {"/",          "/login",   "/search", "/cart",
+                       "/checkout",  "/product", "/api/v1", "/api/v2",
+                       "/static/js", "/help"};
+const char* kCountries[] = {"US", "CN", "DE", "FR", "GB", "IN", "JP", "BR"};
+const char* kAgents[] = {"Mozilla", "Chrome", "Safari", "curl", "bot"};
+const int kOkStatuses[] = {200, 200, 200, 204, 301, 302};
+const int kErrStatuses[] = {400, 403, 404, 404, 500, 502, 503};
+}  // namespace
+
+Status GenerateWebLogs(Catalog* catalog, const std::string& db,
+                       const LogGenOptions& options) {
+  Status st = catalog->CreateDatabase(db);
+  if (!st.ok() && !st.IsAlreadyExists()) return st;
+
+  FileSchema schema = {
+      {"event_time", TypeId::kTimestamp}, {"event_date", TypeId::kDate},
+      {"client_ip", TypeId::kString},     {"url", TypeId::kString},
+      {"status", TypeId::kInt32},         {"bytes_sent", TypeId::kInt64},
+      {"latency_ms", TypeId::kDouble},    {"user_agent", TypeId::kString},
+      {"country", TypeId::kString}};
+  PIXELS_RETURN_NOT_OK(catalog->CreateTable(db, "weblogs", schema));
+
+  Random rng(options.seed);
+  const int64_t base_ms = 1718000000000;  // mid-2024 epoch millis
+  const int32_t base_date = static_cast<int32_t>(base_ms / 86400000);
+
+  uint64_t written = 0;
+  int file_index = 0;
+  while (written < options.num_rows) {
+    WriterOptions wopts;
+    wopts.row_group_size = options.row_group_size;
+    PixelsWriter writer(schema, wopts);
+    const uint64_t in_file =
+        std::min<uint64_t>(options.rows_per_file, options.num_rows - written);
+    for (uint64_t r = 0; r < in_file; ++r) {
+      const uint64_t i = written + r;
+      const int64_t ts = base_ms + static_cast<int64_t>(i) * 250 +
+                         rng.Uniform(0, 249);
+      const bool err = rng.Bernoulli(options.error_rate);
+      const int status = err ? kErrStatuses[rng.Uniform(0, 6)]
+                             : kOkStatuses[rng.Uniform(0, 5)];
+      const char* url = kUrls[rng.Zipf(10, 1.1)];
+      // Errors are slower; static content is faster.
+      double latency = rng.Exponential(err ? 1.0 / 180.0 : 1.0 / 40.0);
+      std::vector<Value> row = {
+          Value::Int(ts),
+          Value::Int(base_date + static_cast<int32_t>(
+                                     (ts - base_ms) / 86400000)),
+          Value::String(std::to_string(rng.Uniform(1, 255)) + "." +
+                        std::to_string(rng.Uniform(0, 255)) + "." +
+                        std::to_string(rng.Uniform(0, 255)) + "." +
+                        std::to_string(rng.Uniform(1, 254))),
+          Value::String(url),
+          Value::Int(status),
+          Value::Int(rng.Uniform(128, 1 << 20)),
+          Value::Double(latency),
+          Value::String(kAgents[rng.Uniform(0, 4)]),
+          Value::String(kCountries[rng.Zipf(8, 0.9)])};
+      PIXELS_RETURN_NOT_OK(writer.AppendRow(row));
+    }
+    const std::string path = options.path_prefix + "/" + db +
+                             "/weblogs/part" + std::to_string(file_index) +
+                             ".pxl";
+    PIXELS_RETURN_NOT_OK(writer.Finish(catalog->storage(), path));
+    PIXELS_RETURN_NOT_OK(catalog->AddTableFile(db, "weblogs", path));
+    written += in_file;
+    ++file_index;
+  }
+  return Status::OK();
+}
+
+const std::vector<LogQuery>& LogQuerySet() {
+  static const std::vector<LogQuery> kQueries = {
+      {"errors_per_url",
+       "SELECT url, count(*) AS errors FROM weblogs WHERE status >= 400 "
+       "GROUP BY url ORDER BY errors DESC",
+       1.0},
+      {"traffic_per_country",
+       "SELECT country, count(*) AS requests, sum(bytes_sent) AS bytes FROM "
+       "weblogs GROUP BY country ORDER BY requests DESC",
+       1.5},
+      {"latency_per_url",
+       "SELECT url, avg(latency_ms) AS avg_latency, max(latency_ms) AS "
+       "max_latency FROM weblogs GROUP BY url ORDER BY avg_latency DESC",
+       1.5},
+      {"status_breakdown",
+       "SELECT status, count(*) AS requests FROM weblogs GROUP BY status "
+       "ORDER BY requests DESC",
+       0.8},
+      {"heavy_responses",
+       "SELECT url, client_ip, bytes_sent FROM weblogs WHERE bytes_sent > "
+       "524288 ORDER BY bytes_sent DESC LIMIT 20",
+       0.7},
+  };
+  return kQueries;
+}
+
+std::vector<std::pair<std::string, std::string>> LogSynonyms() {
+  return {
+      {"visits", "url"},      {"requests", "url"},   {"page", "url"},
+      {"pages", "url"},       {"errors", "status"},  {"traffic", "bytes"},
+      {"bandwidth", "bytes"}, {"latency", "latency"}, {"slow", "latency"},
+      {"browser", "agent"},   {"visitors", "client"},
+  };
+}
+
+}  // namespace pixels

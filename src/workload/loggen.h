@@ -1,0 +1,36 @@
+// Internet-log analysis workload (the second workload the paper cites
+// for autoscaler validation, §3.1): a web access-log table plus a set of
+// operational analytics queries.
+#pragma once
+
+#include "catalog/catalog.h"
+
+namespace pixels {
+
+struct LogGenOptions {
+  uint64_t num_rows = 50000;
+  uint64_t seed = 7;
+  size_t row_group_size = 8192;
+  size_t rows_per_file = 20000;
+  std::string path_prefix = "logs";
+  /// Fraction of requests that are errors (4xx/5xx).
+  double error_rate = 0.04;
+};
+
+/// Creates `weblogs` in database `db` and generates access-log rows.
+Status GenerateWebLogs(Catalog* catalog, const std::string& db,
+                       const LogGenOptions& options);
+
+/// Canned log-analytics queries (error breakdowns, traffic by country,
+/// latency profiles).
+struct LogQuery {
+  std::string name;
+  std::string sql;
+  double weight;
+};
+const std::vector<LogQuery>& LogQuerySet();
+
+/// NL synonyms for log questions ("visits" -> "requests" etc.).
+std::vector<std::pair<std::string, std::string>> LogSynonyms();
+
+}  // namespace pixels

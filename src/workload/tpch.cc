@@ -1,0 +1,346 @@
+#include "workload/tpch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "format/writer.h"
+
+namespace pixels {
+
+namespace {
+
+const char* kNations[] = {
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA",  "EGYPT",
+    "ETHIOPIA", "FRANCE",   "GERMANY", "INDIA",  "INDONESIA",
+    "IRAN",     "IRAQ",     "JAPAN",   "JORDAN", "KENYA",
+    "MOROCCO",  "MOZAMBIQUE", "PERU",  "CHINA",  "ROMANIA",
+    "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+    "UNITED STATES"};
+const int kNationRegion[] = {0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 4, 2,
+                             4, 0, 0, 0, 1, 2, 3, 4, 2, 3, 3, 1};
+const char* kRegions[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                          "MIDDLE EAST"};
+const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD",
+                           "MACHINERY"};
+const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                             "4-NOT SPECIFIED", "5-LOW"};
+const char* kShipModes[] = {"AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP",
+                            "TRUCK"};
+const char* kReturnFlags[] = {"A", "N", "R"};
+const char* kLineStatus[] = {"F", "O"};
+
+/// Writes `schema`-shaped rows produced by `gen(row_index)` into one or
+/// more files of a table.
+Status WriteTable(Catalog* catalog, const std::string& db,
+                  const std::string& table, const FileSchema& schema,
+                  uint64_t num_rows, const TpchOptions& options,
+                  const std::function<std::vector<Value>(uint64_t)>& gen) {
+  PIXELS_RETURN_NOT_OK(catalog->CreateTable(db, table, schema));
+  uint64_t written = 0;
+  int file_index = 0;
+  while (written < num_rows || (num_rows == 0 && file_index == 0)) {
+    WriterOptions wopts;
+    wopts.row_group_size = options.row_group_size;
+    PixelsWriter writer(schema, wopts);
+    const uint64_t in_file =
+        std::min<uint64_t>(options.rows_per_file, num_rows - written);
+    for (uint64_t r = 0; r < in_file; ++r) {
+      PIXELS_RETURN_NOT_OK(writer.AppendRow(gen(written + r)));
+    }
+    const std::string path = options.path_prefix + "/" + db + "/" + table +
+                             "/part" + std::to_string(file_index) + ".pxl";
+    PIXELS_RETURN_NOT_OK(writer.Finish(catalog->storage(), path));
+    PIXELS_RETURN_NOT_OK(catalog->AddTableFile(db, table, path));
+    written += in_file;
+    ++file_index;
+    if (num_rows == 0) break;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status GenerateTpch(Catalog* catalog, const std::string& db,
+                    const TpchOptions& options) {
+  Status st = catalog->CreateDatabase(db);
+  if (!st.ok() && !st.IsAlreadyExists()) return st;
+
+  const double sf = options.scale_factor;
+  const uint64_t num_customers = static_cast<uint64_t>(150000 * sf);
+  const uint64_t num_orders = static_cast<uint64_t>(1500000 * sf);
+  const uint64_t num_lineitems = static_cast<uint64_t>(6000000 * sf);
+  constexpr int kNumNations = 25;
+  constexpr int kNumRegions = 5;
+
+  // region
+  {
+    FileSchema schema = {{"r_regionkey", TypeId::kInt32},
+                         {"r_name", TypeId::kString},
+                         {"r_comment", TypeId::kString}};
+    PIXELS_RETURN_NOT_OK(WriteTable(
+        catalog, db, "region", schema, kNumRegions, options,
+        [&](uint64_t i) -> std::vector<Value> {
+          return {Value::Int(static_cast<int64_t>(i)),
+                  Value::String(kRegions[i]),
+                  Value::String("region comment " + std::to_string(i))};
+        }));
+  }
+
+  // nation
+  {
+    FileSchema schema = {{"n_nationkey", TypeId::kInt32},
+                         {"n_name", TypeId::kString},
+                         {"n_regionkey", TypeId::kInt32},
+                         {"n_comment", TypeId::kString}};
+    PIXELS_RETURN_NOT_OK(WriteTable(
+        catalog, db, "nation", schema, kNumNations, options,
+        [&](uint64_t i) -> std::vector<Value> {
+          return {Value::Int(static_cast<int64_t>(i)),
+                  Value::String(kNations[i]),
+                  Value::Int(kNationRegion[i]),
+                  Value::String("nation comment " + std::to_string(i))};
+        }));
+  }
+
+  // customer
+  {
+    Random crng(options.seed + 1);
+    FileSchema schema = {{"c_custkey", TypeId::kInt64},
+                         {"c_name", TypeId::kString},
+                         {"c_address", TypeId::kString},
+                         {"c_nationkey", TypeId::kInt32},
+                         {"c_acctbal", TypeId::kDouble},
+                         {"c_mktsegment", TypeId::kString}};
+    PIXELS_RETURN_NOT_OK(WriteTable(
+        catalog, db, "customer", schema, num_customers, options,
+        [&](uint64_t i) -> std::vector<Value> {
+          return {Value::Int(static_cast<int64_t>(i) + 1),
+                  Value::String("Customer#" + std::to_string(i + 1)),
+                  Value::String(crng.NextString(12)),
+                  Value::Int(crng.Uniform(0, kNumNations - 1)),
+                  Value::Double(crng.UniformDouble(-999.99, 9999.99)),
+                  Value::String(kSegments[crng.Uniform(0, 4)])};
+        }));
+  }
+
+  // orders
+  const int32_t kStartDate = 8035;   // 1992-01-01
+  const int32_t kEndDate = 10591;    // 1998-12-31 (exclusive-ish)
+  {
+    Random orng(options.seed + 2);
+    FileSchema schema = {{"o_orderkey", TypeId::kInt64},
+                         {"o_custkey", TypeId::kInt64},
+                         {"o_orderstatus", TypeId::kString},
+                         {"o_totalprice", TypeId::kDouble},
+                         {"o_orderdate", TypeId::kDate},
+                         {"o_orderpriority", TypeId::kString},
+                         {"o_shippriority", TypeId::kInt32}};
+    PIXELS_RETURN_NOT_OK(WriteTable(
+        catalog, db, "orders", schema, num_orders, options,
+        [&](uint64_t i) -> std::vector<Value> {
+          // Orders arrive roughly in date order (as in operational
+          // systems), which is what makes zone maps effective on dates.
+          int32_t base = kStartDate + static_cast<int32_t>(
+                                          i * static_cast<uint64_t>(
+                                                  kEndDate - kStartDate) /
+                                          std::max<uint64_t>(num_orders, 1));
+          int32_t date = static_cast<int32_t>(
+              std::clamp<int64_t>(base + orng.Uniform(-45, 45), kStartDate,
+                                  kEndDate));
+          const char* status = date < 9500 ? "F" : (orng.Bernoulli(0.5) ? "O" : "P");
+          return {Value::Int(static_cast<int64_t>(i) + 1),
+                  Value::Int(orng.Uniform(1, std::max<int64_t>(
+                                                 static_cast<int64_t>(num_customers), 1))),
+                  Value::String(status),
+                  Value::Double(orng.UniformDouble(900.0, 500000.0)),
+                  Value::Int(date),
+                  Value::String(kPriorities[orng.Uniform(0, 4)]),
+                  Value::Int(orng.Uniform(0, 1))};
+        }));
+  }
+
+  // supplier
+  const uint64_t num_suppliers =
+      std::max<uint64_t>(static_cast<uint64_t>(10000 * sf), 5);
+  {
+    Random srng(options.seed + 4);
+    FileSchema schema = {{"s_suppkey", TypeId::kInt64},
+                         {"s_name", TypeId::kString},
+                         {"s_nationkey", TypeId::kInt32},
+                         {"s_acctbal", TypeId::kDouble},
+                         {"s_phone", TypeId::kString}};
+    PIXELS_RETURN_NOT_OK(WriteTable(
+        catalog, db, "supplier", schema, num_suppliers, options,
+        [&](uint64_t i) -> std::vector<Value> {
+          return {Value::Int(static_cast<int64_t>(i) + 1),
+                  Value::String("Supplier#" + std::to_string(i + 1)),
+                  Value::Int(srng.Uniform(0, kNumNations - 1)),
+                  Value::Double(srng.UniformDouble(-999.99, 9999.99)),
+                  Value::String(std::to_string(srng.Uniform(10, 34)) + "-" +
+                                std::to_string(srng.Uniform(100, 999)) + "-" +
+                                std::to_string(srng.Uniform(1000, 9999)))};
+        }));
+  }
+
+  // part
+  const uint64_t num_parts =
+      std::max<uint64_t>(static_cast<uint64_t>(200000 * sf), 20);
+  {
+    Random prng(options.seed + 5);
+    static const char* kPartTypes[] = {"STANDARD", "SMALL", "MEDIUM",
+                                       "LARGE", "ECONOMY", "PROMO"};
+    static const char* kMaterials[] = {"TIN", "NICKEL", "BRASS", "STEEL",
+                                       "COPPER"};
+    static const char* kContainers[] = {"SM CASE", "SM BOX", "MED BAG",
+                                        "MED BOX", "LG CASE", "LG DRUM"};
+    FileSchema schema = {{"p_partkey", TypeId::kInt64},
+                         {"p_name", TypeId::kString},
+                         {"p_brand", TypeId::kString},
+                         {"p_type", TypeId::kString},
+                         {"p_size", TypeId::kInt32},
+                         {"p_retailprice", TypeId::kDouble},
+                         {"p_container", TypeId::kString}};
+    PIXELS_RETURN_NOT_OK(WriteTable(
+        catalog, db, "part", schema, num_parts, options,
+        [&](uint64_t i) -> std::vector<Value> {
+          std::string type = std::string(kPartTypes[prng.Uniform(0, 5)]) +
+                             " " + kMaterials[prng.Uniform(0, 4)];
+          return {Value::Int(static_cast<int64_t>(i) + 1),
+                  Value::String("part " + prng.NextString(8)),
+                  Value::String("Brand#" + std::to_string(prng.Uniform(1, 5)) +
+                                std::to_string(prng.Uniform(1, 5))),
+                  Value::String(type),
+                  Value::Int(prng.Uniform(1, 50)),
+                  Value::Double(900.0 + static_cast<double>(i % 1000)),
+                  Value::String(kContainers[prng.Uniform(0, 5)])};
+        }));
+  }
+
+  // lineitem
+  {
+    Random lrng(options.seed + 3);
+    FileSchema schema = {{"l_orderkey", TypeId::kInt64},
+                         {"l_partkey", TypeId::kInt64},
+                         {"l_suppkey", TypeId::kInt64},
+                         {"l_linenumber", TypeId::kInt32},
+                         {"l_quantity", TypeId::kDouble},
+                         {"l_extendedprice", TypeId::kDouble},
+                         {"l_discount", TypeId::kDouble},
+                         {"l_tax", TypeId::kDouble},
+                         {"l_returnflag", TypeId::kString},
+                         {"l_linestatus", TypeId::kString},
+                         {"l_shipdate", TypeId::kDate},
+                         {"l_shipmode", TypeId::kString}};
+    PIXELS_RETURN_NOT_OK(WriteTable(
+        catalog, db, "lineitem", schema, num_lineitems, options,
+        [&](uint64_t i) -> std::vector<Value> {
+          // Cluster line items on order keys so joins have matches.
+          int64_t orderkey =
+              static_cast<int64_t>(i / 4 % std::max<uint64_t>(num_orders, 1)) + 1;
+          double qty = static_cast<double>(lrng.Uniform(1, 50));
+          double price = qty * lrng.UniformDouble(900.0, 2100.0);
+          // Ship dates follow insertion order with jitter, giving the
+          // clustered layout zone maps exploit.
+          int32_t ship_base = kStartDate + static_cast<int32_t>(
+                                               i * static_cast<uint64_t>(
+                                                       kEndDate + 90 -
+                                                       kStartDate) /
+                                               std::max<uint64_t>(
+                                                   num_lineitems, 1));
+          int32_t shipdate = static_cast<int32_t>(
+              std::clamp<int64_t>(ship_base + lrng.Uniform(-60, 60),
+                                  kStartDate, kEndDate + 90));
+          const char* flag = shipdate < 9300
+                                 ? kReturnFlags[lrng.Uniform(0, 1)]
+                                 : kReturnFlags[2 - lrng.Uniform(0, 1)];
+          return {Value::Int(orderkey),
+                  Value::Int(lrng.Uniform(1, static_cast<int64_t>(num_parts))),
+                  Value::Int(lrng.Uniform(
+                      1, static_cast<int64_t>(num_suppliers))),
+                  Value::Int(static_cast<int64_t>(i % 4) + 1),
+                  Value::Double(qty),
+                  Value::Double(price),
+                  Value::Double(lrng.UniformDouble(0.0, 0.1)),
+                  Value::Double(lrng.UniformDouble(0.0, 0.08)),
+                  Value::String(flag),
+                  Value::String(kLineStatus[shipdate < 9700 ? 0 : 1]),
+                  Value::Int(shipdate),
+                  Value::String(kShipModes[lrng.Uniform(0, 6)])};
+        }));
+  }
+  return Status::OK();
+}
+
+const std::vector<TpchQuery>& TpchQuerySet() {
+  static const std::vector<TpchQuery> kQueries = {
+      {"q1_pricing_summary",
+       "SELECT l_returnflag, l_linestatus, sum(l_quantity) AS sum_qty, "
+       "sum(l_extendedprice) AS sum_base_price, avg(l_discount) AS avg_disc, "
+       "count(*) AS count_order FROM lineitem WHERE l_shipdate <= DATE "
+       "'1998-09-02' GROUP BY l_returnflag, l_linestatus ORDER BY "
+       "l_returnflag, l_linestatus",
+       3.0},
+      {"q3_shipping_priority",
+       "SELECT o.o_orderkey, sum(l.l_extendedprice * (1 - l.l_discount)) AS "
+       "revenue FROM orders o JOIN lineitem l ON o.o_orderkey = l.l_orderkey "
+       "WHERE o.o_orderdate < DATE '1995-03-15' GROUP BY o.o_orderkey ORDER "
+       "BY revenue DESC LIMIT 10",
+       4.0},
+      {"q5_local_supplier",
+       "SELECT n.n_name, sum(l.l_extendedprice * (1 - l.l_discount)) AS "
+       "revenue FROM customer c JOIN orders o ON c.c_custkey = o.o_custkey "
+       "JOIN lineitem l ON o.o_orderkey = l.l_orderkey JOIN nation n ON "
+       "c.c_nationkey = n.n_nationkey GROUP BY n.n_name ORDER BY revenue "
+       "DESC",
+       6.0},
+      {"q6_forecast_revenue",
+       "SELECT sum(l_extendedprice * l_discount) AS revenue FROM lineitem "
+       "WHERE l_shipdate >= DATE '1994-01-01' AND l_shipdate < DATE "
+       "'1995-01-01' AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < "
+       "24",
+       1.5},
+      {"q12_shipmode_priority",
+       "SELECT l.l_shipmode, sum(CASE WHEN o.o_orderpriority = '1-URGENT' OR "
+       "o.o_orderpriority = '2-HIGH' THEN 1 ELSE 0 END) AS high_line_count, "
+       "sum(CASE WHEN o.o_orderpriority <> '1-URGENT' AND o.o_orderpriority "
+       "<> '2-HIGH' THEN 1 ELSE 0 END) AS low_line_count FROM orders o JOIN "
+       "lineitem l ON o.o_orderkey = l.l_orderkey WHERE l.l_shipmode IN "
+       "('MAIL', 'SHIP') AND l.l_shipdate < DATE '1995-01-01' GROUP BY "
+       "l.l_shipmode ORDER BY l.l_shipmode",
+       4.0},
+      {"q14_promo_effect",
+       "SELECT 100.0 * sum(CASE WHEN p.p_type LIKE 'PROMO%' THEN "
+       "l.l_extendedprice * (1 - l.l_discount) ELSE 0 END) / "
+       "sum(l.l_extendedprice * (1 - l.l_discount)) AS promo_revenue FROM "
+       "lineitem l JOIN part p ON l.l_partkey = p.p_partkey WHERE "
+       "l.l_shipdate >= DATE '1995-09-01' AND l.l_shipdate < DATE "
+       "'1995-10-01'",
+       3.5},
+      {"q_supplier_balance",
+       "SELECT n.n_name, count(*) AS suppliers, avg(s.s_acctbal) AS avg_bal "
+       "FROM supplier s JOIN nation n ON s.s_nationkey = n.n_nationkey GROUP "
+       "BY n.n_name ORDER BY suppliers DESC, n.n_name LIMIT 10",
+       1.0},
+      {"probe_count_orders", "SELECT count(*) FROM orders", 0.5},
+      {"probe_top_customers",
+       "SELECT c_mktsegment, count(*) AS customers, avg(c_acctbal) AS "
+       "avg_bal FROM customer GROUP BY c_mktsegment ORDER BY customers DESC",
+       1.0},
+  };
+  return kQueries;
+}
+
+std::vector<std::pair<std::string, std::string>> TpchSynonyms() {
+  return {
+      {"revenue", "extendedprice"}, {"price", "extendedprice"},
+      {"sales", "extendedprice"},   {"quantity", "quantity"},
+      {"segment", "mktsegment"},    {"market", "mktsegment"},
+      {"balance", "acctbal"},       {"account", "acctbal"},
+      {"country", "name"},          {"flag", "returnflag"},
+      {"status", "linestatus"},     {"shipped", "shipdate"},
+      {"date", "orderdate"},
+  };
+}
+
+}  // namespace pixels

@@ -1,0 +1,42 @@
+// TPC-H-subset workload: schema, scaled data generator, and a canned
+// query set. The paper validates the autoscaler on TPC-H (§3.1); these
+// tables and queries drive the scheduling and pushdown experiments.
+#pragma once
+
+#include "catalog/catalog.h"
+#include "common/random.h"
+
+namespace pixels {
+
+/// Generator options. scale_factor 1.0 ≈ 6M lineitem rows (we default far
+/// smaller for in-memory experiments).
+struct TpchOptions {
+  double scale_factor = 0.01;
+  uint64_t seed = 42;
+  size_t row_group_size = 8192;
+  /// Rows per .pxl file (multiple files let CF workers partition scans).
+  size_t rows_per_file = 20000;
+  std::string path_prefix = "tpch";
+};
+
+/// Creates database `db` in the catalog with nation, region, customer,
+/// orders, and lineitem, generates data at the given scale, and writes
+/// the .pxl files through the catalog's storage.
+Status GenerateTpch(Catalog* catalog, const std::string& db,
+                    const TpchOptions& options);
+
+/// Canned analytical queries (adapted TPC-H Q1/Q3/Q5/Q6 plus smaller
+/// probes), all within the engine's supported SQL.
+struct TpchQuery {
+  std::string name;
+  std::string sql;
+  /// Relative compute weight (used by scheduling benches to vary work).
+  double weight;
+};
+const std::vector<TpchQuery>& TpchQuerySet();
+
+/// Registers NL synonyms that make TPC-H questions natural ("revenue" ->
+/// "extendedprice" etc.) on a parser or service.
+std::vector<std::pair<std::string, std::string>> TpchSynonyms();
+
+}  // namespace pixels

@@ -1,0 +1,133 @@
+#include "catalog/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "format/writer.h"
+#include "storage/memory_store.h"
+
+namespace pixels {
+namespace {
+
+class CatalogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    storage_ = std::make_shared<MemoryStore>();
+    catalog_ = std::make_shared<Catalog>(storage_);
+  }
+
+  FileSchema SimpleSchema() {
+    return {{"id", TypeId::kInt64}, {"name", TypeId::kString}};
+  }
+
+  void WriteSimpleFile(const std::string& path, int rows) {
+    PixelsWriter writer(SimpleSchema());
+    for (int i = 0; i < rows; ++i) {
+      ASSERT_TRUE(writer
+                      .AppendRow({Value::Int(i),
+                                  Value::String("r" + std::to_string(i))})
+                      .ok());
+    }
+    ASSERT_TRUE(writer.Finish(storage_.get(), path).ok());
+  }
+
+  std::shared_ptr<MemoryStore> storage_;
+  std::shared_ptr<Catalog> catalog_;
+};
+
+TEST_F(CatalogTest, CreateAndListDatabases) {
+  ASSERT_TRUE(catalog_->CreateDatabase("a").ok());
+  ASSERT_TRUE(catalog_->CreateDatabase("b").ok());
+  EXPECT_TRUE(catalog_->CreateDatabase("a").IsAlreadyExists());
+  auto dbs = catalog_->ListDatabases();
+  ASSERT_TRUE(dbs.ok());
+  EXPECT_EQ(*dbs, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST_F(CatalogTest, GetDatabaseMissing) {
+  EXPECT_TRUE(catalog_->GetDatabase("nope").status().IsNotFound());
+}
+
+TEST_F(CatalogTest, CreateTableValidation) {
+  ASSERT_TRUE(catalog_->CreateDatabase("db").ok());
+  EXPECT_TRUE(catalog_->CreateTable("nope", "t", SimpleSchema()).IsNotFound());
+  EXPECT_TRUE(catalog_->CreateTable("db", "t", {}).IsInvalidArgument());
+  ASSERT_TRUE(catalog_->CreateTable("db", "t", SimpleSchema()).ok());
+  EXPECT_TRUE(catalog_->CreateTable("db", "t", SimpleSchema()).IsAlreadyExists());
+}
+
+TEST_F(CatalogTest, AddTableFileUpdatesStats) {
+  ASSERT_TRUE(catalog_->CreateDatabase("db").ok());
+  ASSERT_TRUE(catalog_->CreateTable("db", "t", SimpleSchema()).ok());
+  WriteSimpleFile("db/t/p0.pxl", 10);
+  WriteSimpleFile("db/t/p1.pxl", 5);
+  ASSERT_TRUE(catalog_->AddTableFile("db", "t", "db/t/p0.pxl").ok());
+  ASSERT_TRUE(catalog_->AddTableFile("db", "t", "db/t/p1.pxl").ok());
+  auto table = catalog_->GetTable("db", "t");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->row_count, 15u);
+  EXPECT_EQ((*table)->files.size(), 2u);
+  EXPECT_GT((*table)->total_bytes, 0u);
+}
+
+TEST_F(CatalogTest, AddTableFileRejectsSchemaMismatch) {
+  ASSERT_TRUE(catalog_->CreateDatabase("db").ok());
+  ASSERT_TRUE(catalog_->CreateTable("db", "t", SimpleSchema()).ok());
+  FileSchema other = {{"x", TypeId::kDouble}};
+  PixelsWriter writer(other);
+  ASSERT_TRUE(writer.AppendRow({Value::Double(1)}).ok());
+  ASSERT_TRUE(writer.Finish(storage_.get(), "db/t/bad.pxl").ok());
+  EXPECT_TRUE(
+      catalog_->AddTableFile("db", "t", "db/t/bad.pxl").IsInvalidArgument());
+}
+
+TEST_F(CatalogTest, DropTable) {
+  ASSERT_TRUE(catalog_->CreateDatabase("db").ok());
+  ASSERT_TRUE(catalog_->CreateTable("db", "t", SimpleSchema()).ok());
+  ASSERT_TRUE(catalog_->DropTable("db", "t").ok());
+  EXPECT_TRUE(catalog_->GetTable("db", "t").status().IsNotFound());
+  EXPECT_TRUE(catalog_->DropTable("db", "t").IsNotFound());
+}
+
+TEST_F(CatalogTest, ScanTableAcrossFiles) {
+  ASSERT_TRUE(catalog_->CreateDatabase("db").ok());
+  ASSERT_TRUE(catalog_->CreateTable("db", "t", SimpleSchema()).ok());
+  WriteSimpleFile("db/t/p0.pxl", 7);
+  WriteSimpleFile("db/t/p1.pxl", 3);
+  ASSERT_TRUE(catalog_->AddTableFile("db", "t", "db/t/p0.pxl").ok());
+  ASSERT_TRUE(catalog_->AddTableFile("db", "t", "db/t/p1.pxl").ok());
+  uint64_t bytes = 0;
+  auto batches = catalog_->ScanTable("db", "t", ScanOptions{}, &bytes);
+  ASSERT_TRUE(batches.ok());
+  size_t rows = 0;
+  for (const auto& b : *batches) rows += b->num_rows();
+  EXPECT_EQ(rows, 10u);
+  EXPECT_GT(bytes, 0u);
+}
+
+TEST_F(CatalogTest, SchemaJsonShape) {
+  ASSERT_TRUE(catalog_->CreateDatabase("db").ok());
+  ASSERT_TRUE(catalog_->CreateTable("db", "t", SimpleSchema()).ok());
+  auto db = catalog_->GetDatabase("db");
+  ASSERT_TRUE(db.ok());
+  Json j = (*db)->ToJson();
+  EXPECT_EQ(j.Get("database").AsString(), "db");
+  EXPECT_EQ(j.Get("tables").size(), 1u);
+  const Json& table = j.Get("tables").At(0);
+  EXPECT_EQ(table.Get("table").AsString(), "t");
+  EXPECT_EQ(table.Get("columns").At(0).Get("name").AsString(), "id");
+  EXPECT_EQ(table.Get("columns").At(0).Get("type").AsString(), "bigint");
+}
+
+TEST_F(CatalogTest, ColumnTypeLookup) {
+  ASSERT_TRUE(catalog_->CreateDatabase("db").ok());
+  ASSERT_TRUE(catalog_->CreateTable("db", "t", SimpleSchema()).ok());
+  auto table = catalog_->GetTable("db", "t");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(*(*table)->ColumnType("name"), TypeId::kString);
+  EXPECT_TRUE((*table)->ColumnType("zzz").status().IsNotFound());
+  EXPECT_EQ((*table)->FindColumn("id"), 0);
+  EXPECT_EQ((*table)->FindColumn("zzz"), -1);
+}
+
+}  // namespace
+}  // namespace pixels

@@ -1,0 +1,158 @@
+#include "catalog/compaction.h"
+
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "format/writer.h"
+#include "storage/memory_store.h"
+
+namespace pixels {
+namespace {
+
+class CompactionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    storage_ = std::make_shared<MemoryStore>();
+    catalog_ = std::make_shared<Catalog>(storage_);
+    ASSERT_TRUE(catalog_->CreateDatabase("db").ok());
+    schema_ = {{"id", TypeId::kInt64}, {"v", TypeId::kDouble}};
+    ASSERT_TRUE(catalog_->CreateTable("db", "t", schema_).ok());
+  }
+
+  // Writes `files` files of `rows_each` rows with globally increasing ids.
+  void Populate(int files, int rows_each) {
+    int64_t next_id = 0;
+    for (int f = 0; f < files; ++f) {
+      PixelsWriter writer(schema_);
+      for (int r = 0; r < rows_each; ++r, ++next_id) {
+        ASSERT_TRUE(writer
+                        .AppendRow({Value::Int(next_id),
+                                    Value::Double(next_id * 0.25)})
+                        .ok());
+      }
+      std::string path = "db/t/small" + std::to_string(f) + ".pxl";
+      ASSERT_TRUE(writer.Finish(storage_.get(), path).ok());
+      ASSERT_TRUE(catalog_->AddTableFile("db", "t", path).ok());
+    }
+  }
+
+  int64_t CountRows() {
+    ExecContext ctx;
+    ctx.catalog = catalog_.get();
+    auto r = ExecuteQuery("SELECT count(*) AS n, sum(id) AS s FROM t", "db",
+                          &ctx);
+    EXPECT_TRUE(r.ok());
+    return (*r)->CollectColumn("n")[0].i;
+  }
+
+  std::shared_ptr<MemoryStore> storage_;
+  std::shared_ptr<Catalog> catalog_;
+  FileSchema schema_;
+};
+
+TEST_F(CompactionTest, MergesSmallFiles) {
+  Populate(10, 100);
+  CompactionOptions options;
+  options.target_rows_per_file = 600;
+  auto result = CompactTable(catalog_.get(), "db", "t", options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->files_before, 10u);
+  EXPECT_EQ(result->files_after, 2u);  // 600 + 400
+  EXPECT_EQ(result->rows, 1000u);
+  auto table = catalog_->GetTable("db", "t");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->files.size(), 2u);
+  EXPECT_EQ((*table)->row_count, 1000u);
+}
+
+TEST_F(CompactionTest, DataSurvivesExactly) {
+  Populate(7, 53);
+  int64_t before = CountRows();
+  ExecContext ctx_before;
+  ctx_before.catalog = catalog_.get();
+  auto sum_before = ExecuteQuery("SELECT sum(id) AS s FROM t", "db", &ctx_before);
+  ASSERT_TRUE(sum_before.ok());
+  double s_before = (*sum_before)->CollectColumn("s")[0].AsDouble();
+
+  ASSERT_TRUE(CompactTable(catalog_.get(), "db", "t").ok());
+  EXPECT_EQ(CountRows(), before);
+  ExecContext ctx_after;
+  ctx_after.catalog = catalog_.get();
+  auto sum_after = ExecuteQuery("SELECT sum(id) AS s FROM t", "db", &ctx_after);
+  ASSERT_TRUE(sum_after.ok());
+  EXPECT_DOUBLE_EQ((*sum_after)->CollectColumn("s")[0].AsDouble(), s_before);
+}
+
+TEST_F(CompactionTest, InputsDeletedByDefault) {
+  Populate(4, 10);
+  ASSERT_TRUE(CompactTable(catalog_.get(), "db", "t").ok());
+  auto leftovers = storage_->List("db/t/small");
+  ASSERT_TRUE(leftovers.ok());
+  EXPECT_TRUE(leftovers->empty());
+}
+
+TEST_F(CompactionTest, InputsKeptWhenRequested) {
+  Populate(4, 10);
+  CompactionOptions options;
+  options.delete_inputs = false;
+  ASSERT_TRUE(CompactTable(catalog_.get(), "db", "t", options).ok());
+  auto leftovers = storage_->List("db/t/small");
+  ASSERT_TRUE(leftovers.ok());
+  EXPECT_EQ(leftovers->size(), 4u);
+}
+
+TEST_F(CompactionTest, EmptyTableCompactsToNothing) {
+  auto result = CompactTable(catalog_.get(), "db", "t");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->files_after, 0u);
+  EXPECT_EQ(result->rows, 0u);
+}
+
+TEST_F(CompactionTest, CustomPrefixUsed) {
+  Populate(2, 10);
+  CompactionOptions options;
+  options.path_prefix = "archive/t/big";
+  ASSERT_TRUE(CompactTable(catalog_.get(), "db", "t", options).ok());
+  auto table = catalog_->GetTable("db", "t");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->files[0].rfind("archive/t/big", 0), 0u);
+}
+
+TEST_F(CompactionTest, MissingTableFails) {
+  EXPECT_TRUE(CompactTable(catalog_.get(), "db", "nope").status().IsNotFound());
+}
+
+TEST_F(CompactionTest, ReplaceTableFilesValidatesSchema) {
+  Populate(1, 5);
+  FileSchema other = {{"x", TypeId::kString}};
+  PixelsWriter writer(other);
+  ASSERT_TRUE(writer.AppendRow({Value::String("a")}).ok());
+  ASSERT_TRUE(writer.Finish(storage_.get(), "other.pxl").ok());
+  EXPECT_TRUE(catalog_->ReplaceTableFiles("db", "t", {"other.pxl"})
+                  .IsInvalidArgument());
+  // Table untouched after the failed swap.
+  auto table = catalog_->GetTable("db", "t");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->row_count, 5u);
+}
+
+TEST_F(CompactionTest, CompactionReducesPerScanRequests) {
+  Populate(20, 50);
+  // Wrap storage accounting around scans pre/post compaction: the number
+  // of reader opens equals the file count, so fewer files = fewer
+  // footer/chunk requests.
+  auto count_files = [&] {
+    auto table = catalog_->GetTable("db", "t");
+    EXPECT_TRUE(table.ok());
+    return (*table)->files.size();
+  };
+  EXPECT_EQ(count_files(), 20u);
+  CompactionOptions options;
+  options.target_rows_per_file = 1000;
+  ASSERT_TRUE(CompactTable(catalog_.get(), "db", "t", options).ok());
+  EXPECT_EQ(count_files(), 1u);
+  EXPECT_EQ(CountRows(), 1000);
+}
+
+}  // namespace
+}  // namespace pixels

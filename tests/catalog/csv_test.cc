@@ -1,0 +1,162 @@
+#include "catalog/csv.h"
+
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "storage/memory_store.h"
+
+namespace pixels {
+namespace {
+
+FileSchema TestSchema() {
+  return {{"id", TypeId::kInt64},
+          {"name", TypeId::kString},
+          {"score", TypeId::kDouble},
+          {"joined", TypeId::kDate},
+          {"active", TypeId::kBool}};
+}
+
+TEST(CsvParseTest, BasicRows) {
+  const std::string csv =
+      "id,name,score,joined,active\n"
+      "1,alice,9.5,2024-01-15,true\n"
+      "2,bob,7.25,2023-06-01,false\n";
+  auto rows = ParseCsv(csv, TestSchema());
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0][0].i, 1);
+  EXPECT_EQ((*rows)[0][1].s, "alice");
+  EXPECT_DOUBLE_EQ((*rows)[1][2].d, 7.25);
+  EXPECT_EQ((*rows)[0][3].i, *ParseDate("2024-01-15"));
+  EXPECT_TRUE((*rows)[0][4].AsBool());
+  EXPECT_FALSE((*rows)[1][4].AsBool());
+}
+
+TEST(CsvParseTest, QuotedFieldsAndEscapes) {
+  FileSchema schema = {{"a", TypeId::kString}, {"b", TypeId::kString}};
+  const std::string csv =
+      "a,b\n"
+      "\"has,comma\",\"has \"\"quotes\"\"\"\n"
+      "\"multi\nline\",plain\n";
+  auto rows = ParseCsv(csv, schema);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0][0].s, "has,comma");
+  EXPECT_EQ((*rows)[0][1].s, "has \"quotes\"");
+  EXPECT_EQ((*rows)[1][0].s, "multi\nline");
+}
+
+TEST(CsvParseTest, EmptyFieldsAreNull) {
+  const std::string csv = "id,name,score,joined,active\n3,,,,\n";
+  auto rows = ParseCsv(csv, TestSchema());
+  ASSERT_TRUE(rows.ok());
+  EXPECT_FALSE((*rows)[0][0].is_null());
+  for (int c = 1; c < 5; ++c) EXPECT_TRUE((*rows)[0][c].is_null()) << c;
+}
+
+TEST(CsvParseTest, CustomNullLiteralAndDelimiter) {
+  FileSchema schema = {{"a", TypeId::kInt64}, {"b", TypeId::kString}};
+  CsvOptions options;
+  options.delimiter = ';';
+  options.null_literal = "NA";
+  const std::string csv = "a;b\n1;x\nNA;NA\n";
+  auto rows = ParseCsv(csv, schema, options);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE((*rows)[1][0].is_null());
+  EXPECT_TRUE((*rows)[1][1].is_null());
+}
+
+TEST(CsvParseTest, HeaderValidation) {
+  auto bad_count = ParseCsv("id,name\n", TestSchema());
+  EXPECT_TRUE(bad_count.status().IsParseError());
+  auto bad_name =
+      ParseCsv("id,wrong,score,joined,active\n", TestSchema());
+  EXPECT_TRUE(bad_name.status().IsParseError());
+}
+
+TEST(CsvParseTest, NoHeaderMode) {
+  FileSchema schema = {{"a", TypeId::kInt64}};
+  CsvOptions options;
+  options.has_header = false;
+  auto rows = ParseCsv("1\n2\n3\n", schema, options);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 3u);
+}
+
+TEST(CsvParseTest, TypeErrorsReportLine) {
+  FileSchema schema = {{"a", TypeId::kInt64}};
+  auto r = ParseCsv("a\nnotanint\n", schema);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos);
+  EXPECT_FALSE(ParseCsv("a\n1.5x\n", {{"a", TypeId::kDouble}}).ok());
+  EXPECT_FALSE(ParseCsv("a\n2024-13-99\n", {{"a", TypeId::kDate}}).ok());
+  EXPECT_FALSE(ParseCsv("a\nmaybe\n", {{"a", TypeId::kBool}}).ok());
+}
+
+TEST(CsvParseTest, FieldCountMismatchFails) {
+  FileSchema schema = {{"a", TypeId::kInt64}, {"b", TypeId::kInt64}};
+  EXPECT_FALSE(ParseCsv("a,b\n1\n", schema).ok());
+  EXPECT_FALSE(ParseCsv("a,b\n1,2,3\n", schema).ok());
+}
+
+TEST(CsvLoadTest, EndToEndLoadAndQuery) {
+  auto storage = std::make_shared<MemoryStore>();
+  auto catalog = std::make_shared<Catalog>(storage);
+  ASSERT_TRUE(catalog->CreateDatabase("db").ok());
+  const std::string csv =
+      "id,name,score,joined,active\n"
+      "1,alice,9.5,2024-01-15,true\n"
+      "2,bob,7.25,2023-06-01,false\n"
+      "3,carol,8.0,2024-03-20,true\n";
+  auto loaded = LoadCsvTable(catalog.get(), "db", "people", TestSchema(), csv,
+                             "db/people/part0.pxl");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded, 3u);
+
+  ExecContext ctx;
+  ctx.catalog = catalog.get();
+  auto result = ExecuteQuery(
+      "SELECT name FROM people WHERE active AND score > 8 ORDER BY name",
+      "db", &ctx);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto names = (*result)->CollectColumn("name");
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0].s, "alice");
+}
+
+TEST(CsvExportTest, RoundTripThroughCsv) {
+  auto storage = std::make_shared<MemoryStore>();
+  auto catalog = std::make_shared<Catalog>(storage);
+  ASSERT_TRUE(catalog->CreateDatabase("db").ok());
+  const std::string csv =
+      "id,name,score,joined,active\n"
+      "1,\"a,b\",1.5,2020-01-01,true\n"
+      "2,,,,\n";
+  ASSERT_TRUE(LoadCsvTable(catalog.get(), "db", "t", TestSchema(), csv,
+                           "db/t/p.pxl")
+                  .ok());
+  ExecContext ctx;
+  ctx.catalog = catalog.get();
+  auto result = ExecuteQuery("SELECT * FROM t ORDER BY id", "db", &ctx);
+  ASSERT_TRUE(result.ok());
+  std::string exported = TableToCsv(**result);
+  EXPECT_NE(exported.find("\"a,b\""), std::string::npos);
+  // NULLs export as empty fields.
+  EXPECT_NE(exported.find("2,,,,"), std::string::npos);
+}
+
+TEST(CsvExportTest, QuotesSpecialCharacters) {
+  Table table;
+  auto batch = std::make_shared<RowBatch>();
+  auto col = MakeVector(TypeId::kString);
+  col->AppendString("with \"quote\"");
+  col->AppendString("with\nnewline");
+  batch->AddColumn("text", col);
+  table.AddBatch(batch);
+  std::string csv = TableToCsv(table);
+  EXPECT_NE(csv.find("\"with \"\"quote\"\"\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\nnewline\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pixels

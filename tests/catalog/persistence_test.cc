@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "exec/executor.h"
+#include "format/writer.h"
+#include "storage/memory_store.h"
+#include "workload/tpch.h"
+
+namespace pixels {
+namespace {
+
+TEST(CatalogPersistenceTest, SchemaJsonRoundTrip) {
+  TableSchema t;
+  t.name = "orders";
+  t.columns = {{"o_orderkey", TypeId::kInt64},
+               {"o_orderdate", TypeId::kDate},
+               {"o_comment", TypeId::kString}};
+  t.files = {"a/p0.pxl", "a/p1.pxl"};
+  t.row_count = 123;
+  t.total_bytes = 4567;
+  auto restored = TableSchema::FromJson(t.ToJson());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->name, "orders");
+  EXPECT_TRUE(restored->columns == t.columns);
+  EXPECT_EQ(restored->files, t.files);
+  EXPECT_EQ(restored->row_count, 123u);
+  EXPECT_EQ(restored->total_bytes, 4567u);
+}
+
+TEST(CatalogPersistenceTest, RejectsMalformedJson) {
+  EXPECT_FALSE(TableSchema::FromJson(Json("not an object")).ok());
+  Json no_cols = Json::Object();
+  no_cols.Set("table", "t");
+  EXPECT_FALSE(TableSchema::FromJson(no_cols).ok());
+  Json bad_type = Json::Object();
+  bad_type.Set("table", "t");
+  Json cols = Json::Array();
+  Json col = Json::Object();
+  col.Set("name", "x");
+  col.Set("type", "blob");
+  cols.Append(std::move(col));
+  bad_type.Set("columns", std::move(cols));
+  EXPECT_FALSE(TableSchema::FromJson(bad_type).ok());
+}
+
+TEST(CatalogPersistenceTest, SaveLoadPreservesQueries) {
+  auto storage = std::make_shared<MemoryStore>();
+  {
+    // "First boot": generate data, persist the catalog.
+    Catalog catalog(storage);
+    TpchOptions options;
+    options.scale_factor = 0.001;
+    ASSERT_TRUE(GenerateTpch(&catalog, "tpch", options).ok());
+    ASSERT_TRUE(catalog.SaveToStorage("meta/catalog.json").ok());
+  }
+  {
+    // "Restart": a fresh catalog over the same storage loads metadata and
+    // serves queries against the existing .pxl files.
+    auto restarted = std::make_shared<Catalog>(storage);
+    ASSERT_TRUE(restarted->LoadFromStorage("meta/catalog.json").ok());
+    auto dbs = restarted->ListDatabases();
+    ASSERT_TRUE(dbs.ok());
+    EXPECT_EQ(*dbs, (std::vector<std::string>{"tpch"}));
+    auto table = restarted->GetTable("tpch", "orders");
+    ASSERT_TRUE(table.ok());
+    EXPECT_EQ((*table)->row_count, 1500u);
+    ExecContext ctx;
+    ctx.catalog = restarted.get();
+    auto result = ExecuteQuery("SELECT count(*) AS n FROM lineitem", "tpch",
+                               &ctx);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ((*result)->CollectColumn("n")[0].i, 6000);
+  }
+}
+
+TEST(CatalogPersistenceTest, LoadReplacesExistingContents) {
+  auto storage = std::make_shared<MemoryStore>();
+  Catalog donor(storage);
+  ASSERT_TRUE(donor.CreateDatabase("kept").ok());
+  ASSERT_TRUE(
+      donor.CreateTable("kept", "t", {{"x", TypeId::kInt64}}).ok());
+  ASSERT_TRUE(donor.SaveToStorage("meta.json").ok());
+
+  Catalog target(storage);
+  ASSERT_TRUE(target.CreateDatabase("stale").ok());
+  ASSERT_TRUE(target.LoadFromStorage("meta.json").ok());
+  EXPECT_TRUE(target.GetDatabase("stale").status().IsNotFound());
+  EXPECT_TRUE(target.GetDatabase("kept").ok());
+}
+
+TEST(CatalogPersistenceTest, LoadMissingFileFails) {
+  auto storage = std::make_shared<MemoryStore>();
+  Catalog catalog(storage);
+  EXPECT_TRUE(catalog.LoadFromStorage("nope.json").IsNotFound());
+}
+
+TEST(CatalogPersistenceTest, LoadCorruptDocumentFails) {
+  auto storage = std::make_shared<MemoryStore>();
+  ASSERT_TRUE(WriteString(storage.get(), "bad.json", "{not json").ok());
+  Catalog catalog(storage);
+  EXPECT_FALSE(catalog.LoadFromStorage("bad.json").ok());
+
+  ASSERT_TRUE(WriteString(storage.get(), "wrong_version.json",
+                          R"({"format_version": 99, "databases": []})")
+                  .ok());
+  EXPECT_TRUE(catalog.LoadFromStorage("wrong_version.json").IsCorruption());
+}
+
+TEST(CatalogPersistenceTest, EmptyCatalogRoundTrips) {
+  auto storage = std::make_shared<MemoryStore>();
+  Catalog catalog(storage);
+  ASSERT_TRUE(catalog.SaveToStorage("empty.json").ok());
+  Catalog other(storage);
+  ASSERT_TRUE(other.LoadFromStorage("empty.json").ok());
+  EXPECT_TRUE(other.ListDatabases()->empty());
+}
+
+}  // namespace
+}  // namespace pixels

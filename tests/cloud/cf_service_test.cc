@@ -1,0 +1,119 @@
+#include "cloud/cf_service.h"
+
+#include <gtest/gtest.h>
+
+namespace pixels {
+namespace {
+
+class CfServiceTest : public ::testing::Test {
+ protected:
+  SimClock clock_;
+  Random rng_{42};
+  CfServiceParams params_;
+  PricingModel pricing_;
+};
+
+TEST_F(CfServiceTest, StartupLatencyWithinParameters) {
+  CfService cf(&clock_, &rng_, params_, pricing_);
+  for (int i = 0; i < 20; ++i) {
+    auto result = cf.Invoke(100, 10.0, nullptr);
+    EXPECT_GE(result.startup_latency, params_.startup_min);
+    EXPECT_LE(result.startup_latency, params_.startup_max);
+  }
+  clock_.RunAll();
+}
+
+TEST_F(CfServiceTest, HundredsOfWorkersInAboutASecond) {
+  // Paper: "create hundreds of workers in 1 second".
+  CfService cf(&clock_, &rng_, params_, pricing_);
+  auto result = cf.Invoke(500, 0.0, nullptr);
+  EXPECT_EQ(result.workers, 500);
+  EXPECT_LE(result.startup_latency, 1500 * kMillis);
+  clock_.RunAll();
+}
+
+TEST_F(CfServiceTest, WorkDividesAcrossWorkers) {
+  CfService cf(&clock_, &rng_, params_, pricing_);
+  // 60 vCPU-seconds over 10 workers of 6 vCPU = 1 second each.
+  auto result = cf.Invoke(10, 60.0, nullptr);
+  EXPECT_EQ(result.run_duration, 1000);
+  // Same work over 1 worker = 10 seconds.
+  auto single = cf.Invoke(1, 60.0, nullptr);
+  EXPECT_EQ(single.run_duration, 10000);
+  clock_.RunAll();
+}
+
+TEST_F(CfServiceTest, DurationCappedAtMax) {
+  params_.max_duration = 2 * kSeconds;
+  CfService cf(&clock_, &rng_, params_, pricing_);
+  auto result = cf.Invoke(1, 1e6, nullptr);
+  EXPECT_EQ(result.run_duration, 2 * kSeconds);
+  clock_.RunAll();
+}
+
+TEST_F(CfServiceTest, CompletionCallbackFiresAfterStartupPlusRun) {
+  CfService cf(&clock_, &rng_, params_, pricing_);
+  SimTime done_at = -1;
+  auto result = cf.Invoke(4, 24.0, [&] { done_at = clock_.Now(); });
+  clock_.RunAll();
+  EXPECT_EQ(done_at, result.startup_latency + result.run_duration);
+}
+
+TEST_F(CfServiceTest, InFlightTracking) {
+  CfService cf(&clock_, &rng_, params_, pricing_);
+  cf.Invoke(10, 60.0, nullptr);
+  EXPECT_EQ(cf.in_flight(), 10);
+  EXPECT_TRUE(cf.CanInvoke(params_.max_concurrent_workers - 10));
+  EXPECT_FALSE(cf.CanInvoke(params_.max_concurrent_workers - 9));
+  clock_.RunAll();
+  EXPECT_EQ(cf.in_flight(), 0);
+}
+
+TEST_F(CfServiceTest, CostScalesWithWorkersAndDuration) {
+  pricing_.cf_invocation_cost = 0;
+  CfService cf(&clock_, &rng_, params_, pricing_);
+  auto r1 = cf.Invoke(1, 6.0, nullptr);   // 1 worker, 1s at 6 vCPU
+  auto r2 = cf.Invoke(2, 12.0, nullptr);  // 2 workers, 1s each
+  EXPECT_NEAR(r2.cost_usd, 2 * r1.cost_usd, 1e-12);
+  clock_.RunAll();
+}
+
+TEST_F(CfServiceTest, CfMoreExpensiveThanVmForSameWork) {
+  // The paper's core pricing premise: the same vCPU-seconds cost 9-24x
+  // more on CF than on VMs.
+  pricing_.cf_invocation_cost = 0;
+  CfService cf(&clock_, &rng_, params_, pricing_);
+  const double work = 600.0;  // vCPU-seconds
+  auto result = cf.Invoke(10, work, nullptr);
+  double vm_cost = pricing_.VmComputeCost(work);
+  double ratio = result.cost_usd / vm_cost;
+  EXPECT_GE(ratio, 9.0);
+  EXPECT_LE(ratio, 24.0);
+  clock_.RunAll();
+}
+
+TEST_F(CfServiceTest, AccruedCostAccumulates) {
+  CfService cf(&clock_, &rng_, params_, pricing_);
+  auto r1 = cf.Invoke(5, 30.0, nullptr);
+  auto r2 = cf.Invoke(3, 18.0, nullptr);
+  EXPECT_NEAR(cf.AccruedCostUsd(), r1.cost_usd + r2.cost_usd, 1e-12);
+  EXPECT_EQ(cf.total_invocations(), 8);
+  clock_.RunAll();
+}
+
+TEST_F(CfServiceTest, ZeroWorkersClampedToOne) {
+  CfService cf(&clock_, &rng_, params_, pricing_);
+  auto result = cf.Invoke(0, 6.0, nullptr);
+  EXPECT_EQ(result.workers, 1);
+  clock_.RunAll();
+}
+
+TEST_F(CfServiceTest, MetricsRecordInFlight) {
+  CfService cf(&clock_, &rng_, params_, pricing_);
+  cf.Invoke(2, 12.0, nullptr);
+  clock_.RunAll();
+  EXPECT_GE(cf.metrics().Series("cf_in_flight").size(), 2u);
+}
+
+}  // namespace
+}  // namespace pixels

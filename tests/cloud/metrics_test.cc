@@ -1,0 +1,103 @@
+#include "cloud/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace pixels {
+namespace {
+
+TEST(TimeSeriesTest, BasicStats) {
+  TimeSeries ts;
+  ts.Record(0, 1);
+  ts.Record(10, 5);
+  ts.Record(20, 3);
+  EXPECT_DOUBLE_EQ(ts.Min(), 1);
+  EXPECT_DOUBLE_EQ(ts.Max(), 5);
+  EXPECT_DOUBLE_EQ(ts.Mean(), 3);
+  EXPECT_EQ(ts.size(), 3u);
+}
+
+TEST(TimeSeriesTest, EmptySeries) {
+  TimeSeries ts;
+  EXPECT_TRUE(ts.empty());
+  EXPECT_DOUBLE_EQ(ts.Min(), 0);
+  EXPECT_DOUBLE_EQ(ts.Max(), 0);
+  EXPECT_DOUBLE_EQ(ts.Mean(), 0);
+  EXPECT_DOUBLE_EQ(ts.ValueAt(100), 0);
+}
+
+TEST(TimeSeriesTest, ValueAtStepSemantics) {
+  TimeSeries ts;
+  ts.Record(10, 1);
+  ts.Record(20, 2);
+  EXPECT_DOUBLE_EQ(ts.ValueAt(5), 0);
+  EXPECT_DOUBLE_EQ(ts.ValueAt(10), 1);
+  EXPECT_DOUBLE_EQ(ts.ValueAt(15), 1);
+  EXPECT_DOUBLE_EQ(ts.ValueAt(20), 2);
+  EXPECT_DOUBLE_EQ(ts.ValueAt(1000), 2);
+}
+
+TEST(TimeSeriesTest, TimeWeightedMean) {
+  TimeSeries ts;
+  ts.Record(0, 0);
+  ts.Record(10, 10);  // value 0 during [0,10), 10 during [10,20)
+  EXPECT_DOUBLE_EQ(ts.TimeWeightedMean(0, 20), 5.0);
+  EXPECT_DOUBLE_EQ(ts.TimeWeightedMean(10, 20), 10.0);
+  EXPECT_DOUBLE_EQ(ts.TimeWeightedMean(0, 10), 0.0);
+}
+
+TEST(TimeSeriesTest, TimeWeightedMeanDegenerateWindow) {
+  TimeSeries ts;
+  ts.Record(0, 7);
+  EXPECT_DOUBLE_EQ(ts.TimeWeightedMean(5, 5), 7.0);
+}
+
+TEST(MetricsRegistryTest, CountersAccumulate) {
+  MetricsRegistry m;
+  m.Add("queries", 1);
+  m.Add("queries", 2);
+  EXPECT_DOUBLE_EQ(m.Counter("queries"), 3);
+  EXPECT_DOUBLE_EQ(m.Counter("missing"), 0);
+}
+
+TEST(MetricsRegistryTest, SeriesByName) {
+  MetricsRegistry m;
+  m.Series("vms").Record(0, 2);
+  m.Series("vms").Record(1000, 3);
+  EXPECT_EQ(m.Series("vms").size(), 2u);
+  EXPECT_EQ(m.AllSeries().size(), 1u);
+}
+
+TEST(MetricsRegistryTest, CsvFormat) {
+  MetricsRegistry m;
+  m.Series("x").Record(2000, 1.5);
+  std::string csv = m.ToCsv("x");
+  EXPECT_NE(csv.find("x,2.0"), std::string::npos);
+  EXPECT_NE(csv.find("1.5"), std::string::npos);
+  EXPECT_TRUE(m.ToCsv("missing").empty());
+}
+
+TEST(PercentileTest, KnownValues) {
+  std::vector<double> v = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 1);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 3);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 5);
+  EXPECT_DOUBLE_EQ(Percentile(v, 25), 2);
+}
+
+TEST(PercentileTest, Interpolates) {
+  std::vector<double> v = {0, 10};
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 5);
+  EXPECT_DOUBLE_EQ(Percentile(v, 90), 9);
+}
+
+TEST(PercentileTest, EmptyAndSingle) {
+  EXPECT_DOUBLE_EQ(Percentile({}, 50), 0);
+  EXPECT_DOUBLE_EQ(Percentile({42}, 99), 42);
+}
+
+TEST(PercentileTest, UnsortedInput) {
+  EXPECT_DOUBLE_EQ(Percentile({5, 1, 3}, 50), 3);
+}
+
+}  // namespace
+}  // namespace pixels

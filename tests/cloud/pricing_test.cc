@@ -1,0 +1,59 @@
+#include "cloud/pricing.h"
+
+#include <gtest/gtest.h>
+
+namespace pixels {
+namespace {
+
+TEST(PricingTest, VmPricePerVcpuSecond) {
+  PricingModel p;
+  p.vm_price_per_vcpu_hour = 0.036;
+  EXPECT_DOUBLE_EQ(p.VmPricePerVcpuSecond(), 0.00001);
+}
+
+TEST(PricingTest, CfUnitPriceRatioInPaperRange) {
+  // Paper §2: CF has 9-24x higher resource unit prices than VMs.
+  PricingModel p;
+  double ratio = p.CfPricePerVcpuSecond() / p.VmPricePerVcpuSecond();
+  EXPECT_GE(ratio, 9.0);
+  EXPECT_LE(ratio, 24.0);
+}
+
+TEST(PricingTest, VmComputeCostLinearInWork) {
+  PricingModel p;
+  EXPECT_DOUBLE_EQ(p.VmComputeCost(7200.0),
+                   7200.0 * p.vm_price_per_vcpu_hour / 3600.0);
+  EXPECT_DOUBLE_EQ(p.VmComputeCost(0), 0);
+}
+
+TEST(PricingTest, CfInvocationIncludesRequestCost) {
+  PricingModel p;
+  p.cf_invocation_cost = 0.001;
+  double c = p.CfInvocationCost(1.0, 0);
+  EXPECT_DOUBLE_EQ(c, 0.001);
+}
+
+TEST(PricingTest, CfBillingQuantumRoundsUp) {
+  PricingModel p;
+  p.cf_invocation_cost = 0;
+  p.cf_billing_quantum_ms = 100;
+  double c1 = p.CfInvocationCost(1.0, 1);    // rounds to 100ms
+  double c2 = p.CfInvocationCost(1.0, 100);  // exactly 100ms
+  EXPECT_DOUBLE_EQ(c1, c2);
+  double c3 = p.CfInvocationCost(1.0, 101);  // rounds to 200ms
+  EXPECT_DOUBLE_EQ(c3, 2 * c2);
+}
+
+TEST(PricingTest, CfCostScalesWithVcpus) {
+  PricingModel p;
+  p.cf_invocation_cost = 0;
+  EXPECT_NEAR(p.CfInvocationCost(6.0, 1000),
+              6.0 * p.CfPricePerVcpuSecond(), 1e-12);
+}
+
+TEST(PricingTest, BytesPerTbConstant) {
+  EXPECT_DOUBLE_EQ(kBytesPerTB, 1e12);
+}
+
+}  // namespace
+}  // namespace pixels

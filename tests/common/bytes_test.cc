@@ -1,0 +1,122 @@
+#include "common/bytes.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace pixels {
+namespace {
+
+TEST(BytesTest, FixedWidthRoundTrip) {
+  ByteWriter w;
+  w.PutU8(0xab);
+  w.PutU16(0x1234);
+  w.PutU32(0xdeadbeef);
+  w.PutU64(0x0123456789abcdefULL);
+  w.PutI32(-42);
+  w.PutI64(-1234567890123LL);
+  w.PutF64(3.14159);
+
+  ByteReader r(w.data());
+  EXPECT_EQ(*r.GetU8(), 0xab);
+  EXPECT_EQ(*r.GetU16(), 0x1234);
+  EXPECT_EQ(*r.GetU32(), 0xdeadbeefu);
+  EXPECT_EQ(*r.GetU64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(*r.GetI32(), -42);
+  EXPECT_EQ(*r.GetI64(), -1234567890123LL);
+  EXPECT_DOUBLE_EQ(*r.GetF64(), 3.14159);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BytesTest, VarintRoundTrip) {
+  ByteWriter w;
+  const uint64_t values[] = {0, 1, 127, 128, 300, 16383, 16384,
+                             std::numeric_limits<uint64_t>::max()};
+  for (uint64_t v : values) w.PutVarint(v);
+  ByteReader r(w.data());
+  for (uint64_t v : values) EXPECT_EQ(*r.GetVarint(), v);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BytesTest, VarintSmallValuesAreOneByte) {
+  ByteWriter w;
+  w.PutVarint(100);
+  EXPECT_EQ(w.size(), 1u);
+}
+
+TEST(BytesTest, SignedVarintRoundTrip) {
+  ByteWriter w;
+  const int64_t values[] = {0, -1, 1, -64, 64, -1000000,
+                            std::numeric_limits<int64_t>::min(),
+                            std::numeric_limits<int64_t>::max()};
+  for (int64_t v : values) w.PutSignedVarint(v);
+  ByteReader r(w.data());
+  for (int64_t v : values) EXPECT_EQ(*r.GetSignedVarint(), v);
+}
+
+TEST(BytesTest, ZigzagKeepsSmallMagnitudesSmall) {
+  ByteWriter w;
+  w.PutSignedVarint(-2);
+  EXPECT_EQ(w.size(), 1u);
+}
+
+TEST(BytesTest, StringRoundTrip) {
+  ByteWriter w;
+  w.PutString("hello");
+  w.PutString("");
+  w.PutString(std::string("\0binary\xff", 8));
+  ByteReader r(w.data());
+  EXPECT_EQ(*r.GetString(), "hello");
+  EXPECT_EQ(*r.GetString(), "");
+  EXPECT_EQ(*r.GetString(), std::string("\0binary\xff", 8));
+}
+
+TEST(BytesTest, TruncatedFixedReadFails) {
+  ByteWriter w;
+  w.PutU8(1);
+  ByteReader r(w.data());
+  EXPECT_TRUE(r.GetU32().status().IsCorruption());
+}
+
+TEST(BytesTest, TruncatedVarintFails) {
+  std::vector<uint8_t> bytes = {0x80};  // continuation with no next byte
+  ByteReader r(bytes.data(), bytes.size());
+  EXPECT_TRUE(r.GetVarint().status().IsCorruption());
+}
+
+TEST(BytesTest, OverlongVarintFails) {
+  std::vector<uint8_t> bytes(11, 0x80);
+  ByteReader r(bytes.data(), bytes.size());
+  EXPECT_TRUE(r.GetVarint().status().IsCorruption());
+}
+
+TEST(BytesTest, TruncatedStringFails) {
+  ByteWriter w;
+  w.PutVarint(100);  // declared length longer than payload
+  w.PutBytes("abc", 3);
+  ByteReader r(w.data());
+  EXPECT_TRUE(r.GetString().status().IsCorruption());
+}
+
+TEST(BytesTest, SeekAndPosition) {
+  ByteWriter w;
+  w.PutU32(1);
+  w.PutU32(2);
+  ByteReader r(w.data());
+  ASSERT_TRUE(r.Seek(4).ok());
+  EXPECT_EQ(*r.GetU32(), 2u);
+  EXPECT_TRUE(r.Seek(100).IsInvalidArgument());
+}
+
+TEST(BytesTest, GetBytesCopiesRaw) {
+  ByteWriter w;
+  w.PutBytes("abcdef", 6);
+  ByteReader r(w.data());
+  char buf[4] = {0};
+  ASSERT_TRUE(r.GetBytes(buf, 3).ok());
+  EXPECT_EQ(std::string(buf, 3), "abc");
+  EXPECT_EQ(r.remaining(), 3u);
+}
+
+}  // namespace
+}  // namespace pixels

@@ -1,0 +1,70 @@
+#include "common/config.h"
+
+#include <gtest/gtest.h>
+
+namespace pixels {
+namespace {
+
+TEST(ConfigTest, ParsesKeyValues) {
+  auto r = Config::FromString(
+      "a=1\n"
+      "b = hello world \n"
+      "# comment\n"
+      "\n"
+      "c.d=3.5\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->GetInt("a", 0), 1);
+  EXPECT_EQ(r->GetString("b", ""), "hello world");
+  EXPECT_DOUBLE_EQ(r->GetDouble("c.d", 0), 3.5);
+  EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(ConfigTest, DefaultsWhenMissing) {
+  Config c;
+  EXPECT_EQ(c.GetInt("nope", 7), 7);
+  EXPECT_EQ(c.GetString("nope", "d"), "d");
+  EXPECT_TRUE(c.GetBool("nope", true));
+}
+
+TEST(ConfigTest, BooleanSpellings) {
+  Config c;
+  c.Set("a", "true");
+  c.Set("b", "1");
+  c.Set("c", "yes");
+  c.Set("d", "on");
+  c.Set("e", "false");
+  EXPECT_TRUE(c.GetBool("a", false));
+  EXPECT_TRUE(c.GetBool("b", false));
+  EXPECT_TRUE(c.GetBool("c", false));
+  EXPECT_TRUE(c.GetBool("d", false));
+  EXPECT_FALSE(c.GetBool("e", true));
+}
+
+TEST(ConfigTest, RejectsMissingEquals) {
+  EXPECT_TRUE(Config::FromString("novalue\n").status().IsParseError());
+}
+
+TEST(ConfigTest, RejectsEmptyKey) {
+  EXPECT_TRUE(Config::FromString("=x\n").status().IsParseError());
+}
+
+TEST(ConfigTest, SetOverwrites) {
+  Config c;
+  c.Set("k", "1");
+  c.Set("k", "2");
+  EXPECT_EQ(c.GetInt("k", 0), 2);
+  EXPECT_TRUE(c.Has("k"));
+}
+
+TEST(ConfigTest, ToStringRoundTrips) {
+  Config c;
+  c.Set("b", "2");
+  c.Set("a", "1");
+  auto r = Config::FromString(c.ToString());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->GetInt("a", 0), 1);
+  EXPECT_EQ(r->GetInt("b", 0), 2);
+}
+
+}  // namespace
+}  // namespace pixels

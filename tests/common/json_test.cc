@@ -1,0 +1,107 @@
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+namespace pixels {
+namespace {
+
+TEST(JsonTest, ScalarsRoundTrip) {
+  EXPECT_EQ(Json().Dump(), "null");
+  EXPECT_EQ(Json(true).Dump(), "true");
+  EXPECT_EQ(Json(false).Dump(), "false");
+  EXPECT_EQ(Json(42).Dump(), "42");
+  EXPECT_EQ(Json(3.5).Dump(), "3.5");
+  EXPECT_EQ(Json("hi").Dump(), "\"hi\"");
+}
+
+TEST(JsonTest, ObjectAndArrayDump) {
+  Json obj = Json::Object();
+  obj.Set("name", "pixels");
+  obj.Set("version", 1);
+  Json arr = Json::Array();
+  arr.Append(1);
+  arr.Append(2);
+  obj.Set("values", std::move(arr));
+  EXPECT_EQ(obj.Dump(), "{\"name\":\"pixels\",\"values\":[1,2],\"version\":1}");
+}
+
+TEST(JsonTest, ParseObject) {
+  auto r = Json::Parse(R"({"question": "how many orders?", "n": 3, "ok": true})");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->is_object());
+  EXPECT_EQ(r->Get("question").AsString(), "how many orders?");
+  EXPECT_EQ(r->Get("n").AsInt(), 3);
+  EXPECT_TRUE(r->Get("ok").AsBool());
+  EXPECT_TRUE(r->Get("missing").is_null());
+}
+
+TEST(JsonTest, ParseNestedArrays) {
+  auto r = Json::Parse(R"([[1,2],[3,[4]]])");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->At(1).At(1).At(0).AsInt(), 4);
+}
+
+TEST(JsonTest, ParseEscapes) {
+  auto r = Json::Parse(R"({"s": "a\"b\\c\ndA"})");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->Get("s").AsString(), "a\"b\\c\ndA");
+}
+
+TEST(JsonTest, EscapesOnDump) {
+  Json j(std::string("line1\nline2\t\"q\""));
+  auto parsed = Json::Parse(j.Dump());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->AsString(), "line1\nline2\t\"q\"");
+}
+
+TEST(JsonTest, ParseNumbers) {
+  auto r = Json::Parse("[-1, 0.5, 1e3, -2.5e-2]");
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->At(0).AsNumber(), -1);
+  EXPECT_DOUBLE_EQ(r->At(1).AsNumber(), 0.5);
+  EXPECT_DOUBLE_EQ(r->At(2).AsNumber(), 1000);
+  EXPECT_DOUBLE_EQ(r->At(3).AsNumber(), -0.025);
+}
+
+TEST(JsonTest, RejectsTrailingGarbage) {
+  EXPECT_TRUE(Json::Parse("{} x").status().IsParseError());
+}
+
+TEST(JsonTest, RejectsMalformed) {
+  EXPECT_FALSE(Json::Parse("{").ok());
+  EXPECT_FALSE(Json::Parse("[1,]").ok());
+  EXPECT_FALSE(Json::Parse("\"unterminated").ok());
+  EXPECT_FALSE(Json::Parse("tru").ok());
+  EXPECT_FALSE(Json::Parse("").ok());
+}
+
+TEST(JsonTest, RoundTripComplexDocument) {
+  const std::string doc =
+      R"({"database":"tpch","tables":[{"columns":[{"name":"a","type":"int"}],"table":"t"}]})";
+  auto r = Json::Parse(doc);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->Dump(), doc);
+}
+
+TEST(JsonTest, EqualityIsDeep) {
+  auto a = Json::Parse(R"({"x":[1,2],"y":"z"})");
+  auto b = Json::Parse(R"({"y":"z","x":[1,2]})");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(*a == *b);
+  auto c = Json::Parse(R"({"x":[1,3],"y":"z"})");
+  EXPECT_FALSE(*a == *c);
+}
+
+TEST(JsonTest, PrettyPrintParsesBack) {
+  Json obj = Json::Object();
+  obj.Set("a", 1);
+  Json arr = Json::Array();
+  arr.Append("x");
+  obj.Set("b", std::move(arr));
+  auto r = Json::Parse(obj.Pretty());
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r == obj);
+}
+
+}  // namespace
+}  // namespace pixels

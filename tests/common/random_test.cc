@@ -1,0 +1,134 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+namespace pixels {
+namespace {
+
+TEST(RandomTest, DeterministicForSameSeed) {
+  Random a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Random a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 5);
+}
+
+TEST(RandomTest, UniformRespectsBounds) {
+  Random rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Uniform(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RandomTest, UniformSingletonRange) {
+  Random rng(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.Uniform(3, 3), 3);
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RandomTest, BernoulliFrequency) {
+  Random rng(11);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RandomTest, ExponentialMean) {
+  Random rng(13);
+  double total = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) total += rng.Exponential(2.0);
+  EXPECT_NEAR(total / n, 0.5, 0.03);  // mean = 1/rate
+}
+
+TEST(RandomTest, GaussianMoments) {
+  Random rng(17);
+  double sum = 0, sum2 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Gaussian(10.0, 2.0);
+    sum += v;
+    sum2 += v * v;
+  }
+  double mean = sum / n;
+  double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(RandomTest, ZipfSkewsTowardLowRanks) {
+  Random rng(19);
+  std::map<int64_t, int> counts;
+  for (int i = 0; i < 10000; ++i) counts[rng.Zipf(10, 1.2)]++;
+  EXPECT_GT(counts[0], counts[5]);
+  EXPECT_GT(counts[0], 10000 / 10);  // above uniform share
+  for (const auto& [k, _] : counts) {
+    EXPECT_GE(k, 0);
+    EXPECT_LT(k, 10);
+  }
+}
+
+TEST(RandomTest, ZipfZeroSkewIsUniformish) {
+  Random rng(21);
+  std::map<int64_t, int> counts;
+  for (int i = 0; i < 10000; ++i) counts[rng.Zipf(5, 0)]++;
+  for (int k = 0; k < 5; ++k) {
+    EXPECT_NEAR(counts[k], 2000, 300);
+  }
+}
+
+TEST(RandomTest, PoissonMeanSmall) {
+  Random rng(23);
+  double total = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) total += static_cast<double>(rng.Poisson(3.0));
+  EXPECT_NEAR(total / n, 3.0, 0.1);
+}
+
+TEST(RandomTest, PoissonMeanLargeUsesNormalApprox) {
+  Random rng(29);
+  double total = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) total += static_cast<double>(rng.Poisson(100.0));
+  EXPECT_NEAR(total / n, 100.0, 2.0);
+}
+
+TEST(RandomTest, NextStringIsLowercaseAlpha) {
+  Random rng(31);
+  std::string s = rng.NextString(64);
+  EXPECT_EQ(s.size(), 64u);
+  for (char c : s) {
+    EXPECT_GE(c, 'a');
+    EXPECT_LE(c, 'z');
+  }
+}
+
+TEST(RandomTest, WeightedPickRespectsWeights) {
+  Random rng(37);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 10000; ++i) counts[rng.WeightedPick(weights)]++;
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.4);
+}
+
+}  // namespace
+}  // namespace pixels

@@ -1,0 +1,75 @@
+#include "common/result.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace pixels {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.status().message(), "missing");
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(ResultTest, ValueOrReturnsAlternativeOnError) {
+  Result<std::string> err(Status::IOError("x"));
+  EXPECT_EQ(std::move(err).ValueOr("fallback"), "fallback");
+  Result<std::string> ok(std::string("value"));
+  EXPECT_EQ(std::move(ok).ValueOr("fallback"), "value");
+}
+
+TEST(ResultTest, ArrowOperatorAccessesMembers) {
+  Result<std::string> r(std::string("hello"));
+  EXPECT_EQ(r->size(), 5u);
+}
+
+TEST(ResultTest, AssignOrReturnMacroPropagatesError) {
+  auto inner = []() -> Result<int> { return Status::Timeout("t"); };
+  auto outer = [&]() -> Result<int> {
+    PIXELS_ASSIGN_OR_RETURN(int v, inner());
+    return v + 1;
+  };
+  EXPECT_TRUE(outer().status().IsTimeout());
+}
+
+TEST(ResultTest, AssignOrReturnMacroPassesValue) {
+  auto inner = []() -> Result<int> { return 10; };
+  auto outer = [&]() -> Result<int> {
+    PIXELS_ASSIGN_OR_RETURN(int v, inner());
+    return v + 1;
+  };
+  auto result = outer();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 11);
+}
+
+TEST(ResultTest, NestedMacroUsesDistinctTemporaries) {
+  auto f = []() -> Result<int> { return 1; };
+  auto g = [&]() -> Result<int> {
+    PIXELS_ASSIGN_OR_RETURN(int a, f());
+    PIXELS_ASSIGN_OR_RETURN(int b, f());
+    return a + b;
+  };
+  EXPECT_EQ(*g(), 2);
+}
+
+}  // namespace
+}  // namespace pixels

@@ -1,0 +1,140 @@
+#include "common/sim_clock.h"
+
+#include <gtest/gtest.h>
+
+namespace pixels {
+namespace {
+
+TEST(SimClockTest, StartsAtZero) {
+  SimClock clock;
+  EXPECT_EQ(clock.Now(), 0);
+  EXPECT_EQ(clock.pending_events(), 0u);
+}
+
+TEST(SimClockTest, RunsEventsInTimeOrder) {
+  SimClock clock;
+  std::vector<int> order;
+  clock.Schedule(30, [&] { order.push_back(3); });
+  clock.Schedule(10, [&] { order.push_back(1); });
+  clock.Schedule(20, [&] { order.push_back(2); });
+  clock.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(clock.Now(), 30);
+}
+
+TEST(SimClockTest, TiesRunFifo) {
+  SimClock clock;
+  std::vector<int> order;
+  clock.Schedule(10, [&] { order.push_back(1); });
+  clock.Schedule(10, [&] { order.push_back(2); });
+  clock.Schedule(10, [&] { order.push_back(3); });
+  clock.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimClockTest, EventsCanScheduleMoreEvents) {
+  SimClock clock;
+  std::vector<SimTime> times;
+  clock.Schedule(5, [&] {
+    times.push_back(clock.Now());
+    clock.Schedule(5, [&] { times.push_back(clock.Now()); });
+  });
+  clock.RunAll();
+  EXPECT_EQ(times, (std::vector<SimTime>{5, 10}));
+}
+
+TEST(SimClockTest, RunUntilStopsAtDeadline) {
+  SimClock clock;
+  int fired = 0;
+  clock.Schedule(10, [&] { ++fired; });
+  clock.Schedule(100, [&] { ++fired; });
+  clock.RunUntil(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(clock.Now(), 50);
+  EXPECT_EQ(clock.pending_events(), 1u);
+  clock.RunAll();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimClockTest, RunUntilAdvancesClockWithoutEvents) {
+  SimClock clock;
+  clock.RunUntil(42);
+  EXPECT_EQ(clock.Now(), 42);
+}
+
+TEST(SimClockTest, CancelPreventsExecution) {
+  SimClock clock;
+  int fired = 0;
+  uint64_t id = clock.Schedule(10, [&] { ++fired; });
+  EXPECT_TRUE(clock.Cancel(id));
+  clock.RunAll();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(SimClockTest, CancelAfterRunReturnsFalse) {
+  SimClock clock;
+  uint64_t id = clock.Schedule(10, [] {});
+  clock.RunAll();
+  EXPECT_FALSE(clock.Cancel(id));
+}
+
+TEST(SimClockTest, CancelUnknownIdReturnsFalse) {
+  SimClock clock;
+  EXPECT_FALSE(clock.Cancel(9999));
+  EXPECT_FALSE(clock.Cancel(0));
+}
+
+TEST(SimClockTest, DoubleCancelReturnsFalse) {
+  SimClock clock;
+  uint64_t id = clock.Schedule(10, [] {});
+  EXPECT_TRUE(clock.Cancel(id));
+  EXPECT_FALSE(clock.Cancel(id));
+}
+
+TEST(SimClockTest, NegativeDelayClampsToNow) {
+  SimClock clock;
+  clock.RunUntil(100);
+  SimTime when = -1;
+  clock.Schedule(-50, [&] { when = clock.Now(); });
+  clock.RunAll();
+  EXPECT_EQ(when, 100);
+}
+
+TEST(SimClockTest, ScheduleAtAbsoluteTime) {
+  SimClock clock;
+  SimTime when = -1;
+  clock.ScheduleAt(77, [&] { when = clock.Now(); });
+  clock.RunAll();
+  EXPECT_EQ(when, 77);
+}
+
+TEST(SimClockTest, StepRunsOneEvent) {
+  SimClock clock;
+  int fired = 0;
+  clock.Schedule(1, [&] { ++fired; });
+  clock.Schedule(2, [&] { ++fired; });
+  EXPECT_TRUE(clock.Step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(clock.Step());
+  EXPECT_FALSE(clock.Step());
+}
+
+TEST(SimClockTest, PendingEventsTracksCancellations) {
+  SimClock clock;
+  uint64_t a = clock.Schedule(1, [] {});
+  clock.Schedule(2, [] {});
+  EXPECT_EQ(clock.pending_events(), 2u);
+  clock.Cancel(a);
+  EXPECT_EQ(clock.pending_events(), 1u);
+  clock.RunAll();
+  EXPECT_EQ(clock.pending_events(), 0u);
+}
+
+TEST(SimClockTest, TimeConstantsAreConsistent) {
+  EXPECT_EQ(kSeconds, 1000 * kMillis);
+  EXPECT_EQ(kMinutes, 60 * kSeconds);
+  EXPECT_EQ(kHours, 60 * kMinutes);
+}
+
+}  // namespace
+}  // namespace pixels

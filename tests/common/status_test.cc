@@ -1,0 +1,83 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace pixels {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryConstructorsSetCodeAndMessage) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::Timeout("x").IsTimeout());
+  EXPECT_TRUE(Status::Cancelled("x").IsCancelled());
+  EXPECT_TRUE(Status::ParseError("x").IsParseError());
+  EXPECT_TRUE(Status::TypeError("x").IsTypeError());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, ErrorStateCarriesMessage) {
+  Status s = Status::IOError("disk on fire");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "disk on fire");
+  EXPECT_EQ(s.ToString(), "IOError: disk on fire");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status s = Status::NotFound("gone");
+  Status copy = s;
+  EXPECT_TRUE(copy.IsNotFound());
+  EXPECT_EQ(copy.message(), "gone");
+  EXPECT_TRUE(s.IsNotFound());  // source unchanged
+}
+
+TEST(StatusTest, MoveTransfersState) {
+  Status s = Status::Corruption("bad bytes");
+  Status moved = std::move(s);
+  EXPECT_TRUE(moved.IsCorruption());
+  EXPECT_EQ(moved.message(), "bad bytes");
+}
+
+TEST(StatusTest, CopyAssignOverwrites) {
+  Status a = Status::IOError("a");
+  Status b = Status::NotFound("b");
+  a = b;
+  EXPECT_TRUE(a.IsNotFound());
+  a = Status::OK();
+  EXPECT_TRUE(a.ok());
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = []() -> Status {
+    PIXELS_RETURN_NOT_OK(Status::Timeout("slow"));
+    return Status::OK();
+  };
+  EXPECT_TRUE(fails().IsTimeout());
+  auto passes = []() -> Status {
+    PIXELS_RETURN_NOT_OK(Status::OK());
+    return Status::InvalidArgument("reached");
+  };
+  EXPECT_TRUE(passes().IsInvalidArgument());
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kIOError), "IOError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kParseError), "ParseError");
+}
+
+}  // namespace
+}  // namespace pixels

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "testing/test_db.h"
+
+namespace pixels {
+namespace {
+
+class ExplainTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    catalog_ = testing::BuildTestCatalog();
+    ctx_.catalog = catalog_.get();
+  }
+
+  std::shared_ptr<Catalog> catalog_;
+  ExecContext ctx_;
+};
+
+TEST_F(ExplainTest, DetectsExplainPrefix) {
+  std::string inner;
+  EXPECT_TRUE(IsExplainStatement("EXPLAIN SELECT 1", &inner));
+  EXPECT_EQ(inner, " SELECT 1");
+  EXPECT_TRUE(IsExplainStatement("  explain select 1", nullptr));
+  EXPECT_TRUE(IsExplainStatement("Explain\nSELECT 1", nullptr));
+  EXPECT_FALSE(IsExplainStatement("SELECT 1", nullptr));
+  EXPECT_FALSE(IsExplainStatement("explained SELECT 1", nullptr));
+  EXPECT_FALSE(IsExplainStatement("", nullptr));
+}
+
+TEST_F(ExplainTest, ExplainQueryRendersOptimizedPlan) {
+  auto text = ExplainQuery("SELECT name FROM emp WHERE salary > 100", "db",
+                           *catalog_);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_NE(text->find("Project"), std::string::npos);
+  EXPECT_NE(text->find("Filter"), std::string::npos);
+  EXPECT_NE(text->find("Scan db.emp"), std::string::npos);
+  // The optimizer pushed the predicate into the scan's zone maps.
+  EXPECT_NE(text->find("{salary > 100}"), std::string::npos);
+  // Projection pruning narrowed the scan columns.
+  EXPECT_EQ(text->find("hired"), std::string::npos);
+}
+
+TEST_F(ExplainTest, ExplainAcceptsExplainKeywordItself) {
+  auto text = ExplainQuery("EXPLAIN SELECT count(*) FROM emp", "db", *catalog_);
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("Aggregate"), std::string::npos);
+}
+
+TEST_F(ExplainTest, ExecuteQueryReturnsPlanTable) {
+  auto result =
+      ExecuteQuery("EXPLAIN SELECT dept, count(*) FROM emp GROUP BY dept",
+                   "db", &ctx_);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ((*result)->ColumnNames(), (std::vector<std::string>{"plan"}));
+  auto lines = (*result)->CollectColumn("plan");
+  ASSERT_GE(lines.size(), 3u);
+  EXPECT_NE(lines[0].s.find("Project"), std::string::npos);
+  // EXPLAIN does not execute: no bytes scanned.
+  EXPECT_EQ(ctx_.bytes_scanned, 0u);
+}
+
+TEST_F(ExplainTest, ExplainInvalidQueryFails) {
+  EXPECT_FALSE(ExplainQuery("EXPLAIN SELECT nope FROM emp", "db", *catalog_).ok());
+  EXPECT_FALSE(ExecuteQuery("EXPLAIN not sql at all", "db", &ctx_).ok());
+}
+
+}  // namespace
+}  // namespace pixels

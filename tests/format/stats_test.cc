@@ -1,0 +1,152 @@
+#include "format/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace pixels {
+namespace {
+
+TEST(StatsTest, TracksMinMaxNulls) {
+  ColumnStats s;
+  s.Update(Value::Int(5));
+  s.Update(Value::Null());
+  s.Update(Value::Int(-2));
+  s.Update(Value::Int(9));
+  EXPECT_EQ(s.num_values, 4u);
+  EXPECT_EQ(s.null_count, 1u);
+  ASSERT_TRUE(s.has_min_max);
+  EXPECT_EQ(s.min.i, -2);
+  EXPECT_EQ(s.max.i, 9);
+}
+
+TEST(StatsTest, UpdateVector) {
+  ColumnVector v(TypeId::kString);
+  v.AppendString("mango");
+  v.AppendString("apple");
+  v.AppendNull();
+  ColumnStats s;
+  s.UpdateVector(v);
+  EXPECT_EQ(s.min.s, "apple");
+  EXPECT_EQ(s.max.s, "mango");
+  EXPECT_EQ(s.null_count, 1u);
+}
+
+TEST(StatsTest, MergeCombines) {
+  ColumnStats a, b;
+  a.Update(Value::Int(1));
+  a.Update(Value::Int(5));
+  b.Update(Value::Int(-3));
+  b.Update(Value::Null());
+  a.Merge(b);
+  EXPECT_EQ(a.num_values, 4u);
+  EXPECT_EQ(a.null_count, 1u);
+  EXPECT_EQ(a.min.i, -3);
+  EXPECT_EQ(a.max.i, 5);
+}
+
+TEST(StatsTest, MergeIntoEmpty) {
+  ColumnStats a, b;
+  b.Update(Value::Int(7));
+  a.Merge(b);
+  EXPECT_TRUE(a.has_min_max);
+  EXPECT_EQ(a.min.i, 7);
+}
+
+TEST(StatsTest, MayMatchEquality) {
+  ColumnStats s;
+  s.Update(Value::Int(10));
+  s.Update(Value::Int(20));
+  EXPECT_TRUE(s.MayMatch("=", Value::Int(15)));
+  EXPECT_TRUE(s.MayMatch("=", Value::Int(10)));
+  EXPECT_FALSE(s.MayMatch("=", Value::Int(9)));
+  EXPECT_FALSE(s.MayMatch("=", Value::Int(21)));
+}
+
+TEST(StatsTest, MayMatchRanges) {
+  ColumnStats s;
+  s.Update(Value::Int(10));
+  s.Update(Value::Int(20));
+  EXPECT_TRUE(s.MayMatch("<", Value::Int(11)));
+  EXPECT_FALSE(s.MayMatch("<", Value::Int(10)));
+  EXPECT_TRUE(s.MayMatch("<=", Value::Int(10)));
+  EXPECT_TRUE(s.MayMatch(">", Value::Int(19)));
+  EXPECT_FALSE(s.MayMatch(">", Value::Int(20)));
+  EXPECT_TRUE(s.MayMatch(">=", Value::Int(20)));
+  EXPECT_FALSE(s.MayMatch(">=", Value::Int(21)));
+}
+
+TEST(StatsTest, MayMatchNotEqual) {
+  ColumnStats constant;
+  constant.Update(Value::Int(5));
+  EXPECT_FALSE(constant.MayMatch("<>", Value::Int(5)));
+  EXPECT_TRUE(constant.MayMatch("<>", Value::Int(6)));
+  ColumnStats range;
+  range.Update(Value::Int(1));
+  range.Update(Value::Int(9));
+  EXPECT_TRUE(range.MayMatch("<>", Value::Int(5)));
+}
+
+TEST(StatsTest, MayMatchConservativeWithoutStats) {
+  ColumnStats s;  // no values
+  EXPECT_TRUE(s.MayMatch("=", Value::Int(1)));
+  ColumnStats nulls;
+  nulls.Update(Value::Null());
+  EXPECT_TRUE(nulls.MayMatch("=", Value::Int(1)));
+}
+
+TEST(StatsTest, MayMatchNullLiteralConservative) {
+  ColumnStats s;
+  s.Update(Value::Int(1));
+  EXPECT_TRUE(s.MayMatch("=", Value::Null()));
+}
+
+TEST(StatsTest, SerializeRoundTrip) {
+  ColumnStats s;
+  s.Update(Value::Double(1.5));
+  s.Update(Value::Double(-2.25));
+  s.Update(Value::Null());
+  ByteWriter w;
+  s.Serialize(&w);
+  ByteReader r(w.data());
+  auto restored = ColumnStats::Deserialize(&r);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->num_values, 3u);
+  EXPECT_EQ(restored->null_count, 1u);
+  EXPECT_DOUBLE_EQ(restored->min.d, -2.25);
+  EXPECT_DOUBLE_EQ(restored->max.d, 1.5);
+}
+
+TEST(StatsTest, SerializeEmptyStats) {
+  ColumnStats s;
+  ByteWriter w;
+  s.Serialize(&w);
+  ByteReader r(w.data());
+  auto restored = ColumnStats::Deserialize(&r);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_FALSE(restored->has_min_max);
+}
+
+TEST(StatsTest, SerializeStringStats) {
+  ColumnStats s;
+  s.Update(Value::String("aa"));
+  s.Update(Value::String("zz"));
+  ByteWriter w;
+  s.Serialize(&w);
+  ByteReader r(w.data());
+  auto restored = ColumnStats::Deserialize(&r);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->min.s, "aa");
+  EXPECT_EQ(restored->max.s, "zz");
+}
+
+TEST(StatsTest, DeserializeRejectsBadKind) {
+  ByteWriter w;
+  w.PutVarint(1);
+  w.PutVarint(0);
+  w.PutU8(1);     // has_min_max
+  w.PutU8(200);   // bogus kind tag
+  ByteReader r(w.data());
+  EXPECT_TRUE(ColumnStats::Deserialize(&r).status().IsCorruption());
+}
+
+}  // namespace
+}  // namespace pixels

@@ -1,0 +1,102 @@
+#include "format/vector.h"
+
+#include <gtest/gtest.h>
+
+namespace pixels {
+namespace {
+
+TEST(VectorTest, AppendAndGetInts) {
+  ColumnVector v(TypeId::kInt64);
+  v.AppendInt(1);
+  v.AppendNull();
+  v.AppendInt(-3);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v.GetInt(0), 1);
+  EXPECT_TRUE(v.IsNull(1));
+  EXPECT_EQ(v.GetInt(2), -3);
+  EXPECT_EQ(v.NullCount(), 1u);
+}
+
+TEST(VectorTest, AppendStrings) {
+  ColumnVector v(TypeId::kString);
+  v.AppendString("a");
+  v.AppendNull();
+  v.AppendString("bc");
+  EXPECT_EQ(v.GetString(0), "a");
+  EXPECT_EQ(v.GetString(2), "bc");
+  EXPECT_EQ(v.GetValue(2).s, "bc");
+}
+
+TEST(VectorTest, GetValueWidensByType) {
+  ColumnVector b(TypeId::kBool);
+  b.AppendBool(true);
+  EXPECT_EQ(b.GetValue(0).kind, Value::Kind::kBool);
+
+  ColumnVector d(TypeId::kDouble);
+  d.AppendDouble(1.5);
+  EXPECT_EQ(d.GetValue(0).kind, Value::Kind::kDouble);
+
+  ColumnVector i(TypeId::kDate);
+  i.AppendInt(100);
+  EXPECT_EQ(i.GetValue(0).kind, Value::Kind::kInt);
+  EXPECT_TRUE(i.GetValue(0).i == 100);
+}
+
+TEST(VectorTest, AppendValueCoercesNumerics) {
+  ColumnVector d(TypeId::kDouble);
+  ASSERT_TRUE(d.AppendValue(Value::Int(3)).ok());
+  EXPECT_DOUBLE_EQ(d.GetDouble(0), 3.0);
+
+  ColumnVector i(TypeId::kInt64);
+  ASSERT_TRUE(i.AppendValue(Value::Double(2.9)).ok());
+  EXPECT_EQ(i.GetInt(0), 2);
+}
+
+TEST(VectorTest, AppendValueRejectsKindMismatch) {
+  ColumnVector i(TypeId::kInt64);
+  EXPECT_TRUE(i.AppendValue(Value::String("x")).IsTypeError());
+  ColumnVector s(TypeId::kString);
+  EXPECT_TRUE(s.AppendValue(Value::Int(1)).IsTypeError());
+  EXPECT_TRUE(s.AppendValue(Value::Null()).ok());
+}
+
+TEST(VectorTest, AppendFromCopiesAcrossNumericTypes) {
+  ColumnVector src(TypeId::kInt64);
+  src.AppendInt(4);
+  src.AppendNull();
+  ColumnVector dst(TypeId::kDouble);
+  dst.AppendFrom(src, 0);
+  dst.AppendFrom(src, 1);
+  EXPECT_DOUBLE_EQ(dst.GetDouble(0), 4.0);
+  EXPECT_TRUE(dst.IsNull(1));
+}
+
+TEST(VectorTest, GatherSelectsRows) {
+  ColumnVector v(TypeId::kInt64);
+  for (int i = 0; i < 10; ++i) v.AppendInt(i * 10);
+  auto g = v.Gather({9, 0, 5});
+  ASSERT_EQ(g->size(), 3u);
+  EXPECT_EQ(g->GetInt(0), 90);
+  EXPECT_EQ(g->GetInt(1), 0);
+  EXPECT_EQ(g->GetInt(2), 50);
+}
+
+TEST(VectorTest, GatherEmptySelection) {
+  ColumnVector v(TypeId::kString);
+  v.AppendString("x");
+  auto g = v.Gather({});
+  EXPECT_EQ(g->size(), 0u);
+  EXPECT_EQ(g->type(), TypeId::kString);
+}
+
+TEST(VectorTest, ClearResets) {
+  ColumnVector v(TypeId::kInt32);
+  v.AppendInt(1);
+  v.Clear();
+  EXPECT_TRUE(v.empty());
+  v.AppendInt(2);
+  EXPECT_EQ(v.GetInt(0), 2);
+}
+
+}  // namespace
+}  // namespace pixels

@@ -1,0 +1,286 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "format/reader.h"
+#include "format/writer.h"
+#include "storage/memory_store.h"
+
+namespace pixels {
+namespace {
+
+class WriterReaderTest : public ::testing::Test {
+ protected:
+  void SetUp() override { store_ = std::make_shared<MemoryStore>(); }
+
+  FileSchema TestSchema() {
+    return {{"id", TypeId::kInt64},
+            {"price", TypeId::kDouble},
+            {"flag", TypeId::kString},
+            {"ship", TypeId::kDate}};
+  }
+
+  // Writes n rows: id=i, price=i*1.5, flag=A/B/C cyclic, ship=1000+i/10.
+  void WriteFile(const std::string& path, int n, size_t row_group_size) {
+    WriterOptions options;
+    options.row_group_size = row_group_size;
+    PixelsWriter writer(TestSchema(), options);
+    for (int i = 0; i < n; ++i) {
+      const char* flags[] = {"A", "B", "C"};
+      ASSERT_TRUE(writer
+                      .AppendRow({Value::Int(i), Value::Double(i * 1.5),
+                                  Value::String(flags[i % 3]),
+                                  Value::Int(1000 + i / 10)})
+                      .ok());
+    }
+    ASSERT_TRUE(writer.Finish(store_.get(), path).ok());
+  }
+
+  std::shared_ptr<MemoryStore> store_;
+};
+
+TEST_F(WriterReaderTest, RoundTripAllColumns) {
+  WriteFile("t.pxl", 100, 32);
+  auto reader = PixelsReader::Open(store_.get(), "t.pxl");
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ((*reader)->NumRows(), 100u);
+  EXPECT_EQ((*reader)->NumRowGroups(), 4u);  // ceil(100/32)
+  EXPECT_EQ((*reader)->schema().size(), 4u);
+
+  auto batches = (*reader)->Scan(ScanOptions{});
+  ASSERT_TRUE(batches.ok());
+  size_t row = 0;
+  for (const auto& b : *batches) {
+    for (size_t r = 0; r < b->num_rows(); ++r, ++row) {
+      EXPECT_EQ(b->column(0)->GetInt(r), static_cast<int64_t>(row));
+      EXPECT_DOUBLE_EQ(b->column(1)->GetDouble(r), row * 1.5);
+    }
+  }
+  EXPECT_EQ(row, 100u);
+}
+
+TEST_F(WriterReaderTest, ProjectionReadsOnlyRequestedColumns) {
+  WriteFile("t.pxl", 50, 64);
+  auto reader = PixelsReader::Open(store_.get(), "t.pxl");
+  ASSERT_TRUE(reader.ok());
+  ScanOptions options;
+  options.columns = {"flag", "id"};
+  auto batches = (*reader)->Scan(options);
+  ASSERT_TRUE(batches.ok());
+  ASSERT_EQ((*batches)[0]->num_columns(), 2u);
+  EXPECT_EQ((*batches)[0]->name(0), "flag");
+  EXPECT_EQ((*batches)[0]->name(1), "id");
+}
+
+TEST_F(WriterReaderTest, ProjectionReducesBytesScanned) {
+  WriteFile("t.pxl", 2000, 500);
+  auto reader_all = PixelsReader::Open(store_.get(), "t.pxl");
+  ASSERT_TRUE(reader_all.ok());
+  ASSERT_TRUE((*reader_all)->Scan(ScanOptions{}).ok());
+  uint64_t all_bytes = (*reader_all)->scan_stats().bytes_scanned;
+
+  auto reader_one = PixelsReader::Open(store_.get(), "t.pxl");
+  ASSERT_TRUE(reader_one.ok());
+  ScanOptions one;
+  one.columns = {"id"};
+  ASSERT_TRUE((*reader_one)->Scan(one).ok());
+  uint64_t one_bytes = (*reader_one)->scan_stats().bytes_scanned;
+  EXPECT_LT(one_bytes * 2, all_bytes);
+}
+
+TEST_F(WriterReaderTest, ZoneMapPruningSkipsRowGroups) {
+  WriteFile("t.pxl", 1000, 100);  // id row groups: [0,99],[100,199],...
+  auto reader = PixelsReader::Open(store_.get(), "t.pxl");
+  ASSERT_TRUE(reader.ok());
+  ScanOptions options;
+  options.predicates = {{"id", ">", Value::Int(850)}};
+  auto batches = (*reader)->Scan(options);
+  ASSERT_TRUE(batches.ok());
+  const auto& stats = (*reader)->scan_stats();
+  EXPECT_EQ(stats.row_groups_total, 10u);
+  EXPECT_EQ(stats.row_groups_read, 2u);  // groups [800..899], [900..999]
+  EXPECT_EQ(stats.rows_read, 200u);
+}
+
+TEST_F(WriterReaderTest, ZoneMapEqualityPruning) {
+  WriteFile("t.pxl", 1000, 100);
+  auto reader = PixelsReader::Open(store_.get(), "t.pxl");
+  ASSERT_TRUE(reader.ok());
+  ScanOptions options;
+  options.predicates = {{"id", "=", Value::Int(5)}};
+  ASSERT_TRUE((*reader)->Scan(options).ok());
+  EXPECT_EQ((*reader)->scan_stats().row_groups_read, 1u);
+}
+
+TEST_F(WriterReaderTest, ConjunctionPruning) {
+  WriteFile("t.pxl", 1000, 100);
+  auto reader = PixelsReader::Open(store_.get(), "t.pxl");
+  ASSERT_TRUE(reader.ok());
+  ScanOptions options;
+  options.predicates = {{"id", ">", Value::Int(100)},
+                        {"id", "<", Value::Int(250)}};
+  ASSERT_TRUE((*reader)->Scan(options).ok());
+  EXPECT_EQ((*reader)->scan_stats().row_groups_read, 2u);
+}
+
+TEST_F(WriterReaderTest, PredicateOnUnknownColumnIsIgnored) {
+  WriteFile("t.pxl", 100, 50);
+  auto reader = PixelsReader::Open(store_.get(), "t.pxl");
+  ASSERT_TRUE(reader.ok());
+  ScanOptions options;
+  options.predicates = {{"nonexistent", "=", Value::Int(1)}};
+  auto batches = (*reader)->Scan(options);
+  ASSERT_TRUE(batches.ok());
+  EXPECT_EQ((*reader)->scan_stats().row_groups_read, 2u);
+}
+
+TEST_F(WriterReaderTest, FileStatsMergeAcrossRowGroups) {
+  WriteFile("t.pxl", 300, 100);
+  auto reader = PixelsReader::Open(store_.get(), "t.pxl");
+  ASSERT_TRUE(reader.ok());
+  auto stats = (*reader)->FileStats("id");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->min.i, 0);
+  EXPECT_EQ(stats->max.i, 299);
+  EXPECT_EQ(stats->num_values, 300u);
+  EXPECT_TRUE((*reader)->FileStats("zzz").status().IsNotFound());
+}
+
+TEST_F(WriterReaderTest, BatchAppendMatchesRowAppend) {
+  // Write via Append(RowBatch) and verify contents.
+  auto batch = std::make_shared<RowBatch>();
+  auto id = MakeVector(TypeId::kInt64);
+  auto price = MakeVector(TypeId::kDouble);
+  auto flag = MakeVector(TypeId::kString);
+  auto ship = MakeVector(TypeId::kDate);
+  for (int i = 0; i < 10; ++i) {
+    id->AppendInt(i);
+    price->AppendDouble(i);
+    flag->AppendString("F");
+    ship->AppendInt(1);
+  }
+  batch->AddColumn("id", id);
+  batch->AddColumn("price", price);
+  batch->AddColumn("flag", flag);
+  batch->AddColumn("ship", ship);
+
+  PixelsWriter writer(TestSchema());
+  ASSERT_TRUE(writer.Append(*batch).ok());
+  EXPECT_EQ(writer.rows_appended(), 10u);
+  ASSERT_TRUE(writer.Finish(store_.get(), "b.pxl").ok());
+
+  auto reader = PixelsReader::Open(store_.get(), "b.pxl");
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ((*reader)->NumRows(), 10u);
+}
+
+TEST_F(WriterReaderTest, AppendRejectsWidthMismatch) {
+  PixelsWriter writer(TestSchema());
+  EXPECT_TRUE(writer.AppendRow({Value::Int(1)}).IsInvalidArgument());
+}
+
+TEST_F(WriterReaderTest, AppendRejectsTypeFamilyMismatch) {
+  PixelsWriter writer(TestSchema());
+  EXPECT_TRUE(writer
+                  .AppendRow({Value::String("not an int"), Value::Double(0),
+                              Value::String("A"), Value::Int(0)})
+                  .IsTypeError());
+}
+
+TEST_F(WriterReaderTest, FinishTwiceFails) {
+  PixelsWriter writer(TestSchema());
+  ASSERT_TRUE(writer.Finish(store_.get(), "f.pxl").ok());
+  EXPECT_TRUE(writer.Finish(store_.get(), "f.pxl").IsFailedPrecondition());
+}
+
+TEST_F(WriterReaderTest, EmptyFileRoundTrips) {
+  PixelsWriter writer(TestSchema());
+  ASSERT_TRUE(writer.Finish(store_.get(), "empty.pxl").ok());
+  auto reader = PixelsReader::Open(store_.get(), "empty.pxl");
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ((*reader)->NumRows(), 0u);
+  EXPECT_EQ((*reader)->NumRowGroups(), 0u);
+  auto batches = (*reader)->Scan(ScanOptions{});
+  ASSERT_TRUE(batches.ok());
+  EXPECT_TRUE(batches->empty());
+}
+
+TEST_F(WriterReaderTest, NullValuesRoundTrip) {
+  PixelsWriter writer(TestSchema());
+  ASSERT_TRUE(writer
+                  .AppendRow({Value::Null(), Value::Null(), Value::Null(),
+                              Value::Null()})
+                  .ok());
+  ASSERT_TRUE(writer
+                  .AppendRow({Value::Int(1), Value::Double(2), Value::String("x"),
+                              Value::Int(3)})
+                  .ok());
+  ASSERT_TRUE(writer.Finish(store_.get(), "n.pxl").ok());
+  auto reader = PixelsReader::Open(store_.get(), "n.pxl");
+  ASSERT_TRUE(reader.ok());
+  auto batch = (*reader)->ReadRowGroup(0, {});
+  ASSERT_TRUE(batch.ok());
+  EXPECT_TRUE((*batch)->column(0)->IsNull(0));
+  EXPECT_FALSE((*batch)->column(0)->IsNull(1));
+}
+
+TEST_F(WriterReaderTest, ForcedEncodingApplied) {
+  WriterOptions options;
+  options.forced_encoding = Encoding::kPlain;
+  PixelsWriter writer(TestSchema(), options);
+  ASSERT_TRUE(writer
+                  .AppendRow({Value::Int(1), Value::Double(1), Value::String("a"),
+                              Value::Int(1)})
+                  .ok());
+  ASSERT_TRUE(writer.Finish(store_.get(), "forced.pxl").ok());
+  auto reader = PixelsReader::Open(store_.get(), "forced.pxl");
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ((*reader)->NumRows(), 1u);
+}
+
+TEST_F(WriterReaderTest, OpenRejectsGarbage) {
+  std::vector<uint8_t> garbage(100, 0x42);
+  ASSERT_TRUE(store_->Write("bad.pxl", garbage).ok());
+  EXPECT_TRUE(PixelsReader::Open(store_.get(), "bad.pxl").status().IsCorruption());
+}
+
+TEST_F(WriterReaderTest, OpenRejectsTinyFile) {
+  ASSERT_TRUE(store_->Write("tiny.pxl", {1, 2, 3}).ok());
+  EXPECT_FALSE(PixelsReader::Open(store_.get(), "tiny.pxl").ok());
+}
+
+TEST_F(WriterReaderTest, OpenRejectsTruncatedFooter) {
+  WriteFile("t.pxl", 100, 50);
+  auto data = store_->Read("t.pxl");
+  ASSERT_TRUE(data.ok());
+  auto truncated = *data;
+  truncated.resize(truncated.size() - 6);  // destroy trailer
+  ASSERT_TRUE(store_->Write("trunc.pxl", truncated).ok());
+  EXPECT_FALSE(PixelsReader::Open(store_.get(), "trunc.pxl").ok());
+}
+
+TEST_F(WriterReaderTest, ReadRowGroupOutOfRange) {
+  WriteFile("t.pxl", 10, 50);
+  auto reader = PixelsReader::Open(store_.get(), "t.pxl");
+  ASSERT_TRUE(reader.ok());
+  EXPECT_TRUE((*reader)->ReadRowGroup(5, {}).status().IsInvalidArgument());
+}
+
+TEST_F(WriterReaderTest, UnknownProjectionColumnFails) {
+  WriteFile("t.pxl", 10, 50);
+  auto reader = PixelsReader::Open(store_.get(), "t.pxl");
+  ASSERT_TRUE(reader.ok());
+  ScanOptions options;
+  options.columns = {"no_such"};
+  EXPECT_TRUE((*reader)->Scan(options).status().IsNotFound());
+}
+
+TEST_F(WriterReaderTest, LargeFileManyRowGroups) {
+  WriteFile("big.pxl", 10000, 256);
+  auto reader = PixelsReader::Open(store_.get(), "big.pxl");
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ((*reader)->NumRowGroups(), 40u);
+  EXPECT_EQ((*reader)->NumRows(), 10000u);
+}
+
+}  // namespace
+}  // namespace pixels

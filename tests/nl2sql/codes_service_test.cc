@@ -1,0 +1,102 @@
+#include "nl2sql/codes_service.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_db.h"
+
+namespace pixels {
+namespace {
+
+class CodesServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    catalog_ = testing::BuildTestCatalog();
+    service_ = std::make_unique<CodesService>(catalog_.get());
+  }
+
+  std::shared_ptr<Catalog> catalog_;
+  std::unique_ptr<CodesService> service_;
+};
+
+TEST_F(CodesServiceTest, SingleTurnJsonRoundTrip) {
+  // The Pixels-Rover backend compiles a JSON message (question + schema)
+  // and receives the SQL in one round trip (paper §2(3)).
+  Json request = Json::Object();
+  request.Set("question", "how many emp are there?");
+  request.Set("database", "db");
+  auto db = catalog_->GetDatabase("db");
+  ASSERT_TRUE(db.ok());
+  request.Set("schema", (*db)->ToJson());
+
+  Json response = service_->HandleRequest(request);
+  ASSERT_TRUE(response.Has("sql")) << response.Dump();
+  EXPECT_EQ(response.Get("sql").AsString(), "SELECT count(*) FROM emp");
+  EXPECT_EQ(response.Get("table").AsString(), "emp");
+}
+
+TEST_F(CodesServiceTest, RequestSurvivesSerialization) {
+  Json request = Json::Object();
+  request.Set("question", "average salary of emp per dept");
+  request.Set("database", "db");
+  auto parsed = Json::Parse(request.Dump());
+  ASSERT_TRUE(parsed.ok());
+  Json response = service_->HandleRequest(*parsed);
+  ASSERT_TRUE(response.Has("sql")) << response.Dump();
+  EXPECT_NE(response.Get("sql").AsString().find("avg(salary)"),
+            std::string::npos);
+  EXPECT_NE(response.Get("sql").AsString().find("GROUP BY dept"),
+            std::string::npos);
+}
+
+TEST_F(CodesServiceTest, MissingQuestionIsError) {
+  Json request = Json::Object();
+  request.Set("database", "db");
+  Json response = service_->HandleRequest(request);
+  EXPECT_TRUE(response.Has("error"));
+}
+
+TEST_F(CodesServiceTest, NonObjectRequestIsError) {
+  Json response = service_->HandleRequest(Json("just a string"));
+  EXPECT_TRUE(response.Has("error"));
+}
+
+TEST_F(CodesServiceTest, UnknownDatabaseIsError) {
+  Json request = Json::Object();
+  request.Set("question", "how many emp");
+  request.Set("database", "nope");
+  Json response = service_->HandleRequest(request);
+  EXPECT_TRUE(response.Has("error"));
+}
+
+TEST_F(CodesServiceTest, UntranslatableQuestionIsError) {
+  Json request = Json::Object();
+  request.Set("question", "tell me a joke");
+  request.Set("database", "db");
+  Json response = service_->HandleRequest(request);
+  EXPECT_TRUE(response.Has("error"));
+}
+
+TEST_F(CodesServiceTest, DirectTranslateApi) {
+  auto t = service_->Translate("db", "first 3 emp");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->sql, "SELECT * FROM emp LIMIT 3");
+}
+
+TEST_F(CodesServiceTest, SynonymsApplyAcrossRequests) {
+  service_->AddSynonym("pay", "salary");
+  auto t = service_->Translate("db", "total pay of emp per dept");
+  ASSERT_TRUE(t.ok());
+  EXPECT_NE(t->sql.find("sum(salary)"), std::string::npos);
+}
+
+TEST_F(CodesServiceTest, ConfidenceReported) {
+  Json request = Json::Object();
+  request.Set("question", "how many emp");
+  request.Set("database", "db");
+  Json response = service_->HandleRequest(request);
+  ASSERT_TRUE(response.Has("confidence"));
+  EXPECT_GT(response.Get("confidence").AsNumber(), 0);
+}
+
+}  // namespace
+}  // namespace pixels

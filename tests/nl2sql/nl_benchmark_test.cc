@@ -1,0 +1,110 @@
+#include "nl2sql/nl_benchmark.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+#include "storage/memory_store.h"
+#include "workload/tpch.h"
+
+namespace pixels {
+namespace {
+
+class NlBenchmarkTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    storage_ = std::make_shared<MemoryStore>();
+    catalog_ = std::make_shared<Catalog>(storage_);
+    TpchOptions options;
+    options.scale_factor = 0.001;
+    ASSERT_TRUE(GenerateTpch(catalog_.get(), "tpch", options).ok());
+    auto db = catalog_->GetDatabase("tpch");
+    ASSERT_TRUE(db.ok());
+    schema_ = *db;
+  }
+
+  std::shared_ptr<MemoryStore> storage_;
+  std::shared_ptr<Catalog> catalog_;
+  const DatabaseSchema* schema_;
+};
+
+TEST_F(NlBenchmarkTest, GeneratesRequestedCount) {
+  NlBenchmark bench(*schema_, 1);
+  auto cases = bench.Generate(50);
+  EXPECT_EQ(cases.size(), 50u);
+  for (const auto& c : cases) {
+    EXPECT_FALSE(c.question.empty());
+    EXPECT_FALSE(c.gold_sql.empty());
+  }
+}
+
+TEST_F(NlBenchmarkTest, GenerationIsDeterministic) {
+  NlBenchmark a(*schema_, 7), b(*schema_, 7);
+  auto ca = a.Generate(20);
+  auto cb = b.Generate(20);
+  ASSERT_EQ(ca.size(), cb.size());
+  for (size_t i = 0; i < ca.size(); ++i) {
+    EXPECT_EQ(ca[i].question, cb[i].question);
+    EXPECT_EQ(ca[i].gold_sql, cb[i].gold_sql);
+  }
+}
+
+TEST_F(NlBenchmarkTest, GoldSqlAlwaysParses) {
+  NlBenchmark bench(*schema_, 3);
+  for (const auto& c : bench.Generate(100)) {
+    auto parsed = ParseSelect(c.gold_sql);
+    EXPECT_TRUE(parsed.ok()) << c.gold_sql;
+  }
+}
+
+TEST_F(NlBenchmarkTest, ContainsHardSlice) {
+  NlBenchmark bench(*schema_, 5);
+  auto cases = bench.Generate(200);
+  size_t hard = 0;
+  for (const auto& c : cases) hard += c.hard;
+  EXPECT_GT(hard, 10u);
+  EXPECT_LT(hard, 80u);
+}
+
+TEST_F(NlBenchmarkTest, SqlEquivalentIgnoresFormatting) {
+  EXPECT_TRUE(NlBenchmark::SqlEquivalent("SELECT a FROM t",
+                                         "select  A from T"));
+  EXPECT_FALSE(NlBenchmark::SqlEquivalent("SELECT a FROM t",
+                                          "SELECT b FROM t"));
+  EXPECT_FALSE(NlBenchmark::SqlEquivalent("not sql", "SELECT a FROM t"));
+}
+
+TEST_F(NlBenchmarkTest, AccuracyAbovePaperThreshold) {
+  // Paper §1: CodeS translates single-turn with accuracy over 80%. The
+  // substitute must clear the same bar on the generated benchmark.
+  NlBenchmark bench(*schema_, 11);
+  auto cases = bench.Generate(200);
+  SemanticParser parser(*schema_);
+  for (const auto& [w, t] : TpchSynonyms()) parser.AddSynonym(w, t);
+  auto result = bench.Evaluate(cases, parser);
+  EXPECT_GT(result.ExactAccuracy(), 0.80)
+      << "exact " << result.exact_match << "/" << result.total;
+  // But not a rigged 100%: the hard slice must hurt.
+  EXPECT_LT(result.ExactAccuracy(), 1.0);
+}
+
+TEST_F(NlBenchmarkTest, ExecutionMatchOnRealData) {
+  NlBenchmark bench(*schema_, 13);
+  auto cases = bench.Generate(60);
+  SemanticParser parser(*schema_);
+  for (const auto& [w, t] : TpchSynonyms()) parser.AddSynonym(w, t);
+  auto result = bench.Evaluate(cases, parser, catalog_.get(), "tpch");
+  EXPECT_GT(result.executed, 0u);
+  // Execution match should be at least as high as exact match among
+  // executed cases (different SQL can yield the same result).
+  EXPECT_GE(result.execution_match, result.exact_match * 8 / 10);
+}
+
+TEST_F(NlBenchmarkTest, EmptySchemaGeneratesNothing) {
+  DatabaseSchema empty;
+  empty.name = "empty";
+  NlBenchmark bench(empty, 1);
+  EXPECT_TRUE(bench.Generate(10).empty());
+}
+
+}  // namespace
+}  // namespace pixels

@@ -1,0 +1,151 @@
+#include "nl2sql/schema_linker.h"
+
+#include <gtest/gtest.h>
+
+namespace pixels {
+namespace {
+
+DatabaseSchema TpchLikeSchema() {
+  DatabaseSchema db;
+  db.name = "tpch";
+  TableSchema lineitem;
+  lineitem.name = "lineitem";
+  lineitem.columns = {{"l_orderkey", TypeId::kInt64},
+                      {"l_quantity", TypeId::kDouble},
+                      {"l_extendedprice", TypeId::kDouble},
+                      {"l_shipdate", TypeId::kDate},
+                      {"l_returnflag", TypeId::kString}};
+  TableSchema orders;
+  orders.name = "orders";
+  orders.columns = {{"o_orderkey", TypeId::kInt64},
+                    {"o_totalprice", TypeId::kDouble},
+                    {"o_orderdate", TypeId::kDate}};
+  db.tables = {lineitem, orders};
+  return db;
+}
+
+TEST(SchemaLinkerTest, TokenizeText) {
+  auto tokens = SchemaLinker::TokenizeText("How many Orders in 2024?");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"how", "many", "orders", "in",
+                                              "2024"}));
+}
+
+TEST(SchemaLinkerTest, SplitIdentifierSnakeCase) {
+  EXPECT_EQ(SchemaLinker::SplitIdentifier("l_extendedprice"),
+            (std::vector<std::string>{"l", "extendedprice"}));
+  EXPECT_EQ(SchemaLinker::SplitIdentifier("event_date"),
+            (std::vector<std::string>{"event", "date"}));
+}
+
+TEST(SchemaLinkerTest, SplitIdentifierCamelCase) {
+  EXPECT_EQ(SchemaLinker::SplitIdentifier("orderDate"),
+            (std::vector<std::string>{"order", "date"}));
+  EXPECT_EQ(SchemaLinker::SplitIdentifier("XMLHttp"),
+            (std::vector<std::string>{"xmlhttp"}));
+}
+
+TEST(SchemaLinkerTest, Stemming) {
+  EXPECT_EQ(SchemaLinker::Stem("orders"), "order");
+  EXPECT_EQ(SchemaLinker::Stem("status"), "status");  // keeps 'ss'
+  EXPECT_EQ(SchemaLinker::Stem("as"), "as");          // too short
+}
+
+TEST(SchemaLinkerTest, DirectTableMention) {
+  auto schema = TpchLikeSchema();
+  SchemaLinker linker(schema);
+  auto linked = linker.Link("how many orders are there");
+  ASSERT_FALSE(linked.tables.empty());
+  EXPECT_EQ(linked.tables[0].table, "orders");
+}
+
+TEST(SchemaLinkerTest, ColumnMentionPullsTable) {
+  auto schema = TpchLikeSchema();
+  SchemaLinker linker(schema);
+  auto linked = linker.Link("total quantity shipped");
+  ASSERT_FALSE(linked.tables.empty());
+  EXPECT_EQ(linked.tables[0].table, "lineitem");
+  bool found_quantity = false;
+  for (const auto& c : linked.columns) {
+    found_quantity |= c.column == "l_quantity";
+  }
+  EXPECT_TRUE(found_quantity);
+}
+
+TEST(SchemaLinkerTest, SubstringMatchesCompoundColumns) {
+  auto schema = TpchLikeSchema();
+  SchemaLinker linker(schema);
+  auto linked = linker.Link("extended price of lineitem");
+  bool found = false;
+  for (const auto& c : linked.columns) {
+    found |= c.column == "l_extendedprice";
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SchemaLinkerTest, SynonymsExpandMatches) {
+  auto schema = TpchLikeSchema();
+  SchemaLinker linker(schema);
+  auto no_syn = linker.Link("revenue of lineitem");
+  bool found_before = false;
+  for (const auto& c : no_syn.columns) {
+    found_before |= c.column == "l_extendedprice";
+  }
+  EXPECT_FALSE(found_before);
+
+  linker.AddSynonym("revenue", "extendedprice");
+  auto with_syn = linker.Link("revenue of lineitem");
+  bool found_after = false;
+  for (const auto& c : with_syn.columns) {
+    found_after |= c.column == "l_extendedprice";
+  }
+  EXPECT_TRUE(found_after);
+}
+
+TEST(SchemaLinkerTest, NoMatchYieldsEmpty) {
+  auto schema = TpchLikeSchema();
+  SchemaLinker linker(schema);
+  auto linked = linker.Link("weather forecast tomorrow");
+  EXPECT_TRUE(linked.tables.empty());
+}
+
+TEST(SchemaLinkerTest, LimitsRespected) {
+  auto schema = TpchLikeSchema();
+  SchemaLinker linker(schema);
+  auto linked = linker.Link("orderkey price date of orders and lineitem", 1, 2);
+  EXPECT_LE(linked.tables.size(), 1u);
+  EXPECT_LE(linked.columns.size(), 2u);
+}
+
+TEST(SchemaLinkerTest, WideTablePruning) {
+  // The paper highlights pruning on very wide tables: build a 1000-column
+  // table and verify linking stays focused.
+  DatabaseSchema db;
+  db.name = "wide";
+  TableSchema t;
+  t.name = "metrics";
+  for (int i = 0; i < 1000; ++i) {
+    t.columns.push_back(
+        {"col_" + std::to_string(i) + "_noise", TypeId::kDouble});
+  }
+  t.columns.push_back({"cpu_usage", TypeId::kDouble});
+  t.columns.push_back({"mem_usage", TypeId::kDouble});
+  db.tables = {t};
+  SchemaLinker linker(db);
+  auto linked = linker.Link("average cpu usage in metrics", 4, 8);
+  ASSERT_FALSE(linked.columns.empty());
+  EXPECT_EQ(linked.columns[0].column, "cpu_usage");
+  EXPECT_LE(linked.columns.size(), 8u);
+}
+
+TEST(SchemaLinkerTest, TopTableColumnsFiltersByTable) {
+  auto schema = TpchLikeSchema();
+  SchemaLinker linker(schema);
+  auto linked = linker.Link("orderdate and totalprice of orders");
+  auto top = linked.TopTableColumns();
+  for (const auto& c : top) {
+    EXPECT_EQ(c.table, linked.tables[0].table);
+  }
+}
+
+}  // namespace
+}  // namespace pixels

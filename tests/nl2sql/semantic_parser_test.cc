@@ -1,0 +1,172 @@
+#include "nl2sql/semantic_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+
+namespace pixels {
+namespace {
+
+DatabaseSchema SalesSchema() {
+  DatabaseSchema db;
+  db.name = "shop";
+  TableSchema sales;
+  sales.name = "sales";
+  sales.columns = {{"product", TypeId::kString},
+                   {"region", TypeId::kString},
+                   {"amount", TypeId::kDouble},
+                   {"units", TypeId::kInt64},
+                   {"sold_date", TypeId::kDate}};
+  TableSchema customers;
+  customers.name = "customers";
+  customers.columns = {{"customer_name", TypeId::kString},
+                       {"city", TypeId::kString},
+                       {"balance", TypeId::kDouble}};
+  db.tables = {sales, customers};
+  return db;
+}
+
+class SemanticParserTest : public ::testing::Test {
+ protected:
+  SemanticParserTest() : schema_(SalesSchema()), parser_(schema_) {}
+
+  std::string Sql(const std::string& question) {
+    auto r = parser_.Translate(question);
+    EXPECT_TRUE(r.ok()) << question << " -> " << r.status().ToString();
+    return r.ok() ? r->sql : "";
+  }
+
+  DatabaseSchema schema_;
+  SemanticParser parser_;
+};
+
+TEST_F(SemanticParserTest, CountAll) {
+  EXPECT_EQ(Sql("how many sales are there?"),
+            "SELECT count(*) FROM sales");
+}
+
+TEST_F(SemanticParserTest, SumPerGroup) {
+  EXPECT_EQ(Sql("what is the total amount of sales per region?"),
+            "SELECT region, sum(amount) FROM sales GROUP BY region");
+}
+
+TEST_F(SemanticParserTest, AvgForEachGroup) {
+  EXPECT_EQ(Sql("average amount in sales for each product"),
+            "SELECT product, avg(amount) FROM sales GROUP BY product");
+}
+
+TEST_F(SemanticParserTest, MinMaxAggregates) {
+  EXPECT_EQ(Sql("maximum units of sales"), "SELECT max(units) FROM sales");
+  EXPECT_EQ(Sql("smallest balance of customers"),
+            "SELECT min(balance) FROM customers");
+}
+
+TEST_F(SemanticParserTest, CountWithNumericFilter) {
+  EXPECT_EQ(Sql("how many sales have units greater than 10?"),
+            "SELECT count(*) FROM sales WHERE (units > 10)");
+}
+
+TEST_F(SemanticParserTest, FilterSpellings) {
+  EXPECT_EQ(Sql("how many sales with amount above 100"),
+            "SELECT count(*) FROM sales WHERE (amount > 100)");
+  EXPECT_EQ(Sql("how many sales with amount below 50"),
+            "SELECT count(*) FROM sales WHERE (amount < 50)");
+  EXPECT_EQ(Sql("how many sales with units at least 3"),
+            "SELECT count(*) FROM sales WHERE (units >= 3)");
+  EXPECT_EQ(Sql("how many sales with units at most 7"),
+            "SELECT count(*) FROM sales WHERE (units <= 7)");
+}
+
+TEST_F(SemanticParserTest, EqualityWithString) {
+  EXPECT_EQ(Sql("how many sales where region equals 'west'"),
+            "SELECT count(*) FROM sales WHERE (region = 'west')");
+}
+
+TEST_F(SemanticParserTest, BetweenFilter) {
+  EXPECT_EQ(Sql("how many sales with amount between 10 and 20"),
+            "SELECT count(*) FROM sales WHERE (amount BETWEEN 10 AND 20)");
+}
+
+TEST_F(SemanticParserTest, ContainsBecomesLike) {
+  // Filter-only columns are not selected (CodeS-style SELECT *).
+  EXPECT_EQ(Sql("list sales where product contains 'widget'"),
+            "SELECT * FROM sales WHERE (product LIKE '%widget%')");
+}
+
+TEST_F(SemanticParserTest, DateFilterFallsBackToDateColumn) {
+  auto sql = Sql("total amount of sales after 2024-01-01");
+  EXPECT_NE(sql.find("sold_date >"), std::string::npos);
+  EXPECT_NE(sql.find("sum(amount)"), std::string::npos);
+}
+
+TEST_F(SemanticParserTest, TopNGroups) {
+  auto sql = Sql("total amount of sales per region, top 3");
+  EXPECT_NE(sql.find("GROUP BY region"), std::string::npos);
+  EXPECT_NE(sql.find("ORDER BY sum(amount) DESC"), std::string::npos);
+  EXPECT_NE(sql.find("LIMIT 3"), std::string::npos);
+}
+
+TEST_F(SemanticParserTest, FirstNListing) {
+  EXPECT_EQ(Sql("first 5 sales"), "SELECT * FROM sales LIMIT 5");
+}
+
+TEST_F(SemanticParserTest, SortedListing) {
+  auto sql = Sql("show the product and amount of sales ordered by amount "
+                 "descending");
+  EXPECT_NE(sql.find("ORDER BY amount DESC"), std::string::npos);
+  EXPECT_NE(sql.find("product"), std::string::npos);
+}
+
+TEST_F(SemanticParserTest, ListingWithoutColumnsIsStar) {
+  EXPECT_EQ(Sql("first 10 customers"), "SELECT * FROM customers LIMIT 10");
+}
+
+TEST_F(SemanticParserTest, TableChosenByColumnMention) {
+  auto r = parser_.Translate("average balance");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->table, "customers");
+}
+
+TEST_F(SemanticParserTest, SynonymImprovesTranslation) {
+  auto before = parser_.Translate("total revenue of sales per region");
+  // Without a synonym "revenue" maps to nothing specific; the aggregate
+  // may be missing.
+  parser_.AddSynonym("revenue", "amount");
+  auto after = parser_.Translate("total revenue of sales per region");
+  ASSERT_TRUE(after.ok());
+  EXPECT_NE(after->sql.find("sum(amount)"), std::string::npos);
+  (void)before;
+}
+
+TEST_F(SemanticParserTest, UnknownDomainFails) {
+  EXPECT_FALSE(parser_.Translate("what's the weather like today").ok());
+  EXPECT_FALSE(parser_.Translate("").ok());
+}
+
+TEST_F(SemanticParserTest, ProducedSqlAlwaysParses) {
+  const char* questions[] = {
+      "how many sales are there?",
+      "total amount of sales per region",
+      "average units of sales for each product",
+      "first 7 customers",
+      "show the city of customers",
+      "maximum balance of customers per city",
+      "how many sales with units greater than 2",
+      "total amount of sales per region, top 5",
+  };
+  for (const char* q : questions) {
+    auto t = parser_.Translate(q);
+    ASSERT_TRUE(t.ok()) << q;
+    auto parsed = ParseSelect(t->sql);
+    EXPECT_TRUE(parsed.ok()) << q << " -> " << t->sql;
+  }
+}
+
+TEST_F(SemanticParserTest, MultipleAggregates) {
+  auto sql = Sql("minimum and maximum amount of sales per region");
+  EXPECT_NE(sql.find("min(amount)"), std::string::npos);
+  EXPECT_NE(sql.find("max(amount)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pixels

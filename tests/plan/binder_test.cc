@@ -1,0 +1,221 @@
+#include "plan/binder.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_db.h"
+
+namespace pixels {
+namespace {
+
+class BinderTest : public ::testing::Test {
+ protected:
+  void SetUp() override { catalog_ = testing::BuildTestCatalog(); }
+
+  Result<PlanPtr> Bind(const std::string& sql) {
+    return PlanQuery(sql, *catalog_, "db");
+  }
+
+  PlanPtr MustBind(const std::string& sql) {
+    auto r = Bind(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    return r.ok() ? *r : nullptr;
+  }
+
+  std::shared_ptr<Catalog> catalog_;
+};
+
+TEST_F(BinderTest, SimpleSelectProducesProjectOverScan) {
+  auto plan = MustBind("SELECT name FROM emp");
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->kind, LogicalPlan::Kind::kProject);
+  EXPECT_EQ(plan->children[0]->kind, LogicalPlan::Kind::kScan);
+  EXPECT_EQ(plan->names, (std::vector<std::string>{"name"}));
+}
+
+TEST_F(BinderTest, StarExpandsAllColumns) {
+  auto plan = MustBind("SELECT * FROM emp");
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->names.size(), 5u);
+  EXPECT_EQ(plan->names[0], "id");
+  EXPECT_EQ(plan->names[4], "hired");
+}
+
+TEST_F(BinderTest, UnknownTableFails) {
+  EXPECT_FALSE(Bind("SELECT x FROM nope").ok());
+}
+
+TEST_F(BinderTest, UnknownColumnFails) {
+  auto r = Bind("SELECT wat FROM emp");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("wat"), std::string::npos);
+}
+
+TEST_F(BinderTest, QualifierResolution) {
+  auto plan = MustBind("SELECT e.name FROM emp AS e");
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->exprs[0]->qualifier, "e");
+}
+
+TEST_F(BinderTest, UnknownQualifierFails) {
+  EXPECT_FALSE(Bind("SELECT z.name FROM emp AS e").ok());
+}
+
+TEST_F(BinderTest, AmbiguousColumnFails) {
+  auto r = Bind("SELECT name FROM emp JOIN dept ON emp.dept = dept.name");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("ambiguous"), std::string::npos);
+}
+
+TEST_F(BinderTest, JoinBuildsJoinNode) {
+  auto plan =
+      MustBind("SELECT emp.name FROM emp JOIN dept ON emp.dept = dept.name");
+  ASSERT_NE(plan, nullptr);
+  EXPECT_TRUE(plan->Contains(LogicalPlan::Kind::kJoin));
+}
+
+TEST_F(BinderTest, DuplicateAliasFails) {
+  EXPECT_FALSE(
+      Bind("SELECT 1 FROM emp AS x JOIN dept AS x ON x.dept = x.name").ok());
+}
+
+TEST_F(BinderTest, WhereBecomesFilter) {
+  auto plan = MustBind("SELECT name FROM emp WHERE salary > 100");
+  ASSERT_NE(plan, nullptr);
+  EXPECT_TRUE(plan->Contains(LogicalPlan::Kind::kFilter));
+}
+
+TEST_F(BinderTest, AggregateInWhereFails) {
+  EXPECT_FALSE(Bind("SELECT name FROM emp WHERE sum(salary) > 10").ok());
+}
+
+TEST_F(BinderTest, GroupByBuildsAggregate) {
+  auto plan = MustBind("SELECT dept, sum(salary) FROM emp GROUP BY dept");
+  ASSERT_NE(plan, nullptr);
+  EXPECT_TRUE(plan->Contains(LogicalPlan::Kind::kAggregate));
+}
+
+TEST_F(BinderTest, GlobalAggregateWithoutGroupBy) {
+  auto plan = MustBind("SELECT count(*), avg(salary) FROM emp");
+  ASSERT_NE(plan, nullptr);
+  EXPECT_TRUE(plan->Contains(LogicalPlan::Kind::kAggregate));
+}
+
+TEST_F(BinderTest, NonGroupedColumnInAggregateFails) {
+  auto r = Bind("SELECT name, sum(salary) FROM emp GROUP BY dept");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("GROUP BY"), std::string::npos);
+}
+
+TEST_F(BinderTest, GroupExprUsableInSelect) {
+  auto plan =
+      MustBind("SELECT dept, count(*) FROM emp GROUP BY dept ORDER BY dept");
+  ASSERT_NE(plan, nullptr);
+  EXPECT_TRUE(plan->Contains(LogicalPlan::Kind::kSort));
+}
+
+TEST_F(BinderTest, HavingBecomesFilterAboveAggregate) {
+  auto plan = MustBind(
+      "SELECT dept FROM emp GROUP BY dept HAVING count(*) > 2");
+  ASSERT_NE(plan, nullptr);
+  // Filter sits above the aggregate: project -> filter -> aggregate.
+  const LogicalPlan* node = plan.get();
+  ASSERT_EQ(node->kind, LogicalPlan::Kind::kProject);
+  node = node->children[0].get();
+  EXPECT_EQ(node->kind, LogicalPlan::Kind::kFilter);
+  EXPECT_EQ(node->children[0]->kind, LogicalPlan::Kind::kAggregate);
+}
+
+TEST_F(BinderTest, AggregatesInGroupByFails) {
+  EXPECT_FALSE(Bind("SELECT 1 FROM emp GROUP BY sum(salary)").ok());
+}
+
+TEST_F(BinderTest, OrderByAlias) {
+  auto plan =
+      MustBind("SELECT salary * 2 AS double_pay FROM emp ORDER BY double_pay");
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->kind, LogicalPlan::Kind::kSort);
+}
+
+TEST_F(BinderTest, OrderByPosition) {
+  auto plan = MustBind("SELECT name, salary FROM emp ORDER BY 2 DESC");
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->kind, LogicalPlan::Kind::kSort);
+  EXPECT_EQ(plan->order_by[0].expr->name, "salary");
+  EXPECT_FALSE(plan->order_by[0].ascending);
+}
+
+TEST_F(BinderTest, OrderByPositionOutOfRangeFails) {
+  EXPECT_FALSE(Bind("SELECT name FROM emp ORDER BY 5").ok());
+}
+
+TEST_F(BinderTest, OrderByUnselectedColumnUsesHiddenKey) {
+  auto plan = MustBind("SELECT name FROM emp ORDER BY salary");
+  ASSERT_NE(plan, nullptr);
+  // A final projection drops the hidden sort column.
+  EXPECT_EQ(plan->kind, LogicalPlan::Kind::kProject);
+  EXPECT_EQ(plan->names, (std::vector<std::string>{"name"}));
+  EXPECT_EQ(plan->children[0]->kind, LogicalPlan::Kind::kSort);
+}
+
+TEST_F(BinderTest, OrderByUnselectedColumnWithDistinctFails) {
+  EXPECT_FALSE(Bind("SELECT DISTINCT name FROM emp ORDER BY salary").ok());
+}
+
+TEST_F(BinderTest, OrderByUngroupedColumnStillFails) {
+  EXPECT_FALSE(
+      Bind("SELECT dept, count(*) FROM emp GROUP BY dept ORDER BY name").ok());
+}
+
+TEST_F(BinderTest, OrderByAggregateExpression) {
+  auto plan = MustBind(
+      "SELECT dept, sum(salary) FROM emp GROUP BY dept ORDER BY sum(salary) "
+      "DESC");
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->kind, LogicalPlan::Kind::kSort);
+}
+
+TEST_F(BinderTest, LimitBecomesLimitNode) {
+  auto plan = MustBind("SELECT name FROM emp LIMIT 3");
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->kind, LogicalPlan::Kind::kLimit);
+  EXPECT_EQ(plan->limit, 3);
+}
+
+TEST_F(BinderTest, DistinctBecomesDistinctNode) {
+  auto plan = MustBind("SELECT DISTINCT dept FROM emp");
+  ASSERT_NE(plan, nullptr);
+  EXPECT_TRUE(plan->Contains(LogicalPlan::Kind::kDistinct));
+}
+
+TEST_F(BinderTest, SelectWithoutFrom) {
+  auto plan = MustBind("SELECT 1 + 1 AS two");
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->kind, LogicalPlan::Kind::kProject);
+  EXPECT_EQ(plan->names[0], "two");
+  EXPECT_EQ(plan->children[0]->kind, LogicalPlan::Kind::kMaterializedView);
+}
+
+TEST_F(BinderTest, StarWithoutFromFails) {
+  EXPECT_FALSE(Bind("SELECT *").ok());
+}
+
+TEST_F(BinderTest, PlanToStringContainsNodes) {
+  auto plan = MustBind(
+      "SELECT dept, sum(salary) FROM emp WHERE salary > 50 GROUP BY dept");
+  ASSERT_NE(plan, nullptr);
+  std::string s = plan->ToString();
+  EXPECT_NE(s.find("Project"), std::string::npos);
+  EXPECT_NE(s.find("Aggregate"), std::string::npos);
+  EXPECT_NE(s.find("Filter"), std::string::npos);
+  EXPECT_NE(s.find("Scan db.emp"), std::string::npos);
+}
+
+TEST_F(BinderTest, OutputColumnsPropagate) {
+  auto plan = MustBind("SELECT name AS n, salary FROM emp");
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->OutputColumns(),
+            (std::vector<std::string>{"n", "salary"}));
+}
+
+}  // namespace
+}  // namespace pixels

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "plan/binder.h"
+#include "plan/optimizer.h"
+#include "storage/memory_store.h"
+#include "testing/test_db.h"
+#include "workload/tpch.h"
+
+namespace pixels {
+namespace {
+
+const LogicalPlan* FindJoin(const LogicalPlan* plan) {
+  if (plan->kind == LogicalPlan::Kind::kJoin) return plan;
+  for (const auto& c : plan->children) {
+    const LogicalPlan* f = FindJoin(c.get());
+    if (f != nullptr) return f;
+  }
+  return nullptr;
+}
+
+const LogicalPlan* FindScanOf(const LogicalPlan* plan,
+                              const std::string& table) {
+  if (plan->kind == LogicalPlan::Kind::kScan && plan->table == table) {
+    return plan;
+  }
+  for (const auto& c : plan->children) {
+    const LogicalPlan* f = FindScanOf(c.get(), table);
+    if (f != nullptr) return f;
+  }
+  return nullptr;
+}
+
+class JoinOrderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    storage_ = std::make_shared<MemoryStore>();
+    catalog_ = std::make_shared<Catalog>(storage_);
+    TpchOptions options;
+    options.scale_factor = 0.001;
+    ASSERT_TRUE(GenerateTpch(catalog_.get(), "tpch", options).ok());
+  }
+
+  PlanPtr Optimized(const std::string& sql, OptimizerOptions options = {}) {
+    auto plan = PlanQuery(sql, *catalog_, "tpch");
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    auto optimized = Optimize(std::move(plan).ValueOrDie(), *catalog_, options);
+    EXPECT_TRUE(optimized.ok());
+    return optimized.ok() ? *optimized : nullptr;
+  }
+
+  std::shared_ptr<MemoryStore> storage_;
+  std::shared_ptr<Catalog> catalog_;
+};
+
+TEST_F(JoinOrderTest, EstimateRowsUsesCatalogCounts) {
+  auto plan = Optimized("SELECT o_orderkey FROM orders",
+                        OptimizerOptions{false, false, false, false});
+  // orders at SF 0.001 has 1500 rows.
+  EXPECT_EQ(EstimateRows(*plan, *catalog_), 1500u);
+}
+
+TEST_F(JoinOrderTest, FilterReducesEstimate) {
+  auto plan = Optimized("SELECT o_orderkey FROM orders WHERE o_totalprice > 5",
+                        OptimizerOptions{false, false, false, false});
+  EXPECT_LT(EstimateRows(*plan, *catalog_), 1500u);
+}
+
+TEST_F(JoinOrderTest, LimitCapsEstimate) {
+  auto plan = Optimized("SELECT o_orderkey FROM orders LIMIT 7",
+                        OptimizerOptions{false, false, false, false});
+  EXPECT_EQ(EstimateRows(*plan, *catalog_), 7u);
+}
+
+TEST_F(JoinOrderTest, SmallerTableBecomesBuildSide) {
+  // lineitem (6000 rows) JOIN nation-sized table: writing the small table
+  // first would put the big one on the build side without the rule.
+  auto plan = Optimized(
+      "SELECT count(*) FROM orders o JOIN lineitem l ON o.o_orderkey = "
+      "l.l_orderkey");
+  const LogicalPlan* join = FindJoin(plan.get());
+  ASSERT_NE(join, nullptr);
+  // Build side (children[1]) must be the smaller input: orders (1500) vs
+  // lineitem (6000).
+  EXPECT_NE(FindScanOf(join->children[1].get(), "orders"), nullptr);
+  EXPECT_NE(FindScanOf(join->children[0].get(), "lineitem"), nullptr);
+}
+
+TEST_F(JoinOrderTest, DisabledRuleKeepsSyntacticOrder) {
+  OptimizerOptions options;
+  options.optimize_join_order = false;
+  auto plan = Optimized(
+      "SELECT count(*) FROM orders o JOIN lineitem l ON o.o_orderkey = "
+      "l.l_orderkey",
+      options);
+  const LogicalPlan* join = FindJoin(plan.get());
+  ASSERT_NE(join, nullptr);
+  // Syntactic order: orders left, lineitem right.
+  EXPECT_NE(FindScanOf(join->children[0].get(), "orders"), nullptr);
+}
+
+TEST_F(JoinOrderTest, LeftJoinNeverSwapped) {
+  auto catalog = testing::BuildTestCatalog();
+  auto plan = PlanQuery(
+      "SELECT d.name FROM dept d LEFT JOIN emp e ON d.name = e.dept", *catalog,
+      "db");
+  ASSERT_TRUE(plan.ok());
+  auto optimized = Optimize(std::move(plan).ValueOrDie(), *catalog);
+  ASSERT_TRUE(optimized.ok());
+  const LogicalPlan* join = FindJoin(optimized->get());
+  ASSERT_NE(join, nullptr);
+  // dept (4 rows) stays on the left even though emp (8 rows) is bigger:
+  // LEFT JOIN is not symmetric.
+  EXPECT_NE(FindScanOf(join->children[0].get(), "dept"), nullptr);
+}
+
+TEST_F(JoinOrderTest, SwappedJoinProducesSameResults) {
+  const std::string sql =
+      "SELECT o.o_orderpriority, count(*) AS n FROM lineitem l JOIN orders o "
+      "ON l.l_orderkey = o.o_orderkey GROUP BY o.o_orderpriority ORDER BY "
+      "o.o_orderpriority";
+  ExecContext ctx_on, ctx_off;
+  ctx_on.catalog = catalog_.get();
+  ctx_off.catalog = catalog_.get();
+
+  auto with_rule = ExecutePlan(Optimized(sql), &ctx_on);
+  OptimizerOptions off;
+  off.optimize_join_order = false;
+  auto without_rule = ExecutePlan(Optimized(sql, off), &ctx_off);
+  ASSERT_TRUE(with_rule.ok() && without_rule.ok());
+
+  auto a = (*with_rule)->CollectColumn("n");
+  auto b = (*without_rule)->CollectColumn("n");
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].i, b[i].i);
+}
+
+}  // namespace
+}  // namespace pixels

@@ -1,0 +1,221 @@
+#include "rover/backend.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/memory_store.h"
+#include "workload/tpch.h"
+
+namespace pixels {
+namespace {
+
+class RoverBackendTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    storage_ = std::make_shared<MemoryStore>();
+    catalog_ = std::make_shared<Catalog>(storage_);
+    TpchOptions options;
+    options.scale_factor = 0.001;
+    ASSERT_TRUE(GenerateTpch(catalog_.get(), "tpch", options).ok());
+
+    CoordinatorParams cparams;
+    cparams.vm.initial_vms = 2;
+    coordinator_ = std::make_unique<Coordinator>(&clock_, &rng_, cparams,
+                                                 catalog_);
+    server_ = std::make_unique<QueryServer>(&clock_, coordinator_.get());
+    codes_ = std::make_unique<CodesService>(catalog_.get());
+    for (const auto& [w, t] : TpchSynonyms()) codes_->AddSynonym(w, t);
+    auth_ = std::make_unique<AuthService>();
+    ASSERT_TRUE(auth_->RegisterUser("analyst", "pw", {"tpch"}).ok());
+    ASSERT_TRUE(auth_->RegisterUser("outsider", "pw", {}).ok());
+    backend_ = std::make_unique<RoverBackend>(catalog_.get(), server_.get(),
+                                              codes_.get(), auth_.get(),
+                                              &clock_);
+  }
+
+  void TearDown() override {
+    server_->Stop();
+    coordinator_->Stop();
+  }
+
+  std::string LoginAnalyst() {
+    auto token = backend_->Login("analyst", "pw");
+    EXPECT_TRUE(token.ok());
+    EXPECT_TRUE(backend_->SelectDatabase(*token, "tpch").ok());
+    return *token;
+  }
+
+  SimClock clock_;
+  Random rng_{42};
+  std::shared_ptr<MemoryStore> storage_;
+  std::shared_ptr<Catalog> catalog_;
+  std::unique_ptr<Coordinator> coordinator_;
+  std::unique_ptr<QueryServer> server_;
+  std::unique_ptr<CodesService> codes_;
+  std::unique_ptr<AuthService> auth_;
+  std::unique_ptr<RoverBackend> backend_;
+};
+
+TEST_F(RoverBackendTest, LoginRequired) {
+  EXPECT_FALSE(backend_->ListSchemas("bogus").ok());
+  EXPECT_FALSE(backend_->Translate("bogus", "how many orders").ok());
+  EXPECT_FALSE(backend_->Submit("bogus", 0, ServiceLevel::kImmediate, 0,
+                                "SELECT 1")
+                   .ok());
+}
+
+TEST_F(RoverBackendTest, SchemaSidebarListsAuthorizedDbs) {
+  std::string token = LoginAnalyst();
+  auto schemas = backend_->ListSchemas(token);
+  ASSERT_TRUE(schemas.ok());
+  ASSERT_EQ(schemas->Get("databases").size(), 1u);
+  EXPECT_EQ(schemas->Get("databases").At(0).Get("database").AsString(),
+            "tpch");
+}
+
+TEST_F(RoverBackendTest, OutsiderSeesNoSchemas) {
+  auto token = backend_->Login("outsider", "pw");
+  ASSERT_TRUE(token.ok());
+  auto schemas = backend_->ListSchemas(*token);
+  ASSERT_TRUE(schemas.ok());
+  EXPECT_EQ(schemas->Get("databases").size(), 0u);
+  EXPECT_TRUE(
+      backend_->SelectDatabase(*token, "tpch").IsFailedPrecondition());
+}
+
+TEST_F(RoverBackendTest, TranslateNeedsSelectedDatabase) {
+  auto token = backend_->Login("analyst", "pw");
+  ASSERT_TRUE(token.ok());
+  EXPECT_TRUE(backend_->Translate(*token, "how many orders")
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST_F(RoverBackendTest, TranslateReturnsSqlBlock) {
+  std::string token = LoginAnalyst();
+  auto t = backend_->Translate(token, "how many orders are there?");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->Get("sql").AsString(), "SELECT count(*) FROM orders");
+  EXPECT_GT(t->Get("query_id").AsInt(), 0);
+  // Before submission the block reports "translated".
+  auto status = backend_->QueryStatus(token, t->Get("query_id").AsInt());
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->Get("status").AsString(), "translated");
+}
+
+TEST_F(RoverBackendTest, EditThenSubmitAndFetchResult) {
+  std::string token = LoginAnalyst();
+  auto t = backend_->Translate(token, "first 3 orders");
+  ASSERT_TRUE(t.ok());
+  int64_t qid = t->Get("query_id").AsInt();
+  ASSERT_TRUE(backend_
+                  ->EditQuery(token, qid,
+                              "SELECT count(*) AS n FROM orders")
+                  .ok());
+  auto submitted = backend_->Submit(token, qid, ServiceLevel::kImmediate);
+  ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+  clock_.RunAll();
+  auto status = backend_->QueryStatus(token, qid);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->Get("status").AsString(), "finished");
+  EXPECT_EQ(status->Get("service_level").AsString(), "immediate");
+  ASSERT_EQ(status->Get("rows").size(), 1u);
+  EXPECT_EQ(status->Get("rows").At(0).At(0).AsInt(), 1500);
+  EXPECT_GE(status->Get("cost_usd").AsNumber(), 0);
+}
+
+TEST_F(RoverBackendTest, EditAfterSubmitRejected) {
+  std::string token = LoginAnalyst();
+  auto t = backend_->Translate(token, "how many orders are there?");
+  ASSERT_TRUE(t.ok());
+  int64_t qid = t->Get("query_id").AsInt();
+  ASSERT_TRUE(backend_->Submit(token, qid, ServiceLevel::kImmediate).ok());
+  EXPECT_TRUE(backend_->EditQuery(token, qid, "SELECT 1")
+                  .IsFailedPrecondition());
+  EXPECT_TRUE(backend_->Submit(token, qid, ServiceLevel::kImmediate)
+                  .status()
+                  .IsFailedPrecondition());
+  clock_.RunAll();
+}
+
+TEST_F(RoverBackendTest, RawSqlSubmission) {
+  std::string token = LoginAnalyst();
+  auto submitted =
+      backend_->Submit(token, 0, ServiceLevel::kRelaxed, 2,
+                       "SELECT o_orderkey FROM orders ORDER BY o_orderkey");
+  ASSERT_TRUE(submitted.ok());
+  clock_.RunAll();
+  auto status = backend_->QueryStatus(token, *submitted);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->Get("status").AsString(), "finished");
+  // The result-size limit from the submission form applies.
+  EXPECT_EQ(status->Get("rows").size(), 2u);
+}
+
+TEST_F(RoverBackendTest, FailedQueryCarriesError) {
+  std::string token = LoginAnalyst();
+  auto submitted = backend_->Submit(token, 0, ServiceLevel::kImmediate, 0,
+                                    "SELECT nonsense FROM orders");
+  ASSERT_TRUE(submitted.ok());
+  clock_.RunAll();
+  auto status = backend_->QueryStatus(token, *submitted);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->Get("status").AsString(), "failed");
+  EXPECT_FALSE(status->Get("error").AsString().empty());
+}
+
+TEST_F(RoverBackendTest, UsersCannotSeeEachOthersQueries) {
+  std::string token = LoginAnalyst();
+  auto submitted = backend_->Submit(token, 0, ServiceLevel::kImmediate, 0,
+                                    "SELECT count(*) FROM orders");
+  ASSERT_TRUE(submitted.ok());
+  auto other = backend_->Login("outsider", "pw");
+  ASSERT_TRUE(other.ok());
+  EXPECT_TRUE(
+      backend_->QueryStatus(*other, *submitted).status().IsNotFound());
+  clock_.RunAll();
+}
+
+TEST_F(RoverBackendTest, BillingSummaryAggregatesPerUser) {
+  std::string token = LoginAnalyst();
+  ASSERT_TRUE(backend_
+                  ->Submit(token, 0, ServiceLevel::kImmediate, 0,
+                           "SELECT count(*) FROM lineitem")
+                  .ok());
+  ASSERT_TRUE(backend_
+                  ->Submit(token, 0, ServiceLevel::kRelaxed, 0,
+                           "SELECT count(*) FROM lineitem")
+                  .ok());
+  clock_.RunUntil(10 * kMinutes);
+  auto bill = backend_->BillingSummary(token);
+  ASSERT_TRUE(bill.ok());
+  EXPECT_EQ(bill->Get("user").AsString(), "analyst");
+  EXPECT_EQ(bill->Get("queries").AsInt(), 2);
+  double immediate = bill->Get("by_level").Get("immediate").AsNumber();
+  double relaxed = bill->Get("by_level").Get("relaxed").AsNumber();
+  EXPECT_GT(immediate, 0);
+  EXPECT_NEAR(relaxed / immediate, 0.2, 1e-9);
+  EXPECT_NEAR(bill->Get("total_usd").AsNumber(), immediate + relaxed, 1e-12);
+}
+
+TEST_F(RoverBackendTest, ExplainThroughBackend) {
+  std::string token = LoginAnalyst();
+  auto submitted = backend_->Submit(
+      token, 0, ServiceLevel::kImmediate, 0,
+      "EXPLAIN SELECT count(*) FROM orders WHERE o_totalprice > 100");
+  ASSERT_TRUE(submitted.ok());
+  clock_.RunAll();
+  auto status = backend_->QueryStatus(token, *submitted);
+  ASSERT_TRUE(status.ok()) << status.status().ToString();
+  EXPECT_EQ(status->Get("status").AsString(), "finished");
+  bool has_aggregate_line = false;
+  const Json& rows = status->Get("rows");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (rows.At(i).At(0).AsString().find("Aggregate") != std::string::npos) {
+      has_aggregate_line = true;
+    }
+  }
+  EXPECT_TRUE(has_aggregate_line);
+}
+
+}  // namespace
+}  // namespace pixels

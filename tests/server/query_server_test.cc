@@ -1,0 +1,262 @@
+#include "server/query_server.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_db.h"
+
+namespace pixels {
+namespace {
+
+class QueryServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    CoordinatorParams cparams;
+    cparams.vm.initial_vms = 1;
+    cparams.vm.slots_per_vm = 2;
+    cparams.vm.min_vms = 1;
+    cparams.vm.max_vms = 8;
+    cparams.vm.high_watermark = 2.0;
+    cparams.vm.low_watermark = 0.75;
+    cparams.vm.monitor_interval = 5 * kSeconds;
+    cparams.vm.scale_in_cooldown = 0;
+    coordinator_ = std::make_unique<Coordinator>(&clock_, &rng_, cparams);
+    QueryServerParams sparams;
+    sparams.relaxed_grace_period = 2 * kMinutes;
+    sparams.poll_interval = 1 * kSeconds;
+    server_ = std::make_unique<QueryServer>(&clock_, coordinator_.get(), sparams);
+  }
+
+  void TearDown() override {
+    server_->Stop();
+    coordinator_->Stop();
+  }
+
+  Submission Work(ServiceLevel level, double vcpu_seconds,
+                  uint64_t bytes = 1'000'000'000) {
+    Submission s;
+    s.level = level;
+    s.query.work_vcpu_seconds = vcpu_seconds;
+    s.query.bytes_to_scan = bytes;
+    return s;
+  }
+
+  SimClock clock_;
+  Random rng_{42};
+  std::unique_ptr<Coordinator> coordinator_;
+  std::unique_ptr<QueryServer> server_;
+};
+
+TEST_F(QueryServerTest, ImmediateStartsAtOnce) {
+  // Saturate the cluster first (capacity 2, watermark 2).
+  server_->Submit(Work(ServiceLevel::kImmediate, 500.0));
+  server_->Submit(Work(ServiceLevel::kImmediate, 500.0));
+  int64_t id = server_->Submit(Work(ServiceLevel::kImmediate, 6.0));
+  auto status = server_->GetStatus(id);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->state, QueryState::kRunning);
+  EXPECT_TRUE(status->used_cf);  // cluster saturated -> CF acceleration
+  clock_.RunUntil(1 * kMinutes);
+  status = server_->GetStatus(id);
+  EXPECT_EQ(status->state, QueryState::kFinished);
+  EXPECT_EQ(status->pending_ms, 0);
+}
+
+TEST_F(QueryServerTest, ImmediateOnIdleClusterUsesVm) {
+  int64_t id = server_->Submit(Work(ServiceLevel::kImmediate, 2.0));
+  clock_.RunUntil(1 * kMinutes);
+  auto status = server_->GetStatus(id);
+  EXPECT_EQ(status->state, QueryState::kFinished);
+  EXPECT_FALSE(status->used_cf);  // idle cluster never needs CF
+}
+
+TEST_F(QueryServerTest, RelaxedDispatchesImmediatelyWhenIdle) {
+  int64_t id = server_->Submit(Work(ServiceLevel::kRelaxed, 2.0));
+  auto status = server_->GetStatus(id);
+  EXPECT_EQ(status->state, QueryState::kRunning);
+  clock_.RunAll();
+  status = server_->GetStatus(id);
+  EXPECT_EQ(status->state, QueryState::kFinished);
+  EXPECT_FALSE(status->used_cf);
+}
+
+TEST_F(QueryServerTest, RelaxedHeldWhileBusyThenDispatched) {
+  server_->Submit(Work(ServiceLevel::kImmediate, 30.0));
+  server_->Submit(Work(ServiceLevel::kImmediate, 30.0));
+  // Concurrency now 2 >= high watermark 2 -> relaxed is held.
+  int64_t id = server_->Submit(Work(ServiceLevel::kRelaxed, 2.0));
+  EXPECT_EQ(server_->HeldQueries(), 1u);
+  auto status = server_->GetStatus(id);
+  EXPECT_EQ(status->state, QueryState::kPending);
+  clock_.RunUntil(10 * kMinutes);
+  status = server_->GetStatus(id);
+  EXPECT_EQ(status->state, QueryState::kFinished);
+  EXPECT_FALSE(status->used_cf);  // relaxed never uses CF
+  EXPECT_GT(status->pending_ms, 0);
+}
+
+TEST_F(QueryServerTest, RelaxedGracePeriodBoundsPendingTime) {
+  // Keep the cluster saturated well past the grace period.
+  for (int i = 0; i < 12; ++i) {
+    server_->Submit(Work(ServiceLevel::kImmediate, 10000.0));
+  }
+  int64_t id = server_->Submit(Work(ServiceLevel::kRelaxed, 2.0));
+  clock_.RunUntil(3 * kMinutes);
+  // After the 2-minute grace period the query must have left the server
+  // queue (it may still be pending inside the coordinator).
+  const SubmissionRecord* rec = server_->GetRecord(id);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_GT(rec->coordinator_id, 0);
+  EXPECT_LE(rec->dispatch_time - rec->received_time,
+            2 * kMinutes + 2 * kSeconds);
+}
+
+TEST_F(QueryServerTest, BestEffortWaitsForIdleCluster) {
+  server_->Submit(Work(ServiceLevel::kImmediate, 60.0));
+  // Concurrency 1 >= low watermark 0.75 -> best-effort held.
+  int64_t id = server_->Submit(Work(ServiceLevel::kBestEffort, 2.0));
+  EXPECT_EQ(server_->HeldQueries(), 1u);
+  clock_.RunUntil(30 * kMinutes);
+  auto status = server_->GetStatus(id);
+  EXPECT_EQ(status->state, QueryState::kFinished);
+  // It only started after the immediate query finished (~60s mark).
+  EXPECT_GT(status->pending_ms, 10 * kSeconds);
+}
+
+TEST_F(QueryServerTest, BestEffortRunsAtOnceOnIdleCluster) {
+  int64_t id = server_->Submit(Work(ServiceLevel::kBestEffort, 1.0));
+  auto status = server_->GetStatus(id);
+  EXPECT_EQ(status->state, QueryState::kRunning);
+  clock_.RunAll();
+}
+
+TEST_F(QueryServerTest, BillingFollowsPriceList) {
+  const uint64_t tb = 1'000'000'000'000ULL;
+  int64_t i_id = server_->Submit(Work(ServiceLevel::kImmediate, 1.0, tb));
+  clock_.RunUntil(1 * kMinutes);
+  int64_t r_id = server_->Submit(Work(ServiceLevel::kRelaxed, 1.0, tb));
+  clock_.RunUntil(2 * kMinutes);
+  int64_t b_id = server_->Submit(Work(ServiceLevel::kBestEffort, 1.0, tb));
+  clock_.RunUntil(30 * kMinutes);
+  EXPECT_DOUBLE_EQ(server_->GetStatus(i_id)->bill_usd, 5.0);
+  EXPECT_DOUBLE_EQ(server_->GetStatus(r_id)->bill_usd, 1.0);
+  EXPECT_DOUBLE_EQ(server_->GetStatus(b_id)->bill_usd, 0.5);
+  EXPECT_DOUBLE_EQ(server_->TotalBilledUsd(), 6.5);
+}
+
+TEST_F(QueryServerTest, FinishCallbackReceivesBothRecords) {
+  bool called = false;
+  server_->Submit(Work(ServiceLevel::kImmediate, 1.0),
+                  [&](const SubmissionRecord& srec, const QueryRecord& qrec) {
+                    called = true;
+                    EXPECT_GT(srec.bill_usd, 0);
+                    EXPECT_EQ(qrec.state, QueryState::kFinished);
+                  });
+  clock_.RunUntil(1 * kMinutes);
+  EXPECT_TRUE(called);
+}
+
+TEST_F(QueryServerTest, GetStatusUnknownIdFails) {
+  EXPECT_TRUE(server_->GetStatus(999).status().IsNotFound());
+}
+
+TEST_F(QueryServerTest, StatusTransitionsThroughStates) {
+  // Two 100-vCPU-s queries saturate the cluster until ~25s; the relaxed
+  // query then runs for ~15s.
+  server_->Submit(Work(ServiceLevel::kImmediate, 100.0));
+  server_->Submit(Work(ServiceLevel::kImmediate, 100.0));
+  int64_t id = server_->Submit(Work(ServiceLevel::kRelaxed, 60.0));
+  EXPECT_EQ(server_->GetStatus(id)->state, QueryState::kPending);
+  clock_.RunUntil(30 * kSeconds);
+  EXPECT_EQ(server_->GetStatus(id)->state, QueryState::kRunning);
+  clock_.RunUntil(5 * kMinutes);
+  EXPECT_EQ(server_->GetStatus(id)->state, QueryState::kFinished);
+}
+
+TEST_F(QueryServerTest, ServiceLevelsOrderPendingTimes) {
+  // The paper's core behavioural claim: pending-time bounds order as
+  // immediate <= relaxed <= best-of-effort under load.
+  for (int i = 0; i < 4; ++i) {
+    server_->Submit(Work(ServiceLevel::kImmediate, 120.0));
+  }
+  int64_t imm = server_->Submit(Work(ServiceLevel::kImmediate, 4.0));
+  int64_t rel = server_->Submit(Work(ServiceLevel::kRelaxed, 4.0));
+  int64_t best = server_->Submit(Work(ServiceLevel::kBestEffort, 4.0));
+  clock_.RunUntil(60 * kMinutes);
+  SimTime p_imm = server_->GetStatus(imm)->pending_ms;
+  SimTime p_rel = server_->GetStatus(rel)->pending_ms;
+  SimTime p_best = server_->GetStatus(best)->pending_ms;
+  EXPECT_EQ(server_->GetStatus(imm)->state, QueryState::kFinished);
+  EXPECT_EQ(server_->GetStatus(rel)->state, QueryState::kFinished);
+  EXPECT_EQ(server_->GetStatus(best)->state, QueryState::kFinished);
+  EXPECT_LE(p_imm, p_rel);
+  EXPECT_LE(p_rel, p_best);
+  EXPECT_EQ(p_imm, 0);
+}
+
+TEST_F(QueryServerTest, ResultLimitTruncatesRealResults) {
+  auto catalog = testing::BuildTestCatalog();
+  CoordinatorParams cparams;
+  cparams.vm.initial_vms = 2;
+  Coordinator coord(&clock_, &rng_, cparams, catalog);
+  QueryServer server(&clock_, &coord);
+  Submission s;
+  s.level = ServiceLevel::kImmediate;
+  s.query.sql = "SELECT id FROM emp ORDER BY id";
+  s.query.db = "db";
+  s.query.execute_real = true;
+  s.result_limit = 3;
+  TablePtr result;
+  server.Submit(s, [&](const SubmissionRecord&, const QueryRecord& qrec) {
+    result = qrec.result;
+  });
+  clock_.RunAll();
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(result->num_rows(), 3u);
+  server.Stop();
+}
+
+TEST_F(QueryServerTest, HeldQueriesDoNotGateThemselves) {
+  // Regression: held relaxed queries count toward the autoscaling signal
+  // but must NOT count toward their own dispatch gate, or they deadlock
+  // until the grace period even on an idle cluster.
+  // Saturate the 2 VM slots.
+  server_->Submit(Work(ServiceLevel::kImmediate, 40.0));
+  server_->Submit(Work(ServiceLevel::kImmediate, 40.0));
+  // Hold a pile of relaxed queries.
+  std::vector<int64_t> ids;
+  for (int i = 0; i < 10; ++i) {
+    ids.push_back(server_->Submit(Work(ServiceLevel::kRelaxed, 1.0)));
+  }
+  EXPECT_EQ(server_->HeldQueries(), 10u);
+  // Held demand is visible to the autoscaler...
+  EXPECT_GE(coordinator_->Concurrency(), 10.0);
+  // ...but not to the engine-side gate metric.
+  EXPECT_DOUBLE_EQ(coordinator_->EngineConcurrency(), 2.0);
+  // Once the immediate queries finish (~10s), every relaxed query should
+  // dispatch long before the 2-minute grace period.
+  clock_.RunUntil(60 * kSeconds);
+  for (int64_t id : ids) {
+    EXPECT_EQ(server_->GetStatus(id)->state, QueryState::kFinished)
+        << "query " << id;
+  }
+}
+
+TEST_F(QueryServerTest, ExternalPendingDrivesScaleOut) {
+  coordinator_->Start();
+  // Saturate and hold many relaxed queries; the cluster must scale out
+  // during the grace period (paper: the grace period "gives time for the
+  // VM cluster to scale out").
+  server_->Submit(Work(ServiceLevel::kImmediate, 600.0));
+  server_->Submit(Work(ServiceLevel::kImmediate, 600.0));
+  for (int i = 0; i < 12; ++i) {
+    server_->Submit(Work(ServiceLevel::kRelaxed, 30.0));
+  }
+  clock_.RunUntil(30 * kSeconds);
+  EXPECT_GT(coordinator_->vm_cluster().pending_vms() +
+                coordinator_->vm_cluster().num_vms(),
+            1);
+  clock_.RunUntil(10 * kMinutes);
+}
+
+}  // namespace
+}  // namespace pixels

@@ -1,0 +1,54 @@
+#include "server/service_level.h"
+
+#include <gtest/gtest.h>
+
+#include "cloud/pricing.h"
+
+namespace pixels {
+namespace {
+
+TEST(ServiceLevelTest, NamesRoundTrip) {
+  for (ServiceLevel level : {ServiceLevel::kImmediate, ServiceLevel::kRelaxed,
+                             ServiceLevel::kBestEffort}) {
+    auto parsed = ServiceLevelFromName(ServiceLevelName(level));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, level);
+  }
+  EXPECT_TRUE(ServiceLevelFromName("turbo").status().IsInvalidArgument());
+  EXPECT_TRUE(ServiceLevelFromName("best-effort").ok());
+}
+
+TEST(ServiceLevelTest, PaperPriceList) {
+  // Paper §3.2: immediate $5/TB (Athena parity), relaxed 20%, best 10%.
+  PriceList prices;
+  EXPECT_DOUBLE_EQ(prices.RateFor(ServiceLevel::kImmediate), 5.0);
+  EXPECT_DOUBLE_EQ(prices.RateFor(ServiceLevel::kRelaxed), 1.0);
+  EXPECT_DOUBLE_EQ(prices.RateFor(ServiceLevel::kBestEffort), 0.5);
+  EXPECT_DOUBLE_EQ(prices.RateFor(ServiceLevel::kRelaxed) /
+                       prices.RateFor(ServiceLevel::kImmediate),
+                   0.2);
+  EXPECT_DOUBLE_EQ(prices.RateFor(ServiceLevel::kBestEffort) /
+                       prices.RateFor(ServiceLevel::kImmediate),
+                   0.1);
+}
+
+TEST(ServiceLevelTest, BillScalesWithBytes) {
+  PriceList prices;
+  EXPECT_DOUBLE_EQ(prices.Bill(ServiceLevel::kImmediate,
+                               static_cast<uint64_t>(kBytesPerTB)),
+                   5.0);
+  EXPECT_DOUBLE_EQ(
+      prices.Bill(ServiceLevel::kRelaxed, static_cast<uint64_t>(kBytesPerTB / 2)),
+      0.5);
+  EXPECT_DOUBLE_EQ(prices.Bill(ServiceLevel::kBestEffort, 0), 0.0);
+}
+
+TEST(ServiceLevelTest, GigabyteScaleBills) {
+  PriceList prices;
+  // 10 GB at $5/TB = $0.05.
+  EXPECT_NEAR(prices.Bill(ServiceLevel::kImmediate, 10'000'000'000ULL), 0.05,
+              1e-12);
+}
+
+}  // namespace
+}  // namespace pixels

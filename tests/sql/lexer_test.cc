@@ -1,0 +1,113 @@
+#include "sql/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace pixels {
+namespace {
+
+TEST(LexerTest, KeywordsAreUppercased) {
+  auto r = Tokenize("select From WHERE");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0].type, TokenType::kKeyword);
+  EXPECT_EQ((*r)[0].text, "SELECT");
+  EXPECT_EQ((*r)[1].text, "FROM");
+  EXPECT_EQ((*r)[2].text, "WHERE");
+  EXPECT_EQ((*r)[3].type, TokenType::kEof);
+}
+
+TEST(LexerTest, IdentifiersAreLowercased) {
+  auto r = Tokenize("LineItem l_ExtendedPrice");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0].type, TokenType::kIdentifier);
+  EXPECT_EQ((*r)[0].text, "lineitem");
+  EXPECT_EQ((*r)[1].text, "l_extendedprice");
+}
+
+TEST(LexerTest, QuotedIdentifiersPreserveCase) {
+  auto r = Tokenize("\"MyColumn\"");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0].type, TokenType::kIdentifier);
+  EXPECT_EQ((*r)[0].text, "MyColumn");
+}
+
+TEST(LexerTest, IntAndDoubleLiterals) {
+  auto r = Tokenize("42 3.14 1e3 2.5E-2 .5");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0].type, TokenType::kIntLiteral);
+  EXPECT_EQ((*r)[0].int_value, 42);
+  EXPECT_EQ((*r)[1].type, TokenType::kDoubleLiteral);
+  EXPECT_DOUBLE_EQ((*r)[1].double_value, 3.14);
+  EXPECT_DOUBLE_EQ((*r)[2].double_value, 1000.0);
+  EXPECT_DOUBLE_EQ((*r)[3].double_value, 0.025);
+  EXPECT_DOUBLE_EQ((*r)[4].double_value, 0.5);
+}
+
+TEST(LexerTest, StringLiteralsWithEscapes) {
+  auto r = Tokenize("'hello' 'it''s' ''");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0].type, TokenType::kStringLiteral);
+  EXPECT_EQ((*r)[0].text, "hello");
+  EXPECT_EQ((*r)[1].text, "it's");
+  EXPECT_EQ((*r)[2].text, "");
+}
+
+TEST(LexerTest, OperatorsIncludingTwoChar) {
+  auto r = Tokenize("= <> != <= >= < > + - * / % . , ( ) ||");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0].text, "=");
+  EXPECT_EQ((*r)[1].text, "<>");
+  EXPECT_EQ((*r)[2].text, "<>");  // != normalized
+  EXPECT_EQ((*r)[3].text, "<=");
+  EXPECT_EQ((*r)[4].text, ">=");
+  EXPECT_EQ((*r)[16].text, "||");
+}
+
+TEST(LexerTest, LineCommentsSkipped) {
+  auto r = Tokenize("SELECT -- a comment\n1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 3u);  // SELECT, 1, EOF
+  EXPECT_EQ((*r)[1].int_value, 1);
+}
+
+TEST(LexerTest, MinusVsComment) {
+  auto r = Tokenize("1 - 2");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[1].text, "-");
+  EXPECT_EQ((*r)[2].int_value, 2);
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_TRUE(Tokenize("'oops").status().IsParseError());
+}
+
+TEST(LexerTest, UnterminatedQuotedIdentifierFails) {
+  EXPECT_TRUE(Tokenize("\"oops").status().IsParseError());
+}
+
+TEST(LexerTest, UnexpectedCharacterFails) {
+  EXPECT_TRUE(Tokenize("SELECT @x").status().IsParseError());
+}
+
+TEST(LexerTest, OffsetsRecorded) {
+  auto r = Tokenize("ab cd");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0].offset, 0u);
+  EXPECT_EQ((*r)[1].offset, 3u);
+}
+
+TEST(LexerTest, EmptyInputYieldsEof) {
+  auto r = Tokenize("   \n\t ");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ((*r)[0].type, TokenType::kEof);
+}
+
+TEST(LexerTest, ReservedKeywordCheck) {
+  EXPECT_TRUE(IsReservedKeyword("SELECT"));
+  EXPECT_TRUE(IsReservedKeyword("BETWEEN"));
+  EXPECT_FALSE(IsReservedKeyword("select"));  // expects upper case
+  EXPECT_FALSE(IsReservedKeyword("lineitem"));
+}
+
+}  // namespace
+}  // namespace pixels

@@ -1,0 +1,186 @@
+// Failure injection: a Storage decorator that fails deterministically
+// lets us verify that every layer above surfaces IO errors as Status
+// instead of crashing or silently truncating.
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "exec/executor.h"
+#include "format/reader.h"
+#include "format/writer.h"
+#include "storage/memory_store.h"
+#include "turbo/coordinator.h"
+
+namespace pixels {
+namespace {
+
+/// Fails every `failure_period`-th operation (1 = always fail), counting
+/// reads and writes separately.
+class FlakyStorage : public Storage {
+ public:
+  FlakyStorage(std::shared_ptr<Storage> inner, int read_failure_period,
+               int write_failure_period)
+      : inner_(std::move(inner)),
+        read_period_(read_failure_period),
+        write_period_(write_failure_period) {}
+
+  Result<std::vector<uint8_t>> Read(const std::string& path) override {
+    PIXELS_RETURN_NOT_OK(MaybeFailRead());
+    return inner_->Read(path);
+  }
+  Result<std::vector<uint8_t>> ReadRange(const std::string& path,
+                                         uint64_t offset,
+                                         uint64_t length) override {
+    PIXELS_RETURN_NOT_OK(MaybeFailRead());
+    return inner_->ReadRange(path, offset, length);
+  }
+  Status Write(const std::string& path,
+               const std::vector<uint8_t>& data) override {
+    PIXELS_RETURN_NOT_OK(MaybeFailWrite());
+    return inner_->Write(path, data);
+  }
+  Result<uint64_t> Size(const std::string& path) override {
+    PIXELS_RETURN_NOT_OK(MaybeFailRead());
+    return inner_->Size(path);
+  }
+  Result<std::vector<std::string>> List(const std::string& prefix) override {
+    return inner_->List(prefix);
+  }
+  Status Delete(const std::string& path) override {
+    return inner_->Delete(path);
+  }
+  bool Exists(const std::string& path) override { return inner_->Exists(path); }
+
+  int reads_attempted() const { return reads_; }
+
+ private:
+  Status MaybeFailRead() {
+    ++reads_;
+    if (read_period_ > 0 && reads_ % read_period_ == 0) {
+      return Status::IOError("injected read failure #" + std::to_string(reads_));
+    }
+    return Status::OK();
+  }
+  Status MaybeFailWrite() {
+    ++writes_;
+    if (write_period_ > 0 && writes_ % write_period_ == 0) {
+      return Status::IOError("injected write failure #" +
+                             std::to_string(writes_));
+    }
+    return Status::OK();
+  }
+
+  std::shared_ptr<Storage> inner_;
+  int read_period_;
+  int write_period_;
+  int reads_ = 0;
+  int writes_ = 0;
+};
+
+FileSchema SimpleSchema() {
+  return {{"id", TypeId::kInt64}, {"v", TypeId::kDouble}};
+}
+
+Status WriteRows(Storage* storage, const std::string& path, int rows) {
+  PixelsWriter writer(SimpleSchema());
+  for (int i = 0; i < rows; ++i) {
+    PIXELS_RETURN_NOT_OK(
+        writer.AppendRow({Value::Int(i), Value::Double(i * 0.5)}));
+  }
+  return writer.Finish(storage, path);
+}
+
+TEST(FailureInjectionTest, WriterSurfacesWriteFailure) {
+  auto flaky = std::make_shared<FlakyStorage>(std::make_shared<MemoryStore>(),
+                                              0, 1);  // every write fails
+  Status st = WriteRows(flaky.get(), "t.pxl", 10);
+  EXPECT_TRUE(st.IsIOError());
+  EXPECT_NE(st.message().find("injected"), std::string::npos);
+}
+
+TEST(FailureInjectionTest, ReaderOpenSurfacesReadFailure) {
+  auto inner = std::make_shared<MemoryStore>();
+  ASSERT_TRUE(WriteRows(inner.get(), "t.pxl", 10).ok());
+  auto flaky = std::make_shared<FlakyStorage>(inner, 1, 0);  // reads fail
+  EXPECT_TRUE(PixelsReader::Open(flaky.get(), "t.pxl").status().IsIOError());
+}
+
+TEST(FailureInjectionTest, ScanFailsMidwayWithoutCrash) {
+  auto inner = std::make_shared<MemoryStore>();
+  ASSERT_TRUE(WriteRows(inner.get(), "t.pxl", 5000).ok());
+  // Let the footer reads succeed (3 ops: size + trailer + footer), then
+  // fail during chunk reads.
+  auto flaky = std::make_shared<FlakyStorage>(inner, 5, 0);
+  auto reader = PixelsReader::Open(flaky.get(), "t.pxl");
+  ASSERT_TRUE(reader.ok());
+  auto batches = (*reader)->Scan(ScanOptions{});
+  EXPECT_TRUE(batches.status().IsIOError());
+}
+
+TEST(FailureInjectionTest, QueryThroughEngineSurfacesError) {
+  auto inner = std::make_shared<MemoryStore>();
+  ASSERT_TRUE(WriteRows(inner.get(), "db/t/p0.pxl", 100).ok());
+  // Catalog registration over healthy storage, query over flaky storage.
+  auto flaky = std::make_shared<FlakyStorage>(inner, 7, 0);
+  auto catalog = std::make_shared<Catalog>(flaky);
+  ASSERT_TRUE(catalog->CreateDatabase("db").ok());
+  ASSERT_TRUE(catalog->CreateTable("db", "t", SimpleSchema()).ok());
+  ASSERT_TRUE(catalog->AddTableFile("db", "t", "db/t/p0.pxl").ok());
+  // Repeated queries eventually hit the injected failure; all failures
+  // surface as Status, never a crash or a wrong result.
+  int failures = 0, successes = 0;
+  for (int i = 0; i < 20; ++i) {
+    ExecContext ctx;
+    ctx.catalog = catalog.get();
+    auto result = ExecuteQuery("SELECT count(*) AS n FROM t", "db", &ctx);
+    if (result.ok()) {
+      ++successes;
+      EXPECT_EQ((*result)->CollectColumn("n")[0].i, 100);
+    } else {
+      ++failures;
+      EXPECT_TRUE(result.status().IsIOError());
+    }
+  }
+  EXPECT_GT(failures, 0);
+  EXPECT_GT(successes, 0);
+}
+
+TEST(FailureInjectionTest, CoordinatorMarksQueryFailed) {
+  auto inner = std::make_shared<MemoryStore>();
+  ASSERT_TRUE(WriteRows(inner.get(), "db/t/p0.pxl", 100).ok());
+  // Fail every 9th read: registration can succeed (with retries), but a
+  // stream of queries is guaranteed to trip the fault eventually.
+  auto flaky = std::make_shared<FlakyStorage>(inner, 9, 0);
+  auto flaky_catalog = std::make_shared<Catalog>(flaky);
+  ASSERT_TRUE(flaky_catalog->CreateDatabase("db").ok());
+  ASSERT_TRUE(flaky_catalog->CreateTable("db", "t", SimpleSchema()).ok());
+  Status add;
+  for (int i = 0; i < 8; ++i) {
+    add = flaky_catalog->AddTableFile("db", "t", "db/t/p0.pxl");
+    if (add.ok()) break;
+  }
+  ASSERT_TRUE(add.ok()) << add.ToString();
+
+  SimClock clock;
+  Random rng(42);
+  CoordinatorParams params;
+  Coordinator coordinator(&clock, &rng, params, flaky_catalog);
+  QuerySpec spec;
+  spec.sql = "SELECT count(*) FROM t";
+  spec.db = "db";
+  spec.execute_real = true;
+  // Submit until one query trips the injected failure.
+  bool saw_failure = false;
+  for (int i = 0; i < 10 && !saw_failure; ++i) {
+    int64_t id = coordinator.Submit(spec);
+    clock.RunAll();
+    const QueryRecord* rec = coordinator.GetQuery(id);
+    if (rec->state == QueryState::kFailed) {
+      saw_failure = true;
+      EXPECT_NE(rec->error.find("IOError"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(saw_failure);
+}
+
+}  // namespace
+}  // namespace pixels

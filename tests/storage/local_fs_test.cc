@@ -1,0 +1,95 @@
+#include "storage/local_fs.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace pixels {
+namespace {
+
+class LocalFsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = std::filesystem::temp_directory_path() /
+            ("pixels_fs_test_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(root_);
+    auto fs = LocalFs::Open(root_.string());
+    ASSERT_TRUE(fs.ok()) << fs.status().ToString();
+    fs_ = std::move(fs).ValueOrDie();
+  }
+
+  void TearDown() override { std::filesystem::remove_all(root_); }
+
+  static std::vector<uint8_t> Bytes(const std::string& s) {
+    return std::vector<uint8_t>(s.begin(), s.end());
+  }
+
+  std::filesystem::path root_;
+  std::unique_ptr<LocalFs> fs_;
+};
+
+TEST_F(LocalFsTest, WriteReadRoundTrip) {
+  ASSERT_TRUE(fs_->Write("dir/file.bin", Bytes("payload")).ok());
+  auto r = fs_->Read("dir/file.bin");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(std::string(r->begin(), r->end()), "payload");
+}
+
+TEST_F(LocalFsTest, CreatesNestedDirectories) {
+  ASSERT_TRUE(fs_->Write("a/b/c/d.txt", Bytes("x")).ok());
+  EXPECT_TRUE(fs_->Exists("a/b/c/d.txt"));
+}
+
+TEST_F(LocalFsTest, ReadRange) {
+  ASSERT_TRUE(fs_->Write("f", Bytes("0123456789")).ok());
+  auto r = fs_->ReadRange("f", 3, 4);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(std::string(r->begin(), r->end()), "3456");
+  EXPECT_TRUE(fs_->ReadRange("f", 8, 5).status().IsInvalidArgument());
+}
+
+TEST_F(LocalFsTest, SizeAndMissing) {
+  ASSERT_TRUE(fs_->Write("f", Bytes("12345")).ok());
+  EXPECT_EQ(*fs_->Size("f"), 5u);
+  EXPECT_TRUE(fs_->Size("missing").status().IsNotFound());
+  EXPECT_TRUE(fs_->Read("missing").status().IsNotFound());
+}
+
+TEST_F(LocalFsTest, ListByPrefix) {
+  ASSERT_TRUE(fs_->Write("t/p1.pxl", Bytes("1")).ok());
+  ASSERT_TRUE(fs_->Write("t/p2.pxl", Bytes("2")).ok());
+  ASSERT_TRUE(fs_->Write("other/x", Bytes("3")).ok());
+  auto r = fs_->List("t/");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<std::string>{"t/p1.pxl", "t/p2.pxl"}));
+}
+
+TEST_F(LocalFsTest, DeleteFile) {
+  ASSERT_TRUE(fs_->Write("f", Bytes("x")).ok());
+  ASSERT_TRUE(fs_->Delete("f").ok());
+  EXPECT_FALSE(fs_->Exists("f"));
+  EXPECT_TRUE(fs_->Delete("f").IsNotFound());
+}
+
+TEST_F(LocalFsTest, RejectsPathEscape) {
+  EXPECT_TRUE(fs_->Write("../escape", Bytes("x")).IsInvalidArgument());
+  EXPECT_TRUE(fs_->Read("a/../../escape").status().IsInvalidArgument());
+  EXPECT_TRUE(fs_->Write("", Bytes("x")).IsInvalidArgument());
+}
+
+TEST_F(LocalFsTest, EmptyFile) {
+  ASSERT_TRUE(fs_->Write("empty", {}).ok());
+  EXPECT_EQ(*fs_->Size("empty"), 0u);
+  EXPECT_TRUE(fs_->Read("empty")->empty());
+}
+
+TEST_F(LocalFsTest, StringHelpers) {
+  ASSERT_TRUE(WriteString(fs_.get(), "s.txt", "text content").ok());
+  auto r = ReadString(fs_.get(), "s.txt");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "text content");
+}
+
+}  // namespace
+}  // namespace pixels

@@ -1,0 +1,88 @@
+#include "storage/memory_store.h"
+
+#include <gtest/gtest.h>
+
+namespace pixels {
+namespace {
+
+std::vector<uint8_t> Bytes(const std::string& s) {
+  return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+TEST(MemoryStoreTest, WriteReadRoundTrip) {
+  MemoryStore store;
+  ASSERT_TRUE(store.Write("a/b", Bytes("hello")).ok());
+  auto r = store.Read("a/b");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(std::string(r->begin(), r->end()), "hello");
+}
+
+TEST(MemoryStoreTest, ReadMissingIsNotFound) {
+  MemoryStore store;
+  EXPECT_TRUE(store.Read("nope").status().IsNotFound());
+  EXPECT_TRUE(store.Size("nope").status().IsNotFound());
+}
+
+TEST(MemoryStoreTest, WriteOverwrites) {
+  MemoryStore store;
+  ASSERT_TRUE(store.Write("k", Bytes("one")).ok());
+  ASSERT_TRUE(store.Write("k", Bytes("two")).ok());
+  EXPECT_EQ(*store.Size("k"), 3u);
+  auto data = store.Read("k");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(std::string(data->begin(), data->end()), "two");
+}
+
+TEST(MemoryStoreTest, ReadRange) {
+  MemoryStore store;
+  ASSERT_TRUE(store.Write("k", Bytes("abcdefgh")).ok());
+  auto r = store.ReadRange("k", 2, 3);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(std::string(r->begin(), r->end()), "cde");
+}
+
+TEST(MemoryStoreTest, ReadRangeBoundsChecked) {
+  MemoryStore store;
+  ASSERT_TRUE(store.Write("k", Bytes("abc")).ok());
+  EXPECT_TRUE(store.ReadRange("k", 2, 5).status().IsInvalidArgument());
+  EXPECT_TRUE(store.ReadRange("k", 0, 3).ok());
+  EXPECT_TRUE(store.ReadRange("missing", 0, 1).status().IsNotFound());
+}
+
+TEST(MemoryStoreTest, EmptyObject) {
+  MemoryStore store;
+  ASSERT_TRUE(store.Write("empty", {}).ok());
+  EXPECT_EQ(*store.Size("empty"), 0u);
+  EXPECT_TRUE(store.Read("empty")->empty());
+}
+
+TEST(MemoryStoreTest, ListByPrefix) {
+  MemoryStore store;
+  ASSERT_TRUE(store.Write("t/a", Bytes("1")).ok());
+  ASSERT_TRUE(store.Write("t/b", Bytes("2")).ok());
+  ASSERT_TRUE(store.Write("u/c", Bytes("3")).ok());
+  auto r = store.List("t/");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<std::string>{"t/a", "t/b"}));
+  EXPECT_EQ(store.List("")->size(), 3u);
+  EXPECT_TRUE(store.List("zzz")->empty());
+}
+
+TEST(MemoryStoreTest, DeleteRemovesObject) {
+  MemoryStore store;
+  ASSERT_TRUE(store.Write("k", Bytes("x")).ok());
+  EXPECT_TRUE(store.Exists("k"));
+  ASSERT_TRUE(store.Delete("k").ok());
+  EXPECT_FALSE(store.Exists("k"));
+  EXPECT_TRUE(store.Delete("k").IsNotFound());
+}
+
+TEST(MemoryStoreTest, TotalBytes) {
+  MemoryStore store;
+  ASSERT_TRUE(store.Write("a", Bytes("12345")).ok());
+  ASSERT_TRUE(store.Write("b", Bytes("123")).ok());
+  EXPECT_EQ(store.TotalBytes(), 8u);
+}
+
+}  // namespace
+}  // namespace pixels

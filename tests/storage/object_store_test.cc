@@ -1,0 +1,82 @@
+#include "storage/object_store.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/memory_store.h"
+
+namespace pixels {
+namespace {
+
+std::vector<uint8_t> Bytes(size_t n) { return std::vector<uint8_t>(n, 0x5a); }
+
+TEST(ObjectStoreTest, ForwardsToInner) {
+  auto inner = std::make_shared<MemoryStore>();
+  ObjectStore store(inner);
+  ASSERT_TRUE(store.Write("k", Bytes(10)).ok());
+  EXPECT_TRUE(inner->Exists("k"));
+  EXPECT_EQ(store.Read("k")->size(), 10u);
+  EXPECT_EQ(*store.Size("k"), 10u);
+  EXPECT_EQ(store.List("")->size(), 1u);
+  ASSERT_TRUE(store.Delete("k").ok());
+  EXPECT_FALSE(store.Exists("k"));
+}
+
+TEST(ObjectStoreTest, CountsRequestsAndBytes) {
+  ObjectStore store(std::make_shared<MemoryStore>());
+  ASSERT_TRUE(store.Write("k", Bytes(1000)).ok());
+  ASSERT_TRUE(store.Read("k").ok());
+  ASSERT_TRUE(store.ReadRange("k", 0, 500).ok());
+  const auto& stats = store.stats();
+  EXPECT_EQ(stats.put_requests, 1u);
+  EXPECT_EQ(stats.get_requests, 2u);
+  EXPECT_EQ(stats.bytes_written, 1000u);
+  EXPECT_EQ(stats.bytes_read, 1500u);
+}
+
+TEST(ObjectStoreTest, FailedReadsNotCounted) {
+  ObjectStore store(std::make_shared<MemoryStore>());
+  EXPECT_FALSE(store.Read("missing").ok());
+  EXPECT_EQ(store.stats().get_requests, 0u);
+}
+
+TEST(ObjectStoreTest, LatencyModelScalesWithBytes) {
+  ObjectStoreParams params;
+  params.first_byte_latency_ms = 10;
+  params.bandwidth_mbps = 100;  // 100 MB/s
+  ObjectStore store(std::make_shared<MemoryStore>(), params);
+  // 100 MB at 100 MB/s = 1000 ms transfer + 10 ms first byte.
+  EXPECT_NEAR(store.EstimateReadLatencyMs(100'000'000), 1010.0, 1e-6);
+  EXPECT_NEAR(store.EstimateReadLatencyMs(0), 10.0, 1e-6);
+}
+
+TEST(ObjectStoreTest, SimulatedReadTimeAccumulates) {
+  ObjectStoreParams params;
+  params.first_byte_latency_ms = 5;
+  params.bandwidth_mbps = 1000;
+  ObjectStore store(std::make_shared<MemoryStore>(), params);
+  ASSERT_TRUE(store.Write("k", Bytes(1'000'000)).ok());
+  ASSERT_TRUE(store.Read("k").ok());
+  // 1MB at 1000 MB/s = 1 ms + 5 ms first byte.
+  EXPECT_NEAR(store.stats().simulated_read_ms, 6.0, 1e-6);
+}
+
+TEST(ObjectStoreTest, RequestCostAccrues) {
+  ObjectStoreParams params;
+  params.get_price_per_1000 = 0.4;  // $0.0004 per GET
+  params.put_price_per_1000 = 5.0;  // $0.005 per PUT
+  ObjectStore store(std::make_shared<MemoryStore>(), params);
+  ASSERT_TRUE(store.Write("k", Bytes(1)).ok());
+  ASSERT_TRUE(store.Read("k").ok());
+  EXPECT_NEAR(store.stats().request_cost_usd, 0.0054, 1e-9);
+}
+
+TEST(ObjectStoreTest, ResetStatsClearsCounters) {
+  ObjectStore store(std::make_shared<MemoryStore>());
+  ASSERT_TRUE(store.Write("k", Bytes(5)).ok());
+  store.ResetStats();
+  EXPECT_EQ(store.stats().put_requests, 0u);
+  EXPECT_EQ(store.stats().bytes_written, 0u);
+}
+
+}  // namespace
+}  // namespace pixels

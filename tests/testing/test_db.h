@@ -1,0 +1,82 @@
+// Shared test fixture: builds a small in-memory catalog with a few tables
+// used across plan/exec/turbo/server/nl2sql tests.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "catalog/catalog.h"
+#include "format/writer.h"
+#include "storage/memory_store.h"
+
+namespace pixels {
+namespace testing {
+
+/// Creates a catalog with database "db" containing:
+///   emp(id bigint, name varchar, dept varchar, salary double, hired date)
+///     - 8 rows, known values
+///   dept(name varchar, location varchar)
+///     - 4 rows ("legal" has no employees, for outer-join tests)
+/// Returns the catalog (storage owned by it).
+inline std::shared_ptr<Catalog> BuildTestCatalog() {
+  auto storage = std::make_shared<MemoryStore>();
+  auto catalog = std::make_shared<Catalog>(storage);
+  EXPECT_TRUE(catalog->CreateDatabase("db").ok());
+
+  {
+    FileSchema schema = {{"id", TypeId::kInt64},
+                         {"name", TypeId::kString},
+                         {"dept", TypeId::kString},
+                         {"salary", TypeId::kDouble},
+                         {"hired", TypeId::kDate}};
+    EXPECT_TRUE(catalog->CreateTable("db", "emp", schema).ok());
+    PixelsWriter writer(schema);
+    struct Row {
+      int64_t id;
+      const char* name;
+      const char* dept;
+      double salary;
+      const char* hired;
+    };
+    const Row rows[] = {
+        {1, "alice", "eng", 120.0, "2020-01-15"},
+        {2, "bob", "eng", 95.0, "2021-06-01"},
+        {3, "carol", "sales", 80.0, "2019-03-20"},
+        {4, "dave", "sales", 85.0, "2022-11-05"},
+        {5, "erin", "hr", 70.0, "2018-07-30"},
+        {6, "frank", "eng", 110.0, "2023-02-14"},
+        {7, "grace", "hr", 72.0, "2020-09-09"},
+        {8, "heidi", "sales", 90.0, "2021-12-25"},
+    };
+    for (const auto& r : rows) {
+      auto hired = ParseDate(r.hired);
+      EXPECT_TRUE(hired.ok());
+      EXPECT_TRUE(writer
+                      .AppendRow({Value::Int(r.id), Value::String(r.name),
+                                  Value::String(r.dept), Value::Double(r.salary),
+                                  Value::Int(*hired)})
+                      .ok());
+    }
+    EXPECT_TRUE(writer.Finish(storage.get(), "db/emp/part0.pxl").ok());
+    EXPECT_TRUE(catalog->AddTableFile("db", "emp", "db/emp/part0.pxl").ok());
+  }
+
+  {
+    FileSchema schema = {{"name", TypeId::kString},
+                         {"location", TypeId::kString}};
+    EXPECT_TRUE(catalog->CreateTable("db", "dept", schema).ok());
+    PixelsWriter writer(schema);
+    EXPECT_TRUE(writer.AppendRow({Value::String("eng"), Value::String("zurich")}).ok());
+    EXPECT_TRUE(writer.AppendRow({Value::String("sales"), Value::String("nyc")}).ok());
+    EXPECT_TRUE(writer.AppendRow({Value::String("hr"), Value::String("sf")}).ok());
+    EXPECT_TRUE(
+        writer.AppendRow({Value::String("legal"), Value::String("paris")}).ok());
+    EXPECT_TRUE(writer.Finish(storage.get(), "db/dept/part0.pxl").ok());
+    EXPECT_TRUE(catalog->AddTableFile("db", "dept", "db/dept/part0.pxl").ok());
+  }
+  return catalog;
+}
+
+}  // namespace testing
+}  // namespace pixels

@@ -1,0 +1,280 @@
+#include "turbo/coordinator.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_db.h"
+
+namespace pixels {
+namespace {
+
+class CoordinatorTest : public ::testing::Test {
+ protected:
+  CoordinatorParams DefaultParams() {
+    CoordinatorParams p;
+    p.vm.initial_vms = 1;
+    p.vm.slots_per_vm = 2;
+    p.vm.vcpus_per_vm = 8;
+    p.vm.min_vms = 1;
+    p.vm.max_vms = 8;
+    p.vm.high_watermark = 3.0;
+    p.vm.low_watermark = 0.75;
+    p.vm.monitor_interval = 5 * kSeconds;
+    p.vm.scale_in_cooldown = 0;
+    p.default_cf_workers = 4;
+    return p;
+  }
+
+  QuerySpec Work(double vcpu_seconds, bool cf_enabled = false) {
+    QuerySpec spec;
+    spec.work_vcpu_seconds = vcpu_seconds;
+    spec.cf_enabled = cf_enabled;
+    spec.bytes_to_scan = 1'000'000'000;  // 1 GB
+    return spec;
+  }
+
+  SimClock clock_;
+  Random rng_{42};
+};
+
+TEST_F(CoordinatorTest, QueryRunsInVmWhenSlotFree) {
+  Coordinator coord(&clock_, &rng_, DefaultParams());
+  int64_t id = coord.Submit(Work(4.0));
+  const QueryRecord* rec = coord.GetQuery(id);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->state, QueryState::kRunning);
+  EXPECT_FALSE(rec->used_cf);
+  clock_.RunAll();
+  rec = coord.GetQuery(id);
+  EXPECT_EQ(rec->state, QueryState::kFinished);
+  EXPECT_EQ(rec->PendingTime(), 0);
+  EXPECT_GT(rec->ExecutionTime(), 0);
+}
+
+TEST_F(CoordinatorTest, VmDurationFollowsWorkAndParallelism) {
+  auto params = DefaultParams();
+  params.query_overhead = 0;
+  Coordinator coord(&clock_, &rng_, params);
+  // 8 vCPU-seconds on 8/2 = 4 vCPUs per slot -> 2 seconds.
+  int64_t id = coord.Submit(Work(8.0));
+  clock_.RunAll();
+  EXPECT_EQ(coord.GetQuery(id)->ExecutionTime(), 2 * kSeconds);
+}
+
+TEST_F(CoordinatorTest, SaturatedClusterQueuesWithoutCf) {
+  Coordinator coord(&clock_, &rng_, DefaultParams());
+  // Capacity = 2 slots.
+  coord.Submit(Work(100.0));
+  coord.Submit(Work(100.0));
+  int64_t queued = coord.Submit(Work(1.0));
+  EXPECT_EQ(coord.GetQuery(queued)->state, QueryState::kPending);
+  EXPECT_EQ(coord.QueueDepth(), 1u);
+  clock_.RunAll();
+  const QueryRecord* rec = coord.GetQuery(queued);
+  EXPECT_EQ(rec->state, QueryState::kFinished);
+  EXPECT_GT(rec->PendingTime(), 0);
+  EXPECT_FALSE(rec->used_cf);
+}
+
+TEST_F(CoordinatorTest, SaturatedClusterUsesCfWhenEnabled) {
+  Coordinator coord(&clock_, &rng_, DefaultParams());
+  coord.Submit(Work(100.0));
+  coord.Submit(Work(100.0));
+  int64_t accelerated = coord.Submit(Work(6.0, /*cf_enabled=*/true));
+  const QueryRecord* rec = coord.GetQuery(accelerated);
+  EXPECT_EQ(rec->state, QueryState::kRunning);
+  EXPECT_TRUE(rec->used_cf);
+  EXPECT_EQ(rec->cf_workers_used, 4);
+  clock_.RunAll();
+  rec = coord.GetQuery(accelerated);
+  EXPECT_EQ(rec->state, QueryState::kFinished);
+  EXPECT_EQ(rec->PendingTime(), 0);  // immediate start is the point
+}
+
+TEST_F(CoordinatorTest, CfCostExceedsVmCostForSameWork) {
+  Coordinator coord(&clock_, &rng_, DefaultParams());
+  coord.Submit(Work(1000.0));
+  coord.Submit(Work(1000.0));
+  int64_t vm_id = 0, cf_id = 0;
+  cf_id = coord.Submit(Work(60.0, true));
+  clock_.RunAll();
+  vm_id = coord.Submit(Work(60.0));
+  clock_.RunAll();
+  const QueryRecord* vm_rec = coord.GetQuery(vm_id);
+  const QueryRecord* cf_rec = coord.GetQuery(cf_id);
+  ASSERT_EQ(vm_rec->state, QueryState::kFinished);
+  ASSERT_EQ(cf_rec->state, QueryState::kFinished);
+  EXPECT_GT(cf_rec->compute_cost_usd, vm_rec->compute_cost_usd * 5);
+}
+
+TEST_F(CoordinatorTest, QueueDrainsFifo) {
+  Coordinator coord(&clock_, &rng_, DefaultParams());
+  coord.Submit(Work(10.0));
+  coord.Submit(Work(10.0));
+  int64_t q1 = coord.Submit(Work(1.0));
+  int64_t q2 = coord.Submit(Work(1.0));
+  clock_.RunAll();
+  EXPECT_LE(coord.GetQuery(q1)->start_time, coord.GetQuery(q2)->start_time);
+}
+
+TEST_F(CoordinatorTest, ConcurrencyApiReflectsLoad) {
+  Coordinator coord(&clock_, &rng_, DefaultParams());
+  EXPECT_TRUE(coord.BelowLowWatermark());
+  coord.Submit(Work(50.0));
+  EXPECT_FALSE(coord.BelowLowWatermark());
+  EXPECT_DOUBLE_EQ(coord.Concurrency(), 1.0);
+  coord.Submit(Work(50.0));
+  coord.Submit(Work(50.0));
+  // Two running (capacity) plus one queued: the watermark metric counts
+  // running + waiting demand.
+  EXPECT_DOUBLE_EQ(coord.Concurrency(), 3.0);
+  clock_.RunAll();
+}
+
+TEST_F(CoordinatorTest, FinishCallbackInvoked) {
+  Coordinator coord(&clock_, &rng_, DefaultParams());
+  bool called = false;
+  coord.Submit(Work(1.0), [&](const QueryRecord& rec) {
+    called = true;
+    EXPECT_EQ(rec.state, QueryState::kFinished);
+  });
+  clock_.RunAll();
+  EXPECT_TRUE(called);
+}
+
+TEST_F(CoordinatorTest, AutoscalerAddsVmsUnderSustainedLoad) {
+  Coordinator coord(&clock_, &rng_, DefaultParams());
+  coord.Start();
+  // Keep submitting long queries to hold concurrency above the watermark.
+  for (int i = 0; i < 12; ++i) coord.Submit(Work(600.0));
+  clock_.RunUntil(5 * kMinutes);
+  EXPECT_GT(coord.vm_cluster().num_vms(), 1);
+  coord.Stop();
+  clock_.RunAll();
+}
+
+TEST_F(CoordinatorTest, QueuedQueriesDispatchWhenVmsArrive) {
+  Coordinator coord(&clock_, &rng_, DefaultParams());
+  coord.Start();
+  for (int i = 0; i < 8; ++i) coord.Submit(Work(1000.0));
+  EXPECT_GT(coord.QueueDepth(), 0u);
+  clock_.RunUntil(4 * kMinutes);
+  // After scale-out, more queries should be running.
+  EXPECT_GT(coord.Concurrency(), 2.0);
+  coord.Stop();
+}
+
+TEST_F(CoordinatorTest, RealExecutionProducesResults) {
+  auto catalog = testing::BuildTestCatalog();
+  Coordinator coord(&clock_, &rng_, DefaultParams(), catalog);
+  QuerySpec spec;
+  spec.sql = "SELECT dept, count(*) FROM emp GROUP BY dept ORDER BY dept";
+  spec.db = "db";
+  spec.execute_real = true;
+  int64_t id = coord.Submit(spec);
+  clock_.RunAll();
+  const QueryRecord* rec = coord.GetQuery(id);
+  ASSERT_EQ(rec->state, QueryState::kFinished) << rec->error;
+  ASSERT_NE(rec->result, nullptr);
+  EXPECT_EQ(rec->result->num_rows(), 3u);
+  EXPECT_GT(rec->bytes_scanned, 0u);
+}
+
+TEST_F(CoordinatorTest, RealExecutionErrorMarksFailed) {
+  auto catalog = testing::BuildTestCatalog();
+  Coordinator coord(&clock_, &rng_, DefaultParams(), catalog);
+  QuerySpec spec;
+  spec.sql = "SELECT nope FROM emp";
+  spec.db = "db";
+  spec.execute_real = true;
+  int64_t id = coord.Submit(spec);
+  clock_.RunAll();
+  const QueryRecord* rec = coord.GetQuery(id);
+  EXPECT_EQ(rec->state, QueryState::kFailed);
+  EXPECT_FALSE(rec->error.empty());
+}
+
+TEST_F(CoordinatorTest, RealExecutionViaCfUsesPushdown) {
+  auto catalog = testing::BuildTestCatalog();
+  auto params = DefaultParams();
+  params.vm.initial_vms = 1;
+  params.vm.slots_per_vm = 1;
+  Coordinator coord(&clock_, &rng_, params, catalog);
+  // Saturate the single slot.
+  coord.Submit(Work(1000.0));
+  QuerySpec spec;
+  spec.sql = "SELECT dept, sum(salary) FROM emp GROUP BY dept";
+  spec.db = "db";
+  spec.execute_real = true;
+  spec.cf_enabled = true;
+  int64_t id = coord.Submit(spec);
+  clock_.RunAll();
+  const QueryRecord* rec = coord.GetQuery(id);
+  ASSERT_EQ(rec->state, QueryState::kFinished) << rec->error;
+  EXPECT_TRUE(rec->used_cf);
+  ASSERT_NE(rec->result, nullptr);
+  EXPECT_EQ(rec->result->num_rows(), 3u);
+}
+
+TEST_F(CoordinatorTest, EstimatesWorkFromBytes) {
+  auto params = DefaultParams();
+  params.query_overhead = 0;
+  params.bytes_per_vcpu_second = 1e9;
+  Coordinator coord(&clock_, &rng_, params);
+  QuerySpec spec;
+  spec.bytes_to_scan = 8'000'000'000;  // 8 GB -> 8 vCPU-s -> 2s on 4 vCPUs
+  int64_t id = coord.Submit(spec);
+  clock_.RunAll();
+  EXPECT_EQ(coord.GetQuery(id)->ExecutionTime(), 2 * kSeconds);
+}
+
+TEST_F(CoordinatorTest, TotalCostsTrackBothPools) {
+  Coordinator coord(&clock_, &rng_, DefaultParams());
+  coord.Submit(Work(10.0));
+  coord.Submit(Work(10.0));
+  coord.Submit(Work(10.0, true));  // forced to CF
+  clock_.RunAll();
+  EXPECT_GT(coord.TotalVmCostUsd(), 0);
+  EXPECT_GT(coord.TotalCfCostUsd(), 0);
+}
+
+TEST_F(CoordinatorTest, AllQueriesListsRecords) {
+  Coordinator coord(&clock_, &rng_, DefaultParams());
+  coord.Submit(Work(1.0));
+  coord.Submit(Work(1.0));
+  EXPECT_EQ(coord.AllQueries().size(), 2u);
+  clock_.RunAll();
+}
+
+TEST_F(CoordinatorTest, CfLimitFallsBackToQueue) {
+  auto params = DefaultParams();
+  params.cf.max_concurrent_workers = 4;  // one fleet of 4 fits, no more
+  params.default_cf_workers = 4;
+  Coordinator coord(&clock_, &rng_, params);
+  // Saturate VM slots.
+  coord.Submit(Work(1000.0));
+  coord.Submit(Work(1000.0));
+  // First accelerated query takes the whole CF budget.
+  int64_t cf_id = coord.Submit(Work(600.0, true));
+  EXPECT_TRUE(coord.GetQuery(cf_id)->used_cf);
+  // Second one cannot invoke CF and must queue for VMs instead.
+  int64_t queued = coord.Submit(Work(1.0, true));
+  EXPECT_EQ(coord.GetQuery(queued)->state, QueryState::kPending);
+  EXPECT_FALSE(coord.GetQuery(queued)->used_cf);
+  EXPECT_EQ(coord.QueueDepth(), 1u);
+  clock_.RunAll();
+  EXPECT_EQ(coord.GetQuery(queued)->state, QueryState::kFinished);
+}
+
+TEST_F(CoordinatorTest, EngineConcurrencyExcludesExternalPending) {
+  Coordinator coord(&clock_, &rng_, DefaultParams());
+  coord.Submit(Work(50.0));
+  coord.SetExternalPending(7);
+  EXPECT_DOUBLE_EQ(coord.EngineConcurrency(), 1.0);
+  EXPECT_DOUBLE_EQ(coord.Concurrency(), 8.0);
+  coord.SetExternalPending(0);
+  EXPECT_DOUBLE_EQ(coord.Concurrency(), 1.0);
+  clock_.RunAll();
+}
+
+}  // namespace
+}  // namespace pixels

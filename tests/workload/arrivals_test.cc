@@ -1,0 +1,82 @@
+#include "workload/arrivals.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace pixels {
+namespace {
+
+TEST(ArrivalsTest, PoissonRateApproximatelyCorrect) {
+  Random rng(42);
+  auto arrivals = PoissonArrivals(&rng, 2.0, 10 * kMinutes);
+  // Expected 2/s * 600s = 1200 arrivals.
+  EXPECT_NEAR(static_cast<double>(arrivals.size()), 1200.0, 120.0);
+}
+
+TEST(ArrivalsTest, PoissonSortedAndBounded) {
+  Random rng(7);
+  auto arrivals = PoissonArrivals(&rng, 5.0, 1 * kMinutes);
+  EXPECT_TRUE(std::is_sorted(arrivals.begin(), arrivals.end()));
+  for (SimTime t : arrivals) {
+    EXPECT_GE(t, 0);
+    EXPECT_LT(t, 1 * kMinutes);
+  }
+}
+
+TEST(ArrivalsTest, ZeroRateYieldsNothing) {
+  Random rng(1);
+  EXPECT_TRUE(PoissonArrivals(&rng, 0, kMinutes).empty());
+  EXPECT_TRUE(PoissonArrivals(&rng, -1, kMinutes).empty());
+}
+
+TEST(ArrivalsTest, Deterministic) {
+  Random a(9), b(9);
+  EXPECT_EQ(PoissonArrivals(&a, 1.0, kMinutes), PoissonArrivals(&b, 1.0, kMinutes));
+}
+
+TEST(ArrivalsTest, SpikeConcentratesArrivals) {
+  Random rng(11);
+  const SimTime spike_start = 5 * kMinutes;
+  const SimTime spike_len = 1 * kMinutes;
+  auto arrivals =
+      SpikeArrivals(&rng, 0.2, 10.0, spike_start, spike_len, 10 * kMinutes);
+  EXPECT_TRUE(std::is_sorted(arrivals.begin(), arrivals.end()));
+  size_t in_spike = 0;
+  for (SimTime t : arrivals) {
+    if (t >= spike_start && t < spike_start + spike_len) ++in_spike;
+  }
+  // Spike window: 10/s * 60s = 600 plus base; rest: 0.2/s * 540s = 108.
+  EXPECT_GT(in_spike, arrivals.size() / 2);
+}
+
+TEST(ArrivalsTest, PeriodicSpikesRecur) {
+  Random rng(13);
+  const SimTime period = 5 * kMinutes;
+  auto arrivals = PeriodicSpikeArrivals(&rng, 0.05, 5.0, period, 30 * kSeconds,
+                                        20 * kMinutes);
+  EXPECT_TRUE(std::is_sorted(arrivals.begin(), arrivals.end()));
+  // Four spikes at 2.5, 7.5, 12.5, 17.5 minutes; each window should hold
+  // many arrivals.
+  for (int k = 0; k < 4; ++k) {
+    SimTime start = period / 2 + k * period;
+    size_t in_window = 0;
+    for (SimTime t : arrivals) {
+      if (t >= start && t < start + 30 * kSeconds) ++in_window;
+    }
+    EXPECT_GT(in_window, 50u) << "spike " << k;
+  }
+}
+
+TEST(ArrivalsTest, SpikesStayWithinDuration) {
+  Random rng(17);
+  auto arrivals = PeriodicSpikeArrivals(&rng, 0.1, 3.0, 2 * kMinutes,
+                                        1 * kMinutes, 5 * kMinutes);
+  for (SimTime t : arrivals) {
+    EXPECT_GE(t, 0);
+    EXPECT_LT(t, 5 * kMinutes);
+  }
+}
+
+}  // namespace
+}  // namespace pixels

@@ -1,0 +1,102 @@
+#include "workload/loggen.h"
+
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "storage/memory_store.h"
+
+namespace pixels {
+namespace {
+
+class LogGenTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    storage_ = std::make_shared<MemoryStore>();
+    catalog_ = std::make_shared<Catalog>(storage_);
+    LogGenOptions options;
+    options.num_rows = 5000;
+    options.rows_per_file = 2000;
+    ASSERT_TRUE(GenerateWebLogs(catalog_.get(), "logs", options).ok());
+    ctx_.catalog = catalog_.get();
+  }
+
+  TablePtr Run(const std::string& sql) {
+    auto r = ExecuteQuery(sql, "logs", &ctx_);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    return r.ok() ? *r : nullptr;
+  }
+
+  std::shared_ptr<MemoryStore> storage_;
+  std::shared_ptr<Catalog> catalog_;
+  ExecContext ctx_;
+};
+
+TEST_F(LogGenTest, RowCountAndFiles) {
+  auto t = catalog_->GetTable("logs", "weblogs");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->row_count, 5000u);
+  EXPECT_EQ((*t)->files.size(), 3u);  // 2000+2000+1000
+}
+
+TEST_F(LogGenTest, ErrorRateApproximatesTarget) {
+  auto t = Run("SELECT count(*) AS n FROM weblogs WHERE status >= 400");
+  ASSERT_NE(t, nullptr);
+  double errors = static_cast<double>(t->CollectColumn("n")[0].i);
+  EXPECT_NEAR(errors / 5000.0, 0.04, 0.02);
+}
+
+TEST_F(LogGenTest, StatusesAreValidHttp) {
+  auto t = Run("SELECT DISTINCT status FROM weblogs");
+  for (const auto& v : t->CollectColumn("status")) {
+    EXPECT_GE(v.i, 200);
+    EXPECT_LE(v.i, 599);
+  }
+}
+
+TEST_F(LogGenTest, UrlsFollowZipf) {
+  auto t = Run(
+      "SELECT url, count(*) AS n FROM weblogs GROUP BY url ORDER BY n DESC");
+  auto counts = t->CollectColumn("n");
+  ASSERT_GE(counts.size(), 3u);
+  // The most popular URL dominates the tail (Zipf 1.1).
+  EXPECT_GT(counts[0].i, counts[counts.size() - 1].i * 3);
+}
+
+TEST_F(LogGenTest, TimestampsMonotonicallyBounded) {
+  auto t = Run("SELECT min(event_time) AS lo, max(event_time) AS hi FROM weblogs");
+  int64_t lo = t->CollectColumn("lo")[0].i;
+  int64_t hi = t->CollectColumn("hi")[0].i;
+  EXPECT_LT(lo, hi);
+  // 5000 rows at ~250ms spacing ≈ 21 minutes of traffic.
+  EXPECT_LT(hi - lo, 30LL * 60 * 1000);
+}
+
+TEST_F(LogGenTest, ErrorsAreSlowerOnAverage) {
+  auto t = Run(
+      "SELECT avg(latency_ms) AS l FROM weblogs WHERE status >= 400");
+  auto t2 = Run(
+      "SELECT avg(latency_ms) AS l FROM weblogs WHERE status < 400");
+  double err_latency = t->CollectColumn("l")[0].AsDouble();
+  double ok_latency = t2->CollectColumn("l")[0].AsDouble();
+  EXPECT_GT(err_latency, ok_latency * 2);
+}
+
+TEST_F(LogGenTest, AllCannedQueriesExecute) {
+  for (const auto& q : LogQuerySet()) {
+    auto t = Run(q.sql);
+    ASSERT_NE(t, nullptr) << q.name;
+  }
+}
+
+TEST_F(LogGenTest, CountryCodesValid) {
+  auto t = Run("SELECT DISTINCT country FROM weblogs");
+  EXPECT_LE(t->num_rows(), 8u);
+  EXPECT_GE(t->num_rows(), 4u);
+}
+
+TEST_F(LogGenTest, SynonymsNonEmpty) {
+  EXPECT_GE(LogSynonyms().size(), 5u);
+}
+
+}  // namespace
+}  // namespace pixels
