@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_autoscaling.dir/bench_autoscaling.cc.o"
+  "CMakeFiles/bench_autoscaling.dir/bench_autoscaling.cc.o.d"
+  "bench_autoscaling"
+  "bench_autoscaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_autoscaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scalein.dir/bench_scalein.cc.o"
+  "CMakeFiles/bench_scalein.dir/bench_scalein.cc.o.d"
+  "bench_scalein"
+  "bench_scalein.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scalein.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

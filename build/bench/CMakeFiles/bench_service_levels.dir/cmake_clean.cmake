@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_service_levels.dir/bench_service_levels.cc.o"
+  "CMakeFiles/bench_service_levels.dir/bench_service_levels.cc.o.d"
+  "bench_service_levels"
+  "bench_service_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_service_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_text2sql.dir/bench_text2sql.cc.o"
+  "CMakeFiles/bench_text2sql.dir/bench_text2sql.cc.o.d"
+  "bench_text2sql"
+  "bench_text2sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_text2sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rover_cli.dir/rover_cli.cpp.o"
+  "CMakeFiles/rover_cli.dir/rover_cli.cpp.o.d"
+  "rover_cli"
+  "rover_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rover_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

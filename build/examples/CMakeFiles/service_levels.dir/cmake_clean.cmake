@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_levels.dir/service_levels.cpp.o"
+  "CMakeFiles/service_levels.dir/service_levels.cpp.o.d"
+  "service_levels"
+  "service_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pixels_catalog.dir/catalog/catalog.cc.o"
+  "CMakeFiles/pixels_catalog.dir/catalog/catalog.cc.o.d"
+  "CMakeFiles/pixels_catalog.dir/catalog/compaction.cc.o"
+  "CMakeFiles/pixels_catalog.dir/catalog/compaction.cc.o.d"
+  "CMakeFiles/pixels_catalog.dir/catalog/csv.cc.o"
+  "CMakeFiles/pixels_catalog.dir/catalog/csv.cc.o.d"
+  "CMakeFiles/pixels_catalog.dir/catalog/schema.cc.o"
+  "CMakeFiles/pixels_catalog.dir/catalog/schema.cc.o.d"
+  "libpixels_catalog.a"
+  "libpixels_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pixels_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

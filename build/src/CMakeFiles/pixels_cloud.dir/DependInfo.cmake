@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloud/cf_service.cc" "src/CMakeFiles/pixels_cloud.dir/cloud/cf_service.cc.o" "gcc" "src/CMakeFiles/pixels_cloud.dir/cloud/cf_service.cc.o.d"
+  "/root/repo/src/cloud/metrics.cc" "src/CMakeFiles/pixels_cloud.dir/cloud/metrics.cc.o" "gcc" "src/CMakeFiles/pixels_cloud.dir/cloud/metrics.cc.o.d"
+  "/root/repo/src/cloud/pricing.cc" "src/CMakeFiles/pixels_cloud.dir/cloud/pricing.cc.o" "gcc" "src/CMakeFiles/pixels_cloud.dir/cloud/pricing.cc.o.d"
+  "/root/repo/src/cloud/vm_cluster.cc" "src/CMakeFiles/pixels_cloud.dir/cloud/vm_cluster.cc.o" "gcc" "src/CMakeFiles/pixels_cloud.dir/cloud/vm_cluster.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pixels_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pixels_cloud.dir/cloud/cf_service.cc.o"
+  "CMakeFiles/pixels_cloud.dir/cloud/cf_service.cc.o.d"
+  "CMakeFiles/pixels_cloud.dir/cloud/metrics.cc.o"
+  "CMakeFiles/pixels_cloud.dir/cloud/metrics.cc.o.d"
+  "CMakeFiles/pixels_cloud.dir/cloud/pricing.cc.o"
+  "CMakeFiles/pixels_cloud.dir/cloud/pricing.cc.o.d"
+  "CMakeFiles/pixels_cloud.dir/cloud/vm_cluster.cc.o"
+  "CMakeFiles/pixels_cloud.dir/cloud/vm_cluster.cc.o.d"
+  "libpixels_cloud.a"
+  "libpixels_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pixels_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pixels_common.dir/common/bytes.cc.o"
+  "CMakeFiles/pixels_common.dir/common/bytes.cc.o.d"
+  "CMakeFiles/pixels_common.dir/common/config.cc.o"
+  "CMakeFiles/pixels_common.dir/common/config.cc.o.d"
+  "CMakeFiles/pixels_common.dir/common/json.cc.o"
+  "CMakeFiles/pixels_common.dir/common/json.cc.o.d"
+  "CMakeFiles/pixels_common.dir/common/logging.cc.o"
+  "CMakeFiles/pixels_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/pixels_common.dir/common/random.cc.o"
+  "CMakeFiles/pixels_common.dir/common/random.cc.o.d"
+  "CMakeFiles/pixels_common.dir/common/sim_clock.cc.o"
+  "CMakeFiles/pixels_common.dir/common/sim_clock.cc.o.d"
+  "CMakeFiles/pixels_common.dir/common/status.cc.o"
+  "CMakeFiles/pixels_common.dir/common/status.cc.o.d"
+  "libpixels_common.a"
+  "libpixels_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pixels_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

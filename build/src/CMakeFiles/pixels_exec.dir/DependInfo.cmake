@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/executor.cc" "src/CMakeFiles/pixels_exec.dir/exec/executor.cc.o" "gcc" "src/CMakeFiles/pixels_exec.dir/exec/executor.cc.o.d"
+  "/root/repo/src/exec/expression.cc" "src/CMakeFiles/pixels_exec.dir/exec/expression.cc.o" "gcc" "src/CMakeFiles/pixels_exec.dir/exec/expression.cc.o.d"
+  "/root/repo/src/exec/hash_agg.cc" "src/CMakeFiles/pixels_exec.dir/exec/hash_agg.cc.o" "gcc" "src/CMakeFiles/pixels_exec.dir/exec/hash_agg.cc.o.d"
+  "/root/repo/src/exec/hash_join.cc" "src/CMakeFiles/pixels_exec.dir/exec/hash_join.cc.o" "gcc" "src/CMakeFiles/pixels_exec.dir/exec/hash_join.cc.o.d"
+  "/root/repo/src/exec/operators.cc" "src/CMakeFiles/pixels_exec.dir/exec/operators.cc.o" "gcc" "src/CMakeFiles/pixels_exec.dir/exec/operators.cc.o.d"
+  "/root/repo/src/exec/sort.cc" "src/CMakeFiles/pixels_exec.dir/exec/sort.cc.o" "gcc" "src/CMakeFiles/pixels_exec.dir/exec/sort.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pixels_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pixels_format.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pixels_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pixels_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pixels_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pixels_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

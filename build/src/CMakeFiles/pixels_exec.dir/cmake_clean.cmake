@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pixels_exec.dir/exec/executor.cc.o"
+  "CMakeFiles/pixels_exec.dir/exec/executor.cc.o.d"
+  "CMakeFiles/pixels_exec.dir/exec/expression.cc.o"
+  "CMakeFiles/pixels_exec.dir/exec/expression.cc.o.d"
+  "CMakeFiles/pixels_exec.dir/exec/hash_agg.cc.o"
+  "CMakeFiles/pixels_exec.dir/exec/hash_agg.cc.o.d"
+  "CMakeFiles/pixels_exec.dir/exec/hash_join.cc.o"
+  "CMakeFiles/pixels_exec.dir/exec/hash_join.cc.o.d"
+  "CMakeFiles/pixels_exec.dir/exec/operators.cc.o"
+  "CMakeFiles/pixels_exec.dir/exec/operators.cc.o.d"
+  "CMakeFiles/pixels_exec.dir/exec/sort.cc.o"
+  "CMakeFiles/pixels_exec.dir/exec/sort.cc.o.d"
+  "libpixels_exec.a"
+  "libpixels_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pixels_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/format/batch.cc" "src/CMakeFiles/pixels_format.dir/format/batch.cc.o" "gcc" "src/CMakeFiles/pixels_format.dir/format/batch.cc.o.d"
+  "/root/repo/src/format/encoding.cc" "src/CMakeFiles/pixels_format.dir/format/encoding.cc.o" "gcc" "src/CMakeFiles/pixels_format.dir/format/encoding.cc.o.d"
+  "/root/repo/src/format/reader.cc" "src/CMakeFiles/pixels_format.dir/format/reader.cc.o" "gcc" "src/CMakeFiles/pixels_format.dir/format/reader.cc.o.d"
+  "/root/repo/src/format/stats.cc" "src/CMakeFiles/pixels_format.dir/format/stats.cc.o" "gcc" "src/CMakeFiles/pixels_format.dir/format/stats.cc.o.d"
+  "/root/repo/src/format/type.cc" "src/CMakeFiles/pixels_format.dir/format/type.cc.o" "gcc" "src/CMakeFiles/pixels_format.dir/format/type.cc.o.d"
+  "/root/repo/src/format/vector.cc" "src/CMakeFiles/pixels_format.dir/format/vector.cc.o" "gcc" "src/CMakeFiles/pixels_format.dir/format/vector.cc.o.d"
+  "/root/repo/src/format/writer.cc" "src/CMakeFiles/pixels_format.dir/format/writer.cc.o" "gcc" "src/CMakeFiles/pixels_format.dir/format/writer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pixels_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pixels_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pixels_format.dir/format/batch.cc.o"
+  "CMakeFiles/pixels_format.dir/format/batch.cc.o.d"
+  "CMakeFiles/pixels_format.dir/format/encoding.cc.o"
+  "CMakeFiles/pixels_format.dir/format/encoding.cc.o.d"
+  "CMakeFiles/pixels_format.dir/format/reader.cc.o"
+  "CMakeFiles/pixels_format.dir/format/reader.cc.o.d"
+  "CMakeFiles/pixels_format.dir/format/stats.cc.o"
+  "CMakeFiles/pixels_format.dir/format/stats.cc.o.d"
+  "CMakeFiles/pixels_format.dir/format/type.cc.o"
+  "CMakeFiles/pixels_format.dir/format/type.cc.o.d"
+  "CMakeFiles/pixels_format.dir/format/vector.cc.o"
+  "CMakeFiles/pixels_format.dir/format/vector.cc.o.d"
+  "CMakeFiles/pixels_format.dir/format/writer.cc.o"
+  "CMakeFiles/pixels_format.dir/format/writer.cc.o.d"
+  "libpixels_format.a"
+  "libpixels_format.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pixels_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pixels_nl2sql.dir/nl2sql/codes_service.cc.o"
+  "CMakeFiles/pixels_nl2sql.dir/nl2sql/codes_service.cc.o.d"
+  "CMakeFiles/pixels_nl2sql.dir/nl2sql/nl_benchmark.cc.o"
+  "CMakeFiles/pixels_nl2sql.dir/nl2sql/nl_benchmark.cc.o.d"
+  "CMakeFiles/pixels_nl2sql.dir/nl2sql/schema_linker.cc.o"
+  "CMakeFiles/pixels_nl2sql.dir/nl2sql/schema_linker.cc.o.d"
+  "CMakeFiles/pixels_nl2sql.dir/nl2sql/semantic_parser.cc.o"
+  "CMakeFiles/pixels_nl2sql.dir/nl2sql/semantic_parser.cc.o.d"
+  "libpixels_nl2sql.a"
+  "libpixels_nl2sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pixels_nl2sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

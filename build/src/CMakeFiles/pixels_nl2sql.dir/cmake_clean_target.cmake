@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpixels_nl2sql.a"
+)

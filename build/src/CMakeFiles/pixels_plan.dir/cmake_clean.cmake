@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pixels_plan.dir/plan/binder.cc.o"
+  "CMakeFiles/pixels_plan.dir/plan/binder.cc.o.d"
+  "CMakeFiles/pixels_plan.dir/plan/logical_plan.cc.o"
+  "CMakeFiles/pixels_plan.dir/plan/logical_plan.cc.o.d"
+  "CMakeFiles/pixels_plan.dir/plan/optimizer.cc.o"
+  "CMakeFiles/pixels_plan.dir/plan/optimizer.cc.o.d"
+  "CMakeFiles/pixels_plan.dir/plan/subplan.cc.o"
+  "CMakeFiles/pixels_plan.dir/plan/subplan.cc.o.d"
+  "libpixels_plan.a"
+  "libpixels_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pixels_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

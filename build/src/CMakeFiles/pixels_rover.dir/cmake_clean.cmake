@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pixels_rover.dir/rover/auth.cc.o"
+  "CMakeFiles/pixels_rover.dir/rover/auth.cc.o.d"
+  "CMakeFiles/pixels_rover.dir/rover/backend.cc.o"
+  "CMakeFiles/pixels_rover.dir/rover/backend.cc.o.d"
+  "libpixels_rover.a"
+  "libpixels_rover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pixels_rover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

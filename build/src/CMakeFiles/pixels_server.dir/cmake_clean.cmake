@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pixels_server.dir/server/query_server.cc.o"
+  "CMakeFiles/pixels_server.dir/server/query_server.cc.o.d"
+  "CMakeFiles/pixels_server.dir/server/service_level.cc.o"
+  "CMakeFiles/pixels_server.dir/server/service_level.cc.o.d"
+  "libpixels_server.a"
+  "libpixels_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pixels_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pixels_sql.dir/sql/ast.cc.o"
+  "CMakeFiles/pixels_sql.dir/sql/ast.cc.o.d"
+  "CMakeFiles/pixels_sql.dir/sql/lexer.cc.o"
+  "CMakeFiles/pixels_sql.dir/sql/lexer.cc.o.d"
+  "CMakeFiles/pixels_sql.dir/sql/parser.cc.o"
+  "CMakeFiles/pixels_sql.dir/sql/parser.cc.o.d"
+  "libpixels_sql.a"
+  "libpixels_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pixels_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for pixels_sql.
+# This may be replaced when dependencies are built.

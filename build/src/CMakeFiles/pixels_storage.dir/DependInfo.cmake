@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/local_fs.cc" "src/CMakeFiles/pixels_storage.dir/storage/local_fs.cc.o" "gcc" "src/CMakeFiles/pixels_storage.dir/storage/local_fs.cc.o.d"
+  "/root/repo/src/storage/memory_store.cc" "src/CMakeFiles/pixels_storage.dir/storage/memory_store.cc.o" "gcc" "src/CMakeFiles/pixels_storage.dir/storage/memory_store.cc.o.d"
+  "/root/repo/src/storage/object_store.cc" "src/CMakeFiles/pixels_storage.dir/storage/object_store.cc.o" "gcc" "src/CMakeFiles/pixels_storage.dir/storage/object_store.cc.o.d"
+  "/root/repo/src/storage/storage.cc" "src/CMakeFiles/pixels_storage.dir/storage/storage.cc.o" "gcc" "src/CMakeFiles/pixels_storage.dir/storage/storage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pixels_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pixels_storage.dir/storage/local_fs.cc.o"
+  "CMakeFiles/pixels_storage.dir/storage/local_fs.cc.o.d"
+  "CMakeFiles/pixels_storage.dir/storage/memory_store.cc.o"
+  "CMakeFiles/pixels_storage.dir/storage/memory_store.cc.o.d"
+  "CMakeFiles/pixels_storage.dir/storage/object_store.cc.o"
+  "CMakeFiles/pixels_storage.dir/storage/object_store.cc.o.d"
+  "CMakeFiles/pixels_storage.dir/storage/storage.cc.o"
+  "CMakeFiles/pixels_storage.dir/storage/storage.cc.o.d"
+  "libpixels_storage.a"
+  "libpixels_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pixels_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pixels_turbo.dir/turbo/cf_worker.cc.o"
+  "CMakeFiles/pixels_turbo.dir/turbo/cf_worker.cc.o.d"
+  "CMakeFiles/pixels_turbo.dir/turbo/coordinator.cc.o"
+  "CMakeFiles/pixels_turbo.dir/turbo/coordinator.cc.o.d"
+  "CMakeFiles/pixels_turbo.dir/turbo/query_task.cc.o"
+  "CMakeFiles/pixels_turbo.dir/turbo/query_task.cc.o.d"
+  "libpixels_turbo.a"
+  "libpixels_turbo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pixels_turbo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

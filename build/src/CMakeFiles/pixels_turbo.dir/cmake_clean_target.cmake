@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpixels_turbo.a"
+)

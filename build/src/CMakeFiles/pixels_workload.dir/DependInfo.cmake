@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/arrivals.cc" "src/CMakeFiles/pixels_workload.dir/workload/arrivals.cc.o" "gcc" "src/CMakeFiles/pixels_workload.dir/workload/arrivals.cc.o.d"
+  "/root/repo/src/workload/loggen.cc" "src/CMakeFiles/pixels_workload.dir/workload/loggen.cc.o" "gcc" "src/CMakeFiles/pixels_workload.dir/workload/loggen.cc.o.d"
+  "/root/repo/src/workload/tpch.cc" "src/CMakeFiles/pixels_workload.dir/workload/tpch.cc.o" "gcc" "src/CMakeFiles/pixels_workload.dir/workload/tpch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pixels_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pixels_format.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pixels_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pixels_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pixels_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

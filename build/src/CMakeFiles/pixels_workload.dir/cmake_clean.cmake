@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pixels_workload.dir/workload/arrivals.cc.o"
+  "CMakeFiles/pixels_workload.dir/workload/arrivals.cc.o.d"
+  "CMakeFiles/pixels_workload.dir/workload/loggen.cc.o"
+  "CMakeFiles/pixels_workload.dir/workload/loggen.cc.o.d"
+  "CMakeFiles/pixels_workload.dir/workload/tpch.cc.o"
+  "CMakeFiles/pixels_workload.dir/workload/tpch.cc.o.d"
+  "libpixels_workload.a"
+  "libpixels_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pixels_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catalog_test.dir/catalog/catalog_test.cc.o"
+  "CMakeFiles/catalog_test.dir/catalog/catalog_test.cc.o.d"
+  "CMakeFiles/catalog_test.dir/catalog/compaction_test.cc.o"
+  "CMakeFiles/catalog_test.dir/catalog/compaction_test.cc.o.d"
+  "CMakeFiles/catalog_test.dir/catalog/csv_test.cc.o"
+  "CMakeFiles/catalog_test.dir/catalog/csv_test.cc.o.d"
+  "CMakeFiles/catalog_test.dir/catalog/persistence_test.cc.o"
+  "CMakeFiles/catalog_test.dir/catalog/persistence_test.cc.o.d"
+  "catalog_test"
+  "catalog_test.pdb"
+  "catalog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catalog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

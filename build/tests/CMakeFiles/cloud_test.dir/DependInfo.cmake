@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cloud/cf_service_test.cc" "tests/CMakeFiles/cloud_test.dir/cloud/cf_service_test.cc.o" "gcc" "tests/CMakeFiles/cloud_test.dir/cloud/cf_service_test.cc.o.d"
+  "/root/repo/tests/cloud/metrics_test.cc" "tests/CMakeFiles/cloud_test.dir/cloud/metrics_test.cc.o" "gcc" "tests/CMakeFiles/cloud_test.dir/cloud/metrics_test.cc.o.d"
+  "/root/repo/tests/cloud/pricing_test.cc" "tests/CMakeFiles/cloud_test.dir/cloud/pricing_test.cc.o" "gcc" "tests/CMakeFiles/cloud_test.dir/cloud/pricing_test.cc.o.d"
+  "/root/repo/tests/cloud/vm_cluster_test.cc" "tests/CMakeFiles/cloud_test.dir/cloud/vm_cluster_test.cc.o" "gcc" "tests/CMakeFiles/cloud_test.dir/cloud/vm_cluster_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pixels_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pixels_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

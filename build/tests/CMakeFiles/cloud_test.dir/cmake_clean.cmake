@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_test.dir/cloud/cf_service_test.cc.o"
+  "CMakeFiles/cloud_test.dir/cloud/cf_service_test.cc.o.d"
+  "CMakeFiles/cloud_test.dir/cloud/metrics_test.cc.o"
+  "CMakeFiles/cloud_test.dir/cloud/metrics_test.cc.o.d"
+  "CMakeFiles/cloud_test.dir/cloud/pricing_test.cc.o"
+  "CMakeFiles/cloud_test.dir/cloud/pricing_test.cc.o.d"
+  "CMakeFiles/cloud_test.dir/cloud/vm_cluster_test.cc.o"
+  "CMakeFiles/cloud_test.dir/cloud/vm_cluster_test.cc.o.d"
+  "cloud_test"
+  "cloud_test.pdb"
+  "cloud_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/exec/explain_test.cc" "tests/CMakeFiles/exec_test.dir/exec/explain_test.cc.o" "gcc" "tests/CMakeFiles/exec_test.dir/exec/explain_test.cc.o.d"
+  "/root/repo/tests/exec/expression_test.cc" "tests/CMakeFiles/exec_test.dir/exec/expression_test.cc.o" "gcc" "tests/CMakeFiles/exec_test.dir/exec/expression_test.cc.o.d"
+  "/root/repo/tests/exec/operators_test.cc" "tests/CMakeFiles/exec_test.dir/exec/operators_test.cc.o" "gcc" "tests/CMakeFiles/exec_test.dir/exec/operators_test.cc.o.d"
+  "/root/repo/tests/exec/query_test.cc" "tests/CMakeFiles/exec_test.dir/exec/query_test.cc.o" "gcc" "tests/CMakeFiles/exec_test.dir/exec/query_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pixels_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pixels_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pixels_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pixels_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pixels_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pixels_format.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pixels_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pixels_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/format/batch_test.cc" "tests/CMakeFiles/format_test.dir/format/batch_test.cc.o" "gcc" "tests/CMakeFiles/format_test.dir/format/batch_test.cc.o.d"
+  "/root/repo/tests/format/encoding_test.cc" "tests/CMakeFiles/format_test.dir/format/encoding_test.cc.o" "gcc" "tests/CMakeFiles/format_test.dir/format/encoding_test.cc.o.d"
+  "/root/repo/tests/format/stats_test.cc" "tests/CMakeFiles/format_test.dir/format/stats_test.cc.o" "gcc" "tests/CMakeFiles/format_test.dir/format/stats_test.cc.o.d"
+  "/root/repo/tests/format/type_test.cc" "tests/CMakeFiles/format_test.dir/format/type_test.cc.o" "gcc" "tests/CMakeFiles/format_test.dir/format/type_test.cc.o.d"
+  "/root/repo/tests/format/vector_test.cc" "tests/CMakeFiles/format_test.dir/format/vector_test.cc.o" "gcc" "tests/CMakeFiles/format_test.dir/format/vector_test.cc.o.d"
+  "/root/repo/tests/format/writer_reader_test.cc" "tests/CMakeFiles/format_test.dir/format/writer_reader_test.cc.o" "gcc" "tests/CMakeFiles/format_test.dir/format/writer_reader_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pixels_format.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pixels_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pixels_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

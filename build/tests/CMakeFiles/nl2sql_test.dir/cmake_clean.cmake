@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nl2sql_test.dir/nl2sql/codes_service_test.cc.o"
+  "CMakeFiles/nl2sql_test.dir/nl2sql/codes_service_test.cc.o.d"
+  "CMakeFiles/nl2sql_test.dir/nl2sql/nl_benchmark_test.cc.o"
+  "CMakeFiles/nl2sql_test.dir/nl2sql/nl_benchmark_test.cc.o.d"
+  "CMakeFiles/nl2sql_test.dir/nl2sql/schema_linker_test.cc.o"
+  "CMakeFiles/nl2sql_test.dir/nl2sql/schema_linker_test.cc.o.d"
+  "CMakeFiles/nl2sql_test.dir/nl2sql/semantic_parser_test.cc.o"
+  "CMakeFiles/nl2sql_test.dir/nl2sql/semantic_parser_test.cc.o.d"
+  "nl2sql_test"
+  "nl2sql_test.pdb"
+  "nl2sql_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nl2sql_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rover_test.dir/rover/auth_test.cc.o"
+  "CMakeFiles/rover_test.dir/rover/auth_test.cc.o.d"
+  "CMakeFiles/rover_test.dir/rover/backend_test.cc.o"
+  "CMakeFiles/rover_test.dir/rover/backend_test.cc.o.d"
+  "rover_test"
+  "rover_test.pdb"
+  "rover_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rover_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_test.dir/server/query_server_test.cc.o"
+  "CMakeFiles/server_test.dir/server/query_server_test.cc.o.d"
+  "CMakeFiles/server_test.dir/server/service_level_test.cc.o"
+  "CMakeFiles/server_test.dir/server/service_level_test.cc.o.d"
+  "server_test"
+  "server_test.pdb"
+  "server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
