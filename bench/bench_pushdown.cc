@@ -9,7 +9,9 @@
 //   * per-worker runtime shrinks as the fleet grows (the reason CF can
 //     absorb spikes),
 //   * materialized views flow through object storage.
+#include <chrono>
 #include <cstdio>
+#include <numeric>
 
 #include "bench_util.h"
 #include "exec/executor.h"
@@ -121,6 +123,55 @@ int main() {
     std::printf("\n");
   }
   Check(ok, "all pushdown results exactly match direct execution");
+
+  // --- concurrent CF fleet: measured wall-clock overlap ---
+  // The same 8-worker fleet run serially (fleet_parallelism = 1) vs
+  // concurrently on the shared pool. Overlap means the concurrent fleet's
+  // elapsed wall time is less than the sum of its per-worker times — the
+  // property that lets hundreds of CF workers absorb a spike in parallel.
+  std::printf("-- concurrent fleet overlap (q1_aggregate, 8 workers) --\n");
+  bool overlap_ok = true;
+  double serial_elapsed = 0, concurrent_elapsed = 0;
+  for (int fleet_par : {1, 8}) {
+    auto plan = PlanQuery(cases[0].sql, *catalog, "tpch");
+    if (!plan.ok()) return 1;
+    auto optimized = Optimize(std::move(plan).ValueOrDie(), *catalog);
+    CfWorkerOptions wopts;
+    wopts.num_workers = 8;
+    wopts.fleet_parallelism = fleet_par;
+    wopts.intermediate_store = storage.get();
+    wopts.view_prefix = "intermediate/overlap." + std::to_string(fleet_par);
+    const auto t0 = std::chrono::steady_clock::now();
+    auto exec = ExecuteWithCfPushdown(*optimized, catalog.get(), wopts);
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (!exec.ok()) {
+      std::printf("pushdown failed: %s\n", exec.status().ToString().c_str());
+      return 1;
+    }
+    const double worker_sum =
+        std::accumulate(exec->worker_elapsed_seconds.begin(),
+                        exec->worker_elapsed_seconds.end(), 0.0);
+    std::printf(
+        "  fleet_parallelism=%d: wall %.1f ms, fleet %.1f ms, "
+        "sum(worker wall) %.1f ms\n",
+        fleet_par, elapsed * 1e3, exec->fleet_elapsed_seconds * 1e3,
+        worker_sum * 1e3);
+    if (fleet_par == 1) {
+      serial_elapsed = exec->fleet_elapsed_seconds;
+    } else {
+      concurrent_elapsed = exec->fleet_elapsed_seconds;
+      overlap_ok = exec->fleet_elapsed_seconds < worker_sum;
+    }
+  }
+  std::printf("  serial fleet %.1f ms -> concurrent fleet %.1f ms (%.2fx)\n",
+              serial_elapsed * 1e3, concurrent_elapsed * 1e3,
+              concurrent_elapsed > 0 ? serial_elapsed / concurrent_elapsed
+                                     : 0.0);
+  ok &= Check(overlap_ok,
+              "concurrent fleet elapsed < sum of per-worker wall times");
+  std::printf("\n");
 
   auto views = storage->List("intermediate/");
   bool views_ok =

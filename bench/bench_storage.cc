@@ -5,8 +5,12 @@
 // scan throughput of the .pxl reader, and writer throughput.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <thread>
+
 #include "catalog/catalog.h"
 #include "common/random.h"
+#include "common/thread_pool.h"
 #include "exec/executor.h"
 #include "format/reader.h"
 #include "format/writer.h"
@@ -155,6 +159,83 @@ void BM_ScanZoneMapPruned(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ScanZoneMapPruned);
+
+// --- morsel-parallel scan thread sweep (1/2/4/8) ---
+
+void BM_ScanParallelSweep(benchmark::State& state) {
+  auto& f = ScanFixture::Get();
+  auto table = f.catalog->GetTable("tpch", "lineitem");
+  const int threads = static_cast<int>(state.range(0));
+  ThreadPool pool(threads);
+  uint64_t bytes = 0;
+  for (auto _ : state) {
+    auto reader = PixelsReader::Open(f.storage.get(), (*table)->files[0]);
+    auto batches = (*reader)->Scan(ScanOptions{}, &pool, threads);
+    benchmark::DoNotOptimize(batches);
+    bytes += (*reader)->scan_stats().bytes_scanned;
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes));
+  state.SetLabel(std::to_string(threads) + " threads");
+}
+BENCHMARK(BM_ScanParallelSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+/// Storage decorator adding a real per-request delay, approximating the
+/// first-byte latency of cold object storage. Parallel morsels overlap
+/// these waits, which is where serverless scans win on cold data.
+class LatencyStore : public Storage {
+ public:
+  LatencyStore(Storage* inner, int delay_us)
+      : inner_(inner), delay_us_(delay_us) {}
+
+  Result<std::vector<uint8_t>> Read(const std::string& path) override {
+    Delay();
+    return inner_->Read(path);
+  }
+  Result<std::vector<uint8_t>> ReadRange(const std::string& path,
+                                         uint64_t offset,
+                                         uint64_t length) override {
+    Delay();
+    return inner_->ReadRange(path, offset, length);
+  }
+  Status Write(const std::string& path,
+               const std::vector<uint8_t>& data) override {
+    return inner_->Write(path, data);
+  }
+  Result<uint64_t> Size(const std::string& path) override {
+    return inner_->Size(path);
+  }
+  Result<std::vector<std::string>> List(const std::string& prefix) override {
+    return inner_->List(prefix);
+  }
+  Status Delete(const std::string& path) override {
+    return inner_->Delete(path);
+  }
+  bool Exists(const std::string& path) override { return inner_->Exists(path); }
+
+ private:
+  void Delay() const {
+    std::this_thread::sleep_for(std::chrono::microseconds(delay_us_));
+  }
+  Storage* inner_;
+  int delay_us_;
+};
+
+void BM_ScanParallelColdStore(benchmark::State& state) {
+  auto& f = ScanFixture::Get();
+  auto table = f.catalog->GetTable("tpch", "lineitem");
+  const int threads = static_cast<int>(state.range(0));
+  ThreadPool pool(threads);
+  LatencyStore cold(f.storage.get(), /*delay_us=*/500);
+  for (auto _ : state) {
+    auto reader = PixelsReader::Open(&cold, (*table)->files[0]);
+    auto batches = (*reader)->Scan(ScanOptions{}, &pool, threads);
+    benchmark::DoNotOptimize(batches);
+  }
+  state.SetLabel(std::to_string(threads) + " threads, 0.5ms/request");
+}
+BENCHMARK(BM_ScanParallelColdStore)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void BM_WriteLineitemFile(benchmark::State& state) {
   Random rng(3);

@@ -1,0 +1,183 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace pixels {
+
+namespace {
+
+std::atomic<int> g_default_parallelism{0};
+
+int HardwareParallelism() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+}  // namespace
+
+int DefaultParallelism() {
+  int p = g_default_parallelism.load(std::memory_order_relaxed);
+  return p > 0 ? p : HardwareParallelism();
+}
+
+void SetDefaultParallelism(int parallelism) {
+  g_default_parallelism.store(parallelism > 0 ? parallelism : 0,
+                              std::memory_order_relaxed);
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  int n = std::max(num_threads, 1);
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::Help() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();
+  return true;
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+Status ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
+                               const std::function<Status(size_t)>& body,
+                               int max_parallelism) {
+  if (begin >= end) return Status::OK();
+  if (grain == 0) grain = 1;
+  int par = max_parallelism > 0 ? max_parallelism : DefaultParallelism();
+
+  const size_t count = end - begin;
+  const size_t num_chunks = (count + grain - 1) / grain;
+  if (par <= 1 || num_chunks <= 1) {
+    for (size_t i = begin; i < end; ++i) {
+      PIXELS_RETURN_NOT_OK(body(i));
+    }
+    return Status::OK();
+  }
+
+  // Shared between the caller and helper tasks. Heap-allocated and
+  // reference-counted so stray helpers that run after the caller returns
+  // (possible only on error-triggered early exit) touch valid memory.
+  struct SharedState {
+    std::atomic<size_t> next_chunk{0};
+    std::atomic<size_t> chunks_done{0};
+    std::atomic<bool> failed{false};
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    Status first_error = Status::OK();
+    size_t begin, grain, end, num_chunks;
+    const std::function<Status(size_t)>* body;
+  };
+  auto state = std::make_shared<SharedState>();
+  state->begin = begin;
+  state->grain = grain;
+  state->end = end;
+  state->num_chunks = num_chunks;
+  state->body = &body;
+
+  auto run_chunks = [](const std::shared_ptr<SharedState>& s) {
+    while (true) {
+      size_t chunk = s->next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= s->num_chunks) return;
+      if (!s->failed.load(std::memory_order_acquire)) {
+        size_t lo = s->begin + chunk * s->grain;
+        size_t hi = std::min(lo + s->grain, s->end);
+        Status st = Status::OK();
+        try {
+          for (size_t i = lo; i < hi && st.ok(); ++i) st = (*s->body)(i);
+        } catch (const std::exception& e) {
+          st = Status::Internal(std::string("ParallelFor body threw: ") +
+                                e.what());
+        } catch (...) {
+          st = Status::Internal("ParallelFor body threw a non-std exception");
+        }
+        if (!st.ok()) {
+          std::lock_guard<std::mutex> lock(s->mutex);
+          if (!s->failed.exchange(true, std::memory_order_release)) {
+            s->first_error = std::move(st);
+          }
+        }
+      }
+      size_t done = s->chunks_done.fetch_add(1, std::memory_order_acq_rel) + 1;
+      if (done == s->num_chunks) {
+        std::lock_guard<std::mutex> lock(s->mutex);
+        s->done_cv.notify_all();
+      }
+    }
+  };
+
+  // Helpers beyond the caller itself; capped so a tiny range does not
+  // enqueue useless no-op tasks.
+  const size_t helpers = std::min(
+      {static_cast<size_t>(par - 1), num_chunks - 1,
+       static_cast<size_t>(num_threads())});
+  for (size_t h = 0; h < helpers; ++h) {
+    Submit([state, run_chunks] { run_chunks(state); });
+  }
+
+  // The caller drains chunks too — this is what makes nesting safe: even
+  // if every pool thread is busy (or blocked in an outer ParallelFor),
+  // the range still completes on the calling thread.
+  run_chunks(state);
+
+  // While stragglers finish their claimed chunks, keep the pool moving by
+  // executing other queued tasks instead of blocking cold.
+  while (state->chunks_done.load(std::memory_order_acquire) <
+         state->num_chunks) {
+    if (!Help()) {
+      std::unique_lock<std::mutex> lock(state->mutex);
+      state->done_cv.wait_for(lock, std::chrono::milliseconds(1), [&] {
+        return state->chunks_done.load(std::memory_order_acquire) >=
+               state->num_chunks;
+      });
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(state->mutex);
+  return state->first_error;
+}
+
+ThreadPool* ThreadPool::Shared() {
+  static ThreadPool pool(HardwareParallelism());
+  return &pool;
+}
+
+}  // namespace pixels

@@ -1,0 +1,77 @@
+// Shared worker pool for morsel-driven parallel execution. One process-wide
+// pool is shared by the top-level plan and the CF worker fleet; callers
+// express parallelism through `ParallelFor`, which is safe to nest because
+// the calling thread participates in draining its own work (no thread ever
+// blocks waiting for a queue slot that only it could service).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace pixels {
+
+/// Process-wide default degree of parallelism: the `pixels.parallelism`
+/// override when set (see SetDefaultParallelism), else hardware
+/// concurrency. Always >= 1.
+int DefaultParallelism();
+
+/// Overrides DefaultParallelism() for the process (0 restores the
+/// hardware-concurrency default). The deterministic simulation benches set
+/// this to 1 to reproduce serial behavior exactly.
+void SetDefaultParallelism(int parallelism);
+
+/// Fixed-size worker pool with a FIFO task queue.
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Runs one queued task on the calling thread if any is pending.
+  /// Returns false when the queue was empty. Lets threads that are
+  /// waiting for results make progress instead of blocking (the
+  /// work-stealing half of "work-stealing-friendly").
+  bool Help();
+
+  /// Runs `body(i)` for every i in [begin, end), distributing chunks of
+  /// `grain` consecutive indices across up to `max_parallelism` threads
+  /// (<= 1 runs inline, serially, with no synchronization). The calling
+  /// thread always participates, so nesting ParallelFor inside a pool
+  /// task cannot deadlock. Returns the first non-OK Status encountered
+  /// (remaining chunks are skipped); exceptions from `body` are captured
+  /// as Internal statuses.
+  Status ParallelFor(size_t begin, size_t end, size_t grain,
+                     const std::function<Status(size_t)>& body,
+                     int max_parallelism = 0);
+
+  /// The process-wide pool, sized to hardware concurrency at first use.
+  static ThreadPool* Shared();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace pixels

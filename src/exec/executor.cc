@@ -31,13 +31,13 @@ Result<OperatorPtr> BuildOperator(const PlanPtr& plan, ExecContext* ctx) {
                               BuildOperator(plan->children[0], ctx));
       PIXELS_ASSIGN_OR_RETURN(OperatorPtr right,
                               BuildOperator(plan->children[1], ctx));
-      return OperatorPtr(
-          new HashJoinOperator(std::move(left), std::move(right), *plan));
+      return OperatorPtr(new HashJoinOperator(std::move(left),
+                                              std::move(right), *plan, ctx));
     }
     case LogicalPlan::Kind::kAggregate: {
       PIXELS_ASSIGN_OR_RETURN(OperatorPtr child,
                               BuildOperator(plan->children[0], ctx));
-      return OperatorPtr(new HashAggOperator(std::move(child), *plan));
+      return OperatorPtr(new HashAggOperator(std::move(child), *plan, ctx));
     }
     case LogicalPlan::Kind::kSort: {
       PIXELS_ASSIGN_OR_RETURN(OperatorPtr child,

@@ -29,6 +29,32 @@ void HashAggOperator::AggState::Update(const Value& v, bool distinct) {
   }
 }
 
+void HashAggOperator::UpdateGroup(Group* group,
+                                  const std::vector<ColumnVectorPtr>& arg_cols,
+                                  size_t row) {
+  for (size_t a = 0; a < plan_.agg_exprs.size(); ++a) {
+    const Expr& call = *plan_.agg_exprs[a];
+    if (call.name == "count" &&
+        (call.args.empty() || call.args[0]->kind == Expr::Kind::kStar)) {
+      group->states[a].UpdateCountStar();
+    } else {
+      group->states[a].Update(arg_cols[a]->GetValue(row), call.distinct);
+    }
+  }
+}
+
+namespace {
+
+/// Per-batch precomputed inputs shared by the parallel phases.
+struct AggBatchInputs {
+  RowBatchPtr batch;
+  std::vector<ColumnVectorPtr> key_cols;
+  std::vector<ColumnVectorPtr> arg_cols;
+  std::vector<std::string> row_keys;  // serialized group key per row
+};
+
+}  // namespace
+
 Status HashAggOperator::Consume() {
   while (true) {
     PIXELS_ASSIGN_OR_RETURN(RowBatchPtr batch, child_->Next());
@@ -61,17 +87,96 @@ Status HashAggOperator::Consume() {
         g.states.resize(plan_.agg_exprs.size());
         groups_.push_back(std::move(g));
       }
-      Group& group = groups_[it->second];
-      for (size_t a = 0; a < plan_.agg_exprs.size(); ++a) {
-        const Expr& call = *plan_.agg_exprs[a];
-        if (call.name == "count" &&
-            (call.args.empty() || call.args[0]->kind == Expr::Kind::kStar)) {
-          group.states[a].UpdateCountStar();
-        } else {
-          group.states[a].Update(arg_cols[a]->GetValue(r), call.distinct);
-        }
-      }
+      UpdateGroup(&groups_[it->second], arg_cols, r);
     }
+  }
+  return Status::OK();
+}
+
+Status HashAggOperator::ConsumeParallel(int par) {
+  std::vector<AggBatchInputs> inputs;
+  while (true) {
+    PIXELS_ASSIGN_OR_RETURN(RowBatchPtr batch, child_->Next());
+    if (batch == nullptr) break;
+    if (batch->num_rows() == 0) continue;
+    AggBatchInputs in;
+    in.batch = std::move(batch);
+    inputs.push_back(std::move(in));
+  }
+  ThreadPool* pool = ctx_->EffectivePool();
+
+  // Phase 1 (batch-parallel): expression evaluation and key
+  // serialization, the CPU-heavy part of aggregation.
+  PIXELS_RETURN_NOT_OK(pool->ParallelFor(
+      0, inputs.size(), /*grain=*/1,
+      [&](size_t bi) -> Status {
+        AggBatchInputs& in = inputs[bi];
+        const RowBatch& batch = *in.batch;
+        for (const auto& g : plan_.group_exprs) {
+          PIXELS_ASSIGN_OR_RETURN(ColumnVectorPtr col,
+                                  EvaluateExpr(*g, batch));
+          in.key_cols.push_back(std::move(col));
+        }
+        in.arg_cols.resize(plan_.agg_exprs.size());
+        for (size_t a = 0; a < plan_.agg_exprs.size(); ++a) {
+          const Expr& call = *plan_.agg_exprs[a];
+          if (call.args.empty() || call.args[0]->kind == Expr::Kind::kStar) {
+            continue;  // COUNT(*): no argument
+          }
+          PIXELS_ASSIGN_OR_RETURN(in.arg_cols[a],
+                                  EvaluateExpr(*call.args[0], batch));
+        }
+        in.row_keys.resize(batch.num_rows());
+        std::vector<Value> keys(in.key_cols.size());
+        for (size_t r = 0; r < batch.num_rows(); ++r) {
+          for (size_t k = 0; k < in.key_cols.size(); ++k) {
+            keys[k] = in.key_cols[k]->GetValue(r);
+          }
+          in.row_keys[r] = ValuesKey(keys);
+        }
+        return Status::OK();
+      },
+      par));
+
+  // Phase 2 (partition-parallel): each partition owns the groups whose
+  // key hashes to it and scans all batches in order, so group contents
+  // and first-occurrence order are independent of thread scheduling.
+  struct Partition {
+    std::map<std::string, size_t> index;
+    std::vector<Group> groups;
+  };
+  std::vector<Partition> parts(static_cast<size_t>(par));
+  std::hash<std::string> hasher;
+  PIXELS_RETURN_NOT_OK(pool->ParallelFor(
+      0, parts.size(), /*grain=*/1,
+      [&](size_t p) -> Status {
+        Partition& part = parts[p];
+        for (const auto& in : inputs) {
+          for (size_t r = 0; r < in.row_keys.size(); ++r) {
+            const std::string& key = in.row_keys[r];
+            if (hasher(key) % parts.size() != p) continue;
+            auto [it, inserted] = part.index.emplace(key, part.groups.size());
+            if (inserted) {
+              Group g;
+              g.keys.reserve(in.key_cols.size());
+              for (const auto& col : in.key_cols) {
+                g.keys.push_back(col->GetValue(r));
+              }
+              g.states.resize(plan_.agg_exprs.size());
+              part.groups.push_back(std::move(g));
+            }
+            UpdateGroup(&part.groups[it->second], in.arg_cols, r);
+          }
+        }
+        return Status::OK();
+      },
+      par));
+
+  // Merge: concatenate partitions in order (deterministic; Emit order may
+  // differ from the serial first-occurrence order, which is fine — SQL
+  // group order is unspecified without ORDER BY).
+  for (auto& part : parts) {
+    for (auto& g : part.groups) groups_.push_back(std::move(g));
   }
   return Status::OK();
 }
@@ -153,7 +258,9 @@ Status HashAggOperator::ConsumeMerge() {
 
 Status HashAggOperator::Open() {
   PIXELS_RETURN_NOT_OK(child_->Open());
-  if (plan_.merge_partials) return ConsumeMerge();
+  if (plan_.merge_partials) return ConsumeMerge();  // small inputs: serial
+  const int par = ctx_ != nullptr ? ctx_->EffectiveParallelism() : 1;
+  if (par > 1) return ConsumeParallel(par);
   return Consume();
 }
 

@@ -11,10 +11,16 @@
 
 namespace pixels {
 
+/// At parallelism 1 the input is consumed streaming (one batch resident at
+/// a time). At parallelism N, input batches are collected, key/argument
+/// expressions are evaluated batch-parallel, and groups are built
+/// partition-parallel (partition = hash(key) % N); each partition scans
+/// rows in batch-then-row order, so group contents and emit order are
+/// deterministic.
 class HashAggOperator : public Operator {
  public:
-  HashAggOperator(OperatorPtr child, const LogicalPlan& plan)
-      : child_(std::move(child)), plan_(plan) {}
+  HashAggOperator(OperatorPtr child, const LogicalPlan& plan, ExecContext* ctx)
+      : child_(std::move(child)), plan_(plan), ctx_(ctx) {}
 
   Status Open() override;
   Result<RowBatchPtr> Next() override;
@@ -41,11 +47,17 @@ class HashAggOperator : public Operator {
   };
 
   Status Consume();
+  Status ConsumeParallel(int par);
   Status ConsumeMerge();
+  /// Applies one input row (precomputed agg argument values in `args`) to
+  /// the row's group state.
+  void UpdateGroup(Group* group, const std::vector<ColumnVectorPtr>& arg_cols,
+                   size_t row);
   Result<RowBatchPtr> Emit();
 
   OperatorPtr child_;
   const LogicalPlan& plan_;
+  ExecContext* ctx_;
   std::map<std::string, size_t> group_index_;
   std::vector<Group> groups_;
   bool emitted_ = false;

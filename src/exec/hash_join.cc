@@ -91,29 +91,67 @@ Status HashJoinOperator::BuildSide() {
     right_names_ = plan_.children[1]->OutputColumns();
     right_types_.assign(right_names_.size(), TypeId::kInt64);
   }
-  if (use_hash_) {
-    for (size_t bi = 0; bi < build_batches_.size(); ++bi) {
-      const RowBatch& batch = *build_batches_[bi];
-      std::vector<ColumnVectorPtr> key_cols;
-      for (const auto& k : right_keys_) {
-        PIXELS_ASSIGN_OR_RETURN(ColumnVectorPtr col, EvaluateExpr(*k, batch));
-        key_cols.push_back(std::move(col));
+  if (!use_hash_) return Status::OK();
+
+  const int par = ctx_ != nullptr ? ctx_->EffectiveParallelism() : 1;
+  ThreadPool* pool = ctx_ != nullptr ? ctx_->EffectivePool() : nullptr;
+
+  // Phase 1 (batch-parallel): evaluate key expressions and serialize each
+  // row's join key; empty string marks a null key (nulls never join).
+  std::vector<std::vector<std::string>> batch_keys(build_batches_.size());
+  auto compute_keys = [&](size_t bi) -> Status {
+    const RowBatch& batch = *build_batches_[bi];
+    std::vector<ColumnVectorPtr> key_cols;
+    for (const auto& k : right_keys_) {
+      PIXELS_ASSIGN_OR_RETURN(ColumnVectorPtr col, EvaluateExpr(*k, batch));
+      key_cols.push_back(std::move(col));
+    }
+    auto& keys = batch_keys[bi];
+    keys.resize(batch.num_rows());
+    for (size_t r = 0; r < batch.num_rows(); ++r) {
+      std::vector<Value> key;
+      bool has_null = false;
+      for (const auto& col : key_cols) {
+        Value v = col->GetValue(r);
+        has_null |= v.is_null();
+        key.push_back(std::move(v));
       }
-      for (size_t r = 0; r < batch.num_rows(); ++r) {
-        std::vector<Value> key;
-        bool has_null = false;
-        for (const auto& col : key_cols) {
-          Value v = col->GetValue(r);
-          has_null |= v.is_null();
-          key.push_back(std::move(v));
-        }
-        if (has_null) continue;  // nulls never join
-        hash_table_.emplace(ValuesKey(key),
-                            BuildRow{bi, static_cast<uint32_t>(r)});
+      if (!has_null) keys[r] = ValuesKey(key);
+    }
+    return Status::OK();
+  };
+
+  // Phase 2 (partition-parallel): each partition inserts its rows in
+  // batch-then-row order, so the table contents never depend on thread
+  // scheduling.
+  hash_parts_.assign(par > 1 ? static_cast<size_t>(par) : 1, {});
+  const size_t num_parts = hash_parts_.size();
+  std::hash<std::string> hasher;
+  auto build_partition = [&](size_t p) -> Status {
+    auto& part = hash_parts_[p];
+    for (size_t bi = 0; bi < build_batches_.size(); ++bi) {
+      const auto& keys = batch_keys[bi];
+      for (size_t r = 0; r < keys.size(); ++r) {
+        if (keys[r].empty()) continue;  // null key
+        if (hasher(keys[r]) % num_parts != p) continue;
+        part.emplace(keys[r], BuildRow{bi, static_cast<uint32_t>(r)});
       }
     }
+    return Status::OK();
+  };
+
+  if (par <= 1 || pool == nullptr) {
+    for (size_t bi = 0; bi < build_batches_.size(); ++bi) {
+      PIXELS_RETURN_NOT_OK(compute_keys(bi));
+    }
+    return build_partition(0);
   }
-  return Status::OK();
+  PIXELS_RETURN_NOT_OK(pool->ParallelFor(
+      0, build_batches_.size(), /*grain=*/1,
+      [&](size_t bi) { return compute_keys(bi); }, par));
+  return pool->ParallelFor(
+      0, num_parts, /*grain=*/1,
+      [&](size_t p) { return build_partition(p); }, par);
 }
 
 Status HashJoinOperator::Open() {
@@ -162,7 +200,10 @@ Result<RowBatchPtr> HashJoinOperator::Next() {
         }
         bool matched = false;
         if (!has_null) {
-          auto range = hash_table_.equal_range(ValuesKey(key));
+          const std::string k = ValuesKey(key);
+          const auto& part =
+              hash_parts_[std::hash<std::string>{}(k) % hash_parts_.size()];
+          auto range = part.equal_range(k);
           for (auto it = range.first; it != range.second; ++it) {
             emit_pair(static_cast<uint32_t>(r), &it->second);
             matched = true;
@@ -223,7 +264,7 @@ void HashJoinOperator::Close() {
   left_->Close();
   right_->Close();
   build_batches_.clear();
-  hash_table_.clear();
+  hash_parts_.clear();
 }
 
 }  // namespace pixels

@@ -10,11 +10,21 @@
 namespace pixels {
 
 /// Joins children[0] (probe/left) with children[1] (build/right).
+///
+/// The build side is partitioned by key hash: key expressions are
+/// evaluated batch-parallel, then each of the P partitions builds its own
+/// table in parallel (P = the query's parallelism degree). Insertion
+/// order within a partition is batch-then-row order regardless of thread
+/// scheduling, so results are deterministic; P = 1 reproduces the serial
+/// single-table build exactly.
 class HashJoinOperator : public Operator {
  public:
   HashJoinOperator(OperatorPtr left, OperatorPtr right,
-                   const LogicalPlan& plan)
-      : left_(std::move(left)), right_(std::move(right)), plan_(plan) {}
+                   const LogicalPlan& plan, ExecContext* ctx)
+      : left_(std::move(left)),
+        right_(std::move(right)),
+        plan_(plan),
+        ctx_(ctx) {}
 
   Status Open() override;
   Result<RowBatchPtr> Next() override;
@@ -32,9 +42,11 @@ class HashJoinOperator : public Operator {
   OperatorPtr left_;
   OperatorPtr right_;
   const LogicalPlan& plan_;
+  ExecContext* ctx_;
 
   std::vector<RowBatchPtr> build_batches_;
-  std::unordered_multimap<std::string, BuildRow> hash_table_;
+  /// Hash table partitioned by std::hash(key) % hash_parts_.size().
+  std::vector<std::unordered_multimap<std::string, BuildRow>> hash_parts_;
   bool keys_extracted_ = false;
   std::vector<ExprPtr> left_keys_;
   std::vector<ExprPtr> right_keys_;

@@ -1,21 +1,37 @@
 // Pull-based (Volcano-style, vectorized) physical operator interface.
 #pragma once
 
+#include <atomic>
 #include <memory>
 
 #include "catalog/catalog.h"
+#include "common/thread_pool.h"
 #include "format/batch.h"
 
 namespace pixels {
 
-/// Shared execution state: catalog access plus scan accounting that feeds
-/// billing ($/TB-scan) and the benches.
+/// Shared execution state: catalog access, the query's parallelism policy,
+/// and scan accounting that feeds billing ($/TB-scan) and the benches.
+/// Scan counters are atomic so concurrent morsels and CF workers can bill
+/// into one context without losing updates.
 struct ExecContext {
   Catalog* catalog = nullptr;
   /// Encoded bytes fetched from storage by scans in this query.
-  uint64_t bytes_scanned = 0;
+  std::atomic<uint64_t> bytes_scanned{0};
   /// Rows produced by scans (post zone-map pruning, pre filtering).
-  uint64_t rows_scanned = 0;
+  std::atomic<uint64_t> rows_scanned{0};
+  /// Degree of intra-query parallelism: 0 = DefaultParallelism(),
+  /// 1 = fully serial (deterministic single-thread execution).
+  int parallelism = 0;
+  /// Pool to run on; null = the process-wide ThreadPool::Shared().
+  ThreadPool* pool = nullptr;
+
+  int EffectiveParallelism() const {
+    return parallelism > 0 ? parallelism : DefaultParallelism();
+  }
+  ThreadPool* EffectivePool() const {
+    return pool != nullptr ? pool : ThreadPool::Shared();
+  }
 };
 
 /// A physical operator producing a stream of row batches.

@@ -29,32 +29,90 @@ Status ScanOperator::Open() {
                           ctx_->catalog->GetTable(plan_.db, plan_.table));
   const std::vector<std::string>& files =
       plan_.file_subset.empty() ? schema->files : plan_.file_subset;
-  ScanOptions options;
-  options.columns = plan_.columns;
-  options.predicates = plan_.pushed;
-  const std::string& qualifier =
-      plan_.table_alias.empty() ? plan_.table : plan_.table_alias;
+  columns_ = plan_.columns;
+  qualifier_ = plan_.table_alias.empty() ? plan_.table : plan_.table_alias;
+  // Metadata only: open footers and prune row groups; no chunk is fetched
+  // or decoded until Next() demands its morsel.
   for (const auto& path : files) {
     PIXELS_ASSIGN_OR_RETURN(auto reader,
                             PixelsReader::Open(ctx_->catalog->storage(), path));
-    PIXELS_ASSIGN_OR_RETURN(auto batches, reader->Scan(options));
-    ctx_->bytes_scanned += reader->scan_stats().bytes_scanned;
-    ctx_->rows_scanned += reader->scan_stats().rows_read;
-    for (auto& b : batches) {
-      // Qualify column names with the scan alias.
-      auto qualified = std::make_shared<RowBatch>();
-      for (size_t c = 0; c < b->num_columns(); ++c) {
-        qualified->AddColumn(qualifier + "." + b->name(c), b->column(c));
-      }
-      batches_.push_back(std::move(qualified));
+    for (size_t g : reader->PruneRowGroups(plan_.pushed)) {
+      morsels_.push_back(Morsel{readers_.size(), g});
     }
+    readers_.push_back(std::move(reader));
+  }
+  return Status::OK();
+}
+
+Result<RowBatchPtr> ScanOperator::DecodeMorsel(const Morsel& morsel,
+                                               ScanStats* stats) const {
+  PIXELS_ASSIGN_OR_RETURN(
+      RowBatchPtr batch,
+      readers_[morsel.reader_index]->ReadRowGroup(morsel.row_group, columns_,
+                                                  stats));
+  stats->rows_read += batch->num_rows();
+  // Qualify column names with the scan alias.
+  auto qualified = std::make_shared<RowBatch>();
+  for (size_t c = 0; c < batch->num_columns(); ++c) {
+    qualified->AddColumn(qualifier_ + "." + batch->name(c), batch->column(c));
+  }
+  return qualified;
+}
+
+Status ScanOperator::RefillWindow() {
+  window_.clear();
+  window_pos_ = 0;
+  if (next_morsel_ >= morsels_.size()) return Status::OK();
+  const int par = ctx_->EffectiveParallelism();
+  const size_t remaining = morsels_.size() - next_morsel_;
+  if (par <= 1) {
+    // Serial: stream exactly one morsel — constant memory regardless of
+    // table size, and early-terminating consumers (LIMIT) bill only what
+    // they actually decoded.
+    ScanStats stats;
+    PIXELS_ASSIGN_OR_RETURN(RowBatchPtr batch,
+                            DecodeMorsel(morsels_[next_morsel_], &stats));
+    ++next_morsel_;
+    ctx_->bytes_scanned += stats.bytes_scanned;
+    ctx_->rows_scanned += stats.rows_read;
+    window_.push_back(std::move(batch));
+    return Status::OK();
+  }
+  // Parallel: decode a window of morsels concurrently. Slot-indexed
+  // outputs keep batch order identical to the serial scan; per-morsel
+  // stats merged in order keep billing exact and deterministic.
+  const size_t window = std::min(remaining, static_cast<size_t>(par) * 2);
+  window_.resize(window);
+  std::vector<ScanStats> stats(window);
+  const size_t base = next_morsel_;
+  PIXELS_RETURN_NOT_OK(ctx_->EffectivePool()->ParallelFor(
+      0, window, /*grain=*/1,
+      [&](size_t i) -> Status {
+        PIXELS_ASSIGN_OR_RETURN(window_[i],
+                                DecodeMorsel(morsels_[base + i], &stats[i]));
+        return Status::OK();
+      },
+      par));
+  next_morsel_ += window;
+  for (const auto& s : stats) {
+    ctx_->bytes_scanned += s.bytes_scanned;
+    ctx_->rows_scanned += s.rows_read;
   }
   return Status::OK();
 }
 
 Result<RowBatchPtr> ScanOperator::Next() {
-  if (next_ >= batches_.size()) return RowBatchPtr(nullptr);
-  return batches_[next_++];
+  if (window_pos_ >= window_.size()) {
+    PIXELS_RETURN_NOT_OK(RefillWindow());
+    if (window_.empty()) return RowBatchPtr(nullptr);
+  }
+  return window_[window_pos_++];
+}
+
+void ScanOperator::Close() {
+  window_.clear();
+  readers_.clear();
+  morsels_.clear();
 }
 
 Result<RowBatchPtr> FilterOperator::Next() {

@@ -12,6 +12,12 @@ namespace pixels {
 
 /// Scans a base table through the Pixels readers: projection + zone-map
 /// pruning, output columns qualified with the scan alias.
+///
+/// Morsel-driven: Open() only opens file footers and prunes row groups;
+/// each surviving row group is one morsel, decoded on demand from Next().
+/// At parallelism 1 exactly one morsel is resident at a time (no O(table)
+/// buffering); at parallelism N a sliding window of morsels is decoded
+/// concurrently on the pool, preserving serial batch order and billing.
 class ScanOperator : public Operator {
  public:
   ScanOperator(const LogicalPlan& scan, ExecContext* ctx)
@@ -19,12 +25,27 @@ class ScanOperator : public Operator {
 
   Status Open() override;
   Result<RowBatchPtr> Next() override;
+  void Close() override;
 
  private:
+  /// One unit of scan work: a surviving row group of one file.
+  struct Morsel {
+    size_t reader_index;
+    size_t row_group;
+  };
+
+  Result<RowBatchPtr> DecodeMorsel(const Morsel& morsel, ScanStats* stats) const;
+  Status RefillWindow();
+
   const LogicalPlan& plan_;
   ExecContext* ctx_;
-  std::vector<RowBatchPtr> batches_;
-  size_t next_ = 0;
+  std::string qualifier_;
+  std::vector<std::string> columns_;
+  std::vector<std::unique_ptr<PixelsReader>> readers_;
+  std::vector<Morsel> morsels_;
+  size_t next_morsel_ = 0;
+  std::vector<RowBatchPtr> window_;  // decoded, not yet emitted
+  size_t window_pos_ = 0;
 };
 
 /// Emits only rows whose predicate evaluates to true (SQL semantics:

@@ -50,6 +50,12 @@ Result<ColumnStats> PixelsReader::FileStats(const std::string& column) const {
 
 Result<RowBatchPtr> PixelsReader::ReadRowGroup(
     size_t index, const std::vector<std::string>& columns) {
+  return ReadRowGroup(index, columns, &scan_stats_);
+}
+
+Result<RowBatchPtr> PixelsReader::ReadRowGroup(
+    size_t index, const std::vector<std::string>& columns,
+    ScanStats* stats) const {
   if (index >= footer_.row_groups.size()) {
     return Status::InvalidArgument("row group index out of range");
   }
@@ -71,7 +77,7 @@ Result<RowBatchPtr> PixelsReader::ReadRowGroup(
     PIXELS_ASSIGN_OR_RETURN(
         std::vector<uint8_t> bytes,
         storage_->ReadRange(path_, chunk.offset, chunk.length));
-    scan_stats_.bytes_scanned += bytes.size();
+    stats->bytes_scanned += bytes.size();
     ByteReader reader(bytes);
     PIXELS_ASSIGN_OR_RETURN(
         ColumnVectorPtr col,
@@ -81,6 +87,17 @@ Result<RowBatchPtr> PixelsReader::ReadRowGroup(
                      std::move(col));
   }
   return batch;
+}
+
+std::vector<size_t> PixelsReader::PruneRowGroups(
+    const std::vector<ScanPredicate>& predicates) const {
+  std::vector<size_t> survivors;
+  for (size_t g = 0; g < footer_.row_groups.size(); ++g) {
+    if (RowGroupMayMatch(footer_.row_groups[g], predicates)) {
+      survivors.push_back(g);
+    }
+  }
+  return survivors;
 }
 
 bool PixelsReader::RowGroupMayMatch(
@@ -104,6 +121,37 @@ Result<std::vector<RowBatchPtr>> PixelsReader::Scan(const ScanOptions& options) 
     ++scan_stats_.row_groups_read;
     scan_stats_.rows_read += batch->num_rows();
     out.push_back(std::move(batch));
+  }
+  return out;
+}
+
+Result<std::vector<RowBatchPtr>> PixelsReader::Scan(const ScanOptions& options,
+                                                    ThreadPool* pool,
+                                                    int parallelism) {
+  if (parallelism <= 0) parallelism = DefaultParallelism();
+  if (pool == nullptr || parallelism <= 1) return Scan(options);
+
+  const std::vector<size_t> survivors = PruneRowGroups(options.predicates);
+  std::vector<RowBatchPtr> out(survivors.size());
+  std::vector<ScanStats> morsel_stats(survivors.size());
+  PIXELS_RETURN_NOT_OK(pool->ParallelFor(
+      0, survivors.size(), /*grain=*/1,
+      [&](size_t i) -> Status {
+        PIXELS_ASSIGN_OR_RETURN(
+            out[i],
+            ReadRowGroup(survivors[i], options.columns, &morsel_stats[i]));
+        morsel_stats[i].row_groups_read = 1;
+        morsel_stats[i].rows_read = out[i]->num_rows();
+        return Status::OK();
+      },
+      parallelism));
+  // Merge in morsel order: totals match the serial scan exactly.
+  scan_stats_ = ScanStats{};
+  scan_stats_.row_groups_total = footer_.row_groups.size();
+  for (const auto& s : morsel_stats) {
+    scan_stats_.row_groups_read += s.row_groups_read;
+    scan_stats_.rows_read += s.rows_read;
+    scan_stats_.bytes_scanned += s.bytes_scanned;
   }
   return out;
 }

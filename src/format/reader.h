@@ -5,6 +5,7 @@
 #include <memory>
 #include <optional>
 
+#include "common/thread_pool.h"
 #include "format/batch.h"
 #include "format/file_format.h"
 #include "storage/storage.h"
@@ -33,6 +34,13 @@ struct ScanStats {
   uint64_t row_groups_read = 0;
   uint64_t rows_read = 0;
   uint64_t bytes_scanned = 0;  // encoded chunk bytes actually fetched
+
+  void Merge(const ScanStats& other) {
+    row_groups_total += other.row_groups_total;
+    row_groups_read += other.row_groups_read;
+    rows_read += other.rows_read;
+    bytes_scanned += other.bytes_scanned;
+  }
 };
 
 /// Random-access reader over one Pixels file.
@@ -50,14 +58,35 @@ class PixelsReader {
   Result<ColumnStats> FileStats(const std::string& column) const;
 
   /// Reads one row group with projection; `options.predicates` are NOT
-  /// applied row-wise here — only used by `Scan` for pruning.
+  /// applied row-wise here — only used by `Scan` for pruning. Accumulates
+  /// fetched chunk bytes into `scan_stats()`.
   Result<RowBatchPtr> ReadRowGroup(size_t index,
                                    const std::vector<std::string>& columns);
+
+  /// Thread-safe variant: accumulates into the caller-supplied `stats`
+  /// instead of the reader's internal counters. Concurrent calls with
+  /// distinct `stats` objects are safe (this is the morsel entry point of
+  /// the parallel scan path).
+  Result<RowBatchPtr> ReadRowGroup(size_t index,
+                                   const std::vector<std::string>& columns,
+                                   ScanStats* stats) const;
+
+  /// Indices of row groups whose zone maps may match `predicates`, in
+  /// file order. Pure metadata; thread-safe.
+  std::vector<size_t> PruneRowGroups(
+      const std::vector<ScanPredicate>& predicates) const;
 
   /// Scans the whole file: prunes row groups whose zone maps cannot match
   /// the predicates, reads remaining ones with projection. Returns the
   /// surviving batches; exact filtering is the executor's job.
   Result<std::vector<RowBatchPtr>> Scan(const ScanOptions& options);
+
+  /// Parallel scan: surviving row groups are decoded concurrently on
+  /// `pool` (one morsel per row group), up to `parallelism` at a time
+  /// (<= 1 degenerates to the serial scan). Batch order and scan_stats()
+  /// totals are identical to the serial scan.
+  Result<std::vector<RowBatchPtr>> Scan(const ScanOptions& options,
+                                        ThreadPool* pool, int parallelism);
 
   /// Stats of the most recent Scan.
   const ScanStats& scan_stats() const { return scan_stats_; }
@@ -78,7 +107,7 @@ class PixelsReader {
   std::string path_;
   FileFooter footer_;
   uint64_t file_size_;
-  ScanStats scan_stats_;
+  ScanStats scan_stats_;  // not touched by the const/thread-safe paths
 };
 
 }  // namespace pixels

@@ -9,6 +9,7 @@ double ObjectStore::EstimateReadLatencyMs(uint64_t bytes) const {
 }
 
 void ObjectStore::RecordGet(uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.get_requests;
   stats_.bytes_read += bytes;
   stats_.simulated_read_ms += EstimateReadLatencyMs(bytes);
@@ -33,6 +34,7 @@ Status ObjectStore::Write(const std::string& path,
                           const std::vector<uint8_t>& data) {
   Status s = inner_->Write(path, data);
   if (s.ok()) {
+    std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.put_requests;
     stats_.bytes_written += data.size();
     stats_.request_cost_usd += params_.put_price_per_1000 / 1000.0;

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 
 #include "storage/storage.h"
 
@@ -50,8 +51,16 @@ class ObjectStore : public Storage {
   Status Delete(const std::string& path) override;
   bool Exists(const std::string& path) override;
 
-  const ObjectStoreStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = ObjectStoreStats{}; }
+  /// Snapshot of the usage counters (consistent under concurrent access;
+  /// concurrent CF workers share one store).
+  ObjectStoreStats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+  }
+  void ResetStats() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_ = ObjectStoreStats{};
+  }
 
   /// Simulated latency of reading `bytes` in one request, in milliseconds.
   double EstimateReadLatencyMs(uint64_t bytes) const;
@@ -61,6 +70,7 @@ class ObjectStore : public Storage {
 
   std::shared_ptr<Storage> inner_;
   ObjectStoreParams params_;
+  mutable std::mutex mutex_;
   ObjectStoreStats stats_;
 };
 

@@ -1,5 +1,8 @@
 #include "turbo/cf_worker.h"
 
+#include <chrono>
+
+#include "common/thread_pool.h"
 #include "exec/executor.h"
 #include "format/writer.h"
 
@@ -58,14 +61,21 @@ Result<CfExecution> ExecuteWithCfPushdown(const PlanPtr& plan,
   out.workers_used = static_cast<int>(worker_plans.size());
   out.pushdown_used = true;
 
-  // Each worker executes its partition; results concatenate into the view.
-  auto view = std::make_shared<Table>();
-  for (size_t w = 0; w < worker_plans.size(); ++w) {
+  // Each worker executes its partition concurrently on the shared pool;
+  // results land in index-addressed slots, so the view concatenation and
+  // the billing totals are identical to a serial fleet.
+  const auto fleet_start = std::chrono::steady_clock::now();
+  std::vector<TablePtr> parts(worker_plans.size());
+  std::vector<uint64_t> worker_bytes(worker_plans.size(), 0);
+  out.worker_elapsed_seconds.assign(worker_plans.size(), 0.0);
+  auto run_worker = [&](size_t w) -> Status {
+    const auto start = std::chrono::steady_clock::now();
     ExecContext worker_ctx;
     worker_ctx.catalog = catalog;
+    worker_ctx.parallelism = std::max(options.worker_parallelism, 1);
     PIXELS_ASSIGN_OR_RETURN(TablePtr part,
                             ExecutePlan(worker_plans[w], &worker_ctx));
-    out.bytes_scanned += worker_ctx.bytes_scanned;
+    worker_bytes[w] = worker_ctx.bytes_scanned;
     if (options.intermediate_store != nullptr) {
       // Worker results land in object storage (paper: S3) and the
       // top-level plan reads them back.
@@ -74,7 +84,28 @@ Result<CfExecution> ExecuteWithCfPushdown(const PlanPtr& plan,
                               options.view_prefix + "." + std::to_string(w) +
                                   ".pxl"));
     }
-    for (const auto& batch : part->batches()) view->AddBatch(batch);
+    parts[w] = std::move(part);
+    out.worker_elapsed_seconds[w] =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    return Status::OK();
+  };
+  const int fleet_par = options.fleet_parallelism > 0
+                            ? options.fleet_parallelism
+                            : DefaultParallelism();
+  PIXELS_RETURN_NOT_OK(ThreadPool::Shared()->ParallelFor(
+      0, worker_plans.size(), /*grain=*/1,
+      [&](size_t w) { return run_worker(w); }, fleet_par));
+  out.fleet_elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    fleet_start)
+          .count();
+
+  // Merge per-worker counters and views in partition order.
+  auto view = std::make_shared<Table>();
+  for (size_t w = 0; w < worker_plans.size(); ++w) {
+    out.bytes_scanned += worker_bytes[w];
+    for (const auto& batch : parts[w]->batches()) view->AddBatch(batch);
   }
   out.view = view;
   out.work_vcpu_seconds = static_cast<double>(out.bytes_scanned) /

@@ -18,6 +18,14 @@ struct CfExecution {
   bool pushdown_used = false;
   /// Per-worker vCPU-seconds estimate derived from bytes (for billing).
   double work_vcpu_seconds = 0;
+  /// Measured wall-clock seconds of each worker's sub-plan (index =
+  /// partition index).
+  std::vector<double> worker_elapsed_seconds;
+  /// Measured wall-clock seconds from first worker start to last worker
+  /// finish. With a concurrent fleet this is less than the sum of
+  /// worker_elapsed_seconds — the overlap the paper's sub-second CF
+  /// absorption story depends on.
+  double fleet_elapsed_seconds = 0;
 };
 
 /// Options for CF execution.
@@ -30,6 +38,14 @@ struct CfWorkerOptions {
   std::string view_prefix = "intermediate/view";
   /// Scan throughput per vCPU used to convert bytes to work (bytes/s).
   double bytes_per_vcpu_second = 100e6;
+  /// How many workers genuinely run concurrently on the shared pool:
+  /// 0 = DefaultParallelism(), 1 = serial fleet (today's deterministic
+  /// discrete-event-simulation behavior).
+  int fleet_parallelism = 0;
+  /// Intra-worker parallelism for each worker's own sub-plan (scans,
+  /// builds). Workers default to serial so fleet-level concurrency is the
+  /// unit of scaling, mirroring 1-vCPU cloud functions.
+  int worker_parallelism = 1;
 };
 
 /// Executes `plan` with the sub-plan pushed down to a simulated CF worker

@@ -1,0 +1,139 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace pixels {
+namespace {
+
+TEST(ThreadPoolTest, SubmitRunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.Submit([&done] { done.fetch_add(1); });
+  }
+  // Drain: the caller helps until everything queued has run.
+  while (pool.Help()) {
+  }
+  // Workers may still be mid-task; ParallelFor below acts as a barrier in
+  // other tests, here just spin briefly.
+  while (done.load() < 64) {
+  }
+  EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  Status st = pool.ParallelFor(
+      0, hits.size(), /*grain=*/7,
+      [&](size_t i) {
+        hits[i].fetch_add(1);
+        return Status::OK();
+      },
+      4);
+  ASSERT_TRUE(st.ok());
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForSerialWhenParallelismOne) {
+  ThreadPool pool(4);
+  // With max_parallelism = 1 the body runs inline in index order.
+  std::vector<size_t> order;
+  Status st = pool.ParallelFor(
+      5, 15, /*grain=*/3,
+      [&](size_t i) {
+        order.push_back(i);  // no synchronization needed: serial
+        return Status::OK();
+      },
+      1);
+  ASSERT_TRUE(st.ok());
+  std::vector<size_t> expect(10);
+  std::iota(expect.begin(), expect.end(), 5);
+  EXPECT_EQ(order, expect);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesFirstError) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  Status st = pool.ParallelFor(
+      0, 100, /*grain=*/1,
+      [&](size_t i) -> Status {
+        ran.fetch_add(1);
+        if (i == 17) return Status::InvalidArgument("morsel 17 is bad");
+        return Status::OK();
+      },
+      4);
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+  EXPECT_NE(st.ToString().find("morsel 17"), std::string::npos);
+}
+
+TEST(ThreadPoolTest, ParallelForCapturesExceptionsAsInternal) {
+  ThreadPool pool(2);
+  Status st = pool.ParallelFor(
+      0, 8, /*grain=*/1,
+      [&](size_t i) -> Status {
+        if (i == 3) throw std::runtime_error("boom");
+        return Status::OK();
+      },
+      2);
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsInternal()) << st.ToString();
+  EXPECT_NE(st.ToString().find("boom"), std::string::npos);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  // More outer tasks than pool threads, each running an inner
+  // ParallelFor on the same pool: completes only because callers
+  // participate in their own ranges.
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  Status st = pool.ParallelFor(
+      0, 8, /*grain=*/1,
+      [&](size_t) {
+        return pool.ParallelFor(
+            0, 16, /*grain=*/1,
+            [&](size_t) {
+              inner_total.fetch_add(1);
+              return Status::OK();
+            },
+            4);
+      },
+      8);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(inner_total.load(), 8 * 16);
+}
+
+TEST(ThreadPoolTest, DefaultParallelismOverride) {
+  const int hw = DefaultParallelism();
+  EXPECT_GE(hw, 1);
+  SetDefaultParallelism(3);
+  EXPECT_EQ(DefaultParallelism(), 3);
+  SetDefaultParallelism(0);
+  EXPECT_EQ(DefaultParallelism(), hw);
+}
+
+TEST(ThreadPoolTest, SharedPoolIsUsableAndStable) {
+  ThreadPool* a = ThreadPool::Shared();
+  ThreadPool* b = ThreadPool::Shared();
+  EXPECT_EQ(a, b);
+  EXPECT_GE(a->num_threads(), 1);
+  std::atomic<int> n{0};
+  Status st = a->ParallelFor(
+      0, 32, 1,
+      [&](size_t) {
+        n.fetch_add(1);
+        return Status::OK();
+      },
+      4);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(n.load(), 32);
+}
+
+}  // namespace
+}  // namespace pixels

@@ -155,6 +155,46 @@ TEST_F(CfWorkerTest, DistinctAggregatePushdownMatchesDirect) {
   EXPECT_EQ(Rows(*direct), Rows(*exec->result));
 }
 
+TEST_F(CfWorkerTest, ConcurrentFleetMatchesSerialFleet) {
+  auto storage = std::make_shared<MemoryStore>();
+  auto catalog = std::make_shared<Catalog>(storage);
+  TpchOptions topt;
+  topt.scale_factor = 0.002;
+  topt.rows_per_file = 2000;
+  ASSERT_TRUE(GenerateTpch(catalog.get(), "tpch", topt).ok());
+
+  const std::string sql =
+      "SELECT l_returnflag, sum(l_extendedprice) AS rev, count(*) AS n FROM "
+      "lineitem GROUP BY l_returnflag ORDER BY l_returnflag";
+  CfWorkerOptions serial_opts;
+  serial_opts.num_workers = 6;
+  serial_opts.fleet_parallelism = 1;
+  serial_opts.intermediate_store = storage.get();
+  serial_opts.view_prefix = "intermediate/serial";
+  auto serial = ExecuteWithCfPushdown(Plan(sql, catalog.get(), "tpch"),
+                                      catalog.get(), serial_opts);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+
+  CfWorkerOptions par_opts = serial_opts;
+  par_opts.fleet_parallelism = 6;
+  par_opts.view_prefix = "intermediate/parallel";
+  auto parallel = ExecuteWithCfPushdown(Plan(sql, catalog.get(), "tpch"),
+                                        catalog.get(), par_opts);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+
+  EXPECT_GT(parallel->workers_used, 1);
+  EXPECT_EQ(parallel->workers_used, serial->workers_used);
+  EXPECT_EQ(Rows(*serial->result), Rows(*parallel->result));
+  EXPECT_EQ(serial->bytes_scanned, parallel->bytes_scanned);
+  // Both fleets report per-worker wall times and views made it to storage.
+  ASSERT_EQ(parallel->worker_elapsed_seconds.size(),
+            static_cast<size_t>(parallel->workers_used));
+  for (double t : parallel->worker_elapsed_seconds) EXPECT_GE(t, 0.0);
+  auto views = storage->List("intermediate/parallel");
+  ASSERT_TRUE(views.ok());
+  EXPECT_EQ(views->size(), static_cast<size_t>(parallel->workers_used));
+}
+
 TEST_F(CfWorkerTest, WorkEstimateDerivedFromBytes) {
   const std::string sql = "SELECT count(*) FROM emp";
   CfWorkerOptions options;
