@@ -3,18 +3,26 @@
 // The substrate behind $/TB-scan billing: encoding/decoding throughput of
 // every chunk encoding, full-scan vs projected-scan vs zone-map-pruned
 // scan throughput of the .pxl reader, and writer throughput.
+// Run with --coalescing-smoke (no google-benchmark flags) for a pass/fail
+// check of the buffered I/O layer: coalescing must cut GETs >= 4x and a
+// warm-cache re-scan must issue zero GETs, with identical billed bytes.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdio>
+#include <cstring>
 #include <thread>
 
 #include "catalog/catalog.h"
+#include "cloud/pricing.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
 #include "exec/executor.h"
+#include "format/footer_cache.h"
 #include "format/reader.h"
 #include "format/writer.h"
 #include "storage/memory_store.h"
+#include "storage/object_store.h"
 #include "workload/tpch.h"
 
 namespace pixels {
@@ -237,6 +245,84 @@ void BM_ScanParallelColdStore(benchmark::State& state) {
 BENCHMARK(BM_ScanParallelColdStore)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
+// --- buffered I/O layer: GET counts under coalescing and caching ---
+
+/// Projection of schema-interleaved columns: the gaps between projected
+/// chunks are other columns' chunks, so a zero-gap plan pays one GET per
+/// chunk while a gap-tolerant plan merges whole row groups.
+const std::vector<std::string>& InterleavedProjection() {
+  static const std::vector<std::string> columns = {
+      "l_orderkey", "l_suppkey",     "l_quantity",
+      "l_discount", "l_returnflag",  "l_shipdate"};
+  return columns;
+}
+
+/// One projected serial scan; returns stats via out-params.
+void ProjectedScan(Storage* storage, const std::string& path,
+                   const IoOptions& io, uint64_t* bytes_scanned) {
+  ScanOptions options;
+  options.columns = InterleavedProjection();
+  auto reader = PixelsReader::Open(storage, path, io);
+  auto batches = (*reader)->Scan(options);
+  benchmark::DoNotOptimize(batches);
+  if (bytes_scanned != nullptr) {
+    *bytes_scanned = (*reader)->scan_stats().bytes_scanned;
+  }
+}
+
+void BM_ScanProjectedGetSweep(benchmark::State& state) {
+  auto& f = ScanFixture::Get();
+  auto table = f.catalog->GetTable("tpch", "lineitem");
+  auto counting = std::make_shared<ObjectStore>(f.storage);
+  IoOptions io;
+  io.use_footer_cache = false;
+  io.coalesce_gap_bytes = static_cast<uint64_t>(state.range(0));
+  uint64_t bytes = 0;
+  for (auto _ : state) {
+    uint64_t scanned = 0;
+    ProjectedScan(counting.get(), (*table)->files[0], io, &scanned);
+    bytes += scanned;
+  }
+  const auto& stats = counting->stats();
+  state.counters["gets_per_scan"] = benchmark::Counter(
+      static_cast<double>(stats.get_requests), benchmark::Counter::kAvgIterations);
+  state.counters["gap_kb_per_scan"] = benchmark::Counter(
+      static_cast<double>(stats.gap_bytes_fetched) / 1024.0,
+      benchmark::Counter::kAvgIterations);
+  PricingModel pricing;
+  state.counters["get_cost_usd_per_scan"] = benchmark::Counter(
+      pricing.ObjectStoreGetCost(stats.get_requests),
+      benchmark::Counter::kAvgIterations);
+  state.SetBytesProcessed(static_cast<int64_t>(bytes));
+  state.SetLabel("gap=" + std::to_string(state.range(0)) + "B");
+}
+BENCHMARK(BM_ScanProjectedGetSweep)
+    ->Arg(0)->Arg(4 << 10)->Arg(64 << 10)->Arg(256 << 10)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ScanWarmChunkCache(benchmark::State& state) {
+  auto& f = ScanFixture::Get();
+  auto table = f.catalog->GetTable("tpch", "lineitem");
+  auto counting = std::make_shared<ObjectStore>(f.storage);
+  BufferCache cache(256ULL << 20);
+  IoOptions io;
+  io.chunk_cache = &cache;
+  // Warm-up scan fills the footer and chunk caches.
+  ProjectedScan(counting.get(), (*table)->files[0], io, nullptr);
+  const uint64_t gets_after_warmup = counting->stats().get_requests;
+  uint64_t bytes = 0;
+  for (auto _ : state) {
+    uint64_t scanned = 0;
+    ProjectedScan(counting.get(), (*table)->files[0], io, &scanned);
+    bytes += scanned;
+  }
+  // Warm re-scans are GET-free: 0 for Open (footer cache), 0 for chunks.
+  state.counters["warm_gets"] = benchmark::Counter(
+      static_cast<double>(counting->stats().get_requests - gets_after_warmup));
+  state.SetBytesProcessed(static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_ScanWarmChunkCache)->Unit(benchmark::kMillisecond);
+
 void BM_WriteLineitemFile(benchmark::State& state) {
   Random rng(3);
   FileSchema schema = {{"a", TypeId::kInt64},
@@ -270,7 +356,101 @@ void BM_EndToEndQ6(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndQ6);
 
+/// CI smoke check (exit 0 = pass): projected lineitem scans over a
+/// GET-counting object store must show coalescing cutting GETs >= 4x and
+/// a warm-cache re-scan issuing zero GETs, with `bytes_scanned` identical
+/// across plain / coalesced / cold / warm runs (billing exactness).
+int RunCoalescingSmoke() {
+  auto& f = ScanFixture::Get();
+  auto table = f.catalog->GetTable("tpch", "lineitem");
+  if (!table.ok()) {
+    std::fprintf(stderr, "smoke: fixture failed: %s\n",
+                 table.status().ToString().c_str());
+    return 1;
+  }
+  const std::string path = (*table)->files[0];
+  FooterCache::Shared()->Clear();
+
+  // Plain: zero gap tolerance, no caches — one GET per projected chunk.
+  auto plain_store = std::make_shared<ObjectStore>(f.storage);
+  IoOptions plain_io;
+  plain_io.use_footer_cache = false;
+  plain_io.coalesce_gap_bytes = 0;
+  uint64_t plain_bytes = 0;
+  ProjectedScan(plain_store.get(), path, plain_io, &plain_bytes);
+  const uint64_t plain_gets = plain_store->stats().get_requests;
+
+  // Coalesced: default gap tolerance, still uncached.
+  auto coalesced_store = std::make_shared<ObjectStore>(f.storage);
+  IoOptions coalesced_io;
+  coalesced_io.use_footer_cache = false;
+  uint64_t coalesced_bytes = 0;
+  ProjectedScan(coalesced_store.get(), path, coalesced_io, &coalesced_bytes);
+  const uint64_t coalesced_gets = coalesced_store->stats().get_requests;
+  const uint64_t gap_bytes = coalesced_store->stats().gap_bytes_fetched;
+
+  // Cached: cold scan fills footer + chunk caches, warm re-scan is free.
+  auto cached_store = std::make_shared<ObjectStore>(f.storage);
+  BufferCache cache(256ULL << 20);
+  IoOptions cached_io;
+  cached_io.chunk_cache = &cache;
+  uint64_t cold_bytes = 0, warm_bytes = 0;
+  ProjectedScan(cached_store.get(), path, cached_io, &cold_bytes);
+  const uint64_t cold_gets = cached_store->stats().get_requests;
+  ProjectedScan(cached_store.get(), path, cached_io, &warm_bytes);
+  const uint64_t warm_gets = cached_store->stats().get_requests - cold_gets;
+
+  PricingModel pricing;
+  std::printf(
+      "coalescing-smoke: plain_gets=%llu coalesced_gets=%llu (%.1fx) "
+      "gap_kb=%.1f cold_gets=%llu warm_gets=%llu\n"
+      "                  bytes_scanned plain=%llu coalesced=%llu cold=%llu "
+      "warm=%llu  get_cost plain=$%.7f coalesced=$%.7f\n",
+      static_cast<unsigned long long>(plain_gets),
+      static_cast<unsigned long long>(coalesced_gets),
+      coalesced_gets > 0 ? static_cast<double>(plain_gets) /
+                               static_cast<double>(coalesced_gets)
+                         : 0.0,
+      static_cast<double>(gap_bytes) / 1024.0,
+      static_cast<unsigned long long>(cold_gets),
+      static_cast<unsigned long long>(warm_gets),
+      static_cast<unsigned long long>(plain_bytes),
+      static_cast<unsigned long long>(coalesced_bytes),
+      static_cast<unsigned long long>(cold_bytes),
+      static_cast<unsigned long long>(warm_bytes),
+      pricing.ObjectStoreGetCost(plain_gets),
+      pricing.ObjectStoreGetCost(coalesced_gets));
+
+  int failures = 0;
+  if (coalesced_gets == 0 || plain_gets < 4 * coalesced_gets) {
+    std::fprintf(stderr, "FAIL: coalescing cut GETs < 4x\n");
+    ++failures;
+  }
+  if (warm_gets != 0) {
+    std::fprintf(stderr, "FAIL: warm re-scan issued GETs\n");
+    ++failures;
+  }
+  if (plain_bytes != coalesced_bytes || plain_bytes != cold_bytes ||
+      plain_bytes != warm_bytes || plain_bytes == 0) {
+    std::fprintf(stderr, "FAIL: bytes_scanned not identical across runs\n");
+    ++failures;
+  }
+  if (failures == 0) std::printf("coalescing-smoke: PASS\n");
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace pixels
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--coalescing-smoke") == 0) {
+      return pixels::RunCoalescingSmoke();
+    }
+  }
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -108,11 +108,13 @@ Status Catalog::ReplaceTableFiles(const std::string& db,
 Result<std::vector<RowBatchPtr>> Catalog::ScanTable(const std::string& db,
                                                     const std::string& table,
                                                     const ScanOptions& options,
-                                                    uint64_t* bytes_scanned) {
+                                                    uint64_t* bytes_scanned,
+                                                    const IoOptions& io) {
   PIXELS_ASSIGN_OR_RETURN(const TableSchema* schema, GetTable(db, table));
   std::vector<RowBatchPtr> out;
   for (const auto& path : schema->files) {
-    PIXELS_ASSIGN_OR_RETURN(auto reader, PixelsReader::Open(storage_.get(), path));
+    PIXELS_ASSIGN_OR_RETURN(auto reader,
+                            PixelsReader::Open(storage_.get(), path, io));
     PIXELS_ASSIGN_OR_RETURN(auto batches, reader->Scan(options));
     if (bytes_scanned != nullptr) {
       *bytes_scanned += reader->scan_stats().bytes_scanned;

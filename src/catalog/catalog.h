@@ -45,12 +45,14 @@ class Catalog {
                            const std::vector<std::string>& files);
 
   /// Scans every file of a table with projection + zone-map pruning.
-  /// `bytes_scanned` (if non-null) accumulates encoded bytes fetched, the
-  /// quantity the query server bills per TB.
+  /// `bytes_scanned` (if non-null) accumulates encoded bytes consumed, the
+  /// quantity the query server bills per TB — identical whether chunks
+  /// came from storage or the `io` chunk cache.
   Result<std::vector<RowBatchPtr>> ScanTable(const std::string& db,
                                              const std::string& table,
                                              const ScanOptions& options,
-                                             uint64_t* bytes_scanned = nullptr);
+                                             uint64_t* bytes_scanned = nullptr,
+                                             const IoOptions& io = IoOptions{});
 
   /// Persists all catalog metadata (databases, tables, file lists,
   /// statistics) as one JSON object at `path` in the catalog's storage.

@@ -22,6 +22,10 @@ struct PricingModel {
   /// CF billing granularity in milliseconds (durations round up).
   int64_t cf_billing_quantum_ms = 1;
 
+  /// Object-store price per GET request (S3 standard-tier ballpark).
+  /// Coalescing and caching cut THIS cost axis; $/TB-scan is unaffected.
+  double object_store_price_per_get = 0.0000004;
+
   double VmPricePerVcpuSecond() const {
     return vm_price_per_vcpu_hour / 3600.0;
   }
@@ -36,6 +40,12 @@ struct PricingModel {
 
   /// Cost of one CF invocation running `vcpus` for `duration_ms`.
   double CfInvocationCost(double vcpus, int64_t duration_ms) const;
+
+  /// Request cost of `gets` object-store GETs (the axis the buffered I/O
+  /// layer optimizes).
+  double ObjectStoreGetCost(uint64_t gets) const {
+    return static_cast<double>(gets) * object_store_price_per_get;
+  }
 };
 
 /// Bytes in one terabyte (decimal, as cloud billing uses).

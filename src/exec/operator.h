@@ -7,6 +7,7 @@
 #include "catalog/catalog.h"
 #include "common/thread_pool.h"
 #include "format/batch.h"
+#include "storage/buffer_cache.h"
 
 namespace pixels {
 
@@ -25,6 +26,13 @@ struct ExecContext {
   int parallelism = 0;
   /// Pool to run on; null = the process-wide ThreadPool::Shared().
   ThreadPool* pool = nullptr;
+  /// I/O policy for scans: coalescing gap, shared chunk cache, footer
+  /// cache, prefetch depth. Caching never changes `bytes_scanned` — a
+  /// chunk served warm bills exactly like one fetched cold.
+  IoOptions io;
+  /// Chunk reads served from / missed in the shared buffer cache.
+  std::atomic<uint64_t> cache_hits{0};
+  std::atomic<uint64_t> cache_misses{0};
 
   int EffectiveParallelism() const {
     return parallelism > 0 ? parallelism : DefaultParallelism();

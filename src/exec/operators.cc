@@ -34,8 +34,9 @@ Status ScanOperator::Open() {
   // Metadata only: open footers and prune row groups; no chunk is fetched
   // or decoded until Next() demands its morsel.
   for (const auto& path : files) {
-    PIXELS_ASSIGN_OR_RETURN(auto reader,
-                            PixelsReader::Open(ctx_->catalog->storage(), path));
+    PIXELS_ASSIGN_OR_RETURN(
+        auto reader,
+        PixelsReader::Open(ctx_->catalog->storage(), path, ctx_->io));
     for (size_t g : reader->PruneRowGroups(plan_.pushed)) {
       morsels_.push_back(Morsel{readers_.size(), g});
     }
@@ -75,6 +76,8 @@ Status ScanOperator::RefillWindow() {
     ++next_morsel_;
     ctx_->bytes_scanned += stats.bytes_scanned;
     ctx_->rows_scanned += stats.rows_read;
+    ctx_->cache_hits += stats.cache_hits;
+    ctx_->cache_misses += stats.cache_misses;
     window_.push_back(std::move(batch));
     return Status::OK();
   }
@@ -82,9 +85,14 @@ Status ScanOperator::RefillWindow() {
   // outputs keep batch order identical to the serial scan; per-morsel
   // stats merged in order keep billing exact and deterministic.
   const size_t window = std::min(remaining, static_cast<size_t>(par) * 2);
+  const size_t base = next_morsel_;
+  // Warm the cache for the window after this one while this one decodes.
+  LaunchPrefetch(base + window,
+                 std::min(morsels_.size() - (base + window),
+                          window * static_cast<size_t>(
+                                       std::max(ctx_->io.prefetch_windows, 0))));
   window_.resize(window);
   std::vector<ScanStats> stats(window);
-  const size_t base = next_morsel_;
   PIXELS_RETURN_NOT_OK(ctx_->EffectivePool()->ParallelFor(
       0, window, /*grain=*/1,
       [&](size_t i) -> Status {
@@ -97,8 +105,42 @@ Status ScanOperator::RefillWindow() {
   for (const auto& s : stats) {
     ctx_->bytes_scanned += s.bytes_scanned;
     ctx_->rows_scanned += s.rows_read;
+    ctx_->cache_hits += s.cache_hits;
+    ctx_->cache_misses += s.cache_misses;
   }
   return Status::OK();
+}
+
+void ScanOperator::LaunchPrefetch(size_t begin, size_t count) {
+  if (ctx_->io.chunk_cache == nullptr || ctx_->io.prefetch_windows <= 0 ||
+      count == 0 || begin >= morsels_.size()) {
+    return;
+  }
+  // One prefetch in flight at a time: wait out the previous window's
+  // task before reading next_morsel_-adjacent state again.
+  WaitPrefetch();
+  {
+    std::lock_guard<std::mutex> lock(prefetch_mu_);
+    prefetch_inflight_ = true;
+  }
+  const size_t end = std::min(begin + count, morsels_.size());
+  ctx_->EffectivePool()->Submit([this, begin, end] {
+    for (size_t m = begin; m < end; ++m) {
+      const Morsel& morsel = morsels_[m];
+      // Advisory: a failed prefetch just means the decode pays the GET.
+      Status ignored = readers_[morsel.reader_index]->PrefetchRowGroup(
+          morsel.row_group, columns_);
+      (void)ignored;
+    }
+    std::lock_guard<std::mutex> lock(prefetch_mu_);
+    prefetch_inflight_ = false;
+    prefetch_cv_.notify_all();
+  });
+}
+
+void ScanOperator::WaitPrefetch() {
+  std::unique_lock<std::mutex> lock(prefetch_mu_);
+  prefetch_cv_.wait(lock, [this] { return !prefetch_inflight_; });
 }
 
 Result<RowBatchPtr> ScanOperator::Next() {
@@ -110,6 +152,7 @@ Result<RowBatchPtr> ScanOperator::Next() {
 }
 
 void ScanOperator::Close() {
+  WaitPrefetch();  // the task touches readers_/morsels_; don't race teardown
   window_.clear();
   readers_.clear();
   morsels_.clear();

@@ -3,6 +3,8 @@
 // translation units.
 #pragma once
 
+#include <condition_variable>
+#include <mutex>
 #include <set>
 
 #include "exec/operator.h"
@@ -36,6 +38,11 @@ class ScanOperator : public Operator {
 
   Result<RowBatchPtr> DecodeMorsel(const Morsel& morsel, ScanStats* stats) const;
   Status RefillWindow();
+  /// Warms the chunk cache for morsels [begin, begin + count) on the pool
+  /// while the current window decodes. At most one prefetch in flight;
+  /// advisory only (errors surface when the morsel is actually decoded).
+  void LaunchPrefetch(size_t begin, size_t count);
+  void WaitPrefetch();
 
   const LogicalPlan& plan_;
   ExecContext* ctx_;
@@ -46,6 +53,9 @@ class ScanOperator : public Operator {
   size_t next_morsel_ = 0;
   std::vector<RowBatchPtr> window_;  // decoded, not yet emitted
   size_t window_pos_ = 0;
+  std::mutex prefetch_mu_;
+  std::condition_variable prefetch_cv_;
+  bool prefetch_inflight_ = false;
 };
 
 /// Emits only rows whose predicate evaluates to true (SQL semantics:

@@ -1,0 +1,82 @@
+#include "format/footer_cache.h"
+
+namespace pixels {
+
+std::shared_ptr<const FileFooter> FooterCache::Get(const Storage* storage,
+                                                   const std::string& path,
+                                                   uint64_t expected_size) {
+  Key key{storage, path};
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  if (it->second->file_size != expected_size) {
+    // Object was replaced since it was cached.
+    lru_.erase(it->second);
+    map_.erase(it);
+    ++invalidations_;
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->footer;
+}
+
+void FooterCache::Put(const Storage* storage, const std::string& path,
+                      uint64_t file_size,
+                      std::shared_ptr<const FileFooter> footer) {
+  if (footer == nullptr || capacity_ == 0) return;
+  Key key{storage, path};
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second->file_size = file_size;
+    it->second->footer = std::move(footer);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, file_size, std::move(footer)});
+  map_[key] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    map_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+}
+
+void FooterCache::Invalidate(const Storage* storage, const std::string& path) {
+  Key key{storage, path};
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = map_.find(key);
+  if (it == map_.end()) return;
+  lru_.erase(it->second);
+  map_.erase(it);
+  ++invalidations_;
+}
+
+void FooterCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  map_.clear();
+}
+
+FooterCacheStats FooterCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  FooterCacheStats out;
+  out.hits = hits_;
+  out.misses = misses_;
+  out.invalidations = invalidations_;
+  out.entries = lru_.size();
+  return out;
+}
+
+FooterCache* FooterCache::Shared() {
+  // Leaked singleton: avoids destruction-order races with readers that
+  // outlive main().
+  static FooterCache* cache = new FooterCache();
+  return cache;
+}
+
+}  // namespace pixels

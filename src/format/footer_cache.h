@@ -1,0 +1,88 @@
+// Process-wide cache of parsed .pxl footers. Opening a Pixels object
+// costs a Size() probe plus one or two tail GETs; the coordinator
+// re-plans, CF workers re-open, and repeated queries re-open the same
+// objects constantly, so a warm footer turns every one of those opens
+// into zero GETs. Invalidation is twofold: size-based (Get() takes the
+// current object size and drops a stale entry whose size changed) and
+// explicit (`PixelsWriter::Finish` invalidates the object it overwrites,
+// which also covers same-size rewrites).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "format/file_format.h"
+
+namespace pixels {
+
+class Storage;
+
+/// Counter snapshot.
+struct FooterCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t invalidations = 0;
+  uint64_t entries = 0;
+};
+
+/// Thread-safe LRU of parsed footers, keyed by (storage instance, path).
+class FooterCache {
+ public:
+  /// `capacity` is an entry count; footers are metadata-sized.
+  explicit FooterCache(size_t capacity = 1024) : capacity_(capacity) {}
+
+  /// Returns the cached footer if present AND the object size still
+  /// matches `expected_size`; a size mismatch invalidates the entry.
+  std::shared_ptr<const FileFooter> Get(const Storage* storage,
+                                        const std::string& path,
+                                        uint64_t expected_size);
+
+  void Put(const Storage* storage, const std::string& path,
+           uint64_t file_size, std::shared_ptr<const FileFooter> footer);
+
+  /// Drops one object's entry (called by the writer on overwrite).
+  void Invalidate(const Storage* storage, const std::string& path);
+
+  /// Drops everything (tests and cold-run benches).
+  void Clear();
+
+  FooterCacheStats stats() const;
+
+  /// The process-wide instance every `PixelsReader::Open` consults
+  /// (unless `IoOptions::use_footer_cache` is off).
+  static FooterCache* Shared();
+
+ private:
+  struct Key {
+    const Storage* storage;
+    std::string path;
+    bool operator==(const Key& other) const {
+      return storage == other.storage && path == other.path;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return std::hash<std::string>()(k.path) ^
+             std::hash<const void*>()(k.storage);
+    }
+  };
+  struct Entry {
+    Key key;
+    uint64_t file_size;
+    std::shared_ptr<const FileFooter> footer;
+  };
+
+  size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> map_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t invalidations_ = 0;
+};
+
+}  // namespace pixels

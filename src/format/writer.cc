@@ -1,5 +1,8 @@
 #include "format/writer.h"
 
+#include "format/footer_cache.h"
+#include "storage/buffer_cache.h"
+
 namespace pixels {
 
 void FileFooter::Serialize(ByteWriter* out) const {
@@ -142,7 +145,13 @@ Status PixelsWriter::Finish(Storage* storage, const std::string& path) {
   footer_.Serialize(&body_);
   body_.PutU64(footer_offset);
   body_.PutBytes(kPixelsMagic, sizeof(kPixelsMagic));
-  return storage->Write(path, body_.data());
+  PIXELS_RETURN_NOT_OK(storage->Write(path, body_.data()));
+  // Every .pxl write in this process goes through Finish, so dropping the
+  // overwritten object here keeps the footer and chunk caches coherent
+  // even for same-size rewrites that size-based validation cannot catch.
+  FooterCache::Shared()->Invalidate(storage, path);
+  BufferCache::InvalidateAllCaches(storage, path);
+  return Status::OK();
 }
 
 }  // namespace pixels

@@ -1,0 +1,143 @@
+#include "storage/buffer_cache.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace pixels {
+
+namespace {
+
+/// Live-cache registry so the writer can invalidate overwritten objects
+/// in every cache, not just one it happens to know about.
+std::mutex& RegistryMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+std::vector<BufferCache*>& Registry() {
+  static std::vector<BufferCache*> caches;
+  return caches;
+}
+
+/// Fixed per-entry bookkeeping charge (list/map nodes, key).
+constexpr uint64_t kEntryOverheadBytes = 64;
+
+}  // namespace
+
+size_t BufferCache::KeyHash::operator()(const Key& k) const {
+  size_t h = std::hash<std::string>()(k.path);
+  h ^= std::hash<const void*>()(k.storage) + 0x9e3779b97f4a7c15ULL + (h << 6);
+  h ^= std::hash<uint64_t>()(k.offset) + 0x9e3779b97f4a7c15ULL + (h << 6);
+  h ^= std::hash<uint64_t>()(k.length) + 0x9e3779b97f4a7c15ULL + (h << 6);
+  return h;
+}
+
+BufferCache::BufferCache(uint64_t capacity_bytes, int num_shards)
+    : capacity_(capacity_bytes) {
+  const int shards = std::max(num_shards, 1);
+  shard_capacity_ = capacity_ / static_cast<uint64_t>(shards);
+  for (int i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  Registry().push_back(this);
+}
+
+BufferCache::~BufferCache() {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  auto& caches = Registry();
+  caches.erase(std::remove(caches.begin(), caches.end(), this), caches.end());
+}
+
+uint64_t BufferCache::Charge(const Key& key, const Buffer& data) {
+  return (data ? data->size() : 0) + key.path.size() + kEntryOverheadBytes;
+}
+
+BufferCache::Shard& BufferCache::ShardFor(const Key& key) {
+  return *shards_[KeyHash()(key) % shards_.size()];
+}
+
+BufferCache::Buffer BufferCache::Get(const Storage* storage,
+                                     const std::string& path, uint64_t offset,
+                                     uint64_t length) {
+  Key key{storage, path, offset, length};
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    ++shard.misses;
+    return nullptr;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->second;
+}
+
+void BufferCache::Put(const Storage* storage, const std::string& path,
+                      uint64_t offset, uint64_t length, Buffer data) {
+  if (data == nullptr) return;
+  Key key{storage, path, offset, length};
+  const uint64_t charge = Charge(key, data);
+  if (charge > shard_capacity_) return;  // would evict an entire shard
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    // Refresh: same chunk raced in from two morsels; keep one copy.
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.emplace_front(key, std::move(data));
+  shard.map[key] = shard.lru.begin();
+  shard.bytes += charge;
+  ++shard.inserts;
+  while (shard.bytes > shard_capacity_ && !shard.lru.empty()) {
+    auto& tail = shard.lru.back();
+    shard.bytes -= Charge(tail.first, tail.second);
+    shard.map.erase(tail.first);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+void BufferCache::EraseObject(const Storage* storage,
+                              const std::string& path) {
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+      if (it->first.storage == storage && it->first.path == path) {
+        shard.bytes -= Charge(it->first, it->second);
+        shard.map.erase(it->first);
+        it = shard.lru.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void BufferCache::InvalidateAllCaches(const Storage* storage,
+                                      const std::string& path) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  for (BufferCache* cache : Registry()) {
+    cache->EraseObject(storage, path);
+  }
+}
+
+BufferCacheStats BufferCache::stats() const {
+  BufferCacheStats out;
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    out.hits += shard.hits;
+    out.misses += shard.misses;
+    out.inserts += shard.inserts;
+    out.evictions += shard.evictions;
+    out.bytes_cached += shard.bytes;
+    out.entries += shard.lru.size();
+  }
+  return out;
+}
+
+}  // namespace pixels

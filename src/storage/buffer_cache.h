@@ -1,0 +1,125 @@
+// Bounded, sharded, thread-safe LRU cache for column-chunk buffers.
+// Shared by the top-level plan and the CF worker fleet so a chunk fetched
+// once (by any worker, any query) is decoded many times but paid for on
+// the object store only once. Capacity is a byte budget; eviction is LRU
+// per shard. Entries are keyed by (storage instance, path, offset,
+// length); `PixelsWriter::Finish` invalidates every live cache for the
+// object it overwrites, so warm entries can never outlive the bytes they
+// were read from.
+//
+// Billing invariant: the cache sits below `ScanStats::bytes_scanned`
+// accounting — a cache hit still bills the chunk's bytes, so cold and
+// warm runs produce identical $/TB-scan bills; only request counts and
+// latency change.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/read_coalescer.h"
+
+namespace pixels {
+
+class Storage;
+
+/// Snapshot of cache counters. Monotonic except the occupancy gauges.
+struct BufferCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t inserts = 0;
+  uint64_t evictions = 0;
+  /// Current occupancy.
+  uint64_t bytes_cached = 0;
+  uint64_t entries = 0;
+};
+
+/// Sharded LRU over immutable byte buffers.
+class BufferCache {
+ public:
+  using Buffer = std::shared_ptr<const std::vector<uint8_t>>;
+
+  /// `capacity_bytes` is split evenly across `num_shards` independent
+  /// LRUs (sharding keeps concurrent morsels off one mutex).
+  explicit BufferCache(uint64_t capacity_bytes, int num_shards = 8);
+  ~BufferCache();
+
+  BufferCache(const BufferCache&) = delete;
+  BufferCache& operator=(const BufferCache&) = delete;
+
+  /// Returns the cached buffer or null; a hit refreshes LRU recency.
+  Buffer Get(const Storage* storage, const std::string& path,
+             uint64_t offset, uint64_t length);
+
+  /// Inserts (or refreshes) an entry, evicting LRU tails past capacity.
+  /// Buffers larger than a whole shard are not cached.
+  void Put(const Storage* storage, const std::string& path, uint64_t offset,
+           uint64_t length, Buffer data);
+
+  /// Drops every entry of one object (overwrite/delete invalidation).
+  void EraseObject(const Storage* storage, const std::string& path);
+
+  /// Drops the object from every live BufferCache in the process; the
+  /// writer calls this whenever it (re)writes an object.
+  static void InvalidateAllCaches(const Storage* storage,
+                                  const std::string& path);
+
+  BufferCacheStats stats() const;
+  uint64_t capacity_bytes() const { return capacity_; }
+
+ private:
+  struct Key {
+    const Storage* storage;
+    std::string path;
+    uint64_t offset;
+    uint64_t length;
+
+    bool operator==(const Key& other) const {
+      return storage == other.storage && offset == other.offset &&
+             length == other.length && path == other.path;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<std::pair<Key, Buffer>> lru;  // front = most recently used
+    std::unordered_map<Key, std::list<std::pair<Key, Buffer>>::iterator,
+                       KeyHash>
+        map;
+    uint64_t bytes = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t inserts = 0;
+    uint64_t evictions = 0;
+  };
+
+  static uint64_t Charge(const Key& key, const Buffer& data);
+  Shard& ShardFor(const Key& key);
+
+  uint64_t capacity_;
+  uint64_t shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// Per-query I/O policy, threaded from `ExecContext` / `CfWorkerOptions`
+/// through the scan operators into `PixelsReader`.
+struct IoOptions {
+  /// Gap tolerance for multi-range chunk reads (0 = one request per
+  /// chunk, the pre-coalescing behaviour).
+  uint64_t coalesce_gap_bytes = kDefaultCoalesceGapBytes;
+  /// Column-chunk cache; null disables chunk caching (and prefetch).
+  BufferCache* chunk_cache = nullptr;
+  /// Consult the process-wide footer cache on `PixelsReader::Open`.
+  bool use_footer_cache = true;
+  /// How many morsel windows ahead the streaming scan prefetches into the
+  /// chunk cache (0 = no prefetch; needs `chunk_cache`).
+  int prefetch_windows = 1;
+};
+
+}  // namespace pixels

@@ -30,6 +30,30 @@ Result<std::vector<uint8_t>> ObjectStore::ReadRange(const std::string& path,
   return r;
 }
 
+Result<std::vector<std::vector<uint8_t>>> ObjectStore::ReadRanges(
+    const std::string& path, const std::vector<ByteRange>& ranges,
+    uint64_t coalesce_gap_bytes) {
+  const CoalescePlan plan = CoalesceRanges(ranges, coalesce_gap_bytes);
+  std::vector<std::vector<uint8_t>> merged;
+  merged.reserve(plan.merged.size());
+  for (size_t m = 0; m < plan.merged.size(); ++m) {
+    PIXELS_ASSIGN_OR_RETURN(
+        std::vector<uint8_t> buf,
+        inner_->ReadRange(path, plan.merged[m].offset, plan.merged[m].length));
+    RecordGet(buf.size());
+    if (plan.ranges_served[m] > 1) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.coalesced_gets;
+    }
+    merged.push_back(std::move(buf));
+  }
+  if (plan.gap_bytes > 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.gap_bytes_fetched += plan.gap_bytes;
+  }
+  return SliceCoalesced(plan, merged, ranges);
+}
+
 Status ObjectStore::Write(const std::string& path,
                           const std::vector<uint8_t>& data) {
   Status s = inner_->Write(path, data);

@@ -28,6 +28,13 @@ struct ObjectStoreStats {
   uint64_t put_requests = 0;
   uint64_t bytes_read = 0;
   uint64_t bytes_written = 0;
+  /// GETs that served more than one requested range (coalesced reads).
+  uint64_t coalesced_gets = 0;
+  /// Bytes fetched only to bridge gaps between coalesced ranges. Counted
+  /// in `bytes_read` (they crossed the wire) but never in the scan bytes
+  /// the query server bills — billing charges what the query asked for,
+  /// not how the I/O layer chose to fetch it.
+  uint64_t gap_bytes_fetched = 0;
   /// Simulated wall time spent in reads, had they run against S3.
   double simulated_read_ms = 0;
   /// Request cost in dollars (GET + PUT).
@@ -44,6 +51,9 @@ class ObjectStore : public Storage {
   Result<std::vector<uint8_t>> ReadRange(const std::string& path,
                                          uint64_t offset,
                                          uint64_t length) override;
+  Result<std::vector<std::vector<uint8_t>>> ReadRanges(
+      const std::string& path, const std::vector<ByteRange>& ranges,
+      uint64_t coalesce_gap_bytes = kDefaultCoalesceGapBytes) override;
   Status Write(const std::string& path,
                const std::vector<uint8_t>& data) override;
   Result<uint64_t> Size(const std::string& path) override;

@@ -1,0 +1,85 @@
+#include "storage/read_coalescer.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace pixels {
+
+CoalescePlan CoalesceRanges(const std::vector<ByteRange>& ranges,
+                            uint64_t gap_bytes) {
+  CoalescePlan plan;
+  plan.slices.resize(ranges.size());
+
+  // Sort non-empty ranges by offset, remembering their input positions.
+  std::vector<size_t> order;
+  order.reserve(ranges.size());
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    if (ranges[i].length == 0) {
+      plan.slices[i].merged_index = CoalescePlan::kEmptyRange;
+    } else {
+      order.push_back(i);
+    }
+  }
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (ranges[a].offset != ranges[b].offset) {
+      return ranges[a].offset < ranges[b].offset;
+    }
+    return ranges[a].length < ranges[b].length;
+  });
+
+  uint64_t covered = 0;  // bytes of the current merged range some input asked for
+  for (size_t k = 0; k < order.size(); ++k) {
+    const ByteRange& r = ranges[order[k]];
+    const uint64_t r_end = r.offset + r.length;
+    if (!plan.merged.empty()) {
+      ByteRange& cur = plan.merged.back();
+      const uint64_t cur_end = cur.offset + cur.length;
+      // Merge when overlapping or when the hole between them fits the
+      // tolerance.
+      if (r.offset <= cur_end + gap_bytes) {
+        // Union of requested bytes grows only by the part past cur_end
+        // (overlap was already counted).
+        covered += r_end > cur_end ? std::min(r.length, r_end - cur_end) : 0;
+        cur.length = std::max(cur_end, r_end) - cur.offset;
+        plan.slices[order[k]] = {plan.merged.size() - 1,
+                                 r.offset - cur.offset};
+        ++plan.ranges_served.back();
+        continue;
+      }
+      plan.gap_bytes += cur.length - covered;
+    }
+    plan.merged.push_back(r);
+    plan.ranges_served.push_back(1);
+    plan.slices[order[k]] = {plan.merged.size() - 1, 0};
+    covered = r.length;
+  }
+  if (!plan.merged.empty()) {
+    plan.gap_bytes += plan.merged.back().length - covered;
+  }
+  return plan;
+}
+
+Result<std::vector<std::vector<uint8_t>>> SliceCoalesced(
+    const CoalescePlan& plan,
+    const std::vector<std::vector<uint8_t>>& merged_buffers,
+    const std::vector<ByteRange>& ranges) {
+  if (merged_buffers.size() != plan.merged.size() ||
+      plan.slices.size() != ranges.size()) {
+    return Status::InvalidArgument("coalesce plan does not match buffers");
+  }
+  std::vector<std::vector<uint8_t>> out(ranges.size());
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    const CoalescePlan::Slice& slice = plan.slices[i];
+    if (slice.merged_index == CoalescePlan::kEmptyRange) continue;
+    const std::vector<uint8_t>& buf = merged_buffers[slice.merged_index];
+    if (slice.offset_in_merged + ranges[i].length > buf.size()) {
+      return Status::Internal("coalesced buffer shorter than planned");
+    }
+    const auto begin =
+        buf.begin() + static_cast<ptrdiff_t>(slice.offset_in_merged);
+    out[i].assign(begin, begin + static_cast<ptrdiff_t>(ranges[i].length));
+  }
+  return out;
+}
+
+}  // namespace pixels

@@ -2,6 +2,20 @@
 
 namespace pixels {
 
+Result<std::vector<std::vector<uint8_t>>> Storage::ReadRanges(
+    const std::string& path, const std::vector<ByteRange>& ranges,
+    uint64_t coalesce_gap_bytes) {
+  const CoalescePlan plan = CoalesceRanges(ranges, coalesce_gap_bytes);
+  std::vector<std::vector<uint8_t>> merged;
+  merged.reserve(plan.merged.size());
+  for (const ByteRange& r : plan.merged) {
+    PIXELS_ASSIGN_OR_RETURN(std::vector<uint8_t> buf,
+                            ReadRange(path, r.offset, r.length));
+    merged.push_back(std::move(buf));
+  }
+  return SliceCoalesced(plan, merged, ranges);
+}
+
 Status WriteString(Storage* storage, const std::string& path,
                    const std::string& data) {
   std::vector<uint8_t> bytes(data.begin(), data.end());

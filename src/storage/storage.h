@@ -11,6 +11,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "storage/read_coalescer.h"
 
 namespace pixels {
 
@@ -27,6 +28,19 @@ class Storage {
   virtual Result<std::vector<uint8_t>> ReadRange(const std::string& path,
                                                  uint64_t offset,
                                                  uint64_t length) = 0;
+
+  /// Reads several ranges of one object, returning one buffer per range
+  /// in input order. Ranges whose gap is <= `coalesce_gap_bytes` are
+  /// fetched in a single underlying read (gap-tolerant coalescing) and
+  /// sliced apart, so the result is byte-identical to per-range
+  /// `ReadRange` calls while issuing far fewer requests. Zero-length
+  /// ranges yield empty buffers and are never fetched; any fetched range
+  /// exceeding the object size fails like `ReadRange` does. The default
+  /// implementation dispatches through `ReadRange`, so decorators keep
+  /// their per-request behaviour (latency, failure injection, accounting).
+  virtual Result<std::vector<std::vector<uint8_t>>> ReadRanges(
+      const std::string& path, const std::vector<ByteRange>& ranges,
+      uint64_t coalesce_gap_bytes = kDefaultCoalesceGapBytes);
 
   /// Creates or replaces the object.
   virtual Status Write(const std::string& path,

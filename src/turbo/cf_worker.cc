@@ -43,6 +43,7 @@ Result<CfExecution> ExecuteWithCfPushdown(const PlanPtr& plan,
 
   ExecContext top_ctx;
   top_ctx.catalog = catalog;
+  top_ctx.io = options.io;
 
   if (split.subplan == nullptr) {
     // Nothing heavy to push: run the plan as-is.
@@ -73,6 +74,7 @@ Result<CfExecution> ExecuteWithCfPushdown(const PlanPtr& plan,
     ExecContext worker_ctx;
     worker_ctx.catalog = catalog;
     worker_ctx.parallelism = std::max(options.worker_parallelism, 1);
+    worker_ctx.io = options.io;
     PIXELS_ASSIGN_OR_RETURN(TablePtr part,
                             ExecutePlan(worker_plans[w], &worker_ctx));
     worker_bytes[w] = worker_ctx.bytes_scanned;
@@ -115,6 +117,7 @@ Result<CfExecution> ExecuteWithCfPushdown(const PlanPtr& plan,
   PIXELS_RETURN_NOT_OK(InjectView(split.final_plan, view));
   ExecContext final_ctx;
   final_ctx.catalog = catalog;
+  final_ctx.io = options.io;
   PIXELS_ASSIGN_OR_RETURN(out.result, ExecutePlan(split.final_plan, &final_ctx));
   out.bytes_scanned += final_ctx.bytes_scanned;
   return out;

@@ -46,6 +46,10 @@ struct CfWorkerOptions {
   /// builds). Workers default to serial so fleet-level concurrency is the
   /// unit of scaling, mirroring 1-vCPU cloud functions.
   int worker_parallelism = 1;
+  /// I/O policy shared by the top-level plan and every worker: one chunk
+  /// cache means a worker's fetch warms the final plan's reads. Billing
+  /// is unchanged by caching.
+  IoOptions io;
 };
 
 /// Executes `plan` with the sub-plan pushed down to a simulated CF worker

@@ -19,7 +19,17 @@ Coordinator::Coordinator(SimClock* clock, Random* rng,
       catalog_(std::move(catalog)),
       vm_(clock, rng, params.vm, params.pricing),
       cf_(clock, rng, params.cf, params.pricing) {
+  if (params_.chunk_cache_bytes > 0) {
+    chunk_cache_ = std::make_unique<BufferCache>(params_.chunk_cache_bytes);
+  }
   vm_.SetCapacityAvailableCallback([this] { DispatchFromQueue(); });
+}
+
+IoOptions Coordinator::QueryIo() const {
+  IoOptions io;
+  io.coalesce_gap_bytes = params_.coalesce_gap_bytes;
+  io.chunk_cache = chunk_cache_.get();
+  return io;
 }
 
 void Coordinator::Start() { vm_.Start(); }
@@ -105,6 +115,7 @@ void Coordinator::MaybeExecuteReal(QueryRecord* rec, bool via_cf) {
                                    params_.default_cf_workers);
     options.intermediate_store = catalog_->storage();
     options.view_prefix = "intermediate/q" + std::to_string(rec->id);
+    options.io = QueryIo();
     auto exec = ExecuteWithCfPushdown(std::move(optimized).ValueOrDie(),
                                       catalog_.get(), options);
     if (!exec.ok()) {
@@ -118,6 +129,7 @@ void Coordinator::MaybeExecuteReal(QueryRecord* rec, bool via_cf) {
   }
   ExecContext ctx;
   ctx.catalog = catalog_.get();
+  ctx.io = QueryIo();
   auto result = ExecuteQuery(rec->spec.sql, rec->spec.db, &ctx);
   if (!result.ok()) {
     rec->error = result.status().ToString();

@@ -15,6 +15,7 @@
 #include "catalog/catalog.h"
 #include "cloud/cf_service.h"
 #include "cloud/vm_cluster.h"
+#include "storage/buffer_cache.h"
 #include "turbo/cf_worker.h"
 #include "turbo/query_task.h"
 
@@ -32,6 +33,12 @@ struct CoordinatorParams {
   double bytes_per_vcpu_second = 100e6;
   /// Fixed per-query overhead (planning, result collection).
   SimTime query_overhead = 200 * kMillis;
+  /// Byte capacity of the coordinator-owned chunk cache shared by the
+  /// top-level plan and the CF worker fleet (0 disables caching). The
+  /// cache cuts GETs only; `bytes_scanned` billing is cache-oblivious.
+  uint64_t chunk_cache_bytes = 128ULL << 20;
+  /// Gap tolerance for coalescing adjacent chunk GETs.
+  uint64_t coalesce_gap_bytes = kDefaultCoalesceGapBytes;
 };
 
 /// Coordinator of the hybrid serverless query engine.
@@ -107,10 +114,15 @@ class Coordinator {
   void MaybeExecuteReal(QueryRecord* rec, bool via_cf);
   void Finish(QueryRecord* rec);
 
+  /// The query-server-wide I/O policy handed to every real execution.
+  IoOptions QueryIo() const;
+
   SimClock* clock_;
   Random* rng_;
   CoordinatorParams params_;
   std::shared_ptr<Catalog> catalog_;
+  /// Chunk LRU shared across queries, the top-level plan, and CF workers.
+  std::unique_ptr<BufferCache> chunk_cache_;
   VmCluster vm_;
   CfService cf_;
 

@@ -39,10 +39,11 @@ class ParallelExecTest : public ::testing::Test {
   }
 
   TablePtr Run(const std::string& sql, int parallelism, uint64_t* bytes,
-               uint64_t* rows) {
+               uint64_t* rows, const IoOptions& io = IoOptions{}) {
     ExecContext ctx;
     ctx.catalog = catalog_.get();
     ctx.parallelism = parallelism;
+    ctx.io = io;
     auto r = ExecuteQuery(sql, "tpch", &ctx);
     EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
     if (bytes != nullptr) *bytes = ctx.bytes_scanned;
@@ -128,6 +129,91 @@ TEST_F(ParallelExecTest, JoinAndAggMatchUnderHighParallelism) {
   ASSERT_NE(parallel, nullptr);
   EXPECT_EQ(SortedRows(*serial), SortedRows(*parallel));
   EXPECT_EQ(serial_bytes, par_bytes);
+}
+
+TEST_F(ParallelExecTest, CachingNeverChangesResultsOrBilling) {
+  // The billing invariant of the buffered I/O layer: bytes_scanned is
+  // byte-identical across {cold, warm} x {serial, parallel}. A chunk
+  // served from the cache bills exactly like one fetched from storage.
+  BufferCache cache(64ULL << 20);
+  IoOptions io;
+  io.chunk_cache = &cache;
+  const std::string sql =
+      "SELECT l_returnflag, l_linestatus, sum(l_quantity) AS q, count(*) AS n "
+      "FROM lineitem WHERE l_quantity < 40 GROUP BY l_returnflag, "
+      "l_linestatus";
+
+  uint64_t plain_bytes = 0, plain_rows = 0;
+  TablePtr plain = Run(sql, 1, &plain_bytes, &plain_rows);
+  ASSERT_NE(plain, nullptr);
+
+  uint64_t cold_serial = 0, warm_serial = 0, cold_rows = 0, warm_rows = 0;
+  TablePtr cold = Run(sql, 1, &cold_serial, &cold_rows, io);
+  TablePtr warm = Run(sql, 1, &warm_serial, &warm_rows, io);
+  ASSERT_NE(cold, nullptr);
+  ASSERT_NE(warm, nullptr);
+  EXPECT_GT(cache.stats().hits, 0u);  // the warm run really hit the cache
+
+  uint64_t warm_par = 0, warm_par_rows = 0;
+  TablePtr par = Run(sql, 4, &warm_par, &warm_par_rows, io);
+  ASSERT_NE(par, nullptr);
+
+  EXPECT_EQ(SortedRows(*plain), SortedRows(*cold));
+  EXPECT_EQ(SortedRows(*plain), SortedRows(*warm));
+  EXPECT_EQ(SortedRows(*plain), SortedRows(*par));
+  EXPECT_EQ(plain_bytes, cold_serial);
+  EXPECT_EQ(plain_bytes, warm_serial);
+  EXPECT_EQ(plain_bytes, warm_par);
+  EXPECT_EQ(plain_rows, cold_rows);
+  EXPECT_EQ(plain_rows, warm_rows);
+  EXPECT_EQ(plain_rows, warm_par_rows);
+}
+
+TEST_F(ParallelExecTest, PrefetchKeepsDeterministicResultsAndBilling) {
+  // Window-ahead prefetch only fills the cache; results, order, and
+  // billing match the serial non-prefetching run.
+  BufferCache cache(64ULL << 20);
+  IoOptions io;
+  io.chunk_cache = &cache;
+  io.prefetch_windows = 2;
+  const std::string sql =
+      "SELECT l_orderkey, l_linenumber, l_extendedprice FROM lineitem "
+      "WHERE l_quantity < 10 ORDER BY l_extendedprice DESC, l_orderkey, "
+      "l_linenumber LIMIT 50";
+  uint64_t serial_bytes = 0;
+  TablePtr serial = Run(sql, 1, &serial_bytes, nullptr);
+  uint64_t par_bytes1 = 0, par_bytes2 = 0;
+  TablePtr par1 = Run(sql, 4, &par_bytes1, nullptr, io);
+  TablePtr par2 = Run(sql, 4, &par_bytes2, nullptr, io);
+  ASSERT_NE(serial, nullptr);
+  ASSERT_NE(par1, nullptr);
+  ASSERT_NE(par2, nullptr);
+  EXPECT_EQ(SortedRows(*serial), SortedRows(*par1));
+  EXPECT_EQ(SortedRows(*serial), SortedRows(*par2));
+  EXPECT_EQ(serial_bytes, par_bytes1);
+  EXPECT_EQ(par_bytes1, par_bytes2);
+}
+
+TEST_F(ParallelExecTest, CacheHitCountersReachTheContext) {
+  BufferCache cache(64ULL << 20);
+  IoOptions io;
+  io.chunk_cache = &cache;
+  const std::string sql = "SELECT count(*) AS n FROM lineitem";
+  ExecContext cold_ctx;
+  cold_ctx.catalog = catalog_.get();
+  cold_ctx.parallelism = 1;
+  cold_ctx.io = io;
+  ASSERT_TRUE(ExecuteQuery(sql, "tpch", &cold_ctx).ok());
+  EXPECT_EQ(cold_ctx.cache_hits.load(), 0u);
+  EXPECT_GT(cold_ctx.cache_misses.load(), 0u);
+
+  ExecContext warm_ctx;
+  warm_ctx.catalog = catalog_.get();
+  warm_ctx.parallelism = 1;
+  warm_ctx.io = io;
+  ASSERT_TRUE(ExecuteQuery(sql, "tpch", &warm_ctx).ok());
+  EXPECT_EQ(warm_ctx.cache_misses.load(), 0u);
+  EXPECT_EQ(warm_ctx.cache_hits.load(), cold_ctx.cache_misses.load());
 }
 
 }  // namespace

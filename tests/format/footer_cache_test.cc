@@ -1,0 +1,111 @@
+#include "format/footer_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "format/reader.h"
+#include "format/writer.h"
+#include "storage/memory_store.h"
+#include "storage/object_store.h"
+
+namespace pixels {
+namespace {
+
+FileSchema SmallSchema() {
+  return {{"id", TypeId::kInt64}, {"v", TypeId::kDouble}};
+}
+
+Status WriteRows(Storage* storage, const std::string& path, int rows) {
+  PixelsWriter writer(SmallSchema());
+  for (int i = 0; i < rows; ++i) {
+    PIXELS_RETURN_NOT_OK(
+        writer.AppendRow({Value::Int(i), Value::Double(i * 0.5)}));
+  }
+  return writer.Finish(storage, path);
+}
+
+TEST(FooterCacheTest, GetValidatesStoredSize) {
+  MemoryStore storage;
+  FooterCache cache(4);
+  auto footer = std::make_shared<const FileFooter>();
+  cache.Put(&storage, "a", 1000, footer);
+  EXPECT_EQ(cache.Get(&storage, "a", 1000), footer);
+  // A size change means the object was replaced: drop the entry.
+  EXPECT_EQ(cache.Get(&storage, "a", 999), nullptr);
+  EXPECT_EQ(cache.Get(&storage, "a", 1000), nullptr);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.invalidations, 1u);
+  EXPECT_EQ(stats.entries, 0u);
+}
+
+TEST(FooterCacheTest, EvictsByEntryCount) {
+  MemoryStore storage;
+  FooterCache cache(2);
+  auto footer = std::make_shared<const FileFooter>();
+  cache.Put(&storage, "a", 1, footer);
+  cache.Put(&storage, "b", 1, footer);
+  ASSERT_NE(cache.Get(&storage, "a", 1), nullptr);  // refresh "a"
+  cache.Put(&storage, "c", 1, footer);
+  EXPECT_EQ(cache.Get(&storage, "b", 1), nullptr);
+  EXPECT_NE(cache.Get(&storage, "a", 1), nullptr);
+  EXPECT_NE(cache.Get(&storage, "c", 1), nullptr);
+}
+
+TEST(FooterCacheTest, KeyedByStorageInstance) {
+  MemoryStore s1, s2;
+  FooterCache cache(4);
+  cache.Put(&s1, "a", 1, std::make_shared<const FileFooter>());
+  EXPECT_EQ(cache.Get(&s2, "a", 1), nullptr);
+}
+
+TEST(FooterCacheTest, WarmOpenIssuesZeroGets) {
+  auto store =
+      std::make_shared<ObjectStore>(std::make_shared<MemoryStore>());
+  ASSERT_TRUE(WriteRows(store.get(), "t.pxl", 1000).ok());
+  FooterCache::Shared()->Clear();
+
+  // Cold: the Size probe is free, the tail read is the only GET.
+  auto cold = PixelsReader::Open(store.get(), "t.pxl");
+  ASSERT_TRUE(cold.ok());
+  const uint64_t gets_after_cold = store->stats().get_requests;
+  EXPECT_EQ(gets_after_cold, 1u);
+
+  // Warm: the footer comes from the process-wide cache; zero GETs.
+  auto warm = PixelsReader::Open(store.get(), "t.pxl");
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(store->stats().get_requests, gets_after_cold);
+  EXPECT_EQ((*warm)->NumRows(), 1000u);
+}
+
+TEST(FooterCacheTest, OptOutSkipsTheCache) {
+  auto store =
+      std::make_shared<ObjectStore>(std::make_shared<MemoryStore>());
+  ASSERT_TRUE(WriteRows(store.get(), "t.pxl", 100).ok());
+  FooterCache::Shared()->Clear();
+  IoOptions io;
+  io.use_footer_cache = false;
+  ASSERT_TRUE(PixelsReader::Open(store.get(), "t.pxl", io).ok());
+  ASSERT_TRUE(PixelsReader::Open(store.get(), "t.pxl", io).ok());
+  // Both opens paid their tail read: nothing was cached.
+  EXPECT_EQ(store->stats().get_requests, 2u);
+  EXPECT_EQ(FooterCache::Shared()->stats().entries, 0u);
+}
+
+TEST(FooterCacheTest, OverwriteInvalidatesCachedFooter) {
+  auto store = std::make_shared<MemoryStore>();
+  ASSERT_TRUE(WriteRows(store.get(), "t.pxl", 500).ok());
+  FooterCache::Shared()->Clear();
+  auto before = PixelsReader::Open(store.get(), "t.pxl");
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ((*before)->NumRows(), 500u);
+
+  // Rewrite through the writer: its Finish hook must drop the entry even
+  // though the path (and possibly the size) is unchanged.
+  ASSERT_TRUE(WriteRows(store.get(), "t.pxl", 700).ok());
+  auto after = PixelsReader::Open(store.get(), "t.pxl");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ((*after)->NumRows(), 700u);
+}
+
+}  // namespace
+}  // namespace pixels

@@ -4,6 +4,7 @@
 #include "format/reader.h"
 #include "format/writer.h"
 #include "storage/memory_store.h"
+#include "storage/object_store.h"
 
 namespace pixels {
 namespace {
@@ -280,6 +281,57 @@ TEST_F(WriterReaderTest, LargeFileManyRowGroups) {
   ASSERT_TRUE(reader.ok());
   EXPECT_EQ((*reader)->NumRowGroups(), 40u);
   EXPECT_EQ((*reader)->NumRows(), 10000u);
+}
+
+TEST_F(WriterReaderTest, OpenFetchesTrailerAndFooterInOneRead) {
+  auto counting = std::make_shared<ObjectStore>(store_);
+  WriterOptions options;
+  options.row_group_size = 32;
+  PixelsWriter writer(TestSchema(), options);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(writer
+                    .AppendRow({Value::Int(i), Value::Double(i * 1.5),
+                                Value::String("A"), Value::Int(1000)})
+                    .ok());
+  }
+  ASSERT_TRUE(writer.Finish(counting.get(), "t.pxl").ok());
+
+  IoOptions io;
+  io.use_footer_cache = false;  // count raw opens, not cache behavior
+  auto reader = PixelsReader::Open(counting.get(), "t.pxl", io);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  // Size probe is free; trailer + footer arrive in one speculative tail
+  // read (this file's footer fits well inside the 8 KiB tail).
+  EXPECT_EQ(counting->stats().get_requests, 1u);
+  EXPECT_EQ((*reader)->NumRows(), 100u);
+}
+
+TEST_F(WriterReaderTest, OversizedFooterTakesSecondReadAndRoundTrips) {
+  // ~1000 wide columns make the serialized footer far exceed the 8 KiB
+  // speculative tail, forcing the stitched two-read path.
+  FileSchema wide;
+  for (int c = 0; c < 1000; ++c) {
+    wide.push_back(ColumnDef{"very_long_column_name_number_" +
+                                 std::to_string(c),
+                             TypeId::kInt64});
+  }
+  auto counting = std::make_shared<ObjectStore>(store_);
+  PixelsWriter writer(wide);
+  std::vector<Value> row;
+  for (int c = 0; c < 1000; ++c) row.push_back(Value::Int(c));
+  ASSERT_TRUE(writer.AppendRow(row).ok());
+  ASSERT_TRUE(writer.Finish(counting.get(), "wide.pxl").ok());
+
+  IoOptions io;
+  io.use_footer_cache = false;
+  auto reader = PixelsReader::Open(counting.get(), "wide.pxl", io);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ(counting->stats().get_requests, 2u);
+  EXPECT_EQ((*reader)->schema().size(), 1000u);
+
+  auto batch = (*reader)->ReadRowGroup(0, {"very_long_column_name_number_999"});
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ((*batch)->column(0)->GetInt(0), 999);
 }
 
 }  // namespace

@@ -1,0 +1,136 @@
+#include "storage/buffer_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "format/writer.h"
+#include "storage/memory_store.h"
+
+namespace pixels {
+namespace {
+
+BufferCache::Buffer MakeBuf(size_t n, uint8_t fill = 0xab) {
+  return std::make_shared<const std::vector<uint8_t>>(n, fill);
+}
+
+TEST(BufferCacheTest, GetMissThenHit) {
+  MemoryStore storage;
+  BufferCache cache(1 << 20, /*num_shards=*/1);
+  EXPECT_EQ(cache.Get(&storage, "a", 0, 100), nullptr);
+  cache.Put(&storage, "a", 0, 100, MakeBuf(100));
+  auto hit = cache.Get(&storage, "a", 0, 100);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->size(), 100u);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.inserts, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(BufferCacheTest, KeyIncludesStorageOffsetAndLength) {
+  MemoryStore s1, s2;
+  BufferCache cache(1 << 20, 1);
+  cache.Put(&s1, "a", 0, 100, MakeBuf(100, 1));
+  EXPECT_EQ(cache.Get(&s2, "a", 0, 100), nullptr);  // other storage
+  EXPECT_EQ(cache.Get(&s1, "a", 100, 100), nullptr);  // other offset
+  EXPECT_EQ(cache.Get(&s1, "a", 0, 50), nullptr);  // other length
+  EXPECT_NE(cache.Get(&s1, "a", 0, 100), nullptr);
+}
+
+TEST(BufferCacheTest, EvictsLeastRecentlyUsedAtCapacity) {
+  MemoryStore storage;
+  // Room for ~3 1-KiB entries (charge = data + path + 64B overhead).
+  BufferCache cache(3 * 1100, /*num_shards=*/1);
+  cache.Put(&storage, "a", 0, 1024, MakeBuf(1024));
+  cache.Put(&storage, "b", 0, 1024, MakeBuf(1024));
+  cache.Put(&storage, "c", 0, 1024, MakeBuf(1024));
+  // Touch "a" so "b" is the LRU victim of the next insert.
+  ASSERT_NE(cache.Get(&storage, "a", 0, 1024), nullptr);
+  cache.Put(&storage, "d", 0, 1024, MakeBuf(1024));
+  EXPECT_NE(cache.Get(&storage, "a", 0, 1024), nullptr);
+  EXPECT_EQ(cache.Get(&storage, "b", 0, 1024), nullptr);
+  EXPECT_NE(cache.Get(&storage, "d", 0, 1024), nullptr);
+  EXPECT_GE(cache.stats().evictions, 1u);
+  EXPECT_LE(cache.stats().bytes_cached, cache.capacity_bytes());
+}
+
+TEST(BufferCacheTest, OversizedEntryIsNotCached) {
+  MemoryStore storage;
+  BufferCache cache(1024, /*num_shards=*/4);  // 256 bytes per shard
+  cache.Put(&storage, "big", 0, 512, MakeBuf(512));
+  EXPECT_EQ(cache.Get(&storage, "big", 0, 512), nullptr);
+  EXPECT_EQ(cache.stats().inserts, 0u);
+}
+
+TEST(BufferCacheTest, DuplicatePutKeepsOneCopy) {
+  MemoryStore storage;
+  BufferCache cache(1 << 20, 1);
+  cache.Put(&storage, "a", 0, 100, MakeBuf(100, 1));
+  cache.Put(&storage, "a", 0, 100, MakeBuf(100, 2));
+  EXPECT_EQ(cache.stats().entries, 1u);
+  // First writer wins; the racing duplicate is dropped.
+  EXPECT_EQ((*cache.Get(&storage, "a", 0, 100))[0], 1);
+}
+
+TEST(BufferCacheTest, EraseObjectDropsAllItsChunks) {
+  MemoryStore storage;
+  BufferCache cache(1 << 20, 4);
+  for (uint64_t off = 0; off < 16 * 1024; off += 1024) {
+    cache.Put(&storage, "obj", off, 1024, MakeBuf(1024));
+    cache.Put(&storage, "other", off, 1024, MakeBuf(1024));
+  }
+  cache.EraseObject(&storage, "obj");
+  EXPECT_EQ(cache.Get(&storage, "obj", 0, 1024), nullptr);
+  EXPECT_NE(cache.Get(&storage, "other", 0, 1024), nullptr);
+}
+
+TEST(BufferCacheTest, WriterFinishInvalidatesEveryLiveCache) {
+  auto storage = std::make_shared<MemoryStore>();
+  BufferCache cache_a(1 << 20), cache_b(1 << 20);
+  cache_a.Put(storage.get(), "t.pxl", 0, 64, MakeBuf(64));
+  cache_b.Put(storage.get(), "t.pxl", 0, 64, MakeBuf(64));
+
+  PixelsWriter writer({{"id", TypeId::kInt64}});
+  ASSERT_TRUE(writer.AppendRow({Value::Int(1)}).ok());
+  ASSERT_TRUE(writer.Finish(storage.get(), "t.pxl").ok());
+
+  // Overwriting t.pxl dropped its chunks from both registered caches.
+  EXPECT_EQ(cache_a.Get(storage.get(), "t.pxl", 0, 64), nullptr);
+  EXPECT_EQ(cache_b.Get(storage.get(), "t.pxl", 0, 64), nullptr);
+}
+
+TEST(BufferCacheTest, ConcurrentMixedOperationsStayConsistent) {
+  MemoryStore storage;
+  BufferCache cache(64 * 1024, /*num_shards=*/4);
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &storage, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const uint64_t off = static_cast<uint64_t>((t * 7 + i) % 64) * 512;
+        auto hit = cache.Get(&storage, "obj", off, 512);
+        if (hit != nullptr) {
+          // Content must always match what some thread inserted.
+          ASSERT_EQ(hit->size(), 512u);
+          ASSERT_EQ((*hit)[0], static_cast<uint8_t>(off / 512));
+        } else {
+          cache.Put(&storage, "obj", off, 512,
+                    MakeBuf(512, static_cast<uint8_t>(off / 512)));
+        }
+        if (i % 257 == 0) cache.EraseObject(&storage, "obj");
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto stats = cache.stats();
+  EXPECT_LE(stats.bytes_cached, cache.capacity_bytes());
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<uint64_t>(kThreads) * kOpsPerThread);
+}
+
+}  // namespace
+}  // namespace pixels

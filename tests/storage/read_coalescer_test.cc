@@ -1,0 +1,114 @@
+#include "storage/read_coalescer.h"
+
+#include <gtest/gtest.h>
+
+namespace pixels {
+namespace {
+
+TEST(ReadCoalescerTest, EmptyInputProducesEmptyPlan) {
+  CoalescePlan plan = CoalesceRanges({}, 1024);
+  EXPECT_TRUE(plan.merged.empty());
+  EXPECT_TRUE(plan.slices.empty());
+  EXPECT_EQ(plan.gap_bytes, 0u);
+}
+
+TEST(ReadCoalescerTest, SingleRangePassesThrough) {
+  CoalescePlan plan = CoalesceRanges({{100, 50}}, 1024);
+  ASSERT_EQ(plan.merged.size(), 1u);
+  EXPECT_EQ(plan.merged[0], (ByteRange{100, 50}));
+  EXPECT_EQ(plan.slices[0].merged_index, 0u);
+  EXPECT_EQ(plan.slices[0].offset_in_merged, 0u);
+  EXPECT_EQ(plan.ranges_served[0], 1u);
+  EXPECT_EQ(plan.gap_bytes, 0u);
+}
+
+TEST(ReadCoalescerTest, AdjacentRangesMergeWithZeroGap) {
+  CoalescePlan plan = CoalesceRanges({{0, 10}, {10, 10}}, 0);
+  ASSERT_EQ(plan.merged.size(), 1u);
+  EXPECT_EQ(plan.merged[0], (ByteRange{0, 20}));
+  EXPECT_EQ(plan.ranges_served[0], 2u);
+  EXPECT_EQ(plan.gap_bytes, 0u);
+}
+
+TEST(ReadCoalescerTest, GapWithinToleranceMergesAndCountsGapBytes) {
+  CoalescePlan plan = CoalesceRanges({{0, 10}, {15, 10}}, 5);
+  ASSERT_EQ(plan.merged.size(), 1u);
+  EXPECT_EQ(plan.merged[0], (ByteRange{0, 25}));
+  EXPECT_EQ(plan.gap_bytes, 5u);
+  EXPECT_EQ(plan.slices[1].offset_in_merged, 15u);
+}
+
+TEST(ReadCoalescerTest, GapAboveToleranceStaysSeparate) {
+  CoalescePlan plan = CoalesceRanges({{0, 10}, {16, 10}}, 5);
+  ASSERT_EQ(plan.merged.size(), 2u);
+  EXPECT_EQ(plan.gap_bytes, 0u);
+  EXPECT_EQ(plan.slices[1].merged_index, 1u);
+  EXPECT_EQ(plan.slices[1].offset_in_merged, 0u);
+}
+
+TEST(ReadCoalescerTest, UnsortedInputKeepsOriginalSliceOrder) {
+  CoalescePlan plan = CoalesceRanges({{100, 10}, {0, 10}}, 0);
+  ASSERT_EQ(plan.merged.size(), 2u);
+  // merged is sorted, slices stay in input order.
+  EXPECT_EQ(plan.merged[0], (ByteRange{0, 10}));
+  EXPECT_EQ(plan.merged[1], (ByteRange{100, 10}));
+  EXPECT_EQ(plan.slices[0].merged_index, 1u);
+  EXPECT_EQ(plan.slices[1].merged_index, 0u);
+}
+
+TEST(ReadCoalescerTest, OverlappingRangesAlwaysMerge) {
+  CoalescePlan plan = CoalesceRanges({{0, 20}, {10, 20}}, 0);
+  ASSERT_EQ(plan.merged.size(), 1u);
+  EXPECT_EQ(plan.merged[0], (ByteRange{0, 30}));
+  // Overlap is not a gap: every merged byte was asked for.
+  EXPECT_EQ(plan.gap_bytes, 0u);
+  EXPECT_EQ(plan.slices[1].offset_in_merged, 10u);
+}
+
+TEST(ReadCoalescerTest, ContainedRangeAddsNoBytes) {
+  CoalescePlan plan = CoalesceRanges({{0, 100}, {20, 10}}, 0);
+  ASSERT_EQ(plan.merged.size(), 1u);
+  EXPECT_EQ(plan.merged[0], (ByteRange{0, 100}));
+  EXPECT_EQ(plan.gap_bytes, 0u);
+}
+
+TEST(ReadCoalescerTest, ZeroLengthRangesAreNeverFetched) {
+  CoalescePlan plan = CoalesceRanges({{0, 10}, {5, 0}, {50, 0}}, 0);
+  ASSERT_EQ(plan.merged.size(), 1u);
+  EXPECT_EQ(plan.slices[1].merged_index, CoalescePlan::kEmptyRange);
+  EXPECT_EQ(plan.slices[2].merged_index, CoalescePlan::kEmptyRange);
+}
+
+TEST(ReadCoalescerTest, GapBytesAccumulateAcrossMergedRanges) {
+  // Two merged clusters, each bridging one 4-byte gap.
+  CoalescePlan plan =
+      CoalesceRanges({{0, 8}, {12, 8}, {1000, 8}, {1012, 8}}, 4);
+  ASSERT_EQ(plan.merged.size(), 2u);
+  EXPECT_EQ(plan.gap_bytes, 8u);
+  EXPECT_EQ(plan.ranges_served[0], 2u);
+  EXPECT_EQ(plan.ranges_served[1], 2u);
+}
+
+TEST(ReadCoalescerTest, SliceCoalescedReturnsExactBytes) {
+  std::vector<ByteRange> ranges = {{4, 3}, {0, 2}, {9, 0}};
+  CoalescePlan plan = CoalesceRanges(ranges, 256);
+  ASSERT_EQ(plan.merged.size(), 1u);
+  // Merged read covers [0, 7): bytes 0..6.
+  std::vector<std::vector<uint8_t>> merged = {{0, 1, 2, 3, 4, 5, 6}};
+  auto sliced = SliceCoalesced(plan, merged, ranges);
+  ASSERT_TRUE(sliced.ok());
+  EXPECT_EQ((*sliced)[0], (std::vector<uint8_t>{4, 5, 6}));
+  EXPECT_EQ((*sliced)[1], (std::vector<uint8_t>{0, 1}));
+  EXPECT_TRUE((*sliced)[2].empty());
+}
+
+TEST(ReadCoalescerTest, SliceCoalescedRejectsWrongBufferShape) {
+  std::vector<ByteRange> ranges = {{0, 4}};
+  CoalescePlan plan = CoalesceRanges(ranges, 0);
+  std::vector<std::vector<uint8_t>> short_buf = {{1, 2}};
+  EXPECT_FALSE(SliceCoalesced(plan, short_buf, ranges).ok());
+  EXPECT_FALSE(SliceCoalesced(plan, {}, ranges).ok());
+}
+
+}  // namespace
+}  // namespace pixels
