@@ -1,0 +1,276 @@
+// E10 — Materialized-view reuse (paper §3.1 generalized to cross-query
+// reuse).
+//
+// A repeated dashboard-style workload is replayed over real TPC-H data
+// behind a GET-counting object store, sweeping the share of repeated
+// queries × the service level. For each cell the bench reports the MV
+// hit rate, object-store GETs, and the total bill, and checks:
+//   * no repeats → no hits (the store never invents sharing),
+//   * hit rate grows with the repeat share,
+//   * GETs and the total bill fall monotonically as the repeat share
+//     grows (hits scan nothing and bill at the reuse fraction),
+//   * within a cell, hits are strictly cheaper than misses.
+//
+// `--mv-smoke` runs the CI gate instead: a repeated identical Immediate
+// query must be answered with ZERO object-store GETs and a strictly
+// lower bill than the first run.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "storage/memory_store.h"
+#include "storage/object_store.h"
+#include "workload/tpch.h"
+
+using namespace pixels;
+using namespace pixels::bench;
+
+namespace {
+
+struct Cell {
+  double repeat_share = 0;
+  const char* level_name = "";
+  size_t queries = 0;
+  size_t hits = 0;
+  uint64_t gets = 0;
+  uint64_t saved_bytes = 0;
+  double billed = 0;
+  double miss_bill = 0;  // mean bill of a miss
+  double hit_bill = 0;   // mean bill of a hit
+};
+
+/// Distinct dashboard queries: one template, varying literal → distinct
+/// fingerprints.
+std::string QueryAt(int i) {
+  return "SELECT l_returnflag, count(*) AS n, sum(l_quantity) AS q FROM "
+         "lineitem WHERE l_quantity < " +
+         std::to_string(10 + i % 40) + " GROUP BY l_returnflag";
+}
+
+Cell RunCell(const std::shared_ptr<MemoryStore>& base, double repeat_share,
+             ServiceLevel level, const char* level_name, int num_queries) {
+  // Fresh engine per cell over the same base data; GETs counted here.
+  auto object_store = std::make_shared<ObjectStore>(base);
+  auto catalog = std::make_shared<Catalog>(object_store);
+  if (!catalog->LoadFromStorage("meta/catalog.json").ok()) return {};
+
+  SimClock clock;
+  Random rng(42);
+  CoordinatorParams cparams;
+  cparams.vm.initial_vms = 1;
+  cparams.vm.slots_per_vm = 2;
+  cparams.vm.monitor_interval = 5 * kSeconds;
+  cparams.chunk_cache_bytes = 0;  // isolate MV reuse from chunk caching
+  cparams.mv_store_bytes = 256ULL << 20;
+  Coordinator coordinator(&clock, &rng, cparams, catalog);
+  QueryServerParams sparams;
+  QueryServer server(&clock, &coordinator, sparams);
+
+  Cell cell;
+  cell.repeat_share = repeat_share;
+  cell.level_name = level_name;
+  cell.queries = static_cast<size_t>(num_queries);
+
+  Random workload_rng(7);
+  std::vector<std::string> history;
+  size_t miss_count = 0, hit_count = 0;
+  int fresh = 0;
+  for (int i = 0; i < num_queries; ++i) {
+    std::string sql;
+    if (!history.empty() &&
+        workload_rng.UniformDouble(0.0, 1.0) < repeat_share) {
+      sql = history[static_cast<size_t>(workload_rng.Uniform(
+          0, static_cast<int64_t>(history.size()) - 1))];
+    } else {
+      sql = QueryAt(fresh++);
+    }
+    history.push_back(sql);
+
+    Submission s;
+    s.level = level;
+    s.query.sql = sql;
+    s.query.db = "tpch";
+    s.query.execute_real = true;
+    double bill = 0;
+    bool mv_hit = false;
+    server.Submit(s, [&](const SubmissionRecord& srec, const QueryRecord&) {
+      bill = srec.bill_usd;
+      mv_hit = srec.mv_hit;
+    });
+    clock.RunUntil(clock.Now() + 10 * kMinutes);
+    cell.billed += bill;
+    if (mv_hit) {
+      ++hit_count;
+      cell.hit_bill += bill;
+    } else {
+      ++miss_count;
+      cell.miss_bill += bill;
+    }
+  }
+  cell.hits = hit_count;
+  if (hit_count > 0) cell.hit_bill /= static_cast<double>(hit_count);
+  if (miss_count > 0) cell.miss_bill /= static_cast<double>(miss_count);
+  cell.gets = object_store->stats().get_requests;
+  cell.saved_bytes = coordinator.mv_store()->stats().saved_scan_bytes;
+  server.Stop();
+  coordinator.Stop();
+  clock.RunAll();
+  return cell;
+}
+
+int RunSweep() {
+  std::printf("=== E10: materialized-view reuse (repeat share x level) ===\n\n");
+
+  auto base = std::make_shared<MemoryStore>();
+  {
+    Catalog catalog(base);
+    TpchOptions topt;
+    topt.scale_factor = 0.001;
+    topt.rows_per_file = 2000;
+    if (!GenerateTpch(&catalog, "tpch", topt).ok()) return 1;
+    if (!catalog.SaveToStorage("meta/catalog.json").ok()) return 1;
+  }
+
+  const double shares[] = {0.0, 0.25, 0.5, 0.75};
+  struct LevelRow {
+    ServiceLevel level;
+    const char* name;
+  };
+  const LevelRow levels[] = {{ServiceLevel::kImmediate, "immediate"},
+                             {ServiceLevel::kRelaxed, "relaxed"},
+                             {ServiceLevel::kBestEffort, "best-effort"}};
+  const int kQueries = 40;
+
+  std::printf("%-12s %8s %9s %7s %8s %12s %12s %12s\n", "level", "repeat",
+              "hit_rate", "gets", "saved_MB", "billed_usd", "bill/miss",
+              "bill/hit");
+  std::vector<std::vector<Cell>> table;
+  for (const auto& lvl : levels) {
+    std::vector<Cell> row;
+    for (double share : shares) {
+      Cell c = RunCell(base, share, lvl.level, lvl.name, kQueries);
+      std::printf("%-12s %7.0f%% %8.1f%% %7llu %8.2f %12.8f %12.8f %12.8f\n",
+                  c.level_name, share * 100,
+                  100.0 * static_cast<double>(c.hits) /
+                      static_cast<double>(c.queries),
+                  static_cast<unsigned long long>(c.gets),
+                  static_cast<double>(c.saved_bytes) / 1e6, c.billed,
+                  c.miss_bill, c.hit_bill);
+      row.push_back(c);
+    }
+    table.push_back(row);
+  }
+  std::printf("\n");
+
+  bool ok = true;
+  for (const auto& row : table) {
+    const std::string name = row[0].level_name;
+    ok &= Check(row[0].hits == 0,
+                name + ": zero repeats -> zero MV hits");
+    ok &= Check(row[1].hits < row[2].hits && row[2].hits < row[3].hits,
+                name + ": hit count grows with the repeat share");
+    ok &= Check(row[0].gets > row[1].gets && row[1].gets > row[2].gets &&
+                    row[2].gets > row[3].gets,
+                name + ": object-store GETs fall as repeats grow");
+    ok &= Check(row[0].billed > row[1].billed &&
+                    row[1].billed > row[2].billed &&
+                    row[2].billed > row[3].billed,
+                name + ": total bill falls as repeats grow");
+    for (size_t i = 1; i < row.size(); ++i) {
+      ok &= Check(row[i].hit_bill < row[i].miss_bill,
+                  name + ": hits bill strictly less than misses (share " +
+                      std::to_string(static_cast<int>(
+                          row[i].repeat_share * 100)) +
+                      "%)");
+    }
+  }
+
+  std::printf("\nE10 overall: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
+int RunSmoke() {
+  std::printf("=== E10 smoke: repeated Immediate query (CI gate) ===\n");
+  auto base = std::make_shared<MemoryStore>();
+  {
+    Catalog catalog(base);
+    TpchOptions topt;
+    topt.scale_factor = 0.001;
+    topt.rows_per_file = 2000;
+    if (!GenerateTpch(&catalog, "tpch", topt).ok()) return 1;
+    if (!catalog.SaveToStorage("meta/catalog.json").ok()) return 1;
+  }
+  auto object_store = std::make_shared<ObjectStore>(base);
+  auto catalog = std::make_shared<Catalog>(object_store);
+  if (!catalog->LoadFromStorage("meta/catalog.json").ok()) return 1;
+
+  SimClock clock;
+  Random rng(42);
+  CoordinatorParams cparams;
+  cparams.vm.initial_vms = 1;
+  cparams.vm.slots_per_vm = 2;
+  cparams.vm.monitor_interval = 5 * kSeconds;
+  cparams.chunk_cache_bytes = 0;
+  cparams.mv_store_bytes = 256ULL << 20;
+  Coordinator coordinator(&clock, &rng, cparams, catalog);
+  QueryServer server(&clock, &coordinator, {});
+
+  auto run = [&] {
+    Submission s;
+    s.level = ServiceLevel::kImmediate;
+    s.query.sql =
+        "SELECT l_returnflag, count(*) AS n FROM lineitem GROUP BY "
+        "l_returnflag";
+    s.query.db = "tpch";
+    s.query.execute_real = true;
+    struct Out {
+      double bill = -1;
+      bool mv_hit = false;
+      uint64_t gets = 0;
+    } out;
+    const uint64_t before = object_store->stats().get_requests;
+    server.Submit(s, [&out](const SubmissionRecord& srec,
+                            const QueryRecord&) {
+      out.bill = srec.bill_usd;
+      out.mv_hit = srec.mv_hit;
+    });
+    clock.RunUntil(clock.Now() + 10 * kMinutes);
+    out.gets = object_store->stats().get_requests - before;
+    return out;
+  };
+
+  auto first = run();
+  auto second = run();
+  std::printf("first : gets=%llu bill=%.8f mv_hit=%d\n",
+              static_cast<unsigned long long>(first.gets), first.bill,
+              first.mv_hit);
+  std::printf("second: gets=%llu bill=%.8f mv_hit=%d\n",
+              static_cast<unsigned long long>(second.gets), second.bill,
+              second.mv_hit);
+
+  bool ok = true;
+  ok &= Check(first.gets > 0 && first.bill > 0 && !first.mv_hit,
+              "first run scans the object store and bills in full");
+  ok &= Check(second.mv_hit, "second run is an MV hit");
+  ok &= Check(second.gets == 0,
+              "second run issues ZERO object-store GETs");
+  ok &= Check(second.bill > 0 && second.bill < first.bill,
+              "second run bills strictly less (and not zero)");
+
+  server.Stop();
+  coordinator.Stop();
+  clock.RunAll();
+  std::printf("E10 smoke: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--mv-smoke") == 0) {
+    return RunSmoke();
+  }
+  return RunSweep();
+}

@@ -1,5 +1,7 @@
 #include "catalog/catalog.h"
 
+#include <algorithm>
+
 namespace pixels {
 
 Status Catalog::CreateDatabase(const std::string& db) {
@@ -35,6 +37,7 @@ Status Catalog::CreateTable(const std::string& db, const std::string& table,
   TableSchema schema;
   schema.name = table;
   schema.columns = std::move(columns);
+  schema.version = NextVersion();
   it->second.tables.push_back(std::move(schema));
   return Status::OK();
 }
@@ -59,6 +62,7 @@ Status Catalog::AddTableFile(const std::string& db, const std::string& table,
   schema->files.push_back(path);
   schema->row_count += reader->NumRows();
   schema->total_bytes += size;
+  schema->version = NextVersion();
   return Status::OK();
 }
 
@@ -69,6 +73,12 @@ Result<const TableSchema*> Catalog::GetTable(const std::string& db,
   const TableSchema* t = it->second.FindTable(table);
   if (t == nullptr) return Status::NotFound("no table: " + db + "." + table);
   return t;
+}
+
+Result<uint64_t> Catalog::GetTableVersion(const std::string& db,
+                                          const std::string& table) const {
+  PIXELS_ASSIGN_OR_RETURN(const TableSchema* schema, GetTable(db, table));
+  return schema->version;
 }
 
 Status Catalog::DropTable(const std::string& db, const std::string& table) {
@@ -102,6 +112,7 @@ Status Catalog::ReplaceTableFiles(const std::string& db,
   schema->files = files;
   schema->row_count = rows;
   schema->total_bytes = bytes;
+  schema->version = NextVersion();
   return Status::OK();
 }
 
@@ -129,6 +140,7 @@ Status Catalog::SaveToStorage(const std::string& path) const {
   for (const auto& [_, db] : databases_) dbs.Append(db.ToJson());
   Json doc = Json::Object();
   doc.Set("format_version", 1);
+  doc.Set("version_counter", static_cast<int64_t>(version_counter_));
   doc.Set("databases", std::move(dbs));
   return WriteString(storage_.get(), path, doc.Dump());
 }
@@ -148,6 +160,18 @@ Status Catalog::LoadFromStorage(const std::string& path) {
     loaded.emplace(std::move(name), std::move(db));
   }
   databases_ = std::move(loaded);
+  // Resume the epoch counter past every persisted table version, so the
+  // next mutation can never re-issue an epoch some MV entry still pins.
+  uint64_t max_version = doc.Has("version_counter")
+                             ? static_cast<uint64_t>(
+                                   doc.Get("version_counter").AsInt())
+                             : 0;
+  for (const auto& [_, db] : databases_) {
+    for (const auto& t : db.tables) {
+      max_version = std::max(max_version, t.version);
+    }
+  }
+  version_counter_ = max_version;
   return Status::OK();
 }
 

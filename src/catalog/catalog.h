@@ -37,6 +37,13 @@ class Catalog {
   Result<const TableSchema*> GetTable(const std::string& db,
                                       const std::string& table) const;
 
+  /// Current version epoch of a table. Epochs are catalog-wide monotonic:
+  /// every data mutation (AddTableFile, ReplaceTableFiles — and therefore
+  /// compaction) moves the table to a fresh, never-reused epoch. The MV
+  /// store pins epochs at build time and compares them here at lookup.
+  Result<uint64_t> GetTableVersion(const std::string& db,
+                                   const std::string& table) const;
+
   Status DropTable(const std::string& db, const std::string& table);
 
   /// Replaces a table's file list (compaction switch-over): validates every
@@ -71,8 +78,12 @@ class Catalog {
   Result<TableSchema*> GetTableMutable(const std::string& db,
                                        const std::string& table);
 
+  /// Hands out the next catalog-wide version epoch.
+  uint64_t NextVersion() { return ++version_counter_; }
+
   std::shared_ptr<Storage> storage_;
   std::map<std::string, DatabaseSchema> databases_;
+  uint64_t version_counter_ = 0;
 };
 
 }  // namespace pixels

@@ -75,6 +75,10 @@ Result<CompactionResult> CompactTable(Catalog* catalog, const std::string& db,
   PIXELS_RETURN_NOT_OK(flush());
 
   // Atomically (from the catalog's point of view) switch the file list.
+  // The swap bumps the table's version epoch, so materialized views built
+  // over the pre-compaction files invalidate even though the row contents
+  // are unchanged — an MV must never outlive the objects it was read from
+  // (the old files are deleted just below).
   PIXELS_RETURN_NOT_OK(catalog->ReplaceTableFiles(db, table, new_files));
 
   if (options.delete_inputs) {

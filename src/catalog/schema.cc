@@ -33,6 +33,7 @@ Json TableSchema::ToJson() const {
   out.Set("files", std::move(fs));
   out.Set("row_count", static_cast<int64_t>(row_count));
   out.Set("total_bytes", static_cast<int64_t>(total_bytes));
+  out.Set("version", static_cast<int64_t>(version));
   return out;
 }
 
@@ -61,6 +62,10 @@ Result<TableSchema> TableSchema::FromJson(const Json& json) {
   }
   out.row_count = static_cast<uint64_t>(json.Get("row_count").AsInt());
   out.total_bytes = static_cast<uint64_t>(json.Get("total_bytes").AsInt());
+  // Catalogs persisted before version epochs existed load as epoch 1.
+  out.version = json.Has("version")
+                    ? static_cast<uint64_t>(json.Get("version").AsInt())
+                    : 1;
   return out;
 }
 

@@ -18,6 +18,12 @@ struct TableSchema {
   std::vector<std::string> files;  // storage paths of .pxl objects
   uint64_t row_count = 0;
   uint64_t total_bytes = 0;  // encoded bytes across files
+  /// Monotonic version epoch, bumped by every mutation of the table's
+  /// data (file adds, compaction switch-overs). Values are drawn from a
+  /// catalog-wide counter, so a dropped-and-recreated table can never
+  /// reuse an old epoch. Materialized views pin the epochs they read and
+  /// are invalidated on mismatch.
+  uint64_t version = 1;
 
   /// Index of the named column, or -1.
   int FindColumn(const std::string& column) const;

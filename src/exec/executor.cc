@@ -6,7 +6,9 @@
 #include "exec/hash_join.h"
 #include "exec/operators.h"
 #include "exec/sort.h"
+#include "mv/mv_store.h"
 #include "plan/binder.h"
+#include "plan/fingerprint.h"
 #include "plan/optimizer.h"
 
 namespace pixels {
@@ -129,7 +131,35 @@ Result<TablePtr> ExecuteQuery(const std::string& sql, const std::string& db,
   }
   PIXELS_ASSIGN_OR_RETURN(PlanPtr plan, PlanQuery(sql, *ctx->catalog, db));
   PIXELS_ASSIGN_OR_RETURN(plan, Optimize(std::move(plan), *ctx->catalog));
-  return ExecutePlan(plan, ctx);
+
+  if (ctx->mv_store == nullptr) return ExecutePlan(plan, ctx);
+
+  // Full-query MV reuse: planning above touched only catalog metadata, so
+  // a hit answers the query with zero storage requests and zero scanned
+  // bytes. Plans that cannot be fingerprinted just execute normally.
+  auto fp = FingerprintPlan(*plan);
+  if (fp.ok()) {
+    if (auto hit = ctx->mv_store->Lookup(*fp, *ctx->catalog)) {
+      ctx->mv_hits.fetch_add(1, std::memory_order_relaxed);
+      ctx->mv_saved_bytes.fetch_add(hit->saved_scan_bytes,
+                                    std::memory_order_relaxed);
+      return hit->table;
+    }
+  }
+  const uint64_t scanned_before = ctx->bytes_scanned.load();
+  PIXELS_ASSIGN_OR_RETURN(TablePtr table, ExecutePlan(plan, ctx));
+  if (fp.ok()) {
+    // Rebuild cost = what this execution scanned; pins = the versions it
+    // read. Collected after execution so a concurrent write that bumped a
+    // version mid-query at worst stores pins that immediately mismatch.
+    auto pins = CollectTableVersionPins(*plan, *ctx->catalog);
+    if (pins.ok()) {
+      ctx->mv_store->Insert(*fp, table,
+                            ctx->bytes_scanned.load() - scanned_before,
+                            std::move(*pins));
+    }
+  }
+  return table;
 }
 
 }  // namespace pixels

@@ -11,6 +11,8 @@
 
 namespace pixels {
 
+class MvStore;
+
 /// Shared execution state: catalog access, the query's parallelism policy,
 /// and scan accounting that feeds billing ($/TB-scan) and the benches.
 /// Scan counters are atomic so concurrent morsels and CF workers can bill
@@ -33,6 +35,14 @@ struct ExecContext {
   /// Chunk reads served from / missed in the shared buffer cache.
   std::atomic<uint64_t> cache_hits{0};
   std::atomic<uint64_t> cache_misses{0};
+  /// Materialized-view store consulted by `ExecuteQuery` for full-query
+  /// reuse (null disables MV reuse). Unlike the chunk cache, a hit here
+  /// skips the scan entirely, so `bytes_scanned` stays 0 and the query
+  /// server bills the saved bytes at the reuse discount instead.
+  MvStore* mv_store = nullptr;
+  /// MV reuse audit counters (flow into coordinator/server metrics).
+  std::atomic<uint64_t> mv_hits{0};
+  std::atomic<uint64_t> mv_saved_bytes{0};
 
   int EffectiveParallelism() const {
     return parallelism > 0 ? parallelism : DefaultParallelism();

@@ -1,0 +1,234 @@
+#include "mv/mv_store.h"
+
+#include <algorithm>
+
+#include "format/reader.h"
+#include "format/writer.h"
+#include "storage/storage.h"
+
+namespace pixels {
+
+uint64_t TablePayloadBytes(const Table& table) {
+  uint64_t bytes = 0;
+  for (const auto& batch : table.batches()) bytes += batch->ApproxBytes();
+  return bytes;
+}
+
+MvStore::MvStore(MvStoreOptions options) : options_(std::move(options)) {
+  if (options_.eviction_window < 1) options_.eviction_window = 1;
+}
+
+bool MvStore::PinsCurrent(const std::vector<TableVersionPin>& pins,
+                          const Catalog& catalog) {
+  for (const auto& pin : pins) {
+    auto version = catalog.GetTableVersion(pin.db, pin.table);
+    if (!version.ok() || *version != pin.version) return false;
+  }
+  return true;
+}
+
+std::string MvStore::SpillPath(const std::string& key) const {
+  return options_.spill_prefix + "/" + key + ".pxl";
+}
+
+std::optional<MvLookupResult> MvStore::Lookup(const PlanFingerprint& fp,
+                                              const Catalog& catalog) {
+  const std::string key = fp.ToHex();
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.lookups;
+
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    if (!PinsCurrent(it->second.pins, catalog)) {
+      bytes_cached_ -= it->second.bytes;
+      entries_.erase(it);
+      DropSpillLocked(key);
+      ++stats_.invalidations;
+      ++stats_.misses;
+      return std::nullopt;
+    }
+    it->second.lru_tick = ++lru_clock_;
+    ++stats_.hits;
+    stats_.saved_scan_bytes += it->second.rebuild_scan_bytes;
+    return MvLookupResult{it->second.table, it->second.rebuild_scan_bytes,
+                          /*from_spill=*/false};
+  }
+
+  auto sit = spilled_.find(key);
+  if (sit != spilled_.end()) {
+    if (!PinsCurrent(sit->second.pins, catalog)) {
+      DropSpillLocked(key);
+      ++stats_.invalidations;
+      ++stats_.misses;
+      return std::nullopt;
+    }
+    // Read the spilled view back (a few GETs instead of a rescan) and
+    // re-admit it to the memory tier.
+    auto reader = PixelsReader::Open(options_.spill_storage, sit->second.path);
+    if (!reader.ok()) {
+      // The object went missing underneath us; treat as a plain miss.
+      spilled_.erase(sit);
+      ++stats_.misses;
+      return std::nullopt;
+    }
+    auto table = std::make_shared<Table>();
+    for (size_t g = 0; g < (*reader)->NumRowGroups(); ++g) {
+      auto batch = (*reader)->ReadRowGroup(g, {});
+      if (!batch.ok()) {
+        spilled_.erase(sit);
+        ++stats_.misses;
+        return std::nullopt;
+      }
+      table->AddBatch(std::move(*batch));
+    }
+    const uint64_t rebuild = sit->second.rebuild_scan_bytes;
+    std::vector<TableVersionPin> pins = sit->second.pins;
+    InsertLocked(key, table, rebuild, std::move(pins));
+    ++stats_.hits;
+    ++stats_.spill_hits;
+    stats_.saved_scan_bytes += rebuild;
+    return MvLookupResult{std::move(table), rebuild, /*from_spill=*/true};
+  }
+
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+void MvStore::Insert(const PlanFingerprint& fp, TablePtr result,
+                     uint64_t rebuild_scan_bytes,
+                     std::vector<TableVersionPin> pins) {
+  if (result == nullptr) return;
+  const std::string key = fp.ToHex();
+  std::lock_guard<std::mutex> lock(mutex_);
+  InsertLocked(key, std::move(result), rebuild_scan_bytes, std::move(pins));
+}
+
+void MvStore::InsertLocked(const std::string& key, TablePtr result,
+                           uint64_t rebuild_scan_bytes,
+                           std::vector<TableVersionPin> pins) {
+  Entry entry;
+  entry.table = std::move(result);
+  entry.bytes = TablePayloadBytes(*entry.table);
+  entry.rebuild_scan_bytes = rebuild_scan_bytes;
+  entry.pins = std::move(pins);
+  entry.lru_tick = ++lru_clock_;
+
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    bytes_cached_ -= it->second.bytes;
+    entries_.erase(it);
+  }
+  if (entry.bytes > options_.capacity_bytes) {
+    // Too large for the memory tier entirely: straight to spill.
+    if (options_.spill_storage != nullptr) {
+      SpillLocked(key, entry);
+    }
+    return;
+  }
+  EvictUntilFitsLocked(entry.bytes);
+  bytes_cached_ += entry.bytes;
+  // A fresh insert supersedes any spilled copy built from older pins.
+  spilled_.erase(key);
+  entries_[key] = std::move(entry);
+  ++stats_.inserts;
+}
+
+void MvStore::EvictUntilFitsLocked(uint64_t incoming_bytes) {
+  while (!entries_.empty() &&
+         bytes_cached_ + incoming_bytes > options_.capacity_bytes) {
+    // Rank by recency, then evict the cheapest-to-rebuild entry among the
+    // `eviction_window` least recently used: a stale-but-expensive view
+    // outlives a stale-and-cheap one.
+    std::vector<std::map<std::string, Entry>::iterator> tail;
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      tail.push_back(it);
+    }
+    std::sort(tail.begin(), tail.end(), [](const auto& a, const auto& b) {
+      return a->second.lru_tick < b->second.lru_tick;
+    });
+    if (tail.size() > static_cast<size_t>(options_.eviction_window)) {
+      tail.resize(static_cast<size_t>(options_.eviction_window));
+    }
+    auto victim = *std::min_element(
+        tail.begin(), tail.end(), [](const auto& a, const auto& b) {
+          return a->second.rebuild_scan_bytes < b->second.rebuild_scan_bytes;
+        });
+    if (options_.spill_storage != nullptr) {
+      SpillLocked(victim->first, victim->second);
+    }
+    bytes_cached_ -= victim->second.bytes;
+    entries_.erase(victim);
+    ++stats_.evictions;
+  }
+}
+
+void MvStore::SpillLocked(const std::string& key, const Entry& entry) {
+  if (entry.table->batches().empty()) return;  // nothing worth persisting
+  const RowBatch& first = *entry.table->batches()[0];
+  FileSchema schema;
+  for (size_t c = 0; c < first.num_columns(); ++c) {
+    schema.push_back(ColumnDef{first.name(c), first.column(c)->type()});
+  }
+  PixelsWriter writer(schema);
+  for (const auto& batch : entry.table->batches()) {
+    if (!writer.Append(*batch).ok()) return;  // best effort: drop instead
+  }
+  const std::string path = SpillPath(key);
+  if (!writer.Finish(options_.spill_storage, path).ok()) return;
+  SpillEntry spill;
+  spill.path = path;
+  spill.rebuild_scan_bytes = entry.rebuild_scan_bytes;
+  spill.pins = entry.pins;
+  spilled_[key] = std::move(spill);
+  ++stats_.spill_writes;
+}
+
+void MvStore::DropSpillLocked(const std::string& key) {
+  auto it = spilled_.find(key);
+  if (it == spilled_.end()) return;
+  if (options_.spill_storage != nullptr) {
+    (void)options_.spill_storage->Delete(it->second.path);  // best effort
+  }
+  spilled_.erase(it);
+}
+
+void MvStore::InvalidateTable(const std::string& db, const std::string& table) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto pinned = [&](const std::vector<TableVersionPin>& pins) {
+    for (const auto& pin : pins) {
+      if (pin.db == db && pin.table == table) return true;
+    }
+    return false;
+  };
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (pinned(it->second.pins)) {
+      bytes_cached_ -= it->second.bytes;
+      it = entries_.erase(it);
+      ++stats_.invalidations;
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = spilled_.begin(); it != spilled_.end();) {
+    if (pinned(it->second.pins)) {
+      if (options_.spill_storage != nullptr) {
+        (void)options_.spill_storage->Delete(it->second.path);
+      }
+      it = spilled_.erase(it);
+      ++stats_.invalidations;
+    } else {
+      ++it;
+    }
+  }
+}
+
+MvStoreStats MvStore::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MvStoreStats out = stats_;
+  out.bytes_cached = bytes_cached_;
+  out.entries = entries_.size();
+  out.spill_entries = spilled_.size();
+  return out;
+}
+
+}  // namespace pixels

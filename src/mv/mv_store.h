@@ -1,0 +1,151 @@
+// MvStore: the materialized-view store (paper §3.1 generalized to
+// cross-query reuse). CF pushdown already materializes sub-plan results
+// as views that re-enter the top-level plan; this store keeps those views
+// — and full query results — across queries, keyed by the canonical plan
+// fingerprint, so a repeated dashboard query is answered without touching
+// the object store.
+//
+// Tiers:
+//  - memory: byte-bounded, thread-safe, shared by the top-level plan, the
+//    CF worker fleet, and concurrent queries. Eviction is LRU biased by
+//    rebuild cost: among the least-recently-used entries, the one that is
+//    cheapest to rebuild (fewest scan bytes saved) goes first.
+//  - spill (optional): entries evicted from memory persist as .pxl
+//    objects through the Storage interface (paper: S3) and are read back
+//    on a later hit — a few GETs instead of a full rescan.
+//
+// Invalidation is catalog-driven: every entry pins the version epoch of
+// each base table it read; a lookup whose pins mismatch the catalog's
+// current epochs deletes the entry (memory and spill object both). There
+// is no TTL — correctness comes from versions, not clocks.
+//
+// Billing: the store never touches `bytes_scanned`. A hit reports the
+// entry's rebuild cost as `saved_scan_bytes`; the query server bills that
+// at the reuse discount, so a warm hit is strictly cheaper but not free.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "format/batch.h"
+#include "plan/fingerprint.h"
+
+namespace pixels {
+
+class Storage;
+
+/// Configuration of one MvStore instance.
+struct MvStoreOptions {
+  /// Byte budget of the in-memory tier (result-table payload bytes).
+  uint64_t capacity_bytes = 256ULL << 20;
+  /// Spill tier storage; null disables spilling (evictions just drop).
+  Storage* spill_storage = nullptr;
+  /// Path prefix for spilled .pxl objects.
+  std::string spill_prefix = "mv/spill";
+  /// Eviction examines this many LRU-tail entries and evicts the one with
+  /// the smallest rebuild cost (1 = plain LRU).
+  int eviction_window = 4;
+};
+
+/// Counter snapshot. Monotonic except the occupancy gauges.
+struct MvStoreStats {
+  uint64_t lookups = 0;
+  uint64_t hits = 0;          // memory + spill
+  uint64_t spill_hits = 0;    // subset of hits served from the spill tier
+  uint64_t misses = 0;
+  uint64_t inserts = 0;
+  uint64_t evictions = 0;     // entries dropped from memory
+  uint64_t spill_writes = 0;  // evictions persisted to the spill tier
+  uint64_t invalidations = 0; // entries killed by version-pin mismatch
+  /// Cumulative scan bytes avoided by hits (the saved-scan audit trail).
+  uint64_t saved_scan_bytes = 0;
+  /// Current occupancy of the memory tier.
+  uint64_t bytes_cached = 0;
+  uint64_t entries = 0;
+  uint64_t spill_entries = 0;
+};
+
+/// A successful lookup.
+struct MvLookupResult {
+  TablePtr table;
+  /// Scan bytes the hit avoided (the entry's recorded rebuild cost).
+  uint64_t saved_scan_bytes = 0;
+  bool from_spill = false;
+};
+
+/// Thread-safe materialized-view store with versioned invalidation.
+class MvStore {
+ public:
+  explicit MvStore(MvStoreOptions options = {});
+
+  MvStore(const MvStore&) = delete;
+  MvStore& operator=(const MvStore&) = delete;
+
+  /// Looks up a plan's cached result. Validates the entry's table-version
+  /// pins against `catalog`; a stale entry is erased (spill object
+  /// included) and the lookup misses. A spill-tier hit re-admits the
+  /// entry to memory.
+  std::optional<MvLookupResult> Lookup(const PlanFingerprint& fp,
+                                       const Catalog& catalog);
+
+  /// Inserts (or refreshes) a plan's result. `rebuild_scan_bytes` is the
+  /// scan cost the entry saves per future hit — it drives both eviction
+  /// priority and the saved-scan billing discount. `pins` are the table
+  /// versions the result was built from.
+  void Insert(const PlanFingerprint& fp, TablePtr result,
+              uint64_t rebuild_scan_bytes, std::vector<TableVersionPin> pins);
+
+  /// Drops every entry (memory and spill index) that pins the given
+  /// table, regardless of version. Used by tests and explicit DDL paths;
+  /// normal invalidation happens lazily at lookup.
+  void InvalidateTable(const std::string& db, const std::string& table);
+
+  MvStoreStats stats() const;
+  uint64_t capacity_bytes() const { return options_.capacity_bytes; }
+
+ private:
+  struct Entry {
+    TablePtr table;
+    uint64_t bytes = 0;
+    uint64_t rebuild_scan_bytes = 0;
+    std::vector<TableVersionPin> pins;
+    uint64_t lru_tick = 0;
+  };
+  struct SpillEntry {
+    std::string path;
+    uint64_t rebuild_scan_bytes = 0;
+    std::vector<TableVersionPin> pins;
+  };
+
+  /// True when every pin matches the catalog's current version.
+  static bool PinsCurrent(const std::vector<TableVersionPin>& pins,
+                          const Catalog& catalog);
+
+  /// Unlocked helpers (caller holds mutex_).
+  void InsertLocked(const std::string& key, TablePtr result,
+                    uint64_t rebuild_scan_bytes,
+                    std::vector<TableVersionPin> pins);
+  void EvictUntilFitsLocked(uint64_t incoming_bytes);
+  void SpillLocked(const std::string& key, const Entry& entry);
+  void DropSpillLocked(const std::string& key);
+  std::string SpillPath(const std::string& key) const;
+
+  MvStoreOptions options_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;        // key = fingerprint hex
+  std::map<std::string, SpillEntry> spilled_;   // spill-tier index
+  uint64_t bytes_cached_ = 0;
+  uint64_t lru_clock_ = 0;
+  MvStoreStats stats_;
+};
+
+/// Payload bytes of a result table (the memory-tier charge).
+uint64_t TablePayloadBytes(const Table& table);
+
+}  // namespace pixels

@@ -1,0 +1,75 @@
+// Plan canonicalization and fingerprinting for the materialized-view
+// store. Two optimized plans that are semantically equivalent up to
+// commutative reordering — conjunct order in filters, operand order of
+// commutative operators, projection/aggregate output order (results are
+// addressed by column name), scan projection order, IN-list order — must
+// render to the same canonical text and therefore the same fingerprint;
+// any change to a literal, table, column, or structural shape must change
+// it. Literal values enter the text as short hashes ("hashed literals"),
+// so keys stay bounded no matter how long the constants are.
+//
+// The fingerprint deliberately does NOT include table version epochs:
+// versions are pinned per MV entry and validated at lookup time, so a
+// write bumps the pin, not the key (see mv/mv_store.h).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "plan/logical_plan.h"
+
+namespace pixels {
+
+/// 128-bit plan identity: two independent 64-bit FNV-1a streams over the
+/// canonical plan text. Collisions require both halves to collide.
+struct PlanFingerprint {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  bool operator==(const PlanFingerprint& other) const {
+    return hi == other.hi && lo == other.lo;
+  }
+  bool operator!=(const PlanFingerprint& other) const {
+    return !(*this == other);
+  }
+  bool operator<(const PlanFingerprint& other) const {
+    return hi != other.hi ? hi < other.hi : lo < other.lo;
+  }
+
+  /// 32 hex chars; used as the store key and spill object name.
+  std::string ToHex() const;
+};
+
+/// Canonical text of a plan subtree. Fails for plans containing an
+/// inlined materialized view (its contents have no stable identity), so
+/// already-injected final plans are never mistaken for reusable ones.
+Result<std::string> CanonicalPlanText(const LogicalPlan& plan);
+
+/// Canonical text of one expression (exposed for tests).
+std::string CanonicalExprText(const Expr& expr);
+
+/// Fingerprint of a plan subtree (hash of CanonicalPlanText).
+Result<PlanFingerprint> FingerprintPlan(const LogicalPlan& plan);
+
+/// One base table a plan read, with the catalog version epoch current at
+/// read time. An MV entry stores these pins; a lookup whose current
+/// versions mismatch is stale.
+struct TableVersionPin {
+  std::string db;
+  std::string table;
+  uint64_t version = 0;
+
+  bool operator==(const TableVersionPin& other) const {
+    return version == other.version && db == other.db && table == other.table;
+  }
+};
+
+/// Collects the (db, table, version) pins of every scan in the subtree,
+/// deduplicated and sorted. Fails if a scanned table is missing from the
+/// catalog.
+Result<std::vector<TableVersionPin>> CollectTableVersionPins(
+    const LogicalPlan& plan, const Catalog& catalog);
+
+}  // namespace pixels

@@ -91,9 +91,27 @@ void QueryServer::DispatchToCoordinator(int64_t server_id, bool cf_enabled) {
       std::move(spec),
       [this, server_id, result_limit](const QueryRecord& qrec) {
         SubmissionRecord& srec = records_[server_id];
-        srec.bill_usd = params_.prices.Bill(srec.level, qrec.bytes_scanned);
+        srec.mv_hit = qrec.mv_hit;
+        srec.mv_saved_bytes = qrec.mv_saved_bytes;
+        // Scanned bytes bill at the full service-level rate; bytes an MV
+        // hit avoided scanning bill at the reuse fraction. A full hit
+        // therefore costs `fraction × original bill` — strictly cheaper,
+        // never free, and auditable from the counters below.
+        srec.bill_usd =
+            params_.prices.Bill(srec.level, qrec.bytes_scanned) +
+            params_.mv_reuse_bill_fraction *
+                params_.prices.Bill(srec.level, qrec.mv_saved_bytes);
         total_billed_ += srec.bill_usd;
         metrics_.Add("billed_usd", srec.bill_usd);
+        if (qrec.mv_hit) metrics_.Add("mv_hits", 1);
+        if (qrec.mv_saved_bytes > 0) {
+          metrics_.Add("mv_saved_bytes",
+                       static_cast<double>(qrec.mv_saved_bytes));
+          metrics_.Add("mv_discount_usd",
+                       (1.0 - params_.mv_reuse_bill_fraction) *
+                           params_.prices.Bill(srec.level,
+                                               qrec.mv_saved_bytes));
+        }
         // Enforce the result-size limit client-side.
         QueryRecord limited = qrec;
         if (result_limit > 0 && limited.result != nullptr &&
@@ -179,6 +197,8 @@ Result<QueryServer::StatusView> QueryServer::GetStatus(int64_t server_id) const 
   if (qrec == nullptr) return Status::Internal("dangling coordinator id");
   view.state = qrec->state;
   view.used_cf = qrec->used_cf;
+  view.mv_hit = qrec->mv_hit;
+  view.mv_saved_bytes = qrec->mv_saved_bytes;
   view.error = qrec->error;
   if (qrec->start_time >= 0) {
     // Pending covers server hold + coordinator queue.

@@ -28,6 +28,11 @@ struct QueryServerParams {
   /// Cap on result rows returned to clients (the submission form's
   /// result-size limit; 0 = unlimited).
   int64_t default_result_limit = 0;
+  /// Fraction of the scan price billed for bytes a materialized-view hit
+  /// avoided scanning. Reused results are discounted, not free: the bill
+  /// for a full hit is this fraction of the original query's bill, which
+  /// keeps revenue auditable against `mv_saved_bytes`.
+  double mv_reuse_bill_fraction = 0.1;
 };
 
 /// A submission through the query server.
@@ -46,6 +51,10 @@ struct SubmissionRecord {
   SimTime received_time = 0;
   SimTime dispatch_time = -1;  // when handed to the coordinator
   double bill_usd = 0;         // $/TB-scan price charged to the user
+  /// The whole query was answered from the materialized-view store.
+  bool mv_hit = false;
+  /// Scan bytes MV reuse avoided; billed at `mv_reuse_bill_fraction`.
+  uint64_t mv_saved_bytes = 0;
   /// The result as returned to the client, after the submission form's
   /// result-size limit was applied (null until finished).
   TablePtr result;
@@ -76,6 +85,8 @@ class QueryServer {
     SimTime execution_ms = -1;
     double bill_usd = 0;
     bool used_cf = false;
+    bool mv_hit = false;
+    uint64_t mv_saved_bytes = 0;
     std::string error;
   };
   Result<StatusView> GetStatus(int64_t server_id) const;

@@ -5,6 +5,7 @@
 #include "common/thread_pool.h"
 #include "exec/executor.h"
 #include "format/writer.h"
+#include "plan/fingerprint.h"
 
 namespace pixels {
 
@@ -35,10 +36,41 @@ Result<TablePtr> RoundTripView(const Table& view, Storage* storage,
   return out;
 }
 
+namespace {
+
+/// Best-effort insert of a plan's result into the MV store.
+void TryInsertMv(MvStore* store, const LogicalPlan& plan,
+                 const Catalog& catalog, const TablePtr& result,
+                 uint64_t rebuild_scan_bytes) {
+  if (store == nullptr || result == nullptr) return;
+  auto fp = FingerprintPlan(plan);
+  if (!fp.ok()) return;
+  auto pins = CollectTableVersionPins(plan, catalog);
+  if (!pins.ok()) return;
+  store->Insert(*fp, result, rebuild_scan_bytes, std::move(*pins));
+}
+
+}  // namespace
+
 Result<CfExecution> ExecuteWithCfPushdown(const PlanPtr& plan,
                                           Catalog* catalog,
                                           const CfWorkerOptions& options) {
   CfExecution out;
+
+  // Full-query MV reuse first: a hit answers the query without splitting,
+  // scanning, or invoking a single CF worker.
+  if (options.mv_store != nullptr) {
+    auto fp = FingerprintPlan(*plan);
+    if (fp.ok()) {
+      if (auto hit = options.mv_store->Lookup(*fp, *catalog)) {
+        out.result = hit->table;
+        out.mv_full_hit = true;
+        out.mv_saved_bytes = hit->saved_scan_bytes;
+        return out;
+      }
+    }
+  }
+
   PIXELS_ASSIGN_OR_RETURN(SubPlanSplit split, SplitForCf(plan));
 
   ExecContext top_ctx;
@@ -51,7 +83,34 @@ Result<CfExecution> ExecuteWithCfPushdown(const PlanPtr& plan,
     out.bytes_scanned = top_ctx.bytes_scanned;
     out.work_vcpu_seconds = static_cast<double>(out.bytes_scanned) /
                             options.bytes_per_vcpu_second;
+    TryInsertMv(options.mv_store, *plan, *catalog, out.result,
+                out.bytes_scanned);
     return out;
+  }
+
+  // Sub-plan MV reuse: the paper's materialized-view seam is exactly the
+  // store's unit of sharing, so a repeat of the heavy sub-plan (even
+  // under a different top-level shape) skips the whole worker fleet.
+  if (options.mv_store != nullptr) {
+    auto sub_fp = FingerprintPlan(*split.subplan);
+    if (sub_fp.ok()) {
+      if (auto hit = options.mv_store->Lookup(*sub_fp, *catalog)) {
+        out.pushdown_used = true;
+        out.mv_subplan_hit = true;
+        out.mv_saved_bytes = hit->saved_scan_bytes;
+        out.view = hit->table;
+        PIXELS_RETURN_NOT_OK(InjectView(split.final_plan, out.view));
+        ExecContext final_ctx;
+        final_ctx.catalog = catalog;
+        final_ctx.io = options.io;
+        PIXELS_ASSIGN_OR_RETURN(out.result,
+                                ExecutePlan(split.final_plan, &final_ctx));
+        out.bytes_scanned = final_ctx.bytes_scanned;
+        out.work_vcpu_seconds = static_cast<double>(out.bytes_scanned) /
+                                options.bytes_per_vcpu_second;
+        return out;
+      }
+    }
   }
 
   // Partition the sub-plan across the worker fleet.
@@ -113,6 +172,11 @@ Result<CfExecution> ExecuteWithCfPushdown(const PlanPtr& plan,
   out.work_vcpu_seconds = static_cast<double>(out.bytes_scanned) /
                           options.bytes_per_vcpu_second;
 
+  // The concatenated worker view is the shareable artifact: cache it
+  // keyed by the unpartitioned sub-plan so future queries skip the fleet.
+  TryInsertMv(options.mv_store, *split.subplan, *catalog, view,
+              out.bytes_scanned);
+
   // Inject the materialized view and run the top-level plan.
   PIXELS_RETURN_NOT_OK(InjectView(split.final_plan, view));
   ExecContext final_ctx;
@@ -120,6 +184,12 @@ Result<CfExecution> ExecuteWithCfPushdown(const PlanPtr& plan,
   final_ctx.io = options.io;
   PIXELS_ASSIGN_OR_RETURN(out.result, ExecutePlan(split.final_plan, &final_ctx));
   out.bytes_scanned += final_ctx.bytes_scanned;
+
+  // Also cache the full-query result (keyed by the original plan, which
+  // still has no inlined view) so an identical repeat skips even the
+  // top-level merge.
+  TryInsertMv(options.mv_store, *plan, *catalog, out.result,
+              out.bytes_scanned);
   return out;
 }
 

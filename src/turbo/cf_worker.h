@@ -5,6 +5,7 @@
 #pragma once
 
 #include "catalog/catalog.h"
+#include "mv/mv_store.h"
 #include "plan/subplan.h"
 
 namespace pixels {
@@ -16,6 +17,13 @@ struct CfExecution {
   int workers_used = 0;     // actual fleet size
   uint64_t bytes_scanned = 0;
   bool pushdown_used = false;
+  /// The whole query was answered from the MV store (no scan, no fleet).
+  bool mv_full_hit = false;
+  /// The pushed-down sub-plan's view came from the MV store; only the
+  /// top-level plan executed (no fleet invocation).
+  bool mv_subplan_hit = false;
+  /// Scan bytes MV hits avoided (full-query or sub-plan granularity).
+  uint64_t mv_saved_bytes = 0;
   /// Per-worker vCPU-seconds estimate derived from bytes (for billing).
   double work_vcpu_seconds = 0;
   /// Measured wall-clock seconds of each worker's sub-plan (index =
@@ -50,6 +58,12 @@ struct CfWorkerOptions {
   /// cache means a worker's fetch warms the final plan's reads. Billing
   /// is unchanged by caching.
   IoOptions io;
+  /// Materialized-view store shared with the coordinator and concurrent
+  /// queries (null disables MV reuse). Consulted at two granularities:
+  /// the whole plan (hit = no execution at all) and the pushed-down
+  /// sub-plan (hit = the worker fleet is skipped and the cached view
+  /// re-enters the top-level plan directly).
+  MvStore* mv_store = nullptr;
 };
 
 /// Executes `plan` with the sub-plan pushed down to a simulated CF worker

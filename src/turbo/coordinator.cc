@@ -22,6 +22,15 @@ Coordinator::Coordinator(SimClock* clock, Random* rng,
   if (params_.chunk_cache_bytes > 0) {
     chunk_cache_ = std::make_unique<BufferCache>(params_.chunk_cache_bytes);
   }
+  if (params_.mv_store_bytes > 0) {
+    MvStoreOptions mv;
+    mv.capacity_bytes = params_.mv_store_bytes;
+    if (!params_.mv_spill_prefix.empty() && catalog_ != nullptr) {
+      mv.spill_storage = catalog_->storage();
+      mv.spill_prefix = params_.mv_spill_prefix;
+    }
+    mv_store_ = std::make_unique<MvStore>(std::move(mv));
+  }
   vm_.SetCapacityAvailableCallback([this] { DispatchFromQueue(); });
 }
 
@@ -116,6 +125,7 @@ void Coordinator::MaybeExecuteReal(QueryRecord* rec, bool via_cf) {
     options.intermediate_store = catalog_->storage();
     options.view_prefix = "intermediate/q" + std::to_string(rec->id);
     options.io = QueryIo();
+    options.mv_store = mv_store_.get();
     auto exec = ExecuteWithCfPushdown(std::move(optimized).ValueOrDie(),
                                       catalog_.get(), options);
     if (!exec.ok()) {
@@ -125,11 +135,19 @@ void Coordinator::MaybeExecuteReal(QueryRecord* rec, bool via_cf) {
     rec->result = exec->result;
     rec->bytes_scanned = exec->bytes_scanned;
     rec->cf_workers_used = exec->workers_used;
+    rec->mv_hit = exec->mv_full_hit;
+    rec->mv_saved_bytes = exec->mv_saved_bytes;
+    if (exec->mv_full_hit || exec->mv_subplan_hit) {
+      metrics_.Add("mv_hits", 1);
+      metrics_.Add("mv_saved_bytes",
+                   static_cast<double>(exec->mv_saved_bytes));
+    }
     return;
   }
   ExecContext ctx;
   ctx.catalog = catalog_.get();
   ctx.io = QueryIo();
+  ctx.mv_store = mv_store_.get();
   auto result = ExecuteQuery(rec->spec.sql, rec->spec.db, &ctx);
   if (!result.ok()) {
     rec->error = result.status().ToString();
@@ -137,6 +155,12 @@ void Coordinator::MaybeExecuteReal(QueryRecord* rec, bool via_cf) {
   }
   rec->result = std::move(result).ValueOrDie();
   rec->bytes_scanned = ctx.bytes_scanned;
+  rec->mv_hit = ctx.mv_hits.load() > 0;
+  rec->mv_saved_bytes = ctx.mv_saved_bytes.load();
+  if (rec->mv_hit) {
+    metrics_.Add("mv_hits", 1);
+    metrics_.Add("mv_saved_bytes", static_cast<double>(rec->mv_saved_bytes));
+  }
 }
 
 void Coordinator::StartInVm(QueryRecord* rec) {
@@ -167,10 +191,20 @@ void Coordinator::StartInVm(QueryRecord* rec) {
 void Coordinator::StartInCf(QueryRecord* rec) {
   rec->state = QueryState::kRunning;
   rec->start_time = clock_->Now();
-  rec->used_cf = true;
-  metrics_.Add("queries_cf_accelerated", 1);
   MaybeExecuteReal(rec, /*via_cf=*/true);
 
+  if (rec->mv_hit) {
+    // A full MV hit answered the query before any worker could be hired:
+    // no CF invocation, no compute cost, just the fixed query overhead.
+    rec->cf_workers_used = 0;
+    rec->compute_cost_usd = 0;
+    clock_->Schedule(params_.query_overhead,
+                     [this, id = rec->id] { Finish(&queries_[id]); });
+    return;
+  }
+
+  rec->used_cf = true;
+  metrics_.Add("queries_cf_accelerated", 1);
   const double work = rec->spec.execute_real && rec->bytes_scanned > 0
                           ? static_cast<double>(rec->bytes_scanned) /
                                 params_.bytes_per_vcpu_second

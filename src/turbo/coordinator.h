@@ -15,6 +15,7 @@
 #include "catalog/catalog.h"
 #include "cloud/cf_service.h"
 #include "cloud/vm_cluster.h"
+#include "mv/mv_store.h"
 #include "storage/buffer_cache.h"
 #include "turbo/cf_worker.h"
 #include "turbo/query_task.h"
@@ -39,6 +40,14 @@ struct CoordinatorParams {
   uint64_t chunk_cache_bytes = 128ULL << 20;
   /// Gap tolerance for coalescing adjacent chunk GETs.
   uint64_t coalesce_gap_bytes = kDefaultCoalesceGapBytes;
+  /// Byte capacity of the materialized-view store shared across the
+  /// top-level plan, the CF fleet, and concurrent queries. 0 disables MV
+  /// reuse (the default: unlike the chunk cache, reuse changes what the
+  /// query server bills, so the operator opts in explicitly).
+  uint64_t mv_store_bytes = 0;
+  /// Path prefix for MV entries spilled as Pixels objects through the
+  /// catalog's storage. Empty disables the spill tier.
+  std::string mv_spill_prefix;
 };
 
 /// Coordinator of the hybrid serverless query engine.
@@ -91,6 +100,8 @@ class Coordinator {
   VmCluster& vm_cluster() { return vm_; }
   CfService& cf_service() { return cf_; }
   Catalog* catalog() { return catalog_.get(); }
+  /// The coordinator-owned materialized-view store (null when disabled).
+  MvStore* mv_store() { return mv_store_.get(); }
   const CoordinatorParams& params() const { return params_; }
 
   /// Cluster-level accrued costs.
@@ -123,6 +134,8 @@ class Coordinator {
   std::shared_ptr<Catalog> catalog_;
   /// Chunk LRU shared across queries, the top-level plan, and CF workers.
   std::unique_ptr<BufferCache> chunk_cache_;
+  /// Materialized-view store shared the same way (null when disabled).
+  std::unique_ptr<MvStore> mv_store_;
   VmCluster vm_;
   CfService cf_;
 

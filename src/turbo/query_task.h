@@ -62,6 +62,13 @@ struct QueryRecord {
   /// Bytes scanned: real when executed, estimated otherwise.
   uint64_t bytes_scanned = 0;
 
+  /// True when the result (whole query) came from the materialized-view
+  /// store, so no scan and no CF fleet ran for it.
+  bool mv_hit = false;
+  /// Scan bytes MV reuse avoided (full-query or sub-plan granularity) —
+  /// the basis of the query server's reuse discount.
+  uint64_t mv_saved_bytes = 0;
+
   std::string error;
   TablePtr result;
 

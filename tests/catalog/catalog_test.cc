@@ -55,6 +55,44 @@ TEST_F(CatalogTest, CreateTableValidation) {
   EXPECT_TRUE(catalog_->CreateTable("db", "t", SimpleSchema()).IsAlreadyExists());
 }
 
+TEST_F(CatalogTest, DataMutationsBumpVersionEpoch) {
+  ASSERT_TRUE(catalog_->CreateDatabase("db").ok());
+  ASSERT_TRUE(catalog_->CreateTable("db", "t", SimpleSchema()).ok());
+  auto v0 = catalog_->GetTableVersion("db", "t");
+  ASSERT_TRUE(v0.ok());
+  EXPECT_GT(*v0, 0u);
+
+  WriteSimpleFile("db/t/a.pxl", 3);
+  ASSERT_TRUE(catalog_->AddTableFile("db", "t", "db/t/a.pxl").ok());
+  auto v1 = catalog_->GetTableVersion("db", "t");
+  ASSERT_TRUE(v1.ok());
+  EXPECT_GT(*v1, *v0);
+
+  ASSERT_TRUE(catalog_->ReplaceTableFiles("db", "t", {"db/t/a.pxl"}).ok());
+  auto v2 = catalog_->GetTableVersion("db", "t");
+  ASSERT_TRUE(v2.ok());
+  EXPECT_GT(*v2, *v1);
+
+  EXPECT_TRUE(catalog_->GetTableVersion("db", "nope").status().IsNotFound());
+}
+
+TEST_F(CatalogTest, RecreatedTableNeverReusesEpoch) {
+  ASSERT_TRUE(catalog_->CreateDatabase("db").ok());
+  ASSERT_TRUE(catalog_->CreateTable("db", "t", SimpleSchema()).ok());
+  WriteSimpleFile("db/t/a.pxl", 3);
+  ASSERT_TRUE(catalog_->AddTableFile("db", "t", "db/t/a.pxl").ok());
+  auto old_version = catalog_->GetTableVersion("db", "t");
+  ASSERT_TRUE(old_version.ok());
+
+  // Drop and recreate: the catalog-wide counter guarantees the new
+  // incarnation starts past every epoch an MV entry could still pin.
+  ASSERT_TRUE(catalog_->DropTable("db", "t").ok());
+  ASSERT_TRUE(catalog_->CreateTable("db", "t", SimpleSchema()).ok());
+  auto new_version = catalog_->GetTableVersion("db", "t");
+  ASSERT_TRUE(new_version.ok());
+  EXPECT_GT(*new_version, *old_version);
+}
+
 TEST_F(CatalogTest, AddTableFileUpdatesStats) {
   ASSERT_TRUE(catalog_->CreateDatabase("db").ok());
   ASSERT_TRUE(catalog_->CreateTable("db", "t", SimpleSchema()).ok());

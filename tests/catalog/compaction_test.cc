@@ -136,6 +136,18 @@ TEST_F(CompactionTest, ReplaceTableFilesValidatesSchema) {
   EXPECT_EQ((*table)->row_count, 5u);
 }
 
+TEST_F(CompactionTest, CompactionBumpsVersionEpoch) {
+  Populate(6, 50);
+  auto before = catalog_->GetTableVersion("db", "t");
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(CompactTable(catalog_.get(), "db", "t").ok());
+  auto after = catalog_->GetTableVersion("db", "t");
+  ASSERT_TRUE(after.ok());
+  // The file-list swap is a data mutation: materialized views built over
+  // the pre-compaction files must see a new epoch and invalidate.
+  EXPECT_GT(*after, *before);
+}
+
 TEST_F(CompactionTest, CompactionReducesPerScanRequests) {
   Populate(20, 50);
   // Wrap storage accounting around scans pre/post compaction: the number

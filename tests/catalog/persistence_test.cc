@@ -73,6 +73,37 @@ TEST(CatalogPersistenceTest, SaveLoadPreservesQueries) {
   }
 }
 
+TEST(CatalogPersistenceTest, VersionEpochsSurviveRestart) {
+  auto storage = std::make_shared<MemoryStore>();
+  uint64_t saved_version = 0;
+  {
+    Catalog catalog(storage);
+    ASSERT_TRUE(catalog.CreateDatabase("db").ok());
+    ASSERT_TRUE(
+        catalog.CreateTable("db", "a", {{"x", TypeId::kInt64}}).ok());
+    ASSERT_TRUE(
+        catalog.CreateTable("db", "b", {{"x", TypeId::kInt64}}).ok());
+    auto v = catalog.GetTableVersion("db", "b");
+    ASSERT_TRUE(v.ok());
+    saved_version = *v;
+    ASSERT_TRUE(catalog.SaveToStorage("meta.json").ok());
+  }
+  {
+    Catalog restarted(storage);
+    ASSERT_TRUE(restarted.LoadFromStorage("meta.json").ok());
+    auto v = restarted.GetTableVersion("db", "b");
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(*v, saved_version);
+    // The counter resumes past every persisted epoch: post-restart
+    // mutations keep epochs strictly monotonic across the restart.
+    ASSERT_TRUE(
+        restarted.CreateTable("db", "c", {{"x", TypeId::kInt64}}).ok());
+    auto vc = restarted.GetTableVersion("db", "c");
+    ASSERT_TRUE(vc.ok());
+    EXPECT_GT(*vc, saved_version);
+  }
+}
+
 TEST(CatalogPersistenceTest, LoadReplacesExistingContents) {
   auto storage = std::make_shared<MemoryStore>();
   Catalog donor(storage);

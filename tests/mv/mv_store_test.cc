@@ -1,0 +1,309 @@
+#include "mv/mv_store.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "storage/memory_store.h"
+#include "testing/test_db.h"
+
+namespace pixels {
+namespace {
+
+TablePtr MakeIntTable(int64_t rows, int64_t base = 0) {
+  auto batch = std::make_shared<RowBatch>();
+  auto col = MakeVector(TypeId::kInt64);
+  for (int64_t i = 0; i < rows; ++i) col->AppendInt(base + i);
+  batch->AddColumn("v", std::move(col));
+  auto table = std::make_shared<Table>();
+  table->AddBatch(std::move(batch));
+  return table;
+}
+
+PlanFingerprint Fp(uint64_t n) { return PlanFingerprint{n, ~n}; }
+
+std::vector<TableVersionPin> EmpPins(const Catalog& catalog) {
+  auto v = catalog.GetTableVersion("db", "emp");
+  EXPECT_TRUE(v.ok());
+  return {TableVersionPin{"db", "emp", v.ok() ? *v : 0}};
+}
+
+TEST(MvStoreTest, MissThenHitReportsSavedBytes) {
+  auto catalog = testing::BuildTestCatalog();
+  MvStore store;
+
+  EXPECT_FALSE(store.Lookup(Fp(1), *catalog).has_value());
+  store.Insert(Fp(1), MakeIntTable(16), /*rebuild_scan_bytes=*/4096,
+               EmpPins(*catalog));
+
+  auto hit = store.Lookup(Fp(1), *catalog);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->saved_scan_bytes, 4096u);
+  EXPECT_FALSE(hit->from_spill);
+  EXPECT_EQ(hit->table->num_rows(), 16u);
+
+  // A different fingerprint misses.
+  EXPECT_FALSE(store.Lookup(Fp(2), *catalog).has_value());
+
+  auto stats = store.stats();
+  EXPECT_EQ(stats.lookups, 3u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.inserts, 1u);
+  EXPECT_EQ(stats.saved_scan_bytes, 4096u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(MvStoreTest, WriteInvalidatesOnVersionMismatch) {
+  auto catalog = testing::BuildTestCatalog();
+  MvStore store;
+  store.Insert(Fp(1), MakeIntTable(8), 1000, EmpPins(*catalog));
+  ASSERT_TRUE(store.Lookup(Fp(1), *catalog).has_value());
+
+  // A write (new file) bumps emp's version epoch; the pin goes stale.
+  ASSERT_TRUE(catalog->AddTableFile("db", "emp", "db/emp/part0.pxl").ok());
+  EXPECT_FALSE(store.Lookup(Fp(1), *catalog).has_value());
+
+  auto stats = store.stats();
+  EXPECT_EQ(stats.invalidations, 1u);
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.bytes_cached, 0u);
+}
+
+TEST(MvStoreTest, ReplaceTableFilesInvalidatesEvenWithSameFileList) {
+  auto catalog = testing::BuildTestCatalog();
+  MvStore store;
+  store.Insert(Fp(1), MakeIntTable(8), 1000, EmpPins(*catalog));
+
+  // Compaction swaps the file list; even an identical list is a new
+  // epoch (the bytes under the paths may differ).
+  auto files = catalog->GetTable("db", "emp");
+  ASSERT_TRUE(files.ok());
+  ASSERT_TRUE(
+      catalog->ReplaceTableFiles("db", "emp", (*files)->files).ok());
+  EXPECT_FALSE(store.Lookup(Fp(1), *catalog).has_value());
+  EXPECT_EQ(store.stats().invalidations, 1u);
+}
+
+TEST(MvStoreTest, InvalidateTableSweepsPinnedEntries) {
+  auto catalog = testing::BuildTestCatalog();
+  MvStore store;
+  store.Insert(Fp(1), MakeIntTable(8), 100, EmpPins(*catalog));
+  auto dv = catalog->GetTableVersion("db", "dept");
+  ASSERT_TRUE(dv.ok());
+  store.Insert(Fp(2), MakeIntTable(8), 100,
+               {TableVersionPin{"db", "dept", *dv}});
+
+  store.InvalidateTable("db", "emp");
+  EXPECT_FALSE(store.Lookup(Fp(1), *catalog).has_value());
+  EXPECT_TRUE(store.Lookup(Fp(2), *catalog).has_value());
+}
+
+TEST(MvStoreTest, EvictionPrefersCheapToRebuildEntries) {
+  auto catalog = testing::BuildTestCatalog();
+  const uint64_t one = TablePayloadBytes(*MakeIntTable(64));
+  MvStoreOptions options;
+  options.capacity_bytes = 3 * one + one / 2;  // room for three entries
+  MvStore store(options);
+
+  // Three entries, same size and recency order 1,2,3; entry 2 is by far
+  // the most expensive to rebuild.
+  store.Insert(Fp(1), MakeIntTable(64), /*rebuild=*/100, EmpPins(*catalog));
+  store.Insert(Fp(2), MakeIntTable(64), /*rebuild=*/1000000,
+               EmpPins(*catalog));
+  store.Insert(Fp(3), MakeIntTable(64), /*rebuild=*/200, EmpPins(*catalog));
+
+  // A fourth entry forces one eviction: plain LRU would drop 1, but the
+  // cost-aware policy keeps the expensive 2 and drops the cheapest in the
+  // LRU window — which is 1 (cost 100).
+  store.Insert(Fp(4), MakeIntTable(64), /*rebuild=*/300, EmpPins(*catalog));
+  EXPECT_FALSE(store.Lookup(Fp(1), *catalog).has_value());
+  EXPECT_TRUE(store.Lookup(Fp(2), *catalog).has_value());
+  EXPECT_TRUE(store.Lookup(Fp(3), *catalog).has_value());
+  EXPECT_TRUE(store.Lookup(Fp(4), *catalog).has_value());
+  EXPECT_EQ(store.stats().evictions, 1u);
+
+  // Now make 2 the LRU tail... it still survives the next eviction
+  // because rebuilding it costs 1000000.
+  ASSERT_TRUE(store.Lookup(Fp(3), *catalog).has_value());
+  ASSERT_TRUE(store.Lookup(Fp(4), *catalog).has_value());
+  store.Insert(Fp(5), MakeIntTable(64), /*rebuild=*/400, EmpPins(*catalog));
+  EXPECT_TRUE(store.Lookup(Fp(2), *catalog).has_value());
+}
+
+TEST(MvStoreTest, CapacityBoundHolds) {
+  auto catalog = testing::BuildTestCatalog();
+  const uint64_t one = TablePayloadBytes(*MakeIntTable(64));
+  MvStoreOptions options;
+  options.capacity_bytes = 2 * one;
+  MvStore store(options);
+  for (uint64_t i = 0; i < 10; ++i) {
+    store.Insert(Fp(i), MakeIntTable(64), 100 + i, EmpPins(*catalog));
+    EXPECT_LE(store.stats().bytes_cached, options.capacity_bytes);
+  }
+  EXPECT_LE(store.stats().entries, 2u);
+}
+
+TEST(MvStoreSpillTest, EvictionSpillsAndHitsReadBack) {
+  auto catalog = testing::BuildTestCatalog();
+  MemoryStore spill;
+  const uint64_t one = TablePayloadBytes(*MakeIntTable(64));
+  MvStoreOptions options;
+  options.capacity_bytes = one + one / 2;  // one entry fits
+  options.spill_storage = &spill;
+  options.spill_prefix = "mv/spill";
+  MvStore store(options);
+
+  store.Insert(Fp(1), MakeIntTable(64, /*base=*/100), 1000,
+               EmpPins(*catalog));
+  store.Insert(Fp(2), MakeIntTable(64, /*base=*/200), 2000,
+               EmpPins(*catalog));  // evicts 1 → spill
+
+  auto stats = store.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.spill_writes, 1u);
+  EXPECT_EQ(stats.spill_entries, 1u);
+  EXPECT_TRUE(spill.Exists("mv/spill/" + Fp(1).ToHex() + ".pxl"));
+
+  // The spilled entry still hits — served from storage, then re-admitted
+  // (which evicts 2 in turn).
+  auto hit = store.Lookup(Fp(1), *catalog);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->from_spill);
+  EXPECT_EQ(hit->saved_scan_bytes, 1000u);
+  EXPECT_EQ(hit->table->num_rows(), 64u);
+  EXPECT_EQ(store.stats().spill_hits, 1u);
+
+  auto again = store.Lookup(Fp(1), *catalog);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_FALSE(again->from_spill);  // re-admitted to memory
+}
+
+TEST(MvStoreSpillTest, InvalidationDeletesSpillObject) {
+  auto catalog = testing::BuildTestCatalog();
+  MemoryStore spill;
+  const uint64_t one = TablePayloadBytes(*MakeIntTable(64));
+  MvStoreOptions options;
+  options.capacity_bytes = one + one / 2;
+  options.spill_storage = &spill;
+  MvStore store(options);
+
+  store.Insert(Fp(1), MakeIntTable(64), 1000, EmpPins(*catalog));
+  store.Insert(Fp(2), MakeIntTable(64), 2000, EmpPins(*catalog));
+  const std::string path = "mv/spill/" + Fp(1).ToHex() + ".pxl";
+  ASSERT_TRUE(spill.Exists(path));
+
+  // A version bump makes the spilled pins stale; the lookup deletes the
+  // object instead of serving stale data.
+  ASSERT_TRUE(catalog->AddTableFile("db", "emp", "db/emp/part0.pxl").ok());
+  EXPECT_FALSE(store.Lookup(Fp(1), *catalog).has_value());
+  EXPECT_FALSE(spill.Exists(path));
+
+  // Explicit table invalidation also sweeps the spill tier.
+  EXPECT_FALSE(store.Lookup(Fp(2), *catalog).has_value());
+}
+
+TEST(MvStoreSpillTest, OversizedEntryGoesStraightToSpill) {
+  auto catalog = testing::BuildTestCatalog();
+  MemoryStore spill;
+  MvStoreOptions options;
+  options.capacity_bytes = 8;  // smaller than any real table
+  options.spill_storage = &spill;
+  MvStore store(options);
+
+  store.Insert(Fp(1), MakeIntTable(256), 1000, EmpPins(*catalog));
+  auto stats = store.stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.spill_entries, 1u);
+
+  auto hit = store.Lookup(Fp(1), *catalog);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->from_spill);
+  EXPECT_EQ(hit->table->num_rows(), 256u);
+}
+
+// --- Concurrency suites (run under TSan in CI) ---
+
+TEST(MvStoreConcurrencyTest, ParallelInsertsAndLookups) {
+  auto catalog = testing::BuildTestCatalog();
+  const uint64_t one = TablePayloadBytes(*MakeIntTable(32));
+  MvStoreOptions options;
+  options.capacity_bytes = 8 * one;  // forces concurrent evictions
+  MvStore store(options);
+  const auto pins = EmpPins(*catalog);
+
+  ASSERT_TRUE(ThreadPool::Shared()
+                  ->ParallelFor(0, 64, /*grain=*/1,
+                                [&](size_t i) -> Status {
+                                  const uint64_t key = i % 16;
+                                  store.Insert(Fp(key), MakeIntTable(32),
+                                               100 * (key + 1), pins);
+                                  auto hit = store.Lookup(Fp(key), *catalog);
+                                  if (hit.has_value() &&
+                                      hit->table->num_rows() != 32) {
+                                    return Status::Internal("corrupt hit");
+                                  }
+                                  (void)store.stats();
+                                  return Status::OK();
+                                })
+                  .ok());
+
+  auto stats = store.stats();
+  EXPECT_EQ(stats.lookups, 64u);
+  EXPECT_LE(stats.bytes_cached, options.capacity_bytes);
+}
+
+TEST(MvStoreConcurrencyTest, ParallelLookupsWithInvalidation) {
+  auto catalog = testing::BuildTestCatalog();
+  MvStore store;
+  const auto pins = EmpPins(*catalog);
+  for (uint64_t i = 0; i < 8; ++i) {
+    store.Insert(Fp(i), MakeIntTable(32), 100, pins);
+  }
+
+  ASSERT_TRUE(ThreadPool::Shared()
+                  ->ParallelFor(0, 64, /*grain=*/1,
+                                [&](size_t i) -> Status {
+                                  if (i % 16 == 0) {
+                                    store.InvalidateTable("db", "emp");
+                                  } else {
+                                    (void)store.Lookup(Fp(i % 8), *catalog);
+                                  }
+                                  return Status::OK();
+                                })
+                  .ok());
+  // Everything pinned to emp is gone after the last invalidation wave.
+  store.InvalidateTable("db", "emp");
+  EXPECT_EQ(store.stats().entries, 0u);
+}
+
+TEST(MvStoreConcurrencyTest, ParallelSpillTraffic) {
+  auto catalog = testing::BuildTestCatalog();
+  MemoryStore spill;
+  const uint64_t one = TablePayloadBytes(*MakeIntTable(32));
+  MvStoreOptions options;
+  options.capacity_bytes = 2 * one;  // nearly everything spills
+  options.spill_storage = &spill;
+  MvStore store(options);
+  const auto pins = EmpPins(*catalog);
+
+  ASSERT_TRUE(ThreadPool::Shared()
+                  ->ParallelFor(0, 48, /*grain=*/1,
+                                [&](size_t i) -> Status {
+                                  const uint64_t key = i % 6;
+                                  store.Insert(Fp(key), MakeIntTable(32),
+                                               100, pins);
+                                  (void)store.Lookup(Fp(key), *catalog);
+                                  return Status::OK();
+                                })
+                  .ok());
+  auto stats = store.stats();
+  EXPECT_LE(stats.bytes_cached, options.capacity_bytes);
+  EXPECT_GT(stats.hits, 0u);
+}
+
+}  // namespace
+}  // namespace pixels

@@ -215,6 +215,74 @@ TEST_F(QueryServerTest, ResultLimitTruncatesRealResults) {
   server.Stop();
 }
 
+TEST_F(QueryServerTest, MvReuseBillsDiscountedAndAudited) {
+  auto catalog = testing::BuildTestCatalog();
+  CoordinatorParams cparams;
+  cparams.vm.initial_vms = 2;
+  cparams.mv_store_bytes = 64ULL << 20;
+  Coordinator coord(&clock_, &rng_, cparams, catalog);
+  QueryServerParams sparams;
+  QueryServer server(&clock_, &coord, sparams);
+
+  auto run = [&] {
+    Submission s;
+    s.level = ServiceLevel::kImmediate;
+    s.query.sql = "SELECT dept, count(*) AS n FROM emp GROUP BY dept";
+    s.query.db = "db";
+    s.query.execute_real = true;
+    struct Out {
+      int64_t id = 0;
+      double bill = -1;
+      bool mv_hit = false;
+      uint64_t saved = 0;
+      TablePtr result;
+    } out;
+    out.id = server.Submit(
+        s, [&out](const SubmissionRecord& srec, const QueryRecord& qrec) {
+          out.bill = srec.bill_usd;
+          out.mv_hit = srec.mv_hit;
+          out.saved = srec.mv_saved_bytes;
+          out.result = qrec.result;
+        });
+    clock_.RunUntil(clock_.Now() + 5 * kMinutes);
+    return out;
+  };
+
+  auto first = run();
+  ASSERT_NE(first.result, nullptr);
+  EXPECT_FALSE(first.mv_hit);
+  EXPECT_EQ(first.saved, 0u);
+  ASSERT_GT(first.bill, 0);
+
+  auto second = run();
+  ASSERT_NE(second.result, nullptr);
+  EXPECT_TRUE(second.mv_hit);
+  EXPECT_GT(second.saved, 0u);
+  // The repeat scans nothing and bills the reuse fraction of the
+  // original: strictly cheaper, never free.
+  EXPECT_NEAR(second.bill / first.bill, sparams.mv_reuse_bill_fraction,
+              1e-9);
+  EXPECT_EQ(second.result->num_rows(), first.result->num_rows());
+
+  // The MV fields surface in the status view and the audit counters.
+  auto status = server.GetStatus(second.id);
+  ASSERT_TRUE(status.ok());
+  EXPECT_TRUE(status->mv_hit);
+  EXPECT_EQ(status->mv_saved_bytes, second.saved);
+  EXPECT_EQ(server.metrics().Counter("mv_hits"), 1.0);
+  EXPECT_EQ(server.metrics().Counter("mv_saved_bytes"),
+            static_cast<double>(second.saved));
+  EXPECT_GT(server.metrics().Counter("mv_discount_usd"), 0.0);
+  EXPECT_EQ(coord.metrics().Counter("mv_hits"), 1.0);
+
+  // A write invalidates: the third run re-scans and re-bills in full.
+  ASSERT_TRUE(catalog->AddTableFile("db", "emp", "db/emp/part0.pxl").ok());
+  auto third = run();
+  EXPECT_FALSE(third.mv_hit);
+  EXPECT_GT(third.bill, first.bill * 0.5);  // full-rate again
+  server.Stop();
+}
+
 TEST_F(QueryServerTest, HeldQueriesDoNotGateThemselves) {
   // Regression: held relaxed queries count toward the autoscaling signal
   // but must NOT count toward their own dispatch gate, or they deadlock
