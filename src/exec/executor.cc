@@ -146,18 +146,21 @@ Result<TablePtr> ExecuteQuery(const std::string& sql, const std::string& db,
       return hit->table;
     }
   }
+  // Pins MUST be snapshotted before execution: the scan resolves its file
+  // list at Open(), i.e. at or after this point, so any catalog mutation
+  // that could have changed what the scan read also bumps a version past
+  // the snapshot and the stored entry conservatively fails validation.
+  // (Collected after execution, a mutation landing mid-query would stamp
+  // a stale result with the new epoch — a silently poisoned cache.)
+  auto pins = fp.ok() ? CollectTableVersionPins(*plan, *ctx->catalog)
+                      : Result<std::vector<TableVersionPin>>(fp.status());
   const uint64_t scanned_before = ctx->bytes_scanned.load();
   PIXELS_ASSIGN_OR_RETURN(TablePtr table, ExecutePlan(plan, ctx));
-  if (fp.ok()) {
-    // Rebuild cost = what this execution scanned; pins = the versions it
-    // read. Collected after execution so a concurrent write that bumped a
-    // version mid-query at worst stores pins that immediately mismatch.
-    auto pins = CollectTableVersionPins(*plan, *ctx->catalog);
-    if (pins.ok()) {
-      ctx->mv_store->Insert(*fp, table,
-                            ctx->bytes_scanned.load() - scanned_before,
-                            std::move(*pins));
-    }
+  if (fp.ok() && pins.ok()) {
+    // Rebuild cost = what this execution scanned.
+    ctx->mv_store->Insert(*fp, table,
+                          ctx->bytes_scanned.load() - scanned_before,
+                          std::move(*pins));
   }
   return table;
 }

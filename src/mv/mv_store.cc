@@ -16,6 +16,17 @@ uint64_t TablePayloadBytes(const Table& table) {
 
 MvStore::MvStore(MvStoreOptions options) : options_(std::move(options)) {
   if (options_.eviction_window < 1) options_.eviction_window = 1;
+  // The spill index lives only in memory, so objects written under this
+  // prefix by a prior process are unreachable; sweep them at startup so
+  // they do not orphan in storage forever.
+  if (options_.spill_storage != nullptr) {
+    auto stale = options_.spill_storage->List(options_.spill_prefix);
+    if (stale.ok()) {
+      for (const auto& path : *stale) {
+        (void)options_.spill_storage->Delete(path);  // best effort
+      }
+    }
+  }
 }
 
 bool MvStore::PinsCurrent(const std::vector<TableVersionPin>& pins,
@@ -34,64 +45,98 @@ std::string MvStore::SpillPath(const std::string& key) const {
 std::optional<MvLookupResult> MvStore::Lookup(const PlanFingerprint& fp,
                                               const Catalog& catalog) {
   const std::string key = fp.ToHex();
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++stats_.lookups;
+  SpillEntry spill;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.lookups;
 
-  auto it = entries_.find(key);
-  if (it != entries_.end()) {
-    if (!PinsCurrent(it->second.pins, catalog)) {
-      bytes_cached_ -= it->second.bytes;
-      entries_.erase(it);
-      DropSpillLocked(key);
-      ++stats_.invalidations;
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      if (!PinsCurrent(it->second.pins, catalog)) {
+        bytes_cached_ -= it->second.bytes;
+        entries_.erase(it);
+        DropSpillLocked(key);
+        ++stats_.invalidations;
+        ++stats_.misses;
+        return std::nullopt;
+      }
+      it->second.lru_tick = ++lru_clock_;
+      ++stats_.hits;
+      stats_.saved_scan_bytes += it->second.rebuild_scan_bytes;
+      return MvLookupResult{it->second.table, it->second.rebuild_scan_bytes,
+                            /*from_spill=*/false};
+    }
+
+    auto sit = spilled_.find(key);
+    if (sit == spilled_.end()) {
       ++stats_.misses;
       return std::nullopt;
     }
-    it->second.lru_tick = ++lru_clock_;
-    ++stats_.hits;
-    stats_.saved_scan_bytes += it->second.rebuild_scan_bytes;
-    return MvLookupResult{it->second.table, it->second.rebuild_scan_bytes,
-                          /*from_spill=*/false};
-  }
-
-  auto sit = spilled_.find(key);
-  if (sit != spilled_.end()) {
     if (!PinsCurrent(sit->second.pins, catalog)) {
       DropSpillLocked(key);
       ++stats_.invalidations;
       ++stats_.misses;
       return std::nullopt;
     }
-    // Read the spilled view back (a few GETs instead of a rescan) and
-    // re-admit it to the memory tier.
-    auto reader = PixelsReader::Open(options_.spill_storage, sit->second.path);
-    if (!reader.ok()) {
-      // The object went missing underneath us; treat as a plain miss.
-      spilled_.erase(sit);
-      ++stats_.misses;
-      return std::nullopt;
-    }
-    auto table = std::make_shared<Table>();
+    // Copy the entry and drop the lock for the read-back below: it is
+    // object-store I/O, and holding mutex_ across it would serialize
+    // every concurrent lookup and insert behind a GET.
+    spill = sit->second;
+  }
+
+  // Read the spilled view back (a few GETs instead of a rescan).
+  auto table = std::make_shared<Table>();
+  bool read_ok = false;
+  auto reader = PixelsReader::Open(options_.spill_storage, spill.path);
+  if (reader.ok()) {
+    read_ok = true;
     for (size_t g = 0; g < (*reader)->NumRowGroups(); ++g) {
       auto batch = (*reader)->ReadRowGroup(g, {});
       if (!batch.ok()) {
-        spilled_.erase(sit);
-        ++stats_.misses;
-        return std::nullopt;
+        read_ok = false;
+        break;
       }
       table->AddBatch(std::move(*batch));
     }
-    const uint64_t rebuild = sit->second.rebuild_scan_bytes;
-    std::vector<TableVersionPin> pins = sit->second.pins;
-    InsertLocked(key, table, rebuild, std::move(pins));
-    ++stats_.hits;
-    ++stats_.spill_hits;
-    stats_.saved_scan_bytes += rebuild;
-    return MvLookupResult{std::move(table), rebuild, /*from_spill=*/true};
   }
 
-  ++stats_.misses;
-  return std::nullopt;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!read_ok) {
+    // The object went missing underneath us; treat as a plain miss. Only
+    // drop the index entry if it is still the one we tried to read — a
+    // concurrent insert may have superseded it while the lock was down.
+    auto sit = spilled_.find(key);
+    if (sit != spilled_.end() && sit->second.pins == spill.pins) {
+      DropSpillLocked(key);
+    }
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  // Re-validate: the catalog may have mutated while the lock was dropped.
+  if (!PinsCurrent(spill.pins, catalog)) {
+    DropSpillLocked(key);
+    ++stats_.invalidations;
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  // A concurrent insert may have (re)populated the memory tier while we
+  // were reading; its entry is at least as fresh, so serve that instead
+  // of re-admitting our copy over it.
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.lru_tick = ++lru_clock_;
+    ++stats_.hits;
+    stats_.saved_scan_bytes += it->second.rebuild_scan_bytes;
+    return MvLookupResult{it->second.table, it->second.rebuild_scan_bytes,
+                          /*from_spill=*/false};
+  }
+  const uint64_t rebuild = spill.rebuild_scan_bytes;
+  InsertLocked(key, table, rebuild,
+               std::vector<TableVersionPin>(spill.pins));
+  ++stats_.hits;
+  ++stats_.spill_hits;
+  stats_.saved_scan_bytes += rebuild;
+  return MvLookupResult{std::move(table), rebuild, /*from_spill=*/true};
 }
 
 void MvStore::Insert(const PlanFingerprint& fp, TablePtr result,
@@ -127,37 +172,55 @@ void MvStore::InsertLocked(const std::string& key, TablePtr result,
   }
   EvictUntilFitsLocked(entry.bytes);
   bytes_cached_ += entry.bytes;
-  // A fresh insert supersedes any spilled copy built from older pins.
-  spilled_.erase(key);
+  // A fresh insert supersedes any spilled copy built from older pins;
+  // delete its object too, or it would orphan in storage if the memory
+  // entry is later invalidated or evicted without spilling.
+  DropSpillLocked(key);
   entries_[key] = std::move(entry);
   ++stats_.inserts;
 }
 
 void MvStore::EvictUntilFitsLocked(uint64_t incoming_bytes) {
-  while (!entries_.empty() &&
-         bytes_cached_ + incoming_bytes > options_.capacity_bytes) {
-    // Rank by recency, then evict the cheapest-to-rebuild entry among the
-    // `eviction_window` least recently used: a stale-but-expensive view
-    // outlives a stale-and-cheap one.
-    std::vector<std::map<std::string, Entry>::iterator> tail;
-    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-      tail.push_back(it);
+  if (entries_.empty() ||
+      bytes_cached_ + incoming_bytes <= options_.capacity_bytes) {
+    return;
+  }
+  // Rank all entries by recency once, then evict the cheapest-to-rebuild
+  // entry among the `eviction_window` least recently used that survive: a
+  // stale-but-expensive view outlives a stale-and-cheap one. The sliding
+  // window over the sorted order handles any number of evictions without
+  // re-sorting — O(n log n + evictions * window), not O(n^2 log n).
+  std::vector<std::map<std::string, Entry>::iterator> order;
+  order.reserve(entries_.size());
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    order.push_back(it);
+  }
+  std::sort(order.begin(), order.end(), [](const auto& a, const auto& b) {
+    return a->second.lru_tick < b->second.lru_tick;
+  });
+  std::vector<bool> gone(order.size(), false);
+  const size_t window = static_cast<size_t>(options_.eviction_window);
+  size_t head = 0;
+  while (bytes_cached_ + incoming_bytes > options_.capacity_bytes) {
+    while (head < order.size() && gone[head]) ++head;
+    if (head == order.size()) break;
+    size_t victim = order.size();
+    size_t considered = 0;
+    for (size_t i = head; i < order.size() && considered < window; ++i) {
+      if (gone[i]) continue;
+      ++considered;
+      if (victim == order.size() || order[i]->second.rebuild_scan_bytes <
+                                        order[victim]->second.rebuild_scan_bytes) {
+        victim = i;
+      }
     }
-    std::sort(tail.begin(), tail.end(), [](const auto& a, const auto& b) {
-      return a->second.lru_tick < b->second.lru_tick;
-    });
-    if (tail.size() > static_cast<size_t>(options_.eviction_window)) {
-      tail.resize(static_cast<size_t>(options_.eviction_window));
-    }
-    auto victim = *std::min_element(
-        tail.begin(), tail.end(), [](const auto& a, const auto& b) {
-          return a->second.rebuild_scan_bytes < b->second.rebuild_scan_bytes;
-        });
+    auto it = order[victim];
     if (options_.spill_storage != nullptr) {
-      SpillLocked(victim->first, victim->second);
+      SpillLocked(it->first, it->second);
     }
-    bytes_cached_ -= victim->second.bytes;
-    entries_.erase(victim);
+    bytes_cached_ -= it->second.bytes;
+    entries_.erase(it);
+    gone[victim] = true;
     ++stats_.evictions;
   }
 }

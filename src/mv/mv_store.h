@@ -45,6 +45,9 @@ struct MvStoreOptions {
   /// Byte budget of the in-memory tier (result-table payload bytes).
   uint64_t capacity_bytes = 256ULL << 20;
   /// Spill tier storage; null disables spilling (evictions just drop).
+  /// The spill index is memory-only, so construction sweeps any objects
+  /// left under `spill_prefix` by a prior process — do not point two
+  /// live stores at the same storage + prefix.
   Storage* spill_storage = nullptr;
   /// Path prefix for spilled .pxl objects.
   std::string spill_prefix = "mv/spill";

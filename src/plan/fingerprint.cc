@@ -54,13 +54,19 @@ std::string PlanFingerprint::ToHex() const { return Hex16(hi) + Hex16(lo); }
 std::string CanonicalExprText(const Expr& expr) {
   switch (expr.kind) {
     case Expr::Kind::kLiteral: {
-      // Hashed literal: a changed constant changes the key, but a long
-      // string constant does not bloat it. The kind tag keeps 1 and '1'
-      // distinct even if their renderings matched.
+      // The kind tag keeps 1 and '1' distinct even if their renderings
+      // matched. Short literals embed verbatim, length-prefixed so the
+      // bytes are self-delimiting and cannot impersonate surrounding
+      // grammar; only long constants are hashed, and then with both FNV
+      // streams so a single 64-bit collision cannot merge two keys.
       std::string payload;
       payload += static_cast<char>('0' + static_cast<int>(expr.literal.kind));
       payload += expr.literal.ToString();
-      return "lit#" + Hex16(Fnv1a(payload, kFnvOffset1));
+      if (payload.size() <= 64) {
+        return "lit{" + std::to_string(payload.size()) + ":" + payload + "}";
+      }
+      return "lit#" + Hex16(Fnv1a(payload, kFnvOffset1)) +
+             Hex16(Fnv1a(payload, kFnvOffset2));
     }
     case Expr::Kind::kColumnRef:
       return "col:" + expr.QualifiedName();

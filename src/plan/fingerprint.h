@@ -5,8 +5,10 @@
 // addressed by column name), scan projection order, IN-list order — must
 // render to the same canonical text and therefore the same fingerprint;
 // any change to a literal, table, column, or structural shape must change
-// it. Literal values enter the text as short hashes ("hashed literals"),
-// so keys stay bounded no matter how long the constants are.
+// it. Short literal values enter the text verbatim (length-prefixed);
+// long constants enter as dual-stream hashes, so keys stay bounded no
+// matter how long the constants are without a single 64-bit collision
+// being able to merge two keys.
 //
 // The fingerprint deliberately does NOT include table version epochs:
 // versions are pinned per MV entry and validated at lookup time, so a

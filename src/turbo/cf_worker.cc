@@ -38,16 +38,39 @@ Result<TablePtr> RoundTripView(const Table& view, Storage* storage,
 
 namespace {
 
-/// Best-effort insert of a plan's result into the MV store.
-void TryInsertMv(MvStore* store, const LogicalPlan& plan,
-                 const Catalog& catalog, const TablePtr& result,
-                 uint64_t rebuild_scan_bytes) {
-  if (store == nullptr || result == nullptr) return;
+/// Fingerprint + version pins snapshotted BEFORE a plan executes (or is
+/// partitioned — partitioning bakes the catalog's file list into the
+/// worker plans). Scans resolve their file lists at execution time, so a
+/// catalog mutation racing the query bumps a version past this snapshot
+/// and the inserted entry conservatively fails its next validation.
+/// Snapshotting after execution instead would stamp a stale result with
+/// the new epoch and silently poison the store.
+struct MvInsertSnapshot {
+  bool valid = false;
+  PlanFingerprint fp;
+  std::vector<TableVersionPin> pins;
+};
+
+MvInsertSnapshot SnapshotMvInsert(const MvStore* store,
+                                  const LogicalPlan& plan,
+                                  const Catalog& catalog) {
+  MvInsertSnapshot snap;
+  if (store == nullptr) return snap;
   auto fp = FingerprintPlan(plan);
-  if (!fp.ok()) return;
+  if (!fp.ok()) return snap;
   auto pins = CollectTableVersionPins(plan, catalog);
-  if (!pins.ok()) return;
-  store->Insert(*fp, result, rebuild_scan_bytes, std::move(*pins));
+  if (!pins.ok()) return snap;
+  snap.valid = true;
+  snap.fp = *fp;
+  snap.pins = std::move(*pins);
+  return snap;
+}
+
+/// Best-effort insert of an executed plan's result under its snapshot.
+void CommitMvInsert(MvStore* store, MvInsertSnapshot snap,
+                    const TablePtr& result, uint64_t rebuild_scan_bytes) {
+  if (store == nullptr || !snap.valid || result == nullptr) return;
+  store->Insert(snap.fp, result, rebuild_scan_bytes, std::move(snap.pins));
 }
 
 }  // namespace
@@ -79,12 +102,13 @@ Result<CfExecution> ExecuteWithCfPushdown(const PlanPtr& plan,
 
   if (split.subplan == nullptr) {
     // Nothing heavy to push: run the plan as-is.
+    MvInsertSnapshot snap = SnapshotMvInsert(options.mv_store, *plan, *catalog);
     PIXELS_ASSIGN_OR_RETURN(out.result, ExecutePlan(plan, &top_ctx));
     out.bytes_scanned = top_ctx.bytes_scanned;
     out.work_vcpu_seconds = static_cast<double>(out.bytes_scanned) /
                             options.bytes_per_vcpu_second;
-    TryInsertMv(options.mv_store, *plan, *catalog, out.result,
-                out.bytes_scanned);
+    CommitMvInsert(options.mv_store, std::move(snap), out.result,
+                   out.bytes_scanned);
     return out;
   }
 
@@ -112,6 +136,13 @@ Result<CfExecution> ExecuteWithCfPushdown(const PlanPtr& plan,
       }
     }
   }
+
+  // Snapshot both insert targets now, before partitioning reads the
+  // catalog's file lists and before any worker scans.
+  MvInsertSnapshot sub_snap =
+      SnapshotMvInsert(options.mv_store, *split.subplan, *catalog);
+  MvInsertSnapshot full_snap =
+      SnapshotMvInsert(options.mv_store, *plan, *catalog);
 
   // Partition the sub-plan across the worker fleet.
   PIXELS_ASSIGN_OR_RETURN(
@@ -174,8 +205,8 @@ Result<CfExecution> ExecuteWithCfPushdown(const PlanPtr& plan,
 
   // The concatenated worker view is the shareable artifact: cache it
   // keyed by the unpartitioned sub-plan so future queries skip the fleet.
-  TryInsertMv(options.mv_store, *split.subplan, *catalog, view,
-              out.bytes_scanned);
+  CommitMvInsert(options.mv_store, std::move(sub_snap), view,
+                 out.bytes_scanned);
 
   // Inject the materialized view and run the top-level plan.
   PIXELS_RETURN_NOT_OK(InjectView(split.final_plan, view));
@@ -188,8 +219,8 @@ Result<CfExecution> ExecuteWithCfPushdown(const PlanPtr& plan,
   // Also cache the full-query result (keyed by the original plan, which
   // still has no inlined view) so an identical repeat skips even the
   // top-level merge.
-  TryInsertMv(options.mv_store, *plan, *catalog, out.result,
-              out.bytes_scanned);
+  CommitMvInsert(options.mv_store, std::move(full_snap), out.result,
+                 out.bytes_scanned);
   return out;
 }
 

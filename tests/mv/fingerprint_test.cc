@@ -157,14 +157,31 @@ TEST(CanonicalExprTest, GreaterThanNormalizedToLessThan) {
   EXPECT_EQ(BinaryText("<=", "a", "b"), BinaryText(">=", "b", "a"));
 }
 
-TEST(CanonicalExprTest, LiteralsHashedAndBounded) {
+TEST(CanonicalExprTest, ShortLiteralsEmbedVerbatim) {
+  // Short constants enter the text exactly (length-prefixed), so two
+  // distinct constants can never collide via a hash — the bytes differ.
+  const std::string eng = CanonicalExprText(*MakeLiteral(Value::String("eng")));
+  EXPECT_NE(eng.find("eng"), std::string::npos);
+  EXPECT_NE(eng, CanonicalExprText(*MakeLiteral(Value::String("hr"))));
+  // The kind tag keeps 1 and '1' distinct.
+  EXPECT_NE(CanonicalExprText(*MakeLiteral(Value::Int(1))),
+            CanonicalExprText(*MakeLiteral(Value::String("1"))));
+  // The length prefix keeps crafted strings from impersonating grammar:
+  // a literal containing the rendering of another literal stays distinct.
+  EXPECT_NE(CanonicalExprText(*MakeLiteral(Value::String("4:s1}"))),
+            CanonicalExprText(*MakeLiteral(Value::String("1"))));
+}
+
+TEST(CanonicalExprTest, LongLiteralsDualHashedAndBounded) {
   auto huge = MakeLiteral(Value::String(std::string(100000, 'x')));
   const std::string text = CanonicalExprText(*huge);
   EXPECT_LT(text.size(), 64u);  // hashed, not inlined
   EXPECT_NE(text, CanonicalExprText(*MakeLiteral(Value::String("x"))));
-  // The kind tag keeps 1 and '1' distinct.
-  EXPECT_NE(CanonicalExprText(*MakeLiteral(Value::Int(1))),
-            CanonicalExprText(*MakeLiteral(Value::String("1"))));
+  // Both FNV streams enter the text: 4-char tag + 2 x 16 hex chars. A
+  // single 64-bit collision therefore cannot merge two keys.
+  EXPECT_EQ(text.size(), 4u + 32u);
+  auto huge2 = MakeLiteral(Value::String(std::string(100000, 'y')));
+  EXPECT_NE(text, CanonicalExprText(*huge2));
 }
 
 TEST(PinCollectionTest, PinsSortedDedupedAndVersioned) {

@@ -1,0 +1,131 @@
+// Regression test for the MV pin-snapshot ordering: version pins must be
+// collected BEFORE a plan executes. A catalog mutation landing mid-query
+// then leaves the inserted entry with pre-mutation pins, so the next
+// lookup conservatively invalidates it. Collected after execution
+// instead, the same race would stamp the stale result with the new epoch
+// and every subsequent lookup would silently serve stale data.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/executor.h"
+#include "format/writer.h"
+#include "mv/mv_store.h"
+#include "storage/memory_store.h"
+
+namespace pixels {
+namespace {
+
+/// Delegating storage that reports each ReadRange's 1-based ordinal to a
+/// hook before forwarding, so a test can inject work "mid-scan".
+class HookedStore : public Storage {
+ public:
+  explicit HookedStore(std::shared_ptr<Storage> base)
+      : base_(std::move(base)) {}
+
+  std::function<void(uint64_t)> on_read;
+
+  Result<std::vector<uint8_t>> Read(const std::string& path) override {
+    return base_->Read(path);
+  }
+  Result<std::vector<uint8_t>> ReadRange(const std::string& path,
+                                         uint64_t offset,
+                                         uint64_t length) override {
+    ++reads_;
+    if (on_read) on_read(reads_);
+    return base_->ReadRange(path, offset, length);
+  }
+  Status Write(const std::string& path,
+               const std::vector<uint8_t>& data) override {
+    return base_->Write(path, data);
+  }
+  Result<uint64_t> Size(const std::string& path) override {
+    return base_->Size(path);
+  }
+  Result<std::vector<std::string>> List(const std::string& prefix) override {
+    return base_->List(prefix);
+  }
+  Status Delete(const std::string& path) override {
+    return base_->Delete(path);
+  }
+  bool Exists(const std::string& path) override {
+    return base_->Exists(path);
+  }
+
+  uint64_t reads() const { return reads_; }
+
+ private:
+  std::shared_ptr<Storage> base_;
+  uint64_t reads_ = 0;
+};
+
+std::shared_ptr<Catalog> BuildCatalog(const std::shared_ptr<Storage>& storage) {
+  auto catalog = std::make_shared<Catalog>(storage);
+  EXPECT_TRUE(catalog->CreateDatabase("db").ok());
+  FileSchema schema = {{"id", TypeId::kInt64}};
+  EXPECT_TRUE(catalog->CreateTable("db", "t", schema).ok());
+  PixelsWriter writer(schema);
+  for (int64_t i = 0; i < 64; ++i) {
+    EXPECT_TRUE(writer.AppendRow({Value::Int(i)}).ok());
+  }
+  EXPECT_TRUE(writer.Finish(storage.get(), "db/t/part0.pxl").ok());
+  EXPECT_TRUE(catalog->AddTableFile("db", "t", "db/t/part0.pxl").ok());
+  return catalog;
+}
+
+TEST(MvPinSnapshotTest, MidQueryWriteNeverPoisonsTheStore) {
+  const char* kSql = "SELECT id FROM t WHERE id < 32";
+
+  // Pass 1: count the storage reads one cold execution performs. Serial
+  // execution makes the count (and the ordinal of the last read, a chunk
+  // fetch issued well after the scan resolved its file list) stable.
+  auto counting =
+      std::make_shared<HookedStore>(std::make_shared<MemoryStore>());
+  auto warm_catalog = BuildCatalog(counting);
+  ExecContext warm_ctx;
+  warm_ctx.catalog = warm_catalog.get();
+  warm_ctx.parallelism = 1;
+  ASSERT_TRUE(ExecuteQuery(kSql, "db", &warm_ctx).ok());
+  const uint64_t total_reads = counting->reads();
+  ASSERT_GT(total_reads, 0u);
+
+  // Pass 2: identical setup, but a compaction-style file-list swap (same
+  // paths, new version epoch) lands during the query's last storage read
+  // — after the executor snapshotted pins, before the result exists.
+  auto hooked = std::make_shared<HookedStore>(std::make_shared<MemoryStore>());
+  auto catalog = BuildCatalog(hooked);
+  MvStore store;
+  ExecContext ctx;
+  ctx.catalog = catalog.get();
+  ctx.parallelism = 1;
+  ctx.mv_store = &store;
+  bool mutated = false;
+  hooked->on_read = [&](uint64_t n) {
+    if (n != total_reads || mutated) return;
+    mutated = true;
+    auto t = catalog->GetTable("db", "t");
+    ASSERT_TRUE(t.ok());
+    ASSERT_TRUE(catalog->ReplaceTableFiles("db", "t", (*t)->files).ok());
+  };
+  ASSERT_TRUE(ExecuteQuery(kSql, "db", &ctx).ok());
+  ASSERT_TRUE(mutated);
+  hooked->on_read = nullptr;
+
+  // The entry raced the write, so its pins must predate the new epoch:
+  // the repeat MISSES, invalidates, and re-executes. A hit here would be
+  // the silent-staleness bug this test guards against.
+  ASSERT_TRUE(ExecuteQuery(kSql, "db", &ctx).ok());
+  EXPECT_EQ(ctx.mv_hits.load(), 0u);
+  EXPECT_GE(store.stats().invalidations, 1u);
+
+  // The re-execution re-inserted the entry pinned at the current epoch;
+  // from here on repeats hit normally.
+  ASSERT_TRUE(ExecuteQuery(kSql, "db", &ctx).ok());
+  EXPECT_EQ(ctx.mv_hits.load(), 1u);
+}
+
+}  // namespace
+}  // namespace pixels

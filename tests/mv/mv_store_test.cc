@@ -206,6 +206,97 @@ TEST(MvStoreSpillTest, InvalidationDeletesSpillObject) {
   EXPECT_FALSE(store.Lookup(Fp(2), *catalog).has_value());
 }
 
+TEST(MvStoreSpillTest, SupersedingInsertDeletesSpillObject) {
+  auto catalog = testing::BuildTestCatalog();
+  MemoryStore spill;
+  const uint64_t one = TablePayloadBytes(*MakeIntTable(64));
+  MvStoreOptions options;
+  options.capacity_bytes = one + one / 2;
+  options.spill_storage = &spill;
+  MvStore store(options);
+
+  store.Insert(Fp(1), MakeIntTable(64), 1000, EmpPins(*catalog));
+  store.Insert(Fp(2), MakeIntTable(64), 2000, EmpPins(*catalog));
+  const std::string path = "mv/spill/" + Fp(1).ToHex() + ".pxl";
+  ASSERT_TRUE(spill.Exists(path));
+
+  // A fresh insert of key 1 supersedes the spilled copy; the object must
+  // go with the index entry, or it would orphan in storage if the new
+  // memory entry is later invalidated without spilling.
+  store.Insert(Fp(1), MakeIntTable(64, /*base=*/500), 1500,
+               EmpPins(*catalog));
+  EXPECT_FALSE(spill.Exists(path));
+  EXPECT_EQ(store.stats().spill_entries, 1u);  // key 2, evicted just now
+}
+
+TEST(MvStoreSpillTest, ReadmittedSpillHitDeletesObject) {
+  auto catalog = testing::BuildTestCatalog();
+  MemoryStore spill;
+  const uint64_t one = TablePayloadBytes(*MakeIntTable(64));
+  MvStoreOptions options;
+  options.capacity_bytes = one + one / 2;
+  options.spill_storage = &spill;
+  MvStore store(options);
+
+  store.Insert(Fp(1), MakeIntTable(64), 1000, EmpPins(*catalog));
+  store.Insert(Fp(2), MakeIntTable(64), 2000, EmpPins(*catalog));
+  const std::string path1 = "mv/spill/" + Fp(1).ToHex() + ".pxl";
+  ASSERT_TRUE(spill.Exists(path1));
+
+  // The spill hit re-admits key 1 to memory and deletes its object; the
+  // re-admission evicts key 2, which spills in turn.
+  auto hit = store.Lookup(Fp(1), *catalog);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->from_spill);
+  EXPECT_FALSE(spill.Exists(path1));
+  EXPECT_TRUE(spill.Exists("mv/spill/" + Fp(2).ToHex() + ".pxl"));
+}
+
+TEST(MvStoreSpillTest, StartupSweepRemovesOrphanedObjects) {
+  MemoryStore spill;
+  std::vector<uint8_t> junk = {1, 2, 3};
+  ASSERT_TRUE(spill.Write("mv/spill/orphan0.pxl", junk).ok());
+  ASSERT_TRUE(spill.Write("mv/spill/orphan1.pxl", junk).ok());
+  ASSERT_TRUE(spill.Write("other/keep.pxl", junk).ok());
+
+  // The spill index is memory-only, so a new store cannot reach objects a
+  // prior process left behind; construction sweeps the prefix.
+  MvStoreOptions options;
+  options.spill_storage = &spill;
+  options.spill_prefix = "mv/spill";
+  MvStore store(options);
+  EXPECT_FALSE(spill.Exists("mv/spill/orphan0.pxl"));
+  EXPECT_FALSE(spill.Exists("mv/spill/orphan1.pxl"));
+  EXPECT_TRUE(spill.Exists("other/keep.pxl"));
+}
+
+TEST(MvStoreTest, SingleInsertEvictingManyEntries) {
+  auto catalog = testing::BuildTestCatalog();
+  const uint64_t one = TablePayloadBytes(*MakeIntTable(16));
+  MvStoreOptions options;
+  options.capacity_bytes = 8 * one + one / 2;
+  options.eviction_window = 2;
+  MvStore store(options);
+
+  // Entry 0 is by far the most expensive to rebuild; the rest are cheap.
+  store.Insert(Fp(0), MakeIntTable(16), /*rebuild=*/1000000,
+               EmpPins(*catalog));
+  for (uint64_t i = 1; i < 8; ++i) {
+    store.Insert(Fp(i), MakeIntTable(16), 100 + i, EmpPins(*catalog));
+  }
+  ASSERT_EQ(store.stats().entries, 8u);
+
+  // One insert six entries wide forces a burst of evictions in a single
+  // EvictUntilFits pass; the capacity bound must hold and the expensive
+  // entry must outlive the sweep (it is never the cheapest in a window).
+  store.Insert(Fp(100), MakeIntTable(16 * 6), 500, EmpPins(*catalog));
+  auto stats = store.stats();
+  EXPECT_LE(stats.bytes_cached, options.capacity_bytes);
+  EXPECT_GE(stats.evictions, 5u);
+  EXPECT_TRUE(store.Lookup(Fp(0), *catalog).has_value());
+  EXPECT_TRUE(store.Lookup(Fp(100), *catalog).has_value());
+}
+
 TEST(MvStoreSpillTest, OversizedEntryGoesStraightToSpill) {
   auto catalog = testing::BuildTestCatalog();
   MemoryStore spill;
