@@ -1,0 +1,282 @@
+// E11 — Fault injection + retry/backoff (the chaos invariant).
+//
+// A fixed three-query workload is replayed over real TPC-H data behind
+// the production storage stack
+//   ObjectStore( RetryingStorage( FaultInjectingStorage( MemoryStore )))
+// sweeping the seeded transient-fault rate. For each rate the bench
+// reports injected errors, retry attempts/recoveries, and the total
+// bill, and checks:
+//   * rate 0 -> retry counters exactly zero,
+//   * every faulted run produces results, scanned bytes, and bills
+//     byte-/cent-identical to the fault-free baseline,
+//   * retries grow with the fault rate and nothing is ever exhausted,
+//   * the same 20% rate WITHOUT the retry layer fails queries (and the
+//     failed queries bill zero) — the retries are what buy the SLO.
+//
+// `--chaos-smoke` runs the CI gate instead: a 5% fault-rate run must be
+// identical to the fault-free run while actually having retried.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "format/footer_cache.h"
+#include "server/query_server.h"
+#include "storage/fault_injection.h"
+#include "storage/memory_store.h"
+#include "storage/object_store.h"
+#include "storage/retrying_storage.h"
+#include "workload/tpch.h"
+
+using namespace pixels;
+using namespace pixels::bench;
+
+namespace {
+
+struct QueryOut {
+  bool finished = false;
+  std::vector<std::string> rows;  // sorted
+  uint64_t bytes_scanned = 0;
+  double bill_usd = 0;
+};
+
+struct ChaosOutcome {
+  double rate = 0;
+  bool retry_enabled = true;
+  std::vector<QueryOut> queries;
+  size_t finished = 0;
+  double total_billed = 0;
+  uint64_t injected_errors = 0;
+  uint64_t retry_attempts = 0;
+  uint64_t retry_recovered = 0;
+  uint64_t retry_exhausted = 0;
+};
+
+const struct {
+  const char* sql;
+  ServiceLevel level;
+} kQueries[] = {
+    {"SELECT l_returnflag, sum(l_extendedprice) AS rev, count(*) AS n "
+     "FROM lineitem GROUP BY l_returnflag ORDER BY l_returnflag",
+     ServiceLevel::kImmediate},
+    {"SELECT o.o_orderpriority, count(*) AS n FROM orders o JOIN "
+     "lineitem l ON o.o_orderkey = l.l_orderkey WHERE l.l_quantity < 25 "
+     "GROUP BY o.o_orderpriority ORDER BY o.o_orderpriority",
+     ServiceLevel::kImmediate},
+    {"SELECT l_linestatus, sum(l_quantity) AS q FROM lineitem "
+     "WHERE l_discount > 0.02 GROUP BY l_linestatus ORDER BY l_linestatus",
+     ServiceLevel::kRelaxed},
+};
+constexpr size_t kNumQueries = sizeof(kQueries) / sizeof(kQueries[0]);
+
+std::vector<std::string> SortedRows(const Table& t) {
+  std::vector<std::string> rows;
+  for (const auto& b : t.batches()) {
+    for (size_t r = 0; r < b->num_rows(); ++r)
+      rows.push_back(b->RowToString(r));
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+/// One full server/coordinator/engine run over the shared base data at the
+/// given fault rate. Faults only hit TPC-H data paths ("tpch/..."), so the
+/// catalog load stays comparable even when retries are disabled.
+ChaosOutcome RunChaos(const std::shared_ptr<MemoryStore>& base, double rate,
+                      bool retry_enabled) {
+  // Footer-cache keys include the storage pointer; clear so a recycled
+  // allocation can never leak warm footers between runs.
+  FooterCache::Shared()->Clear();
+
+  ChaosOutcome out;
+  out.rate = rate;
+  out.retry_enabled = retry_enabled;
+
+  std::shared_ptr<Storage> inner = base;
+  std::shared_ptr<FaultInjectingStorage> injector;
+  if (rate > 0) {
+    FaultInjectionParams params;
+    params.seed = 7;  // fixed seed: a run that passes once passes forever
+    FaultRule rule;
+    rule.path_substring = "tpch/";
+    rule.read_error_rate = rate;
+    rule.latency_spike_rate = rate;
+    params.rules.push_back(rule);
+    injector = std::make_shared<FaultInjectingStorage>(base, params);
+    inner = injector;
+  }
+  RetryPolicy policy;
+  policy.max_attempts = retry_enabled ? 8 : 1;
+  auto retrying = std::make_shared<RetryingStorage>(inner, policy);
+  auto store = std::make_shared<ObjectStore>(retrying);
+  auto catalog = std::make_shared<Catalog>(store);
+  if (!catalog->LoadFromStorage("meta/catalog.json").ok()) return out;
+
+  SimClock clock;
+  Random rng(42);
+  CoordinatorParams cparams;
+  cparams.vm.initial_vms = 2;
+  cparams.vm.slots_per_vm = 2;
+  cparams.vm.min_vms = 1;
+  cparams.vm.max_vms = 4;
+  cparams.vm.monitor_interval = 5 * kSeconds;
+  Coordinator coordinator(&clock, &rng, cparams, catalog);
+  QueryServer server(&clock, &coordinator);
+
+  out.queries.resize(kNumQueries);
+  for (size_t i = 0; i < kNumQueries; ++i) {
+    Submission s;
+    s.level = kQueries[i].level;
+    s.query.sql = kQueries[i].sql;
+    s.query.db = "tpch";
+    s.query.execute_real = true;
+    server.Submit(s, [&out, i](const SubmissionRecord& srec,
+                               const QueryRecord& qrec) {
+      QueryOut& q = out.queries[i];
+      q.finished = qrec.state == QueryState::kFinished;
+      q.bytes_scanned = qrec.bytes_scanned;
+      q.bill_usd = srec.bill_usd;
+      if (qrec.result != nullptr) q.rows = SortedRows(*qrec.result);
+    });
+  }
+  clock.RunAll();
+  server.Stop();
+  coordinator.Stop();
+  clock.RunAll();
+
+  for (const auto& q : out.queries) out.finished += q.finished ? 1 : 0;
+  out.total_billed = server.TotalBilledUsd();
+  const ObjectStoreStats stats = store->stats();
+  out.retry_attempts = stats.retry_attempts;
+  out.retry_recovered = stats.retry_recovered;
+  out.retry_exhausted = stats.retry_exhausted;
+  if (injector != nullptr) {
+    out.injected_errors = injector->stats().injected_read_errors;
+  }
+  return out;
+}
+
+std::shared_ptr<MemoryStore> BuildBase() {
+  auto base = std::make_shared<MemoryStore>();
+  Catalog catalog(base);
+  TpchOptions topt;
+  topt.scale_factor = 0.002;
+  topt.rows_per_file = 2000;
+  if (!GenerateTpch(&catalog, "tpch", topt).ok()) return nullptr;
+  if (!catalog.SaveToStorage("meta/catalog.json").ok()) return nullptr;
+  return base;
+}
+
+void PrintRow(const ChaosOutcome& o) {
+  std::printf("%6.0f%% %6s %9llu %9llu %10llu %10llu %9zu/%zu %12.8f\n",
+              o.rate * 100, o.retry_enabled ? "on" : "off",
+              static_cast<unsigned long long>(o.injected_errors),
+              static_cast<unsigned long long>(o.retry_attempts),
+              static_cast<unsigned long long>(o.retry_recovered),
+              static_cast<unsigned long long>(o.retry_exhausted), o.finished,
+              kNumQueries, o.total_billed);
+}
+
+bool CheckIdentical(const ChaosOutcome& baseline, const ChaosOutcome& chaotic,
+                    const std::string& label) {
+  bool ok = true;
+  ok &= Check(chaotic.finished == kNumQueries,
+              label + ": every query finishes");
+  for (size_t i = 0; i < kNumQueries; ++i) {
+    const std::string q = label + " q" + std::to_string(i);
+    ok &= Check(baseline.queries[i].rows == chaotic.queries[i].rows,
+                q + ": byte-identical result rows");
+    ok &= Check(
+        baseline.queries[i].bytes_scanned == chaotic.queries[i].bytes_scanned,
+        q + ": identical scanned bytes (no double-billed retries)");
+    ok &= Check(baseline.queries[i].bill_usd == chaotic.queries[i].bill_usd,
+                q + ": cent-identical bill");
+  }
+  ok &= Check(baseline.total_billed == chaotic.total_billed,
+              label + ": identical total billed");
+  ok &= Check(chaotic.retry_exhausted == 0,
+              label + ": no op exhausted its retry budget");
+  return ok;
+}
+
+int RunSweep() {
+  std::printf("=== E11: chaos soak (fault rate x retry layer) ===\n\n");
+  auto base = BuildBase();
+  if (base == nullptr) return 1;
+
+  std::printf("%7s %6s %9s %9s %10s %10s %11s %12s\n", "rate", "retry",
+              "injected", "attempts", "recovered", "exhausted", "finished",
+              "billed_usd");
+
+  const ChaosOutcome baseline = RunChaos(base, 0.0, true);
+  PrintRow(baseline);
+  std::vector<ChaosOutcome> chaotic;
+  for (double rate : {0.01, 0.05, 0.20}) {
+    chaotic.push_back(RunChaos(base, rate, true));
+    PrintRow(chaotic.back());
+  }
+  const ChaosOutcome unprotected = RunChaos(base, 0.20, false);
+  PrintRow(unprotected);
+  std::printf("\n");
+
+  bool ok = true;
+  ok &= Check(baseline.finished == kNumQueries && baseline.total_billed > 0,
+              "baseline: all queries finish and bill");
+  ok &= Check(baseline.retry_attempts == 0 && baseline.retry_recovered == 0 &&
+                  baseline.retry_exhausted == 0,
+              "baseline: injection off -> retry counters exactly zero");
+  for (const auto& o : chaotic) {
+    const std::string label =
+        "rate " + std::to_string(static_cast<int>(o.rate * 100)) + "%";
+    ok &= CheckIdentical(baseline, o, label);
+    // At 1% the seeded draw may legitimately inject nothing over this
+    // small workload; only the higher rates must observably retry.
+    if (o.rate >= 0.05) {
+      ok &= Check(o.injected_errors > 0 && o.retry_recovered > 0,
+                  label + ": faults were injected and recovered");
+    }
+  }
+  ok &= Check(chaotic.front().retry_attempts < chaotic.back().retry_attempts,
+              "retry attempts grow with the fault rate");
+  ok &= Check(unprotected.finished < kNumQueries,
+              "20% faults without retries fail queries");
+  ok &= Check(unprotected.total_billed < baseline.total_billed,
+              "failed queries bill zero, so the unprotected total is lower");
+
+  std::printf("\nE11 overall: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
+int RunSmoke() {
+  std::printf("=== E11 smoke: 5%% seeded faults vs fault-free (CI gate) ===\n");
+  auto base = BuildBase();
+  if (base == nullptr) return 1;
+
+  const ChaosOutcome baseline = RunChaos(base, 0.0, true);
+  const ChaosOutcome chaotic = RunChaos(base, 0.05, true);
+  PrintRow(baseline);
+  PrintRow(chaotic);
+
+  bool ok = true;
+  ok &= Check(baseline.finished == kNumQueries && baseline.total_billed > 0,
+              "baseline: all queries finish and bill");
+  ok &= Check(baseline.retry_attempts == 0 && baseline.retry_recovered == 0,
+              "baseline: retry counters exactly zero");
+  ok &= CheckIdentical(baseline, chaotic, "5% chaos");
+  ok &= Check(chaotic.injected_errors > 0 && chaotic.retry_recovered > 0,
+              "5% chaos: faults were injected and recovered by retries");
+
+  std::printf("E11 smoke: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--chaos-smoke") == 0) {
+    return RunSmoke();
+  }
+  return RunSweep();
+}

@@ -16,13 +16,33 @@ void QueryServer::Stop() {
   }
 }
 
-void QueryServer::EnsurePolling() {
-  if (polling_ || stopped_) return;
+void QueryServer::SchedulePoll() {
+  if (stopped_) return;
+  if (relaxed_held_.empty() && best_effort_held_.empty()) return;
+  SimTime delay = params_.poll_interval;
+  if (!relaxed_held_.empty()) {
+    // Deadlines are monotonic in arrival order (fixed grace period), so
+    // the front of the deque is the nearest one.
+    const SimTime until = relaxed_held_.front().deadline - clock_->Now();
+    delay = std::min(delay, std::max<SimTime>(until, 0));
+  }
+  const SimTime fire = clock_->Now() + delay;
+  if (polling_) {
+    if (fire >= poll_fire_time_) return;  // a poll at least as early exists
+    clock_->Cancel(poll_event_);
+  }
   polling_ = true;
-  poll_event_ = clock_->Schedule(params_.poll_interval, [this] { Poll(); });
+  poll_fire_time_ = fire;
+  poll_event_ = clock_->Schedule(delay, [this] { Poll(); });
 }
 
 int64_t QueryServer::Submit(Submission submission, FinishCallback on_finish) {
+  if (stopped_) {
+    // A stopped server no longer polls, so a held query could never be
+    // dispatched — reject instead of accepting work that would hang.
+    metrics_.Add("submissions_rejected", 1);
+    return -1;
+  }
   const int64_t id = next_id_++;
   SubmissionRecord rec;
   rec.server_id = id;
@@ -58,7 +78,7 @@ int64_t QueryServer::Submit(Submission submission, FinishCallback on_finish) {
             Held{id, clock_->Now() + params_.relaxed_grace_period});
         coordinator_->SetExternalPending(
             static_cast<int>(relaxed_held_.size()));
-        EnsurePolling();
+        SchedulePoll();
       }
       break;
     case ServiceLevel::kBestEffort:
@@ -67,7 +87,7 @@ int64_t QueryServer::Submit(Submission submission, FinishCallback on_finish) {
         DispatchToCoordinator(id, /*cf_enabled=*/false);
       } else {
         best_effort_held_.push_back(Held{id, 0});
-        EnsurePolling();
+        SchedulePoll();
       }
       break;
   }
@@ -91,6 +111,24 @@ void QueryServer::DispatchToCoordinator(int64_t server_id, bool cf_enabled) {
       std::move(spec),
       [this, server_id, result_limit](const QueryRecord& qrec) {
         SubmissionRecord& srec = records_[server_id];
+        // Idempotence: the first completion settles the submission. A
+        // double-fired or re-invoked completion (CF re-invocation makes
+        // this a live hazard) must never accumulate the bill twice.
+        if (srec.billed) return;
+        srec.billed = true;
+        if (qrec.state == QueryState::kFailed) {
+          // A failed query is never billed and delivers no result; the
+          // error string stays visible through GetStatus.
+          srec.bill_usd = 0;
+          metrics_.Add("queries_failed", 1);
+          auto failed_cb = callbacks_.find(server_id);
+          if (failed_cb != callbacks_.end()) {
+            FinishCallback fn = std::move(failed_cb->second);
+            callbacks_.erase(failed_cb);
+            fn(srec, qrec);
+          }
+          return;
+        }
         srec.mv_hit = qrec.mv_hit;
         srec.mv_saved_bytes = qrec.mv_saved_bytes;
         // Scanned bytes bill at the full service-level rate; bytes an MV
@@ -175,7 +213,7 @@ void QueryServer::Poll() {
   metrics_.Series("held_queries").Record(now,
                                          static_cast<double>(HeldQueries()));
   if (!relaxed_held_.empty() || !best_effort_held_.empty()) {
-    EnsurePolling();
+    SchedulePoll();
   }
 }
 

@@ -51,6 +51,11 @@ struct SubmissionRecord {
   SimTime received_time = 0;
   SimTime dispatch_time = -1;  // when handed to the coordinator
   double bill_usd = 0;         // $/TB-scan price charged to the user
+  /// Billing idempotence guard: set when the finish callback settles this
+  /// submission (bill accumulated, or waived for a failed query). A
+  /// double-fired or re-invoked completion — a live hazard with CF worker
+  /// re-invocation — can never accumulate the bill twice.
+  bool billed = false;
   /// The whole query was answered from the materialized-view store.
   bool mv_hit = false;
   /// Scan bytes MV reuse avoided; billed at `mv_reuse_bill_fraction`.
@@ -74,6 +79,10 @@ class QueryServer {
 
   /// Accepts a query at a service level. `on_finish` fires with both the
   /// server-side record (incl. the bill) and the engine-side record.
+  /// Returns -1 (no record created, callback never fires) once the
+  /// server has been stopped: held queries would otherwise sit in the
+  /// stopped polling loop's deques forever while the caller holds a
+  /// seemingly valid id.
   int64_t Submit(Submission submission, FinishCallback on_finish = nullptr);
 
   /// Combined view of one submission's status (pending covers both the
@@ -108,7 +117,11 @@ class QueryServer {
   };
 
   void Poll();
-  void EnsurePolling();
+  /// (Re)schedules the next poll at `min(poll_interval, nearest relaxed
+  /// deadline - now)`, so a grace-period expiry dispatches at its exact
+  /// virtual time instead of overshooting by up to one poll interval. An
+  /// already-scheduled later poll is cancelled and pulled forward.
+  void SchedulePoll();
   void DispatchToCoordinator(int64_t server_id, bool cf_enabled);
 
   SimClock* clock_;
@@ -123,6 +136,7 @@ class QueryServer {
   std::deque<Held> best_effort_held_;
   bool polling_ = false;
   uint64_t poll_event_ = 0;
+  SimTime poll_fire_time_ = 0;  // virtual time of the scheduled poll
   bool stopped_ = false;
   double total_billed_ = 0;
   MetricsRegistry metrics_;

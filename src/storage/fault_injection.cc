@@ -1,0 +1,90 @@
+#include "storage/fault_injection.h"
+
+namespace pixels {
+
+Status FaultInjectingStorage::MaybeInject(const std::string& path,
+                                          bool is_write) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t op_index;
+  double error_rate;
+  double spike_rate = params_.latency_spike_rate;
+  double spike_ms = params_.latency_spike_ms;
+  bool fail_first = false;
+  if (is_write) {
+    op_index = ++stats_.write_ops;
+    error_rate = params_.write_error_rate;
+  } else {
+    op_index = ++stats_.read_ops;
+    error_rate = params_.read_error_rate;
+  }
+  for (size_t i = 0; i < params_.rules.size(); ++i) {
+    const FaultRule& rule = params_.rules[i];
+    if (!rule.path_substring.empty() &&
+        path.find(rule.path_substring) == std::string::npos) {
+      continue;
+    }
+    error_rate = is_write ? rule.write_error_rate : rule.read_error_rate;
+    spike_rate = rule.latency_spike_rate;
+    spike_ms = rule.latency_spike_ms;
+    if (is_write) {
+      fail_first = ++rule_writes_[i] <= rule.fail_first_writes;
+    } else {
+      fail_first = ++rule_reads_[i] <= rule.fail_first_reads;
+    }
+    break;  // first matching rule wins
+  }
+  if (spike_rate > 0 && rng_.Bernoulli(spike_rate)) {
+    ++stats_.injected_latency_spikes;
+    stats_.injected_latency_ms += spike_ms;
+  }
+  if (fail_first || (error_rate > 0 && rng_.Bernoulli(error_rate))) {
+    if (is_write) {
+      ++stats_.injected_write_errors;
+      return Status::IOError("injected fault: transient write error #" +
+                             std::to_string(op_index) + " on " + path);
+    }
+    ++stats_.injected_read_errors;
+    return Status::IOError("injected fault: transient read error #" +
+                           std::to_string(op_index) + " on " + path);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> FaultInjectingStorage::Read(
+    const std::string& path) {
+  PIXELS_RETURN_NOT_OK(MaybeInject(path, /*is_write=*/false));
+  return inner_->Read(path);
+}
+
+Result<std::vector<uint8_t>> FaultInjectingStorage::ReadRange(
+    const std::string& path, uint64_t offset, uint64_t length) {
+  PIXELS_RETURN_NOT_OK(MaybeInject(path, /*is_write=*/false));
+  return inner_->ReadRange(path, offset, length);
+}
+
+Status FaultInjectingStorage::Write(const std::string& path,
+                                    const std::vector<uint8_t>& data) {
+  PIXELS_RETURN_NOT_OK(MaybeInject(path, /*is_write=*/true));
+  return inner_->Write(path, data);
+}
+
+Result<uint64_t> FaultInjectingStorage::Size(const std::string& path) {
+  PIXELS_RETURN_NOT_OK(MaybeInject(path, /*is_write=*/false));
+  return inner_->Size(path);
+}
+
+Result<std::vector<std::string>> FaultInjectingStorage::List(
+    const std::string& prefix) {
+  return inner_->List(prefix);
+}
+
+Status FaultInjectingStorage::Delete(const std::string& path) {
+  PIXELS_RETURN_NOT_OK(MaybeInject(path, /*is_write=*/true));
+  return inner_->Delete(path);
+}
+
+bool FaultInjectingStorage::Exists(const std::string& path) {
+  return inner_->Exists(path);
+}
+
+}  // namespace pixels

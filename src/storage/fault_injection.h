@@ -1,0 +1,107 @@
+// FaultInjectingStorage: a seeded, deterministic fault-injection decorator
+// used to exercise every failure path above the storage layer — retry
+// loops, CF worker re-invocation, query-state propagation, and billing
+// exactness under errors. The same seed yields the same fault sequence,
+// so a chaos run that passes once passes forever.
+//
+// Faults are decided per underlying request (one ReadRanges call that
+// coalesces into three GETs draws three times), which matches where real
+// object stores fail. Injected latency spikes accumulate in simulated
+// milliseconds only; no wall-clock sleeping, so tests stay fast and the
+// discrete-event simulation stays deterministic.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "storage/storage.h"
+
+namespace pixels {
+
+/// A per-path override of the global fault rates. The first rule whose
+/// `path_substring` occurs in the request path wins; an empty substring
+/// matches every path.
+struct FaultRule {
+  std::string path_substring;
+  /// Probability that a read-side op (Read/ReadRange/Size) fails.
+  double read_error_rate = 0;
+  /// Probability that a write-side op (Write/Delete) fails.
+  double write_error_rate = 0;
+  /// The first N matching read ops fail unconditionally, then the rate
+  /// applies ("fail-N-then-succeed" — deterministic transient faults).
+  int fail_first_reads = 0;
+  /// Same for write-side ops.
+  int fail_first_writes = 0;
+  /// Probability that an op takes a latency spike (accounted, not slept).
+  double latency_spike_rate = 0;
+  double latency_spike_ms = 250.0;
+};
+
+/// Global injection parameters; `rules` refine them per path.
+struct FaultInjectionParams {
+  uint64_t seed = 7;
+  double read_error_rate = 0;
+  double write_error_rate = 0;
+  double latency_spike_rate = 0;
+  double latency_spike_ms = 250.0;
+  std::vector<FaultRule> rules;
+};
+
+/// Monotonic counters of what was injected.
+struct FaultInjectionStats {
+  uint64_t read_ops = 0;
+  uint64_t write_ops = 0;
+  uint64_t injected_read_errors = 0;
+  uint64_t injected_write_errors = 0;
+  uint64_t injected_latency_spikes = 0;
+  /// Simulated milliseconds added by latency spikes.
+  double injected_latency_ms = 0;
+};
+
+/// Storage decorator that injects transient IOError faults and latency
+/// spikes in front of `inner`. Thread-safe: concurrent CF workers share
+/// one injector (the fault sequence is then deterministic per op count,
+/// not per interleaving). Injected errors carry the "injected fault"
+/// marker in their message and classify as retryable (IOError).
+class FaultInjectingStorage : public Storage {
+ public:
+  FaultInjectingStorage(std::shared_ptr<Storage> inner,
+                        FaultInjectionParams params = {})
+      : inner_(std::move(inner)), params_(std::move(params)),
+        rng_(params_.seed),
+        rule_reads_(params_.rules.size(), 0),
+        rule_writes_(params_.rules.size(), 0) {}
+
+  Result<std::vector<uint8_t>> Read(const std::string& path) override;
+  Result<std::vector<uint8_t>> ReadRange(const std::string& path,
+                                         uint64_t offset,
+                                         uint64_t length) override;
+  Status Write(const std::string& path,
+               const std::vector<uint8_t>& data) override;
+  Result<uint64_t> Size(const std::string& path) override;
+  Result<std::vector<std::string>> List(const std::string& prefix) override;
+  Status Delete(const std::string& path) override;
+  bool Exists(const std::string& path) override;
+
+  FaultInjectionStats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+  }
+
+ private:
+  /// Decides the fate of one op; returns non-OK for an injected fault.
+  Status MaybeInject(const std::string& path, bool is_write);
+
+  std::shared_ptr<Storage> inner_;
+  FaultInjectionParams params_;
+  mutable std::mutex mutex_;
+  Random rng_;
+  /// Per-rule counters driving fail-first-N (index-aligned with rules).
+  std::vector<int> rule_reads_;
+  std::vector<int> rule_writes_;
+  FaultInjectionStats stats_;
+};
+
+}  // namespace pixels

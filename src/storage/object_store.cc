@@ -1,6 +1,24 @@
 #include "storage/object_store.h"
 
+#include "storage/retrying_storage.h"
+
 namespace pixels {
+
+ObjectStoreStats ObjectStore::stats() const {
+  ObjectStoreStats snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snapshot = stats_;
+  }
+  if (auto* retrying = dynamic_cast<RetryingStorage*>(inner_.get())) {
+    const RetryStats rs = retrying->stats();
+    snapshot.retry_attempts = rs.retries;
+    snapshot.retry_recovered = rs.recovered_ops;
+    snapshot.retry_exhausted = rs.exhausted_ops;
+    snapshot.retry_backoff_ms = rs.backoff_simulated_ms;
+  }
+  return snapshot;
+}
 
 double ObjectStore::EstimateReadLatencyMs(uint64_t bytes) const {
   const double transfer_ms =

@@ -39,6 +39,15 @@ struct ObjectStoreStats {
   double simulated_read_ms = 0;
   /// Request cost in dollars (GET + PUT).
   double request_cost_usd = 0;
+  /// Retry counters, merged from a RetryingStorage stacked directly
+  /// below this ObjectStore (all zero when no retry layer is present or
+  /// no fault ever fired). Retried requests are counted ONCE in the
+  /// request/byte counters above: the ObjectStore sees only the final
+  /// outcome, so accounting — like billing — is retry-oblivious.
+  uint64_t retry_attempts = 0;   // underlying attempts beyond the first
+  uint64_t retry_recovered = 0;  // ops that succeeded after >= 1 retry
+  uint64_t retry_exhausted = 0;  // transient errors that ran out of budget
+  double retry_backoff_ms = 0;   // simulated backoff time
 };
 
 /// Storage decorator that forwards to `inner` and records usage.
@@ -62,11 +71,9 @@ class ObjectStore : public Storage {
   bool Exists(const std::string& path) override;
 
   /// Snapshot of the usage counters (consistent under concurrent access;
-  /// concurrent CF workers share one store).
-  ObjectStoreStats stats() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return stats_;
-  }
+  /// concurrent CF workers share one store). When the inner storage is a
+  /// RetryingStorage, its counters are folded into the retry_* fields.
+  ObjectStoreStats stats() const;
   void ResetStats() {
     std::lock_guard<std::mutex> lock(mutex_);
     stats_ = ObjectStoreStats{};

@@ -1,0 +1,101 @@
+#include "storage/retrying_storage.h"
+
+#include <algorithm>
+#include <type_traits>
+
+namespace pixels {
+
+bool RetryPolicy::IsRetryable(const Status& s) {
+  switch (s.code()) {
+    case StatusCode::kIOError:
+    case StatusCode::kTimeout:
+    case StatusCode::kResourceExhausted:
+      return true;
+    default:
+      return false;
+  }
+}
+
+double RetryPolicy::BackoffMs(int retry_index, Random* rng) const {
+  double base = initial_backoff_ms;
+  for (int i = 1; i < retry_index; ++i) base *= backoff_multiplier;
+  base = std::min(base, max_backoff_ms);
+  if (jitter_fraction > 0 && rng != nullptr) {
+    base *= rng->UniformDouble(1.0 - jitter_fraction, 1.0 + jitter_fraction);
+  }
+  return base;
+}
+
+bool RetryingStorage::RecordAttempt(const Status& s, int attempt) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.attempts;
+  if (attempt > 1) ++stats_.retries;
+  if (s.ok()) {
+    if (attempt > 1) ++stats_.recovered_ops;
+    return false;
+  }
+  if (!RetryPolicy::IsRetryable(s)) {
+    ++stats_.permanent_errors;
+    return false;
+  }
+  if (attempt >= std::max(policy_.max_attempts, 1)) {
+    ++stats_.exhausted_ops;
+    return false;
+  }
+  stats_.backoff_simulated_ms += policy_.BackoffMs(attempt, &rng_);
+  return true;
+}
+
+template <typename Op>
+auto RetryingStorage::WithRetries(const Op& op) -> decltype(op()) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.operations;
+  }
+  int attempt = 0;
+  while (true) {
+    ++attempt;
+    auto result = op();
+    const Status st = [&result] {
+      if constexpr (std::is_same_v<decltype(op()), Status>) {
+        return result;
+      } else {
+        return result.status();
+      }
+    }();
+    if (!RecordAttempt(st, attempt)) return result;
+  }
+}
+
+Result<std::vector<uint8_t>> RetryingStorage::Read(const std::string& path) {
+  return WithRetries([&] { return inner_->Read(path); });
+}
+
+Result<std::vector<uint8_t>> RetryingStorage::ReadRange(
+    const std::string& path, uint64_t offset, uint64_t length) {
+  return WithRetries([&] { return inner_->ReadRange(path, offset, length); });
+}
+
+Status RetryingStorage::Write(const std::string& path,
+                              const std::vector<uint8_t>& data) {
+  return WithRetries([&] { return inner_->Write(path, data); });
+}
+
+Result<uint64_t> RetryingStorage::Size(const std::string& path) {
+  return WithRetries([&] { return inner_->Size(path); });
+}
+
+Result<std::vector<std::string>> RetryingStorage::List(
+    const std::string& prefix) {
+  return WithRetries([&] { return inner_->List(prefix); });
+}
+
+Status RetryingStorage::Delete(const std::string& path) {
+  return WithRetries([&] { return inner_->Delete(path); });
+}
+
+bool RetryingStorage::Exists(const std::string& path) {
+  return inner_->Exists(path);
+}
+
+}  // namespace pixels

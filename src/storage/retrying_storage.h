@@ -1,0 +1,99 @@
+// RetryingStorage: transparent retry with exponential backoff + jitter
+// for transient storage errors. Sits between the accounting ObjectStore
+// (above) and the raw — possibly fault-injected — backend (below):
+//
+//   ObjectStore( RetryingStorage( FaultInjectingStorage( MemoryStore )))
+//
+// With that stacking a retried GET is counted once by ObjectStore and
+// scanned bytes are counted once by the executor, so billing is identical
+// to the fault-free run — the invariant the chaos soak pins.
+//
+// Backoff is accounted in simulated milliseconds (like the ObjectStore's
+// simulated_read_ms): storage calls run on pool threads where sleeping
+// or touching the SimClock would be both slow and racy. The jitter comes
+// from a seeded Random, so a retry schedule is reproducible.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "storage/storage.h"
+
+namespace pixels {
+
+/// Retry policy: attempt budget, exponential backoff, and the
+/// retryable-vs-permanent classification shared by the CF fleet.
+struct RetryPolicy {
+  /// Total attempts per op, including the first (1 disables retries).
+  int max_attempts = 4;
+  double initial_backoff_ms = 25.0;
+  double backoff_multiplier = 2.0;
+  double max_backoff_ms = 2000.0;
+  /// Backoff is multiplied by a uniform value in [1-jitter, 1+jitter].
+  double jitter_fraction = 0.2;
+  /// Seed of the jitter stream (independent of fault-injection seeds).
+  uint64_t jitter_seed = 17;
+
+  /// Transient, worth retrying: IOError, Timeout, ResourceExhausted.
+  /// Everything else (NotFound, Corruption, InvalidArgument, ...) is
+  /// permanent and surfaces immediately.
+  static bool IsRetryable(const Status& s);
+
+  /// Backoff before retry `retry_index` (1-based), jittered via `rng`.
+  double BackoffMs(int retry_index, Random* rng) const;
+};
+
+/// Monotonic retry counters; merged into ObjectStoreStats by an
+/// ObjectStore stacked directly above (see object_store.h).
+struct RetryStats {
+  uint64_t operations = 0;       // user-level ops
+  uint64_t attempts = 0;         // underlying attempts (>= operations)
+  uint64_t retries = 0;          // attempts beyond an op's first
+  uint64_t recovered_ops = 0;    // ops that succeeded after >= 1 retry
+  uint64_t exhausted_ops = 0;    // retryable errors that ran out of budget
+  uint64_t permanent_errors = 0; // non-retryable errors (not retried)
+  double backoff_simulated_ms = 0;
+};
+
+/// Storage decorator that retries transient errors from `inner` under a
+/// RetryPolicy. Thread-safe; shared by concurrent CF workers.
+class RetryingStorage : public Storage {
+ public:
+  RetryingStorage(std::shared_ptr<Storage> inner, RetryPolicy policy = {})
+      : inner_(std::move(inner)), policy_(policy), rng_(policy.jitter_seed) {}
+
+  Result<std::vector<uint8_t>> Read(const std::string& path) override;
+  Result<std::vector<uint8_t>> ReadRange(const std::string& path,
+                                         uint64_t offset,
+                                         uint64_t length) override;
+  Status Write(const std::string& path,
+               const std::vector<uint8_t>& data) override;
+  Result<uint64_t> Size(const std::string& path) override;
+  Result<std::vector<std::string>> List(const std::string& prefix) override;
+  Status Delete(const std::string& path) override;
+  bool Exists(const std::string& path) override;
+
+  RetryStats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+  }
+  const RetryPolicy& policy() const { return policy_; }
+
+ private:
+  /// Runs `op` under the retry policy, recording attempts and backoff.
+  template <typename Op>
+  auto WithRetries(const Op& op) -> decltype(op());
+
+  /// Accounts the outcome of one attempt; returns true to retry.
+  bool RecordAttempt(const Status& s, int attempt);
+
+  std::shared_ptr<Storage> inner_;
+  RetryPolicy policy_;
+  mutable std::mutex mutex_;
+  Random rng_;
+  RetryStats stats_;
+};
+
+}  // namespace pixels

@@ -36,8 +36,14 @@ class Storage {
   /// `ReadRange` calls while issuing far fewer requests. Zero-length
   /// ranges yield empty buffers and are never fetched; any fetched range
   /// exceeding the object size fails like `ReadRange` does. The default
-  /// implementation dispatches through `ReadRange`, so decorators keep
-  /// their per-request behaviour (latency, failure injection, accounting).
+  /// implementation dispatches through `ReadRange`, so each merged range
+  /// is one underlying request as far as the decorator stack (see
+  /// fault_injection.h / retrying_storage.h / object_store.h) is
+  /// concerned: FaultInjectingStorage draws one fault decision per merged
+  /// range, RetryingStorage retries each merged range independently, and
+  /// ObjectStore records one GET per merged range. A transient mid-call
+  /// failure therefore re-fetches only the failing merged range, and the
+  /// returned buffers are byte-identical whether or not retries fired.
   virtual Result<std::vector<std::vector<uint8_t>>> ReadRanges(
       const std::string& path, const std::vector<ByteRange>& ranges,
       uint64_t coalesce_gap_bytes = kDefaultCoalesceGapBytes);

@@ -6,6 +6,7 @@
 #include "exec/executor.h"
 #include "format/writer.h"
 #include "plan/fingerprint.h"
+#include "storage/retrying_storage.h"
 
 namespace pixels {
 
@@ -149,25 +150,31 @@ Result<CfExecution> ExecuteWithCfPushdown(const PlanPtr& plan,
       std::vector<PlanPtr> worker_plans,
       PartitionSubplan(split.subplan, std::max(options.num_workers, 1),
                        *catalog));
-  out.workers_used = static_cast<int>(worker_plans.size());
   out.pushdown_used = true;
 
   // Each worker executes its partition concurrently on the shared pool;
   // results land in index-addressed slots, so the view concatenation and
-  // the billing totals are identical to a serial fleet.
+  // the billing totals are identical to a serial fleet. A worker whose
+  // attempt fails with a retryable error is re-invoked (bounded budget,
+  // exponential backoff in simulated time); each attempt starts from a
+  // fresh ExecContext and only the successful attempt commits its slot,
+  // so scanned-byte accounting is identical to a fault-free fleet.
   const auto fleet_start = std::chrono::steady_clock::now();
-  std::vector<TablePtr> parts(worker_plans.size());
-  std::vector<uint64_t> worker_bytes(worker_plans.size(), 0);
-  out.worker_elapsed_seconds.assign(worker_plans.size(), 0.0);
-  auto run_worker = [&](size_t w) -> Status {
-    const auto start = std::chrono::steady_clock::now();
+  const size_t n = worker_plans.size();
+  std::vector<TablePtr> parts(n);
+  std::vector<uint64_t> worker_bytes(n, 0);
+  std::vector<int> retries(n, 0);
+  std::vector<char> recovered(n, 0);
+  std::vector<char> needs_fallback(n, 0);
+  std::vector<double> backoff_ms(n, 0.0);
+  out.worker_elapsed_seconds.assign(n, 0.0);
+  auto attempt_worker = [&](size_t w) -> Status {
     ExecContext worker_ctx;
     worker_ctx.catalog = catalog;
     worker_ctx.parallelism = std::max(options.worker_parallelism, 1);
     worker_ctx.io = options.io;
     PIXELS_ASSIGN_OR_RETURN(TablePtr part,
                             ExecutePlan(worker_plans[w], &worker_ctx));
-    worker_bytes[w] = worker_ctx.bytes_scanned;
     if (options.intermediate_store != nullptr) {
       // Worker results land in object storage (paper: S3) and the
       // top-level plan reads them back.
@@ -176,27 +183,78 @@ Result<CfExecution> ExecuteWithCfPushdown(const PlanPtr& plan,
                               options.view_prefix + "." + std::to_string(w) +
                                   ".pxl"));
     }
+    // Commit the slot only on success: a failed attempt's partial scan
+    // never reaches the billing counters.
+    worker_bytes[w] = worker_ctx.bytes_scanned;
     parts[w] = std::move(part);
-    out.worker_elapsed_seconds[w] =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-            .count();
     return Status::OK();
+  };
+  auto run_worker = [&](size_t w) -> Status {
+    const auto start = std::chrono::steady_clock::now();
+    const int budget = std::max(options.max_worker_attempts, 1);
+    Status last;
+    for (int attempt = 1; attempt <= budget; ++attempt) {
+      if (attempt > 1) {
+        ++retries[w];
+        double delay = options.worker_retry_backoff_ms;
+        for (int i = 2; i < attempt; ++i) delay *= 2.0;
+        backoff_ms[w] += delay;
+      }
+      last = attempt_worker(w);
+      if (last.ok()) {
+        if (attempt > 1) recovered[w] = 1;
+        out.worker_elapsed_seconds[w] =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count();
+        return Status::OK();
+      }
+      // Permanent errors fail the query outright — re-running or falling
+      // back cannot fix a corrupt or missing object.
+      if (!RetryPolicy::IsRetryable(last)) return last;
+    }
+    if (options.vm_fallback) {
+      // Exhausted the budget: degrade this partition to the VM path
+      // after the fleet drains instead of failing the whole query.
+      needs_fallback[w] = 1;
+      return Status::OK();
+    }
+    return last;
   };
   const int fleet_par = options.fleet_parallelism > 0
                             ? options.fleet_parallelism
                             : DefaultParallelism();
   PIXELS_RETURN_NOT_OK(ThreadPool::Shared()->ParallelFor(
-      0, worker_plans.size(), /*grain=*/1,
-      [&](size_t w) { return run_worker(w); }, fleet_par));
+      0, n, /*grain=*/1, [&](size_t w) { return run_worker(w); }, fleet_par));
   out.fleet_elapsed_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     fleet_start)
           .count();
 
+  // Graceful degradation: partitions whose workers exhausted their
+  // re-invocation budget run on the VM path — executed inline by the
+  // coordinator, serially, with no intermediate round trip. The view is
+  // byte-identical either way; only `used_cf` and the compute-cost split
+  // reflect the degradation.
+  for (size_t w = 0; w < n; ++w) {
+    if (!needs_fallback[w]) continue;
+    ExecContext vm_ctx;
+    vm_ctx.catalog = catalog;
+    vm_ctx.io = options.io;
+    PIXELS_ASSIGN_OR_RETURN(parts[w], ExecutePlan(worker_plans[w], &vm_ctx));
+    worker_bytes[w] = vm_ctx.bytes_scanned;
+    out.fallback_bytes_scanned += vm_ctx.bytes_scanned;
+    ++out.workers_fallback;
+  }
+  out.workers_used = static_cast<int>(n) - out.workers_fallback;
+
   // Merge per-worker counters and views in partition order.
   auto view = std::make_shared<Table>();
-  for (size_t w = 0; w < worker_plans.size(); ++w) {
+  for (size_t w = 0; w < n; ++w) {
     out.bytes_scanned += worker_bytes[w];
+    out.worker_retries += retries[w];
+    if (recovered[w]) ++out.workers_recovered;
+    out.retry_backoff_simulated_ms += backoff_ms[w];
     for (const auto& batch : parts[w]->batches()) view->AddBatch(batch);
   }
   out.view = view;

@@ -24,6 +24,20 @@ struct CfExecution {
   bool mv_subplan_hit = false;
   /// Scan bytes MV hits avoided (full-query or sub-plan granularity).
   uint64_t mv_saved_bytes = 0;
+  /// Re-invocations of failed workers across the fleet (transient worker
+  /// failures absorbed without surfacing to the query).
+  int worker_retries = 0;
+  /// Partitions that succeeded after at least one re-invocation.
+  int workers_recovered = 0;
+  /// Partitions that exhausted their re-invocation budget and degraded to
+  /// the VM path (executed inline by the coordinator instead of failing
+  /// the query). Excluded from `workers_used`.
+  int workers_fallback = 0;
+  /// Subset of `bytes_scanned` scanned by VM-path fallback partitions
+  /// (drives the VM/CF compute-cost split; billing per byte is unchanged).
+  uint64_t fallback_bytes_scanned = 0;
+  /// Simulated backoff time between worker re-invocations.
+  double retry_backoff_simulated_ms = 0;
   /// Per-worker vCPU-seconds estimate derived from bytes (for billing).
   double work_vcpu_seconds = 0;
   /// Measured wall-clock seconds of each worker's sub-plan (index =
@@ -64,6 +78,20 @@ struct CfWorkerOptions {
   /// sub-plan (hit = the worker fleet is skipped and the cached view
   /// re-enters the top-level plan directly).
   MvStore* mv_store = nullptr;
+  /// Attempt budget per worker partition, including the first invocation
+  /// (1 disables re-invocation). A worker whose sub-plan fails with a
+  /// retryable error (see RetryPolicy::IsRetryable) is re-invoked from a
+  /// fresh ExecContext, so only the successful attempt's scanned bytes
+  /// are counted — retries never double-bill.
+  int max_worker_attempts = 3;
+  /// Base backoff between re-invocations of one worker, doubled per
+  /// further attempt. Accounted in simulated milliseconds only.
+  double worker_retry_backoff_ms = 200.0;
+  /// When a partition exhausts its attempt budget, execute it on the VM
+  /// path (inline, no intermediate round trip) instead of failing the
+  /// query. Non-retryable errors always fail the query: a corrupt object
+  /// is corrupt on the VM path too.
+  bool vm_fallback = true;
 };
 
 /// Executes `plan` with the sub-plan pushed down to a simulated CF worker

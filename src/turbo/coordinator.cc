@@ -7,6 +7,7 @@
 #include "exec/executor.h"
 #include "plan/binder.h"
 #include "plan/optimizer.h"
+#include "storage/object_store.h"
 
 namespace pixels {
 
@@ -126,6 +127,9 @@ void Coordinator::MaybeExecuteReal(QueryRecord* rec, bool via_cf) {
     options.view_prefix = "intermediate/q" + std::to_string(rec->id);
     options.io = QueryIo();
     options.mv_store = mv_store_.get();
+    options.max_worker_attempts = params_.cf_max_worker_attempts;
+    options.worker_retry_backoff_ms = params_.cf_worker_retry_backoff_ms;
+    options.vm_fallback = params_.cf_vm_fallback;
     auto exec = ExecuteWithCfPushdown(std::move(optimized).ValueOrDie(),
                                       catalog_.get(), options);
     if (!exec.ok()) {
@@ -135,6 +139,9 @@ void Coordinator::MaybeExecuteReal(QueryRecord* rec, bool via_cf) {
     rec->result = exec->result;
     rec->bytes_scanned = exec->bytes_scanned;
     rec->cf_workers_used = exec->workers_used;
+    rec->cf_worker_retries = exec->worker_retries;
+    rec->cf_fallback_workers = exec->workers_fallback;
+    rec->cf_fallback_bytes = exec->fallback_bytes_scanned;
     rec->mv_hit = exec->mv_full_hit;
     rec->mv_saved_bytes = exec->mv_saved_bytes;
     if (exec->mv_full_hit || exec->mv_subplan_hit) {
@@ -168,6 +175,17 @@ void Coordinator::StartInVm(QueryRecord* rec) {
   rec->start_time = clock_->Now();
   MaybeExecuteReal(rec, /*via_cf=*/false);
 
+  if (!rec->error.empty()) {
+    // Fail fast: a failed execution holds its slot only for the fixed
+    // overhead, accrues no compute cost, and is never billed.
+    rec->compute_cost_usd = 0;
+    clock_->Schedule(params_.query_overhead, [this, id = rec->id] {
+      vm_.FinishQuery();
+      Finish(&queries_[id]);
+    });
+    return;
+  }
+
   const double work = rec->spec.execute_real && rec->bytes_scanned > 0
                           ? static_cast<double>(rec->bytes_scanned) /
                                 params_.bytes_per_vcpu_second
@@ -193,6 +211,15 @@ void Coordinator::StartInCf(QueryRecord* rec) {
   rec->start_time = clock_->Now();
   MaybeExecuteReal(rec, /*via_cf=*/true);
 
+  if (!rec->error.empty()) {
+    // Fail fast: no fleet is hired for a failed execution, so a failed
+    // query accrues neither CF cost nor a bill.
+    rec->compute_cost_usd = 0;
+    clock_->Schedule(params_.query_overhead,
+                     [this, id = rec->id] { Finish(&queries_[id]); });
+    return;
+  }
+
   if (rec->mv_hit) {
     // A full MV hit answered the query before any worker could be hired:
     // no CF invocation, no compute cost, just the fixed query overhead.
@@ -203,28 +230,82 @@ void Coordinator::StartInCf(QueryRecord* rec) {
     return;
   }
 
-  rec->used_cf = true;
-  metrics_.Add("queries_cf_accelerated", 1);
+  if (rec->cf_worker_retries > 0) {
+    metrics_.Add("cf_worker_retries", rec->cf_worker_retries);
+  }
+  if (rec->cf_fallback_workers > 0) {
+    metrics_.Add("cf_fallback_workers", rec->cf_fallback_workers);
+  }
+
   const double work = rec->spec.execute_real && rec->bytes_scanned > 0
                           ? static_cast<double>(rec->bytes_scanned) /
                                 params_.bytes_per_vcpu_second
                           : EstimateWork(rec->spec);
+  // Work done by VM-path fallback partitions is priced at the VM rate;
+  // only the remainder is a CF invocation.
+  const double fallback_work =
+      rec->cf_fallback_bytes > 0
+          ? static_cast<double>(rec->cf_fallback_bytes) /
+                params_.bytes_per_vcpu_second
+          : 0.0;
+  const double cf_work = std::max(work - fallback_work, 0.0);
+
+  if (rec->spec.execute_real && rec->cf_fallback_workers > 0 &&
+      rec->cf_workers_used == 0) {
+    // Every pushed partition exhausted CF retries: the query effectively
+    // ran on the VM path. `used_cf` stays false and the compute cost is
+    // VM-priced — the record reflects what actually happened.
+    metrics_.Add("cf_fleet_degraded_queries", 1);
+    rec->compute_cost_usd = params_.pricing.VmComputeCost(work);
+    const double query_vcpus =
+        static_cast<double>(params_.vm.vcpus_per_vm) /
+        std::max(params_.vm.slots_per_vm, 1);
+    const SimTime duration =
+        params_.query_overhead +
+        static_cast<SimTime>(std::ceil(work / query_vcpus * 1000.0));
+    clock_->Schedule(duration, [this, id = rec->id] { Finish(&queries_[id]); });
+    return;
+  }
+
+  rec->used_cf = true;
+  metrics_.Add("queries_cf_accelerated", 1);
   const int workers = rec->cf_workers_used > 0
                           ? rec->cf_workers_used
                           : std::max(rec->spec.cf_workers,
                                      params_.default_cf_workers);
   CfInvocationResult inv =
-      cf_.Invoke(workers, work, [this, id = rec->id] {
+      cf_.Invoke(workers, cf_work, [this, id = rec->id] {
         Finish(&queries_[id]);
       });
   rec->cf_workers_used = inv.workers;
-  rec->compute_cost_usd = inv.cost_usd;
+  rec->compute_cost_usd =
+      inv.cost_usd + params_.pricing.VmComputeCost(fallback_work);
+}
+
+void Coordinator::PublishStorageMetrics() {
+  if (catalog_ == nullptr) return;
+  auto* store = dynamic_cast<ObjectStore*>(catalog_->storage());
+  if (store == nullptr) return;
+  const ObjectStoreStats s = store->stats();
+  metrics_.Add("storage_retries",
+               static_cast<double>(s.retry_attempts) -
+                   static_cast<double>(published_storage_.retry_attempts));
+  metrics_.Add("storage_retry_recovered",
+               static_cast<double>(s.retry_recovered) -
+                   static_cast<double>(published_storage_.retry_recovered));
+  metrics_.Add("storage_retry_exhausted",
+               static_cast<double>(s.retry_exhausted) -
+                   static_cast<double>(published_storage_.retry_exhausted));
+  metrics_.Add("storage_backoff_ms",
+               s.retry_backoff_ms - published_storage_.retry_backoff_ms);
+  published_storage_ = s;
 }
 
 void Coordinator::Finish(QueryRecord* rec) {
   rec->finish_time = clock_->Now();
   rec->state = rec->error.empty() ? QueryState::kFinished : QueryState::kFailed;
   metrics_.Add(rec->error.empty() ? "queries_finished" : "queries_failed", 1);
+  PublishStorageMetrics();
   auto cb = callbacks_.find(rec->id);
   if (cb != callbacks_.end()) {
     QueryCallback fn = std::move(cb->second);

@@ -17,6 +17,7 @@
 #include "cloud/vm_cluster.h"
 #include "mv/mv_store.h"
 #include "storage/buffer_cache.h"
+#include "storage/object_store.h"
 #include "turbo/cf_worker.h"
 #include "turbo/query_task.h"
 
@@ -48,6 +49,14 @@ struct CoordinatorParams {
   /// Path prefix for MV entries spilled as Pixels objects through the
   /// catalog's storage. Empty disables the spill tier.
   std::string mv_spill_prefix;
+  /// CF-fleet robustness knobs, threaded into CfWorkerOptions: attempt
+  /// budget per worker partition (incl. the first invocation), base
+  /// backoff between re-invocations (doubled per attempt, simulated
+  /// time), and whether an exhausted partition degrades to the VM path
+  /// instead of failing the query.
+  int cf_max_worker_attempts = 3;
+  double cf_worker_retry_backoff_ms = 200.0;
+  bool cf_vm_fallback = true;
 };
 
 /// Coordinator of the hybrid serverless query engine.
@@ -124,6 +133,9 @@ class Coordinator {
   /// Runs the SQL through the real engine if requested; updates record.
   void MaybeExecuteReal(QueryRecord* rec, bool via_cf);
   void Finish(QueryRecord* rec);
+  /// Folds the catalog storage's retry/backoff counters (when it is an
+  /// ObjectStore) into this registry as deltas since the last publish.
+  void PublishStorageMetrics();
 
   /// The query-server-wide I/O policy handed to every real execution.
   IoOptions QueryIo() const;
@@ -144,6 +156,8 @@ class Coordinator {
   std::map<int64_t, QueryCallback> callbacks_;
   std::deque<int64_t> vm_queue_;
   int external_pending_ = 0;
+  /// Last storage-stats snapshot published into `metrics_` (delta base).
+  ObjectStoreStats published_storage_;
   MetricsRegistry metrics_;
 };
 

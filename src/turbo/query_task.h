@@ -54,8 +54,16 @@ struct QueryRecord {
   SimTime finish_time = -1;
 
   /// True when the query (or its pushed-down sub-plan) ran in CF workers.
+  /// Reflects reality under degradation: a query whose every pushed
+  /// partition fell back to the VM path reports false.
   bool used_cf = false;
   int cf_workers_used = 0;
+  /// Re-invocations of failed CF workers absorbed for this query.
+  int cf_worker_retries = 0;
+  /// Partitions that exhausted CF re-invocation and ran on the VM path.
+  int cf_fallback_workers = 0;
+  /// Bytes scanned by those VM-path fallback partitions (cost split).
+  uint64_t cf_fallback_bytes = 0;
 
   /// Attributed resource cost (VM vCPU-seconds or CF invocation cost).
   double compute_cost_usd = 0;

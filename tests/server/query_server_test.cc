@@ -309,6 +309,107 @@ TEST_F(QueryServerTest, HeldQueriesDoNotGateThemselves) {
   }
 }
 
+TEST_F(QueryServerTest, StoppedServerRejectsSubmissions) {
+  // Regression: a stopped server no longer polls, so accepting a held
+  // query would strand it (and its callback) forever. Submit must fail
+  // loudly instead.
+  int64_t before = server_->Submit(Work(ServiceLevel::kImmediate, 1.0));
+  EXPECT_GT(before, 0);
+  server_->Stop();
+  bool callback_fired = false;
+  int64_t after = server_->Submit(
+      Work(ServiceLevel::kRelaxed, 1.0),
+      [&](const SubmissionRecord&, const QueryRecord&) {
+        callback_fired = true;
+      });
+  EXPECT_EQ(after, -1);
+  EXPECT_EQ(server_->GetRecord(-1), nullptr);
+  EXPECT_TRUE(server_->GetStatus(-1).status().IsNotFound());
+  EXPECT_EQ(server_->HeldQueries(), 0u);
+  EXPECT_EQ(server_->metrics().Counter("submissions_rejected"), 1.0);
+  clock_.RunAll();
+  EXPECT_FALSE(callback_fired);
+}
+
+TEST_F(QueryServerTest, RelaxedDispatchesAtExactGraceDeadline) {
+  // The poll must fire at min(poll_interval, nearest deadline - now):
+  // with a 30s interval and a 45s grace period the old fixed cadence
+  // would overshoot the deadline to t=60s; deadline-aware scheduling
+  // dispatches at exactly t=45s.
+  QueryServerParams sparams;
+  sparams.relaxed_grace_period = 45 * kSeconds;
+  sparams.poll_interval = 30 * kSeconds;
+  QueryServer server(&clock_, coordinator_.get(), sparams);
+  // Saturate the cluster far past the grace period.
+  for (int i = 0; i < 6; ++i) {
+    server.Submit(Work(ServiceLevel::kImmediate, 10000.0));
+  }
+  int64_t id = server.Submit(Work(ServiceLevel::kRelaxed, 1.0));
+  clock_.RunUntil(2 * kMinutes);
+  const SubmissionRecord* rec = server.GetRecord(id);
+  ASSERT_NE(rec, nullptr);
+  ASSERT_GT(rec->coordinator_id, 0);  // left the server queue
+  EXPECT_EQ(rec->dispatch_time - rec->received_time, 45 * kSeconds);
+  server.Stop();
+}
+
+TEST_F(QueryServerTest, BillingSettlesExactlyOnce) {
+  // The idempotence guard: the first completion marks the submission
+  // settled, so the callback fires once and the bill accumulates once.
+  int calls = 0;
+  int64_t id = server_->Submit(
+      Work(ServiceLevel::kImmediate, 1.0, 1'000'000'000'000ULL),
+      [&](const SubmissionRecord& srec, const QueryRecord&) {
+        ++calls;
+        EXPECT_TRUE(srec.billed);
+      });
+  clock_.RunUntil(1 * kMinutes);
+  EXPECT_EQ(calls, 1);
+  const SubmissionRecord* rec = server_->GetRecord(id);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_TRUE(rec->billed);
+  EXPECT_DOUBLE_EQ(rec->bill_usd, 5.0);
+  EXPECT_DOUBLE_EQ(server_->TotalBilledUsd(), 5.0);
+}
+
+TEST_F(QueryServerTest, FailedQueryReachesFailedStateAndIsNotBilled) {
+  auto catalog = testing::BuildTestCatalog();
+  CoordinatorParams cparams;
+  cparams.vm.initial_vms = 2;
+  cparams.mv_store_bytes = 64ULL << 20;  // MV enabled: must stay empty
+  Coordinator coord(&clock_, &rng_, cparams, catalog);
+  QueryServer server(&clock_, &coord);
+
+  Submission s;
+  s.level = ServiceLevel::kImmediate;
+  s.query.sql = "SELECT no_such_column FROM emp";
+  s.query.db = "db";
+  s.query.execute_real = true;
+  bool callback_fired = false;
+  int64_t id = server.Submit(
+      s, [&](const SubmissionRecord& srec, const QueryRecord& qrec) {
+        callback_fired = true;
+        EXPECT_EQ(qrec.state, QueryState::kFailed);
+        EXPECT_DOUBLE_EQ(srec.bill_usd, 0.0);
+        EXPECT_TRUE(srec.billed);  // settled: can never bill later
+      });
+  clock_.RunAll();
+
+  // The failure is visible through GetStatus: kFailed + non-empty error.
+  auto status = server.GetStatus(id);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->state, QueryState::kFailed);
+  EXPECT_FALSE(status->error.empty());
+  EXPECT_DOUBLE_EQ(status->bill_usd, 0.0);
+  EXPECT_TRUE(callback_fired);
+  EXPECT_DOUBLE_EQ(server.TotalBilledUsd(), 0.0);
+  EXPECT_EQ(server.metrics().Counter("queries_failed"), 1.0);
+  // A failed query never inserts a partial result into the MV store.
+  ASSERT_NE(coord.mv_store(), nullptr);
+  EXPECT_EQ(coord.mv_store()->stats().entries, 0u);
+  server.Stop();
+}
+
 TEST_F(QueryServerTest, ExternalPendingDrivesScaleOut) {
   coordinator_->Start();
   // Saturate and hold many relaxed queries; the cluster must scale out

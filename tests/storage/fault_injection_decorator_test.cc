@@ -1,0 +1,158 @@
+// FaultInjectingStorage: seeded determinism, per-path rules,
+// fail-N-then-succeed, and latency-spike accounting.
+#include "storage/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "storage/memory_store.h"
+
+namespace pixels {
+namespace {
+
+std::shared_ptr<MemoryStore> StoreWithObjects() {
+  auto store = std::make_shared<MemoryStore>();
+  EXPECT_TRUE(store->Write("a/x", std::vector<uint8_t>(64, 1)).ok());
+  EXPECT_TRUE(store->Write("b/y", std::vector<uint8_t>(64, 2)).ok());
+  return store;
+}
+
+TEST(FaultInjectingStorageTest, ZeroRatesInjectNothing) {
+  FaultInjectingStorage storage(StoreWithObjects(), {});
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(storage.Read("a/x").ok());
+    ASSERT_TRUE(storage.Write("a/z", {1, 2, 3}).ok());
+  }
+  const FaultInjectionStats stats = storage.stats();
+  EXPECT_EQ(stats.injected_read_errors, 0u);
+  EXPECT_EQ(stats.injected_write_errors, 0u);
+  EXPECT_EQ(stats.injected_latency_spikes, 0u);
+  EXPECT_EQ(stats.read_ops, 100u);
+  EXPECT_EQ(stats.write_ops, 100u);
+}
+
+TEST(FaultInjectingStorageTest, SameSeedSameFaultSequence) {
+  auto run = [](uint64_t seed) {
+    FaultInjectionParams params;
+    params.seed = seed;
+    params.read_error_rate = 0.3;
+    FaultInjectingStorage storage(StoreWithObjects(), params);
+    std::vector<bool> outcomes;
+    for (int i = 0; i < 200; ++i) outcomes.push_back(storage.Read("a/x").ok());
+    return outcomes;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST(FaultInjectingStorageTest, RateIsApproximatelyHonored) {
+  FaultInjectionParams params;
+  params.read_error_rate = 0.2;
+  FaultInjectingStorage storage(StoreWithObjects(), params);
+  int failures = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (!storage.Read("a/x").ok()) ++failures;
+  }
+  EXPECT_GT(failures, 300);
+  EXPECT_LT(failures, 500);
+}
+
+TEST(FaultInjectingStorageTest, InjectedErrorsAreMarkedAndIOError) {
+  FaultInjectionParams params;
+  params.read_error_rate = 1.0;
+  FaultInjectingStorage storage(StoreWithObjects(), params);
+  auto r = storage.Read("a/x");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsIOError());
+  EXPECT_NE(r.status().message().find("injected fault"), std::string::npos);
+}
+
+TEST(FaultInjectingStorageTest, PathRuleOverridesGlobalRate) {
+  FaultInjectionParams params;
+  params.read_error_rate = 0;
+  params.rules.push_back(FaultRule{"a/", /*read_error_rate=*/1.0, 0, 0, 0, 0, 0});
+  FaultInjectingStorage storage(StoreWithObjects(), params);
+  EXPECT_FALSE(storage.Read("a/x").ok());  // rule path: always fails
+  EXPECT_TRUE(storage.Read("b/y").ok());   // other path: global zero rate
+}
+
+TEST(FaultInjectingStorageTest, FailFirstNThenSucceed) {
+  FaultInjectionParams params;
+  FaultRule rule;
+  rule.path_substring = "a/";
+  rule.fail_first_reads = 3;
+  params.rules.push_back(rule);
+  FaultInjectingStorage storage(StoreWithObjects(), params);
+  EXPECT_FALSE(storage.Read("a/x").ok());
+  EXPECT_FALSE(storage.ReadRange("a/x", 0, 8).ok());
+  EXPECT_FALSE(storage.Size("a/x").ok());
+  // Budget exhausted: everything succeeds from here on.
+  for (int i = 0; i < 20; ++i) ASSERT_TRUE(storage.Read("a/x").ok());
+  // The unmatched path never failed.
+  EXPECT_TRUE(storage.Read("b/y").ok());
+}
+
+TEST(FaultInjectingStorageTest, WriteFaultsIndependentOfReadFaults) {
+  FaultInjectionParams params;
+  params.write_error_rate = 1.0;
+  FaultInjectingStorage storage(StoreWithObjects(), params);
+  EXPECT_TRUE(storage.Read("a/x").ok());
+  Status w = storage.Write("a/z", {1});
+  EXPECT_TRUE(w.IsIOError());
+  EXPECT_TRUE(storage.Delete("a/x").IsIOError());  // write-side op
+  EXPECT_EQ(storage.stats().injected_write_errors, 2u);
+}
+
+TEST(FaultInjectingStorageTest, LatencySpikesAccumulateSimulatedMs) {
+  FaultInjectionParams params;
+  params.latency_spike_rate = 1.0;
+  params.latency_spike_ms = 100.0;
+  FaultInjectingStorage storage(StoreWithObjects(), params);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(storage.Read("a/x").ok());
+  const FaultInjectionStats stats = storage.stats();
+  EXPECT_EQ(stats.injected_latency_spikes, 5u);
+  EXPECT_DOUBLE_EQ(stats.injected_latency_ms, 500.0);
+}
+
+TEST(FaultInjectingStorageTest, ReadRangesDrawsPerMergedRange) {
+  auto inner = std::make_shared<MemoryStore>();
+  ASSERT_TRUE(inner->Write("obj", std::vector<uint8_t>(1000, 7)).ok());
+  FaultInjectionParams params;
+  FaultRule rule;
+  rule.path_substring = "obj";
+  rule.fail_first_reads = 1;
+  params.rules.push_back(rule);
+  FaultInjectingStorage storage(inner, params);
+  // Two far-apart ranges, no coalescing: the first underlying request
+  // fails, so the whole multi-range call fails — per-request injection.
+  std::vector<ByteRange> ranges = {{0, 10}, {900, 10}};
+  EXPECT_FALSE(storage.ReadRanges("obj", ranges, /*coalesce_gap_bytes=*/0).ok());
+  // The retryable unit is one merged range: the second call succeeds.
+  auto ok = storage.ReadRanges("obj", ranges, 0);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ((*ok)[0].size(), 10u);
+}
+
+TEST(FaultInjectingStorageConcurrencyTest, ThreadSafeUnderParallelOps) {
+  FaultInjectionParams params;
+  params.read_error_rate = 0.5;
+  params.latency_spike_rate = 0.5;
+  FaultInjectingStorage storage(StoreWithObjects(), params);
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&storage, &failures] {
+      for (int i = 0; i < 500; ++i) {
+        if (!storage.Read("a/x").ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const FaultInjectionStats stats = storage.stats();
+  EXPECT_EQ(stats.read_ops, 2000u);
+  EXPECT_EQ(stats.injected_read_errors, static_cast<uint64_t>(failures.load()));
+}
+
+}  // namespace
+}  // namespace pixels

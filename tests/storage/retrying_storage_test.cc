@@ -1,0 +1,220 @@
+// RetryingStorage: recovery from transient faults, permanent-error
+// passthrough, budget exhaustion, backoff growth, and the ObjectStore
+// stats merge.
+#include "storage/retrying_storage.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "storage/fault_injection.h"
+#include "storage/memory_store.h"
+#include "storage/object_store.h"
+
+namespace pixels {
+namespace {
+
+std::shared_ptr<MemoryStore> StoreWithObject() {
+  auto store = std::make_shared<MemoryStore>();
+  EXPECT_TRUE(store->Write("db/t/part0", std::vector<uint8_t>(128, 9)).ok());
+  return store;
+}
+
+FaultInjectionParams FailFirstReads(int n) {
+  FaultInjectionParams params;
+  FaultRule rule;
+  rule.fail_first_reads = n;  // empty substring: matches every path
+  params.rules.push_back(rule);
+  return params;
+}
+
+TEST(RetryPolicyTest, ClassifiesTransientVsPermanent) {
+  EXPECT_TRUE(RetryPolicy::IsRetryable(Status::IOError("flaky")));
+  EXPECT_TRUE(RetryPolicy::IsRetryable(Status::Timeout("slow")));
+  EXPECT_TRUE(RetryPolicy::IsRetryable(Status::ResourceExhausted("throttle")));
+  EXPECT_FALSE(RetryPolicy::IsRetryable(Status::NotFound("gone")));
+  EXPECT_FALSE(RetryPolicy::IsRetryable(Status::Corruption("bad bytes")));
+  EXPECT_FALSE(RetryPolicy::IsRetryable(Status::InvalidArgument("bad arg")));
+  EXPECT_FALSE(RetryPolicy::IsRetryable(Status::OK()));
+}
+
+TEST(RetryPolicyTest, BackoffGrowsExponentiallyAndCaps) {
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 10.0;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_ms = 50.0;
+  policy.jitter_fraction = 0;  // deterministic for this test
+  Random rng(1);
+  EXPECT_DOUBLE_EQ(policy.BackoffMs(1, &rng), 10.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffMs(2, &rng), 20.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffMs(3, &rng), 40.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffMs(4, &rng), 50.0);  // capped
+  EXPECT_DOUBLE_EQ(policy.BackoffMs(10, &rng), 50.0);
+}
+
+TEST(RetryPolicyTest, JitterStaysWithinFraction) {
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 100.0;
+  policy.jitter_fraction = 0.2;
+  Random rng(42);
+  for (int i = 0; i < 100; ++i) {
+    const double ms = policy.BackoffMs(1, &rng);
+    EXPECT_GE(ms, 80.0);
+    EXPECT_LE(ms, 120.0);
+  }
+}
+
+TEST(RetryingStorageTest, RecoversFromTransientFaults) {
+  // Two injected failures, budget of 4 attempts: the op succeeds.
+  auto faulty = std::make_shared<FaultInjectingStorage>(StoreWithObject(),
+                                                        FailFirstReads(2));
+  RetryingStorage storage(faulty);
+  auto r = storage.Read("db/t/part0");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 128u);
+
+  const RetryStats stats = storage.stats();
+  EXPECT_EQ(stats.operations, 1u);
+  EXPECT_EQ(stats.attempts, 3u);
+  EXPECT_EQ(stats.retries, 2u);
+  EXPECT_EQ(stats.recovered_ops, 1u);
+  EXPECT_EQ(stats.exhausted_ops, 0u);
+  EXPECT_EQ(stats.permanent_errors, 0u);
+  EXPECT_GT(stats.backoff_simulated_ms, 0.0);
+}
+
+TEST(RetryingStorageTest, ExhaustsBudgetOnPersistentTransientFault) {
+  auto faulty = std::make_shared<FaultInjectingStorage>(StoreWithObject(),
+                                                        FailFirstReads(100));
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  RetryingStorage storage(faulty, policy);
+  auto r = storage.Read("db/t/part0");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsIOError());
+
+  const RetryStats stats = storage.stats();
+  EXPECT_EQ(stats.attempts, 3u);
+  EXPECT_EQ(stats.retries, 2u);
+  EXPECT_EQ(stats.exhausted_ops, 1u);
+  EXPECT_EQ(stats.recovered_ops, 0u);
+  EXPECT_EQ(faulty->stats().read_ops, 3u);  // inner saw every attempt
+}
+
+TEST(RetryingStorageTest, PermanentErrorsAreNotRetried) {
+  RetryingStorage storage(std::make_shared<MemoryStore>());
+  auto r = storage.Read("missing/object");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+
+  const RetryStats stats = storage.stats();
+  EXPECT_EQ(stats.operations, 1u);
+  EXPECT_EQ(stats.attempts, 1u);  // exactly one attempt: no retry
+  EXPECT_EQ(stats.retries, 0u);
+  EXPECT_EQ(stats.permanent_errors, 1u);
+  EXPECT_DOUBLE_EQ(stats.backoff_simulated_ms, 0.0);
+}
+
+TEST(RetryingStorageTest, NoFaultsMeansZeroRetryCounters) {
+  RetryingStorage storage(StoreWithObject());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(storage.Read("db/t/part0").ok());
+    ASSERT_TRUE(storage.ReadRange("db/t/part0", 0, 16).ok());
+    ASSERT_TRUE(storage.Size("db/t/part0").ok());
+  }
+  const RetryStats stats = storage.stats();
+  EXPECT_EQ(stats.operations, 30u);
+  EXPECT_EQ(stats.attempts, 30u);
+  EXPECT_EQ(stats.retries, 0u);
+  EXPECT_EQ(stats.recovered_ops, 0u);
+  EXPECT_EQ(stats.exhausted_ops, 0u);
+  EXPECT_DOUBLE_EQ(stats.backoff_simulated_ms, 0.0);
+}
+
+TEST(RetryingStorageTest, WriteAndDeleteRetryToo) {
+  FaultInjectionParams params;
+  FaultRule rule;
+  rule.fail_first_writes = 1;
+  params.rules.push_back(rule);
+  auto faulty =
+      std::make_shared<FaultInjectingStorage>(StoreWithObject(), params);
+  RetryingStorage storage(faulty);
+  ASSERT_TRUE(storage.Write("db/t/new", {1, 2, 3}).ok());
+  EXPECT_EQ(storage.stats().recovered_ops, 1u);
+  ASSERT_TRUE(storage.Delete("db/t/new").ok());
+}
+
+TEST(RetryingStorageTest, RetriedReadReturnsByteIdenticalData) {
+  auto plain = StoreWithObject();
+  auto expected = plain->Read("db/t/part0");
+  ASSERT_TRUE(expected.ok());
+
+  auto faulty = std::make_shared<FaultInjectingStorage>(StoreWithObject(),
+                                                        FailFirstReads(2));
+  RetryingStorage storage(faulty);
+  auto got = storage.Read("db/t/part0");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, *expected);
+}
+
+TEST(RetryingStorageTest, ObjectStoreCountsRetriedRequestOnce) {
+  // Full stack: ObjectStore(RetryingStorage(FaultInjectingStorage(mem))).
+  // A GET that needed 3 attempts is one request — billing inputs are
+  // retry-oblivious.
+  auto faulty = std::make_shared<FaultInjectingStorage>(StoreWithObject(),
+                                                        FailFirstReads(2));
+  auto retrying = std::make_shared<RetryingStorage>(faulty);
+  ObjectStore store(retrying);
+  auto r = store.Read("db/t/part0");
+  ASSERT_TRUE(r.ok());
+
+  const ObjectStoreStats stats = store.stats();
+  EXPECT_EQ(stats.get_requests, 1u);
+  EXPECT_EQ(stats.bytes_read, 128u);
+  // ... while the retry counters surface through the same snapshot.
+  EXPECT_EQ(stats.retry_attempts, 2u);
+  EXPECT_EQ(stats.retry_recovered, 1u);
+  EXPECT_EQ(stats.retry_exhausted, 0u);
+  EXPECT_GT(stats.retry_backoff_ms, 0.0);
+}
+
+TEST(RetryingStorageTest, ObjectStoreStatsZeroWithoutRetryingInner) {
+  ObjectStore store(StoreWithObject());
+  ASSERT_TRUE(store.Read("db/t/part0").ok());
+  const ObjectStoreStats stats = store.stats();
+  EXPECT_EQ(stats.retry_attempts, 0u);
+  EXPECT_EQ(stats.retry_recovered, 0u);
+  EXPECT_EQ(stats.retry_exhausted, 0u);
+  EXPECT_DOUBLE_EQ(stats.retry_backoff_ms, 0.0);
+}
+
+TEST(RetryingStorageConcurrencyTest, ConcurrentOpsKeepCountersConsistent) {
+  FaultInjectionParams params;
+  params.read_error_rate = 0.3;
+  auto faulty =
+      std::make_shared<FaultInjectingStorage>(StoreWithObject(), params);
+  RetryPolicy policy;
+  policy.max_attempts = 8;  // high budget: 0.3^8 residual failure chance
+  RetryingStorage storage(faulty, policy);
+  std::vector<std::thread> threads;
+  std::atomic<int> ok_ops{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&storage, &ok_ops] {
+      for (int i = 0; i < 250; ++i) {
+        if (storage.Read("db/t/part0").ok()) ok_ops.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const RetryStats stats = storage.stats();
+  EXPECT_EQ(stats.operations, 1000u);
+  EXPECT_EQ(stats.permanent_errors, 0u);  // only IOErrors were injected
+  // Attempts reconcile: every op took >= 1 attempt and retries are the
+  // overflow beyond the first.
+  EXPECT_EQ(stats.attempts, stats.operations + stats.retries);
+  EXPECT_EQ(static_cast<uint64_t>(ok_ops.load()),
+            stats.operations - stats.exhausted_ops);
+}
+
+}  // namespace
+}  // namespace pixels

@@ -1,0 +1,51 @@
+// Test decorator that forwards to a swappable target, so a catalog can be
+// registered over healthy storage and then queried over fault-injected
+// storage without re-registering tables.
+#pragma once
+
+#include <memory>
+
+#include "storage/storage.h"
+
+namespace pixels {
+namespace testing {
+
+class SwitchableStorage : public Storage {
+ public:
+  explicit SwitchableStorage(std::shared_ptr<Storage> target)
+      : target_(std::move(target)) {}
+  void SetTarget(std::shared_ptr<Storage> target) {
+    target_ = std::move(target);
+  }
+
+  Result<std::vector<uint8_t>> Read(const std::string& path) override {
+    return target_->Read(path);
+  }
+  Result<std::vector<uint8_t>> ReadRange(const std::string& path,
+                                         uint64_t offset,
+                                         uint64_t length) override {
+    return target_->ReadRange(path, offset, length);
+  }
+  Status Write(const std::string& path,
+               const std::vector<uint8_t>& data) override {
+    return target_->Write(path, data);
+  }
+  Result<uint64_t> Size(const std::string& path) override {
+    return target_->Size(path);
+  }
+  Result<std::vector<std::string>> List(const std::string& prefix) override {
+    return target_->List(prefix);
+  }
+  Status Delete(const std::string& path) override {
+    return target_->Delete(path);
+  }
+  bool Exists(const std::string& path) override {
+    return target_->Exists(path);
+  }
+
+ private:
+  std::shared_ptr<Storage> target_;
+};
+
+}  // namespace testing
+}  // namespace pixels
