@@ -77,9 +77,9 @@ int main() {
   auto tpch = RunTrace(base, specs, total);
 
   std::printf("-- TPC-H load step (0.05 -> 1.2 -> 0.05 q/s) --\n");
-  PrintSeries("vms", tpch.vm_metrics.Series("vms"), total, 2 * kMinutes);
+  PrintSeries("vms", tpch.vm_metrics.GetSeries("vms"), total, 2 * kMinutes);
 
-  const TimeSeries& vms = tpch.vm_metrics.Series("vms");
+  const TimeSeries vms = tpch.vm_metrics.GetSeries("vms");
   double vms_before = vms.TimeWeightedMean(10 * kMinutes, 20 * kMinutes);
   double vms_during = vms.TimeWeightedMean(30 * kMinutes, 40 * kMinutes);
   double vms_after = vms.TimeWeightedMean(60 * kMinutes, 70 * kMinutes);
@@ -135,7 +135,7 @@ int main() {
   auto logs = RunTrace(log_arrivals, log_specs, 60 * kMinutes);
   auto log_stats = Summarize(logs.scenario.outcomes);
   std::printf("-- Internet-log periodic spikes --\n");
-  PrintSeries("vms", logs.vm_metrics.Series("vms"), 60 * kMinutes,
+  PrintSeries("vms", logs.vm_metrics.GetSeries("vms"), 60 * kMinutes,
               2 * kMinutes);
   std::printf("\npending: mean=%.1fs p95=%.1fs; scale events out=%d in=%d\n\n",
               log_stats.mean_pending_s, log_stats.p95_pending_s,

@@ -1,0 +1,305 @@
+// E12 — End-to-end tracing, per-operator profiles, metrics export.
+//
+// A fixed workload (one slot-occupying query, one CF-fleet aggregation
+// with a seeded transient fault, one relaxed query that gets held) runs
+// over real TPC-H data at each trace level and checks:
+//   * trace_level=off records nothing and results/bytes/bills are
+//     byte-identical to the fully traced run (observability is free),
+//   * the full trace contains the whole causal chain: query -> hold ->
+//     mv-lookup -> cf-fleet -> per-worker attempts (with the injected
+//     retry) -> individual storage ops,
+//   * EXPLAIN ANALYZE profiles appear only at trace_level=full,
+//   * the Chrome-trace JSON export is well-formed,
+//   * the merged metrics snapshot is valid Prometheus text exposing the
+//     per-service-level latency histograms.
+//
+// `--trace-smoke` runs the CI gate: the full-level run plus the
+// off-vs-full identity check.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/json.h"
+#include "common/trace.h"
+#include "format/footer_cache.h"
+#include "server/query_server.h"
+#include "storage/fault_injection.h"
+#include "storage/memory_store.h"
+#include "storage/object_store.h"
+#include "storage/retrying_storage.h"
+#include "storage/tracing_storage.h"
+#include "workload/tpch.h"
+
+using namespace pixels;
+using namespace pixels::bench;
+
+namespace {
+
+struct TraceOutcome {
+  size_t finished = 0;
+  std::vector<std::vector<std::string>> rows;
+  std::vector<uint64_t> bytes;
+  std::vector<double> bills;
+  double total_billed = 0;
+  std::string profile;  // the CF query's EXPLAIN ANALYZE report
+  std::string prometheus;
+};
+
+std::vector<std::string> SortedRows(const Table& t) {
+  std::vector<std::string> rows;
+  for (const auto& b : t.batches()) {
+    for (size_t r = 0; r < b->num_rows(); ++r)
+      rows.push_back(b->RowToString(r));
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+std::shared_ptr<MemoryStore> BuildBase() {
+  auto base = std::make_shared<MemoryStore>();
+  Catalog catalog(base);
+  TpchOptions topt;
+  topt.scale_factor = 0.002;
+  topt.rows_per_file = 2000;
+  if (!GenerateTpch(&catalog, "tpch", topt).ok()) return nullptr;
+  if (!catalog.SaveToStorage("meta/catalog.json").ok()) return nullptr;
+  return base;
+}
+
+/// One run of the full stack at `level`, spans collected into `tracer`.
+/// A single-slot VM cluster forces the immediate real query onto the CF
+/// fleet and holds the relaxed one; exactly one seeded transient read
+/// fault (with the storage retry layer disabled) forces one CF worker
+/// re-invocation, so the trace contains a real retry.
+TraceOutcome RunTraced(const std::shared_ptr<MemoryStore>& base,
+                       TraceLevel level, Tracer* tracer) {
+  FooterCache::Shared()->Clear();
+  TraceOutcome out;
+
+  FaultInjectionParams fparams;
+  FaultRule rule;
+  rule.path_substring = "tpch/";
+  rule.fail_first_reads = 1;
+  fparams.rules.push_back(rule);
+  auto injector = std::make_shared<FaultInjectingStorage>(base, fparams);
+  RetryPolicy policy;
+  policy.max_attempts = 1;  // the fault reaches the CF worker
+  auto retrying = std::make_shared<RetryingStorage>(injector, policy);
+  auto store = std::make_shared<ObjectStore>(retrying);
+  auto tracing = std::make_shared<TracingStorage>(store, tracer);
+  auto catalog = std::make_shared<Catalog>(tracing);
+  if (!catalog->LoadFromStorage("meta/catalog.json").ok()) return out;
+
+  SimClock clock;
+  Random rng(42);
+  CoordinatorParams cparams;
+  cparams.vm.initial_vms = 1;
+  cparams.vm.slots_per_vm = 1;
+  cparams.vm.min_vms = 1;
+  cparams.vm.max_vms = 1;
+  cparams.vm.high_watermark = 1;
+  cparams.vm.monitor_interval = 5 * kSeconds;
+  cparams.mv_store_bytes = 8ULL << 20;
+  cparams.trace_level = level;
+  cparams.tracer = tracer;
+  Coordinator coordinator(&clock, &rng, cparams, catalog);
+  QueryServer server(&clock, &coordinator);
+
+  const size_t kNum = 3;
+  out.rows.resize(kNum);
+  out.bytes.assign(kNum, 0);
+  out.bills.assign(kNum, 0);
+  std::vector<bool> done(kNum, false);
+  auto submit = [&](size_t i, Submission s) {
+    server.Submit(std::move(s),
+                  [&, i](const SubmissionRecord& srec,
+                         const QueryRecord& qrec) {
+                    done[i] = qrec.state == QueryState::kFinished;
+                    out.bytes[i] = qrec.bytes_scanned;
+                    out.bills[i] = srec.bill_usd;
+                    if (i == 1) out.profile = qrec.profile;
+                    if (qrec.result != nullptr)
+                      out.rows[i] = SortedRows(*qrec.result);
+                  });
+  };
+
+  Submission occupier;  // pins the only VM slot
+  occupier.level = ServiceLevel::kImmediate;
+  occupier.query.work_vcpu_seconds = 30;
+  submit(0, std::move(occupier));
+
+  Submission cf_query;
+  cf_query.level = ServiceLevel::kImmediate;
+  cf_query.query.sql =
+      "SELECT l_returnflag, sum(l_extendedprice) AS rev, count(*) AS n "
+      "FROM lineitem GROUP BY l_returnflag ORDER BY l_returnflag";
+  cf_query.query.db = "tpch";
+  cf_query.query.execute_real = true;
+  submit(1, std::move(cf_query));
+
+  Submission relaxed;
+  relaxed.level = ServiceLevel::kRelaxed;
+  relaxed.query.sql =
+      "SELECT l_linestatus, sum(l_quantity) AS q FROM lineitem "
+      "WHERE l_discount > 0.02 GROUP BY l_linestatus ORDER BY l_linestatus";
+  relaxed.query.db = "tpch";
+  relaxed.query.execute_real = true;
+  submit(2, std::move(relaxed));
+
+  clock.RunAll();
+  server.Stop();
+  coordinator.Stop();
+  clock.RunAll();
+
+  for (bool d : done) out.finished += d ? 1 : 0;
+  out.total_billed = server.TotalBilledUsd();
+  out.prometheus = server.MetricsSnapshot().ToPrometheusText();
+  return out;
+}
+
+size_t CountSpans(const Tracer& tracer, const char* name) {
+  return tracer.FindSpans(name).size();
+}
+
+bool CheckTrace(const Tracer& tracer) {
+  bool ok = true;
+  ok &= Check(CountSpans(tracer, "query") == 3,
+              "full trace: one root query span per submission");
+  ok &= Check(CountSpans(tracer, "hold") == 1,
+              "full trace: the relaxed query was held exactly once");
+  ok &= Check(CountSpans(tracer, "mv-lookup") >= 2,
+              "full trace: MV lookups traced on both engine paths");
+  ok &= Check(CountSpans(tracer, "cf-fleet") == 1,
+              "full trace: one CF fleet dispatch");
+  const size_t workers = CountSpans(tracer, "cf-worker");
+  const size_t attempts = CountSpans(tracer, "cf-attempt");
+  ok &= Check(workers >= 2, "full trace: the fleet spanned >=2 workers");
+  ok &= Check(attempts == workers + 1,
+              "full trace: exactly one extra attempt (the injected retry)");
+  size_t storage_spans = 0;
+  for (const auto& span : tracer.Snapshot()) {
+    if (span.name.rfind("storage-", 0) == 0) ++storage_spans;
+  }
+  ok &= Check(storage_spans > 0,
+              "full trace: individual storage ops were traced");
+  auto doc = Json::Parse(tracer.ToChromeTraceJson());
+  ok &= Check(doc.ok() && doc->Get("traceEvents").size() == tracer.size(),
+              "chrome-trace export parses and covers every span");
+  return ok;
+}
+
+bool CheckPrometheus(const std::string& text) {
+  bool ok = true;
+  std::string error;
+  ok &= Check(ValidatePrometheusText(text, &error),
+              "metrics snapshot is valid Prometheus text" +
+                  (error.empty() ? "" : " (" + error + ")"));
+  ok &= Check(text.find("pixels_query_latency_ms_bucket{level=\"immediate\"") !=
+                  std::string::npos,
+              "per-level latency histogram: immediate");
+  ok &= Check(text.find("pixels_query_latency_ms_bucket{level=\"relaxed\"") !=
+                  std::string::npos,
+              "per-level latency histogram: relaxed");
+  ok &= Check(text.find("pixels_queue_wait_ms") != std::string::npos,
+              "queue-wait histogram exported");
+  ok &= Check(text.find("pixels_storage_get_latency_ms") != std::string::npos,
+              "storage GET latency histogram exported");
+  ok &= Check(text.find("pixels_cf_worker_retries 1") != std::string::npos,
+              "the injected CF worker retry is visible in the counters");
+  return ok;
+}
+
+bool CheckIdentical(const TraceOutcome& off, const TraceOutcome& full) {
+  bool ok = true;
+  ok &= Check(off.finished == 3 && full.finished == 3,
+              "all queries finish at every trace level");
+  for (size_t i = 0; i < off.rows.size(); ++i) {
+    const std::string q = "q" + std::to_string(i);
+    ok &= Check(off.rows[i] == full.rows[i],
+                q + ": byte-identical result rows (off vs full)");
+    ok &= Check(off.bytes[i] == full.bytes[i],
+                q + ": identical scanned bytes (off vs full)");
+    ok &= Check(off.bills[i] == full.bills[i],
+                q + ": cent-identical bill (off vs full)");
+  }
+  ok &= Check(off.total_billed == full.total_billed,
+              "identical total billed (off vs full)");
+  return ok;
+}
+
+void PrintRow(const char* level, const Tracer& tracer,
+              const TraceOutcome& out) {
+  std::printf("%6s %8zu %9zu/3 %12.8f %10zu %12zu\n", level, tracer.size(),
+              out.finished, out.total_billed, out.profile.size(),
+              out.prometheus.size());
+}
+
+int RunSweep() {
+  std::printf("=== E12: tracing, profiles, metrics export ===\n\n");
+  auto base = BuildBase();
+  if (base == nullptr) return 1;
+
+  std::printf("%6s %8s %11s %12s %10s %12s\n", "level", "spans", "finished",
+              "billed_usd", "profile_b", "prometheus_b");
+  Tracer off_tracer;
+  const TraceOutcome off = RunTraced(base, TraceLevel::kOff, &off_tracer);
+  PrintRow("off", off_tracer, off);
+  Tracer spans_tracer(TraceLevel::kSpans);
+  const TraceOutcome spans = RunTraced(base, TraceLevel::kSpans, &spans_tracer);
+  PrintRow("spans", spans_tracer, spans);
+  Tracer full_tracer(TraceLevel::kFull);
+  const TraceOutcome full = RunTraced(base, TraceLevel::kFull, &full_tracer);
+  PrintRow("full", full_tracer, full);
+  std::printf("\n--- EXPLAIN ANALYZE (CF-fleet query, trace_level=full) ---\n");
+  std::printf("%s\n", full.profile.c_str());
+
+  bool ok = true;
+  ok &= Check(off_tracer.size() == 0, "trace_level=off records no spans");
+  ok &= Check(off.profile.empty() && spans.profile.empty(),
+              "profiles attach only at trace_level=full");
+  ok &= Check(!full.profile.empty() &&
+                  full.profile.find("CfWorker[") != std::string::npos,
+              "full profile includes the fleet's per-worker operators");
+  ok &= CheckIdentical(off, full);
+  ok &= CheckTrace(full_tracer);
+  ok &= CheckTrace(spans_tracer);
+  ok &= CheckPrometheus(full.prometheus);
+
+  std::printf("\nE12 overall: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
+int RunSmoke() {
+  std::printf("=== E12 smoke: traced run vs untraced run (CI gate) ===\n");
+  auto base = BuildBase();
+  if (base == nullptr) return 1;
+
+  Tracer off_tracer;
+  const TraceOutcome off = RunTraced(base, TraceLevel::kOff, &off_tracer);
+  Tracer full_tracer(TraceLevel::kFull);
+  const TraceOutcome full = RunTraced(base, TraceLevel::kFull, &full_tracer);
+  PrintRow("off", off_tracer, off);
+  PrintRow("full", full_tracer, full);
+
+  bool ok = true;
+  ok &= Check(off_tracer.size() == 0, "trace_level=off records no spans");
+  ok &= CheckIdentical(off, full);
+  ok &= CheckTrace(full_tracer);
+  ok &= CheckPrometheus(full.prometheus);
+  ok &= Check(!full.profile.empty(), "EXPLAIN ANALYZE profile attached");
+
+  std::printf("E12 smoke: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--trace-smoke") == 0) {
+    return RunSmoke();
+  }
+  return RunSweep();
+}

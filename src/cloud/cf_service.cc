@@ -31,12 +31,12 @@ CfInvocationResult CfService::Invoke(int workers, double work_vcpu_seconds,
   accrued_cost_ += result.cost_usd;
   total_invocations_ += workers;
   in_flight_ += workers;
-  metrics_.Series("cf_in_flight").Record(clock_->Now(), in_flight_);
+  metrics_.Record("cf_in_flight", clock_->Now(), in_flight_);
 
   const SimTime total = result.startup_latency + result.run_duration;
   clock_->Schedule(total, [this, workers, cb = std::move(done)] {
     in_flight_ -= workers;
-    metrics_.Series("cf_in_flight").Record(clock_->Now(), in_flight_);
+    metrics_.Record("cf_in_flight", clock_->Now(), in_flight_);
     if (cb) cb();
   });
   return result;

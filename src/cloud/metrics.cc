@@ -1,9 +1,24 @@
 #include "cloud/metrics.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 
 namespace pixels {
+
+namespace {
+
+/// First sample strictly after `t`.
+std::vector<Sample>::const_iterator UpperBoundByTime(
+    const std::vector<Sample>& samples, SimTime t) {
+  return std::upper_bound(
+      samples.begin(), samples.end(), t,
+      [](SimTime lhs, const Sample& s) { return lhs < s.time; });
+}
+
+}  // namespace
 
 double TimeSeries::Min() const {
   double m = samples_.empty() ? 0 : samples_[0].value;
@@ -25,12 +40,9 @@ double TimeSeries::Mean() const {
 }
 
 double TimeSeries::ValueAt(SimTime t) const {
-  double v = 0;
-  for (const auto& s : samples_) {
-    if (s.time > t) break;
-    v = s.value;
-  }
-  return v;
+  auto it = UpperBoundByTime(samples_, t);
+  if (it == samples_.begin()) return 0;
+  return std::prev(it)->value;
 }
 
 double TimeSeries::TimeWeightedMean(SimTime t0, SimTime t1) const {
@@ -38,30 +50,280 @@ double TimeSeries::TimeWeightedMean(SimTime t0, SimTime t1) const {
   double area = 0;
   SimTime cursor = t0;
   double value = ValueAt(t0);
-  for (const auto& s : samples_) {
-    if (s.time <= t0) continue;
-    if (s.time >= t1) break;
-    area += value * static_cast<double>(s.time - cursor);
-    cursor = s.time;
-    value = s.value;
+  for (auto it = UpperBoundByTime(samples_, t0);
+       it != samples_.end() && it->time < t1; ++it) {
+    area += value * static_cast<double>(it->time - cursor);
+    cursor = it->time;
+    value = it->value;
   }
   area += value * static_cast<double>(t1 - cursor);
   return area / static_cast<double>(t1 - t0);
 }
 
+Histogram::Histogram()
+    : Histogram(std::vector<double>{1, 2.5, 5, 10, 25, 50, 100, 250, 500,
+                                    1000, 2500, 5000, 10000, 25000, 60000}) {}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1, 0) {
+  std::sort(bounds_.begin(), bounds_.end());
+}
+
+void Histogram::Observe(double value) {
+  size_t i = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  ++buckets_[i];
+  samples_.push_back(value);
+  sum_ += value;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (double v : other.samples_) Observe(v);
+}
+
+double Histogram::Quantile(double p) const {
+  return Percentile(samples_, p);
+}
+
+MetricsRegistry::MetricsRegistry(const MetricsRegistry& other) {
+  std::lock_guard<std::mutex> lock(other.mutex_);
+  series_ = other.series_;
+  counters_ = other.counters_;
+  gauges_ = other.gauges_;
+  histograms_ = other.histograms_;
+}
+
+MetricsRegistry& MetricsRegistry::operator=(const MetricsRegistry& other) {
+  if (this == &other) return *this;
+  // Consistent order not needed: callers never copy registries into each
+  // other concurrently in both directions; scoped locks avoid self-lock.
+  std::map<std::string, TimeSeries> series;
+  std::map<std::string, double> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, Histogram> histograms;
+  {
+    std::lock_guard<std::mutex> lock(other.mutex_);
+    series = other.series_;
+    counters = other.counters_;
+    gauges = other.gauges_;
+    histograms = other.histograms_;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  series_ = std::move(series);
+  counters_ = std::move(counters);
+  gauges_ = std::move(gauges);
+  histograms_ = std::move(histograms);
+  return *this;
+}
+
+void MetricsRegistry::Record(const std::string& name, SimTime t,
+                             double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  series_[name].Record(t, value);
+}
+
+TimeSeries MetricsRegistry::GetSeries(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = series_.find(name);
+  return it == series_.end() ? TimeSeries() : it->second;
+}
+
+std::map<std::string, TimeSeries> MetricsRegistry::AllSeries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return series_;
+}
+
+void MetricsRegistry::Add(const std::string& counter, double delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_[counter] += delta;
+}
+
 double MetricsRegistry::Counter(const std::string& counter) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = counters_.find(counter);
   return it == counters_.end() ? 0 : it->second;
 }
 
+std::map<std::string, double> MetricsRegistry::AllCounters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+void MetricsRegistry::SetGauge(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  gauges_[name] = value;
+}
+
+double MetricsRegistry::Gauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second;
+}
+
+std::map<std::string, double> MetricsRegistry::AllGauges() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return gauges_;
+}
+
+void MetricsRegistry::Observe(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  histograms_[name].Observe(value);
+}
+
+Histogram MetricsRegistry::GetHistogram(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? Histogram() : it->second;
+}
+
+std::map<std::string, Histogram> MetricsRegistry::AllHistograms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return histograms_;
+}
+
+void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
+  // Snapshot first so we never hold two registry locks at once.
+  const auto series = other.AllSeries();
+  const auto counters = other.AllCounters();
+  const auto gauges = other.AllGauges();
+  const auto histograms = other.AllHistograms();
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, ts] : series) {
+    for (const auto& s : ts.samples()) series_[name].Record(s.time, s.value);
+  }
+  for (const auto& [name, v] : counters) counters_[name] += v;
+  for (const auto& [name, v] : gauges) gauges_[name] = v;
+  for (const auto& [name, h] : histograms) histograms_[name].Merge(h);
+}
+
 std::string MetricsRegistry::ToCsv(const std::string& name) const {
   std::string out;
-  auto it = series_.find(name);
-  if (it == series_.end()) return out;
-  for (const auto& s : it->second.samples()) {
+  const TimeSeries ts = GetSeries(name);
+  for (const auto& s : ts.samples()) {
     out += name + "," +
            std::to_string(static_cast<double>(s.time) / kSeconds) + "," +
            std::to_string(s.value) + "\n";
+  }
+  return out;
+}
+
+namespace {
+
+/// Deterministic number rendering: integers without a decimal point,
+/// everything else with up to 10 significant digits.
+std::string FormatValue(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+/// Splits `name{label="x"}` into base name and label block (sans braces).
+void SplitLabels(const std::string& name, std::string* base,
+                 std::string* labels) {
+  size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    *base = name;
+    labels->clear();
+    return;
+  }
+  *base = name.substr(0, brace);
+  *labels = name.substr(brace + 1);
+  if (!labels->empty() && labels->back() == '}') labels->pop_back();
+}
+
+std::string Sanitize(const std::string& base) {
+  std::string out = base;
+  for (char& c : out) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == ':')) {
+      c = '_';
+    }
+  }
+  if (!out.empty() && std::isdigit(static_cast<unsigned char>(out[0]))) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+void EmitTypeOnce(std::string* out, std::string* last_base,
+                  const std::string& base, const char* type) {
+  if (*last_base == base) return;
+  *last_base = base;
+  *out += "# TYPE " + base + " " + type + "\n";
+}
+
+std::string WithLabels(const std::string& base, const std::string& labels,
+                       const std::string& extra = "") {
+  std::string all = labels;
+  if (!extra.empty()) {
+    if (!all.empty()) all += ",";
+    all += extra;
+  }
+  if (all.empty()) return base;
+  return base + "{" + all + "}";
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToPrometheusText() const {
+  const auto counters = AllCounters();
+  const auto gauges = AllGauges();
+  const auto series = AllSeries();
+  const auto histograms = AllHistograms();
+
+  std::string out;
+  std::string last_base;
+  for (const auto& [name, v] : counters) {
+    std::string base, labels;
+    SplitLabels(name, &base, &labels);
+    base = "pixels_" + Sanitize(base);
+    EmitTypeOnce(&out, &last_base, base, "counter");
+    out += WithLabels(base, labels) + " " + FormatValue(v) + "\n";
+  }
+  last_base.clear();
+  for (const auto& [name, v] : gauges) {
+    std::string base, labels;
+    SplitLabels(name, &base, &labels);
+    base = "pixels_" + Sanitize(base);
+    EmitTypeOnce(&out, &last_base, base, "gauge");
+    out += WithLabels(base, labels) + " " + FormatValue(v) + "\n";
+  }
+  // A series exports its latest value as a gauge.
+  last_base.clear();
+  for (const auto& [name, ts] : series) {
+    if (ts.empty()) continue;
+    std::string base, labels;
+    SplitLabels(name, &base, &labels);
+    base = "pixels_" + Sanitize(base);
+    EmitTypeOnce(&out, &last_base, base, "gauge");
+    out += WithLabels(base, labels) + " " +
+           FormatValue(ts.samples().back().value) + "\n";
+  }
+  last_base.clear();
+  for (const auto& [name, h] : histograms) {
+    std::string base, labels;
+    SplitLabels(name, &base, &labels);
+    base = "pixels_" + Sanitize(base);
+    EmitTypeOnce(&out, &last_base, base, "histogram");
+    uint64_t cum = 0;
+    for (size_t i = 0; i < h.bounds().size(); ++i) {
+      cum += h.bucket_counts()[i];
+      out += WithLabels(base + "_bucket", labels,
+                        "le=\"" + FormatValue(h.bounds()[i]) + "\"") +
+             " " + FormatValue(static_cast<double>(cum)) + "\n";
+    }
+    out += WithLabels(base + "_bucket", labels, "le=\"+Inf\"") + " " +
+           FormatValue(static_cast<double>(h.count())) + "\n";
+    out += WithLabels(base + "_sum", labels) + " " + FormatValue(h.sum()) +
+           "\n";
+    out += WithLabels(base + "_count", labels) + " " +
+           FormatValue(static_cast<double>(h.count())) + "\n";
   }
   return out;
 }
@@ -74,6 +336,87 @@ double Percentile(std::vector<double> values, double p) {
   size_t hi = static_cast<size_t>(std::ceil(rank));
   double frac = rank - static_cast<double>(lo);
   return values[lo] * (1 - frac) + values[hi] * frac;
+}
+
+namespace {
+
+bool IsMetricNameChar(char c, bool first) {
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':') {
+    return true;
+  }
+  return !first && std::isdigit(static_cast<unsigned char>(c));
+}
+
+bool Fail(std::string* error, const std::string& line,
+          const std::string& why) {
+  if (error != nullptr) *error = why + ": " + line;
+  return false;
+}
+
+}  // namespace
+
+bool ValidatePrometheusText(const std::string& text, std::string* error) {
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // Only "# TYPE name kind" and "# HELP name ..." comments allowed.
+      if (line.rfind("# TYPE ", 0) == 0) {
+        const std::string rest = line.substr(7);
+        size_t sp = rest.find(' ');
+        if (sp == std::string::npos) {
+          return Fail(error, line, "TYPE line missing kind");
+        }
+        const std::string kind = rest.substr(sp + 1);
+        if (kind != "counter" && kind != "gauge" && kind != "histogram" &&
+            kind != "summary" && kind != "untyped") {
+          return Fail(error, line, "unknown metric kind");
+        }
+      } else if (line.rfind("# HELP ", 0) != 0) {
+        return Fail(error, line, "unknown comment");
+      }
+      continue;
+    }
+    // Sample line: name[{labels}] value
+    size_t i = 0;
+    if (!IsMetricNameChar(line[0], /*first=*/true)) {
+      return Fail(error, line, "bad metric name start");
+    }
+    while (i < line.size() && IsMetricNameChar(line[i], i == 0)) ++i;
+    if (i < line.size() && line[i] == '{') {
+      bool in_quotes = false;
+      size_t close = std::string::npos;
+      for (size_t j = i + 1; j < line.size(); ++j) {
+        if (line[j] == '"' && (j == 0 || line[j - 1] != '\\')) {
+          in_quotes = !in_quotes;
+        } else if (line[j] == '}' && !in_quotes) {
+          close = j;
+          break;
+        }
+      }
+      if (close == std::string::npos || in_quotes) {
+        return Fail(error, line, "unbalanced label block");
+      }
+      i = close + 1;
+    }
+    if (i >= line.size() || line[i] != ' ') {
+      return Fail(error, line, "missing value separator");
+    }
+    const std::string value = line.substr(i + 1);
+    if (value.empty()) return Fail(error, line, "missing value");
+    if (value != "+Inf" && value != "-Inf" && value != "NaN") {
+      char* end = nullptr;
+      std::strtod(value.c_str(), &end);
+      if (end == nullptr || *end != '\0') {
+        return Fail(error, line, "unparseable value");
+      }
+    }
+  }
+  return true;
 }
 
 }  // namespace pixels

@@ -1,9 +1,19 @@
-// Time-series and counter recording for the simulation benches: every
-// figure-style bench prints series collected through this.
+// Time-series, counter, gauge, and histogram recording. Benches print
+// figure-style series through this; the observability layer snapshots the
+// whole registry as Prometheus text exposition format.
+//
+// The registry is thread-safe: the coordinator and CF-fleet paths reach it
+// from pool threads, so every accessor locks and the read accessors return
+// by value (snapshots), never references into guarded maps.
+//
+// Label convention: a metric name may embed Prometheus labels directly,
+// e.g. `query_latency_ms{level="immediate"}`. The exporter splits at the
+// first `{` so all level-variants share one metric family.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -28,33 +38,107 @@ class TimeSeries {
   double Min() const;
   double Max() const;
   double Mean() const;
-  /// Last value at or before `t` (0 when none).
+  /// Last value at or before `t` (0 when none). Binary search.
   double ValueAt(SimTime t) const;
   /// Time-weighted average over [t0, t1] treating samples as step changes.
+  /// Returns ValueAt(t0) when t1 <= t0. Binary search to the window start.
   double TimeWeightedMean(SimTime t0, SimTime t1) const;
 
  private:
   std::vector<Sample> samples_;
 };
 
-/// A registry of named series and scalar counters.
+/// A latency/size distribution: cumulative bucket counts for Prometheus
+/// export plus the raw samples, so `Quantile` is exact (comparable with the
+/// free `Percentile` helper) rather than bucket-interpolated.
+class Histogram {
+ public:
+  /// Default buckets: a 1-2.5-5 decade ladder suited to millisecond
+  /// latencies (1ms .. 60s) — also fine for counts.
+  Histogram();
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+  /// Re-observes every sample of `other` into this histogram.
+  void Merge(const Histogram& other);
+
+  uint64_t count() const { return static_cast<uint64_t>(samples_.size()); }
+  double sum() const { return sum_; }
+  /// Upper bounds of the finite buckets, ascending.
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Non-cumulative counts; size() == bounds().size() + 1, last = +Inf.
+  const std::vector<uint64_t>& bucket_counts() const { return buckets_; }
+  const std::vector<double>& samples() const { return samples_; }
+  /// Exact percentile over the retained samples (p in [0,100]).
+  double Quantile(double p) const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<uint64_t> buckets_;
+  std::vector<double> samples_;
+  double sum_ = 0;
+};
+
+/// A registry of named series, scalar counters, gauges, and histograms.
+/// Thread-safe; copyable (snapshot semantics).
 class MetricsRegistry {
  public:
-  TimeSeries& Series(const std::string& name) { return series_[name]; }
-  const std::map<std::string, TimeSeries>& AllSeries() const { return series_; }
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry& other);
+  MetricsRegistry& operator=(const MetricsRegistry& other);
 
-  void Add(const std::string& counter, double delta) { counters_[counter] += delta; }
+  /// Appends a sample to the named series.
+  void Record(const std::string& name, SimTime t, double value);
+  /// Snapshot of one series (empty series when unknown).
+  TimeSeries GetSeries(const std::string& name) const;
+  std::map<std::string, TimeSeries> AllSeries() const;
+
+  void Add(const std::string& counter, double delta);
   double Counter(const std::string& counter) const;
+  std::map<std::string, double> AllCounters() const;
+
+  /// Gauges: last-write-wins scalars (depths, cache bytes, hit rates).
+  void SetGauge(const std::string& name, double value);
+  double Gauge(const std::string& name) const;
+  std::map<std::string, double> AllGauges() const;
+
+  /// Observes a value into the named histogram (default buckets on first
+  /// touch).
+  void Observe(const std::string& name, double value);
+  /// Snapshot of one histogram (empty default histogram when unknown).
+  Histogram GetHistogram(const std::string& name) const;
+  std::map<std::string, Histogram> AllHistograms() const;
+
+  /// Folds another registry into this one: counters add, gauges
+  /// overwrite, series append, histogram samples merge. Used to build the
+  /// unified snapshot (server <- coordinator <- storage/caches/MV).
+  void MergeFrom(const MetricsRegistry& other);
 
   /// Renders "name,time_s,value" CSV lines for the given series.
   std::string ToCsv(const std::string& name) const;
 
+  /// Prometheus text exposition format: counters, gauges (including the
+  /// last value of every series), and histograms with `_bucket`/`_sum`/
+  /// `_count`. Names are prefixed `pixels_`; embedded `{...}` labels are
+  /// preserved. Deterministic (sorted maps, fixed float formatting).
+  std::string ToPrometheusText() const;
+
  private:
+  mutable std::mutex mutex_;
   std::map<std::string, TimeSeries> series_;
   std::map<std::string, double> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, Histogram> histograms_;
 };
 
 /// Percentile over a sample of doubles (p in [0,100]); 0 for empty input.
 double Percentile(std::vector<double> values, double p);
+
+/// Structural check of Prometheus text format: every non-comment line must
+/// be `name[{labels}] value`, `# TYPE` lines must declare counter/gauge/
+/// histogram, label blocks must balance quotes, values must parse. Returns
+/// false and fills `error` (if given) with the first offending line.
+bool ValidatePrometheusText(const std::string& text,
+                            std::string* error = nullptr);
 
 }  // namespace pixels

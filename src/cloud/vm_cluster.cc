@@ -16,8 +16,8 @@ VmCluster::VmCluster(SimClock* clock, Random* rng, VmClusterParams params,
       active_vms_(std::clamp(params.initial_vms, params.min_vms,
                              params.max_vms)),
       last_accrual_(clock->Now()) {
-  metrics_.Series("vms").Record(clock_->Now(), active_vms_);
-  metrics_.Series("concurrency").Record(clock_->Now(), 0);
+  metrics_.Record("vms", clock_->Now(), active_vms_);
+  metrics_.Record("concurrency", clock_->Now(), 0);
 }
 
 void VmCluster::Start() {
@@ -48,7 +48,7 @@ void VmCluster::FinishQuery() {
 }
 
 void VmCluster::RecordConcurrencySample() {
-  metrics_.Series("concurrency").Record(clock_->Now(), Concurrency());
+  metrics_.Record("concurrency", clock_->Now(), Concurrency());
 }
 
 void VmCluster::AccrueCost() {
@@ -127,7 +127,7 @@ void VmCluster::TriggerScaleOut() {
       AccrueCost();
       --pending_vms_;
       ++active_vms_;
-      metrics_.Series("vms").Record(clock_->Now(), active_vms_);
+      metrics_.Record("vms", clock_->Now(), active_vms_);
       if (capacity_cb_) capacity_cb_();
     });
   }
@@ -145,7 +145,7 @@ void VmCluster::TriggerScaleIn() {
   ++scale_in_events_;
   last_scale_in_ = clock_->Now();
   metrics_.Add("scale_in_vms", 1);
-  metrics_.Series("vms").Record(clock_->Now(), active_vms_);
+  metrics_.Record("vms", clock_->Now(), active_vms_);
   PIXELS_LOG(kDebug) << "scale-in: -1 VM (active " << active_vms_ << ")";
 }
 

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <ctime>
 #include <mutex>
 
 namespace pixels {
@@ -10,6 +11,8 @@ namespace pixels {
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
 std::mutex g_emit_mutex;
+std::atomic<const SimClock*> g_log_clock{nullptr};
+std::atomic<SimTime> g_log_time{0};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -32,14 +35,50 @@ void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
 
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
 
+void RegisterLogClock(const SimClock* clock) {
+  g_log_clock.store(clock, std::memory_order_relaxed);
+  if (clock != nullptr) {
+    g_log_time.store(clock->Now(), std::memory_order_relaxed);
+  }
+}
+
+void UnregisterLogClock(const SimClock* clock) {
+  const SimClock* expected = clock;
+  g_log_clock.compare_exchange_strong(expected, nullptr,
+                                      std::memory_order_relaxed);
+}
+
+void SyncLogTime(SimTime now) {
+  SimTime cur = g_log_time.load(std::memory_order_relaxed);
+  while (now > cur &&
+         !g_log_time.compare_exchange_weak(cur, now,
+                                           std::memory_order_relaxed)) {
+  }
+}
+
 namespace internal {
 
 void EmitLog(LogLevel level, const char* file, int line, const std::string& msg) {
   const char* base = std::strrchr(file, '/');
   base = base ? base + 1 : file;
+  char stamp[32];
+  if (g_log_clock.load(std::memory_order_relaxed) != nullptr) {
+    std::snprintf(stamp, sizeof(stamp), "t=%lldms",
+                  static_cast<long long>(
+                      g_log_time.load(std::memory_order_relaxed)));
+  } else {
+    const std::time_t now = std::time(nullptr);
+    std::tm tm_buf{};
+#if defined(_WIN32)
+    localtime_s(&tm_buf, &now);
+#else
+    localtime_r(&now, &tm_buf);
+#endif
+    std::strftime(stamp, sizeof(stamp), "%H:%M:%S", &tm_buf);
+  }
   std::lock_guard<std::mutex> lock(g_emit_mutex);
-  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), base, line,
-               msg.c_str());
+  std::fprintf(stderr, "[%s %s %s:%d] %s\n", stamp, LevelName(level), base,
+               line, msg.c_str());
 }
 
 }  // namespace internal

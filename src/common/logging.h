@@ -4,6 +4,8 @@
 #include <sstream>
 #include <string>
 
+#include "common/sim_clock.h"
+
 namespace pixels {
 
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
@@ -13,6 +15,19 @@ void SetLogLevel(LogLevel level);
 
 /// Returns the current process-global log level.
 LogLevel GetLogLevel();
+
+/// Virtual-time log stamping. While a SimClock is registered, every log
+/// line is prefixed with virtual time (`t=12345ms`) so output correlates
+/// with trace spans; otherwise lines carry wall-clock time. The displayed
+/// virtual time is the value of the last `SyncLogTime` call (seeded at
+/// registration): syncing is explicit and done on the simulation thread
+/// only, so pool threads never race the SimClock's non-atomic state.
+void RegisterLogClock(const SimClock* clock);
+/// No-op unless `clock` is the registered one (a replacement already
+/// registered by a newer owner stays).
+void UnregisterLogClock(const SimClock* clock);
+/// Advances the displayed virtual time (monotonic max).
+void SyncLogTime(SimTime now);
 
 namespace internal {
 

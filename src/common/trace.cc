@@ -1,0 +1,126 @@
+#include "common/trace.h"
+
+#include "common/json.h"
+
+namespace pixels {
+
+const char* TraceLevelName(TraceLevel level) {
+  switch (level) {
+    case TraceLevel::kOff:
+      return "off";
+    case TraceLevel::kSpans:
+      return "spans";
+    case TraceLevel::kFull:
+      return "full";
+  }
+  return "?";
+}
+
+void Tracer::SyncTime(SimTime now) {
+  SimTime cur = virtual_now_.load(std::memory_order_relaxed);
+  while (now > cur &&
+         !virtual_now_.compare_exchange_weak(cur, now,
+                                             std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t Tracer::StartSpan(const std::string& name, uint64_t parent) {
+  if (!enabled()) return 0;
+  const SimTime now = VirtualNow();
+  std::lock_guard<std::mutex> lock(mutex_);
+  TraceSpan span;
+  span.id = next_id_++;
+  span.parent = parent;
+  span.name = name;
+  span.start = now;
+  span.seq = span.id;
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+void Tracer::EndSpan(uint64_t id) {
+  if (id == 0) return;
+  const SimTime now = VirtualNow();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (id > spans_.size()) return;
+  spans_[id - 1].end = now;
+}
+
+void Tracer::Annotate(uint64_t id, const std::string& key,
+                      const std::string& value) {
+  if (id == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (id > spans_.size()) return;
+  spans_[id - 1].attrs.emplace_back(key, value);
+}
+
+void Tracer::Annotate(uint64_t id, const std::string& key, int64_t value) {
+  Annotate(id, key, std::to_string(value));
+}
+
+void Tracer::Annotate(uint64_t id, const std::string& key, uint64_t value) {
+  Annotate(id, key, std::to_string(value));
+}
+
+std::vector<TraceSpan> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+std::vector<TraceSpan> Tracer::FindSpans(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceSpan> out;
+  for (const auto& s : spans_) {
+    if (s.name == name) out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<TraceSpan> Tracer::ChildrenOf(uint64_t parent_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceSpan> out;
+  for (const auto& s : spans_) {
+    if (s.parent == parent_id) out.push_back(s);
+  }
+  return out;
+}
+
+size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_.size();
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.clear();
+  next_id_ = 1;
+}
+
+std::string Tracer::ToChromeTraceJson() const {
+  std::vector<TraceSpan> spans = Snapshot();
+  Json events = Json::Array();
+  for (const auto& s : spans) {
+    Json ev = Json::Object();
+    ev.Set("name", s.name);
+    ev.Set("cat", "pixels");
+    ev.Set("ph", "X");  // complete event: ts + dur
+    // Chrome trace timestamps are microseconds; virtual time is ms.
+    ev.Set("ts", static_cast<int64_t>(s.start) * 1000);
+    const SimTime end = s.end < 0 ? s.start : s.end;
+    ev.Set("dur", static_cast<int64_t>(end - s.start) * 1000);
+    ev.Set("pid", 1);
+    ev.Set("tid", 1);
+    Json args = Json::Object();
+    args.Set("span_id", static_cast<int64_t>(s.id));
+    args.Set("parent_id", static_cast<int64_t>(s.parent));
+    for (const auto& [k, v] : s.attrs) args.Set(k, v);
+    ev.Set("args", std::move(args));
+    events.Append(std::move(ev));
+  }
+  Json doc = Json::Object();
+  doc.Set("displayTimeUnit", "ms");
+  doc.Set("traceEvents", std::move(events));
+  return doc.Dump();
+}
+
+}  // namespace pixels

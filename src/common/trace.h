@@ -1,0 +1,146 @@
+// Deterministic query tracing. A Tracer collects parent/child spans that
+// follow one query across every subsystem — server hold queue,
+// coordinator queue, planning, MV lookup, VM scan or CF sub-plan,
+// per-worker attempts, and individual storage operations — and exports
+// them as Chrome-trace-event JSON (chrome://tracing, Perfetto).
+//
+// Spans are stamped with VIRTUAL time, not wall time: the tracer carries
+// an atomic virtual-now that the simulation thread advances at event
+// boundaries (`SyncTime`), and every span reads that. Two identical runs
+// therefore produce byte-identical trace exports (under serial execution;
+// a parallel fleet keeps the tree well-formed but may order sibling spans
+// differently), which makes traces assertable in tests and diffable
+// across commits.
+//
+// Overhead-when-off guarantee: with `TraceLevel::kOff` (the default)
+// `StartSpan` returns 0 without taking the mutex, and every other call on
+// span id 0 is a no-op — the billing-exactness paths are untouched.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/sim_clock.h"
+
+namespace pixels {
+
+/// How much the tracing layer records.
+///  - kOff:   nothing (zero overhead, the default).
+///  - kSpans: span tree + attributes.
+///  - kFull:  spans plus per-operator execution profiles (EXPLAIN ANALYZE
+///            reports attached to QueryRecord/StatusView).
+enum class TraceLevel : int { kOff = 0, kSpans = 1, kFull = 2 };
+
+const char* TraceLevelName(TraceLevel level);
+
+/// One recorded span. `end == -1` means the span was never ended (still
+/// open when the trace was exported).
+struct TraceSpan {
+  uint64_t id = 0;
+  uint64_t parent = 0;  // 0 = root
+  std::string name;
+  SimTime start = 0;
+  SimTime end = -1;
+  /// Creation sequence number: a deterministic total order under serial
+  /// execution (ties in virtual time are common — a whole real execution
+  /// happens inside one simulation event).
+  uint64_t seq = 0;
+  /// Ordered key/value attributes (bytes, retries, cache hit/miss, ...).
+  std::vector<std::pair<std::string, std::string>> attrs;
+};
+
+/// Thread-safe span collector. One Tracer is shared by the query server,
+/// the coordinator, the CF worker fleet, and the storage decorator; spans
+/// from pool threads interleave safely under one mutex.
+class Tracer {
+ public:
+  explicit Tracer(TraceLevel level = TraceLevel::kOff)
+      : level_(static_cast<int>(level)) {}
+
+  TraceLevel level() const {
+    return static_cast<TraceLevel>(level_.load(std::memory_order_relaxed));
+  }
+  void set_level(TraceLevel level) {
+    level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+  bool enabled() const { return level() != TraceLevel::kOff; }
+  /// Per-operator profiling (EXPLAIN ANALYZE reports) requested.
+  bool profiling() const { return level() == TraceLevel::kFull; }
+
+  /// Advances the tracer's virtual clock (monotonic max). Called on the
+  /// simulation thread at event boundaries; pool threads only read, so
+  /// span timestamps are race-free without touching the SimClock from
+  /// worker threads.
+  void SyncTime(SimTime now);
+  SimTime VirtualNow() const {
+    return virtual_now_.load(std::memory_order_relaxed);
+  }
+
+  /// Opens a span. Returns 0 (the no-op id) when tracing is off.
+  uint64_t StartSpan(const std::string& name, uint64_t parent = 0);
+  /// Closes a span at the current virtual time. No-op for id 0.
+  void EndSpan(uint64_t id);
+  /// Attaches an attribute to an open or closed span. No-op for id 0.
+  void Annotate(uint64_t id, const std::string& key, const std::string& value);
+  void Annotate(uint64_t id, const std::string& key, int64_t value);
+  void Annotate(uint64_t id, const std::string& key, uint64_t value);
+
+  /// Ambient parent for spans created by layers that have no span handle
+  /// threaded to them (the storage decorator). The coordinator sets this
+  /// to the executing query's span for the duration of the execution.
+  /// Under a parallel fleet concurrent attempts race the slot: storage
+  /// spans then attach to *a* live attempt span (the tree stays
+  /// well-formed); serial execution nests exactly.
+  void SetActiveParent(uint64_t id) {
+    active_parent_.store(id, std::memory_order_relaxed);
+  }
+  uint64_t ActiveParent() const {
+    return active_parent_.load(std::memory_order_relaxed);
+  }
+
+  /// Snapshot of every recorded span, in creation (seq) order.
+  std::vector<TraceSpan> Snapshot() const;
+  /// Spans whose name matches exactly, in creation order.
+  std::vector<TraceSpan> FindSpans(const std::string& name) const;
+  /// Direct children of `parent_id`, in creation order.
+  std::vector<TraceSpan> ChildrenOf(uint64_t parent_id) const;
+  size_t size() const;
+  /// Drops every span (the virtual clock and level are kept).
+  void Clear();
+
+  /// Chrome trace-event JSON ("traceEvents" array of complete events,
+  /// timestamps in microseconds of virtual time). Deterministic: spans are
+  /// emitted in seq order with sorted attribute objects.
+  std::string ToChromeTraceJson() const;
+
+ private:
+  std::atomic<int> level_;
+  std::atomic<SimTime> virtual_now_{0};
+  std::atomic<uint64_t> active_parent_{0};
+  mutable std::mutex mutex_;
+  uint64_t next_id_ = 1;
+  std::vector<TraceSpan> spans_;  // index = id - 1
+};
+
+/// RAII helper: ends the span on scope exit (tolerates id 0).
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer* tracer, uint64_t id) : tracer_(tracer), id_(id) {}
+  ~ScopedSpan() {
+    if (tracer_ != nullptr) tracer_->EndSpan(id_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  uint64_t id() const { return id_; }
+
+ private:
+  Tracer* tracer_;
+  uint64_t id_;
+};
+
+}  // namespace pixels

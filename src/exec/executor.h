@@ -17,6 +17,9 @@ Result<TablePtr> ExecutePlan(const PlanPtr& plan, ExecContext* ctx);
 /// Parse → bind → optimize → execute, in one call. Fills `ctx` counters.
 /// A statement of the form `EXPLAIN <select>` is not executed; it returns
 /// a one-column table ("plan") holding the optimized plan rendering.
+/// `EXPLAIN ANALYZE <select>` executes the query with per-operator
+/// profiling and returns the rolled-up report the same way (the context's
+/// billing counters fill exactly as a plain execution would).
 Result<TablePtr> ExecuteQuery(const std::string& sql, const std::string& db,
                               ExecContext* ctx);
 

@@ -12,6 +12,9 @@
 namespace pixels {
 
 class MvStore;
+class Tracer;
+class QueryProfile;
+struct OperatorProfile;
 
 /// Shared execution state: catalog access, the query's parallelism policy,
 /// and scan accounting that feeds billing ($/TB-scan) and the benches.
@@ -43,6 +46,16 @@ struct ExecContext {
   /// MV reuse audit counters (flow into coordinator/server metrics).
   std::atomic<uint64_t> mv_hits{0};
   std::atomic<uint64_t> mv_saved_bytes{0};
+
+  /// Observability (all null/0 = off, the default; billing-exactness
+  /// paths are untouched when off). `tracer` + `trace_parent` parent the
+  /// executor's plan/MV-lookup spans; `profile` switches BuildOperator to
+  /// wrapping every node in a ProfilingOperator (EXPLAIN ANALYZE), with
+  /// `profile_parent` as the recursive build cursor.
+  Tracer* tracer = nullptr;
+  uint64_t trace_parent = 0;
+  QueryProfile* profile = nullptr;
+  OperatorProfile* profile_parent = nullptr;
 
   int EffectiveParallelism() const {
     return parallelism > 0 ? parallelism : DefaultParallelism();

@@ -1,0 +1,153 @@
+#include "exec/profile.h"
+
+#include <chrono>
+
+namespace pixels {
+
+OperatorProfile* QueryProfile::AddNode(const std::string& name,
+                                       OperatorProfile* parent,
+                                       bool measures_io) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  arena_.emplace_back();
+  OperatorProfile* node = &arena_.back();
+  node->name = name;
+  node->parent = parent;
+  node->measures_io = measures_io;
+  if (parent != nullptr) parent->children.push_back(node);
+  return node;
+}
+
+uint64_t QueryProfile::TotalBytesScanned() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t total = 0;
+  for (const auto& node : arena_) {
+    if (node.measures_io) {
+      total += node.bytes_scanned.load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+std::vector<const OperatorProfile*> QueryProfile::Roots() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<const OperatorProfile*> roots;
+  for (const auto& node : arena_) {
+    if (node.parent == nullptr) roots.push_back(&node);
+  }
+  return roots;
+}
+
+size_t QueryProfile::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return arena_.size();
+}
+
+namespace {
+
+void RenderNode(const OperatorProfile* node, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  *out += node->name;
+  *out += "  rows=" + std::to_string(node->rows_out.load());
+  *out += " batches=" + std::to_string(node->batches_out.load());
+  if (node->measures_io) {
+    *out += " bytes_scanned=" + std::to_string(node->bytes_scanned.load());
+    *out += " cache_hits=" + std::to_string(node->cache_hits.load());
+    *out += " cache_misses=" + std::to_string(node->cache_misses.load());
+  }
+  *out += " wall_us=" + std::to_string(node->wall_us.load());
+  *out += "\n";
+  for (const OperatorProfile* child : node->children) {
+    RenderNode(child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string QueryProfile::ToText() const {
+  const auto roots = Roots();
+  if (roots.empty()) {
+    return "EXPLAIN ANALYZE\n(no operators executed: result served without "
+           "a scan, e.g. from the materialized-view store)\n";
+  }
+  std::string out = "EXPLAIN ANALYZE\n";
+  for (const OperatorProfile* root : roots) RenderNode(root, 0, &out);
+  out += "total bytes_scanned=" + std::to_string(TotalBytesScanned()) + "\n";
+  return out;
+}
+
+namespace {
+
+class ScopedWall {
+ public:
+  explicit ScopedWall(OperatorProfile* node)
+      : node_(node), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedWall() {
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+    node_->wall_us.fetch_add(static_cast<uint64_t>(us),
+                             std::memory_order_relaxed);
+  }
+
+ private:
+  OperatorProfile* node_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Deltas of the context's scan counters around one Open/Next call,
+/// attributed to `node`. Valid because pulls are serial from the root:
+/// nothing else moves the counters while an io-measuring call runs.
+class ScopedIoDelta {
+ public:
+  ScopedIoDelta(OperatorProfile* node, ExecContext* ctx)
+      : node_(node),
+        ctx_(ctx),
+        bytes_(ctx->bytes_scanned.load()),
+        hits_(ctx->cache_hits.load()),
+        misses_(ctx->cache_misses.load()) {}
+  ~ScopedIoDelta() {
+    node_->bytes_scanned.fetch_add(ctx_->bytes_scanned.load() - bytes_,
+                                   std::memory_order_relaxed);
+    node_->cache_hits.fetch_add(ctx_->cache_hits.load() - hits_,
+                                std::memory_order_relaxed);
+    node_->cache_misses.fetch_add(ctx_->cache_misses.load() - misses_,
+                                  std::memory_order_relaxed);
+  }
+
+ private:
+  OperatorProfile* node_;
+  ExecContext* ctx_;
+  uint64_t bytes_;
+  uint64_t hits_;
+  uint64_t misses_;
+};
+
+}  // namespace
+
+Status ProfilingOperator::Open() {
+  ScopedWall wall(node_);
+  if (node_->measures_io && ctx_ != nullptr) {
+    ScopedIoDelta io(node_, ctx_);
+    return child_->Open();
+  }
+  return child_->Open();
+}
+
+Result<RowBatchPtr> ProfilingOperator::Next() {
+  ScopedWall wall(node_);
+  Result<RowBatchPtr> result = [&] {
+    if (node_->measures_io && ctx_ != nullptr) {
+      ScopedIoDelta io(node_, ctx_);
+      return child_->Next();
+    }
+    return child_->Next();
+  }();
+  if (result.ok() && *result != nullptr) {
+    node_->rows_out.fetch_add((*result)->num_rows(),
+                              std::memory_order_relaxed);
+    node_->batches_out.fetch_add(1, std::memory_order_relaxed);
+  }
+  return result;
+}
+
+}  // namespace pixels

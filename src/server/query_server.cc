@@ -2,11 +2,22 @@
 
 #include <algorithm>
 
+#include "common/logging.h"
+
 namespace pixels {
 
 QueryServer::QueryServer(SimClock* clock, Coordinator* coordinator,
                          QueryServerParams params)
     : clock_(clock), coordinator_(coordinator), params_(params) {}
+
+Tracer* QueryServer::SyncedTracer() {
+  Tracer* tracer = coordinator_->tracer();
+  if (tracer == nullptr || !tracer->enabled()) return nullptr;
+  const SimTime now = clock_->Now();
+  tracer->SyncTime(now);
+  SyncLogTime(now);
+  return tracer;
+}
 
 void QueryServer::Stop() {
   stopped_ = true;
@@ -62,6 +73,13 @@ int64_t QueryServer::Submit(Submission submission, FinishCallback on_finish) {
   metrics_.Add(std::string("submissions_") +
                    ServiceLevelName(records_[id].level),
                1);
+  Tracer* tracer = SyncedTracer();
+  if (tracer != nullptr) {
+    SubmissionRecord& srec = records_[id];
+    srec.span_id = tracer->StartSpan("query");
+    tracer->Annotate(srec.span_id, "server_id", static_cast<uint64_t>(id));
+    tracer->Annotate(srec.span_id, "level", ServiceLevelName(srec.level));
+  }
 
   switch (records_[id].level) {
     case ServiceLevel::kImmediate:
@@ -74,8 +92,13 @@ int64_t QueryServer::Submit(Submission submission, FinishCallback on_finish) {
       if (!coordinator_->EngineAboveHighWatermark()) {
         DispatchToCoordinator(id, /*cf_enabled=*/false);
       } else {
-        relaxed_held_.push_back(
-            Held{id, clock_->Now() + params_.relaxed_grace_period});
+        Held held{id, clock_->Now() + params_.relaxed_grace_period};
+        if (tracer != nullptr) {
+          held.hold_span = tracer->StartSpan("hold", records_[id].span_id);
+          tracer->Annotate(held.hold_span, "level",
+                           ServiceLevelName(ServiceLevel::kRelaxed));
+        }
+        relaxed_held_.push_back(held);
         coordinator_->SetExternalPending(
             static_cast<int>(relaxed_held_.size()));
         SchedulePoll();
@@ -86,7 +109,13 @@ int64_t QueryServer::Submit(Submission submission, FinishCallback on_finish) {
       if (coordinator_->BelowLowWatermark()) {
         DispatchToCoordinator(id, /*cf_enabled=*/false);
       } else {
-        best_effort_held_.push_back(Held{id, 0});
+        Held held{id, 0};
+        if (tracer != nullptr) {
+          held.hold_span = tracer->StartSpan("hold", records_[id].span_id);
+          tracer->Annotate(held.hold_span, "level",
+                           ServiceLevelName(ServiceLevel::kBestEffort));
+        }
+        best_effort_held_.push_back(held);
         SchedulePoll();
       }
       break;
@@ -102,9 +131,14 @@ void QueryServer::DispatchToCoordinator(int64_t server_id, bool cf_enabled) {
 
   SubmissionRecord& rec = records_[server_id];
   rec.dispatch_time = clock_->Now();
+  metrics_.Observe(std::string("queue_wait_ms{level=\"") +
+                       ServiceLevelName(rec.level) + "\"}",
+                   static_cast<double>(rec.dispatch_time -
+                                       rec.received_time));
 
   QuerySpec spec = std::move(submission.query);
   spec.cf_enabled = cf_enabled;
+  spec.trace_parent = rec.span_id;
   const int64_t result_limit = submission.result_limit;
 
   rec.coordinator_id = coordinator_->Submit(
@@ -116,11 +150,21 @@ void QueryServer::DispatchToCoordinator(int64_t server_id, bool cf_enabled) {
         // this a live hazard) must never accumulate the bill twice.
         if (srec.billed) return;
         srec.billed = true;
+        metrics_.Observe(std::string("query_latency_ms{level=\"") +
+                             ServiceLevelName(srec.level) + "\"}",
+                         static_cast<double>(clock_->Now() -
+                                             srec.received_time));
+        Tracer* tracer = SyncedTracer();
         if (qrec.state == QueryState::kFailed) {
           // A failed query is never billed and delivers no result; the
           // error string stays visible through GetStatus.
           srec.bill_usd = 0;
           metrics_.Add("queries_failed", 1);
+          if (tracer != nullptr && srec.span_id != 0) {
+            tracer->Annotate(srec.span_id, "state", "failed");
+            tracer->Annotate(srec.span_id, "error", qrec.error);
+            tracer->EndSpan(srec.span_id);
+          }
           auto failed_cb = callbacks_.find(server_id);
           if (failed_cb != callbacks_.end()) {
             FinishCallback fn = std::move(failed_cb->second);
@@ -174,6 +218,14 @@ void QueryServer::DispatchToCoordinator(int64_t server_id, bool cf_enabled) {
           limited.result = truncated;
         }
         srec.result = limited.result;
+        if (tracer != nullptr && srec.span_id != 0) {
+          tracer->Annotate(srec.span_id, "state", "finished");
+          tracer->Annotate(srec.span_id, "bytes_scanned",
+                           qrec.bytes_scanned);
+          tracer->Annotate(srec.span_id, "bill_usd",
+                           std::to_string(srec.bill_usd));
+          tracer->EndSpan(srec.span_id);
+        }
         auto cb = callbacks_.find(server_id);
         if (cb != callbacks_.end()) {
           FinishCallback fn = std::move(cb->second);
@@ -186,16 +238,23 @@ void QueryServer::DispatchToCoordinator(int64_t server_id, bool cf_enabled) {
 void QueryServer::Poll() {
   polling_ = false;
   const SimTime now = clock_->Now();
+  Tracer* tracer = SyncedTracer();
 
   // Relaxed: dispatch when concurrency drops below the high watermark or
   // the grace period expires (paper §3.2(2)).
   while (!relaxed_held_.empty()) {
     const Held& h = relaxed_held_.front();
     if (!coordinator_->EngineAboveHighWatermark() || now >= h.deadline) {
-      int64_t id = h.server_id;
+      const Held released = h;
       relaxed_held_.pop_front();
       coordinator_->SetExternalPending(static_cast<int>(relaxed_held_.size()));
-      DispatchToCoordinator(id, /*cf_enabled=*/false);
+      if (tracer != nullptr && released.hold_span != 0) {
+        tracer->Annotate(released.hold_span, "released_by",
+                         now >= released.deadline ? "grace-expired"
+                                                  : "capacity");
+        tracer->EndSpan(released.hold_span);
+      }
+      DispatchToCoordinator(released.server_id, /*cf_enabled=*/false);
     } else {
       break;
     }
@@ -204,14 +263,17 @@ void QueryServer::Poll() {
   // Best-of-effort: dispatch one at a time while the cluster is nearly
   // idle (below the low watermark), absorbing would-be scale-ins.
   while (!best_effort_held_.empty() && coordinator_->BelowLowWatermark()) {
-    int64_t id = best_effort_held_.front().server_id;
+    const Held released = best_effort_held_.front();
     best_effort_held_.pop_front();
-    DispatchToCoordinator(id, /*cf_enabled=*/false);
+    if (tracer != nullptr && released.hold_span != 0) {
+      tracer->Annotate(released.hold_span, "released_by", "low-watermark");
+      tracer->EndSpan(released.hold_span);
+    }
+    DispatchToCoordinator(released.server_id, /*cf_enabled=*/false);
     // Dispatch raises concurrency; BelowLowWatermark re-checks naturally.
   }
 
-  metrics_.Series("held_queries").Record(now,
-                                         static_cast<double>(HeldQueries()));
+  metrics_.Record("held_queries", now, static_cast<double>(HeldQueries()));
   if (!relaxed_held_.empty() || !best_effort_held_.empty()) {
     SchedulePoll();
   }
@@ -245,7 +307,16 @@ Result<QueryServer::StatusView> QueryServer::GetStatus(int64_t server_id) const 
     view.pending_ms = clock_->Now() - rec.received_time;
   }
   view.execution_ms = qrec->ExecutionTime();
+  view.profile = qrec->profile;
   return view;
+}
+
+MetricsRegistry QueryServer::MetricsSnapshot() {
+  MetricsRegistry out = metrics_;
+  out.MergeFrom(coordinator_->MetricsSnapshot());
+  out.SetGauge("held_queries_now", static_cast<double>(HeldQueries()));
+  out.SetGauge("total_billed_usd", total_billed_);
+  return out;
 }
 
 const SubmissionRecord* QueryServer::GetRecord(int64_t server_id) const {

@@ -63,6 +63,9 @@ struct SubmissionRecord {
   /// The result as returned to the client, after the submission form's
   /// result-size limit was applied (null until finished).
   TablePtr result;
+  /// Root "query" span covering the submission from receipt to billing
+  /// (0 when the coordinator's tracer is off).
+  uint64_t span_id = 0;
 };
 
 /// The serverless query frontend.
@@ -97,6 +100,9 @@ class QueryServer {
     bool mv_hit = false;
     uint64_t mv_saved_bytes = 0;
     std::string error;
+    /// EXPLAIN ANALYZE report of the real execution (empty unless the
+    /// coordinator ran with trace_level=full).
+    std::string profile;
   };
   Result<StatusView> GetStatus(int64_t server_id) const;
 
@@ -110,13 +116,25 @@ class QueryServer {
   const QueryServerParams& params() const { return params_; }
   MetricsRegistry& metrics() { return metrics_; }
 
+  /// Everything in one registry: the server's own counters and
+  /// per-service-level histograms (queue_wait_ms{level=...},
+  /// query_latency_ms{level=...}) merged with the coordinator's snapshot
+  /// (VM/CF/cache/MV/storage). ToPrometheusText() on the result is the
+  /// system's scrape endpoint.
+  MetricsRegistry MetricsSnapshot();
+
  private:
   struct Held {
     int64_t server_id;
-    SimTime deadline;  // grace-period expiry (relaxed only)
+    SimTime deadline;       // grace-period expiry (relaxed only)
+    uint64_t hold_span = 0; // "hold" span while in the server queue
   };
 
   void Poll();
+  /// The coordinator's tracer when tracing is on, else null; syncs the
+  /// tracer's and logger's virtual-time mirrors as a side effect (always
+  /// called on the simulation thread).
+  Tracer* SyncedTracer();
   /// (Re)schedules the next poll at `min(poll_interval, nearest relaxed
   /// deadline - now)`, so a grace-period expiry dispatches at its exact
   /// virtual time instead of overshooting by up to one poll interval. An

@@ -1,0 +1,89 @@
+#include "storage/tracing_storage.h"
+
+namespace pixels {
+
+namespace {
+
+void AnnotateStatus(Tracer* tracer, uint64_t span, const Status& status) {
+  if (!status.ok()) tracer->Annotate(span, "error", status.ToString());
+}
+
+}  // namespace
+
+Result<std::vector<uint8_t>> TracingStorage::Read(const std::string& path) {
+  if (!On()) return inner_->Read(path);
+  const uint64_t span = tracer_->StartSpan("storage-read",
+                                           tracer_->ActiveParent());
+  tracer_->Annotate(span, "path", path);
+  auto result = inner_->Read(path);
+  if (result.ok()) {
+    tracer_->Annotate(span, "bytes", static_cast<uint64_t>(result->size()));
+  }
+  AnnotateStatus(tracer_, span, result.status());
+  tracer_->EndSpan(span);
+  return result;
+}
+
+Result<std::vector<uint8_t>> TracingStorage::ReadRange(const std::string& path,
+                                                       uint64_t offset,
+                                                       uint64_t length) {
+  if (!On()) return inner_->ReadRange(path, offset, length);
+  const uint64_t span = tracer_->StartSpan("storage-read-range",
+                                           tracer_->ActiveParent());
+  tracer_->Annotate(span, "path", path);
+  tracer_->Annotate(span, "offset", offset);
+  tracer_->Annotate(span, "bytes", length);
+  auto result = inner_->ReadRange(path, offset, length);
+  AnnotateStatus(tracer_, span, result.status());
+  tracer_->EndSpan(span);
+  return result;
+}
+
+Result<std::vector<std::vector<uint8_t>>> TracingStorage::ReadRanges(
+    const std::string& path, const std::vector<ByteRange>& ranges,
+    uint64_t coalesce_gap_bytes) {
+  if (!On()) return inner_->ReadRanges(path, ranges, coalesce_gap_bytes);
+  const uint64_t span = tracer_->StartSpan("storage-read-ranges",
+                                           tracer_->ActiveParent());
+  tracer_->Annotate(span, "path", path);
+  tracer_->Annotate(span, "ranges", static_cast<uint64_t>(ranges.size()));
+  uint64_t bytes = 0;
+  for (const auto& r : ranges) bytes += r.length;
+  tracer_->Annotate(span, "bytes", bytes);
+  auto result = inner_->ReadRanges(path, ranges, coalesce_gap_bytes);
+  AnnotateStatus(tracer_, span, result.status());
+  tracer_->EndSpan(span);
+  return result;
+}
+
+Status TracingStorage::Write(const std::string& path,
+                             const std::vector<uint8_t>& data) {
+  if (!On()) return inner_->Write(path, data);
+  const uint64_t span = tracer_->StartSpan("storage-write",
+                                           tracer_->ActiveParent());
+  tracer_->Annotate(span, "path", path);
+  tracer_->Annotate(span, "bytes", static_cast<uint64_t>(data.size()));
+  Status status = inner_->Write(path, data);
+  AnnotateStatus(tracer_, span, status);
+  tracer_->EndSpan(span);
+  return status;
+}
+
+Result<uint64_t> TracingStorage::Size(const std::string& path) {
+  return inner_->Size(path);
+}
+
+Result<std::vector<std::string>> TracingStorage::List(
+    const std::string& prefix) {
+  return inner_->List(prefix);
+}
+
+Status TracingStorage::Delete(const std::string& path) {
+  return inner_->Delete(path);
+}
+
+bool TracingStorage::Exists(const std::string& path) {
+  return inner_->Exists(path);
+}
+
+}  // namespace pixels

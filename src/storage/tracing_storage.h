@@ -1,0 +1,60 @@
+// Span-emitting storage decorator. Wraps any Storage and records one
+// trace span per data operation (Read/ReadRange/ReadRanges/Write) with
+// path and byte-count attributes, parented under the Tracer's ambient
+// active span (the executing query/worker attempt). Metadata calls
+// (Size/List/Exists/Delete) forward without spans to keep traces small.
+//
+// Composes with the rest of the decorator stack; the natural placement is
+// between ObjectStore and RetryingStorage —
+//   ObjectStore( TracingStorage( RetryingStorage( FaultInjecting(...))))
+// — so each span is one priced GET (one merged range) including its
+// retries, or outermost around ObjectStore (each span then matches the
+// reader's request). Whatever the placement, construct the stack before
+// the Catalog so cache keys (which include the storage pointer) see one
+// consistent identity.
+//
+// Overhead-when-off guarantee: with the tracer null or at kOff every call
+// is a plain forward — no span, no string building.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "common/trace.h"
+#include "storage/storage.h"
+
+namespace pixels {
+
+class TracingStorage : public Storage {
+ public:
+  TracingStorage(std::shared_ptr<Storage> inner, Tracer* tracer)
+      : inner_(std::move(inner)), tracer_(tracer) {}
+
+  Result<std::vector<uint8_t>> Read(const std::string& path) override;
+  Result<std::vector<uint8_t>> ReadRange(const std::string& path,
+                                         uint64_t offset,
+                                         uint64_t length) override;
+  /// Forwards to the inner ReadRanges (NOT the base-class default, which
+  /// would re-dispatch through this decorator's ReadRange and change how
+  /// the inner stack sees merged ranges).
+  Result<std::vector<std::vector<uint8_t>>> ReadRanges(
+      const std::string& path, const std::vector<ByteRange>& ranges,
+      uint64_t coalesce_gap_bytes) override;
+  Status Write(const std::string& path,
+               const std::vector<uint8_t>& data) override;
+  Result<uint64_t> Size(const std::string& path) override;
+  Result<std::vector<std::string>> List(const std::string& prefix) override;
+  Status Delete(const std::string& path) override;
+  bool Exists(const std::string& path) override;
+
+  Storage* inner() const { return inner_.get(); }
+  Tracer* tracer() const { return tracer_; }
+
+ private:
+  bool On() const { return tracer_ != nullptr && tracer_->enabled(); }
+
+  std::shared_ptr<Storage> inner_;
+  Tracer* tracer_;
+};
+
+}  // namespace pixels

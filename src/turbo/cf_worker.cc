@@ -74,19 +74,41 @@ void CommitMvInsert(MvStore* store, MvInsertSnapshot snap,
   store->Insert(snap.fp, result, rebuild_scan_bytes, std::move(snap.pins));
 }
 
+/// The options' tracer when tracing is actually on, else null.
+Tracer* LiveTracer(const CfWorkerOptions& options) {
+  return options.tracer != nullptr && options.tracer->enabled()
+             ? options.tracer
+             : nullptr;
+}
+
+/// Emits an mv-lookup span around one store probe.
+void TraceMvLookup(Tracer* tracer, uint64_t parent, const char* granularity,
+                   bool hit, uint64_t saved_bytes) {
+  if (tracer == nullptr) return;
+  const uint64_t span = tracer->StartSpan("mv-lookup", parent);
+  tracer->Annotate(span, "granularity", granularity);
+  tracer->Annotate(span, "hit", hit ? "true" : "false");
+  if (hit) tracer->Annotate(span, "saved_bytes", saved_bytes);
+  tracer->EndSpan(span);
+}
+
 }  // namespace
 
 Result<CfExecution> ExecuteWithCfPushdown(const PlanPtr& plan,
                                           Catalog* catalog,
                                           const CfWorkerOptions& options) {
   CfExecution out;
+  Tracer* tracer = LiveTracer(options);
 
   // Full-query MV reuse first: a hit answers the query without splitting,
   // scanning, or invoking a single CF worker.
   if (options.mv_store != nullptr) {
     auto fp = FingerprintPlan(*plan);
     if (fp.ok()) {
-      if (auto hit = options.mv_store->Lookup(*fp, *catalog)) {
+      auto hit = options.mv_store->Lookup(*fp, *catalog);
+      TraceMvLookup(tracer, options.trace_parent, "full-query",
+                    hit.has_value(), hit ? hit->saved_scan_bytes : 0);
+      if (hit) {
         out.result = hit->table;
         out.mv_full_hit = true;
         out.mv_saved_bytes = hit->saved_scan_bytes;
@@ -100,6 +122,9 @@ Result<CfExecution> ExecuteWithCfPushdown(const PlanPtr& plan,
   ExecContext top_ctx;
   top_ctx.catalog = catalog;
   top_ctx.io = options.io;
+  top_ctx.tracer = options.tracer;
+  top_ctx.trace_parent = options.trace_parent;
+  top_ctx.profile = options.profile;
 
   if (split.subplan == nullptr) {
     // Nothing heavy to push: run the plan as-is.
@@ -119,7 +144,10 @@ Result<CfExecution> ExecuteWithCfPushdown(const PlanPtr& plan,
   if (options.mv_store != nullptr) {
     auto sub_fp = FingerprintPlan(*split.subplan);
     if (sub_fp.ok()) {
-      if (auto hit = options.mv_store->Lookup(*sub_fp, *catalog)) {
+      auto hit = options.mv_store->Lookup(*sub_fp, *catalog);
+      TraceMvLookup(tracer, options.trace_parent, "subplan",
+                    hit.has_value(), hit ? hit->saved_scan_bytes : 0);
+      if (hit) {
         out.pushdown_used = true;
         out.mv_subplan_hit = true;
         out.mv_saved_bytes = hit->saved_scan_bytes;
@@ -128,6 +156,9 @@ Result<CfExecution> ExecuteWithCfPushdown(const PlanPtr& plan,
         ExecContext final_ctx;
         final_ctx.catalog = catalog;
         final_ctx.io = options.io;
+        final_ctx.tracer = options.tracer;
+        final_ctx.trace_parent = options.trace_parent;
+        final_ctx.profile = options.profile;
         PIXELS_ASSIGN_OR_RETURN(out.result,
                                 ExecutePlan(split.final_plan, &final_ctx));
         out.bytes_scanned = final_ctx.bytes_scanned;
@@ -161,6 +192,17 @@ Result<CfExecution> ExecuteWithCfPushdown(const PlanPtr& plan,
   // so scanned-byte accounting is identical to a fault-free fleet.
   const auto fleet_start = std::chrono::steady_clock::now();
   const size_t n = worker_plans.size();
+  const uint64_t prior_parent =
+      tracer != nullptr ? tracer->ActiveParent() : 0;
+  uint64_t fleet_span = 0;
+  if (tracer != nullptr) {
+    fleet_span = tracer->StartSpan("cf-fleet", options.trace_parent);
+    tracer->Annotate(fleet_span, "partitions", static_cast<uint64_t>(n));
+  }
+  OperatorProfile* fleet_node =
+      options.profile != nullptr
+          ? options.profile->AddNode("CfFleet", nullptr)
+          : nullptr;
   std::vector<TablePtr> parts(n);
   std::vector<uint64_t> worker_bytes(n, 0);
   std::vector<int> retries(n, 0);
@@ -168,11 +210,13 @@ Result<CfExecution> ExecuteWithCfPushdown(const PlanPtr& plan,
   std::vector<char> needs_fallback(n, 0);
   std::vector<double> backoff_ms(n, 0.0);
   out.worker_elapsed_seconds.assign(n, 0.0);
-  auto attempt_worker = [&](size_t w) -> Status {
+  auto attempt_worker = [&](size_t w, uint64_t attempt_span) -> Status {
     ExecContext worker_ctx;
     worker_ctx.catalog = catalog;
     worker_ctx.parallelism = std::max(options.worker_parallelism, 1);
     worker_ctx.io = options.io;
+    worker_ctx.tracer = options.tracer;
+    worker_ctx.trace_parent = attempt_span;
     PIXELS_ASSIGN_OR_RETURN(TablePtr part,
                             ExecutePlan(worker_plans[w], &worker_ctx));
     if (options.intermediate_store != nullptr) {
@@ -184,14 +228,30 @@ Result<CfExecution> ExecuteWithCfPushdown(const PlanPtr& plan,
                                   ".pxl"));
     }
     // Commit the slot only on success: a failed attempt's partial scan
-    // never reaches the billing counters.
+    // never reaches the billing counters. The same rule keeps profiles
+    // clean — an aggregate node is created from this context only here.
     worker_bytes[w] = worker_ctx.bytes_scanned;
     parts[w] = std::move(part);
+    if (options.profile != nullptr) {
+      OperatorProfile* node = options.profile->AddNode(
+          "CfWorker[" + std::to_string(w) + "]", fleet_node,
+          /*measures_io=*/true);
+      node->bytes_scanned = worker_ctx.bytes_scanned.load();
+      node->cache_hits = worker_ctx.cache_hits.load();
+      node->cache_misses = worker_ctx.cache_misses.load();
+      node->rows_out = parts[w]->num_rows();
+      node->batches_out = parts[w]->batches().size();
+    }
     return Status::OK();
   };
   auto run_worker = [&](size_t w) -> Status {
     const auto start = std::chrono::steady_clock::now();
     const int budget = std::max(options.max_worker_attempts, 1);
+    uint64_t worker_span = 0;
+    if (tracer != nullptr) {
+      worker_span = tracer->StartSpan("cf-worker", fleet_span);
+      tracer->Annotate(worker_span, "partition", static_cast<uint64_t>(w));
+    }
     Status last;
     for (int attempt = 1; attempt <= budget; ++attempt) {
       if (attempt > 1) {
@@ -200,32 +260,82 @@ Result<CfExecution> ExecuteWithCfPushdown(const PlanPtr& plan,
         for (int i = 2; i < attempt; ++i) delay *= 2.0;
         backoff_ms[w] += delay;
       }
-      last = attempt_worker(w);
+      uint64_t attempt_span = 0;
+      if (tracer != nullptr) {
+        attempt_span = tracer->StartSpan("cf-attempt", worker_span);
+        tracer->Annotate(attempt_span, "attempt",
+                         static_cast<uint64_t>(attempt));
+        // Ambient parent for the storage decorator. Under a parallel
+        // fleet concurrent attempts race the slot (tree stays
+        // well-formed); a serial fleet nests exactly.
+        tracer->SetActiveParent(attempt_span);
+      }
+      last = attempt_worker(w, attempt_span);
+      if (tracer != nullptr) {
+        if (!last.ok()) {
+          tracer->Annotate(attempt_span, "error", last.ToString());
+        }
+        tracer->EndSpan(attempt_span);
+      }
       if (last.ok()) {
         if (attempt > 1) recovered[w] = 1;
         out.worker_elapsed_seconds[w] =
             std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                           start)
                 .count();
+        if (tracer != nullptr) {
+          tracer->Annotate(worker_span, "retries",
+                           static_cast<uint64_t>(retries[w]));
+          tracer->Annotate(worker_span, "bytes", worker_bytes[w]);
+          tracer->EndSpan(worker_span);
+        }
         return Status::OK();
       }
       // Permanent errors fail the query outright — re-running or falling
       // back cannot fix a corrupt or missing object.
-      if (!RetryPolicy::IsRetryable(last)) return last;
+      if (!RetryPolicy::IsRetryable(last)) {
+        if (tracer != nullptr) {
+          tracer->Annotate(worker_span, "retries",
+                           static_cast<uint64_t>(retries[w]));
+          tracer->Annotate(worker_span, "error", last.ToString());
+          tracer->EndSpan(worker_span);
+        }
+        return last;
+      }
+    }
+    if (tracer != nullptr) {
+      tracer->Annotate(worker_span, "retries",
+                       static_cast<uint64_t>(retries[w]));
     }
     if (options.vm_fallback) {
       // Exhausted the budget: degrade this partition to the VM path
       // after the fleet drains instead of failing the whole query.
       needs_fallback[w] = 1;
+      if (tracer != nullptr) {
+        tracer->Annotate(worker_span, "fallback", "attempts-exhausted");
+        tracer->EndSpan(worker_span);
+      }
       return Status::OK();
+    }
+    if (tracer != nullptr) {
+      tracer->Annotate(worker_span, "error", last.ToString());
+      tracer->EndSpan(worker_span);
     }
     return last;
   };
   const int fleet_par = options.fleet_parallelism > 0
                             ? options.fleet_parallelism
                             : DefaultParallelism();
-  PIXELS_RETURN_NOT_OK(ThreadPool::Shared()->ParallelFor(
-      0, n, /*grain=*/1, [&](size_t w) { return run_worker(w); }, fleet_par));
+  const Status fleet_status = ThreadPool::Shared()->ParallelFor(
+      0, n, /*grain=*/1, [&](size_t w) { return run_worker(w); }, fleet_par);
+  if (tracer != nullptr) {
+    tracer->SetActiveParent(prior_parent);
+    if (!fleet_status.ok()) {
+      tracer->Annotate(fleet_span, "error", fleet_status.ToString());
+      tracer->EndSpan(fleet_span);
+    }
+  }
+  PIXELS_RETURN_NOT_OK(fleet_status);
   out.fleet_elapsed_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     fleet_start)
@@ -241,10 +351,38 @@ Result<CfExecution> ExecuteWithCfPushdown(const PlanPtr& plan,
     ExecContext vm_ctx;
     vm_ctx.catalog = catalog;
     vm_ctx.io = options.io;
-    PIXELS_ASSIGN_OR_RETURN(parts[w], ExecutePlan(worker_plans[w], &vm_ctx));
+    vm_ctx.tracer = options.tracer;
+    uint64_t fb_span = 0;
+    if (tracer != nullptr) {
+      fb_span = tracer->StartSpan("cf-fallback", fleet_span);
+      tracer->Annotate(fb_span, "partition", static_cast<uint64_t>(w));
+      tracer->SetActiveParent(fb_span);
+      vm_ctx.trace_parent = fb_span;
+    }
+    auto fb_result = ExecutePlan(worker_plans[w], &vm_ctx);
+    if (tracer != nullptr) {
+      if (!fb_result.ok()) {
+        tracer->Annotate(fb_span, "error", fb_result.status().ToString());
+      }
+      tracer->Annotate(fb_span, "bytes",
+                       vm_ctx.bytes_scanned.load());
+      tracer->EndSpan(fb_span);
+      tracer->SetActiveParent(prior_parent);
+    }
+    PIXELS_ASSIGN_OR_RETURN(parts[w], std::move(fb_result));
     worker_bytes[w] = vm_ctx.bytes_scanned;
     out.fallback_bytes_scanned += vm_ctx.bytes_scanned;
     ++out.workers_fallback;
+    if (options.profile != nullptr) {
+      OperatorProfile* node = options.profile->AddNode(
+          "CfFallback[" + std::to_string(w) + "]", fleet_node,
+          /*measures_io=*/true);
+      node->bytes_scanned = vm_ctx.bytes_scanned.load();
+      node->cache_hits = vm_ctx.cache_hits.load();
+      node->cache_misses = vm_ctx.cache_misses.load();
+      node->rows_out = parts[w]->num_rows();
+      node->batches_out = parts[w]->batches().size();
+    }
   }
   out.workers_used = static_cast<int>(n) - out.workers_fallback;
 
@@ -260,6 +398,14 @@ Result<CfExecution> ExecuteWithCfPushdown(const PlanPtr& plan,
   out.view = view;
   out.work_vcpu_seconds = static_cast<double>(out.bytes_scanned) /
                           options.bytes_per_vcpu_second;
+  if (tracer != nullptr) {
+    tracer->Annotate(fleet_span, "retries",
+                     static_cast<uint64_t>(out.worker_retries));
+    tracer->Annotate(fleet_span, "fallbacks",
+                     static_cast<uint64_t>(out.workers_fallback));
+    tracer->Annotate(fleet_span, "bytes", out.bytes_scanned);
+    tracer->EndSpan(fleet_span);
+  }
 
   // The concatenated worker view is the shareable artifact: cache it
   // keyed by the unpartitioned sub-plan so future queries skip the fleet.
@@ -271,7 +417,26 @@ Result<CfExecution> ExecuteWithCfPushdown(const PlanPtr& plan,
   ExecContext final_ctx;
   final_ctx.catalog = catalog;
   final_ctx.io = options.io;
-  PIXELS_ASSIGN_OR_RETURN(out.result, ExecutePlan(split.final_plan, &final_ctx));
+  final_ctx.tracer = options.tracer;
+  final_ctx.trace_parent = options.trace_parent;
+  final_ctx.profile = options.profile;
+  uint64_t final_span = 0;
+  if (tracer != nullptr) {
+    final_span = tracer->StartSpan("cf-final", options.trace_parent);
+    tracer->SetActiveParent(final_span);
+    final_ctx.trace_parent = final_span;
+  }
+  auto final_result = ExecutePlan(split.final_plan, &final_ctx);
+  if (tracer != nullptr) {
+    if (!final_result.ok()) {
+      tracer->Annotate(final_span, "error",
+                       final_result.status().ToString());
+    }
+    tracer->Annotate(final_span, "bytes", final_ctx.bytes_scanned.load());
+    tracer->EndSpan(final_span);
+    tracer->SetActiveParent(prior_parent);
+  }
+  PIXELS_ASSIGN_OR_RETURN(out.result, std::move(final_result));
   out.bytes_scanned += final_ctx.bytes_scanned;
 
   // Also cache the full-query result (keyed by the original plan, which

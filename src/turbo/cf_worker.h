@@ -5,6 +5,8 @@
 #pragma once
 
 #include "catalog/catalog.h"
+#include "common/trace.h"
+#include "exec/profile.h"
 #include "mv/mv_store.h"
 #include "plan/subplan.h"
 
@@ -92,6 +94,15 @@ struct CfWorkerOptions {
   /// query. Non-retryable errors always fail the query: a corrupt object
   /// is corrupt on the VM path too.
   bool vm_fallback = true;
+  /// Observability (all null/0 = off, the default). With a tracer on, the
+  /// fleet emits cf-fleet → cf-worker → cf-attempt spans (retry counts,
+  /// bytes, fallback reasons) under `trace_parent`. With a profile,
+  /// workers contribute aggregate-only nodes — counters come from the
+  /// successful attempt's ExecContext, so failed attempts never pollute
+  /// the report — while the top-level plan profiles per operator.
+  Tracer* tracer = nullptr;
+  uint64_t trace_parent = 0;
+  QueryProfile* profile = nullptr;
 };
 
 /// Executes `plan` with the sub-plan pushed down to a simulated CF worker

@@ -5,9 +5,12 @@
 
 #include "common/logging.h"
 #include "exec/executor.h"
+#include "exec/profile.h"
+#include "format/footer_cache.h"
 #include "plan/binder.h"
 #include "plan/optimizer.h"
 #include "storage/object_store.h"
+#include "storage/tracing_storage.h"
 
 namespace pixels {
 
@@ -33,6 +36,30 @@ Coordinator::Coordinator(SimClock* clock, Random* rng,
     mv_store_ = std::make_unique<MvStore>(std::move(mv));
   }
   vm_.SetCapacityAvailableCallback([this] { DispatchFromQueue(); });
+  if (params_.tracer != nullptr) {
+    tracer_ = params_.tracer;
+    if (params_.trace_level != TraceLevel::kOff) {
+      tracer_->set_level(params_.trace_level);
+    }
+  } else if (params_.trace_level != TraceLevel::kOff) {
+    owned_tracer_ = std::make_unique<Tracer>(params_.trace_level);
+    tracer_ = owned_tracer_.get();
+  }
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    // While tracing, log lines carry virtual time so they correlate with
+    // span timestamps.
+    RegisterLogClock(clock_);
+  }
+  SyncObservability();
+}
+
+Coordinator::~Coordinator() { UnregisterLogClock(clock_); }
+
+void Coordinator::SyncObservability() {
+  if (tracer_ == nullptr || !tracer_->enabled()) return;
+  const SimTime now = clock_->Now();
+  tracer_->SyncTime(now);
+  SyncLogTime(now);
 }
 
 IoOptions Coordinator::QueryIo() const {
@@ -56,6 +83,7 @@ double Coordinator::EstimateWork(const QuerySpec& spec) const {
 }
 
 int64_t Coordinator::Submit(QuerySpec spec, QueryCallback on_finish) {
+  SyncObservability();
   const int64_t id = next_id_++;
   QueryRecord rec;
   rec.id = id;
@@ -68,6 +96,12 @@ int64_t Coordinator::Submit(QuerySpec spec, QueryCallback on_finish) {
 
   QueryRecord* r = &queries_[id];
   metrics_.Add("queries_submitted", 1);
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    r->span_id = tracer_->StartSpan("coordinator", r->spec.trace_parent);
+    tracer_->Annotate(r->span_id, "query_id", static_cast<uint64_t>(id));
+    tracer_->Annotate(r->span_id, "cf_enabled",
+                      r->spec.cf_enabled ? "true" : "false");
+  }
 
   if (vm_.TryStartQuery()) {
     StartInVm(r);
@@ -76,10 +110,13 @@ int64_t Coordinator::Submit(QuerySpec spec, QueryCallback on_finish) {
                                     params_.default_cf_workers))) {
     StartInCf(r);
   } else {
+    if (r->span_id != 0) {
+      r->queue_span_id = tracer_->StartSpan("vm-queue", r->span_id);
+    }
     vm_queue_.push_back(id);
     UpdateBacklog();
-    metrics_.Series("vm_queue_depth").Record(clock_->Now(),
-                                             static_cast<double>(vm_queue_.size()));
+    metrics_.Record("vm_queue_depth", clock_->Now(),
+                    static_cast<double>(vm_queue_.size()));
   }
   return id;
 }
@@ -94,6 +131,7 @@ void Coordinator::UpdateBacklog() {
 }
 
 void Coordinator::DispatchFromQueue() {
+  SyncObservability();
   while (!vm_queue_.empty()) {
     if (!vm_.TryStartQuery()) break;
     int64_t id = vm_queue_.front();
@@ -101,23 +139,53 @@ void Coordinator::DispatchFromQueue() {
     StartInVm(&queries_[id]);
   }
   UpdateBacklog();
-  metrics_.Series("vm_queue_depth").Record(clock_->Now(),
-                                           static_cast<double>(vm_queue_.size()));
+  metrics_.Record("vm_queue_depth", clock_->Now(),
+                  static_cast<double>(vm_queue_.size()));
 }
 
 void Coordinator::MaybeExecuteReal(QueryRecord* rec, bool via_cf) {
   if (!rec->spec.execute_real || catalog_ == nullptr || rec->spec.sql.empty()) {
     return;
   }
-  if (via_cf) {
-    auto plan = PlanQuery(rec->spec.sql, *catalog_, rec->spec.db);
-    if (!plan.ok()) {
-      rec->error = plan.status().ToString();
-      return;
+  Tracer* tracer =
+      tracer_ != nullptr && tracer_->enabled() ? tracer_ : nullptr;
+  const bool profiling = tracer != nullptr && tracer_->profiling();
+  QueryProfile profile;
+  uint64_t exec_span = 0;
+  uint64_t prior_parent = 0;
+  if (tracer != nullptr) {
+    exec_span = tracer->StartSpan(via_cf ? "execute-cf" : "execute-vm",
+                                  rec->span_id);
+    prior_parent = tracer->ActiveParent();
+    tracer->SetActiveParent(exec_span);
+  }
+  // Everything below reports through these on every exit path.
+  auto finish_trace = [&] {
+    if (tracer == nullptr) return;
+    if (!rec->error.empty()) {
+      tracer->Annotate(exec_span, "error", rec->error);
     }
-    auto optimized = Optimize(std::move(plan).ValueOrDie(), *catalog_);
+    tracer->Annotate(exec_span, "bytes_scanned", rec->bytes_scanned);
+    tracer->EndSpan(exec_span);
+    tracer->SetActiveParent(prior_parent);
+    if (profiling && rec->error.empty()) rec->profile = profile.ToText();
+  };
+  if (via_cf) {
+    uint64_t plan_span = 0;
+    if (tracer != nullptr) plan_span = tracer->StartSpan("plan", exec_span);
+    auto plan = PlanQuery(rec->spec.sql, *catalog_, rec->spec.db);
+    Result<PlanPtr> optimized =
+        plan.ok() ? Optimize(std::move(plan).ValueOrDie(), *catalog_)
+                  : std::move(plan);
+    if (tracer != nullptr) {
+      if (!optimized.ok()) {
+        tracer->Annotate(plan_span, "error", optimized.status().ToString());
+      }
+      tracer->EndSpan(plan_span);
+    }
     if (!optimized.ok()) {
       rec->error = optimized.status().ToString();
+      finish_trace();
       return;
     }
     CfWorkerOptions options;
@@ -130,10 +198,14 @@ void Coordinator::MaybeExecuteReal(QueryRecord* rec, bool via_cf) {
     options.max_worker_attempts = params_.cf_max_worker_attempts;
     options.worker_retry_backoff_ms = params_.cf_worker_retry_backoff_ms;
     options.vm_fallback = params_.cf_vm_fallback;
+    options.tracer = tracer_;
+    options.trace_parent = exec_span;
+    options.profile = profiling ? &profile : nullptr;
     auto exec = ExecuteWithCfPushdown(std::move(optimized).ValueOrDie(),
                                       catalog_.get(), options);
     if (!exec.ok()) {
       rec->error = exec.status().ToString();
+      finish_trace();
       return;
     }
     rec->result = exec->result;
@@ -149,15 +221,20 @@ void Coordinator::MaybeExecuteReal(QueryRecord* rec, bool via_cf) {
       metrics_.Add("mv_saved_bytes",
                    static_cast<double>(exec->mv_saved_bytes));
     }
+    finish_trace();
     return;
   }
   ExecContext ctx;
   ctx.catalog = catalog_.get();
   ctx.io = QueryIo();
   ctx.mv_store = mv_store_.get();
+  ctx.tracer = tracer_;
+  ctx.trace_parent = exec_span;
+  ctx.profile = profiling ? &profile : nullptr;
   auto result = ExecuteQuery(rec->spec.sql, rec->spec.db, &ctx);
   if (!result.ok()) {
     rec->error = result.status().ToString();
+    finish_trace();
     return;
   }
   rec->result = std::move(result).ValueOrDie();
@@ -168,11 +245,21 @@ void Coordinator::MaybeExecuteReal(QueryRecord* rec, bool via_cf) {
     metrics_.Add("mv_hits", 1);
     metrics_.Add("mv_saved_bytes", static_cast<double>(rec->mv_saved_bytes));
   }
+  finish_trace();
 }
 
 void Coordinator::StartInVm(QueryRecord* rec) {
   rec->state = QueryState::kRunning;
   rec->start_time = clock_->Now();
+  metrics_.Observe("vm_queue_wait_ms",
+                   static_cast<double>(rec->start_time - rec->submit_time));
+  if (rec->queue_span_id != 0) {
+    tracer_->Annotate(rec->queue_span_id, "wait_ms",
+                      static_cast<uint64_t>(rec->start_time -
+                                            rec->submit_time));
+    tracer_->EndSpan(rec->queue_span_id);
+    rec->queue_span_id = 0;
+  }
   MaybeExecuteReal(rec, /*via_cf=*/false);
 
   if (!rec->error.empty()) {
@@ -209,6 +296,13 @@ void Coordinator::StartInVm(QueryRecord* rec) {
 void Coordinator::StartInCf(QueryRecord* rec) {
   rec->state = QueryState::kRunning;
   rec->start_time = clock_->Now();
+  if (rec->queue_span_id != 0) {
+    tracer_->Annotate(rec->queue_span_id, "wait_ms",
+                      static_cast<uint64_t>(rec->start_time -
+                                            rec->submit_time));
+    tracer_->EndSpan(rec->queue_span_id);
+    rec->queue_span_id = 0;
+  }
   MaybeExecuteReal(rec, /*via_cf=*/true);
 
   if (!rec->error.empty()) {
@@ -284,9 +378,25 @@ void Coordinator::StartInCf(QueryRecord* rec) {
 
 void Coordinator::PublishStorageMetrics() {
   if (catalog_ == nullptr) return;
-  auto* store = dynamic_cast<ObjectStore*>(catalog_->storage());
+  Storage* raw = catalog_->storage();
+  // A TracingStorage decorator may sit on top of the ObjectStore; stats
+  // live on the store underneath it.
+  if (auto* tracing = dynamic_cast<TracingStorage*>(raw)) {
+    raw = tracing->inner();
+  }
+  auto* store = dynamic_cast<ObjectStore*>(raw);
   if (store == nullptr) return;
   const ObjectStoreStats s = store->stats();
+  const uint64_t delta_gets = s.get_requests - published_storage_.get_requests;
+  const double delta_read_ms =
+      s.simulated_read_ms - published_storage_.simulated_read_ms;
+  if (delta_gets > 0) {
+    // Mean simulated GET latency over the window since the last publish —
+    // one observation per window keeps the histogram bounded while the
+    // distribution across windows still shows contention and coalescing.
+    metrics_.Observe("storage_get_latency_ms",
+                     delta_read_ms / static_cast<double>(delta_gets));
+  }
   metrics_.Add("storage_retries",
                static_cast<double>(s.retry_attempts) -
                    static_cast<double>(published_storage_.retry_attempts));
@@ -302,10 +412,22 @@ void Coordinator::PublishStorageMetrics() {
 }
 
 void Coordinator::Finish(QueryRecord* rec) {
+  SyncObservability();
   rec->finish_time = clock_->Now();
   rec->state = rec->error.empty() ? QueryState::kFinished : QueryState::kFailed;
   metrics_.Add(rec->error.empty() ? "queries_finished" : "queries_failed", 1);
+  metrics_.Observe("query_execution_ms",
+                   static_cast<double>(rec->ExecutionTime()));
   PublishStorageMetrics();
+  if (rec->span_id != 0) {
+    tracer_->Annotate(rec->span_id, "state", QueryStateName(rec->state));
+    tracer_->Annotate(rec->span_id, "bytes_scanned", rec->bytes_scanned);
+    if (rec->used_cf) {
+      tracer_->Annotate(rec->span_id, "cf_workers",
+                        static_cast<uint64_t>(rec->cf_workers_used));
+    }
+    tracer_->EndSpan(rec->span_id);
+  }
   auto cb = callbacks_.find(rec->id);
   if (cb != callbacks_.end()) {
     QueryCallback fn = std::move(cb->second);
@@ -317,6 +439,51 @@ void Coordinator::Finish(QueryRecord* rec) {
 const QueryRecord* Coordinator::GetQuery(int64_t id) const {
   auto it = queries_.find(id);
   return it == queries_.end() ? nullptr : &it->second;
+}
+
+MetricsRegistry Coordinator::MetricsSnapshot() {
+  PublishStorageMetrics();
+  MetricsRegistry out = metrics_;
+  out.MergeFrom(vm_.metrics());
+  out.MergeFrom(cf_.metrics());
+  if (chunk_cache_ != nullptr) {
+    const BufferCacheStats c = chunk_cache_->stats();
+    out.SetGauge("chunk_cache_hits", static_cast<double>(c.hits));
+    out.SetGauge("chunk_cache_misses", static_cast<double>(c.misses));
+    out.SetGauge("chunk_cache_evictions", static_cast<double>(c.evictions));
+    out.SetGauge("chunk_cache_bytes", static_cast<double>(c.bytes_cached));
+  }
+  const FooterCacheStats f = FooterCache::Shared()->stats();
+  out.SetGauge("footer_cache_hits", static_cast<double>(f.hits));
+  out.SetGauge("footer_cache_misses", static_cast<double>(f.misses));
+  if (mv_store_ != nullptr) {
+    const MvStoreStats m = mv_store_->stats();
+    out.SetGauge("mv_store_lookups", static_cast<double>(m.lookups));
+    out.SetGauge("mv_store_hits", static_cast<double>(m.hits));
+    out.SetGauge("mv_store_invalidations",
+                 static_cast<double>(m.invalidations));
+    out.SetGauge("mv_store_saved_scan_bytes",
+                 static_cast<double>(m.saved_scan_bytes));
+    out.SetGauge("mv_store_bytes", static_cast<double>(m.bytes_cached));
+  }
+  if (catalog_ != nullptr) {
+    Storage* raw = catalog_->storage();
+    if (auto* tracing = dynamic_cast<TracingStorage*>(raw)) {
+      raw = tracing->inner();
+    }
+    if (auto* store = dynamic_cast<ObjectStore*>(raw)) {
+      const ObjectStoreStats s = store->stats();
+      out.SetGauge("storage_get_requests",
+                   static_cast<double>(s.get_requests));
+      out.SetGauge("storage_put_requests",
+                   static_cast<double>(s.put_requests));
+      out.SetGauge("storage_bytes_read", static_cast<double>(s.bytes_read));
+      out.SetGauge("storage_coalesced_gets",
+                   static_cast<double>(s.coalesced_gets));
+      out.SetGauge("storage_request_cost_usd", s.request_cost_usd);
+    }
+  }
+  return out;
 }
 
 std::vector<const QueryRecord*> Coordinator::AllQueries() const {

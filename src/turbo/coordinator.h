@@ -57,6 +57,18 @@ struct CoordinatorParams {
   int cf_max_worker_attempts = 3;
   double cf_worker_retry_backoff_ms = 200.0;
   bool cf_vm_fallback = true;
+  /// Observability level. kOff (the default) is the zero-overhead path:
+  /// no spans are allocated, no profile nodes are created, and every
+  /// query executes byte-identically to a build without tracing. kSpans
+  /// records the query's span tree (coordinator → queue → plan/MV-lookup
+  /// → CF fleet/worker/attempt → storage ops). kFull additionally wraps
+  /// every operator with a profiling shim and attaches the EXPLAIN
+  /// ANALYZE text report to the QueryRecord.
+  TraceLevel trace_level = TraceLevel::kOff;
+  /// Use this tracer instead of an owned one (lets the query server share
+  /// one trace across both layers). Null + trace_level != kOff = the
+  /// coordinator owns its tracer.
+  Tracer* tracer = nullptr;
 };
 
 /// Coordinator of the hybrid serverless query engine.
@@ -66,6 +78,7 @@ class Coordinator {
 
   Coordinator(SimClock* clock, Random* rng, CoordinatorParams params,
               std::shared_ptr<Catalog> catalog = nullptr);
+  ~Coordinator();
 
   /// Starts the VM cluster autoscaler.
   void Start();
@@ -122,6 +135,16 @@ class Coordinator {
 
   MetricsRegistry& metrics() { return metrics_; }
 
+  /// The active tracer (owned or external); null when trace_level=off
+  /// and no external tracer was supplied.
+  Tracer* tracer() { return tracer_; }
+
+  /// One merged registry: the coordinator's own counters/series plus the
+  /// VM cluster's, the CF service's, and point-in-time gauges for the
+  /// chunk cache, the shared footer cache, and the MV store. Feed the
+  /// result to ToPrometheusText() for a scrape-shaped export.
+  MetricsRegistry MetricsSnapshot();
+
  private:
   /// Estimated work for a spec (vCPU-seconds).
   double EstimateWork(const QuerySpec& spec) const;
@@ -134,8 +157,14 @@ class Coordinator {
   void MaybeExecuteReal(QueryRecord* rec, bool via_cf);
   void Finish(QueryRecord* rec);
   /// Folds the catalog storage's retry/backoff counters (when it is an
-  /// ObjectStore) into this registry as deltas since the last publish.
+  /// ObjectStore, possibly under a TracingStorage decorator) into this
+  /// registry as deltas since the last publish.
   void PublishStorageMetrics();
+  /// Forwards the clock to the tracer's and the logger's atomic mirrors.
+  /// Called at every event boundary on the simulation thread — the only
+  /// thread that may touch the SimClock — so pool threads read a stamped
+  /// copy instead of racing the clock.
+  void SyncObservability();
 
   /// The query-server-wide I/O policy handed to every real execution.
   IoOptions QueryIo() const;
@@ -159,6 +188,9 @@ class Coordinator {
   /// Last storage-stats snapshot published into `metrics_` (delta base).
   ObjectStoreStats published_storage_;
   MetricsRegistry metrics_;
+  /// Tracer owned when params request tracing without supplying one.
+  std::unique_ptr<Tracer> owned_tracer_;
+  Tracer* tracer_ = nullptr;
 };
 
 }  // namespace pixels

@@ -41,6 +41,10 @@ struct QuerySpec {
 
   /// CF fleet size when acceleration engages (0 = coordinator default).
   int cf_workers = 0;
+
+  /// Parent span id for the coordinator's spans (0 = root). Set by the
+  /// query server so one trace follows the query across both layers.
+  uint64_t trace_parent = 0;
 };
 
 /// Execution record of one query.
@@ -79,6 +83,13 @@ struct QueryRecord {
 
   std::string error;
   TablePtr result;
+
+  /// Observability (filled only when the coordinator's tracer is on).
+  /// The query's coordinator span and, while queued, its vm-queue span.
+  uint64_t span_id = 0;
+  uint64_t queue_span_id = 0;
+  /// EXPLAIN ANALYZE text report (trace_level=full real executions only).
+  std::string profile;
 
   /// Time spent waiting before execution began (§4.3 statistic).
   SimTime PendingTime() const {

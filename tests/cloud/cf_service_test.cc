@@ -112,7 +112,7 @@ TEST_F(CfServiceTest, MetricsRecordInFlight) {
   CfService cf(&clock_, &rng_, params_, pricing_);
   cf.Invoke(2, 12.0, nullptr);
   clock_.RunAll();
-  EXPECT_GE(cf.metrics().Series("cf_in_flight").size(), 2u);
+  EXPECT_GE(cf.metrics().GetSeries("cf_in_flight").size(), 2u);
 }
 
 }  // namespace

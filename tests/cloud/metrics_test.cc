@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 namespace pixels {
 namespace {
 
@@ -23,6 +26,7 @@ TEST(TimeSeriesTest, EmptySeries) {
   EXPECT_DOUBLE_EQ(ts.Max(), 0);
   EXPECT_DOUBLE_EQ(ts.Mean(), 0);
   EXPECT_DOUBLE_EQ(ts.ValueAt(100), 0);
+  EXPECT_DOUBLE_EQ(ts.TimeWeightedMean(0, 100), 0);
 }
 
 TEST(TimeSeriesTest, ValueAtStepSemantics) {
@@ -34,6 +38,25 @@ TEST(TimeSeriesTest, ValueAtStepSemantics) {
   EXPECT_DOUBLE_EQ(ts.ValueAt(15), 1);
   EXPECT_DOUBLE_EQ(ts.ValueAt(20), 2);
   EXPECT_DOUBLE_EQ(ts.ValueAt(1000), 2);
+}
+
+TEST(TimeSeriesTest, ValueAtManyPointsMatchesLinearScan) {
+  // The binary-search rewrite must agree with the obvious linear scan at
+  // every boundary, including exact sample times and duplicates.
+  TimeSeries ts;
+  const SimTime times[] = {0, 5, 5, 7, 100, 1000};
+  double v = 1;
+  for (SimTime t : times) ts.Record(t, v++);
+  auto linear = [&](SimTime t) {
+    double out = 0;
+    for (const Sample& s : ts.samples()) {
+      if (s.time <= t) out = s.value;
+    }
+    return out;
+  };
+  for (SimTime t = -2; t <= 1002; t += 1) {
+    ASSERT_DOUBLE_EQ(ts.ValueAt(t), linear(t)) << "t=" << t;
+  }
 }
 
 TEST(TimeSeriesTest, TimeWeightedMean) {
@@ -51,6 +74,15 @@ TEST(TimeSeriesTest, TimeWeightedMeanDegenerateWindow) {
   EXPECT_DOUBLE_EQ(ts.TimeWeightedMean(5, 5), 7.0);
 }
 
+TEST(TimeSeriesTest, TimeWeightedMeanWindowBeforeFirstSample) {
+  TimeSeries ts;
+  ts.Record(100, 9);
+  // The whole window precedes the first sample: the value is 0 there.
+  EXPECT_DOUBLE_EQ(ts.TimeWeightedMean(0, 50), 0.0);
+  // Window straddling the first sample: 0 for [0,100), 9 for [100,200).
+  EXPECT_DOUBLE_EQ(ts.TimeWeightedMean(0, 200), 4.5);
+}
+
 TEST(MetricsRegistryTest, CountersAccumulate) {
   MetricsRegistry m;
   m.Add("queries", 1);
@@ -61,19 +93,167 @@ TEST(MetricsRegistryTest, CountersAccumulate) {
 
 TEST(MetricsRegistryTest, SeriesByName) {
   MetricsRegistry m;
-  m.Series("vms").Record(0, 2);
-  m.Series("vms").Record(1000, 3);
-  EXPECT_EQ(m.Series("vms").size(), 2u);
+  m.Record("vms", 0, 2);
+  m.Record("vms", 1000, 3);
+  EXPECT_EQ(m.GetSeries("vms").size(), 2u);
   EXPECT_EQ(m.AllSeries().size(), 1u);
+  EXPECT_TRUE(m.GetSeries("missing").empty());
+}
+
+TEST(MetricsRegistryTest, Gauges) {
+  MetricsRegistry m;
+  m.SetGauge("cache_bytes", 10);
+  m.SetGauge("cache_bytes", 20);  // gauges overwrite
+  EXPECT_DOUBLE_EQ(m.Gauge("cache_bytes"), 20);
+  EXPECT_DOUBLE_EQ(m.Gauge("missing"), 0);
 }
 
 TEST(MetricsRegistryTest, CsvFormat) {
   MetricsRegistry m;
-  m.Series("x").Record(2000, 1.5);
+  m.Record("x", 2000, 1.5);
   std::string csv = m.ToCsv("x");
   EXPECT_NE(csv.find("x,2.0"), std::string::npos);
   EXPECT_NE(csv.find("1.5"), std::string::npos);
   EXPECT_TRUE(m.ToCsv("missing").empty());
+}
+
+TEST(MetricsRegistryTest, CopyAndMerge) {
+  MetricsRegistry a;
+  a.Add("c", 1);
+  a.SetGauge("g", 5);
+  a.Record("s", 0, 1);
+  a.Observe("h", 10);
+
+  MetricsRegistry b = a;  // copy
+  b.Add("c", 2);
+  EXPECT_DOUBLE_EQ(a.Counter("c"), 1);  // deep copy, not shared
+  EXPECT_DOUBLE_EQ(b.Counter("c"), 3);
+
+  MetricsRegistry c;
+  c.Add("c", 10);
+  c.MergeFrom(a);
+  EXPECT_DOUBLE_EQ(c.Counter("c"), 11);  // counters add
+  EXPECT_DOUBLE_EQ(c.Gauge("g"), 5);
+  EXPECT_EQ(c.GetSeries("s").size(), 1u);
+  EXPECT_EQ(c.GetHistogram("h").count(), 1u);
+}
+
+TEST(MetricsRegistryTest, ConcurrentMixedWriters) {
+  // Hammer every mutator from several threads; run under TSan to prove
+  // the registry's internal locking. Totals are checked for exactness.
+  MetricsRegistry m;
+  constexpr int kThreads = 8;
+  constexpr int kOps = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&m, t] {
+      for (int i = 0; i < kOps; ++i) {
+        m.Add("counter", 1);
+        m.SetGauge("gauge", static_cast<double>(t));
+        m.Record("series", i, static_cast<double>(i));
+        m.Observe("hist", static_cast<double>(i % 100));
+        if (i % 64 == 0) {
+          // Readers race the writers (return-by-value snapshots).
+          (void)m.Counter("counter");
+          (void)m.GetSeries("series").size();
+          (void)m.GetHistogram("hist").count();
+          MetricsRegistry copy = m;
+          (void)copy.AllCounters().size();
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_DOUBLE_EQ(m.Counter("counter"), kThreads * kOps);
+  EXPECT_EQ(m.GetSeries("series").size(),
+            static_cast<size_t>(kThreads * kOps));
+  EXPECT_EQ(m.GetHistogram("hist").count(),
+            static_cast<uint64_t>(kThreads * kOps));
+}
+
+TEST(HistogramTest, BucketsAreCumulativeInExportOnly) {
+  Histogram h({10, 100});
+  h.Observe(5);
+  h.Observe(50);
+  h.Observe(500);
+  h.Observe(10);  // boundary lands in the <= 10 bucket
+  ASSERT_EQ(h.bucket_counts().size(), 3u);
+  EXPECT_EQ(h.bucket_counts()[0], 2u);  // <= 10
+  EXPECT_EQ(h.bucket_counts()[1], 1u);  // (10, 100]
+  EXPECT_EQ(h.bucket_counts()[2], 1u);  // > 100 (+Inf)
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 565);
+}
+
+TEST(HistogramTest, QuantileMatchesPercentileExactly) {
+  // The histogram retains raw samples, so its quantiles are exact — by
+  // construction they must equal Percentile() over the same data.
+  Histogram h;
+  std::vector<double> samples;
+  for (int i = 0; i < 257; ++i) {
+    const double v = static_cast<double>((i * 7919) % 1000);
+    h.Observe(v);
+    samples.push_back(v);
+  }
+  for (double p : {0.0, 25.0, 50.0, 90.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(h.Quantile(p), Percentile(samples, p)) << "p=" << p;
+  }
+}
+
+TEST(PrometheusTest, ExportsAllMetricKinds) {
+  MetricsRegistry m;
+  m.Add("queries_finished", 3);
+  m.SetGauge("cache_bytes", 1024);
+  m.Record("vms", 0, 2);
+  m.Record("vms", 1000, 4);
+  m.Observe("latency_ms", 12.5);
+  m.Observe("latency_ms", 250);
+  const std::string text = m.ToPrometheusText();
+  EXPECT_NE(text.find("# TYPE pixels_queries_finished counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("pixels_queries_finished 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE pixels_cache_bytes gauge"), std::string::npos);
+  // A series exports its last value as a gauge.
+  EXPECT_NE(text.find("pixels_vms 4"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE pixels_latency_ms histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("pixels_latency_ms_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("pixels_latency_ms_count 2"), std::string::npos);
+  std::string error;
+  EXPECT_TRUE(ValidatePrometheusText(text, &error)) << error;
+}
+
+TEST(PrometheusTest, LabeledMetricNamesSplitAtBrace) {
+  MetricsRegistry m;
+  m.Observe("queue_wait_ms{level=\"immediate\"}", 1);
+  m.Observe("queue_wait_ms{level=\"relaxed\"}", 100);
+  const std::string text = m.ToPrometheusText();
+  // One TYPE line for the base name, two labeled bucket families.
+  const std::string type_line = "# TYPE pixels_queue_wait_ms histogram";
+  const size_t first = text.find(type_line);
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(text.find(type_line, first + 1), std::string::npos);
+  EXPECT_NE(text.find("pixels_queue_wait_ms_bucket{level=\"immediate\",le="),
+            std::string::npos);
+  EXPECT_NE(text.find("pixels_queue_wait_ms_count{level=\"relaxed\"} 1"),
+            std::string::npos);
+  std::string error;
+  EXPECT_TRUE(ValidatePrometheusText(text, &error)) << error;
+}
+
+TEST(PrometheusTest, ValidatorRejectsMalformedText) {
+  std::string error;
+  EXPECT_FALSE(ValidatePrometheusText("9bad_name 1\n", &error));
+  EXPECT_FALSE(ValidatePrometheusText("name_without_value\n", &error));
+  EXPECT_FALSE(ValidatePrometheusText("name not_a_number\n", &error));
+  EXPECT_FALSE(
+      ValidatePrometheusText("# TYPE pixels_x made_up_kind\n", &error));
+  EXPECT_FALSE(ValidatePrometheusText("broken{le=\"1\" 3\n", &error));
+  EXPECT_TRUE(ValidatePrometheusText("", &error)) << error;
+  EXPECT_TRUE(ValidatePrometheusText("x_total 1\nx_free +Inf\n", &error))
+      << error;
 }
 
 TEST(PercentileTest, KnownValues) {

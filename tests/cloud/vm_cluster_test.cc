@@ -199,8 +199,8 @@ TEST_F(VmClusterTest, MetricsRecordConcurrencyAndVms) {
   VmCluster vm(&clock_, &rng_, DefaultParams(), PricingModel{});
   ASSERT_TRUE(vm.TryStartQuery());
   vm.FinishQuery();
-  EXPECT_GE(vm.metrics().Series("concurrency").size(), 2u);
-  EXPECT_GE(vm.metrics().Series("vms").size(), 1u);
+  EXPECT_GE(vm.metrics().GetSeries("concurrency").size(), 2u);
+  EXPECT_GE(vm.metrics().GetSeries("vms").size(), 1u);
 }
 
 TEST_F(VmClusterTest, MaxVmsCapsScaleOut) {

@@ -1,0 +1,188 @@
+// Tracer unit tests: zero-overhead off mode, span tree structure,
+// virtual-time stamping, Chrome-trace JSON export (well-formed and
+// deterministic), and thread-safety under concurrent span writers.
+#include "common/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+
+namespace pixels {
+namespace {
+
+TEST(TracerTest, OffLevelIsNoOp) {
+  Tracer tracer;  // default kOff
+  EXPECT_FALSE(tracer.enabled());
+  EXPECT_FALSE(tracer.profiling());
+  const uint64_t id = tracer.StartSpan("query");
+  EXPECT_EQ(id, 0u);
+  // Every call on the no-op id is safe.
+  tracer.Annotate(id, "k", "v");
+  tracer.Annotate(id, "n", static_cast<uint64_t>(7));
+  tracer.EndSpan(id);
+  EXPECT_EQ(tracer.size(), 0u);
+  auto doc = Json::Parse(tracer.ToChromeTraceJson());
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Get("traceEvents").size(), 0u);
+}
+
+TEST(TracerTest, LevelsGateProfiling) {
+  Tracer tracer(TraceLevel::kSpans);
+  EXPECT_TRUE(tracer.enabled());
+  EXPECT_FALSE(tracer.profiling());
+  tracer.set_level(TraceLevel::kFull);
+  EXPECT_TRUE(tracer.profiling());
+}
+
+TEST(TracerTest, SpanTreeAndAttributes) {
+  Tracer tracer(TraceLevel::kSpans);
+  const uint64_t root = tracer.StartSpan("query");
+  const uint64_t plan = tracer.StartSpan("plan", root);
+  tracer.EndSpan(plan);
+  const uint64_t scan = tracer.StartSpan("scan", root);
+  tracer.Annotate(scan, "bytes", static_cast<uint64_t>(4096));
+  tracer.Annotate(scan, "cache", "miss");
+  tracer.EndSpan(scan);
+  tracer.EndSpan(root);
+
+  ASSERT_EQ(tracer.size(), 3u);
+  const auto roots = tracer.FindSpans("query");
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_EQ(roots[0].parent, 0u);
+  const auto children = tracer.ChildrenOf(roots[0].id);
+  ASSERT_EQ(children.size(), 2u);
+  EXPECT_EQ(children[0].name, "plan");
+  EXPECT_EQ(children[1].name, "scan");
+  ASSERT_EQ(children[1].attrs.size(), 2u);
+  EXPECT_EQ(children[1].attrs[0].first, "bytes");
+  EXPECT_EQ(children[1].attrs[0].second, "4096");
+  EXPECT_EQ(children[1].attrs[1].second, "miss");
+}
+
+TEST(TracerTest, SpansCarryVirtualTime) {
+  Tracer tracer(TraceLevel::kSpans);
+  tracer.SyncTime(100);
+  const uint64_t a = tracer.StartSpan("a");
+  tracer.SyncTime(250);
+  tracer.EndSpan(a);
+  // SyncTime is a monotonic max: going backwards is ignored.
+  tracer.SyncTime(50);
+  const uint64_t b = tracer.StartSpan("b");
+
+  const auto spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].start, 100);
+  EXPECT_EQ(spans[0].end, 250);
+  EXPECT_EQ(spans[1].start, 250);
+  EXPECT_EQ(spans[1].end, -1);  // still open
+  (void)b;
+}
+
+TEST(TracerTest, ActiveParentSlot) {
+  Tracer tracer(TraceLevel::kSpans);
+  EXPECT_EQ(tracer.ActiveParent(), 0u);
+  const uint64_t attempt = tracer.StartSpan("cf-attempt");
+  tracer.SetActiveParent(attempt);
+  // A layer without a span handle (the storage decorator) parents here.
+  const uint64_t get = tracer.StartSpan("storage-read",
+                                        tracer.ActiveParent());
+  EXPECT_EQ(tracer.Snapshot()[1].parent, attempt);
+  tracer.EndSpan(get);
+  tracer.SetActiveParent(0);
+  EXPECT_EQ(tracer.ActiveParent(), 0u);
+}
+
+TEST(TracerTest, ChromeTraceJsonIsWellFormed) {
+  Tracer tracer(TraceLevel::kSpans);
+  tracer.SyncTime(10);
+  const uint64_t root = tracer.StartSpan("query");
+  tracer.Annotate(root, "level", "immediate");
+  tracer.SyncTime(35);
+  tracer.EndSpan(root);
+
+  const std::string json = tracer.ToChromeTraceJson();
+  auto doc = Json::Parse(json);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  ASSERT_TRUE(doc->Get("traceEvents").is_array());
+  ASSERT_EQ(doc->Get("traceEvents").size(), 1u);
+  const Json& ev = doc->Get("traceEvents").At(0);
+  EXPECT_EQ(ev.Get("name").AsString(), "query");
+  EXPECT_EQ(ev.Get("ph").AsString(), "X");
+  // Virtual milliseconds exported as microseconds.
+  EXPECT_EQ(ev.Get("ts").AsInt(), 10 * 1000);
+  EXPECT_EQ(ev.Get("dur").AsInt(), 25 * 1000);
+  EXPECT_EQ(ev.Get("args").Get("level").AsString(), "immediate");
+  EXPECT_EQ(ev.Get("args").Get("span_id").AsInt(), 1);
+}
+
+TEST(TracerTest, IdenticalRunsProduceIdenticalExports) {
+  auto run = [] {
+    Tracer tracer(TraceLevel::kSpans);
+    tracer.SyncTime(5);
+    const uint64_t q = tracer.StartSpan("query");
+    const uint64_t s = tracer.StartSpan("scan", q);
+    tracer.Annotate(s, "bytes", static_cast<uint64_t>(1234));
+    tracer.SyncTime(17);
+    tracer.EndSpan(s);
+    tracer.EndSpan(q);
+    return tracer.ToChromeTraceJson();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(TracerTest, ScopedSpanEndsOnScopeExit) {
+  Tracer tracer(TraceLevel::kSpans);
+  {
+    ScopedSpan scope(&tracer, tracer.StartSpan("scoped"));
+    EXPECT_NE(scope.id(), 0u);
+    EXPECT_EQ(tracer.Snapshot()[0].end, -1);
+  }
+  EXPECT_GE(tracer.Snapshot()[0].end, 0);
+}
+
+TEST(TracerTest, ConcurrentSpanWritersAreSafe) {
+  // Pool threads open/annotate/end spans while the "simulation thread"
+  // advances virtual time and readers snapshot. Run under TSan.
+  Tracer tracer(TraceLevel::kSpans);
+  constexpr int kThreads = 8;
+  constexpr int kSpansPer = 200;
+  std::atomic<bool> stop{false};
+  std::thread sim([&] {
+    SimTime t = 0;
+    while (!stop.load()) {
+      tracer.SyncTime(++t);
+      (void)tracer.Snapshot();
+      (void)tracer.ToChromeTraceJson();
+    }
+  });
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&tracer, w] {
+      for (int i = 0; i < kSpansPer; ++i) {
+        const uint64_t id = tracer.StartSpan("worker");
+        tracer.Annotate(id, "w", static_cast<uint64_t>(w));
+        tracer.SetActiveParent(id);
+        const uint64_t child =
+            tracer.StartSpan("storage-read", tracer.ActiveParent());
+        tracer.EndSpan(child);
+        tracer.EndSpan(id);
+      }
+    });
+  }
+  for (auto& th : workers) th.join();
+  stop.store(true);
+  sim.join();
+  EXPECT_EQ(tracer.size(), static_cast<size_t>(kThreads * kSpansPer * 2));
+  // Every span id resolves and every parent reference is a valid id.
+  for (const auto& span : tracer.Snapshot()) {
+    EXPECT_GE(span.id, 1u);
+    EXPECT_LE(span.parent, tracer.size());
+  }
+}
+
+}  // namespace
+}  // namespace pixels

@@ -1,0 +1,321 @@
+// End-to-end observability: one trace follows a query through the query
+// server (hold), the coordinator (queue/execute), the CF fleet (worker
+// attempts with injected retries), and individual storage operations; the
+// unified metrics snapshot exports valid Prometheus text with
+// per-service-level histograms; and tracing never changes results, bytes,
+// or bills.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <iterator>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/trace.h"
+#include "format/footer_cache.h"
+#include "server/query_server.h"
+#include "storage/fault_injection.h"
+#include "storage/memory_store.h"
+#include "storage/object_store.h"
+#include "storage/retrying_storage.h"
+#include "storage/tracing_storage.h"
+#include "testing/switchable_storage.h"
+#include "workload/tpch.h"
+
+namespace pixels {
+namespace {
+
+std::vector<std::string> SortedRows(const Table& t) {
+  std::vector<std::string> rows;
+  for (const auto& b : t.batches()) {
+    for (size_t r = 0; r < b->num_rows(); ++r)
+      rows.push_back(b->RowToString(r));
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+const char* kCfSql =
+    "SELECT l_returnflag, sum(l_extendedprice) AS rev, count(*) AS n "
+    "FROM lineitem GROUP BY l_returnflag ORDER BY l_returnflag";
+const char* kRelaxedSql =
+    "SELECT l_linestatus, sum(l_quantity) AS q FROM lineitem "
+    "WHERE l_discount > 0.02 GROUP BY l_linestatus ORDER BY l_linestatus";
+
+struct RunOutcome {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<uint64_t> bytes;
+  std::vector<double> bills;
+  std::vector<QueryState> states;
+  std::vector<std::string> profiles;
+  double total_billed = 0;
+  std::string prometheus;
+  std::string status_profile;  // StatusView of the CF query
+};
+
+/// One run of the full stack — storage chain
+///   TracingStorage( ObjectStore( RetryingStorage( Switchable( faults ))))
+/// — with a single-slot VM cluster so the immediate real query takes the
+/// CF path, the relaxed query is held, and one injected transient read
+/// error forces exactly one CF worker re-invocation.
+RunOutcome RunWorkload(TraceLevel level, Tracer* tracer) {
+  FooterCache::Shared()->Clear();
+
+  auto mem = std::make_shared<MemoryStore>();
+  auto switchable = std::make_shared<testing::SwitchableStorage>(mem);
+  RetryPolicy policy;
+  policy.max_attempts = 1;  // storage absorbs nothing: faults reach the
+                            // CF worker, exercising worker re-invocation
+  auto retrying = std::make_shared<RetryingStorage>(switchable, policy);
+  auto object_store = std::make_shared<ObjectStore>(retrying);
+  auto tracing = std::make_shared<TracingStorage>(object_store, tracer);
+  auto catalog = std::make_shared<Catalog>(tracing);
+
+  TpchOptions topt;
+  topt.scale_factor = 0.002;
+  topt.rows_per_file = 2000;
+  EXPECT_TRUE(GenerateTpch(catalog.get(), "tpch", topt).ok());
+
+  // One transient read failure, switched on only after data generation.
+  FaultInjectionParams fparams;
+  FaultRule rule;
+  rule.fail_first_reads = 1;
+  fparams.rules.push_back(rule);
+  auto injector = std::make_shared<FaultInjectingStorage>(mem, fparams);
+  switchable->SetTarget(injector);
+
+  SimClock clock;
+  Random rng(42);
+  CoordinatorParams cparams;
+  cparams.vm.initial_vms = 1;
+  cparams.vm.slots_per_vm = 1;
+  cparams.vm.min_vms = 1;
+  cparams.vm.max_vms = 1;
+  cparams.vm.high_watermark = 1;
+  cparams.vm.monitor_interval = 5 * kSeconds;
+  cparams.mv_store_bytes = 8ULL << 20;  // mv-lookup spans on both paths
+  cparams.trace_level = level;
+  cparams.tracer = tracer;
+  Coordinator coordinator(&clock, &rng, cparams, catalog);
+  QueryServer server(&clock, &coordinator);
+
+  RunOutcome out;
+  out.rows.resize(3);
+  out.bytes.assign(3, 0);
+  out.bills.assign(3, 0);
+  out.states.assign(3, QueryState::kPending);
+  out.profiles.resize(3);
+  auto submit = [&](size_t i, Submission s) {
+    return server.Submit(std::move(s),
+                         [&out, i](const SubmissionRecord& srec,
+                                   const QueryRecord& qrec) {
+                           out.states[i] = qrec.state;
+                           out.bytes[i] = qrec.bytes_scanned;
+                           out.bills[i] = srec.bill_usd;
+                           out.profiles[i] = qrec.profile;
+                           if (qrec.result != nullptr) {
+                             out.rows[i] = SortedRows(*qrec.result);
+                           }
+                         });
+  };
+
+  // Occupies the single VM slot so the next immediate query goes to CF
+  // and the relaxed one is held behind the high watermark.
+  Submission occupier;
+  occupier.level = ServiceLevel::kImmediate;
+  occupier.query.work_vcpu_seconds = 30;
+  submit(0, std::move(occupier));
+
+  Submission cf_query;
+  cf_query.level = ServiceLevel::kImmediate;
+  cf_query.query.sql = kCfSql;
+  cf_query.query.db = "tpch";
+  cf_query.query.execute_real = true;
+  const int64_t cf_id = submit(1, std::move(cf_query));
+
+  Submission relaxed;
+  relaxed.level = ServiceLevel::kRelaxed;
+  relaxed.query.sql = kRelaxedSql;
+  relaxed.query.db = "tpch";
+  relaxed.query.execute_real = true;
+  submit(2, std::move(relaxed));
+
+  clock.RunAll();
+  server.Stop();
+  coordinator.Stop();
+  clock.RunAll();
+
+  out.total_billed = server.TotalBilledUsd();
+  out.prometheus = server.MetricsSnapshot().ToPrometheusText();
+  auto status = server.GetStatus(cf_id);
+  EXPECT_TRUE(status.ok());
+  if (status.ok()) out.status_profile = status->profile;
+  return out;
+}
+
+TEST(TraceE2eTest, FullTraceCoversHoldMvLookupWorkerRetryAndStorage) {
+  Tracer tracer;  // off during data generation; the coordinator raises it
+  const RunOutcome out = RunWorkload(TraceLevel::kFull, &tracer);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(out.states[i], QueryState::kFinished) << "query " << i;
+  }
+
+  // Three root "query" spans, one per submission.
+  EXPECT_EQ(tracer.FindSpans("query").size(), 3u);
+  EXPECT_EQ(tracer.FindSpans("coordinator").size(), 3u);
+
+  // The relaxed query was held and eventually released.
+  const auto holds = tracer.FindSpans("hold");
+  ASSERT_EQ(holds.size(), 1u);
+  EXPECT_GE(holds[0].end, 0);
+  bool released = false;
+  for (const auto& [k, v] : holds[0].attrs) {
+    if (k == "released_by") released = !v.empty();
+  }
+  EXPECT_TRUE(released);
+
+  // MV lookups were traced (missed: first execution of each query).
+  const auto mv = tracer.FindSpans("mv-lookup");
+  EXPECT_GE(mv.size(), 2u);
+
+  // CF fleet: every partition got a worker span; exactly one worker
+  // needed a re-invocation (one injected fault), so attempts = workers+1.
+  ASSERT_EQ(tracer.FindSpans("cf-fleet").size(), 1u);
+  const auto workers = tracer.FindSpans("cf-worker");
+  const auto attempts = tracer.FindSpans("cf-attempt");
+  ASSERT_GE(workers.size(), 2u);
+  EXPECT_EQ(attempts.size(), workers.size() + 1);
+  int total_retries = 0;
+  for (const auto& w : workers) {
+    for (const auto& [k, v] : w.attrs) {
+      if (k == "retries") total_retries += std::stoi(v);
+    }
+  }
+  EXPECT_EQ(total_retries, 1);
+
+  // Storage operations were traced and (at least those from CF attempts)
+  // parented under a cf-attempt span via the ambient active parent.
+  std::map<uint64_t, std::string> name_of;
+  size_t storage_spans = 0;
+  for (const auto& span : tracer.Snapshot()) {
+    name_of[span.id] = span.name;
+    if (span.name.rfind("storage-", 0) == 0) ++storage_spans;
+  }
+  ASSERT_GT(storage_spans, 0u);
+  size_t under_attempt = 0;
+  for (const auto& span : tracer.Snapshot()) {
+    if (span.name.rfind("storage-", 0) == 0 && span.parent != 0 &&
+        name_of[span.parent] == "cf-attempt") {
+      ++under_attempt;
+    }
+  }
+  EXPECT_GT(under_attempt, 0u);
+
+  // trace_level=full attached EXPLAIN ANALYZE reports to the real
+  // executions, visible through both the record and StatusView; the CF
+  // query's report includes the fleet's aggregate worker nodes.
+  EXPECT_NE(out.profiles[1].find("EXPLAIN ANALYZE"), std::string::npos);
+  EXPECT_NE(out.profiles[1].find("CfWorker["), std::string::npos);
+  EXPECT_NE(out.profiles[2].find("Scan(tpch.lineitem)"), std::string::npos);
+  EXPECT_EQ(out.status_profile, out.profiles[1]);
+  EXPECT_TRUE(out.profiles[0].empty());  // simulated query: nothing ran
+
+  // The unified snapshot parses as Prometheus text and carries the
+  // per-service-level histograms and storage gauges.
+  std::string error;
+  EXPECT_TRUE(ValidatePrometheusText(out.prometheus, &error)) << error;
+  EXPECT_NE(out.prometheus.find(
+                "pixels_query_latency_ms_bucket{level=\"immediate\""),
+            std::string::npos);
+  EXPECT_NE(out.prometheus.find(
+                "pixels_query_latency_ms_bucket{level=\"relaxed\""),
+            std::string::npos);
+  EXPECT_NE(out.prometheus.find("pixels_queue_wait_ms"), std::string::npos);
+  EXPECT_NE(out.prometheus.find("pixels_storage_get_latency_ms"),
+            std::string::npos);
+  EXPECT_NE(out.prometheus.find("pixels_cf_worker_retries 1"),
+            std::string::npos);
+
+  // The export is parseable Chrome-trace JSON.
+  auto doc = Json::Parse(tracer.ToChromeTraceJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->Get("traceEvents").size(), tracer.size());
+}
+
+TEST(TraceE2eTest, TracingNeverChangesResultsBytesOrBills) {
+  Tracer off_tracer;
+  const RunOutcome off = RunWorkload(TraceLevel::kOff, &off_tracer);
+  EXPECT_EQ(off_tracer.size(), 0u);  // kOff records nothing at all
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(off.states[i], QueryState::kFinished);
+    EXPECT_TRUE(off.profiles[i].empty());
+  }
+
+  Tracer full_tracer;
+  const RunOutcome full = RunWorkload(TraceLevel::kFull, &full_tracer);
+  EXPECT_GT(full_tracer.size(), 0u);
+  for (int i = 0; i < 3; ++i) {
+    SCOPED_TRACE("query " + std::to_string(i));
+    EXPECT_EQ(off.rows[i], full.rows[i]);
+    EXPECT_EQ(off.bytes[i], full.bytes[i]);
+    EXPECT_DOUBLE_EQ(off.bills[i], full.bills[i]);
+  }
+  EXPECT_DOUBLE_EQ(off.total_billed, full.total_billed);
+}
+
+TEST(TraceE2eTest, IdenticalSimulatedRunsProduceIdenticalExports) {
+  // Simulated queries execute nothing real (no pool threads), so span
+  // creation order is fully deterministic and two identical runs must
+  // export byte-identical traces and Prometheus snapshots.
+  auto run = [](std::string* prometheus) {
+    Tracer tracer(TraceLevel::kSpans);
+    SimClock clock;
+    Random rng(7);
+    CoordinatorParams cparams;
+    cparams.vm.initial_vms = 1;
+    cparams.vm.slots_per_vm = 1;
+    cparams.vm.min_vms = 1;
+    cparams.vm.max_vms = 1;
+    cparams.vm.high_watermark = 1;
+    cparams.vm.monitor_interval = 5 * kSeconds;
+    cparams.trace_level = TraceLevel::kSpans;
+    cparams.tracer = &tracer;
+    Coordinator coordinator(&clock, &rng, cparams, nullptr);
+    QueryServer server(&clock, &coordinator);
+    // The occupier outlasts the relaxed grace period, so the relaxed
+    // query is force-dispatched into the coordinator's VM queue (a
+    // "vm-queue" span); the second immediate overflows to CF.
+    const struct {
+      ServiceLevel level;
+      double work;
+    } kLoad[] = {{ServiceLevel::kImmediate, 3600},
+                 {ServiceLevel::kRelaxed, 5},
+                 {ServiceLevel::kBestEffort, 5},
+                 {ServiceLevel::kImmediate, 5}};
+    for (const auto& q : kLoad) {
+      Submission s;
+      s.level = q.level;
+      s.query.work_vcpu_seconds = q.work;
+      server.Submit(std::move(s));
+    }
+    clock.RunAll();
+    server.Stop();
+    coordinator.Stop();
+    clock.RunAll();
+    *prometheus = server.MetricsSnapshot().ToPrometheusText();
+    return tracer.ToChromeTraceJson();
+  };
+  std::string prom_a;
+  std::string prom_b;
+  const std::string trace_a = run(&prom_a);
+  const std::string trace_b = run(&prom_b);
+  EXPECT_EQ(trace_a, trace_b);
+  EXPECT_EQ(prom_a, prom_b);
+  EXPECT_NE(trace_a.find("\"name\":\"hold\""), std::string::npos);
+  EXPECT_NE(trace_a.find("\"name\":\"vm-queue\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pixels
