@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <cstring>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
@@ -64,6 +65,26 @@ class ByteReader {
 
   /// Moves the cursor to an absolute offset.
   Status Seek(size_t pos);
+
+  /// Advances the cursor over `n` bytes without reading them.
+  Status Skip(size_t n) {
+    if (remaining() < n) {
+      return Status::Corruption("byte reader: skip past end");
+    }
+    pos_ += n;
+    return Status::OK();
+  }
+
+  /// Returns a view over `n` raw bytes at the cursor and advances past
+  /// them. The view aliases the underlying buffer.
+  Result<std::string_view> GetView(size_t n) {
+    if (remaining() < n) {
+      return Status::Corruption("byte reader: truncated view");
+    }
+    std::string_view v(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return v;
+  }
 
   Result<uint8_t> GetU8();
   Result<uint16_t> GetU16();

@@ -1,0 +1,37 @@
+#include "exec/bloom_filter.h"
+
+namespace pixels {
+
+BloomFilter::BloomFilter(size_t expected_keys, int bits_per_key) {
+  if (bits_per_key < 1) bits_per_key = 1;
+  if (expected_keys < 1) expected_keys = 1;
+  size_t bits = expected_keys * static_cast<size_t>(bits_per_key);
+  words_.assign((bits + 63) / 64, 0);
+  // k ≈ bits_per_key * ln 2, clamped to a sane range.
+  num_probes_ = static_cast<int>(bits_per_key * 0.69);
+  if (num_probes_ < 1) num_probes_ = 1;
+  if (num_probes_ > 8) num_probes_ = 8;
+}
+
+void BloomFilter::Add(uint64_t hash) {
+  const uint64_t delta = (hash >> 17) | (hash << 47);  // double hashing
+  const size_t bits = num_bits();
+  for (int i = 0; i < num_probes_; ++i) {
+    const size_t bit = hash % bits;
+    words_[bit >> 6] |= 1ULL << (bit & 63);
+    hash += delta;
+  }
+}
+
+bool BloomFilter::MayContain(uint64_t hash) const {
+  const uint64_t delta = (hash >> 17) | (hash << 47);
+  const size_t bits = num_bits();
+  for (int i = 0; i < num_probes_; ++i) {
+    const size_t bit = hash % bits;
+    if ((words_[bit >> 6] & (1ULL << (bit & 63))) == 0) return false;
+    hash += delta;
+  }
+  return true;
+}
+
+}  // namespace pixels

@@ -1,6 +1,7 @@
 #include "exec/hash_join.h"
 
 #include "exec/expression.h"
+#include "exec/kernels.h"
 #include "exec/operators.h"
 #include "plan/optimizer.h"
 
@@ -154,11 +155,62 @@ Status HashJoinOperator::BuildSide() {
       [&](size_t p) { return build_partition(p); }, par);
 }
 
+Status HashJoinOperator::PublishRuntimeFilter() {
+  if (ctx_ == nullptr || !ctx_->runtime_filters || plan_.rf_id < 0 ||
+      !use_hash_ || plan_.join_type != JoinClause::Type::kInner) {
+    return Status::OK();
+  }
+  // Locate the build key the planner annotated. Not finding it (e.g. the
+  // key is an expression) just means nothing is published: the probe
+  // scan then reads everything, which is always correct.
+  const Expr* key = nullptr;
+  for (const auto& rk : right_keys_) {
+    if (rk->kind == Expr::Kind::kColumnRef &&
+        rk->QualifiedName() == plan_.rf_build_column) {
+      key = rk.get();
+      break;
+    }
+  }
+  if (key == nullptr) return Status::OK();
+
+  std::vector<ColumnVectorPtr> key_cols;
+  uint64_t key_count = 0;
+  for (const auto& batch : build_batches_) {
+    PIXELS_ASSIGN_OR_RETURN(ColumnVectorPtr col, EvaluateExpr(*key, *batch));
+    key_count += col->size() - col->NullCount();
+    key_cols.push_back(std::move(col));
+  }
+  auto rf = std::make_shared<RuntimeFilter>(
+      static_cast<size_t>(key_count), ctx_->rf_bloom_bits_per_key);
+  rf->key_count = key_count;
+  for (const auto& col : key_cols) {
+    const std::vector<uint64_t> hashes = RfHashColumn(*col);
+    for (size_t i = 0; i < col->size(); ++i) {
+      if (col->IsNull(i)) continue;  // null keys never inner-join
+      rf->bloom.Add(hashes[i]);
+      const Value v = col->GetValue(i);
+      if (!rf->has_range) {
+        rf->min_key = v;
+        rf->max_key = v;
+        rf->has_range = true;
+      } else {
+        if (v.Compare(rf->min_key) < 0) rf->min_key = v;
+        if (v.Compare(rf->max_key) > 0) rf->max_key = v;
+      }
+    }
+  }
+  ctx_->rf_hub.Publish(plan_.rf_id, std::move(rf));
+  return Status::OK();
+}
+
 Status HashJoinOperator::Open() {
   PIXELS_RETURN_NOT_OK(left_->Open());
   PIXELS_RETURN_NOT_OK(right_->Open());
   PIXELS_RETURN_NOT_OK(ExtractKeys(RowBatch{}, RowBatch{}));
-  return BuildSide();
+  PIXELS_RETURN_NOT_OK(BuildSide());
+  // Published before the first probe-side morsel decodes: probe scans
+  // only poll the hub at their first Next(), which is after Open().
+  return PublishRuntimeFilter();
 }
 
 Result<RowBatchPtr> HashJoinOperator::Next() {

@@ -38,6 +38,11 @@ class HashJoinOperator : public Operator {
 
   Status BuildSide();
   Status ExtractKeys(const RowBatch& left_sample, const RowBatch& right_sample);
+  /// After the hash build, publish a bloom + min/max filter on the
+  /// annotated build key (plan_.rf_id) so probe-side scans can prune rows
+  /// and whole row groups. No-op when the annotation is absent, the key
+  /// is not a simple column, or runtime filters are disabled.
+  Status PublishRuntimeFilter();
 
   OperatorPtr left_;
   OperatorPtr right_;

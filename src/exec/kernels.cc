@@ -1,0 +1,585 @@
+#include "exec/kernels.h"
+
+#include "exec/expression.h"
+#include "plan/optimizer.h"
+
+namespace pixels {
+
+namespace {
+
+enum class PayloadClass { kInt, kDouble, kString };
+
+PayloadClass ClassOf(TypeId t) {
+  if (t == TypeId::kDouble) return PayloadClass::kDouble;
+  if (t == TypeId::kString) return PayloadClass::kString;
+  return PayloadClass::kInt;
+}
+
+bool IsLit(const Expr& e) { return e.kind == Expr::Kind::kLiteral; }
+bool IsCol(const Expr& e) { return e.kind == Expr::Kind::kColumnRef; }
+
+}  // namespace
+
+CompiledPredicate CompiledPredicate::Compile(const Expr& predicate) {
+  CompiledPredicate p;
+  std::vector<ExprPtr> residual;
+  for (auto& c : SplitConjuncts(predicate)) {
+    const Expr& e = *c;
+    Step s;
+    bool lowered = false;
+    switch (e.kind) {
+      case Expr::Kind::kBinary: {
+        auto op = ParseCmpOp(e.op);
+        if (op && e.args.size() == 2) {
+          if (IsCol(*e.args[0]) && IsLit(*e.args[1])) {
+            s.kind = Step::Kind::kCompare;
+            s.column = e.args[0]->QualifiedName();
+            s.op = *op;
+            s.lit = e.args[1]->literal;
+            lowered = true;
+          } else if (IsLit(*e.args[0]) && IsCol(*e.args[1])) {
+            s.kind = Step::Kind::kCompare;
+            s.column = e.args[1]->QualifiedName();
+            s.op = FlipCmpOp(*op);
+            s.lit = e.args[0]->literal;
+            lowered = true;
+          }
+          if (lowered && s.lit.is_null()) {
+            p.never_matches_ = true;  // comparison with null is never true
+            return p;
+          }
+        }
+        break;
+      }
+      case Expr::Kind::kBetween:
+        if (IsCol(*e.args[0]) && IsLit(*e.args[1]) && IsLit(*e.args[2])) {
+          if (e.args[1]->literal.is_null() || e.args[2]->literal.is_null()) {
+            p.never_matches_ = true;  // null bound: result is Null for all rows
+            return p;
+          }
+          s.kind = Step::Kind::kBetween;
+          s.column = e.args[0]->QualifiedName();
+          s.lo = e.args[1]->literal;
+          s.hi = e.args[2]->literal;
+          s.negated = e.negated;
+          lowered = true;
+        }
+        break;
+      case Expr::Kind::kInList: {
+        bool all_lit = IsCol(*e.args[0]);
+        for (size_t i = 1; all_lit && i < e.args.size(); ++i) {
+          all_lit = IsLit(*e.args[i]);
+        }
+        if (all_lit) {
+          s.kind = Step::Kind::kInList;
+          s.column = e.args[0]->QualifiedName();
+          for (size_t i = 1; i < e.args.size(); ++i) {
+            // Null items can never equal the probe; dropping them here
+            // matches the scalar evaluator, which skips them.
+            if (!e.args[i]->literal.is_null()) {
+              s.in_list.push_back(e.args[i]->literal);
+            }
+          }
+          s.negated = e.negated;
+          lowered = true;
+        }
+        break;
+      }
+      case Expr::Kind::kIsNull:
+        if (IsCol(*e.args[0])) {
+          s.kind = Step::Kind::kIsNull;
+          s.column = e.args[0]->QualifiedName();
+          s.negated = e.negated;
+          lowered = true;
+        }
+        break;
+      case Expr::Kind::kColumnRef:
+        s.kind = Step::Kind::kTruthy;
+        s.column = e.QualifiedName();
+        lowered = true;
+        break;
+      case Expr::Kind::kUnary:
+        if (e.op == "NOT" && IsCol(*e.args[0])) {
+          s.kind = Step::Kind::kTruthy;
+          s.column = e.args[0]->QualifiedName();
+          s.negated = true;
+          lowered = true;
+        }
+        break;
+      default:
+        break;
+    }
+    if (lowered) {
+      p.steps_.push_back(std::move(s));
+    } else {
+      residual.push_back(std::move(c));
+    }
+  }
+  if (!residual.empty()) p.residual_ = CombineConjuncts(std::move(residual));
+  return p;
+}
+
+Status CompiledPredicate::EvalStep(const Step& s, const RowBatch& batch,
+                                   const SelectionVector* in,
+                                   SelectionVector* out) const {
+  int idx = batch.FindColumn(s.column);
+  if (idx < 0) {
+    return Status::InvalidArgument("column not found at execution: " +
+                                   s.column);
+  }
+  const ColumnVector& col = *batch.column(static_cast<size_t>(idx));
+  const uint32_t n = static_cast<uint32_t>(batch.num_rows());
+  const uint8_t* ok = col.valid_data();
+
+  // Runs `match` over the candidate rows (all rows on the first step, the
+  // incoming selection afterwards) and emits survivors.
+  auto drive = [&](auto&& match) {
+    if (in == nullptr) {
+      for (uint32_t i = 0; i < n; ++i) {
+        if (match(i)) out->push_back(i);
+      }
+    } else {
+      for (uint32_t i : *in) {
+        if (match(i)) out->push_back(i);
+      }
+    }
+  };
+
+  switch (s.kind) {
+    case Step::Kind::kCompare: {
+      const TypedPredicate p = TypedPredicate::Make(col.type(), s.op, s.lit);
+      switch (ClassOf(col.type())) {
+        case PayloadClass::kInt: {
+          const int64_t* v = col.ints_data();
+          drive([&](uint32_t i) { return ok[i] && p.MatchInt(v[i]); });
+          break;
+        }
+        case PayloadClass::kDouble: {
+          const double* v = col.doubles_data();
+          drive([&](uint32_t i) { return ok[i] && p.MatchDouble(v[i]); });
+          break;
+        }
+        case PayloadClass::kString: {
+          const std::string* v = col.strings_data();
+          drive([&](uint32_t i) { return ok[i] && p.MatchString(v[i]); });
+          break;
+        }
+      }
+      break;
+    }
+    case Step::Kind::kBetween: {
+      const TypedPredicate ge = TypedPredicate::Make(col.type(), CmpOp::kGe, s.lo);
+      const TypedPredicate le = TypedPredicate::Make(col.type(), CmpOp::kLe, s.hi);
+      const bool neg = s.negated;
+      switch (ClassOf(col.type())) {
+        case PayloadClass::kInt: {
+          const int64_t* v = col.ints_data();
+          drive([&](uint32_t i) {
+            return ok[i] && ((ge.MatchInt(v[i]) && le.MatchInt(v[i])) != neg);
+          });
+          break;
+        }
+        case PayloadClass::kDouble: {
+          const double* v = col.doubles_data();
+          drive([&](uint32_t i) {
+            return ok[i] &&
+                   ((ge.MatchDouble(v[i]) && le.MatchDouble(v[i])) != neg);
+          });
+          break;
+        }
+        case PayloadClass::kString: {
+          const std::string* v = col.strings_data();
+          drive([&](uint32_t i) {
+            return ok[i] &&
+                   ((ge.MatchString(v[i]) && le.MatchString(v[i])) != neg);
+          });
+          break;
+        }
+      }
+      break;
+    }
+    case Step::Kind::kInList: {
+      std::vector<TypedPredicate> eqs;
+      eqs.reserve(s.in_list.size());
+      for (const Value& item : s.in_list) {
+        eqs.push_back(TypedPredicate::Make(col.type(), CmpOp::kEq, item));
+      }
+      const bool neg = s.negated;
+      auto any = [&](auto&& one) {
+        for (const TypedPredicate& p : eqs) {
+          if (one(p)) return true;
+        }
+        return false;
+      };
+      switch (ClassOf(col.type())) {
+        case PayloadClass::kInt: {
+          const int64_t* v = col.ints_data();
+          drive([&](uint32_t i) {
+            return ok[i] && (any([&](const TypedPredicate& p) {
+                              return p.MatchInt(v[i]);
+                            }) != neg);
+          });
+          break;
+        }
+        case PayloadClass::kDouble: {
+          const double* v = col.doubles_data();
+          drive([&](uint32_t i) {
+            return ok[i] && (any([&](const TypedPredicate& p) {
+                              return p.MatchDouble(v[i]);
+                            }) != neg);
+          });
+          break;
+        }
+        case PayloadClass::kString: {
+          const std::string* v = col.strings_data();
+          drive([&](uint32_t i) {
+            return ok[i] && (any([&](const TypedPredicate& p) {
+                              return p.MatchString(v[i]);
+                            }) != neg);
+          });
+          break;
+        }
+      }
+      break;
+    }
+    case Step::Kind::kIsNull: {
+      const bool neg = s.negated;
+      drive([&](uint32_t i) { return neg ? ok[i] != 0 : ok[i] == 0; });
+      break;
+    }
+    case Step::Kind::kTruthy: {
+      const bool neg = s.negated;
+      switch (ClassOf(col.type())) {
+        case PayloadClass::kInt: {
+          const int64_t* v = col.ints_data();
+          drive([&](uint32_t i) { return ok[i] && ((v[i] != 0) != neg); });
+          break;
+        }
+        case PayloadClass::kDouble: {
+          const double* v = col.doubles_data();
+          drive([&](uint32_t i) { return ok[i] && ((v[i] != 0) != neg); });
+          break;
+        }
+        case PayloadClass::kString: {
+          // Value::AsBool on a string inspects the (zero) int payload.
+          drive([&](uint32_t i) { return ok[i] && neg; });
+          break;
+        }
+      }
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+Result<SelectionVector> CompiledPredicate::Select(const RowBatch& batch) const {
+  SelectionVector sel;
+  const size_t n = batch.num_rows();
+  if (never_matches_ || n == 0) return sel;
+  bool have = false;
+  for (const Step& s : steps_) {
+    SelectionVector next;
+    PIXELS_RETURN_NOT_OK(EvalStep(s, batch, have ? &sel : nullptr, &next));
+    sel = std::move(next);
+    have = true;
+    if (sel.empty()) return sel;
+  }
+  if (!have) {
+    sel.resize(n);
+    for (size_t i = 0; i < n; ++i) sel[i] = static_cast<uint32_t>(i);
+  }
+  if (residual_ != nullptr) {
+    SelectionVector out;
+    out.reserve(sel.size());
+    for (uint32_t i : sel) {
+      PIXELS_ASSIGN_OR_RETURN(Value v, EvaluateExprRow(*residual_, batch, i));
+      if (!v.is_null() && v.AsBool()) out.push_back(i);
+    }
+    sel = std::move(out);
+  }
+  return sel;
+}
+
+namespace {
+
+ColumnVectorPtr BroadcastLiteral(const Value& v, size_t n) {
+  TypeId t = TypeId::kInt64;
+  if (v.kind == Value::Kind::kString) {
+    t = TypeId::kString;
+  } else if (v.kind == Value::Kind::kDouble) {
+    t = TypeId::kDouble;
+  }
+  auto col = MakeVector(t);
+  col->Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (void)col->AppendValue(v);  // cannot fail: type chosen from the kind
+  }
+  return col;
+}
+
+/// Returns nullptr (not an error) when the subtree is outside the
+/// vectorizable shapes; real errors propagate.
+Result<ColumnVectorPtr> TryVectorize(const Expr& e, const RowBatch& batch) {
+  switch (e.kind) {
+    case Expr::Kind::kLiteral:
+      return BroadcastLiteral(e.literal, batch.num_rows());
+    case Expr::Kind::kColumnRef: {
+      int idx = batch.FindColumn(e.QualifiedName());
+      if (idx < 0) {
+        return Status::InvalidArgument("column not found at execution: " +
+                                       e.QualifiedName());
+      }
+      return batch.column(static_cast<size_t>(idx));
+    }
+    case Expr::Kind::kUnary: {
+      if (e.op != "-") return ColumnVectorPtr();
+      PIXELS_ASSIGN_OR_RETURN(ColumnVectorPtr a, TryVectorize(*e.args[0], batch));
+      if (a == nullptr || ClassOf(a->type()) == PayloadClass::kString) {
+        return ColumnVectorPtr();
+      }
+      const size_t n = a->size();
+      const uint8_t* ok = a->valid_data();
+      if (a->type() == TypeId::kDouble) {
+        auto out = MakeVector(TypeId::kDouble);
+        out->Reserve(n);
+        const double* v = a->doubles_data();
+        for (size_t i = 0; i < n; ++i) {
+          if (ok[i]) {
+            out->AppendDouble(-v[i]);
+          } else {
+            out->AppendNull();
+          }
+        }
+        return out;
+      }
+      auto out = MakeVector(TypeId::kInt64);
+      out->Reserve(n);
+      const int64_t* v = a->ints_data();
+      for (size_t i = 0; i < n; ++i) {
+        if (ok[i]) {
+          out->AppendInt(-v[i]);
+        } else {
+          out->AppendNull();
+        }
+      }
+      return out;
+    }
+    case Expr::Kind::kBinary:
+      break;  // handled below
+    default:
+      return ColumnVectorPtr();
+  }
+
+  const std::string& op = e.op;
+  const bool is_cmp = ParseCmpOp(op).has_value();
+  const bool is_arith =
+      op == "+" || op == "-" || op == "*" || op == "/" || op == "%";
+  if (!is_cmp && !is_arith) return ColumnVectorPtr();
+
+  PIXELS_ASSIGN_OR_RETURN(ColumnVectorPtr a, TryVectorize(*e.args[0], batch));
+  if (a == nullptr) return ColumnVectorPtr();
+  PIXELS_ASSIGN_OR_RETURN(ColumnVectorPtr b, TryVectorize(*e.args[1], batch));
+  if (b == nullptr) return ColumnVectorPtr();
+
+  const size_t n = a->size();
+  const uint8_t* aok = a->valid_data();
+  const uint8_t* bok = b->valid_data();
+  const PayloadClass ac = ClassOf(a->type());
+  const PayloadClass bc = ClassOf(b->type());
+
+  if (is_cmp) {
+    const CmpOp cop = *ParseCmpOp(op);
+    auto out = MakeVector(TypeId::kInt64);  // Bool values build int64 vectors
+    out->Reserve(n);
+    auto emit = [&](size_t i, bool match) {
+      if (aok[i] && bok[i]) {
+        out->AppendInt(match ? 1 : 0);
+      } else {
+        out->AppendNull();
+      }
+    };
+    const bool a_str = ac == PayloadClass::kString;
+    const bool b_str = bc == PayloadClass::kString;
+    if (a_str != b_str) {
+      // Value::Compare orders numerics before strings for every value.
+      const bool match = ApplyCmp(cop, a_str ? 1 : -1);
+      for (size_t i = 0; i < n; ++i) emit(i, match);
+    } else if (a_str) {
+      const std::string* av = a->strings_data();
+      const std::string* bv = b->strings_data();
+      for (size_t i = 0; i < n; ++i) {
+        const int c = av[i].compare(bv[i]);
+        emit(i, ApplyCmp(cop, c < 0 ? -1 : (c > 0 ? 1 : 0)));
+      }
+    } else if (ac == PayloadClass::kDouble || bc == PayloadClass::kDouble) {
+      for (size_t i = 0; i < n; ++i) {
+        const double x = ac == PayloadClass::kDouble
+                             ? a->doubles_data()[i]
+                             : static_cast<double>(a->ints_data()[i]);
+        const double y = bc == PayloadClass::kDouble
+                             ? b->doubles_data()[i]
+                             : static_cast<double>(b->ints_data()[i]);
+        emit(i, ApplyCmp(cop, x < y ? -1 : (x > y ? 1 : 0)));
+      }
+    } else {
+      const int64_t* av = a->ints_data();
+      const int64_t* bv = b->ints_data();
+      for (size_t i = 0; i < n; ++i) {
+        emit(i, ApplyCmp(cop, av[i] < bv[i] ? -1 : (av[i] > bv[i] ? 1 : 0)));
+      }
+    }
+    return out;
+  }
+
+  // Arithmetic. String operands take the scalar evaluator's odd
+  // zero-payload path — fall back so behavior stays identical.
+  if (ac == PayloadClass::kString || bc == PayloadClass::kString) {
+    return ColumnVectorPtr();
+  }
+  if (op == "%") {
+    // Scalar path: AsInt both sides, null on zero divisor.
+    auto out = MakeVector(TypeId::kInt64);
+    out->Reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (!aok[i] || !bok[i]) {
+        out->AppendNull();
+        continue;
+      }
+      const int64_t x = ac == PayloadClass::kDouble
+                            ? static_cast<int64_t>(a->doubles_data()[i])
+                            : a->ints_data()[i];
+      const int64_t y = bc == PayloadClass::kDouble
+                            ? static_cast<int64_t>(b->doubles_data()[i])
+                            : b->ints_data()[i];
+      if (y == 0) {
+        out->AppendNull();
+      } else {
+        out->AppendInt(x % y);
+      }
+    }
+    return out;
+  }
+  const bool dbl = ac == PayloadClass::kDouble || bc == PayloadClass::kDouble;
+  if (dbl) {
+    auto out = MakeVector(TypeId::kDouble);
+    out->Reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (!aok[i] || !bok[i]) {
+        out->AppendNull();
+        continue;
+      }
+      const double x = ac == PayloadClass::kDouble
+                           ? a->doubles_data()[i]
+                           : static_cast<double>(a->ints_data()[i]);
+      const double y = bc == PayloadClass::kDouble
+                           ? b->doubles_data()[i]
+                           : static_cast<double>(b->ints_data()[i]);
+      if (op == "+") {
+        out->AppendDouble(x + y);
+      } else if (op == "-") {
+        out->AppendDouble(x - y);
+      } else if (op == "*") {
+        out->AppendDouble(x * y);
+      } else if (y == 0) {
+        out->AppendNull();
+      } else {
+        out->AppendDouble(x / y);
+      }
+    }
+    return out;
+  }
+  auto out = MakeVector(TypeId::kInt64);
+  out->Reserve(n);
+  const int64_t* av = a->ints_data();
+  const int64_t* bv = b->ints_data();
+  for (size_t i = 0; i < n; ++i) {
+    if (!aok[i] || !bok[i]) {
+      out->AppendNull();
+      continue;
+    }
+    if (op == "+") {
+      out->AppendInt(av[i] + bv[i]);
+    } else if (op == "-") {
+      out->AppendInt(av[i] - bv[i]);
+    } else if (op == "*") {
+      out->AppendInt(av[i] * bv[i]);
+    } else if (bv[i] == 0) {
+      out->AppendNull();
+    } else {
+      out->AppendInt(av[i] / bv[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<ColumnVectorPtr> EvaluateExprVectorized(const Expr& expr,
+                                               const RowBatch& batch) {
+  // Direct column references share the scalar fast path (returns the
+  // column vector itself, preserving its exact type).
+  if (expr.kind == Expr::Kind::kColumnRef) return EvaluateExpr(expr, batch);
+  PIXELS_ASSIGN_OR_RETURN(ColumnVectorPtr v, TryVectorize(expr, batch));
+  if (v == nullptr) return EvaluateExpr(expr, batch);
+  // Mirror BuildVectorFromValues' typing: a result with no non-null
+  // values (including the empty batch) is typed kInt64.
+  if (v->NullCount() == v->size() && v->type() != TypeId::kInt64) {
+    auto nulls = MakeVector(TypeId::kInt64);
+    nulls->Reserve(v->size());
+    for (size_t i = 0; i < v->size(); ++i) nulls->AppendNull();
+    return ColumnVectorPtr(std::move(nulls));
+  }
+  return v;
+}
+
+std::vector<uint64_t> RfHashColumn(const ColumnVector& col) {
+  const size_t n = col.size();
+  std::vector<uint64_t> out(n, 0);
+  switch (ClassOf(col.type())) {
+    case PayloadClass::kInt: {
+      const int64_t* v = col.ints_data();
+      if (col.type() == TypeId::kBool) {
+        // Bool columns produce Bool-kind key values, hashed with the
+        // bool tag so build and probe sides agree.
+        for (size_t i = 0; i < n; ++i) out[i] = RfHashBool(v[i] != 0);
+      } else {
+        for (size_t i = 0; i < n; ++i) out[i] = RfHashInt(v[i]);
+      }
+      break;
+    }
+    case PayloadClass::kDouble: {
+      const double* v = col.doubles_data();
+      for (size_t i = 0; i < n; ++i) out[i] = RfHashDouble(v[i]);
+      break;
+    }
+    case PayloadClass::kString: {
+      const std::string* v = col.strings_data();
+      for (size_t i = 0; i < n; ++i) out[i] = RfHashString(v[i]);
+      break;
+    }
+  }
+  return out;
+}
+
+SelectionVector BloomFilterSelect(const ColumnVector& col,
+                                  const BloomFilter& bloom,
+                                  const SelectionVector* sel) {
+  const std::vector<uint64_t> hashes = RfHashColumn(col);
+  const uint8_t* ok = col.valid_data();
+  SelectionVector out;
+  if (sel == nullptr) {
+    const uint32_t n = static_cast<uint32_t>(col.size());
+    out.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      if (ok[i] && bloom.MayContain(hashes[i])) out.push_back(i);
+    }
+  } else {
+    out.reserve(sel->size());
+    for (uint32_t i : *sel) {
+      if (ok[i] && bloom.MayContain(hashes[i])) out.push_back(i);
+    }
+  }
+  return out;
+}
+
+}  // namespace pixels

@@ -1,0 +1,87 @@
+// Vectorized kernels: flat, auto-vectorizable loops over the typed
+// payload arrays of ColumnVector, producing reusable selection vectors —
+// no per-row Value boxing on the hot path. A predicate is "compiled" once
+// per operator (CompiledPredicate) by lowering its conjunct AST into a
+// kernel program; conjuncts outside the kernel shapes stay in a residual
+// expression evaluated row-wise on the survivors only, so EvaluateExpr
+// remains the general/fallback evaluator with identical semantics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/bloom_filter.h"
+#include "format/batch.h"
+#include "format/compare.h"
+#include "sql/ast.h"
+
+namespace pixels {
+
+/// Ascending row indices selected out of a batch.
+using SelectionVector = std::vector<uint32_t>;
+
+/// A filter predicate lowered into typed kernel steps. Kernel-shaped
+/// conjuncts (col op literal, BETWEEN, IN literal-list, IS [NOT] NULL,
+/// bare/NOT boolean column) evaluate as flat selection-refining loops;
+/// the rest combine into one residual expression evaluated per surviving
+/// row. Selection semantics match FilterOperator's scalar path exactly:
+/// a row passes when every conjunct is true (null is not true).
+class CompiledPredicate {
+ public:
+  /// Lowers `predicate`'s conjuncts. The expression must outlive the
+  /// compiled program (steps keep literal copies but the residual holds
+  /// clones, so the program is self-contained).
+  static CompiledPredicate Compile(const Expr& predicate);
+
+  /// Number of conjuncts lowered to kernel steps (observability/tests).
+  size_t num_kernel_steps() const { return steps_.size(); }
+  bool has_residual() const { return residual_ != nullptr; }
+
+  /// Selects the rows of `batch` that satisfy the predicate.
+  Result<SelectionVector> Select(const RowBatch& batch) const;
+
+ private:
+  struct Step {
+    enum class Kind : uint8_t { kCompare, kBetween, kInList, kIsNull, kTruthy };
+    Kind kind;
+    std::string column;  // qualified name, resolved per batch
+    CmpOp op = CmpOp::kEq;        // kCompare
+    Value lit;                    // kCompare
+    Value lo, hi;                 // kBetween
+    std::vector<Value> in_list;   // kInList (non-null items)
+    bool negated = false;         // kBetween / kInList / kIsNull / kTruthy
+  };
+
+  Status EvalStep(const Step& step, const RowBatch& batch,
+                  const SelectionVector* in, SelectionVector* out) const;
+
+  std::vector<Step> steps_;
+  /// A conjunct that is constant-false (e.g. BETWEEN with a null bound):
+  /// nothing can pass.
+  bool never_matches_ = false;
+  ExprPtr residual_;  // null when fully compiled
+};
+
+/// Vectorized expression evaluation for projections: column refs, literal
+/// broadcasts, unary minus, binary arithmetic and comparisons run as flat
+/// typed loops; any unsupported subtree falls back to EvaluateExpr for
+/// the whole expression. Results (values, nulls, and output vector type)
+/// are identical to EvaluateExpr.
+Result<ColumnVectorPtr> EvaluateExprVectorized(const Expr& expr,
+                                               const RowBatch& batch);
+
+/// Hashes every non-null row of a key column with the kind-tagged
+/// runtime-filter hash (flat per-type loops). Null rows get hash 0 and
+/// must be masked by the caller via the validity mask.
+std::vector<uint64_t> RfHashColumn(const ColumnVector& col);
+
+/// Keeps the rows of `sel` (or all rows when `sel` is null) whose key is
+/// non-null and may be in the bloom filter. Nulls never pass: runtime
+/// filters apply only to inner-join probe sides, where null keys cannot
+/// join.
+SelectionVector BloomFilterSelect(const ColumnVector& col,
+                                  const BloomFilter& bloom,
+                                  const SelectionVector* sel);
+
+}  // namespace pixels

@@ -6,6 +6,7 @@
 
 #include "catalog/catalog.h"
 #include "common/thread_pool.h"
+#include "exec/bloom_filter.h"
 #include "format/batch.h"
 #include "storage/buffer_cache.h"
 
@@ -46,6 +47,28 @@ struct ExecContext {
   /// MV reuse audit counters (flow into coordinator/server metrics).
   std::atomic<uint64_t> mv_hits{0};
   std::atomic<uint64_t> mv_saved_bytes{0};
+
+  /// Vectorization / runtime-filter knobs. Both paths are superset-safe:
+  /// results are byte-identical with them on or off.
+  /// Evaluate pushed-down predicates on encoded chunks (dictionary codes,
+  /// RLE runs) and materialize only selected rows. Billing is unchanged:
+  /// the same chunks are fetched either way.
+  bool fused_decode = true;
+  /// Join-build bloom/range filters pushed into probe-side scans. Range
+  /// pruning skips whole row groups — genuinely fewer billed bytes, which
+  /// is the point (the deltas are audited via rf_skipped_bytes).
+  bool runtime_filters = true;
+  /// Bloom filter size per distinct-insensitive build key.
+  int rf_bloom_bits_per_key = 8;
+  /// Per-query registry: joins publish filters after build, scans poll.
+  RuntimeFilterHub rf_hub;
+  /// Runtime-filter audit counters. Row counters cover bloom probes on
+  /// decoded batches; the row-group/byte counters cover zone-map pruning
+  /// from the published key range (bytes that were never fetched).
+  std::atomic<uint64_t> rf_probe_rows{0};
+  std::atomic<uint64_t> rf_pruned_rows{0};
+  std::atomic<uint64_t> rf_pruned_row_groups{0};
+  std::atomic<uint64_t> rf_skipped_bytes{0};
 
   /// Observability (all null/0 = off, the default; billing-exactness
   /// paths are untouched when off). `tracer` + `trace_parent` parent the

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <set>
 
+#include "exec/kernels.h"
 #include "exec/operator.h"
 #include "plan/logical_plan.h"
 
@@ -36,8 +37,21 @@ class ScanOperator : public Operator {
     size_t row_group;
   };
 
+  /// A runtime filter the hub had published when this scan started
+  /// decoding; resolved once at the first RefillWindow and frozen so
+  /// serial and parallel runs see the same filters.
+  struct ResolvedFilter {
+    RuntimeFilterPtr filter;
+    std::string column;            // bare column name (zone maps)
+    std::string qualified_column;  // name in decoded batches
+  };
+
   Result<RowBatchPtr> DecodeMorsel(const Morsel& morsel, ScanStats* stats) const;
   Status RefillWindow();
+  /// Polls the hub for published runtime filters and prunes pending
+  /// morsels via zone maps on the filters' key ranges, crediting
+  /// rf_pruned_row_groups / rf_skipped_bytes for work avoided.
+  void ResolveRuntimeFilters();
   /// Warms the chunk cache for morsels [begin, begin + count) on the pool
   /// while the current window decodes. At most one prefetch in flight;
   /// advisory only (errors surface when the morsel is actually decoded).
@@ -51,6 +65,8 @@ class ScanOperator : public Operator {
   std::vector<std::unique_ptr<PixelsReader>> readers_;
   std::vector<Morsel> morsels_;
   size_t next_morsel_ = 0;
+  bool rf_resolved_ = false;
+  std::vector<ResolvedFilter> resolved_rfs_;
   std::vector<RowBatchPtr> window_;  // decoded, not yet emitted
   size_t window_pos_ = 0;
   std::mutex prefetch_mu_;
@@ -59,19 +75,22 @@ class ScanOperator : public Operator {
 };
 
 /// Emits only rows whose predicate evaluates to true (SQL semantics:
-/// null is not true).
+/// null is not true). The predicate is compiled once at Open into a
+/// kernel program (typed flat loops over payload arrays); conjuncts the
+/// compiler cannot lower fall back to the scalar evaluator per row.
 class FilterOperator : public Operator {
  public:
   FilterOperator(OperatorPtr child, const Expr& predicate)
       : child_(std::move(child)), predicate_(predicate) {}
 
-  Status Open() override { return child_->Open(); }
+  Status Open() override;
   Result<RowBatchPtr> Next() override;
   void Close() override { child_->Close(); }
 
  private:
   OperatorPtr child_;
   const Expr& predicate_;
+  CompiledPredicate compiled_;
 };
 
 /// Computes one output column per expression.

@@ -1,6 +1,7 @@
 #include "exec/profile.h"
 
 #include <chrono>
+#include <cstdio>
 
 namespace pixels {
 
@@ -54,6 +55,35 @@ void RenderNode(const OperatorProfile* node, int depth, std::string* out) {
     *out += " cache_hits=" + std::to_string(node->cache_hits.load());
     *out += " cache_misses=" + std::to_string(node->cache_misses.load());
   }
+  // Runtime-filter counters appear only when a filter actually probed or
+  // pruned something, so plans without filters render unchanged.
+  if (node->rf_probe_rows.load() != 0 || node->rf_pruned_row_groups.load() != 0) {
+    *out += " rf_probe_rows=" + std::to_string(node->rf_probe_rows.load());
+    *out += " rf_pruned_rows=" + std::to_string(node->rf_pruned_rows.load());
+    *out += " rf_pruned_row_groups=" +
+            std::to_string(node->rf_pruned_row_groups.load());
+    *out += " rf_skipped_bytes=" + std::to_string(node->rf_skipped_bytes.load());
+    const uint64_t probed = node->rf_probe_rows.load();
+    if (probed != 0) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.3f",
+                    1.0 - static_cast<double>(node->rf_pruned_rows.load()) /
+                              static_cast<double>(probed));
+      *out += std::string(" rf_selectivity=") + buf;
+    }
+  }
+  // Per-operator selectivity: rows out over rows in (children's rows out).
+  uint64_t rows_in = 0;
+  for (const OperatorProfile* child : node->children) {
+    rows_in += child->rows_out.load();
+  }
+  if (!node->children.empty() && rows_in != 0) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f",
+                  static_cast<double>(node->rows_out.load()) /
+                      static_cast<double>(rows_in));
+    *out += std::string(" sel=") + buf;
+  }
   *out += " wall_us=" + std::to_string(node->wall_us.load());
   *out += "\n";
   for (const OperatorProfile* child : node->children) {
@@ -104,7 +134,11 @@ class ScopedIoDelta {
         ctx_(ctx),
         bytes_(ctx->bytes_scanned.load()),
         hits_(ctx->cache_hits.load()),
-        misses_(ctx->cache_misses.load()) {}
+        misses_(ctx->cache_misses.load()),
+        rf_probe_(ctx->rf_probe_rows.load()),
+        rf_pruned_(ctx->rf_pruned_rows.load()),
+        rf_groups_(ctx->rf_pruned_row_groups.load()),
+        rf_bytes_(ctx->rf_skipped_bytes.load()) {}
   ~ScopedIoDelta() {
     node_->bytes_scanned.fetch_add(ctx_->bytes_scanned.load() - bytes_,
                                    std::memory_order_relaxed);
@@ -112,6 +146,15 @@ class ScopedIoDelta {
                                 std::memory_order_relaxed);
     node_->cache_misses.fetch_add(ctx_->cache_misses.load() - misses_,
                                   std::memory_order_relaxed);
+    node_->rf_probe_rows.fetch_add(ctx_->rf_probe_rows.load() - rf_probe_,
+                                   std::memory_order_relaxed);
+    node_->rf_pruned_rows.fetch_add(ctx_->rf_pruned_rows.load() - rf_pruned_,
+                                    std::memory_order_relaxed);
+    node_->rf_pruned_row_groups.fetch_add(
+        ctx_->rf_pruned_row_groups.load() - rf_groups_,
+        std::memory_order_relaxed);
+    node_->rf_skipped_bytes.fetch_add(ctx_->rf_skipped_bytes.load() - rf_bytes_,
+                                      std::memory_order_relaxed);
   }
 
  private:
@@ -120,6 +163,10 @@ class ScopedIoDelta {
   uint64_t bytes_;
   uint64_t hits_;
   uint64_t misses_;
+  uint64_t rf_probe_;
+  uint64_t rf_pruned_;
+  uint64_t rf_groups_;
+  uint64_t rf_bytes_;
 };
 
 }  // namespace

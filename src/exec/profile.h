@@ -41,6 +41,14 @@ struct OperatorProfile {
   std::atomic<uint64_t> bytes_scanned{0};
   std::atomic<uint64_t> cache_hits{0};
   std::atomic<uint64_t> cache_misses{0};
+  /// Runtime-filter work attributed to this node (scans only; all zero
+  /// when no filter was published). `rf_skipped_bytes` counts billed
+  /// bytes genuinely avoided by pruning whole row groups — it is NOT part
+  /// of `bytes_scanned`, which keeps summing exactly to the context total.
+  std::atomic<uint64_t> rf_probe_rows{0};
+  std::atomic<uint64_t> rf_pruned_rows{0};
+  std::atomic<uint64_t> rf_pruned_row_groups{0};
+  std::atomic<uint64_t> rf_skipped_bytes{0};
   /// Cumulative wall time inside this operator's Open+Next (includes
   /// children — the usual EXPLAIN ANALYZE convention).
   std::atomic<uint64_t> wall_us{0};

@@ -423,4 +423,461 @@ Encoding ChooseEncoding(const ColumnVector& col) {
   return Encoding::kPlain;
 }
 
+namespace {
+
+bool MatchAllInt(const std::vector<TypedPredicate>& preds, int64_t v) {
+  for (const auto& p : preds) {
+    if (!p.MatchInt(v)) return false;
+  }
+  return true;
+}
+
+bool MatchAllDouble(const std::vector<TypedPredicate>& preds, double v) {
+  for (const auto& p : preds) {
+    if (!p.MatchDouble(v)) return false;
+  }
+  return true;
+}
+
+bool MatchAllString(const std::vector<TypedPredicate>& preds,
+                    std::string_view v) {
+  for (const auto& p : preds) {
+    if (!p.MatchString(v)) return false;
+  }
+  return true;
+}
+
+Result<std::vector<uint32_t>> FilterPlain(
+    TypeId type, ByteReader* in, size_t num_rows,
+    const std::vector<TypedPredicate>& preds) {
+  PIXELS_ASSIGN_OR_RETURN(std::vector<uint8_t> valid, ReadValidity(in, num_rows));
+  std::vector<uint32_t> sel;
+  for (size_t i = 0; i < num_rows; ++i) {
+    if (!valid[i]) continue;
+    bool match = false;
+    switch (type) {
+      case TypeId::kBool: {
+        PIXELS_ASSIGN_OR_RETURN(uint8_t v, in->GetU8());
+        match = MatchAllInt(preds, v != 0 ? 1 : 0);
+        break;
+      }
+      case TypeId::kInt32:
+      case TypeId::kDate: {
+        PIXELS_ASSIGN_OR_RETURN(int32_t v, in->GetI32());
+        match = MatchAllInt(preds, v);
+        break;
+      }
+      case TypeId::kInt64:
+      case TypeId::kTimestamp: {
+        PIXELS_ASSIGN_OR_RETURN(int64_t v, in->GetI64());
+        match = MatchAllInt(preds, v);
+        break;
+      }
+      case TypeId::kDouble: {
+        PIXELS_ASSIGN_OR_RETURN(double v, in->GetF64());
+        match = MatchAllDouble(preds, v);
+        break;
+      }
+      case TypeId::kString: {
+        // Length-prefixed bytes; test through a view, no allocation.
+        PIXELS_ASSIGN_OR_RETURN(uint64_t len, in->GetVarint());
+        PIXELS_ASSIGN_OR_RETURN(std::string_view v,
+                                in->GetView(static_cast<size_t>(len)));
+        match = MatchAllString(preds, v);
+        break;
+      }
+    }
+    if (match) sel.push_back(static_cast<uint32_t>(i));
+  }
+  return sel;
+}
+
+Result<std::vector<uint32_t>> FilterRunLength(
+    ByteReader* in, size_t num_rows,
+    const std::vector<TypedPredicate>& preds) {
+  PIXELS_ASSIGN_OR_RETURN(std::vector<uint8_t> valid, ReadValidity(in, num_rows));
+  PIXELS_ASSIGN_OR_RETURN(uint64_t num_vals, in->GetVarint());
+  std::vector<uint32_t> sel;
+  uint64_t consumed = 0;
+  uint64_t remaining_in_run = 0;
+  bool run_match = false;
+  for (size_t i = 0; i < num_rows; ++i) {
+    if (!valid[i]) continue;
+    if (remaining_in_run == 0) {
+      // One predicate evaluation per run, however long.
+      PIXELS_ASSIGN_OR_RETURN(int64_t v, in->GetSignedVarint());
+      PIXELS_ASSIGN_OR_RETURN(uint64_t run, in->GetVarint());
+      if (run == 0 || consumed + run > num_vals) {
+        return Status::Corruption("rle: bad run length");
+      }
+      consumed += run;
+      remaining_in_run = run;
+      run_match = MatchAllInt(preds, v);
+    }
+    --remaining_in_run;
+    if (run_match) sel.push_back(static_cast<uint32_t>(i));
+  }
+  return sel;
+}
+
+Result<std::vector<uint32_t>> FilterDelta(
+    ByteReader* in, size_t num_rows,
+    const std::vector<TypedPredicate>& preds) {
+  PIXELS_ASSIGN_OR_RETURN(std::vector<uint8_t> valid, ReadValidity(in, num_rows));
+  PIXELS_ASSIGN_OR_RETURN(uint64_t num_vals, in->GetVarint());
+  std::vector<uint32_t> sel;
+  int64_t prev = 0;
+  bool first = true;
+  uint64_t consumed = 0;
+  for (size_t i = 0; i < num_rows; ++i) {
+    if (!valid[i]) continue;
+    if (consumed >= num_vals) return Status::Corruption("delta: value underflow");
+    PIXELS_ASSIGN_OR_RETURN(int64_t d, in->GetSignedVarint());
+    int64_t v = first ? d : prev + d;
+    first = false;
+    prev = v;
+    ++consumed;
+    if (MatchAllInt(preds, v)) sel.push_back(static_cast<uint32_t>(i));
+  }
+  return sel;
+}
+
+Result<std::vector<uint32_t>> FilterDictionary(
+    ByteReader* in, size_t num_rows,
+    const std::vector<TypedPredicate>& preds) {
+  PIXELS_ASSIGN_OR_RETURN(std::vector<uint8_t> valid, ReadValidity(in, num_rows));
+  PIXELS_ASSIGN_OR_RETURN(uint64_t dict_size, in->GetVarint());
+  // One predicate evaluation per distinct entry; rows test a bit.
+  std::vector<uint8_t> entry_match(dict_size, 0);
+  for (uint64_t d = 0; d < dict_size; ++d) {
+    PIXELS_ASSIGN_OR_RETURN(uint64_t len, in->GetVarint());
+    PIXELS_ASSIGN_OR_RETURN(std::string_view s,
+                            in->GetView(static_cast<size_t>(len)));
+    entry_match[d] = MatchAllString(preds, s) ? 1 : 0;
+  }
+  PIXELS_ASSIGN_OR_RETURN(uint64_t num_codes, in->GetVarint());
+  std::vector<uint32_t> sel;
+  uint64_t consumed = 0;
+  for (size_t i = 0; i < num_rows; ++i) {
+    if (!valid[i]) continue;
+    if (consumed >= num_codes) return Status::Corruption("dict: code underflow");
+    PIXELS_ASSIGN_OR_RETURN(uint64_t code, in->GetVarint());
+    ++consumed;
+    if (code >= dict_size) return Status::Corruption("dict: code out of range");
+    if (entry_match[code]) sel.push_back(static_cast<uint32_t>(i));
+  }
+  return sel;
+}
+
+Result<std::vector<uint32_t>> FilterBitPacked(
+    ByteReader* in, size_t num_rows,
+    const std::vector<TypedPredicate>& preds) {
+  PIXELS_ASSIGN_OR_RETURN(std::vector<uint8_t> valid, ReadValidity(in, num_rows));
+  // Two predicate evaluations total: once for false, once for true.
+  const bool match0 = MatchAllInt(preds, 0);
+  const bool match1 = MatchAllInt(preds, 1);
+  std::vector<uint32_t> sel;
+  const size_t num_bytes = (num_rows + 7) / 8;
+  for (size_t b = 0; b < num_bytes; ++b) {
+    PIXELS_ASSIGN_OR_RETURN(uint8_t byte, in->GetU8());
+    for (int bit = 0; bit < 8; ++bit) {
+      size_t i = b * 8 + static_cast<size_t>(bit);
+      if (i >= num_rows) break;
+      if (!valid[i]) continue;
+      if (((byte >> bit) & 1) ? match1 : match0) {
+        sel.push_back(static_cast<uint32_t>(i));
+      }
+    }
+  }
+  return sel;
+}
+
+// --- selected decode: materialize only chosen rows ---
+
+Result<ColumnVectorPtr> DecodePlainSelected(TypeId type, ByteReader* in,
+                                            size_t num_rows,
+                                            const std::vector<uint32_t>& sel) {
+  PIXELS_ASSIGN_OR_RETURN(std::vector<uint8_t> valid, ReadValidity(in, num_rows));
+  auto col = MakeVector(type);
+  col->Reserve(sel.size());
+  size_t sp = 0;
+  for (size_t i = 0; i < num_rows; ++i) {
+    if (sp >= sel.size()) break;  // reader position is not reused afterwards
+    const bool want = sel[sp] == i;
+    if (!valid[i]) {
+      // The selection may come from predicates on other columns, so a
+      // selected row can still be null here.
+      if (want) {
+        col->AppendNull();
+        ++sp;
+      }
+      continue;
+    }
+    switch (type) {
+      case TypeId::kBool: {
+        if (want) {
+          PIXELS_ASSIGN_OR_RETURN(uint8_t v, in->GetU8());
+          col->AppendBool(v != 0);
+        } else {
+          PIXELS_RETURN_NOT_OK(in->Skip(1));
+        }
+        break;
+      }
+      case TypeId::kInt32:
+      case TypeId::kDate: {
+        if (want) {
+          PIXELS_ASSIGN_OR_RETURN(int32_t v, in->GetI32());
+          col->AppendInt(v);
+        } else {
+          PIXELS_RETURN_NOT_OK(in->Skip(4));
+        }
+        break;
+      }
+      case TypeId::kInt64:
+      case TypeId::kTimestamp: {
+        if (want) {
+          PIXELS_ASSIGN_OR_RETURN(int64_t v, in->GetI64());
+          col->AppendInt(v);
+        } else {
+          PIXELS_RETURN_NOT_OK(in->Skip(8));
+        }
+        break;
+      }
+      case TypeId::kDouble: {
+        if (want) {
+          PIXELS_ASSIGN_OR_RETURN(double v, in->GetF64());
+          col->AppendDouble(v);
+        } else {
+          PIXELS_RETURN_NOT_OK(in->Skip(8));
+        }
+        break;
+      }
+      case TypeId::kString: {
+        PIXELS_ASSIGN_OR_RETURN(uint64_t len, in->GetVarint());
+        if (want) {
+          PIXELS_ASSIGN_OR_RETURN(std::string_view v,
+                                  in->GetView(static_cast<size_t>(len)));
+          col->AppendString(std::string(v));
+        } else {
+          PIXELS_RETURN_NOT_OK(in->Skip(static_cast<size_t>(len)));
+        }
+        break;
+      }
+    }
+    if (want) ++sp;
+  }
+  if (sp != sel.size()) {
+    return Status::Corruption("selected decode: selection out of range");
+  }
+  return col;
+}
+
+Result<ColumnVectorPtr> DecodeRunLengthSelected(
+    TypeId type, ByteReader* in, size_t num_rows,
+    const std::vector<uint32_t>& sel) {
+  PIXELS_ASSIGN_OR_RETURN(std::vector<uint8_t> valid, ReadValidity(in, num_rows));
+  PIXELS_ASSIGN_OR_RETURN(uint64_t num_vals, in->GetVarint());
+  auto col = MakeVector(type);
+  col->Reserve(sel.size());
+  size_t sp = 0;
+  uint64_t consumed = 0;
+  uint64_t remaining_in_run = 0;
+  int64_t run_val = 0;
+  for (size_t i = 0; i < num_rows; ++i) {
+    if (sp >= sel.size()) break;
+    const bool want = sel[sp] == i;
+    if (!valid[i]) {
+      if (want) {
+        col->AppendNull();
+        ++sp;
+      }
+      continue;
+    }
+    if (remaining_in_run == 0) {
+      PIXELS_ASSIGN_OR_RETURN(int64_t v, in->GetSignedVarint());
+      PIXELS_ASSIGN_OR_RETURN(uint64_t run, in->GetVarint());
+      if (run == 0 || consumed + run > num_vals) {
+        return Status::Corruption("rle: bad run length");
+      }
+      consumed += run;
+      remaining_in_run = run;
+      run_val = v;
+    }
+    --remaining_in_run;
+    if (want) {
+      if (type == TypeId::kBool) {
+        col->AppendBool(run_val != 0);
+      } else {
+        col->AppendInt(run_val);
+      }
+      ++sp;
+    }
+  }
+  if (sp != sel.size()) {
+    return Status::Corruption("selected decode: selection out of range");
+  }
+  return col;
+}
+
+Result<ColumnVectorPtr> DecodeDeltaSelected(TypeId type, ByteReader* in,
+                                            size_t num_rows,
+                                            const std::vector<uint32_t>& sel) {
+  PIXELS_ASSIGN_OR_RETURN(std::vector<uint8_t> valid, ReadValidity(in, num_rows));
+  PIXELS_ASSIGN_OR_RETURN(uint64_t num_vals, in->GetVarint());
+  auto col = MakeVector(type);
+  col->Reserve(sel.size());
+  size_t sp = 0;
+  int64_t prev = 0;
+  bool first = true;
+  uint64_t consumed = 0;
+  // Deltas must be prefix-summed sequentially even past rejected rows.
+  for (size_t i = 0; i < num_rows; ++i) {
+    if (sp >= sel.size()) break;
+    const bool want = sel[sp] == i;
+    if (!valid[i]) {
+      if (want) {
+        col->AppendNull();
+        ++sp;
+      }
+      continue;
+    }
+    if (consumed >= num_vals) return Status::Corruption("delta: value underflow");
+    PIXELS_ASSIGN_OR_RETURN(int64_t d, in->GetSignedVarint());
+    int64_t v = first ? d : prev + d;
+    first = false;
+    prev = v;
+    ++consumed;
+    if (want) {
+      if (type == TypeId::kBool) {
+        col->AppendBool(v != 0);
+      } else {
+        col->AppendInt(v);
+      }
+      ++sp;
+    }
+  }
+  if (sp != sel.size()) {
+    return Status::Corruption("selected decode: selection out of range");
+  }
+  return col;
+}
+
+Result<ColumnVectorPtr> DecodeDictionarySelected(
+    TypeId type, ByteReader* in, size_t num_rows,
+    const std::vector<uint32_t>& sel) {
+  PIXELS_ASSIGN_OR_RETURN(std::vector<uint8_t> valid, ReadValidity(in, num_rows));
+  PIXELS_ASSIGN_OR_RETURN(uint64_t dict_size, in->GetVarint());
+  std::vector<std::string> dict;
+  dict.reserve(dict_size);
+  for (uint64_t d = 0; d < dict_size; ++d) {
+    PIXELS_ASSIGN_OR_RETURN(std::string s, in->GetString());
+    dict.push_back(std::move(s));
+  }
+  PIXELS_ASSIGN_OR_RETURN(uint64_t num_codes, in->GetVarint());
+  auto col = MakeVector(type);
+  col->Reserve(sel.size());
+  size_t sp = 0;
+  uint64_t consumed = 0;
+  for (size_t i = 0; i < num_rows; ++i) {
+    if (sp >= sel.size()) break;
+    const bool want = sel[sp] == i;
+    if (!valid[i]) {
+      if (want) {
+        col->AppendNull();
+        ++sp;
+      }
+      continue;
+    }
+    if (consumed >= num_codes) return Status::Corruption("dict: code underflow");
+    PIXELS_ASSIGN_OR_RETURN(uint64_t code, in->GetVarint());
+    ++consumed;
+    if (code >= dict.size()) return Status::Corruption("dict: code out of range");
+    if (want) {
+      col->AppendString(dict[code]);
+      ++sp;
+    }
+  }
+  if (sp != sel.size()) {
+    return Status::Corruption("selected decode: selection out of range");
+  }
+  return col;
+}
+
+Result<ColumnVectorPtr> DecodeBitPackedSelected(
+    TypeId type, ByteReader* in, size_t num_rows,
+    const std::vector<uint32_t>& sel) {
+  // Bits are dense (nulls occupy a 0 bit), so reuse the full decoder's
+  // layout and just gather.
+  PIXELS_ASSIGN_OR_RETURN(std::vector<uint8_t> valid, ReadValidity(in, num_rows));
+  const size_t num_bytes = (num_rows + 7) / 8;
+  std::vector<uint8_t> bits(num_rows, 0);
+  for (size_t b = 0; b < num_bytes; ++b) {
+    PIXELS_ASSIGN_OR_RETURN(uint8_t byte, in->GetU8());
+    for (int bit = 0; bit < 8; ++bit) {
+      size_t i = b * 8 + static_cast<size_t>(bit);
+      if (i >= num_rows) break;
+      bits[i] = (byte >> bit) & 1;
+    }
+  }
+  auto col = MakeVector(type);
+  col->Reserve(sel.size());
+  for (uint32_t i : sel) {
+    if (i >= num_rows) {
+      return Status::Corruption("selected decode: selection out of range");
+    }
+    if (!valid[i]) {
+      col->AppendNull();
+    } else {
+      col->AppendBool(bits[i] != 0);
+    }
+  }
+  return col;
+}
+
+}  // namespace
+
+Result<std::vector<uint32_t>> FilterEncodedChunk(
+    TypeId type, Encoding encoding, ByteReader* in, size_t num_rows,
+    const std::vector<TypedPredicate>& preds) {
+  if (!EncodingSupports(encoding, type)) {
+    return Status::Corruption(std::string("encoding ") + EncodingName(encoding) +
+                              " invalid for type " + TypeName(type));
+  }
+  switch (encoding) {
+    case Encoding::kPlain:
+      return FilterPlain(type, in, num_rows, preds);
+    case Encoding::kRunLength:
+      return FilterRunLength(in, num_rows, preds);
+    case Encoding::kDelta:
+      return FilterDelta(in, num_rows, preds);
+    case Encoding::kDictionary:
+      return FilterDictionary(in, num_rows, preds);
+    case Encoding::kBitPacked:
+      return FilterBitPacked(in, num_rows, preds);
+  }
+  return Status::Corruption("unknown encoding tag");
+}
+
+Result<ColumnVectorPtr> DecodeColumnSelected(TypeId type, Encoding encoding,
+                                             ByteReader* in, size_t num_rows,
+                                             const std::vector<uint32_t>& sel) {
+  if (!EncodingSupports(encoding, type)) {
+    return Status::Corruption(std::string("encoding ") + EncodingName(encoding) +
+                              " invalid for type " + TypeName(type));
+  }
+  switch (encoding) {
+    case Encoding::kPlain:
+      return DecodePlainSelected(type, in, num_rows, sel);
+    case Encoding::kRunLength:
+      return DecodeRunLengthSelected(type, in, num_rows, sel);
+    case Encoding::kDelta:
+      return DecodeDeltaSelected(type, in, num_rows, sel);
+    case Encoding::kDictionary:
+      return DecodeDictionarySelected(type, in, num_rows, sel);
+    case Encoding::kBitPacked:
+      return DecodeBitPackedSelected(type, in, num_rows, sel);
+  }
+  return Status::Corruption("unknown encoding tag");
+}
+
 }  // namespace pixels

@@ -7,6 +7,7 @@
 #pragma once
 
 #include "common/bytes.h"
+#include "format/compare.h"
 #include "format/vector.h"
 
 namespace pixels {
@@ -39,5 +40,23 @@ Result<ColumnVectorPtr> DecodeColumn(TypeId type, Encoding encoding,
 /// dictionary-encode when repetitive, integers run-length-encode when
 /// runs dominate, sorted-ish integers delta-encode, else plain.
 Encoding ChooseEncoding(const ColumnVector& col);
+
+/// Fused decode+filter: evaluates the conjunction of `preds` directly on
+/// an encoded chunk and returns the selected row indices (ascending)
+/// without materializing a ColumnVector. Exploits the encoding: a
+/// dictionary entry is tested once and codes compared as integers, an RLE
+/// run is tested once per run, bit-packed bools once per bit value.
+/// Selects exactly the rows DecodeColumn + per-row predicate evaluation
+/// would (nulls never match).
+Result<std::vector<uint32_t>> FilterEncodedChunk(
+    TypeId type, Encoding encoding, ByteReader* in, size_t num_rows,
+    const std::vector<TypedPredicate>& preds);
+
+/// Decodes only the rows listed in `sel` (ascending indices into the
+/// chunk's rows), skipping the payload of rejected rows where the
+/// encoding allows. Output row i corresponds to chunk row sel[i].
+Result<ColumnVectorPtr> DecodeColumnSelected(TypeId type, Encoding encoding,
+                                             ByteReader* in, size_t num_rows,
+                                             const std::vector<uint32_t>& sel);
 
 }  // namespace pixels

@@ -90,6 +90,18 @@ class PixelsReader {
                                    const std::vector<std::string>& columns,
                                    ScanStats* stats) const;
 
+  /// Fused decode+filter variant of the thread-safe ReadRowGroup: lowers
+  /// the comparison `predicates` that name projected columns into typed
+  /// predicates, evaluates them on the encoded chunks (once per
+  /// dictionary entry / RLE run), and materializes only the selected
+  /// rows. Predicates with unsupported operators or non-projected columns
+  /// are ignored (the executor's retained Filter keeps results exact).
+  /// Billing is identical to ReadRowGroup: every projected chunk's bytes
+  /// are charged whether or not any of its rows survive.
+  Result<RowBatchPtr> ReadRowGroupFiltered(
+      size_t index, const std::vector<std::string>& columns,
+      const std::vector<ScanPredicate>& predicates, ScanStats* stats) const;
+
   /// Fetches the projected chunks of one row group into the chunk cache
   /// (one coalesced read for the misses) without decoding and without
   /// billing `bytes_scanned` — billing accrues when a consumer decodes
@@ -103,6 +115,23 @@ class PixelsReader {
   /// file order. Pure metadata; thread-safe.
   std::vector<size_t> PruneRowGroups(
       const std::vector<ScanPredicate>& predicates) const;
+
+  /// Zone-map check for a single row group (false for an out-of-range
+  /// index). Pure metadata; thread-safe. Used by runtime-filter morsel
+  /// pruning, where the min/max of a published join-key filter becomes a
+  /// pair of range predicates.
+  bool RowGroupMayMatch(size_t index,
+                        const std::vector<ScanPredicate>& predicates) const;
+
+  /// Encoded bytes ReadRowGroup would bill for this row group under the
+  /// given projection (sum of projected chunk lengths). Pure metadata;
+  /// thread-safe. Lets callers that skip a row group account for the
+  /// billed bytes they avoided.
+  Result<uint64_t> RowGroupProjectedBytes(
+      size_t index, const std::vector<std::string>& columns) const;
+
+  /// Rows in one row group (0 for an out-of-range index).
+  uint64_t RowGroupRows(size_t index) const;
 
   /// Scans the whole file: prunes row groups whose zone maps cannot match
   /// the predicates, reads remaining ones with projection. Returns the

@@ -2,12 +2,6 @@
 
 namespace pixels {
 
-size_t ColumnVector::NullCount() const {
-  size_t n = 0;
-  for (uint8_t v : valid_) n += (v == 0);
-  return n;
-}
-
 Value ColumnVector::GetValue(size_t i) const {
   if (IsNull(i)) return Value::Null();
   switch (type_) {
@@ -28,6 +22,7 @@ Value ColumnVector::GetValue(size_t i) const {
 
 void ColumnVector::AppendNull() {
   valid_.push_back(0);
+  ++null_count_;
   if (type_ == TypeId::kDouble) {
     doubles_.push_back(0);
   } else if (type_ == TypeId::kString) {
@@ -120,6 +115,7 @@ void ColumnVector::Reserve(size_t n) {
 }
 
 void ColumnVector::Clear() {
+  null_count_ = 0;
   valid_.clear();
   ints_.clear();
   doubles_.clear();
@@ -129,8 +125,22 @@ void ColumnVector::Clear() {
 std::shared_ptr<ColumnVector> ColumnVector::Gather(
     const std::vector<uint32_t>& sel) const {
   auto out = std::make_shared<ColumnVector>(type_);
-  out->Reserve(sel.size());
-  for (uint32_t i : sel) out->AppendFrom(*this, i);
+  const size_t n = sel.size();
+  out->valid_.resize(n);
+  for (size_t i = 0; i < n; ++i) out->valid_[i] = valid_[sel[i]];
+  size_t nulls = 0;
+  for (size_t i = 0; i < n; ++i) nulls += (out->valid_[i] == 0);
+  out->null_count_ = nulls;
+  if (type_ == TypeId::kDouble) {
+    out->doubles_.resize(n);
+    for (size_t i = 0; i < n; ++i) out->doubles_[i] = doubles_[sel[i]];
+  } else if (type_ == TypeId::kString) {
+    out->strings_.resize(n);
+    for (size_t i = 0; i < n; ++i) out->strings_[i] = strings_[sel[i]];
+  } else {
+    out->ints_.resize(n);
+    for (size_t i = 0; i < n; ++i) out->ints_[i] = ints_[sel[i]];
+  }
   return out;
 }
 

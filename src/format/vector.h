@@ -24,7 +24,8 @@ class ColumnVector {
   bool empty() const { return valid_.empty(); }
 
   bool IsNull(size_t i) const { return !valid_[i]; }
-  size_t NullCount() const;
+  /// O(1): maintained incrementally by the append paths.
+  size_t NullCount() const { return null_count_; }
 
   /// Typed accessors; callers must respect the vector's type and nullness.
   int64_t GetInt(size_t i) const { return ints_[i]; }
@@ -51,11 +52,21 @@ class ColumnVector {
   void Reserve(size_t n);
   void Clear();
 
-  /// Returns a new vector containing rows `sel` in order.
+  /// Returns a new vector containing rows `sel` in order. Bulk-copies the
+  /// payload arrays (one type dispatch per call, not per row).
   std::shared_ptr<ColumnVector> Gather(const std::vector<uint32_t>& sel) const;
+
+  /// Raw payload access for vectorized kernels. The payload that matches
+  /// the vector's type class is dense (one slot per row, nulls zeroed);
+  /// the others are empty.
+  const uint8_t* valid_data() const { return valid_.data(); }
+  const int64_t* ints_data() const { return ints_.data(); }
+  const double* doubles_data() const { return doubles_.data(); }
+  const std::string* strings_data() const { return strings_.data(); }
 
  private:
   TypeId type_;
+  size_t null_count_ = 0;
   std::vector<uint8_t> valid_;
   std::vector<int64_t> ints_;
   std::vector<double> doubles_;

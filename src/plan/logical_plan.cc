@@ -58,6 +58,9 @@ std::string LogicalPlan::ToString(int indent) const {
       for (const auto& p : pushed) {
         s += " {" + p.column + " " + p.op + " " + p.literal.ToString() + "}";
       }
+      for (const auto& rf : runtime_filters) {
+        s += " <rf" + std::to_string(rf.id) + ":" + rf.column + ">";
+      }
       break;
     }
     case Kind::kFilter:
@@ -76,6 +79,9 @@ std::string LogicalPlan::ToString(int indent) const {
                ? "LeftJoin"
                : (join_type == JoinClause::Type::kCross ? "CrossJoin" : "Join");
       if (join_condition) s += " ON " + join_condition->ToString();
+      if (rf_id >= 0) {
+        s += " <rf" + std::to_string(rf_id) + " build " + rf_build_column + ">";
+      }
       break;
     case Kind::kAggregate: {
       s += partial ? "PartialAggregate" : (merge_partials ? "FinalAggregate"
@@ -128,11 +134,14 @@ PlanPtr LogicalPlan::Clone() const {
   out->columns = columns;
   out->pushed = pushed;
   out->file_subset = file_subset;
+  out->runtime_filters = runtime_filters;
   out->predicate = predicate ? predicate->Clone() : nullptr;
   for (const auto& e : exprs) out->exprs.push_back(e->Clone());
   out->names = names;
   out->join_type = join_type;
   out->join_condition = join_condition ? join_condition->Clone() : nullptr;
+  out->rf_id = rf_id;
+  out->rf_build_column = rf_build_column;
   for (const auto& e : group_exprs) out->group_exprs.push_back(e->Clone());
   out->group_names = group_names;
   for (const auto& e : agg_exprs) out->agg_exprs.push_back(e->Clone());

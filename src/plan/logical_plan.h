@@ -43,6 +43,16 @@ struct LogicalPlan {
   /// Optional restriction to a subset of files / row groups (set by the
   /// CF partitioner). Empty = all.
   std::vector<std::string> file_subset;
+  /// Runtime filters this scan should poll from the hub (annotated by the
+  /// optimizer's PlanRuntimeFilters pass): `id` is the hub slot published
+  /// by the matching join's build, `column` the bare probe-key column of
+  /// this table. Advisory: a scan that finds no published filter reads
+  /// everything.
+  struct ScanRuntimeFilter {
+    int id = -1;
+    std::string column;
+  };
+  std::vector<ScanRuntimeFilter> runtime_filters;
 
   // kFilter
   ExprPtr predicate;
@@ -54,6 +64,11 @@ struct LogicalPlan {
   // kJoin
   JoinClause::Type join_type = JoinClause::Type::kInner;
   ExprPtr join_condition;  // null for cross join
+  /// Runtime-filter annotation (inner joins only): after the hash build
+  /// completes, publish a bloom + range filter on the build-side key
+  /// whose qualified name is `rf_build_column` under hub slot `rf_id`.
+  int rf_id = -1;
+  std::string rf_build_column;
 
   // kAggregate
   std::vector<ExprPtr> group_exprs;

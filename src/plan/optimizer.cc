@@ -384,6 +384,93 @@ void ReorderJoins(LogicalPlan* plan, const Catalog& catalog) {
   }
 }
 
+/// Finds the scan that produces `qual`.`col` walking down from `node`,
+/// descending only through nodes where pre-filtering rows is safe for an
+/// inner-join probe: filters (commute), and join children whose rows the
+/// filtered column flows through unchanged (any child of an inner/cross
+/// join — dropping a definitely-non-matching row only removes output rows
+/// the annotated join would discard anyway — and the probe child of a
+/// left join; the padded side must stay complete). Projects, aggregates,
+/// sorts, and limits stop the walk.
+LogicalPlan* FindScanForRef(LogicalPlan* node, const std::string& qual,
+                            const std::string& col) {
+  switch (node->kind) {
+    case LogicalPlan::Kind::kScan: {
+      const std::string q =
+          node->table_alias.empty() ? node->table : node->table_alias;
+      if (q != qual) return nullptr;
+      if (!node->columns.empty()) {
+        bool have = false;
+        for (const auto& c : node->columns) have = have || c == col;
+        if (!have) return nullptr;
+      }
+      return node;
+    }
+    case LogicalPlan::Kind::kFilter:
+      return FindScanForRef(node->children[0].get(), qual, col);
+    case LogicalPlan::Kind::kJoin: {
+      const size_t last =
+          node->join_type == JoinClause::Type::kLeft ? 1 : node->children.size();
+      for (size_t i = 0; i < last; ++i) {
+        std::set<std::string> quals;
+        PlanQualifiers(*node->children[i], &quals);
+        if (quals.count(qual) > 0) {
+          return FindScanForRef(node->children[i].get(), qual, col);
+        }
+      }
+      return nullptr;
+    }
+    default:
+      return nullptr;
+  }
+}
+
+/// Annotates inner equi-joins with a runtime-filter id and build key, and
+/// the probe-side scan feeding the key with the matching hub slot. One
+/// filter per join (the first simple column = column conjunct).
+void PlanRuntimeFilters(LogicalPlan* plan, int* next_id) {
+  for (auto& c : plan->children) PlanRuntimeFilters(c.get(), next_id);
+  if (plan->kind != LogicalPlan::Kind::kJoin ||
+      plan->join_type != JoinClause::Type::kInner ||
+      plan->join_condition == nullptr) {
+    return;
+  }
+  std::set<std::string> left_q, right_q;
+  PlanQualifiers(*plan->children[0], &left_q);
+  PlanQualifiers(*plan->children[1], &right_q);
+  for (const auto& cj : SplitConjuncts(*plan->join_condition)) {
+    if (cj->kind != Expr::Kind::kBinary || cj->op != "=" ||
+        cj->args[0]->kind != Expr::Kind::kColumnRef ||
+        cj->args[1]->kind != Expr::Kind::kColumnRef) {
+      continue;
+    }
+    const Expr* a = cj->args[0].get();
+    const Expr* b = cj->args[1].get();
+    if (a->qualifier.empty() || b->qualifier.empty()) continue;
+    // Orient: probe ref on the left (outer) side, build ref on the right.
+    const Expr* probe = nullptr;
+    const Expr* build = nullptr;
+    if (left_q.count(a->qualifier) > 0 && right_q.count(b->qualifier) > 0) {
+      probe = a;
+      build = b;
+    } else if (left_q.count(b->qualifier) > 0 &&
+               right_q.count(a->qualifier) > 0) {
+      probe = b;
+      build = a;
+    } else {
+      continue;
+    }
+    LogicalPlan* scan =
+        FindScanForRef(plan->children[0].get(), probe->qualifier, probe->name);
+    if (scan == nullptr) continue;
+    plan->rf_id = (*next_id)++;
+    plan->rf_build_column = build->QualifiedName();
+    scan->runtime_filters.push_back(
+        LogicalPlan::ScanRuntimeFilter{plan->rf_id, probe->name});
+    return;
+  }
+}
+
 }  // namespace
 
 uint64_t EstimateRows(const LogicalPlan& plan, const Catalog& catalog) {
@@ -430,6 +517,11 @@ Result<PlanPtr> Optimize(PlanPtr plan, const Catalog& catalog,
   if (options.fold_constants) FoldPlanExprs(plan.get());
   if (options.pushdown_predicates) plan = PushdownFilters(std::move(plan));
   if (options.optimize_join_order) ReorderJoins(plan.get(), catalog);
+  if (options.runtime_filters) {
+    // After join reordering: the build side (children[1]) is final here.
+    int next_rf_id = 0;
+    PlanRuntimeFilters(plan.get(), &next_rf_id);
+  }
   if (options.prune_projections) {
     std::set<std::string> used;
     CollectUsedColumns(*plan, &used);

@@ -14,6 +14,10 @@ struct OptimizerOptions {
   /// Swap inner equi-join inputs so the smaller estimated side becomes
   /// the hash build side.
   bool optimize_join_order = true;
+  /// Annotate inner equi-joins and their probe-side scans for runtime
+  /// bloom/range filters (published at execution after the hash build).
+  /// Superset-safe: results are identical with the pass off.
+  bool runtime_filters = true;
 };
 
 /// Optimizes `plan` in place (returns the possibly-new root).

@@ -50,6 +50,15 @@ struct CfExecution {
   /// worker_elapsed_seconds — the overlap the paper's sub-second CF
   /// absorption story depends on.
   double fleet_elapsed_seconds = 0;
+  /// Runtime-filter totals across every context that ran part of this
+  /// query (workers, VM fallbacks, top-level/final plan), merged in
+  /// partition order so serial and parallel fleets report identically.
+  /// `rf_skipped_bytes` is billed scan work the filters genuinely avoided
+  /// (row groups never fetched) — `bytes_scanned` above excludes it.
+  uint64_t rf_probe_rows = 0;
+  uint64_t rf_pruned_rows = 0;
+  uint64_t rf_pruned_row_groups = 0;
+  uint64_t rf_skipped_bytes = 0;
 };
 
 /// Options for CF execution.
@@ -103,6 +112,13 @@ struct CfWorkerOptions {
   Tracer* tracer = nullptr;
   uint64_t trace_parent = 0;
   QueryProfile* profile = nullptr;
+  /// Vectorized-execution knobs, threaded into every ExecContext this
+  /// query creates (workers included, so runtime filters prune billed
+  /// scan work across the CF seam). Both are superset-safe: results are
+  /// identical on or off.
+  bool runtime_filters = true;
+  bool fused_decode = true;
+  int rf_bloom_bits_per_key = 8;
 };
 
 /// Executes `plan` with the sub-plan pushed down to a simulated CF worker

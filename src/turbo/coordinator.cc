@@ -198,6 +198,9 @@ void Coordinator::MaybeExecuteReal(QueryRecord* rec, bool via_cf) {
     options.max_worker_attempts = params_.cf_max_worker_attempts;
     options.worker_retry_backoff_ms = params_.cf_worker_retry_backoff_ms;
     options.vm_fallback = params_.cf_vm_fallback;
+    options.runtime_filters = params_.runtime_filters;
+    options.fused_decode = params_.fused_decode;
+    options.rf_bloom_bits_per_key = params_.rf_bloom_bits_per_key;
     options.tracer = tracer_;
     options.trace_parent = exec_span;
     options.profile = profiling ? &profile : nullptr;
@@ -214,6 +217,10 @@ void Coordinator::MaybeExecuteReal(QueryRecord* rec, bool via_cf) {
     rec->cf_worker_retries = exec->worker_retries;
     rec->cf_fallback_workers = exec->workers_fallback;
     rec->cf_fallback_bytes = exec->fallback_bytes_scanned;
+    rec->rf_probe_rows = exec->rf_probe_rows;
+    rec->rf_pruned_rows = exec->rf_pruned_rows;
+    rec->rf_pruned_row_groups = exec->rf_pruned_row_groups;
+    rec->rf_skipped_bytes = exec->rf_skipped_bytes;
     rec->mv_hit = exec->mv_full_hit;
     rec->mv_saved_bytes = exec->mv_saved_bytes;
     if (exec->mv_full_hit || exec->mv_subplan_hit) {
@@ -231,6 +238,9 @@ void Coordinator::MaybeExecuteReal(QueryRecord* rec, bool via_cf) {
   ctx.tracer = tracer_;
   ctx.trace_parent = exec_span;
   ctx.profile = profiling ? &profile : nullptr;
+  ctx.runtime_filters = params_.runtime_filters;
+  ctx.fused_decode = params_.fused_decode;
+  ctx.rf_bloom_bits_per_key = params_.rf_bloom_bits_per_key;
   auto result = ExecuteQuery(rec->spec.sql, rec->spec.db, &ctx);
   if (!result.ok()) {
     rec->error = result.status().ToString();
@@ -239,6 +249,10 @@ void Coordinator::MaybeExecuteReal(QueryRecord* rec, bool via_cf) {
   }
   rec->result = std::move(result).ValueOrDie();
   rec->bytes_scanned = ctx.bytes_scanned;
+  rec->rf_probe_rows = ctx.rf_probe_rows.load();
+  rec->rf_pruned_rows = ctx.rf_pruned_rows.load();
+  rec->rf_pruned_row_groups = ctx.rf_pruned_row_groups.load();
+  rec->rf_skipped_bytes = ctx.rf_skipped_bytes.load();
   rec->mv_hit = ctx.mv_hits.load() > 0;
   rec->mv_saved_bytes = ctx.mv_saved_bytes.load();
   if (rec->mv_hit) {

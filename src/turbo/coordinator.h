@@ -57,6 +57,16 @@ struct CoordinatorParams {
   int cf_max_worker_attempts = 3;
   double cf_worker_retry_backoff_ms = 200.0;
   bool cf_vm_fallback = true;
+  /// Vectorized-execution knobs applied to every real execution (VM path
+  /// and CF workers alike). `runtime_filters` publishes bloom + min/max
+  /// filters from hash-join builds into probe-side scans (pruned row
+  /// groups shrink the bill); `fused_decode` evaluates pushed predicates
+  /// on encoded chunks. Both are superset-safe: results are identical
+  /// with either off.
+  bool runtime_filters = true;
+  bool fused_decode = true;
+  /// Bloom sizing for published runtime filters (bits per build key).
+  int rf_bloom_bits_per_key = 8;
   /// Observability level. kOff (the default) is the zero-overhead path:
   /// no spans are allocated, no profile nodes are created, and every
   /// query executes byte-identically to a build without tracing. kSpans

@@ -74,6 +74,14 @@ struct QueryRecord {
   /// Bytes scanned: real when executed, estimated otherwise.
   uint64_t bytes_scanned = 0;
 
+  /// Runtime-filter statistics of the real execution (all zero when no
+  /// filter was published or the feature is off). `rf_skipped_bytes` is
+  /// billed scan work the filters avoided — excluded from bytes_scanned.
+  uint64_t rf_probe_rows = 0;
+  uint64_t rf_pruned_rows = 0;
+  uint64_t rf_pruned_row_groups = 0;
+  uint64_t rf_skipped_bytes = 0;
+
   /// True when the result (whole query) came from the materialized-view
   /// store, so no scan and no CF fleet ran for it.
   bool mv_hit = false;

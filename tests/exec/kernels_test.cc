@@ -1,0 +1,233 @@
+// Kernel-vs-scalar equivalence: CompiledPredicate::Select and
+// EvaluateExprVectorized must agree with the row-wise EvaluateExpr
+// evaluator on randomized batches for every lowered shape, and fall back
+// (not fail) on shapes outside the kernel set.
+#include "exec/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "exec/expression.h"
+#include "sql/parser.h"
+
+namespace pixels {
+namespace {
+
+// A batch with qualified names, mixed types, and nulls everywhere.
+RowBatchPtr RandomBatch(uint64_t seed, int rows) {
+  Random rng(seed);
+  auto batch = std::make_shared<RowBatch>();
+  auto a = MakeVector(TypeId::kInt64);
+  auto b = MakeVector(TypeId::kDouble);
+  auto s = MakeVector(TypeId::kString);
+  auto f = MakeVector(TypeId::kBool);
+  const char* words[] = {"apple", "banana", "cherry", "date"};
+  for (int i = 0; i < rows; ++i) {
+    rng.Bernoulli(0.1) ? a->AppendNull() : a->AppendInt(rng.Uniform(-20, 20));
+    rng.Bernoulli(0.1) ? b->AppendNull()
+                       : b->AppendDouble(rng.UniformDouble(-5.0, 5.0));
+    rng.Bernoulli(0.1) ? s->AppendNull()
+                       : s->AppendString(words[rng.Uniform(0, 3)]);
+    rng.Bernoulli(0.1) ? f->AppendNull() : f->AppendBool(rng.Bernoulli(0.5));
+  }
+  batch->AddColumn("t.a", a);
+  batch->AddColumn("t.b", b);
+  batch->AddColumn("t.s", s);
+  batch->AddColumn("t.flag", f);
+  return batch;
+}
+
+// FilterOperator's scalar semantics: a row passes when the predicate
+// evaluates to non-null true.
+SelectionVector ScalarSelect(const Expr& pred, const RowBatch& batch) {
+  auto col = EvaluateExpr(pred, batch);
+  EXPECT_TRUE(col.ok()) << col.status().ToString();
+  SelectionVector sel;
+  for (size_t i = 0; i < (*col)->size(); ++i) {
+    if (!(*col)->IsNull(i) && (*col)->GetValue(i).i != 0) {
+      sel.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  return sel;
+}
+
+ExprPtr Parse(const std::string& text) {
+  auto e = ParseExpression(text);
+  EXPECT_TRUE(e.ok()) << text << ": " << e.status().ToString();
+  return e.ok() ? std::move(*e) : nullptr;
+}
+
+class CompiledPredicateTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CompiledPredicateTest, SelectMatchesScalarEvaluator) {
+  const std::string text = GetParam();
+  auto pred = Parse(text);
+  ASSERT_NE(pred, nullptr);
+  auto compiled = CompiledPredicate::Compile(*pred);
+  for (uint64_t seed : {1u, 7u, 42u}) {
+    auto batch = RandomBatch(seed, 503);
+    auto got = compiled.Select(*batch);
+    ASSERT_TRUE(got.ok()) << text << ": " << got.status().ToString();
+    EXPECT_EQ(*got, ScalarSelect(*pred, *batch))
+        << text << " seed=" << seed
+        << " kernel_steps=" << compiled.num_kernel_steps()
+        << " residual=" << compiled.has_residual();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CompiledPredicateTest,
+    ::testing::Values(
+        // Kernel-shaped conjuncts.
+        "a > 3", "a >= 3", "a < 3", "a <= 3", "a = 3", "a <> 3",
+        "b > 0.5", "b <= -1.0", "s = 'banana'", "s <> 'apple'",
+        "s < 'cherry'", "t.a > 0", "3 < a",
+        "a BETWEEN -5 AND 5", "a NOT BETWEEN -5 AND 5",
+        "s IN ('apple', 'cherry')", "s NOT IN ('apple', 'cherry')",
+        "a IS NULL", "a IS NOT NULL", "flag", "NOT flag",
+        // Conjunctions, mixed kernel shapes.
+        "a > 0 AND b < 1.0", "a > -10 AND a < 10 AND s <> 'date'",
+        "flag AND a IS NOT NULL AND b > 0.0",
+        // Type widening and cross-kind comparisons.
+        "a > 1.5", "b = 2", "s > 5", "a = 'x'",
+        // Constant-folding shapes.
+        "a = NULL", "a BETWEEN 1 AND NULL",
+        // Residual shapes (not kernel-lowerable) and mixes.
+        "a + b > 0", "a * 2 < b", "a > 0 OR b > 0",
+        "a > 0 AND a + b > 0", "NOT (a > 0)"));
+
+TEST(CompiledPredicateTest, KernelShapesActuallyLower) {
+  auto pred = Parse("a > 3 AND s = 'x' AND b BETWEEN 0 AND 1");
+  auto compiled = CompiledPredicate::Compile(*pred);
+  EXPECT_EQ(compiled.num_kernel_steps(), 3u);
+  EXPECT_FALSE(compiled.has_residual());
+}
+
+TEST(CompiledPredicateTest, NonKernelShapeBecomesResidual) {
+  auto pred = Parse("a + b > 0");
+  auto compiled = CompiledPredicate::Compile(*pred);
+  EXPECT_EQ(compiled.num_kernel_steps(), 0u);
+  EXPECT_TRUE(compiled.has_residual());
+}
+
+TEST(CompiledPredicateTest, MixedShapeKeepsKernelAndResidual) {
+  auto pred = Parse("a > 0 AND a + b > 0");
+  auto compiled = CompiledPredicate::Compile(*pred);
+  EXPECT_EQ(compiled.num_kernel_steps(), 1u);
+  EXPECT_TRUE(compiled.has_residual());
+}
+
+TEST(CompiledPredicateTest, UnknownColumnFailsLikeScalar) {
+  auto pred = Parse("zz > 3");
+  auto compiled = CompiledPredicate::Compile(*pred);
+  auto batch = RandomBatch(3, 10);
+  EXPECT_FALSE(compiled.Select(*batch).ok());
+}
+
+// ---- vectorized projection evaluation ----
+
+class VectorizedExprTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(VectorizedExprTest, MatchesScalarEvaluator) {
+  const std::string text = GetParam();
+  auto expr = Parse(text);
+  ASSERT_NE(expr, nullptr);
+  for (uint64_t seed : {2u, 11u}) {
+    auto batch = RandomBatch(seed, 389);
+    auto scalar = EvaluateExpr(*expr, *batch);
+    auto vec = EvaluateExprVectorized(*expr, *batch);
+    ASSERT_TRUE(scalar.ok()) << text;
+    ASSERT_TRUE(vec.ok()) << text << ": " << vec.status().ToString();
+    ASSERT_EQ((*scalar)->size(), (*vec)->size()) << text;
+    EXPECT_EQ((*scalar)->type(), (*vec)->type()) << text;
+    for (size_t i = 0; i < (*scalar)->size(); ++i) {
+      ASSERT_EQ((*scalar)->IsNull(i), (*vec)->IsNull(i))
+          << text << " row " << i;
+      if (!(*scalar)->IsNull(i)) {
+        EXPECT_EQ((*scalar)->GetValue(i).Compare((*vec)->GetValue(i)), 0)
+            << text << " row " << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, VectorizedExprTest,
+    ::testing::Values("a", "t.b", "7", "'lit'", "a + 1", "a - b", "a * 2",
+                      "b / 2.0", "-a", "-b", "a + b * 2 - 1", "a > b",
+                      "a = 3", "b <> 0.5", "s = 'apple'",
+                      // Falls back to the scalar path, still identical.
+                      "a % 3"));
+
+// ---- bloom selection kernels ----
+
+TEST(BloomSelectTest, NoFalseNegativesAndNullsNeverPass) {
+  Random rng(5);
+  BloomFilter bloom(64, 10);
+  std::vector<int64_t> keys;
+  for (int i = 0; i < 64; ++i) {
+    keys.push_back(rng.Uniform(-1000000, 1000000));
+    bloom.Add(RfHashInt(keys.back()));
+  }
+  auto col = MakeVector(TypeId::kInt64);
+  for (int i = 0; i < 200; ++i) {
+    if (i % 10 == 0) {
+      col->AppendNull();
+    } else if (i % 2 == 0) {
+      col->AppendInt(keys[i % keys.size()]);  // definitely present
+    } else {
+      col->AppendInt(5000000 + i);  // definitely absent
+    }
+  }
+  auto sel = BloomFilterSelect(*col, bloom, nullptr);
+  // Every inserted key's row survives; no null row survives.
+  std::vector<bool> selected(col->size(), false);
+  for (uint32_t i : sel) selected[i] = true;
+  for (size_t i = 0; i < col->size(); ++i) {
+    if (col->IsNull(i)) {
+      EXPECT_FALSE(selected[i]) << "null row " << i << " passed the bloom";
+    } else if (i % 10 != 0 && i % 2 == 0) {
+      EXPECT_TRUE(selected[i]) << "inserted key dropped at row " << i;
+    }
+  }
+}
+
+TEST(BloomSelectTest, RespectsInputSelection) {
+  BloomFilter bloom(4, 10);
+  bloom.Add(RfHashInt(1));
+  auto col = MakeVector(TypeId::kInt64);
+  for (int i = 0; i < 8; ++i) col->AppendInt(1);  // all keys present
+  SelectionVector in = {2, 5, 7};
+  auto sel = BloomFilterSelect(*col, bloom, &in);
+  EXPECT_EQ(sel, in);
+}
+
+TEST(RfHashColumnTest, MatchesPerValueHash) {
+  auto check = [](const ColumnVectorPtr& col) {
+    auto hashes = RfHashColumn(*col);
+    ASSERT_EQ(hashes.size(), col->size());
+    for (size_t i = 0; i < col->size(); ++i) {
+      if (col->IsNull(i)) continue;
+      EXPECT_EQ(hashes[i], RfHashValue(col->GetValue(i))) << "row " << i;
+    }
+  };
+  Random rng(9);
+  auto ints = MakeVector(TypeId::kInt64);
+  auto dbls = MakeVector(TypeId::kDouble);
+  auto strs = MakeVector(TypeId::kString);
+  auto bools = MakeVector(TypeId::kBool);
+  for (int i = 0; i < 100; ++i) {
+    ints->AppendInt(rng.Uniform(-50, 50));
+    dbls->AppendDouble(rng.UniformDouble(-2, 2));
+    strs->AppendString(rng.NextString(rng.Uniform(0, 8)));
+    bools->AppendBool(rng.Bernoulli(0.5));
+  }
+  ints->AppendNull();
+  check(ints);
+  check(dbls);
+  check(strs);
+  check(bools);
+}
+
+}  // namespace
+}  // namespace pixels

@@ -1,0 +1,299 @@
+// Property tests for the fused decode+filter path: for every supported
+// (encoding, type) pair, null pattern, and predicate shape,
+// FilterEncodedChunk selects exactly the rows a full DecodeColumn plus
+// per-row predicate evaluation would, and DecodeColumnSelected over any
+// selection equals a gather of the full decode.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "format/compare.h"
+#include "format/encoding.h"
+
+namespace pixels {
+namespace {
+
+enum class NullPattern { kNone, kSparse, kAlternating, kAll };
+
+const char* NullPatternName(NullPattern p) {
+  switch (p) {
+    case NullPattern::kNone: return "none";
+    case NullPattern::kSparse: return "sparse";
+    case NullPattern::kAlternating: return "alternating";
+    case NullPattern::kAll: return "all";
+  }
+  return "?";
+}
+
+bool IsNullAt(NullPattern p, Random* rng, int i) {
+  switch (p) {
+    case NullPattern::kNone: return false;
+    case NullPattern::kSparse: return rng->Bernoulli(0.25);
+    case NullPattern::kAlternating: return i % 2 == 0;
+    case NullPattern::kAll: return true;
+  }
+  return false;
+}
+
+// Values drawn from a small domain so RLE has runs, dictionary has
+// repeats, and predicates actually split the data.
+ColumnVector MakeColumn(TypeId type, NullPattern nulls, uint64_t seed,
+                        int rows) {
+  Random rng(seed);
+  ColumnVector col(type);
+  for (int i = 0; i < rows; ++i) {
+    if (IsNullAt(nulls, &rng, i)) {
+      col.AppendNull();
+      continue;
+    }
+    switch (type) {
+      case TypeId::kBool:
+        col.AppendBool(rng.Bernoulli(0.5));
+        break;
+      case TypeId::kInt32:
+      case TypeId::kDate:
+        // Sorted-ish with runs: friendly to RLE and delta alike.
+        col.AppendInt(i / 7 + rng.Uniform(0, 3));
+        break;
+      case TypeId::kInt64:
+      case TypeId::kTimestamp:
+        col.AppendInt(1000 + i / 5 + rng.Uniform(0, 2));
+        break;
+      case TypeId::kDouble:
+        col.AppendDouble(rng.UniformDouble(-10.0, 10.0));
+        break;
+      case TypeId::kString: {
+        const char* words[] = {"ant", "bee", "cat", "dog", "eel"};
+        col.AppendString(words[rng.Uniform(0, 4)]);
+        break;
+      }
+    }
+  }
+  return col;
+}
+
+// The scalar reference the fused path must agree with: decode everything,
+// test every non-null row (nulls never match).
+std::vector<uint32_t> ReferenceSelect(const ColumnVector& col,
+                                      const std::vector<TypedPredicate>& preds) {
+  std::vector<uint32_t> sel;
+  for (size_t i = 0; i < col.size(); ++i) {
+    if (col.IsNull(i)) continue;
+    const Value v = col.GetValue(i);
+    bool all = true;
+    for (const auto& p : preds) {
+      if (!p.MatchValue(v)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) sel.push_back(static_cast<uint32_t>(i));
+  }
+  return sel;
+}
+
+void ExpectEqualVectors(const ColumnVector& a, const ColumnVector& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.IsNull(i), b.IsNull(i)) << "row " << i;
+    if (!a.IsNull(i)) {
+      EXPECT_EQ(a.GetValue(i).Compare(b.GetValue(i)), 0) << "row " << i;
+    }
+  }
+}
+
+// Mid-domain literal per type, so comparisons split the rows.
+Value MidLiteral(TypeId type, int rows) {
+  switch (type) {
+    case TypeId::kBool: return Value::Bool(true);
+    case TypeId::kInt32:
+    case TypeId::kDate: return Value::Int(rows / 14);
+    case TypeId::kInt64:
+    case TypeId::kTimestamp: return Value::Int(1000 + rows / 10);
+    case TypeId::kDouble: return Value::Double(0.0);
+    case TypeId::kString: return Value::String("cat");
+  }
+  return Value::Null();
+}
+
+struct FusedCase {
+  TypeId type;
+  Encoding encoding;
+  NullPattern nulls;
+};
+
+std::vector<FusedCase> AllSupportedCases() {
+  std::vector<FusedCase> cases;
+  const TypeId types[] = {TypeId::kBool,      TypeId::kInt32,
+                          TypeId::kInt64,     TypeId::kDouble,
+                          TypeId::kString,    TypeId::kDate,
+                          TypeId::kTimestamp};
+  const Encoding encodings[] = {Encoding::kPlain, Encoding::kRunLength,
+                                Encoding::kDelta, Encoding::kDictionary,
+                                Encoding::kBitPacked};
+  const NullPattern patterns[] = {NullPattern::kNone, NullPattern::kSparse,
+                                  NullPattern::kAlternating, NullPattern::kAll};
+  for (TypeId t : types) {
+    for (Encoding e : encodings) {
+      if (!EncodingSupports(e, t)) continue;
+      for (NullPattern p : patterns) cases.push_back({t, e, p});
+    }
+  }
+  return cases;
+}
+
+class FusedDecodeTest : public ::testing::TestWithParam<FusedCase> {};
+
+// Every CmpOp, single predicate.
+TEST_P(FusedDecodeTest, FilterMatchesDecodeThenFilterAllOps) {
+  const FusedCase& c = GetParam();
+  constexpr int kRows = 321;
+  const ColumnVector col = MakeColumn(
+      c.type, c.nulls,
+      static_cast<uint64_t>(c.type) * 131 + static_cast<uint64_t>(c.encoding),
+      kRows);
+  ByteWriter w;
+  ASSERT_TRUE(EncodeColumn(col, c.encoding, &w).ok());
+
+  const CmpOp ops[] = {CmpOp::kEq, CmpOp::kNe, CmpOp::kLt,
+                       CmpOp::kLe, CmpOp::kGt, CmpOp::kGe};
+  for (CmpOp op : ops) {
+    const std::vector<TypedPredicate> preds = {
+        TypedPredicate::Make(col.type(), op, MidLiteral(c.type, kRows))};
+    ByteReader r(w.data());
+    auto got = FilterEncodedChunk(col.type(), c.encoding, &r, col.size(), preds);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(*got, ReferenceSelect(col, preds))
+        << "op=" << static_cast<int>(op)
+        << " nulls=" << NullPatternName(c.nulls);
+  }
+}
+
+// Predicate shapes beyond a single comparison: conjunctions (range),
+// null literals (match nothing), and kind mismatches (constant-folded).
+TEST_P(FusedDecodeTest, FilterMatchesOnPredicateShapes) {
+  const FusedCase& c = GetParam();
+  constexpr int kRows = 257;
+  const ColumnVector col = MakeColumn(
+      c.type, c.nulls,
+      static_cast<uint64_t>(c.type) * 977 + static_cast<uint64_t>(c.encoding),
+      kRows);
+  ByteWriter w;
+  ASSERT_TRUE(EncodeColumn(col, c.encoding, &w).ok());
+
+  const Value mid = MidLiteral(c.type, kRows);
+  const Value mismatch =
+      c.type == TypeId::kString ? Value::Int(42) : Value::String("zzz");
+  const std::vector<std::vector<TypedPredicate>> shapes = {
+      // Conjunction: a >= mid AND a <= mid (point range).
+      {TypedPredicate::Make(col.type(), CmpOp::kGe, mid),
+       TypedPredicate::Make(col.type(), CmpOp::kLe, mid)},
+      // Null literal: SQL three-valued logic, nothing matches.
+      {TypedPredicate::Make(col.type(), CmpOp::kEq, Value::Null())},
+      // Kind mismatch folds to a constant by Value::Compare's ordering.
+      {TypedPredicate::Make(col.type(), CmpOp::kLt, mismatch)},
+      {TypedPredicate::Make(col.type(), CmpOp::kGt, mismatch)},
+      // Empty conjunction: every non-null row passes.
+      {},
+  };
+  for (size_t s = 0; s < shapes.size(); ++s) {
+    ByteReader r(w.data());
+    auto got =
+        FilterEncodedChunk(col.type(), c.encoding, &r, col.size(), shapes[s]);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(*got, ReferenceSelect(col, shapes[s])) << "shape " << s;
+  }
+}
+
+// DecodeColumnSelected over the fused selection == gather of full decode;
+// also over selections the predicate did not produce (other columns pick
+// the rows, including null rows of this column).
+TEST_P(FusedDecodeTest, SelectedDecodeEqualsGatherOfFullDecode) {
+  const FusedCase& c = GetParam();
+  constexpr int kRows = 200;
+  const ColumnVector col = MakeColumn(
+      c.type, c.nulls,
+      static_cast<uint64_t>(c.type) * 313 + static_cast<uint64_t>(c.encoding),
+      kRows);
+  ByteWriter w;
+  ASSERT_TRUE(EncodeColumn(col, c.encoding, &w).ok());
+
+  ByteReader full_r(w.data());
+  auto full = DecodeColumn(col.type(), c.encoding, &full_r, col.size());
+  ASSERT_TRUE(full.ok());
+
+  std::vector<std::vector<uint32_t>> selections;
+  selections.push_back({});  // empty
+  {
+    std::vector<uint32_t> all(col.size());
+    for (size_t i = 0; i < col.size(); ++i) all[i] = i;
+    selections.push_back(std::move(all));  // full
+  }
+  {
+    std::vector<uint32_t> every3;  // arbitrary rows, nulls included
+    for (size_t i = 0; i < col.size(); i += 3) every3.push_back(i);
+    selections.push_back(std::move(every3));
+  }
+  {
+    // The selection the predicate itself produces.
+    const std::vector<TypedPredicate> preds = {TypedPredicate::Make(
+        col.type(), CmpOp::kGe, MidLiteral(c.type, kRows))};
+    selections.push_back(ReferenceSelect(col, preds));
+  }
+
+  for (size_t s = 0; s < selections.size(); ++s) {
+    ByteReader r(w.data());
+    auto got = DecodeColumnSelected(col.type(), c.encoding, &r, col.size(),
+                                    selections[s]);
+    ASSERT_TRUE(got.ok()) << got.status().ToString() << " selection " << s;
+    auto expect = (*full)->Gather(selections[s]);
+    ASSERT_NE(*got, nullptr);
+    ExpectEqualVectors(*expect, **got);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSupported, FusedDecodeTest, ::testing::ValuesIn(AllSupportedCases()),
+    [](const ::testing::TestParamInfo<FusedCase>& info) {
+      std::string name = TypeName(info.param.type);
+      name += "_";
+      name += EncodingName(info.param.encoding);
+      name += "_";
+      name += NullPatternName(info.param.nulls);
+      return name;
+    });
+
+TEST(FusedDecodeEdgeTest, UnsupportedEncodingRejected) {
+  const std::vector<uint8_t> empty;
+  ByteReader r(empty);
+  EXPECT_FALSE(FilterEncodedChunk(TypeId::kString, Encoding::kDelta, &r, 0, {})
+                   .ok());
+  EXPECT_FALSE(
+      DecodeColumnSelected(TypeId::kDouble, Encoding::kDictionary, &r, 0, {})
+          .ok());
+}
+
+TEST(FusedDecodeEdgeTest, OutOfRangeSelectionRejected) {
+  ColumnVector col(TypeId::kInt64);
+  for (int i = 0; i < 10; ++i) col.AppendInt(i);
+  ByteWriter w;
+  ASSERT_TRUE(EncodeColumn(col, Encoding::kPlain, &w).ok());
+  ByteReader r(w.data());
+  EXPECT_FALSE(
+      DecodeColumnSelected(TypeId::kInt64, Encoding::kPlain, &r, 10, {3, 99})
+          .ok());
+}
+
+TEST(FusedDecodeEdgeTest, EmptyChunk) {
+  ColumnVector col(TypeId::kInt64);
+  ByteWriter w;
+  ASSERT_TRUE(EncodeColumn(col, Encoding::kPlain, &w).ok());
+  const std::vector<TypedPredicate> preds = {
+      TypedPredicate::Make(TypeId::kInt64, CmpOp::kEq, Value::Int(1))};
+  ByteReader r(w.data());
+  auto sel = FilterEncodedChunk(TypeId::kInt64, Encoding::kPlain, &r, 0, preds);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_TRUE(sel->empty());
+}
+
+}  // namespace
+}  // namespace pixels
