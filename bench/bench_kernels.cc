@@ -1,6 +1,7 @@
-// E13 — Vectorized kernels, fused decode+filter, and runtime filters.
+// E13/E14 — Vectorized kernels, fused decode+filter, runtime filters,
+// and typed hash join/aggregation.
 //
-// Three measurements over real engine paths:
+// Four measurements over real engine paths:
 //   1. Predicate kernels: CompiledPredicate::Select vs the scalar
 //      EvaluateExpr path on an in-memory batch, swept over selectivity.
 //   2. Fused decode+filter: a selective filter scan executed with
@@ -8,11 +9,17 @@
 //   3. Runtime filters: a clustered fact ⋈ small dim join with filters
 //      on vs off — identical results, measurably fewer billed bytes,
 //      and the exact audit bytes_off == bytes_on + rf_skipped_bytes.
+//   4. Typed hash tables (E14): hash aggregation and equi-join with
+//      vectorized_hash on vs off, swept over key cardinality and probe
+//      selectivity — identical rows and bills, typed path faster.
 //
 // The full run prints the tables and writes BENCH_kernels.json
 // (machine-readable, checked in). `--kernels-smoke` runs the CI gate:
 // every correctness/audit invariant above plus "kernels are not slower
-// than scalar on a selective filter".
+// than scalar on a selective filter". `--hash-smoke` gates the typed
+// hash path: identical results/bills across the sweep and a noise-robust
+// speedup floor on the high-cardinality group-by and selective join.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -191,6 +198,152 @@ EngineRun RunQuery(Catalog* catalog, const std::string& sql, bool fused,
   return run;
 }
 
+// ---- 4. typed hash join & aggregation (E14) ----
+
+// h: `rows` rows with group keys at three cardinalities (10 / 10k /
+// all-distinct) and a uniform value column for probe selectivity.
+// hd_small / hd_big: join build sides of 1k / 100k distinct keys.
+std::shared_ptr<Catalog> BuildHashCatalog(int rows) {
+  auto storage = std::make_shared<MemoryStore>();
+  auto catalog = std::make_shared<Catalog>(storage);
+  Check(catalog->CreateDatabase("db"));
+  {
+    FileSchema schema = {{"k_lo", TypeId::kInt64},
+                         {"k_mid", TypeId::kInt64},
+                         {"k_hi", TypeId::kInt64},
+                         {"v", TypeId::kInt64}};
+    Check(catalog->CreateTable("db", "h", schema));
+    WriterOptions options;
+    options.row_group_size = 4096;
+    PixelsWriter writer(schema, options);
+    for (int i = 0; i < rows; ++i) {
+      Check(writer.AppendRow({Value::Int(i % 10), Value::Int(i % 10000),
+                              Value::Int(i), Value::Int(i % 1000)}));
+    }
+    Check(writer.Finish(storage.get(), "db/h/part0.pxl"));
+    Check(catalog->AddTableFile("db", "h", "db/h/part0.pxl"));
+  }
+  auto make_dim = [&](const char* name, int keys) {
+    FileSchema schema = {{"k", TypeId::kInt64}, {"w", TypeId::kInt64}};
+    Check(catalog->CreateTable("db", name, schema));
+    PixelsWriter writer(schema);
+    for (int k = 0; k < keys; ++k) {
+      Check(writer.AppendRow({Value::Int(k), Value::Int(k % 7)}));
+    }
+    const std::string path = std::string("db/") + name + "/part0.pxl";
+    Check(writer.Finish(storage.get(), path));
+    Check(catalog->AddTableFile("db", name, path));
+  };
+  make_dim("hd_small", 1000);
+  make_dim("hd_big", std::min(rows, 100000));
+  return catalog;
+}
+
+struct HashRun {
+  TablePtr table;
+  uint64_t bytes = 0;
+};
+
+HashRun ExecHashQuery(Catalog* catalog, const std::string& sql, bool typed,
+                      bool rf = true) {
+  ExecContext ctx;
+  ctx.catalog = catalog;
+  ctx.vectorized_hash = typed;
+  ctx.runtime_filters = rf;
+  ctx.parallelism = 1;
+  HashRun run;
+  auto result = ExecuteQuery(sql, "db", &ctx);
+  if (result.ok()) run.table = *result;
+  run.bytes = ctx.bytes_scanned.load();
+  return run;
+}
+
+/// Order-insensitive row set (scalar and typed emit orders may differ).
+std::vector<std::string> SortedTableRows(const TablePtr& table) {
+  std::vector<std::string> rows;
+  if (table == nullptr) return rows;
+  for (const auto& b : table->batches()) {
+    for (size_t r = 0; r < b->num_rows(); ++r) {
+      rows.push_back(b->RowToString(r));
+    }
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+struct HashPoint {
+  const char* op;     // "agg" | "join"
+  const char* label;  // human-readable sweep point
+  long long cardinality;
+  double selectivity;
+  double scalar_ms;
+  double typed_ms;
+  double speedup;
+  bool identical;
+  bool bytes_equal;
+};
+
+std::vector<HashPoint> RunHashSweep(Catalog* catalog, int rows, int reps) {
+  std::vector<HashPoint> points;
+  auto run_point = [&](const char* op, const char* label, long long card,
+                       double sel, const std::string& sql, bool rf = true) {
+    HashRun scalar, typed;
+    // Time the engine only; result-set stringification (identical work on
+    // both paths) happens outside the timer.
+    const double scalar_ms =
+        TimeMs(reps, [&] { scalar = ExecHashQuery(catalog, sql, false, rf); });
+    const double typed_ms =
+        TimeMs(reps, [&] { typed = ExecHashQuery(catalog, sql, true, rf); });
+    const auto scalar_rows = SortedTableRows(scalar.table);
+    const auto typed_rows = SortedTableRows(typed.table);
+    points.push_back({op, label, card, sel, scalar_ms, typed_ms,
+                      typed_ms > 0 ? scalar_ms / typed_ms : 0,
+                      !scalar_rows.empty() && scalar_rows == typed_rows,
+                      scalar.bytes == typed.bytes});
+  };
+
+  // Aggregation: key cardinality x probe selectivity. The WHERE v < 50
+  // points route a 5%-selectivity selection vector into the agg.
+  for (const auto& key : {std::make_pair("k_lo", 10LL),
+                          std::make_pair("k_mid", 10000LL),
+                          std::make_pair("k_hi", static_cast<long long>(rows))}) {
+    const std::string grouped = std::string("SELECT ") + key.first +
+                                ", count(*) AS c, sum(v) AS s FROM h GROUP BY " +
+                                key.first;
+    const std::string filtered = std::string("SELECT ") + key.first +
+                                 ", count(*) AS c, sum(v) AS s FROM h WHERE "
+                                 "v < 50 GROUP BY " +
+                                 key.first;
+    run_point("agg", "group-by full scan", key.second, 1.0, grouped);
+    run_point("agg", "group-by 5% filter", key.second, 0.05, filtered);
+  }
+
+  // Join: build-side cardinality doubles as probe selectivity (matched
+  // probe fraction = dim keys / rows); k_mid vs hd_big exercises
+  // duplicate probe hits per build key.
+  run_point("join", "selective equi-join (0.1% match)", 1000,
+            1000.0 / rows,
+            "SELECT count(*) AS c, sum(h.v) AS s FROM h JOIN hd_small d "
+            "ON h.k_hi = d.k");
+  // With runtime filters on, the selective probe is mostly pruned at the
+  // scan (zone maps + bloom), so the join operator barely runs on either
+  // path. The rf-off point (same setting on both sides, so bills still
+  // match) sends every probe row through the operator and measures the
+  // join itself: the scalar path pays a serialized-key multimap lookup
+  // per probe row, the typed path a batch hash + table probe.
+  run_point("join", "selective, rf off (raw probe)", 1000, 1000.0 / rows,
+            "SELECT count(*) AS c, sum(h.v) AS s FROM h JOIN hd_small d "
+            "ON h.k_hi = d.k",
+            /*rf=*/false);
+  run_point("join", "10% match", 100000, 100000.0 / rows,
+            "SELECT count(*) AS c, sum(h.v) AS s FROM h JOIN hd_big d "
+            "ON h.k_hi = d.k");
+  run_point("join", "every row matches (10k dup keys)", 10000, 1.0,
+            "SELECT count(*) AS c, sum(h.v) AS s FROM h JOIN hd_big d "
+            "ON h.k_mid = d.k");
+  return points;
+}
+
 struct FusedPoint {
   double selectivity;
   double unfused_ms;
@@ -255,7 +408,8 @@ RfResult RunRfComparison(Catalog* catalog, int reps) {
 
 void WriteJson(const char* path, size_t kernel_rows,
                const std::vector<SweepPoint>& sweep, int fact_rows,
-               const std::vector<FusedPoint>& fused, const RfResult& rf) {
+               const std::vector<FusedPoint>& fused, const RfResult& rf,
+               int hash_rows, const std::vector<HashPoint>& hash) {
   FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path);
@@ -305,7 +459,23 @@ void WriteJson(const char* path, size_t kernel_rows,
   std::fprintf(f, "    \"identical_results\": %s,\n",
                rf.identical ? "true" : "false");
   std::fprintf(f, "    \"audit_exact\": %s\n", rf.audit_exact ? "true" : "false");
-  std::fprintf(f, "  }\n}\n");
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"hash_rows\": %d,\n", hash_rows);
+  std::fprintf(f, "  \"hash_sweep\": [\n");
+  for (size_t i = 0; i < hash.size(); ++i) {
+    const auto& p = hash[i];
+    std::fprintf(f,
+                 "    {\"op\": \"%s\", \"label\": \"%s\", "
+                 "\"cardinality\": %lld, \"selectivity\": %.4f, "
+                 "\"scalar_ms\": %.3f, \"typed_ms\": %.3f, "
+                 "\"speedup\": %.2f, \"identical\": %s, "
+                 "\"bytes_equal\": %s}%s\n",
+                 p.op, p.label, p.cardinality, p.selectivity, p.scalar_ms,
+                 p.typed_ms, p.speedup, p.identical ? "true" : "false",
+                 p.bytes_equal ? "true" : "false",
+                 i + 1 < hash.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
   std::printf("wrote %s\n", path);
 }
@@ -363,6 +533,57 @@ int RunSmoke() {
   return 0;
 }
 
+void PrintHashSweep(const std::vector<HashPoint>& hash) {
+  std::printf("%5s %-34s %11s %6s %11s %11s %9s %5s %6s\n", "op", "point",
+              "cardinality", "sel", "scalar_ms", "typed_ms", "speedup",
+              "same", "bill=");
+  for (const auto& p : hash) {
+    std::printf("%5s %-34s %11lld %6.3f %11.3f %11.3f %8.1fx %5s %6s\n",
+                p.op, p.label, p.cardinality, p.selectivity, p.scalar_ms,
+                p.typed_ms, p.speedup, p.identical ? "yes" : "NO",
+                p.bytes_equal ? "yes" : "NO");
+  }
+}
+
+int RunHashSmoke() {
+  std::printf("== hash smoke (CI gate) ==\n");
+  const int kRows = 1 << 17;
+  auto catalog = BuildHashCatalog(kRows);
+  auto hash = RunHashSweep(catalog.get(), kRows, 2);
+  if (hash.empty()) return Fail("hash sweep did not run");
+  PrintHashSweep(hash);
+  double high_card_agg = 0, selective_join = 0, raw_probe_join = 0;
+  for (const auto& p : hash) {
+    if (!p.identical) return Fail("typed hash path changed query results");
+    if (!p.bytes_equal) return Fail("typed hash path changed the bill");
+    // Gate only the points where typed must win big; the remaining points
+    // just need "not slower" with headroom for noisy runners.
+    if (p.cardinality == kRows && std::strcmp(p.op, "agg") == 0 &&
+        p.selectivity == 1.0) {
+      high_card_agg = p.speedup;
+    } else if (std::strcmp(p.label, "selective, rf off (raw probe)") == 0) {
+      raw_probe_join = p.speedup;
+    } else if (std::strcmp(p.op, "join") == 0 && p.cardinality == 1000) {
+      selective_join = p.speedup;
+    } else if (p.speedup < 0.5) {
+      return Fail("typed hash path >2x slower on a sweep point");
+    }
+  }
+  std::printf("  high-card agg %.1fx, selective join %.1fx, raw probe %.1fx\n",
+              high_card_agg, selective_join, raw_probe_join);
+  if (high_card_agg < 2.0) {
+    return Fail("typed path under 2x on high-cardinality group-by");
+  }
+  if (selective_join < 1.5) {
+    return Fail("typed path under 1.5x on selective equi-join");
+  }
+  if (raw_probe_join < 3.0) {
+    return Fail("typed path under 3x on the rf-off selective join probe");
+  }
+  std::printf("PASS: hash smoke\n");
+  return 0;
+}
+
 int RunFull(const char* out_path) {
   const size_t kKernelRows = 1000000;
   std::printf("== E11: vectorized kernels & runtime filters ==\n\n");
@@ -406,11 +627,21 @@ int RunFull(const char* out_path) {
                   : 0.0,
               rf.identical ? "yes" : "NO", rf.audit_exact ? "yes" : "NO");
 
-  WriteJson(out_path, kKernelRows, sweep, kFactRows, fused, rf);
+  const int kHashRows = 1000000;
+  std::printf(
+      "\n-- E14: typed hash join & aggregation (%d rows, best of 2) --\n",
+      kHashRows);
+  auto hash_catalog = BuildHashCatalog(kHashRows);
+  auto hash = RunHashSweep(hash_catalog.get(), kHashRows, 2);
+  PrintHashSweep(hash);
+
+  WriteJson(out_path, kKernelRows, sweep, kFactRows, fused, rf, kHashRows,
+            hash);
 
   bool ok = rf.identical && rf.audit_exact && rf.bytes_on < rf.bytes_off;
   for (const auto& p : sweep) ok = ok && p.identical;
   for (const auto& p : fused) ok = ok && p.identical && p.bytes_equal;
+  for (const auto& p : hash) ok = ok && p.identical && p.bytes_equal;
   std::printf("%s\n", ok ? "PASS" : "FAIL");
   return ok ? 0 : 1;
 }
@@ -420,9 +651,12 @@ int RunFull(const char* out_path) {
 int main(int argc, char** argv) {
   const char* out_path = "BENCH_kernels.json";
   bool smoke = false;
+  bool hash_smoke = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--kernels-smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--hash-smoke") == 0) hash_smoke = true;
     if (std::strncmp(argv[i], "--out=", 6) == 0) out_path = argv[i] + 6;
   }
+  if (hash_smoke) return RunHashSmoke();
   return smoke ? RunSmoke() : RunFull(out_path);
 }

@@ -6,6 +6,7 @@
 #include <map>
 #include <set>
 
+#include "exec/hash_table.h"
 #include "exec/operator.h"
 #include "plan/logical_plan.h"
 
@@ -17,6 +18,15 @@ namespace pixels {
 /// partition-parallel (partition = hash(key) % N); each partition scans
 /// rows in batch-then-row order, so group contents and emit order are
 /// deterministic.
+///
+/// With `ExecContext::vectorized_hash` (the default), groups live in
+/// typed open-addressing tables keyed on batch-precomputed hashes
+/// (exec/hash_table.h) and SUM/COUNT/MIN/MAX update as typed flat loops —
+/// no Value boxing or per-row key serialization on the hot path, and the
+/// child's selection vector is iterated directly (no gather after a
+/// Filter). The scalar path remains for equivalence tests; both produce
+/// identical results. COUNT(DISTINCT) state and the CF partial-merge mode
+/// stay on the serialized-key path (cold, cross-worker format).
 class HashAggOperator : public Operator {
  public:
   HashAggOperator(OperatorPtr child, const LogicalPlan& plan, ExecContext* ctx)
@@ -26,7 +36,8 @@ class HashAggOperator : public Operator {
   Result<RowBatchPtr> Next() override;
   void Close() override { child_->Close(); }
 
- private:
+  /// Running state of one aggregate within one group (public so the
+  /// typed update kernels in hash_agg.cc and the tests can touch it).
   struct AggState {
     double sum_d = 0;
     int64_t sum_i = 0;
@@ -46,9 +57,71 @@ class HashAggOperator : public Operator {
     std::vector<AggState> states;
   };
 
+  /// Compact, trivially-copyable per-group state used while an
+  /// aggregate's argument batches stay one numeric family (all
+  /// int-kinds or all doubles). One cache line instead of ~200 bytes of
+  /// AggState, so million-group updates stay dense; strings,
+  /// COUNT(DISTINCT), and mid-stream type flips convert the accumulated
+  /// state to AggState exactly and continue on the boxed loops.
+  struct NumAggState {
+    int64_t count = 0;
+    int64_t sum_i = 0;
+    double sum_d = 0;
+    int64_t min_i = 0;
+    int64_t max_i = 0;
+    double min_d = 0;
+    double max_d = 0;
+    bool has_minmax = false;
+  };
+
+ private:
+  /// Per-(partition, aggregate) state representation. kUnset means no
+  /// row has reached this aggregate yet (its state is all-default).
+  enum class AggMode : uint8_t { kUnset, kCountStar, kInt, kDouble, kGeneral };
+
+  /// One partition of the typed aggregation state (a single partition at
+  /// parallelism 1): distinct keys in the table, agg states per mode —
+  /// a bare count per group for COUNT(*), a NumAggState per group for
+  /// single-family numeric aggs, and boxed AggState (flat
+  /// [group * num_aggs + agg]) only for the general fallback.
+  struct TypedPart {
+    GroupTable table;
+    std::vector<AggMode> modes;                 // per aggregate
+    std::vector<std::vector<int64_t>> counts;   // per aggregate, kCountStar
+    std::vector<std::vector<NumAggState>> nums; // per aggregate, kInt/kDouble
+    std::vector<AggState> states;               // kGeneral slots only
+  };
+  /// A batch prepared for typed aggregation: evaluated key/argument
+  /// columns and per-row key hashes, plus the upstream selection.
+  struct TypedBatch {
+    RowBatchPtr batch;
+    std::shared_ptr<SelectionVector> sel;  // null = all rows
+    std::vector<ColumnVectorPtr> key_cols;
+    std::vector<ColumnVectorPtr> arg_cols;
+    std::vector<uint64_t> hashes;
+  };
+
   Status Consume();
   Status ConsumeParallel(int par);
   Status ConsumeMerge();
+  /// Typed-table path (vectorized_hash): serial is streaming, parallel
+  /// collects batches and builds partitions in batch-then-row order like
+  /// the scalar path.
+  Status ConsumeTyped(int par);
+  Status PrepareTypedBatch(TypedBatch* tb) const;
+  /// Folds the rows of `tb` owned by partition `p` (hash % num_parts)
+  /// into that partition's table and states.
+  Status ApplyTypedBatch(TypedPart* part, const TypedBatch& tb, size_t p,
+                         size_t num_parts);
+  /// Converts aggregate `a`'s compact states in `part` to boxed AggState
+  /// (exact — the boxed state equals what the scalar loops would have
+  /// built) and flips its mode to kGeneral.
+  void ConvertTypedAggToGeneral(TypedPart* part, size_t a);
+  /// Builds the output batch directly from the typed tables: keys are
+  /// reboxed once from the KeyStore and aggregates finalize straight
+  /// from their flat state arrays — no per-group Group construction.
+  /// Output columns/types/order are identical to Emit's.
+  Result<RowBatchPtr> TypedEmit();
   /// Applies one input row (precomputed agg argument values in `args`) to
   /// the row's group state.
   void UpdateGroup(Group* group, const std::vector<ColumnVectorPtr>& arg_cols,
@@ -60,6 +133,8 @@ class HashAggOperator : public Operator {
   ExecContext* ctx_;
   std::map<std::string, size_t> group_index_;
   std::vector<Group> groups_;
+  std::vector<TypedPart> typed_parts_;
+  bool typed_done_ = false;  // ConsumeTyped ran; emit from typed_parts_
   bool emitted_ = false;
 };
 

@@ -96,6 +96,14 @@ Status HashJoinOperator::BuildSide() {
 
   const int par = ctx_ != nullptr ? ctx_->EffectiveParallelism() : 1;
   ThreadPool* pool = ctx_ != nullptr ? ctx_->EffectivePool() : nullptr;
+  if (ctx_ != nullptr && ctx_->vectorized_hash) {
+    typed_build_ = true;
+    probe_safe_ = true;
+    for (const auto& k : left_keys_) {
+      probe_safe_ = probe_safe_ && ExprSafeToEvalUnselected(*k);
+    }
+    return BuildSideTyped(par, pool);
+  }
 
   // Phase 1 (batch-parallel): evaluate key expressions and serialize each
   // row's join key; empty string marks a null key (nulls never join).
@@ -136,6 +144,67 @@ Status HashJoinOperator::BuildSide() {
         if (keys[r].empty()) continue;  // null key
         if (hasher(keys[r]) % num_parts != p) continue;
         part.emplace(keys[r], BuildRow{bi, static_cast<uint32_t>(r)});
+      }
+    }
+    return Status::OK();
+  };
+
+  if (par <= 1 || pool == nullptr) {
+    for (size_t bi = 0; bi < build_batches_.size(); ++bi) {
+      PIXELS_RETURN_NOT_OK(compute_keys(bi));
+    }
+    return build_partition(0);
+  }
+  PIXELS_RETURN_NOT_OK(pool->ParallelFor(
+      0, build_batches_.size(), /*grain=*/1,
+      [&](size_t bi) { return compute_keys(bi); }, par));
+  return pool->ParallelFor(
+      0, num_parts, /*grain=*/1,
+      [&](size_t p) { return build_partition(p); }, par);
+}
+
+Status HashJoinOperator::BuildSideTyped(int par, ThreadPool* pool) {
+  // Phase 1 (batch-parallel): key columns + hashes per batch. No
+  // per-row serialization — HashKeyColumns runs typed flat loops.
+  struct BatchKeys {
+    std::vector<ColumnVectorPtr> key_cols;
+    std::vector<uint64_t> hashes;
+    std::vector<uint8_t> any_null;
+  };
+  std::vector<BatchKeys> keys(build_batches_.size());
+  size_t total_rows = 0;
+  for (const auto& b : build_batches_) total_rows += b->num_rows();
+  auto compute_keys = [&](size_t bi) -> Status {
+    const RowBatch& batch = *build_batches_[bi];
+    BatchKeys& bk = keys[bi];
+    for (const auto& k : right_keys_) {
+      PIXELS_ASSIGN_OR_RETURN(ColumnVectorPtr col, EvaluateExpr(*k, batch));
+      bk.key_cols.push_back(std::move(col));
+    }
+    bk.hashes = HashKeyColumns(bk.key_cols, batch.num_rows(), &bk.any_null);
+    return Status::OK();
+  };
+
+  // Phase 2 (partition-parallel): inserts in batch-then-row order, so
+  // table contents — including duplicate-key chains — are deterministic.
+  // Pre-sized from the exact build row count (distinct keys <= rows):
+  // no rehash storm regardless of key distribution.
+  const size_t num_parts = par > 1 ? static_cast<size_t>(par) : 1;
+  typed_parts_.reserve(num_parts);
+  for (size_t p = 0; p < num_parts; ++p) {
+    typed_parts_.emplace_back(right_keys_.size(),
+                              ctx_->hash_table_load_factor);
+    typed_parts_[p].Reserve(total_rows / num_parts + 16);
+  }
+  auto build_partition = [&](size_t p) -> Status {
+    for (size_t bi = 0; bi < build_batches_.size(); ++bi) {
+      const BatchKeys& bk = keys[bi];
+      for (uint32_t r = 0; r < bk.hashes.size(); ++r) {
+        if (bk.any_null[r]) continue;  // null keys never join
+        const uint64_t h = bk.hashes[r];
+        if (h % num_parts != p) continue;
+        typed_parts_[p].Insert(h, bk.key_cols, r,
+                               (static_cast<uint64_t>(bi) << 32) | r);
       }
     }
     return Status::OK();
@@ -213,7 +282,110 @@ Status HashJoinOperator::Open() {
   return PublishRuntimeFilter();
 }
 
+Result<RowBatchPtr> HashJoinOperator::CombineAndFilter(
+    const RowBatchPtr& probe, const std::vector<uint32_t>& probe_sel,
+    const std::vector<ColumnVectorPtr>& build_out) {
+  RowBatchPtr left_part = probe->Gather(probe_sel);
+  auto combined = std::make_shared<RowBatch>();
+  for (size_t c = 0; c < left_part->num_columns(); ++c) {
+    combined->AddColumn(left_part->name(c), left_part->column(c));
+  }
+  for (size_t c = 0; c < build_out.size(); ++c) {
+    combined->AddColumn(right_names_[c], build_out[c]);
+  }
+
+  // Residual condition (non-equi conjuncts, or the whole condition for
+  // nested-loop inner joins).
+  const Expr* filter = nullptr;
+  if (residual_ != nullptr) {
+    filter = residual_.get();
+  } else if (!use_hash_ && plan_.join_condition != nullptr) {
+    filter = plan_.join_condition.get();
+  }
+  if (filter != nullptr && combined->num_rows() > 0) {
+    PIXELS_ASSIGN_OR_RETURN(ColumnVectorPtr mask,
+                            EvaluateExpr(*filter, *combined));
+    std::vector<uint32_t> sel;
+    for (size_t i = 0; i < mask->size(); ++i) {
+      if (!mask->IsNull(i) && mask->GetValue(i).AsBool()) {
+        sel.push_back(static_cast<uint32_t>(i));
+      }
+    }
+    if (sel.empty()) return RowBatchPtr(nullptr);
+    combined = combined->Gather(sel);
+  }
+  if (combined->num_rows() == 0) return RowBatchPtr(nullptr);
+  return combined;
+}
+
+Result<RowBatchPtr> HashJoinOperator::NextTyped() {
+  std::vector<uint64_t> matches;
+  while (true) {
+    PIXELS_ASSIGN_OR_RETURN(SelBatch in, left_->NextSel());
+    if (in.batch == nullptr) return RowBatchPtr(nullptr);
+    if (in.num_selected() == 0) continue;
+    RowBatchPtr probe = in.batch;
+    std::shared_ptr<SelectionVector> sel = in.sel;
+    if (sel != nullptr && !probe_safe_) {
+      probe = in.Materialize();
+      sel = nullptr;
+    }
+
+    std::vector<ColumnVectorPtr> key_cols;
+    for (const auto& k : left_keys_) {
+      PIXELS_ASSIGN_OR_RETURN(ColumnVectorPtr col, EvaluateExpr(*k, *probe));
+      key_cols.push_back(std::move(col));
+    }
+    std::vector<uint8_t> any_null;
+    const std::vector<uint64_t> hashes =
+        HashKeyColumns(key_cols, probe->num_rows(), &any_null);
+
+    std::vector<uint32_t> probe_sel;
+    std::vector<ColumnVectorPtr> build_out;
+    for (TypeId t : right_types_) build_out.push_back(MakeVector(t));
+    auto emit_pair = [&](uint32_t probe_row, const uint64_t* payload) {
+      probe_sel.push_back(probe_row);
+      for (size_t c = 0; c < build_out.size(); ++c) {
+        if (payload == nullptr) {
+          build_out[c]->AppendNull();
+        } else {
+          build_out[c]->AppendFrom(
+              *build_batches_[*payload >> 32]->column(c),
+              static_cast<uint32_t>(*payload));
+        }
+      }
+    };
+    auto probe_row = [&](uint32_t r) {
+      bool matched = false;
+      if (!any_null[r]) {
+        const uint64_t h = hashes[r];
+        matches.clear();
+        typed_parts_[h % typed_parts_.size()].Probe(h, key_cols, r,
+                                                    &matches);
+        for (const uint64_t m : matches) emit_pair(r, &m);
+        matched = !matches.empty();
+      }
+      if (!matched && plan_.join_type == JoinClause::Type::kLeft) {
+        emit_pair(r, nullptr);
+      }
+    };
+    if (sel != nullptr) {
+      for (uint32_t r : *sel) probe_row(r);
+    } else {
+      const uint32_t n = static_cast<uint32_t>(probe->num_rows());
+      for (uint32_t r = 0; r < n; ++r) probe_row(r);
+    }
+
+    if (probe_sel.empty()) continue;
+    PIXELS_ASSIGN_OR_RETURN(RowBatchPtr out,
+                            CombineAndFilter(probe, probe_sel, build_out));
+    if (out == nullptr) continue;  // residual filtered everything out
+    return out;
+  }
+}
+
 Result<RowBatchPtr> HashJoinOperator::Next() {
+  if (typed_build_) return NextTyped();
   while (true) {
     PIXELS_ASSIGN_OR_RETURN(RowBatchPtr probe, left_->Next());
     if (probe == nullptr) return RowBatchPtr(nullptr);
@@ -278,37 +450,10 @@ Result<RowBatchPtr> HashJoinOperator::Next() {
     }
 
     if (probe_sel.empty()) continue;
-    RowBatchPtr left_part = probe->Gather(probe_sel);
-    auto combined = std::make_shared<RowBatch>();
-    for (size_t c = 0; c < left_part->num_columns(); ++c) {
-      combined->AddColumn(left_part->name(c), left_part->column(c));
-    }
-    for (size_t c = 0; c < build_out.size(); ++c) {
-      combined->AddColumn(right_names_[c], build_out[c]);
-    }
-
-    // Residual condition (non-equi conjuncts, or the whole condition for
-    // nested-loop inner joins).
-    const Expr* filter = nullptr;
-    if (residual_ != nullptr) {
-      filter = residual_.get();
-    } else if (!use_hash_ && plan_.join_condition != nullptr) {
-      filter = plan_.join_condition.get();
-    }
-    if (filter != nullptr && combined->num_rows() > 0) {
-      PIXELS_ASSIGN_OR_RETURN(ColumnVectorPtr mask,
-                              EvaluateExpr(*filter, *combined));
-      std::vector<uint32_t> sel;
-      for (size_t i = 0; i < mask->size(); ++i) {
-        if (!mask->IsNull(i) && mask->GetValue(i).AsBool()) {
-          sel.push_back(static_cast<uint32_t>(i));
-        }
-      }
-      if (sel.empty()) continue;
-      combined = combined->Gather(sel);
-    }
-    if (combined->num_rows() == 0) continue;
-    return combined;
+    PIXELS_ASSIGN_OR_RETURN(RowBatchPtr out,
+                            CombineAndFilter(probe, probe_sel, build_out));
+    if (out == nullptr) continue;  // residual filtered everything out
+    return out;
   }
 }
 
@@ -317,6 +462,7 @@ void HashJoinOperator::Close() {
   right_->Close();
   build_batches_.clear();
   hash_parts_.clear();
+  typed_parts_.clear();
 }
 
 }  // namespace pixels

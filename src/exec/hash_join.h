@@ -4,6 +4,7 @@
 
 #include <unordered_map>
 
+#include "exec/hash_table.h"
 #include "exec/operator.h"
 #include "plan/logical_plan.h"
 
@@ -17,6 +18,15 @@ namespace pixels {
 /// order within a partition is batch-then-row order regardless of thread
 /// scheduling, so results are deterministic; P = 1 reproduces the serial
 /// single-table build exactly.
+///
+/// With `ExecContext::vectorized_hash` (the default) the build rows go
+/// into typed open-addressing tables (exec/hash_table.h) keyed on batch-
+/// precomputed hashes, pre-sized from the exact build row count, and the
+/// probe iterates the child's selection vector directly — no Value
+/// boxing, key serialization, or post-Filter gather on either side. The
+/// scalar path remains for equivalence tests; both emit the same rows
+/// (the order of duplicate build-key matches within a probe row is
+/// insertion order in the typed table, unspecified in the scalar one).
 class HashJoinOperator : public Operator {
  public:
   HashJoinOperator(OperatorPtr left, OperatorPtr right,
@@ -37,6 +47,17 @@ class HashJoinOperator : public Operator {
   };
 
   Status BuildSide();
+  /// Typed build: per-batch key hashes, then partition-parallel inserts
+  /// into JoinTables in batch-then-row order. Payload = batch << 32 | row.
+  Status BuildSideTyped(int par, ThreadPool* pool);
+  /// Typed probe loop (selection-aware); tail shared via CombineAndFilter.
+  Result<RowBatchPtr> NextTyped();
+  /// Gathers matched probe rows, appends build columns, and applies the
+  /// residual condition. Returns null when every pair was filtered out
+  /// (caller pulls the next probe batch).
+  Result<RowBatchPtr> CombineAndFilter(
+      const RowBatchPtr& probe, const std::vector<uint32_t>& probe_sel,
+      const std::vector<ColumnVectorPtr>& build_out);
   Status ExtractKeys(const RowBatch& left_sample, const RowBatch& right_sample);
   /// After the hash build, publish a bloom + min/max filter on the
   /// annotated build key (plan_.rf_id) so probe-side scans can prune rows
@@ -52,6 +73,11 @@ class HashJoinOperator : public Operator {
   std::vector<RowBatchPtr> build_batches_;
   /// Hash table partitioned by std::hash(key) % hash_parts_.size().
   std::vector<std::unordered_multimap<std::string, BuildRow>> hash_parts_;
+  /// Typed tables (vectorized_hash), partitioned by hash % size.
+  std::vector<JoinTable> typed_parts_;
+  bool typed_build_ = false;
+  /// Probe keys may be evaluated over deselected rows (total exprs).
+  bool probe_safe_ = true;
   bool keys_extracted_ = false;
   std::vector<ExprPtr> left_keys_;
   std::vector<ExprPtr> right_keys_;

@@ -272,11 +272,13 @@ Status CompiledPredicate::EvalStep(const Step& s, const RowBatch& batch,
   return Status::OK();
 }
 
-Result<SelectionVector> CompiledPredicate::Select(const RowBatch& batch) const {
+Result<SelectionVector> CompiledPredicate::Select(
+    const RowBatch& batch, const SelectionVector* in) const {
   SelectionVector sel;
   const size_t n = batch.num_rows();
-  if (never_matches_ || n == 0) return sel;
-  bool have = false;
+  if (never_matches_ || n == 0 || (in != nullptr && in->empty())) return sel;
+  bool have = in != nullptr;
+  if (have) sel = *in;
   for (const Step& s : steps_) {
     SelectionVector next;
     PIXELS_RETURN_NOT_OK(EvalStep(s, batch, have ? &sel : nullptr, &next));
@@ -559,6 +561,86 @@ std::vector<uint64_t> RfHashColumn(const ColumnVector& col) {
     }
   }
   return out;
+}
+
+namespace {
+
+/// Fixed kind tag for a null key component: distinct from every
+/// RfHash* output class in practice and identical on both sides of a
+/// join/agg, so null == null for grouping.
+constexpr uint64_t kNullKeyHash = 0x9ae16a3b2f90404fULL;
+/// Hash of the empty key (global aggregation: zero key columns).
+constexpr uint64_t kEmptyKeyHash = 0x8445d61a4e774912ULL;
+
+/// Order-sensitive combine of per-column key hashes (boost-style mix
+/// re-finalized so probe distribution stays uniform for linear probing).
+inline uint64_t HashCombine(uint64_t h, uint64_t next) {
+  return RfMix64(h ^ (next + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2)));
+}
+
+}  // namespace
+
+std::vector<uint64_t> HashKeyColumns(const std::vector<ColumnVectorPtr>& cols,
+                                     size_t num_rows,
+                                     std::vector<uint8_t>* any_null) {
+  if (any_null != nullptr) any_null->assign(num_rows, 0);
+  if (cols.empty()) return std::vector<uint64_t>(num_rows, kEmptyKeyHash);
+  std::vector<uint64_t> out;
+  for (size_t c = 0; c < cols.size(); ++c) {
+    std::vector<uint64_t> hc = RfHashColumn(*cols[c]);
+    if (cols[c]->NullCount() != 0) {
+      const uint8_t* ok = cols[c]->valid_data();
+      for (size_t i = 0; i < num_rows; ++i) {
+        if (!ok[i]) {
+          hc[i] = kNullKeyHash;
+          if (any_null != nullptr) (*any_null)[i] = 1;
+        }
+      }
+    }
+    if (c == 0) {
+      out = std::move(hc);
+    } else {
+      for (size_t i = 0; i < num_rows; ++i) {
+        out[i] = HashCombine(out[i], hc[i]);
+      }
+    }
+  }
+  return out;
+}
+
+bool ExprSafeToEvalUnselected(const Expr& expr) {
+  switch (expr.kind) {
+    case Expr::Kind::kLiteral:
+    case Expr::Kind::kColumnRef:
+      return true;
+    case Expr::Kind::kStar:
+    case Expr::Kind::kFunction:  // length()/substr() type-check per row
+      return false;
+    case Expr::Kind::kUnary:
+      if (expr.op != "NOT" && expr.op != "-") return false;
+      break;
+    case Expr::Kind::kBinary:
+      // LIKE rejects non-string operands per row; every other known
+      // operator is total (/ and % by zero yield NULL).
+      if (expr.op == "LIKE") return false;
+      if (expr.op != "AND" && expr.op != "OR" && expr.op != "=" &&
+          expr.op != "<>" && expr.op != "<" && expr.op != "<=" &&
+          expr.op != ">" && expr.op != ">=" && expr.op != "||" &&
+          expr.op != "+" && expr.op != "-" && expr.op != "*" &&
+          expr.op != "/" && expr.op != "%") {
+        return false;
+      }
+      break;
+    case Expr::Kind::kBetween:
+    case Expr::Kind::kInList:
+    case Expr::Kind::kIsNull:
+    case Expr::Kind::kCase:
+      break;
+  }
+  for (const auto& arg : expr.args) {
+    if (arg != nullptr && !ExprSafeToEvalUnselected(*arg)) return false;
+  }
+  return true;
 }
 
 SelectionVector BloomFilterSelect(const ColumnVector& col,

@@ -18,9 +18,6 @@
 
 namespace pixels {
 
-/// Ascending row indices selected out of a batch.
-using SelectionVector = std::vector<uint32_t>;
-
 /// A filter predicate lowered into typed kernel steps. Kernel-shaped
 /// conjuncts (col op literal, BETWEEN, IN literal-list, IS [NOT] NULL,
 /// bare/NOT boolean column) evaluate as flat selection-refining loops;
@@ -38,8 +35,14 @@ class CompiledPredicate {
   size_t num_kernel_steps() const { return steps_.size(); }
   bool has_residual() const { return residual_ != nullptr; }
 
-  /// Selects the rows of `batch` that satisfy the predicate.
-  Result<SelectionVector> Select(const RowBatch& batch) const;
+  /// Selects the rows of `batch` that satisfy the predicate. When `in`
+  /// is non-null only those rows are considered (selection refinement —
+  /// lets a Filter stack on an upstream selection without a gather).
+  Result<SelectionVector> Select(const RowBatch& batch,
+                                 const SelectionVector* in) const;
+  Result<SelectionVector> Select(const RowBatch& batch) const {
+    return Select(batch, nullptr);
+  }
 
  private:
   struct Step {
@@ -75,6 +78,26 @@ Result<ColumnVectorPtr> EvaluateExprVectorized(const Expr& expr,
 /// runtime-filter hash (flat per-type loops). Null rows get hash 0 and
 /// must be masked by the caller via the validity mask.
 std::vector<uint64_t> RfHashColumn(const ColumnVector& col);
+
+/// Batch hash kernel for join/agg keys: hashes row `i` of all `cols`
+/// into one 64-bit hash (kind-tagged per-column hashes from
+/// bloom_filter.h, order-sensitive multi-key combine), so equal keys in
+/// ValuesKey semantics always hash equal. Null components hash to a
+/// fixed tag (nulls form aggregation groups); when `any_null` is
+/// non-null it is set to 1 for rows with any null component so join
+/// builds/probes can skip them (nulls never join). `num_rows` covers the
+/// zero-key case (global aggregation): every row hashes identically.
+std::vector<uint64_t> HashKeyColumns(const std::vector<ColumnVectorPtr>& cols,
+                                     size_t num_rows,
+                                     std::vector<uint8_t>* any_null);
+
+/// True when evaluating `expr` cannot fail on any row of a batch whose
+/// column refs resolve: literals, column refs, NOT/negate, and the
+/// known binary operators are total (division by zero yields NULL);
+/// functions and LIKE type-check per row and may error. Selection-aware
+/// operators evaluate such expressions over a batch's deselected rows
+/// without changing error behavior; anything else forces a gather first.
+bool ExprSafeToEvalUnselected(const Expr& expr);
 
 /// Keeps the rows of `sel` (or all rows when `sel` is null) whose key is
 /// non-null and may be in the bloom filter. Nulls never pass: runtime

@@ -60,6 +60,14 @@ struct ExecContext {
   bool runtime_filters = true;
   /// Bloom filter size per distinct-insensitive build key.
   int rf_bloom_bits_per_key = 8;
+  /// Typed open-addressing hash tables + batch hash kernels for hash
+  /// join and aggregation (exec/hash_table.h). The scalar Value-boxed
+  /// path is retained for equivalence tests and benches; results,
+  /// bills, and bytes_scanned are byte-identical on or off.
+  bool vectorized_hash = true;
+  /// Maximum load factor of the join/agg hash tables (clamped to
+  /// [0.1, 0.95]; lower = fewer probe steps, more slot memory).
+  double hash_table_load_factor = 0.7;
   /// Per-query registry: joins publish filters after build, scans poll.
   RuntimeFilterHub rf_hub;
   /// Runtime-filter audit counters. Row counters cover bloom probes on
@@ -88,6 +96,29 @@ struct ExecContext {
   }
 };
 
+/// A batch plus an optional selection vector: when `sel` is non-null,
+/// only the listed rows (ascending) are logically present. Filter
+/// produces these without gathering; selection-aware consumers (Project,
+/// HashAgg consume, HashJoin probe) iterate `sel` directly, and
+/// everything else materializes at the seam via `Materialize()`.
+struct SelBatch {
+  RowBatchPtr batch;                     // null = end of stream
+  std::shared_ptr<SelectionVector> sel;  // null = every row selected
+
+  size_t num_selected() const {
+    if (batch == nullptr) return 0;
+    return sel != nullptr ? sel->size() : batch->num_rows();
+  }
+
+  /// Gathers the selected rows into a plain batch (zero-copy when
+  /// everything is selected or at end of stream).
+  RowBatchPtr Materialize() const {
+    if (batch == nullptr || sel == nullptr) return batch;
+    if (sel->size() == batch->num_rows()) return batch;
+    return batch->Gather(*sel);
+  }
+};
+
 /// A physical operator producing a stream of row batches.
 class Operator {
  public:
@@ -98,6 +129,16 @@ class Operator {
 
   /// Produces the next batch, or nullptr at end of stream.
   virtual Result<RowBatchPtr> Next() = 0;
+
+  /// Produces the next batch together with an optional selection vector.
+  /// Selection-aware producers override this to skip the gather; the
+  /// default wraps Next() with an all-rows selection. End of stream is a
+  /// null batch, exactly like Next().
+  virtual Result<SelBatch> NextSel() {
+    Result<RowBatchPtr> batch = Next();
+    if (!batch.ok()) return batch.status();
+    return SelBatch{std::move(*batch), nullptr};
+  }
 
   /// Releases resources.
   virtual void Close() {}

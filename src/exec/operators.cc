@@ -6,12 +6,28 @@
 
 namespace pixels {
 
+namespace {
+
+/// Appends one length-prefixed serialized component. SerializeValue is
+/// already prefix-free per component (kind tag + varint-framed payload),
+/// but the explicit length makes the concatenation self-delimiting by
+/// construction — no split of the key bytes other than the original one
+/// can parse, independent of the payload encoding's details.
+void AppendKeyComponent(const Value& v, ByteWriter* w) {
+  ByteWriter component;
+  stats_internal::SerializeValue(v, &component);
+  w->PutVarint(component.size());
+  w->PutBytes(component.data().data(), component.size());
+}
+
+}  // namespace
+
 std::string RowKey(const RowBatch& batch, size_t row,
                    const std::vector<int>& columns) {
   ByteWriter w;
   for (int c : columns) {
-    Value v = batch.column(static_cast<size_t>(c))->GetValue(row);
-    stats_internal::SerializeValue(v, &w);
+    AppendKeyComponent(batch.column(static_cast<size_t>(c))->GetValue(row),
+                       &w);
   }
   const auto& bytes = w.data();
   return std::string(bytes.begin(), bytes.end());
@@ -19,7 +35,7 @@ std::string RowKey(const RowBatch& batch, size_t row,
 
 std::string ValuesKey(const std::vector<Value>& values) {
   ByteWriter w;
-  for (const auto& v : values) stats_internal::SerializeValue(v, &w);
+  for (const auto& v : values) AppendKeyComponent(v, &w);
   const auto& bytes = w.data();
   return std::string(bytes.begin(), bytes.end());
 }
@@ -244,28 +260,56 @@ Status FilterOperator::Open() {
 }
 
 Result<RowBatchPtr> FilterOperator::Next() {
+  PIXELS_ASSIGN_OR_RETURN(SelBatch out, NextSel());
+  return out.Materialize();
+}
+
+Result<SelBatch> FilterOperator::NextSel() {
   while (true) {
-    PIXELS_ASSIGN_OR_RETURN(RowBatchPtr batch, child_->Next());
-    if (batch == nullptr) return RowBatchPtr(nullptr);
-    if (batch->num_rows() == 0) continue;
-    PIXELS_ASSIGN_OR_RETURN(std::vector<uint32_t> sel,
-                            compiled_.Select(*batch));
+    PIXELS_ASSIGN_OR_RETURN(SelBatch in, child_->NextSel());
+    if (in.batch == nullptr) return SelBatch{};
+    if (in.num_selected() == 0) continue;
+    PIXELS_ASSIGN_OR_RETURN(SelectionVector sel,
+                            compiled_.Select(*in.batch, in.sel.get()));
     if (sel.empty()) continue;
-    if (sel.size() == batch->num_rows()) return batch;
-    return batch->Gather(sel);
+    return SelBatch{std::move(in.batch),
+                    std::make_shared<SelectionVector>(std::move(sel))};
   }
 }
 
+Status ProjectOperator::Open() {
+  selvec_safe_ = true;
+  for (const auto& e : exprs_) {
+    selvec_safe_ = selvec_safe_ && ExprSafeToEvalUnselected(*e);
+  }
+  return child_->Open();
+}
+
 Result<RowBatchPtr> ProjectOperator::Next() {
-  PIXELS_ASSIGN_OR_RETURN(RowBatchPtr batch, child_->Next());
-  if (batch == nullptr) return RowBatchPtr(nullptr);
+  PIXELS_ASSIGN_OR_RETURN(SelBatch out, NextSel());
+  return out.Materialize();
+}
+
+Result<SelBatch> ProjectOperator::NextSel() {
+  PIXELS_ASSIGN_OR_RETURN(SelBatch in, child_->NextSel());
+  if (in.batch == nullptr) return SelBatch{};
+  // Project the full batch and forward the selection only when that is
+  // semantically safe AND not wasteful: a sparse selection (< 1/4 of the
+  // rows) makes gathering once cheaper than evaluating deselected rows.
+  RowBatchPtr input = in.batch;
+  std::shared_ptr<SelectionVector> sel = in.sel;
+  if (sel != nullptr &&
+      (!selvec_safe_ || sel->size() * 4 < in.batch->num_rows())) {
+    input = in.Materialize();
+    sel = nullptr;
+  }
   auto out = std::make_shared<RowBatch>();
   for (size_t i = 0; i < exprs_.size(); ++i) {
     PIXELS_ASSIGN_OR_RETURN(ColumnVectorPtr col,
-                            EvaluateExprVectorized(*exprs_[i], *batch));
+                            EvaluateExprVectorized(*exprs_[i], *input));
     out->AddColumn(names_[i], std::move(col));
   }
-  return out;
+  return SelBatch{std::move(out), std::move(sel)};
 }
 
 Result<RowBatchPtr> LimitOperator::Next() {

@@ -85,6 +85,10 @@ class FilterOperator : public Operator {
 
   Status Open() override;
   Result<RowBatchPtr> Next() override;
+  /// Selection-aware path: hands the child's batch through untouched
+  /// with a refined selection vector, so downstream selection-aware
+  /// consumers never pay the gather.
+  Result<SelBatch> NextSel() override;
   void Close() override { child_->Close(); }
 
  private:
@@ -100,14 +104,19 @@ class ProjectOperator : public Operator {
                   const std::vector<std::string>& names)
       : child_(std::move(child)), exprs_(exprs), names_(names) {}
 
-  Status Open() override { return child_->Open(); }
+  Status Open() override;
   Result<RowBatchPtr> Next() override;
+  /// Selection-aware path: when every expression is total (cannot error
+  /// on a deselected row) and the selection is not too sparse, projects
+  /// the full batch and forwards the selection; otherwise gathers first.
+  Result<SelBatch> NextSel() override;
   void Close() override { child_->Close(); }
 
  private:
   OperatorPtr child_;
   const std::vector<ExprPtr>& exprs_;
   const std::vector<std::string>& names_;
+  bool selvec_safe_ = false;
 };
 
 /// Truncates the stream after n rows.
@@ -153,11 +162,14 @@ class ViewOperator : public Operator {
 };
 
 /// Serializes row `row` of `batch` into a collision-free key (used by
-/// distinct, hash join, and hash aggregation).
+/// distinct, COUNT(DISTINCT) state, and the scalar join/agg paths).
+/// Each component is length-prefixed so no concatenation of components
+/// can collide with a different split of the same bytes.
 std::string RowKey(const RowBatch& batch, size_t row,
                    const std::vector<int>& columns);
 
-/// Serializes a list of Values into a collision-free key.
+/// Serializes a list of Values into a collision-free key (same
+/// per-component length-prefixed framing as RowKey).
 std::string ValuesKey(const std::vector<Value>& values);
 
 }  // namespace pixels

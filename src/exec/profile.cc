@@ -197,4 +197,21 @@ Result<RowBatchPtr> ProfilingOperator::Next() {
   return result;
 }
 
+Result<SelBatch> ProfilingOperator::NextSel() {
+  ScopedWall wall(node_);
+  Result<SelBatch> result = [&] {
+    if (node_->measures_io && ctx_ != nullptr) {
+      ScopedIoDelta io(node_, ctx_);
+      return child_->NextSel();
+    }
+    return child_->NextSel();
+  }();
+  if (result.ok() && result->batch != nullptr) {
+    node_->rows_out.fetch_add(result->num_selected(),
+                              std::memory_order_relaxed);
+    node_->batches_out.fetch_add(1, std::memory_order_relaxed);
+  }
+  return result;
+}
+
 }  // namespace pixels

@@ -92,6 +92,10 @@ class ProfilingOperator : public Operator {
 
   Status Open() override;
   Result<RowBatchPtr> Next() override;
+  /// Forwards the wrapped operator's selection-aware path so profiling
+  /// never forces a gather; rows_out counts selected (logical) rows,
+  /// identical to what Next() would have produced.
+  Result<SelBatch> NextSel() override;
   void Close() override { child_->Close(); }
 
  private:

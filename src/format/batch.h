@@ -11,6 +11,11 @@
 
 namespace pixels {
 
+/// Ascending row indices selected out of a batch (produced by the filter
+/// kernels in exec/kernels.h, consumed by Gather and the selection-aware
+/// operators).
+using SelectionVector = std::vector<uint32_t>;
+
 /// A batch of rows in columnar layout. Column names are carried alongside
 /// so operators can resolve columns produced by upstream operators.
 class RowBatch {

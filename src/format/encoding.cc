@@ -1,5 +1,7 @@
 #include "format/encoding.h"
 
+#include <algorithm>
+#include <cstring>
 #include <map>
 
 namespace pixels {
@@ -33,6 +35,13 @@ Result<std::vector<uint8_t>> ReadValidity(ByteReader* in, size_t num_rows) {
     }
   }
   return valid;
+}
+
+/// True when the validity vector marks every row non-null — the common
+/// case, where run-oriented codecs can skip whole runs at once.
+bool AllValid(const std::vector<uint8_t>& valid) {
+  return valid.empty() ||
+         std::memchr(valid.data(), 0, valid.size()) == nullptr;
 }
 
 // --- plain ---
@@ -498,6 +507,30 @@ Result<std::vector<uint32_t>> FilterRunLength(
   PIXELS_ASSIGN_OR_RETURN(std::vector<uint8_t> valid, ReadValidity(in, num_rows));
   PIXELS_ASSIGN_OR_RETURN(uint64_t num_vals, in->GetVarint());
   std::vector<uint32_t> sel;
+  // Fast path (no nulls): rows and values are one-to-one, so each run is
+  // one predicate evaluation followed by a bulk append (match) or a pure
+  // skip (no match) of the whole row range — no per-row state machine.
+  if (AllValid(valid)) {
+    uint64_t consumed = 0;
+    while (consumed < num_vals && consumed < num_rows) {
+      PIXELS_ASSIGN_OR_RETURN(int64_t v, in->GetSignedVarint());
+      PIXELS_ASSIGN_OR_RETURN(uint64_t run, in->GetVarint());
+      if (run == 0 || consumed + run > num_vals) {
+        return Status::Corruption("rle: bad run length");
+      }
+      const uint64_t start = consumed;
+      consumed += run;
+      if (!MatchAllInt(preds, v)) continue;
+      const uint64_t run_end = std::min<uint64_t>(consumed, num_rows);
+      for (uint64_t i = start; i < run_end; ++i) {
+        sel.push_back(static_cast<uint32_t>(i));
+      }
+    }
+    if (consumed < num_rows) {
+      return Status::Corruption("rle: value underflow");
+    }
+    return sel;
+  }
   uint64_t consumed = 0;
   uint64_t remaining_in_run = 0;
   bool run_match = false;
@@ -679,6 +712,34 @@ Result<ColumnVectorPtr> DecodeRunLengthSelected(
   PIXELS_ASSIGN_OR_RETURN(uint64_t num_vals, in->GetVarint());
   auto col = MakeVector(type);
   col->Reserve(sel.size());
+  // Fast path (no nulls): walk runs and intersect each with the sorted
+  // selection — runs containing no selected row cost one varint pair,
+  // and the loop stops as soon as the selection is exhausted.
+  if (AllValid(valid)) {
+    uint64_t consumed = 0;
+    size_t spf = 0;
+    while (spf < sel.size() && consumed < num_vals && consumed < num_rows) {
+      PIXELS_ASSIGN_OR_RETURN(int64_t v, in->GetSignedVarint());
+      PIXELS_ASSIGN_OR_RETURN(uint64_t run, in->GetVarint());
+      if (run == 0 || consumed + run > num_vals) {
+        return Status::Corruption("rle: bad run length");
+      }
+      consumed += run;
+      const uint64_t run_end = std::min<uint64_t>(consumed, num_rows);
+      while (spf < sel.size() && sel[spf] < run_end) {
+        if (type == TypeId::kBool) {
+          col->AppendBool(v != 0);
+        } else {
+          col->AppendInt(v);
+        }
+        ++spf;
+      }
+    }
+    if (spf != sel.size()) {
+      return Status::Corruption("selected decode: selection out of range");
+    }
+    return col;
+  }
   size_t sp = 0;
   uint64_t consumed = 0;
   uint64_t remaining_in_run = 0;

@@ -97,6 +97,8 @@ void ApplyExecKnobs(ExecContext* ctx, const CfWorkerOptions& options) {
   ctx->runtime_filters = options.runtime_filters;
   ctx->fused_decode = options.fused_decode;
   ctx->rf_bloom_bits_per_key = options.rf_bloom_bits_per_key;
+  ctx->vectorized_hash = options.vectorized_hash;
+  ctx->hash_table_load_factor = options.hash_table_load_factor;
 }
 
 /// Snapshot of one context's runtime-filter counters.

@@ -119,6 +119,10 @@ struct CfWorkerOptions {
   bool runtime_filters = true;
   bool fused_decode = true;
   int rf_bloom_bits_per_key = 8;
+  /// Typed hash tables + selection-vector pipeline for joins/aggregation
+  /// (exec/hash_table.h). Superset-safe like the knobs above.
+  bool vectorized_hash = true;
+  double hash_table_load_factor = 0.7;
 };
 
 /// Executes `plan` with the sub-plan pushed down to a simulated CF worker

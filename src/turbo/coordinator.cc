@@ -201,6 +201,8 @@ void Coordinator::MaybeExecuteReal(QueryRecord* rec, bool via_cf) {
     options.runtime_filters = params_.runtime_filters;
     options.fused_decode = params_.fused_decode;
     options.rf_bloom_bits_per_key = params_.rf_bloom_bits_per_key;
+    options.vectorized_hash = params_.vectorized_hash;
+    options.hash_table_load_factor = params_.hash_table_load_factor;
     options.tracer = tracer_;
     options.trace_parent = exec_span;
     options.profile = profiling ? &profile : nullptr;
@@ -241,6 +243,8 @@ void Coordinator::MaybeExecuteReal(QueryRecord* rec, bool via_cf) {
   ctx.runtime_filters = params_.runtime_filters;
   ctx.fused_decode = params_.fused_decode;
   ctx.rf_bloom_bits_per_key = params_.rf_bloom_bits_per_key;
+  ctx.vectorized_hash = params_.vectorized_hash;
+  ctx.hash_table_load_factor = params_.hash_table_load_factor;
   auto result = ExecuteQuery(rec->spec.sql, rec->spec.db, &ctx);
   if (!result.ok()) {
     rec->error = result.status().ToString();

@@ -60,6 +60,36 @@ TEST_F(OperatorsTest, ValuesKeyIsPrefixFree) {
   EXPECT_NE(ValuesKey({Value::Null()}), ValuesKey({Value::Int(0)}));
 }
 
+TEST_F(OperatorsTest, ValuesKeyComponentFramingResistsAdversarialSplits) {
+  // Each component is length-prefixed, so no concatenation of serialized
+  // components can collide with a different split of the same bytes.
+  // A string whose payload embeds what a varint length prefix would look
+  // like must not fold into its neighbor.
+  EXPECT_NE(ValuesKey({Value::String(std::string("\x01", 1) + "ab"),
+                       Value::String("c")}),
+            ValuesKey({Value::String(std::string("\x01", 1) + "a"),
+                       Value::String("bc")}));
+  // Three short components vs two that concatenate to the same bytes.
+  EXPECT_NE(ValuesKey({Value::String("a"), Value::String("b"),
+                       Value::String("c")}),
+            ValuesKey({Value::String("a"), Value::String("bc")}));
+  // An empty string component still occupies a framed slot.
+  EXPECT_NE(ValuesKey({Value::String(""), Value::String("x")}),
+            ValuesKey({Value::String("x"), Value::String("")}));
+  EXPECT_NE(ValuesKey({Value::String(""), Value::String("")}),
+            ValuesKey({Value::String("")}));
+  // Kind bytes are inside the frame: a string whose first byte equals the
+  // int kind tag cannot impersonate an int component.
+  EXPECT_NE(ValuesKey({Value::String(std::string(1, '\x01'))}),
+            ValuesKey({Value::Int(1)}));
+  // Numeric kinds stay distinct even when payload bits agree.
+  EXPECT_NE(ValuesKey({Value::Int(1)}), ValuesKey({Value::Double(1.0)}));
+  EXPECT_NE(ValuesKey({Value::Int(1)}), ValuesKey({Value::Bool(true)}));
+  // Same values, same order: keys are deterministic.
+  EXPECT_EQ(ValuesKey({Value::Int(7), Value::String("x"), Value::Null()}),
+            ValuesKey({Value::Int(7), Value::String("x"), Value::Null()}));
+}
+
 TEST_F(OperatorsTest, PartialThenMergeMatchesDirectAggregation) {
   // Direct execution.
   auto direct_plan = Plan(
