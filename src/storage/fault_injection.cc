@@ -9,6 +9,7 @@ Status FaultInjectingStorage::MaybeInject(const std::string& path,
   double error_rate;
   double spike_rate = params_.latency_spike_rate;
   double spike_ms = params_.latency_spike_ms;
+  double slow_ms = 0;
   bool fail_first = false;
   if (is_write) {
     op_index = ++stats_.write_ops;
@@ -26,6 +27,7 @@ Status FaultInjectingStorage::MaybeInject(const std::string& path,
     error_rate = is_write ? rule.write_error_rate : rule.read_error_rate;
     spike_rate = rule.latency_spike_rate;
     spike_ms = rule.latency_spike_ms;
+    slow_ms = rule.slow_ms;
     if (is_write) {
       fail_first = ++rule_writes_[i] <= rule.fail_first_writes;
     } else {
@@ -36,6 +38,10 @@ Status FaultInjectingStorage::MaybeInject(const std::string& path,
   if (spike_rate > 0 && rng_.Bernoulli(spike_rate)) {
     ++stats_.injected_latency_spikes;
     stats_.injected_latency_ms += spike_ms;
+  }
+  if (slow_ms > 0) {
+    ++stats_.injected_slow_ops;
+    stats_.injected_latency_ms += slow_ms;
   }
   if (fail_first || (error_rate > 0 && rng_.Bernoulli(error_rate))) {
     if (is_write) {
@@ -48,6 +54,18 @@ Status FaultInjectingStorage::MaybeInject(const std::string& path,
                            std::to_string(op_index) + " on " + path);
   }
   return Status::OK();
+}
+
+double FaultInjectingStorage::PathSlowMs(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const FaultRule& rule : params_.rules) {
+    if (!rule.path_substring.empty() &&
+        path.find(rule.path_substring) == std::string::npos) {
+      continue;
+    }
+    return rule.slow_ms;  // first matching rule wins, like MaybeInject
+  }
+  return 0;
 }
 
 Result<std::vector<uint8_t>> FaultInjectingStorage::Read(

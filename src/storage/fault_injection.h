@@ -37,6 +37,13 @@ struct FaultRule {
   /// Probability that an op takes a latency spike (accounted, not slept).
   double latency_spike_rate = 0;
   double latency_spike_ms = 250.0;
+  /// Fixed latency added to EVERY op whose path matches this rule
+  /// (accounted in simulated ms, never slept). Unlike the probabilistic
+  /// spikes above this is deterministic per path, so a whole straggler
+  /// task — every GET/PUT under one task's object prefix — can be slowed
+  /// reproducibly regardless of thread interleaving. The shuffle stage
+  /// scheduler also polls it via `PathSlowMs` to price task durations.
+  double slow_ms = 0;
 };
 
 /// Global injection parameters; `rules` refine them per path.
@@ -56,7 +63,9 @@ struct FaultInjectionStats {
   uint64_t injected_read_errors = 0;
   uint64_t injected_write_errors = 0;
   uint64_t injected_latency_spikes = 0;
-  /// Simulated milliseconds added by latency spikes.
+  /// Ops slowed by a deterministic per-path `slow_ms` rule.
+  uint64_t injected_slow_ops = 0;
+  /// Simulated milliseconds added by latency spikes and slow rules.
   double injected_latency_ms = 0;
 };
 
@@ -89,6 +98,16 @@ class FaultInjectingStorage : public Storage {
     std::lock_guard<std::mutex> lock(mutex_);
     return stats_;
   }
+
+  /// Deterministic slow-worker penalty for ops on `path`: the `slow_ms`
+  /// of the first matching rule (the same first-match-wins order as
+  /// MaybeInject), 0 when no rule matches. Pure — no counters move, no
+  /// randomness draws — so schedulers can price a task's simulated
+  /// duration without perturbing the fault stream.
+  double PathSlowMs(const std::string& path) const;
+
+  /// The wrapped storage (for decorator-stack walks).
+  Storage* inner() const { return inner_.get(); }
 
  private:
   /// Decides the fate of one op; returns non-OK for an injected fault.

@@ -82,6 +82,9 @@ class ObjectStore : public Storage {
   /// Simulated latency of reading `bytes` in one request, in milliseconds.
   double EstimateReadLatencyMs(uint64_t bytes) const;
 
+  /// The wrapped storage (for decorator-stack walks).
+  Storage* inner() const { return inner_.get(); }
+
  private:
   void RecordGet(uint64_t bytes);
 

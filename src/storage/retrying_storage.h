@@ -80,6 +80,8 @@ class RetryingStorage : public Storage {
     return stats_;
   }
   const RetryPolicy& policy() const { return policy_; }
+  /// The wrapped storage (for decorator-stack walks).
+  Storage* inner() const { return inner_.get(); }
 
  private:
   /// Runs `op` under the retry policy, recording attempts and backoff.

@@ -7,6 +7,8 @@
 #include "format/writer.h"
 #include "plan/fingerprint.h"
 #include "storage/retrying_storage.h"
+#include "turbo/shuffle/exchange.h"
+#include "turbo/shuffle/stage_graph.h"
 
 namespace pixels {
 
@@ -219,6 +221,130 @@ Result<CfExecution> ExecuteWithCfPushdown(const PlanPtr& plan,
       SnapshotMvInsert(options.mv_store, *split.subplan, *catalog);
   MvInsertSnapshot full_snap =
       SnapshotMvInsert(options.mv_store, *plan, *catalog);
+  const uint64_t prior_parent =
+      tracer != nullptr ? tracer->ActiveParent() : 0;
+
+  // Common tail shared by the single-stage fleet and the shuffle DAG:
+  // cache the view at the sub-plan seam, inject it, run the top-level
+  // plan, cache the full result. `out.bytes_scanned` must already hold
+  // the sub-plan total when this runs.
+  auto finish = [&](TablePtr view) -> Result<CfExecution> {
+    out.view = view;
+    out.work_vcpu_seconds = static_cast<double>(out.bytes_scanned) /
+                            options.bytes_per_vcpu_second;
+
+    // The worker-produced view is the shareable artifact: cache it keyed
+    // by the unpartitioned sub-plan so future queries skip the fleet.
+    CommitMvInsert(options.mv_store, std::move(sub_snap), view,
+                   out.bytes_scanned);
+
+    // Inject the materialized view and run the top-level plan.
+    PIXELS_RETURN_NOT_OK(InjectView(split.final_plan, view));
+    ExecContext final_ctx;
+    final_ctx.catalog = catalog;
+    final_ctx.io = options.io;
+    final_ctx.tracer = options.tracer;
+    final_ctx.trace_parent = options.trace_parent;
+    final_ctx.profile = options.profile;
+    ApplyExecKnobs(&final_ctx, options);
+    uint64_t final_span = 0;
+    if (tracer != nullptr) {
+      final_span = tracer->StartSpan("cf-final", options.trace_parent);
+      tracer->SetActiveParent(final_span);
+      final_ctx.trace_parent = final_span;
+    }
+    auto final_result = ExecutePlan(split.final_plan, &final_ctx);
+    if (tracer != nullptr) {
+      if (!final_result.ok()) {
+        tracer->Annotate(final_span, "error",
+                         final_result.status().ToString());
+      }
+      tracer->Annotate(final_span, "bytes", final_ctx.bytes_scanned.load());
+      tracer->EndSpan(final_span);
+      tracer->SetActiveParent(prior_parent);
+    }
+    PIXELS_ASSIGN_OR_RETURN(out.result, std::move(final_result));
+    out.bytes_scanned += final_ctx.bytes_scanned;
+    MergeRf(&out, RfCounters::From(final_ctx));
+
+    // Also cache the full-query result (keyed by the original plan, which
+    // still has no inlined view) so an identical repeat skips even the
+    // top-level merge.
+    CommitMvInsert(options.mv_store, std::move(full_snap), out.result,
+                   out.bytes_scanned);
+    return out;
+  };
+
+  // Multi-stage shuffle path (cf_shuffle): an eligible sub-plan runs as a
+  // scan→shuffle→join DAG of CF stages exchanging hash-partitioned data
+  // through the object store, with hedged duplicates against stragglers.
+  // Ineligible shapes (no join, non-equi, nested joins) silently keep the
+  // single-stage fleet below.
+  if (options.shuffle.enabled) {
+    StageGraph graph = BuildStageGraph(split.subplan);
+    if (!graph.viable && tracer != nullptr) {
+      const uint64_t skip =
+          tracer->StartSpan("cf-shuffle-skip", options.trace_parent);
+      tracer->Annotate(skip, "reason", graph.reason);
+      tracer->EndSpan(skip);
+    }
+    if (graph.viable) {
+      ShuffleRunParams rp;
+      rp.catalog = catalog;
+      rp.store = options.intermediate_store != nullptr
+                     ? options.intermediate_store
+                     : catalog->storage();
+      rp.shuffle = options.shuffle;
+      if (rp.shuffle.object_prefix.empty()) {
+        rp.shuffle.object_prefix = options.view_prefix + ".shuffle";
+      }
+      rp.io = options.io;
+      rp.num_workers = options.num_workers;
+      rp.bytes_per_vcpu_second = options.bytes_per_vcpu_second;
+      rp.fleet_parallelism = options.fleet_parallelism;
+      rp.worker_parallelism = options.worker_parallelism;
+      rp.max_task_attempts = options.max_worker_attempts;
+      rp.retry_backoff_ms = options.worker_retry_backoff_ms;
+      rp.vm_fallback = options.vm_fallback;
+      rp.runtime_filters = options.runtime_filters;
+      rp.fused_decode = options.fused_decode;
+      rp.rf_bloom_bits_per_key = options.rf_bloom_bits_per_key;
+      rp.vectorized_hash = options.vectorized_hash;
+      rp.hash_table_load_factor = options.hash_table_load_factor;
+      rp.tracer = options.tracer;
+      rp.trace_parent = options.trace_parent;
+      rp.profile = options.profile;
+      Result<ShuffleExecution> shux = ExecuteShuffleDag(graph, rp);
+      if (!shux.ok()) {
+        // GC the exchange prefix on the failure path too — a failed or
+        // cancelled query must not leak intermediate objects.
+        SweepExchangePrefix(rp.store, rp.shuffle.object_prefix);
+        return shux.status();
+      }
+      out.pushdown_used = true;
+      out.shuffle_used = true;
+      out.shuffle_stages = shux->stages;
+      out.workers_used = shux->tasks;
+      out.worker_retries = shux->task_retries;
+      out.workers_recovered = shux->tasks_recovered;
+      out.workers_fallback = shux->tasks_fallback;
+      out.fallback_bytes_scanned = shux->fallback_bytes_scanned;
+      out.retry_backoff_simulated_ms = shux->retry_backoff_simulated_ms;
+      out.hedges_fired = shux->hedges_fired;
+      out.hedges_won = shux->hedges_won;
+      out.shuffle_bytes_written = shux->exchange_bytes_written;
+      out.shuffle_bytes_read = shux->exchange_bytes_read;
+      out.shuffle_stage_wall_ms = shux->stage_wall_ms;
+      out.shuffle_critical_path_ms = shux->critical_path_ms;
+      out.shuffle_objects_swept = shux->objects_swept;
+      out.bytes_scanned = shux->bytes_scanned;
+      out.rf_probe_rows += shux->rf_probe_rows;
+      out.rf_pruned_rows += shux->rf_pruned_rows;
+      out.rf_pruned_row_groups += shux->rf_pruned_row_groups;
+      out.rf_skipped_bytes += shux->rf_skipped_bytes;
+      return finish(std::move(shux->view));
+    }
+  }
 
   // Partition the sub-plan across the worker fleet.
   PIXELS_ASSIGN_OR_RETURN(
@@ -236,8 +362,6 @@ Result<CfExecution> ExecuteWithCfPushdown(const PlanPtr& plan,
   // so scanned-byte accounting is identical to a fault-free fleet.
   const auto fleet_start = std::chrono::steady_clock::now();
   const size_t n = worker_plans.size();
-  const uint64_t prior_parent =
-      tracer != nullptr ? tracer->ActiveParent() : 0;
   uint64_t fleet_span = 0;
   if (tracer != nullptr) {
     fleet_span = tracer->StartSpan("cf-fleet", options.trace_parent);
@@ -447,9 +571,6 @@ Result<CfExecution> ExecuteWithCfPushdown(const PlanPtr& plan,
     out.retry_backoff_simulated_ms += backoff_ms[w];
     for (const auto& batch : parts[w]->batches()) view->AddBatch(batch);
   }
-  out.view = view;
-  out.work_vcpu_seconds = static_cast<double>(out.bytes_scanned) /
-                          options.bytes_per_vcpu_second;
   if (tracer != nullptr) {
     tracer->Annotate(fleet_span, "retries",
                      static_cast<uint64_t>(out.worker_retries));
@@ -458,47 +579,7 @@ Result<CfExecution> ExecuteWithCfPushdown(const PlanPtr& plan,
     tracer->Annotate(fleet_span, "bytes", out.bytes_scanned);
     tracer->EndSpan(fleet_span);
   }
-
-  // The concatenated worker view is the shareable artifact: cache it
-  // keyed by the unpartitioned sub-plan so future queries skip the fleet.
-  CommitMvInsert(options.mv_store, std::move(sub_snap), view,
-                 out.bytes_scanned);
-
-  // Inject the materialized view and run the top-level plan.
-  PIXELS_RETURN_NOT_OK(InjectView(split.final_plan, view));
-  ExecContext final_ctx;
-  final_ctx.catalog = catalog;
-  final_ctx.io = options.io;
-  final_ctx.tracer = options.tracer;
-  final_ctx.trace_parent = options.trace_parent;
-  final_ctx.profile = options.profile;
-  ApplyExecKnobs(&final_ctx, options);
-  uint64_t final_span = 0;
-  if (tracer != nullptr) {
-    final_span = tracer->StartSpan("cf-final", options.trace_parent);
-    tracer->SetActiveParent(final_span);
-    final_ctx.trace_parent = final_span;
-  }
-  auto final_result = ExecutePlan(split.final_plan, &final_ctx);
-  if (tracer != nullptr) {
-    if (!final_result.ok()) {
-      tracer->Annotate(final_span, "error",
-                       final_result.status().ToString());
-    }
-    tracer->Annotate(final_span, "bytes", final_ctx.bytes_scanned.load());
-    tracer->EndSpan(final_span);
-    tracer->SetActiveParent(prior_parent);
-  }
-  PIXELS_ASSIGN_OR_RETURN(out.result, std::move(final_result));
-  out.bytes_scanned += final_ctx.bytes_scanned;
-  MergeRf(&out, RfCounters::From(final_ctx));
-
-  // Also cache the full-query result (keyed by the original plan, which
-  // still has no inlined view) so an identical repeat skips even the
-  // top-level merge.
-  CommitMvInsert(options.mv_store, std::move(full_snap), out.result,
-                 out.bytes_scanned);
-  return out;
+  return finish(std::move(view));
 }
 
 }  // namespace pixels

@@ -9,6 +9,7 @@
 #include "exec/profile.h"
 #include "mv/mv_store.h"
 #include "plan/subplan.h"
+#include "turbo/shuffle/stage_scheduler.h"
 
 namespace pixels {
 
@@ -50,6 +51,25 @@ struct CfExecution {
   /// worker_elapsed_seconds — the overlap the paper's sub-second CF
   /// absorption story depends on.
   double fleet_elapsed_seconds = 0;
+  /// The sub-plan ran as a multi-stage shuffle DAG (cf_shuffle) instead
+  /// of the single-stage fleet. Results, bytes_scanned, and bills are
+  /// byte-identical either way; only the counters below differ.
+  bool shuffle_used = false;
+  int shuffle_stages = 0;
+  /// Hedged duplicate invocations fired against stragglers / won the
+  /// first-writer-wins race (losers' work is discarded and un-billed).
+  int hedges_fired = 0;
+  int hedges_won = 0;
+  /// Exchange-object bytes written by winning producers / combined-read
+  /// by consumers. Intermediate traffic — never part of `bytes_scanned`.
+  uint64_t shuffle_bytes_written = 0;
+  uint64_t shuffle_bytes_read = 0;
+  /// Simulated wall per shuffle stage (produce-left, produce-right, join)
+  /// and the DAG makespan.
+  std::vector<double> shuffle_stage_wall_ms;
+  double shuffle_critical_path_ms = 0;
+  /// Intermediate objects removed by the end-of-query GC sweep.
+  size_t shuffle_objects_swept = 0;
   /// Runtime-filter totals across every context that ran part of this
   /// query (workers, VM fallbacks, top-level/final plan), merged in
   /// partition order so serial and parallel fleets report identically.
@@ -123,6 +143,12 @@ struct CfWorkerOptions {
   /// (exec/hash_table.h). Superset-safe like the knobs above.
   bool vectorized_hash = true;
   double hash_table_load_factor = 0.7;
+  /// Multi-stage shuffle knobs (stage_scheduler.h). `shuffle.enabled`
+  /// off — the default — preserves single-stage behavior exactly; on, an
+  /// eligible sub-plan (single equi-join core) runs as a
+  /// scan→shuffle→join DAG with hedged straggler mitigation, and
+  /// ineligible shapes silently keep the single-stage fleet.
+  ShuffleOptions shuffle;
 };
 
 /// Executes `plan` with the sub-plan pushed down to a simulated CF worker

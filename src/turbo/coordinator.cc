@@ -9,7 +9,9 @@
 #include "format/footer_cache.h"
 #include "plan/binder.h"
 #include "plan/optimizer.h"
+#include "storage/fault_injection.h"
 #include "storage/object_store.h"
+#include "storage/retrying_storage.h"
 #include "storage/tracing_storage.h"
 
 namespace pixels {
@@ -206,6 +208,36 @@ void Coordinator::MaybeExecuteReal(QueryRecord* rec, bool via_cf) {
     options.tracer = tracer_;
     options.trace_parent = exec_span;
     options.profile = profiling ? &profile : nullptr;
+    options.shuffle.enabled = params_.cf_shuffle;
+    options.shuffle.partitions = params_.cf_shuffle_partitions;
+    options.shuffle.producer_tasks = params_.cf_shuffle_producer_tasks;
+    options.shuffle.hedging = params_.cf_shuffle_hedging;
+    options.shuffle.hedge_quantile = params_.cf_hedge_quantile;
+    options.shuffle.hedge_delay_factor = params_.cf_hedge_delay_factor;
+    options.shuffle.object_prefix = options.view_prefix + ".shuffle";
+    if (params_.cf_shuffle) {
+      // Deterministic straggler model: slow rules on the fault-injecting
+      // decorator (anywhere in the storage stack) stretch whole task
+      // attempts by path, feeding the hedging cutoff.
+      Storage* s = catalog_->storage();
+      while (s != nullptr) {
+        if (auto* fault = dynamic_cast<FaultInjectingStorage*>(s)) {
+          options.shuffle.path_slow_ms = [fault](const std::string& path) {
+            return fault->PathSlowMs(path);
+          };
+          break;
+        }
+        if (auto* t = dynamic_cast<TracingStorage*>(s)) {
+          s = t->inner();
+        } else if (auto* o = dynamic_cast<ObjectStore*>(s)) {
+          s = o->inner();
+        } else if (auto* r = dynamic_cast<RetryingStorage*>(s)) {
+          s = r->inner();
+        } else {
+          break;
+        }
+      }
+    }
     auto exec = ExecuteWithCfPushdown(std::move(optimized).ValueOrDie(),
                                       catalog_.get(), options);
     if (!exec.ok()) {
@@ -219,6 +251,24 @@ void Coordinator::MaybeExecuteReal(QueryRecord* rec, bool via_cf) {
     rec->cf_worker_retries = exec->worker_retries;
     rec->cf_fallback_workers = exec->workers_fallback;
     rec->cf_fallback_bytes = exec->fallback_bytes_scanned;
+    rec->used_shuffle = exec->shuffle_used;
+    rec->shuffle_stages = exec->shuffle_stages;
+    rec->cf_hedges_fired = exec->hedges_fired;
+    rec->cf_hedges_won = exec->hedges_won;
+    rec->shuffle_bytes_written = exec->shuffle_bytes_written;
+    rec->shuffle_bytes_read = exec->shuffle_bytes_read;
+    if (exec->shuffle_used) {
+      metrics_.Add("cf_shuffle_queries", 1);
+      metrics_.Add("cf_hedge_fired_total", exec->hedges_fired);
+      metrics_.Add("cf_hedge_won_total", exec->hedges_won);
+      metrics_.Add("cf_shuffle_bytes_written",
+                   static_cast<double>(exec->shuffle_bytes_written));
+      metrics_.Add("cf_shuffle_bytes_read",
+                   static_cast<double>(exec->shuffle_bytes_read));
+      for (const double wall : exec->shuffle_stage_wall_ms) {
+        metrics_.Observe("cf_stage_wall_ms", wall);
+      }
+    }
     rec->rf_probe_rows = exec->rf_probe_rows;
     rec->rf_pruned_rows = exec->rf_pruned_rows;
     rec->rf_pruned_row_groups = exec->rf_pruned_row_groups;

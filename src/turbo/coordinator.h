@@ -57,6 +57,26 @@ struct CoordinatorParams {
   int cf_max_worker_attempts = 3;
   double cf_worker_retry_backoff_ms = 200.0;
   bool cf_vm_fallback = true;
+  /// Multi-stage CF shuffle (DESIGN.md "Multi-stage CF shuffle"). Off —
+  /// the default — preserves the single-stage fleet exactly. On, a
+  /// pushed-down sub-plan whose core is one equi-join runs as a
+  /// scan→shuffle→join DAG of CF stages exchanging hash-partitioned
+  /// intermediates through the object store; ineligible shapes silently
+  /// keep the single-stage path. Results, bytes_scanned, and bills are
+  /// byte-identical either way.
+  bool cf_shuffle = false;
+  /// Stage fan-out knobs: hash partitions (= join-stage tasks) and
+  /// producer tasks per scan stage. 0 = the query's CF fleet size.
+  int cf_shuffle_partitions = 0;
+  int cf_shuffle_producer_tasks = 0;
+  /// Hedged duplicate invocation of straggler tasks: a task whose
+  /// simulated duration exceeds Percentile(stage durations,
+  /// cf_hedge_quantile) * cf_hedge_delay_factor gets one duplicate; the
+  /// first finisher (simulated time) wins the commit, the loser's write
+  /// is discarded and un-billed.
+  bool cf_shuffle_hedging = true;
+  double cf_hedge_quantile = 75.0;
+  double cf_hedge_delay_factor = 1.5;
   /// Vectorized-execution knobs applied to every real execution (VM path
   /// and CF workers alike). `runtime_filters` publishes bloom + min/max
   /// filters from hash-join builds into probe-side scans (pruned row

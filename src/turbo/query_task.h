@@ -69,6 +69,19 @@ struct QueryRecord {
   /// Bytes scanned by those VM-path fallback partitions (cost split).
   uint64_t cf_fallback_bytes = 0;
 
+  /// The pushed-down sub-plan ran as a multi-stage shuffle DAG
+  /// (cf_shuffle). Results, bytes_scanned, and bills are byte-identical
+  /// to the single-stage path; these counters only describe HOW it ran.
+  bool used_shuffle = false;
+  int shuffle_stages = 0;
+  /// Hedged duplicate tasks fired against stragglers / won their
+  /// first-writer-wins commit race (losers are discarded and un-billed).
+  int cf_hedges_fired = 0;
+  int cf_hedges_won = 0;
+  /// Exchange-object traffic (intermediate, never billed as scan bytes).
+  uint64_t shuffle_bytes_written = 0;
+  uint64_t shuffle_bytes_read = 0;
+
   /// Attributed resource cost (VM vCPU-seconds or CF invocation cost).
   double compute_cost_usd = 0;
   /// Bytes scanned: real when executed, estimated otherwise.

@@ -1,0 +1,147 @@
+#include "turbo/shuffle/stage_graph.h"
+
+#include <algorithm>
+
+namespace pixels {
+
+namespace {
+
+/// Splits an AND tree into conjuncts (borrowed shape from the optimizer).
+void CollectConjuncts(const Expr* e, std::vector<const Expr*>* out) {
+  if (e->kind == Expr::Kind::kBinary && e->op == "AND") {
+    CollectConjuncts(e->args[0].get(), out);
+    CollectConjuncts(e->args[1].get(), out);
+    return;
+  }
+  out->push_back(e);
+}
+
+/// True when `name` (a qualified column ref) resolves into `columns`:
+/// exact match first, then the relaxed bare-name suffix match RowBatch
+/// uses, as long as it is unambiguous.
+bool ResolvesInto(const std::string& name,
+                  const std::vector<std::string>& columns) {
+  if (std::find(columns.begin(), columns.end(), name) != columns.end()) {
+    return true;
+  }
+  int hits = 0;
+  for (const auto& col : columns) {
+    if (col.size() > name.size() &&
+        col.compare(col.size() - name.size(), name.size(), name) == 0 &&
+        col[col.size() - name.size() - 1] == '.') {
+      ++hits;
+    }
+  }
+  return hits == 1;
+}
+
+StageGraph NotViable(std::string reason) {
+  StageGraph g;
+  g.reason = std::move(reason);
+  return g;
+}
+
+/// Walks from `root` down through unary nodes to the first join; returns
+/// null when a non-join branch point or a leaf is reached first.
+LogicalPlan* FindJoin(LogicalPlan* root) {
+  LogicalPlan* node = root;
+  while (node != nullptr) {
+    if (node->kind == LogicalPlan::Kind::kJoin) return node;
+    if (node->children.size() != 1) return nullptr;
+    node = node->children[0].get();
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+StageGraph BuildStageGraph(const PlanPtr& subplan) {
+  if (subplan == nullptr) return NotViable("no sub-plan");
+  LogicalPlan* join = FindJoin(subplan.get());
+  if (join == nullptr) return NotViable("no join on the sub-plan spine");
+  if (join->join_type != JoinClause::Type::kInner) {
+    return NotViable("only inner joins shuffle");
+  }
+  if (join->join_condition == nullptr) {
+    return NotViable("cross join has no partition keys");
+  }
+  for (const auto& child : join->children) {
+    if (child->Contains(LogicalPlan::Kind::kJoin)) {
+      return NotViable("nested joins not yet staged");
+    }
+    if (!child->Contains(LogicalPlan::Kind::kScan)) {
+      return NotViable("join side has no scan to partition");
+    }
+  }
+
+  const std::vector<std::string> left_cols = join->children[0]->OutputColumns();
+  const std::vector<std::string> right_cols =
+      join->children[1]->OutputColumns();
+
+  std::vector<const Expr*> conjuncts;
+  CollectConjuncts(join->join_condition.get(), &conjuncts);
+
+  StageGraph g;
+  for (const Expr* c : conjuncts) {
+    if (c->kind != Expr::Kind::kBinary || c->op != "=" ||
+        c->args[0]->kind != Expr::Kind::kColumnRef ||
+        c->args[1]->kind != Expr::Kind::kColumnRef) {
+      return NotViable("non-equi join conjunct: " + c->ToString());
+    }
+    const Expr* a = c->args[0].get();
+    const Expr* b = c->args[1].get();
+    const std::string an = a->QualifiedName();
+    const std::string bn = b->QualifiedName();
+    if (ResolvesInto(an, left_cols) && ResolvesInto(bn, right_cols)) {
+      g.left_keys.push_back(a->Clone());
+      g.right_keys.push_back(b->Clone());
+    } else if (ResolvesInto(bn, left_cols) && ResolvesInto(an, right_cols)) {
+      g.left_keys.push_back(b->Clone());
+      g.right_keys.push_back(a->Clone());
+    } else {
+      return NotViable("join key does not separate by side: " + c->ToString());
+    }
+  }
+  if (g.left_keys.empty()) return NotViable("no equi-join keys");
+
+  g.left = join->children[0]->Clone();
+  g.right = join->children[1]->Clone();
+
+  // Consumer template: the whole sub-plan with the join's inputs swapped
+  // for view placeholders — the unary chain above the join (projections,
+  // a partial aggregate) runs inside each consumer task.
+  g.consumer = subplan->Clone();
+  LogicalPlan* cjoin = FindJoin(g.consumer.get());
+  auto left_ph = MakeMaterializedView(nullptr);
+  left_ph->view_columns = left_cols;
+  auto right_ph = MakeMaterializedView(nullptr);
+  right_ph->view_columns = right_cols;
+  cjoin->children[0] = std::move(left_ph);
+  cjoin->children[1] = std::move(right_ph);
+  g.viable = true;
+  return g;
+}
+
+Result<PlanPtr> InstantiateConsumer(const StageGraph& graph,
+                                    TablePtr left_partition,
+                                    TablePtr right_partition) {
+  if (!graph.viable || graph.consumer == nullptr) {
+    return Status::FailedPrecondition("stage graph is not viable");
+  }
+  PlanPtr plan = graph.consumer->Clone();
+  LogicalPlan* join = FindJoin(plan.get());
+  if (join == nullptr) {
+    return Status::Internal("consumer template lost its join");
+  }
+  // An absent side becomes an empty table, never a null view — a null
+  // view is a placeholder and would fail execution.
+  join->children[0]->view = left_partition != nullptr
+                                ? std::move(left_partition)
+                                : std::make_shared<Table>();
+  join->children[1]->view = right_partition != nullptr
+                                ? std::move(right_partition)
+                                : std::make_shared<Table>();
+  return plan;
+}
+
+}  // namespace pixels

@@ -1,0 +1,58 @@
+// Stage-DAG planner for the CF shuffle: generalizes PartitionSubplan's
+// "one sub-plan, one merge" into scan → shuffle → join/agg stages. A
+// pushed-down sub-plan whose heavy core is a single equi-join becomes:
+//
+//   stage L: partition(left subtree)  — tasks scan their file subset,
+//            hash-partition output by the left join keys, write one
+//            exchange object each;
+//   stage R: same for the right subtree with the right join keys;
+//   stage J: one task per hash partition — combined-reads its partition
+//            from every L and R object, runs the join (plus whatever
+//            unary chain sat above it in the sub-plan, e.g. a partial
+//            aggregate) over the two assembled sides.
+//
+// The concatenated stage-J outputs re-enter the top-level plan as the
+// materialized view, exactly where the single-stage fleet's view went —
+// so merge aggregation, billing, and MV reuse are unchanged above the
+// seam. Matching pairs always meet: both sides are partitioned with the
+// same kind-tagged key hash that join equality uses.
+#pragma once
+
+#include "plan/subplan.h"
+
+namespace pixels {
+
+/// A shuffle stage DAG derived from one pushed-down sub-plan. When
+/// `viable` is false the sub-plan keeps the single-stage path (`reason`
+/// says why — e.g. no join, non-equi condition, nested joins).
+struct StageGraph {
+  bool viable = false;
+  std::string reason;
+
+  /// Producer subtrees (join-free, scan-containing; partitionable with
+  /// PartitionSubplan).
+  PlanPtr left;
+  PlanPtr right;
+  /// Hash-partition keys per side, index-aligned conjunct by conjunct.
+  std::vector<ExprPtr> left_keys;
+  std::vector<ExprPtr> right_keys;
+  /// Consumer template: the sub-plan with the join's children replaced by
+  /// empty MaterializedView placeholders (left child first). Instantiated
+  /// per partition via InstantiateConsumer.
+  PlanPtr consumer;
+};
+
+/// Analyzes `subplan` (the CF pushdown sub-plan, post-optimization) and
+/// builds the stage graph. Eligible shape: a unary chain from the root to
+/// exactly one INNER join whose condition is a conjunction of
+/// column-ref equalities separable across the two join-free,
+/// scan-containing child subtrees. Anything else → viable=false.
+StageGraph BuildStageGraph(const PlanPtr& subplan);
+
+/// Clones the consumer template and fills its two placeholders with one
+/// partition's assembled left/right tables (empty tables allowed).
+Result<PlanPtr> InstantiateConsumer(const StageGraph& graph,
+                                    TablePtr left_partition,
+                                    TablePtr right_partition);
+
+}  // namespace pixels

@@ -37,6 +37,9 @@ struct SoakOutcome {
   uint64_t retry_exhausted = 0;
   double storage_retries_metric = 0;
   uint64_t injected_errors = 0;
+  /// Intermediate exchange objects still in storage after the soak
+  /// (cf_shuffle is on for every run; the GC sweep must leave zero).
+  size_t leaked_shuffle_objects = 0;
 };
 
 std::vector<std::string> SortedRows(const Table& t) {
@@ -89,6 +92,10 @@ SoakOutcome RunSoak(double fault_rate) {
   cparams.vm.min_vms = 1;
   cparams.vm.max_vms = 4;
   cparams.vm.monitor_interval = 5 * kSeconds;
+  // Shuffle on for the whole soak: any query that takes the CF path and
+  // has an eligible join core runs the multi-stage DAG — under chaos —
+  // and must stay byte-identical to the fault-free baseline.
+  cparams.cf_shuffle = true;
   Coordinator coordinator(&clock, &rng, cparams, catalog);
   QueryServer server(&clock, &coordinator);
 
@@ -139,6 +146,15 @@ SoakOutcome RunSoak(double fault_rate) {
   if (injector != nullptr) {
     out.injected_errors = injector->stats().injected_read_errors;
   }
+  // No-leak scan: nothing under any ".shuffle" exchange prefix survives
+  // the queries, chaos or not.
+  auto all = mem->List("");
+  EXPECT_TRUE(all.ok());
+  if (all.ok()) {
+    for (const auto& f : *all) {
+      if (f.find(".shuffle/") != std::string::npos) ++out.leaked_shuffle_objects;
+    }
+  }
   return out;
 }
 
@@ -158,6 +174,7 @@ void ExpectIdentical(const SoakOutcome& baseline, const SoakOutcome& chaotic,
                      chaotic.queries[i].bill_usd);
   }
   EXPECT_DOUBLE_EQ(baseline.total_billed, chaotic.total_billed);
+  EXPECT_EQ(chaotic.leaked_shuffle_objects, 0u);
   // Every injected fault was either recovered by a retry or never blocked
   // an op (no query failed, so nothing was exhausted).
   EXPECT_EQ(chaotic.retry_exhausted, 0u);
@@ -177,6 +194,7 @@ TEST(ChaosSoakTest, FaultRatesNeverChangeResultsOrBills) {
   EXPECT_EQ(baseline.retry_recovered, 0u);
   EXPECT_EQ(baseline.retry_exhausted, 0u);
   EXPECT_DOUBLE_EQ(baseline.storage_retries_metric, 0.0);
+  EXPECT_EQ(baseline.leaked_shuffle_objects, 0u);
 
   for (double rate : {0.01, 0.05, 0.20}) {
     const SoakOutcome chaotic = RunSoak(rate);
@@ -190,6 +208,93 @@ TEST(ChaosSoakTest, FaultRatesNeverChangeResultsOrBills) {
       EXPECT_GT(chaotic.storage_retries_metric, 0.0);
     }
   }
+}
+
+// Forced-CF shuffle soak: the join query is pinned to the CF path (the
+// single VM slot is saturated), cf_shuffle runs the DAG for every round,
+// and seeded read faults hammer both the base-table scans and the
+// exchange objects. Invariants: every round finishes with identical rows
+// and bytes, and not one intermediate object outlives its query.
+TEST(ChaosSoakTest, ShuffleUnderChaosNeverLeaksOrDiverges) {
+  FooterCache::Shared()->Clear();
+  auto mem = std::make_shared<MemoryStore>();
+  auto switchable = std::make_shared<testing::SwitchableStorage>(mem);
+  RetryPolicy policy;
+  policy.max_attempts = 8;
+  auto retrying = std::make_shared<RetryingStorage>(switchable, policy);
+  auto store = std::make_shared<ObjectStore>(retrying);
+  auto catalog = std::make_shared<Catalog>(store);
+  TpchOptions topt;
+  topt.scale_factor = 0.002;
+  topt.rows_per_file = 2000;
+  ASSERT_TRUE(GenerateTpch(catalog.get(), "tpch", topt).ok());
+
+  FaultInjectionParams fparams;
+  fparams.seed = 11;
+  fparams.read_error_rate = 0.10;
+  fparams.latency_spike_rate = 0.10;
+  auto injector = std::make_shared<FaultInjectingStorage>(mem, fparams);
+  switchable->SetTarget(injector);
+
+  CoordinatorParams cparams;
+  cparams.vm.initial_vms = 1;
+  cparams.vm.slots_per_vm = 1;
+  cparams.vm.min_vms = 1;
+  cparams.vm.max_vms = 1;
+  cparams.vm.monitor_interval = 5 * kSeconds;
+  cparams.default_cf_workers = 4;
+  cparams.cf_shuffle = true;
+  cparams.cf_shuffle_partitions = 4;
+  cparams.cf_shuffle_producer_tasks = 4;
+
+  std::vector<std::string> first_rows;
+  uint64_t first_bytes = 0;
+  for (int round = 0; round < 3; ++round) {
+    SCOPED_TRACE("round=" + std::to_string(round));
+    SimClock clock;
+    Random rng(42);
+    Coordinator coord(&clock, &rng, cparams, catalog);
+    QuerySpec filler;
+    filler.work_vcpu_seconds = 1000.0;
+    coord.Submit(filler);
+
+    QuerySpec spec;
+    spec.sql =
+        "SELECT o_orderpriority, count(*) AS n FROM lineitem l JOIN orders "
+        "o ON l.l_orderkey = o.o_orderkey GROUP BY o_orderpriority "
+        "ORDER BY o_orderpriority";
+    spec.db = "tpch";
+    spec.execute_real = true;
+    spec.cf_enabled = true;
+    int64_t id = coord.Submit(spec);
+    clock.RunAll();
+
+    const QueryRecord* rec = coord.GetQuery(id);
+    ASSERT_NE(rec, nullptr);
+    ASSERT_EQ(rec->state, QueryState::kFinished) << rec->error;
+    EXPECT_TRUE(rec->used_shuffle);
+    ASSERT_NE(rec->result, nullptr);
+    const auto rows = SortedRows(*rec->result);
+    if (round == 0) {
+      first_rows = rows;
+      first_bytes = rec->bytes_scanned;
+      ASSERT_FALSE(first_rows.empty());
+      ASSERT_GT(first_bytes, 0u);
+    } else {
+      EXPECT_EQ(rows, first_rows);
+      EXPECT_EQ(rec->bytes_scanned, first_bytes);
+    }
+    coord.Stop();
+    clock.RunAll();
+
+    auto all = mem->List("");
+    ASSERT_TRUE(all.ok());
+    for (const auto& f : *all) {
+      EXPECT_EQ(f.find(".shuffle/"), std::string::npos) << "leaked: " << f;
+    }
+  }
+  // The chaos was real: faults hit this workload and were absorbed.
+  EXPECT_GT(injector->stats().injected_read_errors, 0u);
 }
 
 }  // namespace

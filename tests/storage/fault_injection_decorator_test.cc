@@ -134,6 +134,47 @@ TEST(FaultInjectingStorageTest, ReadRangesDrawsPerMergedRange) {
   EXPECT_EQ((*ok)[0].size(), 10u);
 }
 
+TEST(FaultInjectingStorageTest, SlowRuleAddsFixedLatencyPerMatchingOp) {
+  FaultInjectionParams params;
+  FaultRule rule;
+  rule.path_substring = "a/";
+  rule.slow_ms = 40.0;
+  params.rules.push_back(rule);
+  FaultInjectingStorage storage(StoreWithObjects(), params);
+  // Three matching ops (read + write sides both count), one non-matching.
+  ASSERT_TRUE(storage.Read("a/x").ok());
+  ASSERT_TRUE(storage.Read("a/x").ok());
+  ASSERT_TRUE(storage.Write("a/z", {1}).ok());
+  ASSERT_TRUE(storage.Read("b/y").ok());
+  const FaultInjectionStats stats = storage.stats();
+  EXPECT_EQ(stats.injected_slow_ops, 3u);
+  EXPECT_DOUBLE_EQ(stats.injected_latency_ms, 120.0);
+  // Deterministic: no error, no randomness, every matching op slowed.
+  EXPECT_EQ(stats.injected_read_errors, 0u);
+  EXPECT_EQ(stats.injected_latency_spikes, 0u);
+}
+
+TEST(FaultInjectingStorageTest, PathSlowMsIsPureFirstMatchWins) {
+  FaultInjectionParams params;
+  FaultRule first;
+  first.path_substring = "task0";
+  first.slow_ms = 500.0;
+  FaultRule fallback;  // empty substring: matches everything
+  fallback.slow_ms = 5.0;
+  params.rules.push_back(first);
+  params.rules.push_back(fallback);
+  FaultInjectingStorage storage(StoreWithObjects(), params);
+
+  EXPECT_DOUBLE_EQ(storage.PathSlowMs("q1/s0/task0.a1"), 500.0);
+  EXPECT_DOUBLE_EQ(storage.PathSlowMs("q1/s0/task1.a1"), 5.0);
+  // Pure: polling moves no counters and draws no randomness.
+  const FaultInjectionStats stats = storage.stats();
+  EXPECT_EQ(stats.read_ops, 0u);
+  EXPECT_EQ(stats.write_ops, 0u);
+  EXPECT_EQ(stats.injected_slow_ops, 0u);
+  EXPECT_DOUBLE_EQ(stats.injected_latency_ms, 0.0);
+}
+
 TEST(FaultInjectingStorageConcurrencyTest, ThreadSafeUnderParallelOps) {
   FaultInjectionParams params;
   params.read_error_rate = 0.5;
