@@ -69,7 +69,9 @@ inline ScenarioResult RunScenario(const CoordinatorParams& cparams,
       out.submit_time = clock.Now();
       out.server_id = server.Submit(
           s, [&out](const SubmissionRecord& srec, const QueryRecord& qrec) {
-            out.finished = true;
+            // Stop() cancels still-held queries with a failed record;
+            // only genuinely finished queries count.
+            out.finished = qrec.state == QueryState::kFinished;
             out.pending_ms = qrec.start_time - srec.received_time;
             out.execution_ms = qrec.ExecutionTime();
             out.bill_usd = srec.bill_usd;

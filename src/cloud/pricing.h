@@ -46,6 +46,15 @@ struct PricingModel {
   double ObjectStoreGetCost(uint64_t gets) const {
     return static_cast<double>(gets) * object_store_price_per_get;
   }
+
+  /// Estimated provider-side cost of running `work_vcpu_seconds` of
+  /// compute on `workers` CF invocations. The admission controller's
+  /// cost-based placement compares this against a fraction of the query's
+  /// $/TB-scan bill to decide whether bursting to CF is economical.
+  double EstimatedCfCost(double work_vcpu_seconds, int workers) const {
+    return work_vcpu_seconds * CfPricePerVcpuSecond() +
+           static_cast<double>(workers) * cf_invocation_cost;
+  }
 };
 
 /// Bytes in one terabyte (decimal, as cloud billing uses).

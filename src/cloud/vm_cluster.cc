@@ -94,9 +94,13 @@ void VmCluster::MonitorTick() {
         params_.scale_in_cooldown <= 0 || last_scale_in_ < 0 ||
         now - last_scale_in_ >= params_.scale_in_cooldown;
     if (window_full && avg < params_.low_watermark &&
-        active_vms_ > params_.min_vms && cooled) {
+        active_vms_ > params_.min_vms && cooled && deferred_backlog_ == 0) {
       TriggerScaleIn();
     }
+  }
+  if (deferred_backlog_ > 0) {
+    metrics_.Record("deferred_backlog", now,
+                    static_cast<double>(deferred_backlog_));
   }
   monitor_event_ = clock_->Schedule(params_.monitor_interval,
                                     [this] { MonitorTick(); });

@@ -79,6 +79,15 @@ class VmCluster {
   void SetBacklog(int backlog) { backlog_ = backlog < 0 ? 0 : backlog; }
   int backlog() const { return backlog_; }
 
+  /// Deferred demand: best-effort queries held by the query server. A
+  /// separate signal from `backlog` on purpose — it must NOT count into
+  /// Concurrency() (best-effort work gates itself on the low watermark,
+  /// so its own holds would keep the gate closed forever) but it blocks
+  /// scale-in: an idle-looking cluster with deferred work pending is
+  /// about to be used.
+  void SetDeferredBacklog(int n) { deferred_backlog_ = n < 0 ? 0 : n; }
+  int deferred_backlog() const { return deferred_backlog_; }
+
   /// Cluster-wide query concurrency (running + waiting), the watermark
   /// metric of paper §3.1.
   double Concurrency() const {
@@ -118,6 +127,7 @@ class VmCluster {
   int pending_vms_ = 0;
   int running_queries_ = 0;
   int backlog_ = 0;
+  int deferred_backlog_ = 0;
 
   bool monitoring_ = false;
   uint64_t monitor_event_ = 0;

@@ -1,0 +1,86 @@
+// Multi-producer single-consumer queue (Vyukov-style, non-intrusive).
+// The submission mailbox of the actor-style query-server dispatcher: any
+// thread may Push; exactly one consumer thread Pops. Push is lock-free
+// (one exchange + one store); Pop is wait-free for the single consumer.
+//
+// Progress caveat inherent to the algorithm: between a producer's
+// exchange of `head_` and its publication of `prev->next`, the chain is
+// momentarily disconnected and Pop returns false even though an element
+// is in flight. Callers that drain until empty must therefore treat
+// "empty" as "empty right now" — the dispatcher re-pumps on every
+// message enqueue, so nothing is ever stranded.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+
+namespace pixels {
+
+template <typename T>
+class MpscQueue {
+ public:
+  MpscQueue() {
+    Node* stub = new Node();
+    head_.store(stub, std::memory_order_relaxed);
+    tail_ = stub;
+  }
+
+  ~MpscQueue() {
+    Node* n = tail_;
+    while (n != nullptr) {
+      Node* next = n->next.load(std::memory_order_relaxed);
+      delete n;
+      n = next;
+    }
+  }
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  /// Enqueues a value. Safe from any thread, any number of producers.
+  void Push(T value) {
+    Node* n = new Node(std::move(value));
+    // Claim the head slot, then link the predecessor to us. The queue is
+    // "disconnected" between the two operations — see the header comment.
+    Node* prev = head_.exchange(n, std::memory_order_acq_rel);
+    prev->next.store(n, std::memory_order_release);
+    size_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Dequeues into `out`. Single consumer only. Returns false when the
+  /// queue is (momentarily) empty.
+  bool Pop(T* out) {
+    Node* tail = tail_;
+    Node* next = tail->next.load(std::memory_order_acquire);
+    if (next == nullptr) return false;
+    *out = std::move(next->value);
+    tail_ = next;
+    delete tail;
+    size_.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// True when no fully-published element is visible to the consumer.
+  bool Empty() const {
+    return tail_->next.load(std::memory_order_acquire) == nullptr;
+  }
+
+  /// Element count, approximate under concurrent pushes (exact once
+  /// producers are quiescent). Monitoring only.
+  size_t ApproxSize() const { return size_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Node {
+    Node() = default;
+    explicit Node(T v) : value(std::move(v)) {}
+    std::atomic<Node*> next{nullptr};
+    T value{};
+  };
+
+  std::atomic<Node*> head_;  // producers exchange onto this end
+  Node* tail_;               // consumer-owned: the stub before the front
+  std::atomic<size_t> size_{0};
+};
+
+}  // namespace pixels

@@ -2,18 +2,36 @@
 // Pixels-Rover), schedules them at the requested service level, and bills
 // per TB scanned.
 //
-//  - Immediate: submitted to the coordinator at once with CF enabled.
+//  - Immediate: submitted to the coordinator at once with CF enabled
+//    (or, with cost-based placement on, CF only when economical).
 //  - Relaxed: submitted with CF disabled when VM concurrency is below the
-//    high watermark; otherwise held in the server queue until capacity
+//    relaxed watermark; otherwise held in the server queue until capacity
 //    appears or the grace period expires (then submitted anyway — the
 //    coordinator queues it for VMs, still without CF).
-//  - Best-of-effort: only submitted when VM concurrency is below the low
-//    watermark; no pending-time guarantee.
+//  - Best-of-effort: only submitted when VM concurrency is below the
+//    best-effort watermark; no pending-time guarantee. During Immediate
+//    bursts it can additionally be deferred and preempted (recalled from
+//    the coordinator queue) when the admission policy says so.
+//
+// Internally the server is an actor: submissions, completions, and poll
+// ticks are messages through an MPSC mailbox drained by a run-to-
+// completion pump on the simulation thread, and per-submission state
+// lives in sharded tables (stable node pointers, per-shard locks) so
+// millions of sessions stay tractable and batched status polls do not
+// serialize against the dispatcher. With `async_dispatch=false` every
+// message is handled by direct call at the submission site — the
+// synchronous seed path — and the two modes produce byte-identical
+// results, bytes_scanned, and bills for the same arrival schedule.
 #pragma once
 
 #include <deque>
+#include <vector>
 
+#include "server/admission.h"
+#include "server/dispatcher.h"
 #include "server/service_level.h"
+#include "server/session_shard.h"
+#include "server/submission.h"
 #include "turbo/coordinator.h"
 
 namespace pixels {
@@ -33,39 +51,16 @@ struct QueryServerParams {
   /// for a full hit is this fraction of the original query's bill, which
   /// keeps revenue auditable against `mv_saved_bytes`.
   double mv_reuse_bill_fraction = 0.1;
-};
-
-/// A submission through the query server.
-struct Submission {
-  QuerySpec query;
-  ServiceLevel level = ServiceLevel::kImmediate;
-  /// Overrides the server's default result-size limit when positive.
-  int64_t result_limit = 0;
-};
-
-/// Billing + scheduling record kept per submission.
-struct SubmissionRecord {
-  int64_t server_id = 0;       // id in the query server
-  int64_t coordinator_id = 0;  // id once submitted to the coordinator (0 = held)
-  ServiceLevel level = ServiceLevel::kImmediate;
-  SimTime received_time = 0;
-  SimTime dispatch_time = -1;  // when handed to the coordinator
-  double bill_usd = 0;         // $/TB-scan price charged to the user
-  /// Billing idempotence guard: set when the finish callback settles this
-  /// submission (bill accumulated, or waived for a failed query). A
-  /// double-fired or re-invoked completion — a live hazard with CF worker
-  /// re-invocation — can never accumulate the bill twice.
-  bool billed = false;
-  /// The whole query was answered from the materialized-view store.
-  bool mv_hit = false;
-  /// Scan bytes MV reuse avoided; billed at `mv_reuse_bill_fraction`.
-  uint64_t mv_saved_bytes = 0;
-  /// The result as returned to the client, after the submission form's
-  /// result-size limit was applied (null until finished).
-  TablePtr result;
-  /// Root "query" span covering the submission from receipt to billing
-  /// (0 when the coordinator's tracer is off).
-  uint64_t span_id = 0;
+  /// Route every server mutation through the MPSC mailbox + pump (the
+  /// actor path). Off = handle messages by direct call at the submission
+  /// site (the synchronous seed path). Byte-identical either way.
+  bool async_dispatch = true;
+  /// Shards of the submission/session tables (rounded up to a power of
+  /// two). More shards = less lock contention for concurrent status
+  /// reads against millions of entries.
+  int session_shards = 16;
+  /// Admission-control policy (defaults reproduce the seed gates).
+  AdmissionParams admission;
 };
 
 /// The serverless query frontend.
@@ -74,19 +69,31 @@ class QueryServer {
   QueryServer(SimClock* clock, Coordinator* coordinator,
               QueryServerParams params = {});
 
-  /// Stops the polling loop (lets SimClock::RunAll terminate).
+  /// Stops the server: cancels the polling loop (lets SimClock::RunAll
+  /// terminate) and fails every still-held query with an explicit
+  /// cancelled status — callbacks fire, hold spans end, and the
+  /// `submissions_cancelled` metric counts them. Queries already at the
+  /// coordinator keep running and settle normally.
   void Stop();
 
-  using FinishCallback = std::function<void(const SubmissionRecord&,
-                                            const QueryRecord&)>;
+  using FinishCallback = ::pixels::FinishCallback;
 
   /// Accepts a query at a service level. `on_finish` fires with both the
   /// server-side record (incl. the bill) and the engine-side record.
   /// Returns -1 (no record created, callback never fires) once the
-  /// server has been stopped: held queries would otherwise sit in the
-  /// stopped polling loop's deques forever while the caller holds a
-  /// seemingly valid id.
+  /// server has been stopped.
   int64_t Submit(Submission submission, FinishCallback on_finish = nullptr);
+
+  /// Opens a client session; submissions carrying the returned id
+  /// aggregate per-session counters (queries, bills) in the sharded
+  /// session table. Sessions are cheap: opening a million is expected.
+  int64_t OpenSession();
+  /// Marks a session closed. Returns false for unknown/already-closed.
+  bool CloseSession(int64_t session_id);
+  /// Stable pointer into the session table (null when unknown).
+  const ClientSession* GetSession(int64_t session_id) const;
+  size_t OpenSessions() const { return open_sessions_; }
+  size_t SessionCount() const { return client_sessions_.Size(); }
 
   /// Combined view of one submission's status (pending covers both the
   /// server hold queue and the coordinator queue).
@@ -99,6 +106,8 @@ class QueryServer {
     bool used_cf = false;
     bool mv_hit = false;
     uint64_t mv_saved_bytes = 0;
+    /// Cancelled while held (server stopped); state reads kFailed.
+    bool cancelled = false;
     std::string error;
     /// EXPLAIN ANALYZE report of the real execution (empty unless the
     /// coordinator ran with trace_level=full).
@@ -106,15 +115,25 @@ class QueryServer {
   };
   Result<StatusView> GetStatus(int64_t server_id) const;
 
+  /// Batched status poll: one lock acquisition per session shard touched
+  /// instead of one per id. `found[i]` is false for unknown ids (their
+  /// view is default-constructed).
+  std::vector<StatusView> GetStatusBatch(const std::vector<int64_t>& ids,
+                                         std::vector<bool>* found) const;
+
   const SubmissionRecord* GetRecord(int64_t server_id) const;
 
   /// Queries currently held by the server (not yet at the coordinator).
-  size_t HeldQueries() const { return relaxed_held_.size() + best_effort_held_.size(); }
+  size_t HeldQueries() const {
+    return relaxed_held_.size() + best_effort_held_.size();
+  }
 
   double TotalBilledUsd() const { return total_billed_; }
   Coordinator* coordinator() const { return coordinator_; }
   const QueryServerParams& params() const { return params_; }
   MetricsRegistry& metrics() { return metrics_; }
+  const DispatcherStats& dispatcher_stats() const { return mailbox_.stats(); }
+  const AdmissionController& admission() const { return admission_; }
 
   /// Everything in one registry: the server's own counters and
   /// per-service-level histograms (queue_wait_ms{level=...},
@@ -124,13 +143,47 @@ class QueryServer {
   MetricsRegistry MetricsSnapshot();
 
  private:
-  struct Held {
-    int64_t server_id;
-    SimTime deadline;       // grace-period expiry (relaxed only)
-    uint64_t hold_span = 0; // "hold" span while in the server queue
+  /// Per-submission actor state. The SubmissionRecord pointer handed out
+  /// by GetRecord aliases `record`, which is stable for the submission's
+  /// lifetime (node-based shard maps).
+  struct Session {
+    SubmissionRecord record;
+    /// The spec while not at the coordinator (fresh or recalled).
+    QuerySpec spec;
+    bool has_spec = false;
+    int64_t result_limit = 0;
+    /// queue_wait_ms is observed once, at the first dispatch.
+    bool wait_observed = false;
+    FinishCallback callback;
   };
 
-  void Poll();
+  struct Held {
+    int64_t server_id;
+    SimTime deadline;        // grace-period expiry (relaxed only)
+    uint64_t hold_span = 0;  // "hold" span while in the server queue
+  };
+
+  /// Routes a message: async → mailbox push + immediate pump (re-entrant
+  /// pushes are absorbed by the active pump); sync → direct call.
+  void Enqueue(ServerMessage msg);
+  void HandleMessage(ServerMessage&& msg);
+  void HandleSubmit(int64_t server_id);
+  void HandleCompletion(int64_t server_id, const QueryRecord& qrec);
+  void HandlePoll();
+
+  /// Point-in-time load signals for one admission decision.
+  AdmissionSignals Signals() const;
+  /// Publishes both hold-queue depths to the coordinator (relaxed →
+  /// autoscaling backlog; best-effort → scale-in-blocking deferred
+  /// signal).
+  void UpdateExternalPending();
+  /// Fails a held query with cancelled status: zero bill, callback with
+  /// a synthetic failed QueryRecord, spans closed, metrics counted.
+  void CancelHeld(const Held& held, Tracer* tracer);
+  /// Recalls coordinator-queued best-effort queries back into the hold
+  /// queue (burst preemption).
+  void PreemptQueuedBestEffort(Tracer* tracer);
+
   /// The coordinator's tracer when tracing is on, else null; syncs the
   /// tracer's and logger's virtual-time mirrors as a side effect (always
   /// called on the simulation thread).
@@ -145,13 +198,19 @@ class QueryServer {
   SimClock* clock_;
   Coordinator* coordinator_;
   QueryServerParams params_;
+  AdmissionController admission_;
 
   int64_t next_id_ = 1;
-  std::map<int64_t, SubmissionRecord> records_;
-  std::map<int64_t, Submission> pending_specs_;
-  std::map<int64_t, FinishCallback> callbacks_;
+  int64_t next_session_id_ = 1;
+  ShardedTable<Session> sessions_;
+  ShardedTable<ClientSession> client_sessions_;
+  size_t open_sessions_ = 0;
   std::deque<Held> relaxed_held_;
   std::deque<Held> best_effort_held_;
+  /// Best-effort queries dispatched to the coordinator, kept while they
+  /// may still be waiting in its VM queue (preemption candidates).
+  std::vector<int64_t> dispatched_best_effort_;
+  ServerMailbox mailbox_;
   bool polling_ = false;
   uint64_t poll_event_ = 0;
   SimTime poll_fire_time_ = 0;  // virtual time of the scheduled poll

@@ -1,0 +1,125 @@
+// Sharded id-keyed state tables for the query server: submissions and
+// client sessions live in N independently-locked shards so millions of
+// cheap session state machines are tractable and concurrent status polls
+// do not serialize against the dispatcher.
+//
+// Concurrency contract (the actor model's): the dispatcher thread is the
+// ONLY writer (Emplace/Find-for-write/Erase); any thread may read through
+// Project/ProjectBatch, which copy a projection of the entry out under
+// the shard lock. Pointers returned by Find stay valid across inserts
+// and rehashes (node-based map) but must only be dereferenced on the
+// dispatcher thread.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace pixels {
+
+template <typename V>
+class ShardedTable {
+ public:
+  /// `shards` is rounded up to a power of two (minimum 1).
+  explicit ShardedTable(int shards = 16) {
+    size_t n = 1;
+    while (n < static_cast<size_t>(shards < 1 ? 1 : shards)) n <<= 1;
+    shards_ = std::vector<Shard>(n);
+    mask_ = n - 1;
+  }
+
+  /// Inserts a default-constructed entry; returns the existing one when
+  /// the id is already present. The pointer is stable for the entry's
+  /// lifetime. Dispatcher thread only.
+  V* Emplace(int64_t id) {
+    Shard& s = ShardOf(id);
+    std::lock_guard<std::mutex> lock(s.mu);
+    return &s.map[id];
+  }
+
+  /// Dispatcher thread only (see the concurrency contract above).
+  V* Find(int64_t id) {
+    Shard& s = ShardOf(id);
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.map.find(id);
+    return it == s.map.end() ? nullptr : &it->second;
+  }
+  const V* Find(int64_t id) const {
+    return const_cast<ShardedTable*>(this)->Find(id);
+  }
+
+  bool Erase(int64_t id) {
+    Shard& s = ShardOf(id);
+    std::lock_guard<std::mutex> lock(s.mu);
+    return s.map.erase(id) > 0;
+  }
+
+  size_t Size() const {
+    size_t n = 0;
+    for (const Shard& s : shards_) {
+      std::lock_guard<std::mutex> lock(s.mu);
+      n += s.map.size();
+    }
+    return n;
+  }
+
+  /// Copies `fn(entry)` out under the shard lock. Safe from any thread.
+  /// Returns false (and leaves `out` untouched) when the id is absent.
+  template <typename Out, typename Fn>
+  bool Project(int64_t id, Fn&& fn, Out* out) const {
+    const Shard& s = ShardOf(id);
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.map.find(id);
+    if (it == s.map.end()) return false;
+    *out = fn(it->second);
+    return true;
+  }
+
+  /// Batched projection: one lock acquisition per *shard touched*, not
+  /// per id — the batched-status-poll fast path. `out` and `present` are
+  /// resized to `ids.size()`; absent ids leave a default `Out`.
+  template <typename Out, typename Fn>
+  void ProjectBatch(const std::vector<int64_t>& ids, Fn&& fn,
+                    std::vector<Out>* out, std::vector<bool>* present) const {
+    out->assign(ids.size(), Out{});
+    present->assign(ids.size(), false);
+    // Group requested indices by shard, then visit each shard once.
+    std::vector<std::vector<size_t>> by_shard(shards_.size());
+    for (size_t i = 0; i < ids.size(); ++i) {
+      by_shard[ShardIndex(ids[i])].push_back(i);
+    }
+    for (size_t sh = 0; sh < shards_.size(); ++sh) {
+      if (by_shard[sh].empty()) continue;
+      const Shard& s = shards_[sh];
+      std::lock_guard<std::mutex> lock(s.mu);
+      for (size_t i : by_shard[sh]) {
+        auto it = s.map.find(ids[i]);
+        if (it == s.map.end()) continue;
+        (*out)[i] = fn(it->second);
+        (*present)[i] = true;
+      }
+    }
+  }
+
+  size_t shard_count() const { return shards_.size(); }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<int64_t, V> map;
+  };
+
+  size_t ShardIndex(int64_t id) const {
+    // Fibonacci spread so sequential ids fan across shards.
+    return (static_cast<uint64_t>(id) * 0x9E3779B97F4A7C15ull >> 32) & mask_;
+  }
+  Shard& ShardOf(int64_t id) { return shards_[ShardIndex(id)]; }
+  const Shard& ShardOf(int64_t id) const { return shards_[ShardIndex(id)]; }
+
+  std::vector<Shard> shards_;
+  size_t mask_ = 0;
+};
+
+}  // namespace pixels

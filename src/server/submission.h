@@ -1,0 +1,77 @@
+// Client-facing submission types shared by the query server, the session
+// shards, and the admission controller: what a client hands in, the
+// billing/scheduling record kept per submission, and the client-session
+// state machine the sharded tables hold.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "server/service_level.h"
+#include "turbo/query_task.h"
+
+namespace pixels {
+
+/// A submission through the query server.
+struct Submission {
+  QuerySpec query;
+  ServiceLevel level = ServiceLevel::kImmediate;
+  /// Overrides the server's default result-size limit when positive.
+  int64_t result_limit = 0;
+  /// Client session this submission belongs to (0 = sessionless). Opened
+  /// with QueryServer::OpenSession; per-session aggregates accumulate on
+  /// settle.
+  int64_t session_id = 0;
+};
+
+/// Billing + scheduling record kept per submission.
+struct SubmissionRecord {
+  int64_t server_id = 0;       // id in the query server
+  int64_t coordinator_id = 0;  // id once submitted to the coordinator (0 = held)
+  ServiceLevel level = ServiceLevel::kImmediate;
+  int64_t session_id = 0;      // owning client session (0 = sessionless)
+  SimTime received_time = 0;
+  SimTime dispatch_time = -1;  // when handed to the coordinator
+  double bill_usd = 0;         // $/TB-scan price charged to the user
+  /// Billing idempotence guard: set when the finish callback settles this
+  /// submission (bill accumulated, or waived for a failed query). A
+  /// double-fired or re-invoked completion — a live hazard with CF worker
+  /// re-invocation — can never accumulate the bill twice.
+  bool billed = false;
+  /// The submission was cancelled while held (server stopped before it
+  /// could dispatch). Settled with a zero bill; `error` says why.
+  bool cancelled = false;
+  /// Server-side failure reason for submissions that never reached the
+  /// coordinator (cancellation); coordinator-side errors live on the
+  /// QueryRecord.
+  std::string error;
+  /// The whole query was answered from the materialized-view store.
+  bool mv_hit = false;
+  /// Scan bytes MV reuse avoided; billed at `mv_reuse_bill_fraction`.
+  uint64_t mv_saved_bytes = 0;
+  /// The result as returned to the client, after the submission form's
+  /// result-size limit was applied (null until finished).
+  TablePtr result;
+  /// Root "query" span covering the submission from receipt to billing
+  /// (0 when the coordinator's tracer is off).
+  uint64_t span_id = 0;
+};
+
+/// Fires with both the server-side record (incl. the bill) and the
+/// engine-side record when a submission settles.
+using FinishCallback =
+    std::function<void(const SubmissionRecord&, const QueryRecord&)>;
+
+/// A client session: the cheap per-user state machine the sharded tables
+/// are sized for (millions of open sessions, a small working set of
+/// active queries). Aggregates update when submissions arrive and settle.
+struct ClientSession {
+  int64_t id = 0;
+  SimTime opened_time = 0;
+  bool open = true;
+  int64_t queries_submitted = 0;
+  int64_t queries_settled = 0;
+  double billed_usd = 0;
+};
+
+}  // namespace pixels

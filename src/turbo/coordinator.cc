@@ -123,13 +123,42 @@ int64_t Coordinator::Submit(QuerySpec spec, QueryCallback on_finish) {
   return id;
 }
 
-void Coordinator::SetExternalPending(int n) {
-  external_pending_ = n < 0 ? 0 : n;
+void Coordinator::SetExternalPending(int relaxed_held, int deferred_held) {
+  external_pending_ = relaxed_held < 0 ? 0 : relaxed_held;
+  external_deferred_ = deferred_held < 0 ? 0 : deferred_held;
   UpdateBacklog();
 }
 
 void Coordinator::UpdateBacklog() {
   vm_.SetBacklog(static_cast<int>(vm_queue_.size()) + external_pending_);
+  vm_.SetDeferredBacklog(external_deferred_);
+}
+
+bool Coordinator::TryRecall(int64_t id, QuerySpec* spec_out) {
+  auto it = queries_.find(id);
+  if (it == queries_.end()) return false;
+  QueryRecord& rec = it->second;
+  if (rec.state != QueryState::kPending) return false;
+  auto pos = std::find(vm_queue_.begin(), vm_queue_.end(), id);
+  if (pos == vm_queue_.end()) return false;  // CF-dispatched or racing
+  vm_queue_.erase(pos);
+  if (rec.queue_span_id != 0) {
+    tracer_->Annotate(rec.queue_span_id, "released_by", "recalled");
+    tracer_->EndSpan(rec.queue_span_id);
+    rec.queue_span_id = 0;
+  }
+  if (rec.span_id != 0) {
+    tracer_->Annotate(rec.span_id, "state", "recalled");
+    tracer_->EndSpan(rec.span_id);
+  }
+  if (spec_out != nullptr) *spec_out = std::move(rec.spec);
+  callbacks_.erase(id);
+  queries_.erase(it);
+  metrics_.Add("queries_recalled", 1);
+  UpdateBacklog();
+  metrics_.Record("vm_queue_depth", clock_->Now(),
+                  static_cast<double>(vm_queue_.size()));
+  return true;
 }
 
 void Coordinator::DispatchFromQueue() {

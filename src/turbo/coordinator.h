@@ -133,10 +133,22 @@ class Coordinator {
   const QueryRecord* GetQuery(int64_t id) const;
 
   /// Reports demand the coordinator cannot see: queries held in the
-  /// query server's relaxed queue. Counted into the autoscaling signal so
-  /// the grace period actually "gives time for the VM cluster to scale
-  /// out" (paper §3.2(2)).
-  void SetExternalPending(int n);
+  /// query server. `relaxed_held` (the relaxed hold queue) counts into
+  /// the autoscaling signal so the grace period actually "gives time for
+  /// the VM cluster to scale out" (paper §3.2(2)). `deferred_held`
+  /// (best-effort holds) is deliberately a SEPARATE signal: it must not
+  /// raise Concurrency() — best-effort work gates itself on the low
+  /// watermark, so counting its own holds would keep its gate closed
+  /// forever — but it blocks scale-in, since an idle-looking cluster
+  /// with deferred work pending is about to be used.
+  void SetExternalPending(int relaxed_held, int deferred_held = 0);
+
+  /// Recalls a query that is still waiting in the coordinator's VM queue
+  /// (admission preemption of best-effort work during Immediate bursts).
+  /// On success the query's spec is moved into `spec_out`, its record and
+  /// callback are erased as if never submitted, and true is returned.
+  /// Running/finished queries and CF-dispatched queries return false.
+  bool TryRecall(int64_t id, QuerySpec* spec_out);
 
   /// Load-status API used by the query server (paper §2). Total demand:
   /// running queries plus every queued/held one (the autoscaling signal).
@@ -223,6 +235,7 @@ class Coordinator {
   std::map<int64_t, QueryCallback> callbacks_;
   std::deque<int64_t> vm_queue_;
   int external_pending_ = 0;
+  int external_deferred_ = 0;
   /// Last storage-stats snapshot published into `metrics_` (delta base).
   ObjectStoreStats published_storage_;
   MetricsRegistry metrics_;

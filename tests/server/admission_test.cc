@@ -1,0 +1,276 @@
+// Admission-control policy suite (ISSUE 9 tentpole): watermark
+// generalization of the seed gates, cost-based VM-vs-CF placement,
+// Immediate-burst detection, and best-effort deferral/preemption
+// (including the coordinator's TryRecall hook).
+#include <gtest/gtest.h>
+
+#include "server/admission.h"
+#include "server/query_server.h"
+
+namespace pixels {
+namespace {
+
+AdmissionSignals IdleSignals() {
+  AdmissionSignals sig;
+  sig.engine_concurrency = 0;
+  sig.total_concurrency = 0;
+  sig.high_watermark = 5.0;
+  sig.low_watermark = 0.75;
+  sig.free_slots = 8;
+  sig.queue_depth = 0;
+  sig.cf_available = true;
+  sig.bytes_per_vcpu_second = 100e6;
+  return sig;
+}
+
+AdmissionController MakeController(AdmissionParams p = {}) {
+  return AdmissionController(p, PriceList{}, PricingModel{},
+                             /*default_cf_workers=*/8);
+}
+
+// ---------------------------------------------------------------------------
+// Watermark semantics
+
+TEST(AdmissionControllerTest, DefaultsReproduceSeedGates) {
+  AdmissionController ac = MakeController();
+  AdmissionSignals sig = IdleSignals();
+
+  // Immediate: always dispatch, CF enabled.
+  AdmissionDecision d = ac.Decide(ServiceLevel::kImmediate, 1 << 30, sig, 0);
+  EXPECT_TRUE(d.dispatch);
+  EXPECT_TRUE(d.cf_enabled);
+
+  // Relaxed gates on ENGINE concurrency vs the VM high watermark.
+  sig.engine_concurrency = 4.9;
+  EXPECT_TRUE(ac.Decide(ServiceLevel::kRelaxed, 0, sig, 0).dispatch);
+  sig.engine_concurrency = 5.0;  // at the watermark: held (seed used >=)
+  EXPECT_FALSE(ac.Decide(ServiceLevel::kRelaxed, 0, sig, 0).dispatch);
+  // Total concurrency (held relaxed demand) must NOT close the relaxed
+  // gate — the seed's "held queries don't gate themselves" invariant.
+  sig.engine_concurrency = 0;
+  sig.total_concurrency = 100;
+  EXPECT_TRUE(ac.Decide(ServiceLevel::kRelaxed, 0, sig, 0).dispatch);
+
+  // Best-effort gates on TOTAL concurrency vs the VM low watermark.
+  sig.total_concurrency = 0.5;
+  EXPECT_TRUE(ac.Decide(ServiceLevel::kBestEffort, 0, sig, 0).dispatch);
+  sig.total_concurrency = 0.75;
+  EXPECT_FALSE(ac.Decide(ServiceLevel::kBestEffort, 0, sig, 0).dispatch);
+}
+
+TEST(AdmissionControllerTest, ExplicitWatermarksOverrideVmDefaults) {
+  AdmissionParams p;
+  p.relaxed_admit_watermark = 10.0;
+  p.best_effort_admit_watermark = 2.0;
+  AdmissionController ac = MakeController(p);
+  AdmissionSignals sig = IdleSignals();  // vm watermarks 5.0 / 0.75
+
+  sig.engine_concurrency = 7.0;  // above VM high, below the override
+  EXPECT_TRUE(ac.Decide(ServiceLevel::kRelaxed, 0, sig, 0).dispatch);
+  sig.engine_concurrency = 10.0;
+  EXPECT_FALSE(ac.Decide(ServiceLevel::kRelaxed, 0, sig, 0).dispatch);
+
+  sig.total_concurrency = 1.5;  // above VM low, below the override
+  EXPECT_TRUE(ac.Decide(ServiceLevel::kBestEffort, 0, sig, 0).dispatch);
+  sig.total_concurrency = 2.0;
+  EXPECT_FALSE(ac.Decide(ServiceLevel::kBestEffort, 0, sig, 0).dispatch);
+}
+
+// ---------------------------------------------------------------------------
+// Cost-based placement
+
+TEST(AdmissionControllerTest, CostBasedPlacementGatesCfOnBillFraction) {
+  AdmissionParams p;
+  p.cost_based_placement = true;
+  p.cf_bill_fraction_cap = 0.5;
+  AdmissionController ac = MakeController(p);
+  AdmissionSignals sig = IdleSignals();
+
+  // A 1 TB scan bills $5 at Immediate; CF cost ≈ 10000 vcpu-s at the CF
+  // unit price (~$0.16 per 1000 s) — far under the $2.50 cap.
+  const uint64_t tb = 1'000'000'000'000ULL;
+  AdmissionDecision big = ac.Decide(ServiceLevel::kImmediate, tb, sig, 0);
+  EXPECT_TRUE(big.dispatch);
+  EXPECT_TRUE(big.cf_enabled);
+  EXPECT_STREQ(big.reason, "cf-economical");
+
+  // A 1 MB scan bills $0.000005; even one CF invocation fee busts the
+  // fraction cap — keep it on the VM path.
+  AdmissionDecision small =
+      ac.Decide(ServiceLevel::kImmediate, 1'000'000, sig, 0);
+  EXPECT_TRUE(small.dispatch);  // placement never delays Immediate work
+  EXPECT_FALSE(small.cf_enabled);
+  EXPECT_STREQ(small.reason, "cf-uneconomical");
+
+  // CF exhausted: no fleet regardless of economics.
+  sig.cf_available = false;
+  AdmissionDecision no_cf = ac.Decide(ServiceLevel::kImmediate, tb, sig, 0);
+  EXPECT_TRUE(no_cf.dispatch);
+  EXPECT_FALSE(no_cf.cf_enabled);
+  EXPECT_STREQ(no_cf.reason, "cf-unavailable");
+}
+
+TEST(AdmissionControllerTest, EstimatedCfCostScalesWithBytesAndWorkers) {
+  AdmissionController ac = MakeController();
+  AdmissionSignals sig = IdleSignals();
+  const double c1 = ac.EstimatedCfCost(1'000'000'000ULL, sig);
+  const double c2 = ac.EstimatedCfCost(2'000'000'000ULL, sig);
+  EXPECT_GT(c1, 0);
+  EXPECT_GT(c2, c1);
+  // PricingModel arithmetic: work × CF vCPU-second price + invocations.
+  PricingModel pm;
+  EXPECT_DOUBLE_EQ(pm.EstimatedCfCost(10.0, 8),
+                   10.0 * pm.CfPricePerVcpuSecond() +
+                       8 * pm.cf_invocation_cost);
+}
+
+// ---------------------------------------------------------------------------
+// Burst detection + deferral
+
+TEST(AdmissionControllerTest, BurstWindowDetectsImmediateSpikes) {
+  AdmissionParams p;
+  p.preempt_best_effort = true;
+  p.burst_window = 10 * kSeconds;
+  p.burst_threshold = 3;
+  AdmissionController ac = MakeController(p);
+
+  ac.NoteImmediateArrival(1000);
+  ac.NoteImmediateArrival(2000);
+  EXPECT_FALSE(ac.BurstActive(2000));
+  ac.NoteImmediateArrival(3000);
+  EXPECT_TRUE(ac.BurstActive(3000));
+  // The window slides: at t=12s only the t=3s arrival remains.
+  EXPECT_FALSE(ac.BurstActive(12'000));
+
+  // While a burst is active the best-effort gate stays closed even on an
+  // idle cluster.
+  ac.NoteImmediateArrival(20'000);
+  ac.NoteImmediateArrival(20'100);
+  ac.NoteImmediateArrival(20'200);
+  AdmissionSignals sig = IdleSignals();
+  EXPECT_FALSE(ac.ShouldReleaseBestEffort(sig, 20'300));
+  AdmissionDecision d = ac.Decide(ServiceLevel::kBestEffort, 0, sig, 20'300);
+  EXPECT_FALSE(d.dispatch);
+  EXPECT_STREQ(d.reason, "held-immediate-burst");
+  // Burst over: gate reopens.
+  EXPECT_TRUE(ac.ShouldReleaseBestEffort(sig, 31'000));
+}
+
+TEST(AdmissionControllerTest, BurstDetectionOffByDefault) {
+  AdmissionController ac = MakeController();
+  for (int i = 0; i < 100; ++i) ac.NoteImmediateArrival(1000 + i);
+  EXPECT_FALSE(ac.BurstActive(1100));
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator recall + end-to-end preemption
+
+class PreemptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cparams_.vm.initial_vms = 1;
+    cparams_.vm.slots_per_vm = 1;
+    cparams_.vm.min_vms = 1;
+    cparams_.vm.max_vms = 4;
+    cparams_.vm.high_watermark = 2.0;
+    cparams_.vm.low_watermark = 2.0;  // permissive best-effort gate
+    cparams_.vm.scale_in_cooldown = 0;
+    coordinator_ = std::make_unique<Coordinator>(&clock_, &rng_, cparams_);
+  }
+
+  void TearDown() override { coordinator_->Stop(); }
+
+  QuerySpec Spec(double vcpu_seconds) {
+    QuerySpec q;
+    q.work_vcpu_seconds = vcpu_seconds;
+    q.bytes_to_scan = 1'000'000'000;
+    return q;
+  }
+
+  SimClock clock_;
+  Random rng_{42};
+  CoordinatorParams cparams_;
+  std::unique_ptr<Coordinator> coordinator_;
+};
+
+TEST_F(PreemptionTest, TryRecallOnlyTakesQueuedQueries) {
+  // Fill the single slot, then queue one more (CF off → VM queue).
+  QuerySpec running = Spec(60.0);
+  const int64_t running_id = coordinator_->Submit(std::move(running));
+  QuerySpec queued = Spec(5.0);
+  queued.bytes_to_scan = 42;
+  const int64_t queued_id = coordinator_->Submit(std::move(queued));
+  EXPECT_EQ(coordinator_->QueueDepth(), 1u);
+
+  QuerySpec out;
+  // Running query: not recallable.
+  EXPECT_FALSE(coordinator_->TryRecall(running_id, &out));
+  // Queued query: recalled, spec returned, record gone.
+  EXPECT_TRUE(coordinator_->TryRecall(queued_id, &out));
+  EXPECT_EQ(out.bytes_to_scan, 42u);
+  EXPECT_EQ(coordinator_->QueueDepth(), 0u);
+  EXPECT_EQ(coordinator_->GetQuery(queued_id), nullptr);
+  EXPECT_EQ(coordinator_->metrics().Counter("queries_recalled"), 1.0);
+  // Unknown / already-recalled ids fail cleanly.
+  EXPECT_FALSE(coordinator_->TryRecall(queued_id, &out));
+  EXPECT_FALSE(coordinator_->TryRecall(999, &out));
+  clock_.RunAll();
+}
+
+TEST_F(PreemptionTest, ImmediateBurstRecallsQueuedBestEffort) {
+  QueryServerParams sparams;
+  sparams.poll_interval = 1 * kSeconds;
+  sparams.admission.preempt_best_effort = true;
+  sparams.admission.burst_window = 10 * kSeconds;
+  sparams.admission.burst_threshold = 3;
+  // Disable CF so immediate queries queue at the coordinator too (keeps
+  // the single-slot arithmetic simple).
+  cparams_.cf.max_concurrent_workers = 0;
+  coordinator_ = std::make_unique<Coordinator>(&clock_, &rng_, cparams_);
+  QueryServer server(&clock_, coordinator_.get(), sparams);
+
+  // Occupy the slot, then dispatch a best-effort query (gate 2.0 is
+  // permissive) — it waits in the coordinator's VM queue.
+  Submission occupy;
+  occupy.level = ServiceLevel::kImmediate;
+  occupy.query = Spec(600.0);
+  server.Submit(std::move(occupy));
+  Submission best;
+  best.level = ServiceLevel::kBestEffort;
+  best.query = Spec(5.0);
+  const int64_t best_id = server.Submit(std::move(best));
+  {
+    const SubmissionRecord* rec = server.GetRecord(best_id);
+    ASSERT_NE(rec, nullptr);
+    EXPECT_GT(rec->coordinator_id, 0);  // dispatched, queued at coordinator
+  }
+  EXPECT_EQ(coordinator_->QueueDepth(), 1u);
+
+  // Three immediate arrivals inside the burst window trip the preemption:
+  // the best-effort query is recalled into the server's hold queue.
+  for (int i = 0; i < 3; ++i) {
+    Submission imm;
+    imm.level = ServiceLevel::kImmediate;
+    imm.query = Spec(30.0);
+    server.Submit(std::move(imm));
+  }
+  const SubmissionRecord* rec = server.GetRecord(best_id);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->coordinator_id, 0);  // recalled
+  EXPECT_EQ(server.HeldQueries(), 1u);
+  EXPECT_EQ(server.metrics().Counter("best_effort_preemptions"), 1.0);
+  EXPECT_EQ(coordinator_->metrics().Counter("queries_recalled"), 1.0);
+
+  // Once the burst passes and the cluster drains, the preempted query
+  // still completes and bills at the best-effort rate — preemption defers,
+  // never loses work.
+  clock_.RunUntil(2 * kHours);
+  auto status = server.GetStatus(best_id);
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->state, QueryState::kFinished);
+  EXPECT_GT(status->bill_usd, 0);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace pixels

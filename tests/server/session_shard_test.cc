@@ -1,0 +1,161 @@
+#include "server/session_shard.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace pixels {
+namespace {
+
+struct Entry {
+  int64_t id = 0;
+  double bill = 0;
+  std::string note;
+};
+
+TEST(ShardedTableTest, ShardCountRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(ShardedTable<int>(1).shard_count(), 1u);
+  EXPECT_EQ(ShardedTable<int>(2).shard_count(), 2u);
+  EXPECT_EQ(ShardedTable<int>(3).shard_count(), 4u);
+  EXPECT_EQ(ShardedTable<int>(16).shard_count(), 16u);
+  EXPECT_EQ(ShardedTable<int>(17).shard_count(), 32u);
+  EXPECT_EQ(ShardedTable<int>(0).shard_count(), 1u);
+}
+
+TEST(ShardedTableTest, EmplaceFindErase) {
+  ShardedTable<Entry> t(4);
+  Entry* e = t.Emplace(42);
+  ASSERT_NE(e, nullptr);
+  e->id = 42;
+  e->bill = 1.5;
+  EXPECT_EQ(t.Size(), 1u);
+  Entry* found = t.Find(42);
+  EXPECT_EQ(found, e);
+  EXPECT_EQ(t.Find(7), nullptr);
+  // Emplace of an existing id returns the same entry, not a reset one.
+  Entry* again = t.Emplace(42);
+  EXPECT_EQ(again, e);
+  EXPECT_DOUBLE_EQ(again->bill, 1.5);
+  EXPECT_TRUE(t.Erase(42));
+  EXPECT_FALSE(t.Erase(42));
+  EXPECT_EQ(t.Find(42), nullptr);
+  EXPECT_EQ(t.Size(), 0u);
+}
+
+TEST(ShardedTableTest, PointersStableAcrossGrowth) {
+  // The server hands out SubmissionRecord pointers that must survive any
+  // number of later inserts (node-based maps guarantee it).
+  ShardedTable<Entry> t(2);
+  Entry* first = t.Emplace(1);
+  first->bill = 123.0;
+  std::vector<Entry*> handed_out{first};
+  for (int64_t id = 2; id <= 5000; ++id) {
+    Entry* e = t.Emplace(id);
+    e->bill = static_cast<double>(id);
+    if (id % 997 == 0) handed_out.push_back(e);
+  }
+  EXPECT_DOUBLE_EQ(first->bill, 123.0);
+  EXPECT_EQ(t.Find(1), first);
+  for (Entry* e : handed_out) {
+    EXPECT_EQ(t.Find(e->bill == 123.0 ? 1 : static_cast<int64_t>(e->bill)), e);
+  }
+}
+
+TEST(ShardedTableTest, ProjectCopiesUnderLock) {
+  ShardedTable<Entry> t(4);
+  Entry* e = t.Emplace(9);
+  e->bill = 2.5;
+  e->note = "hello";
+  double bill = 0;
+  EXPECT_TRUE(t.Project(
+      9, [](const Entry& x) { return x.bill; }, &bill));
+  EXPECT_DOUBLE_EQ(bill, 2.5);
+  EXPECT_FALSE(t.Project(
+      10, [](const Entry& x) { return x.bill; }, &bill));
+  EXPECT_DOUBLE_EQ(bill, 2.5);  // untouched on miss
+}
+
+TEST(ShardedTableTest, ProjectBatchVisitsEachShardOnce) {
+  ShardedTable<Entry> t(8);
+  for (int64_t id = 1; id <= 100; ++id) t.Emplace(id)->bill = id * 10.0;
+  std::vector<int64_t> ids;
+  for (int64_t id = 90; id <= 110; ++id) ids.push_back(id);  // 101-110 absent
+  std::vector<double> bills;
+  std::vector<bool> present;
+  t.ProjectBatch(
+      ids, [](const Entry& x) { return x.bill; }, &bills, &present);
+  ASSERT_EQ(bills.size(), ids.size());
+  ASSERT_EQ(present.size(), ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (ids[i] <= 100) {
+      EXPECT_TRUE(present[i]);
+      EXPECT_DOUBLE_EQ(bills[i], ids[i] * 10.0);
+    } else {
+      EXPECT_FALSE(present[i]);
+      EXPECT_DOUBLE_EQ(bills[i], 0.0);
+    }
+  }
+}
+
+TEST(ShardedTableTest, MillionEntriesSpreadAcrossShards) {
+  // Sequential ids (the server's id allocator) must fan out, not pile
+  // into one shard.
+  ShardedTable<int64_t> t(16);
+  constexpr int64_t kN = 1'000'000;
+  for (int64_t id = 1; id <= kN; ++id) *t.Emplace(id) = id;
+  EXPECT_EQ(t.Size(), static_cast<size_t>(kN));
+  EXPECT_EQ(*t.Find(1), 1);
+  EXPECT_EQ(*t.Find(kN), kN);
+}
+
+TEST(ShardedTableTest, ConcurrentReadersDoNotBlockEachOtherOrTheWriter) {
+  // The TSan target: one writer (the dispatcher) keeps inserting while
+  // reader threads project batches. Readers must only ever see fully
+  // written entries (writes happen under the shard lock).
+  ShardedTable<Entry> t(16);
+  constexpr int64_t kTotal = 20000;
+  std::atomic<int64_t> high_water{0};
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    for (int64_t id = 1; id <= kTotal; ++id) {
+      Entry* e = t.Emplace(id);
+      e->id = id;
+      e->bill = static_cast<double>(id) * 0.5;
+      e->note = "q" + std::to_string(id);
+      high_water.store(id, std::memory_order_release);
+    }
+    done.store(true, std::memory_order_release);
+  });
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        const int64_t hw = high_water.load(std::memory_order_acquire);
+        if (hw < 10) continue;
+        std::vector<int64_t> ids;
+        for (int64_t id = hw > 100 ? hw - 100 : 1; id <= hw; ++id) {
+          ids.push_back(id);
+        }
+        std::vector<Entry> copies;
+        std::vector<bool> present;
+        t.ProjectBatch(
+            ids, [](const Entry& e) { return e; }, &copies, &present);
+        for (size_t i = 0; i < ids.size(); ++i) {
+          if (!present[i]) continue;  // insert may still be in flight
+          EXPECT_EQ(copies[i].id, ids[i]);
+          EXPECT_DOUBLE_EQ(copies[i].bill, ids[i] * 0.5);
+          EXPECT_EQ(copies[i].note, "q" + std::to_string(ids[i]));
+        }
+      }
+    });
+  }
+  writer.join();
+  for (auto& rt : readers) rt.join();
+  EXPECT_EQ(t.Size(), static_cast<size_t>(kTotal));
+}
+
+}  // namespace
+}  // namespace pixels
