@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/event_log.h"
 #include "exec/executor.h"
 #include "plan/binder.h"
 #include "plan/optimizer.h"
@@ -99,6 +100,39 @@ struct RunOut {
   size_t leaked_objects = 0;
 };
 
+/// --verbose: replay the run's event log as a per-stage timeline.
+bool g_verbose = false;
+
+void PrintTimeline(const EventLog& log) {
+  for (const EventRecord& e : log.Snapshot()) {
+    if (e.type == "shuffle.stage_start") {
+      std::printf("  [%8.1fms] stage %lld (%s) start, %lld tasks\n",
+                  static_cast<double>(e.time),
+                  static_cast<long long>(e.fields.Get("stage").AsInt()),
+                  e.fields.Get("name").AsString().c_str(),
+                  static_cast<long long>(e.fields.Get("tasks").AsInt()));
+    } else if (e.type == "shuffle.task_commit") {
+      std::printf("  [%8.1fms]   s%lld/t%lld commit winner=%s "
+                  "completion=%.1fms retries=%lld\n",
+                  static_cast<double>(e.time),
+                  static_cast<long long>(e.fields.Get("stage").AsInt()),
+                  static_cast<long long>(e.fields.Get("task").AsInt()),
+                  e.fields.Get("winner").AsString().c_str(),
+                  e.fields.Get("completion_ms").AsNumber(),
+                  static_cast<long long>(e.fields.Get("retries").AsInt()));
+    } else if (e.type == "shuffle.stage_done") {
+      std::printf("  [%8.1fms] stage %lld done wall=%.1fms hedges=%lld/%lld "
+                  "bytes=%lld\n",
+                  static_cast<double>(e.time),
+                  static_cast<long long>(e.fields.Get("stage").AsInt()),
+                  e.fields.Get("wall_ms").AsNumber(),
+                  static_cast<long long>(e.fields.Get("hedges_won").AsInt()),
+                  static_cast<long long>(e.fields.Get("hedges_fired").AsInt()),
+                  static_cast<long long>(e.fields.Get("bytes").AsInt()));
+    }
+  }
+}
+
 /// One CF execution. `straggled` lists join-stage task ids whose every
 /// attempt (but never the hedge duplicate) is slowed by `slow_ms`
 /// simulated milliseconds.
@@ -121,11 +155,19 @@ RunOut RunConfig(Catalog* catalog, bool shuffle, int partitions, bool hedging,
     };
   }
 
+  EventLog log;
+  if (g_verbose && shuffle) options.event_log = &log;
+
   RunOut out;
   auto exec = ExecuteWithCfPushdown(PlanJoin(catalog), catalog, options);
   if (!exec.ok()) {
     std::printf("run failed: %s\n", exec.status().ToString().c_str());
     return out;
+  }
+  if (g_verbose && shuffle) {
+    std::printf("timeline: partitions=%d hedging=%d stragglers=%zu\n",
+                partitions, hedging ? 1 : 0, straggled.size());
+    PrintTimeline(log);
   }
   out.ok = true;
   out.shuffle_used = exec->shuffle_used;
@@ -339,6 +381,7 @@ int main(int argc, char** argv) {
   bool smoke = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--shuffle-smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--verbose") == 0) g_verbose = true;
     if (std::strncmp(argv[i], "--out=", 6) == 0) out_path = argv[i] + 6;
   }
   return smoke ? RunSmoke() : RunSweep(out_path);

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 
 namespace pixels {
 
@@ -171,6 +172,23 @@ void MetricsRegistry::Observe(const std::string& name, double value) {
   histograms_[name].Observe(value);
 }
 
+void MetricsRegistry::DeclareHistogram(const std::string& name,
+                                       std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  histograms_.emplace(name, Histogram(std::move(bounds)));
+}
+
+void MetricsRegistry::MergeHistogram(const std::string& name,
+                                     const Histogram& h) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    histograms_.emplace(name, h);
+  } else {
+    it->second.Merge(h);
+  }
+}
+
 Histogram MetricsRegistry::GetHistogram(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = histograms_.find(name);
@@ -194,7 +212,16 @@ void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
   }
   for (const auto& [name, v] : counters) counters_[name] += v;
   for (const auto& [name, v] : gauges) gauges_[name] = v;
-  for (const auto& [name, h] : histograms) histograms_[name].Merge(h);
+  for (const auto& [name, h] : histograms) {
+    // Copy wholesale when new so custom bucket bounds survive the merge;
+    // `Merge` re-observes into the destination's (default) bounds.
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      histograms_.emplace(name, h);
+    } else {
+      it->second.Merge(h);
+    }
+  }
 }
 
 std::string MetricsRegistry::ToCsv(const std::string& name) const {
@@ -355,7 +382,45 @@ bool Fail(std::string* error, const std::string& line,
 
 }  // namespace
 
+namespace {
+
+// Splits a label block's contents ("a=\"x\",le=\"10\"") into the `le`
+// value and the remaining labels (comma-split outside quotes).
+void ExtractLe(const std::string& labels, std::string* le,
+               std::string* rest) {
+  le->clear();
+  rest->clear();
+  size_t start = 0;
+  bool in_quotes = false;
+  for (size_t j = 0; j <= labels.size(); ++j) {
+    if (j < labels.size() && labels[j] == '"' &&
+        (j == 0 || labels[j - 1] != '\\')) {
+      in_quotes = !in_quotes;
+      continue;
+    }
+    if (j == labels.size() || (labels[j] == ',' && !in_quotes)) {
+      const std::string item = labels.substr(start, j - start);
+      if (item.rfind("le=\"", 0) == 0 && item.size() >= 5) {
+        *le = item.substr(4, item.size() - 5);
+      } else if (!item.empty()) {
+        if (!rest->empty()) *rest += ',';
+        *rest += item;
+      }
+      start = j + 1;
+    }
+  }
+}
+
+}  // namespace
+
 bool ValidatePrometheusText(const std::string& text, std::string* error) {
+  // Histogram semantics collected during the line scan: cumulative bucket
+  // values must be non-decreasing in emission (ascending-`le`) order, and
+  // the `+Inf` bucket must equal the series' `_count`.
+  std::map<std::string, double> last_bucket;   // series key -> last value
+  std::map<std::string, std::string> last_bucket_line;
+  std::map<std::string, double> inf_bucket;    // series key -> +Inf value
+  std::map<std::string, double> count_value;   // series key -> _count
   size_t pos = 0;
   while (pos < text.size()) {
     size_t eol = text.find('\n', pos);
@@ -387,6 +452,8 @@ bool ValidatePrometheusText(const std::string& text, std::string* error) {
       return Fail(error, line, "bad metric name start");
     }
     while (i < line.size() && IsMetricNameChar(line[i], i == 0)) ++i;
+    const std::string name = line.substr(0, i);
+    std::string labels;
     if (i < line.size() && line[i] == '{') {
       bool in_quotes = false;
       size_t close = std::string::npos;
@@ -401,6 +468,7 @@ bool ValidatePrometheusText(const std::string& text, std::string* error) {
       if (close == std::string::npos || in_quotes) {
         return Fail(error, line, "unbalanced label block");
       }
+      labels = line.substr(i + 1, close - i - 1);
       i = close + 1;
     }
     if (i >= line.size() || line[i] != ' ') {
@@ -408,12 +476,42 @@ bool ValidatePrometheusText(const std::string& text, std::string* error) {
     }
     const std::string value = line.substr(i + 1);
     if (value.empty()) return Fail(error, line, "missing value");
+    double num = 0;
     if (value != "+Inf" && value != "-Inf" && value != "NaN") {
       char* end = nullptr;
-      std::strtod(value.c_str(), &end);
+      num = std::strtod(value.c_str(), &end);
       if (end == nullptr || *end != '\0') {
         return Fail(error, line, "unparseable value");
       }
+    }
+    // Histogram semantics.
+    constexpr const char* kBucket = "_bucket";
+    constexpr const char* kCount = "_count";
+    if (name.size() > 7 && name.compare(name.size() - 7, 7, kBucket) == 0) {
+      std::string le, rest;
+      ExtractLe(labels, &le, &rest);
+      if (le.empty()) return Fail(error, line, "bucket without le label");
+      const std::string key = name.substr(0, name.size() - 7) + "{" + rest;
+      auto it = last_bucket.find(key);
+      if (it != last_bucket.end() && num < it->second) {
+        return Fail(error, line, "non-monotone histogram buckets");
+      }
+      last_bucket[key] = num;
+      last_bucket_line[key] = line;
+      if (le == "+Inf") inf_bucket[key] = num;
+    } else if (name.size() > 6 &&
+               name.compare(name.size() - 6, 6, kCount) == 0) {
+      count_value[name.substr(0, name.size() - 6) + "{" + labels] = num;
+    }
+  }
+  for (const auto& [key, inf] : inf_bucket) {
+    auto it = count_value.find(key);
+    if (it == count_value.end()) {
+      return Fail(error, last_bucket_line[key], "histogram missing _count");
+    }
+    if (it->second != inf) {
+      return Fail(error, last_bucket_line[key],
+                  "+Inf bucket does not equal _count");
     }
   }
   return true;

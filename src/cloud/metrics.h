@@ -105,6 +105,13 @@ class MetricsRegistry {
   /// Observes a value into the named histogram (default buckets on first
   /// touch).
   void Observe(const std::string& name, double value);
+  /// Creates the named histogram with explicit bucket bounds if it does not
+  /// exist yet (no-op when it does). Needed for distributions the default
+  /// millisecond ladder cannot hold, e.g. signed SLO margins.
+  void DeclareHistogram(const std::string& name, std::vector<double> bounds);
+  /// Merges `h` into the named histogram, adopting `h`'s bucket bounds when
+  /// the name is new (plain `Merge` would re-bucket into default bounds).
+  void MergeHistogram(const std::string& name, const Histogram& h);
   /// Snapshot of one histogram (empty default histogram when unknown).
   Histogram GetHistogram(const std::string& name) const;
   std::map<std::string, Histogram> AllHistograms() const;

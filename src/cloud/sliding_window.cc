@@ -1,0 +1,88 @@
+#include "cloud/sliding_window.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "cloud/metrics.h"
+
+namespace pixels {
+
+SlidingWindow::SlidingWindow(SimTime window)
+    : window_(window <= 0 ? 1 : window) {}
+
+void SlidingWindow::Add(SimTime now, double value) {
+  AdvanceTo(now);
+  samples_.push_back({now, value});
+  sum_ += value;
+}
+
+void SlidingWindow::AdvanceTo(SimTime now) {
+  const SimTime cutoff = now - window_;
+  while (!samples_.empty() && samples_.front().time <= cutoff) {
+    sum_ -= samples_.front().value;
+    samples_.pop_front();
+  }
+}
+
+double SlidingWindow::Mean() const {
+  if (samples_.empty()) return 0;
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+double SlidingWindow::Quantile(double p) const {
+  if (samples_.empty()) return 0;
+  std::vector<double> values;
+  values.reserve(samples_.size());
+  for (const Entry& e : samples_) values.push_back(e.value);
+  return Percentile(std::move(values), p);
+}
+
+double SlidingWindow::Max() const {
+  double best = 0;
+  bool first = true;
+  for (const Entry& e : samples_) {
+    if (first || e.value > best) best = e.value;
+    first = false;
+  }
+  return best;
+}
+
+double SlidingWindow::RatePerSecond() const {
+  if (samples_.empty()) return 0;
+  return static_cast<double>(samples_.size()) /
+         (static_cast<double>(window_) / static_cast<double>(kSeconds));
+}
+
+void SlidingWindow::Clear() {
+  samples_.clear();
+  sum_ = 0;
+}
+
+SlidingRatio::SlidingRatio(SimTime window)
+    : window_(window <= 0 ? 1 : window) {}
+
+void SlidingRatio::Add(SimTime now, bool hit) {
+  AdvanceTo(now);
+  outcomes_.push_back({now, hit});
+  if (hit) ++hits_;
+}
+
+void SlidingRatio::AdvanceTo(SimTime now) {
+  const SimTime cutoff = now - window_;
+  while (!outcomes_.empty() && outcomes_.front().time <= cutoff) {
+    if (outcomes_.front().hit) --hits_;
+    outcomes_.pop_front();
+  }
+}
+
+double SlidingRatio::Rate() const {
+  if (outcomes_.empty()) return 0;
+  return static_cast<double>(hits_) / static_cast<double>(outcomes_.size());
+}
+
+void SlidingRatio::Clear() {
+  outcomes_.clear();
+  hits_ = 0;
+}
+
+}  // namespace pixels

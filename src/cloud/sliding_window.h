@@ -1,0 +1,89 @@
+// Incrementally maintained sliding-window aggregates over virtual time.
+// The SLO monitor keeps one window per signal (queue depth, per-level
+// queue-wait, violation outcomes) and reads rates/quantiles on demand; the
+// admission controller consumes them to adapt watermarks.
+//
+// Both classes are single-writer: they are only touched from the simulation
+// thread (the query server's mailbox pump), so they carry no locks. Sum and
+// count are maintained incrementally on insert/evict; quantiles are exact
+// over the retained samples (same definition as `Percentile` in
+// cloud/metrics.h).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "common/sim_clock.h"
+
+namespace pixels {
+
+/// Timestamped numeric samples retained for `window` of virtual time
+/// (half-open: a sample at `now - window` is evicted, one at
+/// `now - window + 1` is retained).
+class SlidingWindow {
+ public:
+  explicit SlidingWindow(SimTime window = 60 * kSeconds);
+
+  SimTime window() const { return window_; }
+
+  /// Appends a sample at `now` (must be monotone non-decreasing) and evicts
+  /// expired ones.
+  void Add(SimTime now, double value);
+  /// Evicts expired samples without adding one.
+  void AdvanceTo(SimTime now);
+
+  size_t Count() const { return samples_.size(); }
+  bool Empty() const { return samples_.empty(); }
+  double Sum() const { return sum_; }
+  /// 0 when empty.
+  double Mean() const;
+  /// Exact percentile over retained samples (p in [0,100]); 0 when empty.
+  double Quantile(double p) const;
+  /// Largest retained sample; 0 when empty.
+  double Max() const;
+  /// Samples per second of window span (count / window); 0 when empty.
+  double RatePerSecond() const;
+
+  void Clear();
+
+ private:
+  struct Entry {
+    SimTime time;
+    double value;
+  };
+
+  SimTime window_;
+  std::deque<Entry> samples_;
+  double sum_ = 0;
+};
+
+/// Windowed binary-outcome ratio (e.g. SLO violations / scored queries).
+class SlidingRatio {
+ public:
+  explicit SlidingRatio(SimTime window = 60 * kSeconds);
+
+  SimTime window() const { return window_; }
+
+  /// Records one outcome at `now` (monotone non-decreasing).
+  void Add(SimTime now, bool hit);
+  void AdvanceTo(SimTime now);
+
+  size_t Total() const { return outcomes_.size(); }
+  size_t Hits() const { return hits_; }
+  /// hits / total over the retained window; 0 when empty.
+  double Rate() const;
+
+  void Clear();
+
+ private:
+  struct Outcome {
+    SimTime time;
+    bool hit;
+  };
+
+  SimTime window_;
+  std::deque<Outcome> outcomes_;
+  size_t hits_ = 0;
+};
+
+}  // namespace pixels

@@ -1,0 +1,108 @@
+#include "common/event_log.h"
+
+#include <cstdio>
+
+namespace pixels {
+
+std::string EventRecord::ToJsonLine() const {
+  Json obj = fields.is_object() ? fields : Json::Object();
+  obj.Set("seq", Json(static_cast<int64_t>(seq)));
+  obj.Set("t_ms", Json(static_cast<int64_t>(time)));
+  obj.Set("type", Json(type));
+  return obj.Dump();
+}
+
+EventLog::EventLog(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void EventLog::SyncTime(SimTime now) {
+  SimTime cur = time_mirror_.load(std::memory_order_relaxed);
+  while (now > cur &&
+         !time_mirror_.compare_exchange_weak(cur, now,
+                                             std::memory_order_relaxed)) {
+  }
+}
+
+void EventLog::Emit(const std::string& type, Json fields) {
+  const SimTime now = VirtualNow();
+  std::lock_guard<std::mutex> lock(mutex_);
+  EventRecord rec;
+  rec.seq = next_seq_++;
+  rec.time = now;
+  rec.type = type;
+  rec.fields = std::move(fields);
+  records_.push_back(std::move(rec));
+  if (records_.size() > capacity_) {
+    records_.pop_front();
+    ++dropped_;
+  }
+}
+
+std::vector<EventRecord> EventLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::vector<EventRecord>(records_.begin(), records_.end());
+}
+
+std::vector<EventRecord> EventLog::OfType(const std::string& type) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<EventRecord> out;
+  for (const EventRecord& r : records_) {
+    if (r.type == type) out.push_back(r);
+  }
+  return out;
+}
+
+size_t EventLog::CountOfType(const std::string& type) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t n = 0;
+  for (const EventRecord& r : records_) {
+    if (r.type == type) ++n;
+  }
+  return n;
+}
+
+size_t EventLog::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_.size();
+}
+
+uint64_t EventLog::total_emitted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_seq_;
+}
+
+uint64_t EventLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+void EventLog::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  records_.clear();
+}
+
+std::string EventLog::ToJsonLines() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const EventRecord& r : records_) {
+    out += r.ToJsonLine();
+    out += '\n';
+  }
+  return out;
+}
+
+Status EventLog::WriteTo(const std::string& path) const {
+  const std::string text = ToJsonLines();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("event log: cannot open " + path);
+  }
+  const size_t wrote = text.empty() ? 0 : std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  if (wrote != text.size()) {
+    return Status::IOError("event log: short write to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace pixels

@@ -1,0 +1,97 @@
+// Structured admission/audit event log. Every hold/dispatch/recall/
+// placement/cancel decision (and shuffle stage progress) is recorded as a
+// typed JSON event stamped in virtual time, so a run's control-plane
+// decisions can be replayed, diffed, and asserted on.
+//
+// Invariants (shared with the Chrome-trace exporter in common/trace.h):
+//   - Deterministic: identical runs produce byte-identical `ToJsonLines()`
+//     exports. Emitters must therefore only emit from the simulation thread
+//     or from deterministic points outside parallel sections (e.g. the
+//     post-barrier winner-resolution loop in the shuffle scheduler).
+//   - Virtual-time stamps: pool threads cannot touch SimClock, so the log
+//     keeps an atomic mirror of virtual time (`SyncTime`), advanced by the
+//     coordinator at event boundaries, exactly like Tracer::SyncTime.
+//   - Bounded: the log keeps at most `capacity` records; older records are
+//     dropped oldest-first and counted in `dropped()`.
+//   - Free when absent: every emitter takes `EventLog*` and treats nullptr
+//     as "disabled" — no allocation, no locking, no formatting.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/sim_clock.h"
+#include "common/status.h"
+
+namespace pixels {
+
+/// One logged decision. `fields` is always a JSON object; `seq` is the
+/// global emission index (monotone even across drops).
+struct EventRecord {
+  uint64_t seq = 0;
+  SimTime time = 0;
+  std::string type;
+  Json fields;
+
+  /// One-line JSON: the fields object plus reserved keys `seq`, `t_ms`,
+  /// and `type`. Deterministic (sorted keys, fixed number formatting).
+  std::string ToJsonLine() const;
+};
+
+/// Bounded, thread-safe, virtual-time-stamped event log.
+class EventLog {
+ public:
+  static constexpr size_t kDefaultCapacity = 65536;
+
+  explicit EventLog(size_t capacity = kDefaultCapacity);
+
+  /// Advances the virtual-time mirror (monotone; lagging calls are no-ops).
+  void SyncTime(SimTime now);
+  /// Last synced virtual time.
+  SimTime VirtualNow() const { return time_mirror_.load(std::memory_order_relaxed); }
+
+  /// Appends one event stamped at `VirtualNow()`. `fields` should be a JSON
+  /// object (a default-constructed Json is upgraded to an empty object).
+  void Emit(const std::string& type, Json fields = Json::Object());
+
+  /// Copies of the retained records, oldest first.
+  std::vector<EventRecord> Snapshot() const;
+  /// Retained records of one type, oldest first.
+  std::vector<EventRecord> OfType(const std::string& type) const;
+  /// Number of retained records of one type.
+  size_t CountOfType(const std::string& type) const;
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  /// Total events ever emitted (including dropped ones).
+  uint64_t total_emitted() const;
+  /// Events evicted by the capacity bound.
+  uint64_t dropped() const;
+
+  /// Drops every retained record (counters and seq keep advancing).
+  void Clear();
+
+  /// JSON-lines export of the retained records, oldest first, one
+  /// `EventRecord::ToJsonLine()` per line, each newline-terminated.
+  /// Byte-identical across identical runs.
+  std::string ToJsonLines() const;
+
+  /// Writes `ToJsonLines()` to `path` (truncating).
+  Status WriteTo(const std::string& path) const;
+
+ private:
+  const size_t capacity_;
+  std::atomic<SimTime> time_mirror_{0};
+
+  mutable std::mutex mutex_;
+  std::deque<EventRecord> records_;
+  uint64_t next_seq_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace pixels

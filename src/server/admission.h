@@ -23,6 +23,7 @@
 // invariant depends on this.
 #pragma once
 
+#include <algorithm>
 #include <deque>
 
 #include "cloud/pricing.h"
@@ -53,6 +54,19 @@ struct AdmissionParams {
   /// within the trailing `burst_window`.
   SimTime burst_window = 10 * kSeconds;
   int burst_threshold = 8;
+  /// Feedback-driven best-effort watermark: raise the admission gate while
+  /// the observed best-effort violation rate burns past its error budget,
+  /// decay back toward the static watermark when it recovers. Off = static
+  /// watermark (seed behavior). Adaptivity changes *scheduling* only —
+  /// per-query results, bytes, and bills are invariant by construction.
+  bool adaptive_watermarks = false;
+  /// Slots added/removed per adjustment step.
+  double adaptive_step = 1.0;
+  /// Ceiling for the adaptive watermark, as a multiple of the static base.
+  double adaptive_max_factor = 8.0;
+  /// Windowed violation-rate threshold that triggers a raise (the error
+  /// budget the controller defends).
+  double adaptive_target_violation_rate = 0.05;
 };
 
 /// Point-in-time load signals the server gathers from the coordinator
@@ -68,12 +82,38 @@ struct AdmissionSignals {
   double bytes_per_vcpu_second = 100e6;
 };
 
-/// Outcome of one admission decision.
+/// Outcome of one admission decision, carrying the values it compared so
+/// the audit event log can record *why* (watermark, load, predicted cost).
 struct AdmissionDecision {
   bool dispatch = false;    // hand to the coordinator now vs hold
   bool cf_enabled = false;  // CF acceleration flag on the dispatched spec
   /// Policy that produced the decision (span/metric annotation).
   const char* reason = "";
+  /// Gate the level was judged against (0 for Immediate: no gate).
+  double watermark = 0;
+  /// Load signal compared against the gate.
+  double concurrency = 0;
+  /// Predicted bill at the submitted estimate (actual bill uses scanned
+  /// bytes — the audit log records both for predicted-vs-actual).
+  double predicted_bill_usd = 0;
+  /// Estimated CF burst cost (0 when CF is not available).
+  double predicted_cf_cost_usd = 0;
+};
+
+/// One adaptive-watermark adjustment (for the audit log / metrics).
+struct WatermarkUpdate {
+  bool changed = false;
+  bool raised = false;
+  double old_value = 0;
+  double new_value = 0;
+};
+
+/// Windowed observations the SLO monitor feeds back into the controller.
+struct AdaptiveInputs {
+  double violation_rate = 0;    // windowed best-effort violation rate
+  double queue_wait_p99_ms = 0; // windowed best-effort queue-wait p99
+  double oldest_hold_ms = 0;    // age of the oldest still-held best-effort
+  double grace_ms = 0;          // best-effort grace (0 = no deadline)
 };
 
 /// Pure policy object: decides dispatch-vs-hold and VM-vs-CF placement
@@ -106,20 +146,29 @@ class AdmissionController {
   AdmissionDecision Decide(ServiceLevel level, uint64_t estimated_bytes,
                            const AdmissionSignals& sig, SimTime now) {
     AdmissionDecision d;
+    d.predicted_bill_usd = prices_.Bill(level, estimated_bytes);
+    if (sig.cf_available) {
+      d.predicted_cf_cost_usd = EstimatedCfCost(estimated_bytes, sig);
+    }
     switch (level) {
       case ServiceLevel::kImmediate:
         d.dispatch = true;
         d.cf_enabled = PlaceOnCf(level, estimated_bytes, sig, &d.reason);
+        d.concurrency = sig.engine_concurrency;
         break;
       case ServiceLevel::kRelaxed:
         d.dispatch = ShouldReleaseRelaxed(sig);
         d.reason = d.dispatch ? "below-relaxed-watermark" : "held-relaxed";
+        d.watermark = RelaxedWatermark(sig);
+        d.concurrency = sig.engine_concurrency;
         break;
       case ServiceLevel::kBestEffort:
         d.dispatch = ShouldReleaseBestEffort(sig, now);
         d.reason = d.dispatch ? "below-best-effort-watermark"
                               : (BurstActive(now) ? "held-immediate-burst"
                                                   : "held-best-effort");
+        d.watermark = BestEffortWatermark(sig);
+        d.concurrency = sig.total_concurrency;
         break;
     }
     return d;
@@ -142,9 +191,37 @@ class AdmissionController {
                : sig.high_watermark;
   }
   double BestEffortWatermark(const AdmissionSignals& sig) const {
-    return params_.best_effort_admit_watermark >= 0
-               ? params_.best_effort_admit_watermark
-               : sig.low_watermark;
+    if (params_.adaptive_watermarks && adaptive_best_effort_ >= 0) {
+      return adaptive_best_effort_;
+    }
+    return StaticBestEffortWatermark(sig);
+  }
+
+  /// One adaptive-controller step, driven by the SLO monitor's windows:
+  /// raise the best-effort gate while the violation rate is over budget
+  /// (or held/queue waits already exceed the grace), decay toward the
+  /// static base otherwise. Returns the adjustment for audit logging.
+  WatermarkUpdate UpdateAdaptiveWatermark(const AdaptiveInputs& in,
+                                          const AdmissionSignals& sig) {
+    WatermarkUpdate u;
+    if (!params_.adaptive_watermarks) return u;
+    const double base = StaticBestEffortWatermark(sig);
+    const double ceiling = std::max(base * params_.adaptive_max_factor,
+                                    base + params_.adaptive_step);
+    const double cur = adaptive_best_effort_ >= 0 ? adaptive_best_effort_ : base;
+    const bool over_budget =
+        in.violation_rate > params_.adaptive_target_violation_rate ||
+        (in.grace_ms > 0 && (in.queue_wait_p99_ms > in.grace_ms ||
+                             in.oldest_hold_ms > in.grace_ms));
+    const double next =
+        over_budget ? std::min(cur + params_.adaptive_step, ceiling)
+                    : std::max(cur - params_.adaptive_step, base);
+    adaptive_best_effort_ = next;
+    u.changed = next != cur;
+    u.raised = next > cur;
+    u.old_value = cur;
+    u.new_value = next;
+    return u;
   }
 
   /// Estimated provider-side cost of bursting `estimated_bytes` of scan
@@ -161,6 +238,12 @@ class AdmissionController {
   const AdmissionParams& params() const { return params_; }
 
  private:
+  double StaticBestEffortWatermark(const AdmissionSignals& sig) const {
+    return params_.best_effort_admit_watermark >= 0
+               ? params_.best_effort_admit_watermark
+               : sig.low_watermark;
+  }
+
   /// VM-vs-CF placement for an Immediate query. Seed behavior (cost-based
   /// placement off): CF always enabled. On: CF only when available and
   /// economical relative to the query's own bill. The flag only engages
@@ -196,6 +279,9 @@ class AdmissionController {
   PricingModel pricing_;
   int default_cf_workers_;
   std::deque<SimTime> arrivals_;  // Immediate arrivals in the burst window
+  /// Current adaptive best-effort watermark (< 0 = not yet initialized;
+  /// falls back to the static base).
+  double adaptive_best_effort_ = -1;
 };
 
 }  // namespace pixels

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <utility>
 
+#include "common/event_log.h"
 #include "common/mpsc_queue.h"
 #include "turbo/query_task.h"
 
@@ -52,6 +53,10 @@ class ServerMailbox {
  public:
   void Push(ServerMessage msg) { queue_.Push(std::move(msg)); }
 
+  /// Optional audit log: multi-message pump activations emit a
+  /// `dispatcher.batch` event (nullptr = off).
+  void set_event_log(EventLog* log) { event_log_ = log; }
+
   /// Drains the mailbox through `handler(ServerMessage&&)`. If a pump is
   /// already active on this thread (the caller sits inside a handler),
   /// returns immediately — the active pump's loop will reach the new
@@ -77,6 +82,14 @@ class ServerMailbox {
       handler(std::move(msg));
     }
     if (batch > stats_.max_batch) stats_.max_batch = batch;
+    if (event_log_ != nullptr && batch >= 2) {
+      // Single-message activations are the common case and would swamp the
+      // bounded log; only genuine batches (a drain absorbing re-entrant
+      // messages) are audit-worthy.
+      Json f = Json::Object();
+      f.Set("messages", Json(static_cast<int64_t>(batch)));
+      event_log_->Emit("dispatcher.batch", std::move(f));
+    }
     pumping_ = false;
   }
 
@@ -89,6 +102,7 @@ class ServerMailbox {
   /// Consumer-thread-only re-entrancy guard.
   bool pumping_ = false;
   DispatcherStats stats_;
+  EventLog* event_log_ = nullptr;
 };
 
 }  // namespace pixels

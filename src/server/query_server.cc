@@ -15,7 +15,10 @@ QueryServer::QueryServer(SimClock* clock, Coordinator* coordinator,
                  coordinator->params().pricing,
                  coordinator->params().default_cf_workers),
       sessions_(params.session_shards),
-      client_sessions_(params.session_shards) {}
+      client_sessions_(params.session_shards),
+      slo_(params.slo, params.relaxed_grace_period) {
+  mailbox_.set_event_log(coordinator->event_log());
+}
 
 Tracer* QueryServer::SyncedTracer() {
   Tracer* tracer = coordinator_->tracer();
@@ -24,6 +27,12 @@ Tracer* QueryServer::SyncedTracer() {
   tracer->SyncTime(now);
   SyncLogTime(now);
   return tracer;
+}
+
+EventLog* QueryServer::SyncedLog() {
+  EventLog* log = coordinator_->event_log();
+  if (log != nullptr) log->SyncTime(clock_->Now());
+  return log;
 }
 
 // ---------------------------------------------------------------------------
@@ -79,6 +88,16 @@ void QueryServer::Stop() {
   for (const Held& h : best_effort) CancelHeld(h, tracer);
   dispatched_best_effort_.clear();
   UpdateExternalPending();
+  // Export the audit log once everything held has settled, so the file
+  // includes the cancel events above.
+  if (!params_.event_log_path.empty()) {
+    if (EventLog* log = SyncedLog()) {
+      const Status st = log->WriteTo(params_.event_log_path);
+      if (!st.ok()) {
+        PIXELS_LOG(kWarn) << "event-log export failed: " << st.message();
+      }
+    }
+  }
 }
 
 void QueryServer::CancelHeld(const Held& held, Tracer* tracer) {
@@ -90,6 +109,17 @@ void QueryServer::CancelHeld(const Held& held, Tracer* tracer) {
   srec.cancelled = true;
   srec.bill_usd = 0;
   srec.error = "query server stopped before dispatch";
+  // Cancelled-at-Stop is an operator action, not a service failure:
+  // excluded from compliance and charged to nobody's error budget.
+  slo_.OnSettled(srec.level, QueryState::kFailed, /*cancelled=*/true,
+                 srec.received_time, /*start_time=*/-1, clock_->Now());
+  if (EventLog* log = SyncedLog()) {
+    Json f = Json::Object();
+    f.Set("server_id", srec.server_id);
+    f.Set("level", ServiceLevelName(srec.level));
+    f.Set("reason", "server-stopped");
+    log->Emit("admission.cancel", std::move(f));
+  }
   metrics_.Add("submissions_cancelled", 1);
   metrics_.Add(std::string("submissions_cancelled_") +
                    ServiceLevelName(srec.level),
@@ -190,11 +220,51 @@ void QueryServer::HandleSubmit(int64_t server_id) {
     // A burst crossing the threshold preempts best-effort work still
     // waiting in the coordinator's VM queue, clearing the runway before
     // this query is placed.
-    if (admission_.BurstActive(now)) PreemptQueuedBestEffort(tracer);
+    if (admission_.BurstActive(now)) {
+      const size_t recalled = PreemptQueuedBestEffort(tracer);
+      if (recalled > 0) {
+        if (tracer != nullptr) {
+          // Instant span under the triggering Immediate query, so the
+          // preemption shows up in its trace subtree.
+          const uint64_t burst = tracer->StartSpan("admission.burst",
+                                                   rec.span_id);
+          tracer->Annotate(burst, "reason", "immediate-burst");
+          tracer->Annotate(burst, "recalled",
+                           static_cast<uint64_t>(recalled));
+          tracer->EndSpan(burst);
+        }
+        if (EventLog* log = SyncedLog()) {
+          Json f = Json::Object();
+          f.Set("server_id", rec.server_id);
+          f.Set("recalled", static_cast<int64_t>(recalled));
+          log->Emit("admission.burst", std::move(f));
+        }
+      }
+    }
   }
 
+  const AdmissionSignals sig = Signals();
   const AdmissionDecision d =
-      admission_.Decide(rec.level, sess->spec.bytes_to_scan, Signals(), now);
+      admission_.Decide(rec.level, sess->spec.bytes_to_scan, sig, now);
+  sess->predicted_bill = d.predicted_bill_usd;
+  sess->predicted_cf_cost = d.predicted_cf_cost_usd;
+  if (EventLog* log = SyncedLog()) {
+    Json f = Json::Object();
+    f.Set("server_id", rec.server_id);
+    f.Set("level", ServiceLevelName(rec.level));
+    f.Set("reason", d.reason);
+    f.Set("watermark", d.watermark);
+    f.Set("concurrency", d.concurrency);
+    f.Set("queue_depth", static_cast<int64_t>(sig.queue_depth));
+    f.Set("held", static_cast<int64_t>(HeldQueries()));
+    f.Set("predicted_bill_usd", d.predicted_bill_usd);
+    if (d.predicted_cf_cost_usd > 0) {
+      f.Set("predicted_cf_cost_usd", d.predicted_cf_cost_usd);
+    }
+    if (d.dispatch) f.Set("cf_enabled", d.cf_enabled);
+    log->Emit(d.dispatch ? "admission.dispatch" : "admission.hold",
+              std::move(f));
+  }
   if (d.dispatch) {
     DispatchToCoordinator(server_id, d.cf_enabled);
     return;
@@ -228,10 +298,14 @@ void QueryServer::DispatchToCoordinator(int64_t server_id, bool cf_enabled) {
   rec.dispatch_time = clock_->Now();
   if (!sess->wait_observed) {
     sess->wait_observed = true;
-    metrics_.Observe(
-        std::string("queue_wait_ms{level=\"") + ServiceLevelName(rec.level) +
-            "\"}",
-        static_cast<double>(rec.dispatch_time - rec.received_time));
+    const double wait =
+        static_cast<double>(rec.dispatch_time - rec.received_time);
+    metrics_.Observe(std::string("queue_wait_ms{level=\"") +
+                         ServiceLevelName(rec.level) + "\"}",
+                     wait);
+    // Windowed queue-wait telemetry: the per-level p99 of this feeds the
+    // adaptive-watermark controller.
+    slo_.ObserveQueueWait(rec.level, rec.dispatch_time, wait);
   }
 
   spec.cf_enabled = cf_enabled;
@@ -264,9 +338,16 @@ void QueryServer::HandleCompletion(int64_t server_id,
   // live hazard) must never accumulate the bill twice.
   if (srec.billed) return;
   srec.billed = true;
+  const SimTime now = clock_->Now();
   metrics_.Observe(std::string("query_latency_ms{level=\"") +
                        ServiceLevelName(srec.level) + "\"}",
-                   static_cast<double>(clock_->Now() - srec.received_time));
+                   static_cast<double>(now - srec.received_time));
+  // Score the deadline verdict before anything else settles: the verdict
+  // is a pure function of (level, state, received, start), recomputable
+  // from the records — the compliance tests rely on that.
+  const SloOutcome slo_out =
+      slo_.OnSettled(srec.level, qrec.state, /*cancelled=*/false,
+                     srec.received_time, qrec.start_time, now);
   if (srec.level == ServiceLevel::kBestEffort &&
       !dispatched_best_effort_.empty()) {
     dispatched_best_effort_.erase(
@@ -280,6 +361,21 @@ void QueryServer::HandleCompletion(int64_t server_id,
     // string stays visible through GetStatus.
     srec.bill_usd = 0;
     metrics_.Add("queries_failed", 1);
+    if (EventLog* log = SyncedLog()) {
+      Json f = Json::Object();
+      f.Set("server_id", srec.server_id);
+      f.Set("level", ServiceLevelName(srec.level));
+      f.Set("state", "failed");
+      f.Set("verdict", SloVerdictName(slo_out.verdict));
+      f.Set("pending_ms",
+            qrec.start_time >= 0
+                ? static_cast<int64_t>(qrec.start_time - srec.received_time)
+                : static_cast<int64_t>(now - srec.received_time));
+      f.Set("bill_usd", srec.bill_usd);
+      f.Set("predicted_bill_usd", sess->predicted_bill);
+      log->Emit("query.settle", std::move(f));
+    }
+    MaybeUpdateAdaptiveWatermark(now);
     if (tracer != nullptr && srec.span_id != 0) {
       tracer->Annotate(srec.span_id, "state", "failed");
       tracer->Annotate(srec.span_id, "error", qrec.error);
@@ -356,6 +452,25 @@ void QueryServer::HandleCompletion(int64_t server_id,
       cs->billed_usd += srec.bill_usd;
     }
   }
+  if (EventLog* log = SyncedLog()) {
+    Json f = Json::Object();
+    f.Set("server_id", srec.server_id);
+    f.Set("level", ServiceLevelName(srec.level));
+    f.Set("state", "finished");
+    f.Set("verdict", SloVerdictName(slo_out.verdict));
+    if (slo_out.scored_margin) {
+      f.Set("margin_ms", static_cast<int64_t>(slo_out.margin_ms));
+    }
+    f.Set("pending_ms",
+          qrec.start_time >= 0
+              ? static_cast<int64_t>(qrec.start_time - srec.received_time)
+              : static_cast<int64_t>(0));
+    f.Set("bill_usd", srec.bill_usd);
+    f.Set("predicted_bill_usd", sess->predicted_bill);
+    f.Set("bytes_scanned", static_cast<int64_t>(qrec.bytes_scanned));
+    log->Emit("query.settle", std::move(f));
+  }
+  MaybeUpdateAdaptiveWatermark(now);
   // Settle fully first, then call out with stable copies (`limited` is a
   // local; the record snapshot survives any re-entrant Submit).
   FinishCallback fn = std::move(sess->callback);
@@ -398,6 +513,12 @@ void QueryServer::HandlePoll() {
   if (stopped_) return;
   const SimTime now = clock_->Now();
   Tracer* tracer = SyncedTracer();
+  // Windowed telemetry feed: combined hold-queue + coordinator-queue
+  // depth, then let the adaptive controller react before this poll's
+  // best-effort release gate runs.
+  slo_.ObserveQueueDepth(
+      now, static_cast<double>(HeldQueries() + coordinator_->QueueDepth()));
+  MaybeUpdateAdaptiveWatermark(now);
 
   // Relaxed: dispatch when concurrency drops below the relaxed watermark
   // or the grace period expires (paper §3.2(2)). Signals are re-read per
@@ -408,11 +529,22 @@ void QueryServer::HandlePoll() {
       const Held released = h;
       relaxed_held_.pop_front();
       UpdateExternalPending();
+      const char* released_by =
+          now >= released.deadline ? "grace-expired" : "capacity";
       if (tracer != nullptr && released.hold_span != 0) {
-        tracer->Annotate(released.hold_span, "released_by",
-                         now >= released.deadline ? "grace-expired"
-                                                  : "capacity");
+        tracer->Annotate(released.hold_span, "released_by", released_by);
         tracer->EndSpan(released.hold_span);
+      }
+      if (EventLog* log = SyncedLog()) {
+        Json f = Json::Object();
+        f.Set("server_id", released.server_id);
+        f.Set("level", ServiceLevelName(ServiceLevel::kRelaxed));
+        f.Set("released_by", released_by);
+        if (const Session* s = sessions_.Find(released.server_id)) {
+          f.Set("held_ms",
+                static_cast<int64_t>(now - s->record.received_time));
+        }
+        log->Emit("admission.release", std::move(f));
       }
       DispatchToCoordinator(released.server_id, /*cf_enabled=*/false);
     } else {
@@ -432,6 +564,17 @@ void QueryServer::HandlePoll() {
       tracer->Annotate(released.hold_span, "released_by", "low-watermark");
       tracer->EndSpan(released.hold_span);
     }
+    if (EventLog* log = SyncedLog()) {
+      Json f = Json::Object();
+      f.Set("server_id", released.server_id);
+      f.Set("level", ServiceLevelName(ServiceLevel::kBestEffort));
+      f.Set("released_by", "low-watermark");
+      if (const Session* s = sessions_.Find(released.server_id)) {
+        f.Set("held_ms",
+              static_cast<int64_t>(now - s->record.received_time));
+      }
+      log->Emit("admission.release", std::move(f));
+    }
     DispatchToCoordinator(released.server_id, /*cf_enabled=*/false);
     // Dispatch raises concurrency; the release gate re-checks naturally.
   }
@@ -442,10 +585,11 @@ void QueryServer::HandlePoll() {
   }
 }
 
-void QueryServer::PreemptQueuedBestEffort(Tracer* tracer) {
-  if (dispatched_best_effort_.empty()) return;
+size_t QueryServer::PreemptQueuedBestEffort(Tracer* tracer) {
+  if (dispatched_best_effort_.empty()) return 0;
   // Recall every best-effort query still waiting in the coordinator's VM
   // queue; running/finished ones stay (preemption is non-destructive).
+  size_t recalled = 0;
   std::vector<int64_t> still_dispatched;
   still_dispatched.reserve(dispatched_best_effort_.size());
   for (const int64_t server_id : dispatched_best_effort_) {
@@ -462,6 +606,7 @@ void QueryServer::PreemptQueuedBestEffort(Tracer* tracer) {
     sess->spec = std::move(spec);
     sess->has_spec = true;
     metrics_.Add("best_effort_preemptions", 1);
+    recalled++;
     Held held{server_id, 0};
     if (tracer != nullptr) {
       held.hold_span = tracer->StartSpan("hold", rec.span_id);
@@ -473,7 +618,38 @@ void QueryServer::PreemptQueuedBestEffort(Tracer* tracer) {
   dispatched_best_effort_.swap(still_dispatched);
   UpdateExternalPending();
   SchedulePoll();
+  return recalled;
 }
+
+void QueryServer::MaybeUpdateAdaptiveWatermark(SimTime now) {
+  if (!admission_.params().adaptive_watermarks) return;
+  AdaptiveInputs in;
+  in.violation_rate = slo_.WindowViolationRate(ServiceLevel::kBestEffort, now);
+  in.queue_wait_p99_ms =
+      slo_.WindowQueueWaitQuantile(ServiceLevel::kBestEffort, 99.0, now);
+  in.grace_ms = static_cast<double>(slo_.GraceFor(ServiceLevel::kBestEffort));
+  if (!best_effort_held_.empty()) {
+    if (const Session* s = sessions_.Find(best_effort_held_.front().server_id)) {
+      in.oldest_hold_ms = static_cast<double>(now - s->record.received_time);
+    }
+  }
+  const WatermarkUpdate u = admission_.UpdateAdaptiveWatermark(in, Signals());
+  if (!u.changed) return;
+  metrics_.SetGauge("best_effort_watermark_adaptive", u.new_value);
+  metrics_.Add(u.raised ? "adaptive_watermark_raises"
+                        : "adaptive_watermark_decays",
+               1);
+  if (EventLog* log = SyncedLog()) {
+    Json f = Json::Object();
+    f.Set("old", u.old_value);
+    f.Set("new", u.new_value);
+    f.Set("violation_rate", in.violation_rate);
+    f.Set("oldest_hold_ms", in.oldest_hold_ms);
+    log->Emit("admission.watermark", std::move(f));
+  }
+}
+
+SloReport QueryServer::SloReport() { return slo_.Report(clock_->Now()); }
 
 AdmissionSignals QueryServer::Signals() const {
   AdmissionSignals sig;
@@ -617,6 +793,12 @@ std::vector<QueryServer::StatusView> QueryServer::GetStatusBatch(
 MetricsRegistry QueryServer::MetricsSnapshot() {
   MetricsRegistry out = metrics_;
   out.MergeFrom(coordinator_->MetricsSnapshot());
+  slo_.MergeInto(&out, clock_->Now());
+  if (const EventLog* log = coordinator_->event_log()) {
+    out.SetGauge("event_log_events_total",
+                 static_cast<double>(log->total_emitted()));
+    out.SetGauge("event_log_dropped", static_cast<double>(log->dropped()));
+  }
   out.SetGauge("held_queries_now", static_cast<double>(HeldQueries()));
   out.SetGauge("total_billed_usd", total_billed_);
   out.SetGauge("open_sessions", static_cast<double>(open_sessions_));

@@ -25,12 +25,14 @@
 #pragma once
 
 #include <deque>
+#include <string>
 #include <vector>
 
 #include "server/admission.h"
 #include "server/dispatcher.h"
 #include "server/service_level.h"
 #include "server/session_shard.h"
+#include "server/slo_monitor.h"
 #include "server/submission.h"
 #include "turbo/coordinator.h"
 
@@ -61,6 +63,13 @@ struct QueryServerParams {
   int session_shards = 16;
   /// Admission-control policy (defaults reproduce the seed gates).
   AdmissionParams admission;
+  /// SLA compliance monitor knobs (window span, per-level graces, error
+  /// budget). `slo.relaxed_grace < 0` inherits `relaxed_grace_period`.
+  SloParams slo;
+  /// When set, Stop() exports the coordinator's audit event log as JSON
+  /// lines to this path (requires `event_log_capacity > 0` or an external
+  /// log on the coordinator).
+  std::string event_log_path;
 };
 
 /// The serverless query frontend.
@@ -135,6 +144,13 @@ class QueryServer {
   const DispatcherStats& dispatcher_stats() const { return mailbox_.stats(); }
   const AdmissionController& admission() const { return admission_; }
 
+  /// Per-level SLA compliance report: met/violated/excluded counts,
+  /// compliance ratio, windowed violation rate, margin stats, and the
+  /// rolling error budget. Exact: `met + violated + excluded == settled`
+  /// for every level, every run. (Qualified return type: the member name
+  /// shadows the struct inside this class scope.)
+  ::pixels::SloReport SloReport();
+
   /// Everything in one registry: the server's own counters and
   /// per-service-level histograms (queue_wait_ms{level=...},
   /// query_latency_ms{level=...}) merged with the coordinator's snapshot
@@ -154,6 +170,10 @@ class QueryServer {
     int64_t result_limit = 0;
     /// queue_wait_ms is observed once, at the first dispatch.
     bool wait_observed = false;
+    /// Predicted costs from the admission decision, echoed in the
+    /// `query.settle` audit event next to the actual bill.
+    double predicted_bill = 0;
+    double predicted_cf_cost = 0;
     FinishCallback callback;
   };
 
@@ -181,13 +201,20 @@ class QueryServer {
   /// a synthetic failed QueryRecord, spans closed, metrics counted.
   void CancelHeld(const Held& held, Tracer* tracer);
   /// Recalls coordinator-queued best-effort queries back into the hold
-  /// queue (burst preemption).
-  void PreemptQueuedBestEffort(Tracer* tracer);
+  /// queue (burst preemption). Returns the number recalled.
+  size_t PreemptQueuedBestEffort(Tracer* tracer);
 
   /// The coordinator's tracer when tracing is on, else null; syncs the
   /// tracer's and logger's virtual-time mirrors as a side effect (always
   /// called on the simulation thread).
   Tracer* SyncedTracer();
+  /// The coordinator's audit event log (null = off); syncs its
+  /// virtual-time mirror as a side effect.
+  EventLog* SyncedLog();
+  /// Feeds the windowed best-effort violation rate / queue-wait p99 /
+  /// oldest-hold age into the admission controller's adaptive watermark
+  /// (no-op unless `admission.adaptive_watermarks`).
+  void MaybeUpdateAdaptiveWatermark(SimTime now);
   /// (Re)schedules the next poll at `min(poll_interval, nearest relaxed
   /// deadline - now)`, so a grace-period expiry dispatches at its exact
   /// virtual time instead of overshooting by up to one poll interval. An
@@ -217,6 +244,7 @@ class QueryServer {
   bool stopped_ = false;
   double total_billed_ = 0;
   MetricsRegistry metrics_;
+  SloMonitor slo_;
 };
 
 }  // namespace pixels

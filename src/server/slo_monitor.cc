@@ -1,0 +1,174 @@
+#include "server/slo_monitor.h"
+
+#include <string>
+
+namespace pixels {
+
+namespace {
+
+/// Signed margin buckets (ms): negative = started past deadline. The
+/// default millisecond ladder in cloud/metrics.h starts at 1, which would
+/// collapse every violation into one bucket.
+std::vector<double> MarginBounds() {
+  return {-1800000, -300000, -60000, -30000, -10000, -5000, -1000, 0,
+          1000,     5000,    10000,  30000,  60000,  300000, 1800000};
+}
+
+}  // namespace
+
+const char* SloVerdictName(SloVerdict v) {
+  switch (v) {
+    case SloVerdict::kMet:
+      return "met";
+    case SloVerdict::kViolated:
+      return "violated";
+    case SloVerdict::kExcluded:
+      return "excluded";
+  }
+  return "excluded";
+}
+
+SloMonitor::SloMonitor(const SloParams& params, SimTime default_relaxed_grace)
+    : params_(params), queue_depth_(params.window) {
+  graces_[0] = params_.immediate_grace;
+  graces_[1] =
+      params_.relaxed_grace < 0 ? default_relaxed_grace : params_.relaxed_grace;
+  graces_[2] = params_.best_effort_grace;
+  levels_.reserve(3);
+  for (int i = 0; i < 3; ++i) {
+    levels_.emplace_back(params_.window, MarginBounds());
+  }
+}
+
+SloOutcome SloMonitor::OnSettled(ServiceLevel level, QueryState state,
+                                 bool cancelled, SimTime received,
+                                 SimTime start, SimTime now) {
+  LevelState& st = StateFor(level);
+  ++st.settled;
+  SloOutcome out;
+  if (cancelled) {
+    // Settled without running (e.g. held at Stop()): neither met nor
+    // violated, and no budget impact — the system never promised a start.
+    ++st.cancelled;
+    out.verdict = SloVerdict::kExcluded;
+    return out;
+  }
+  if (state != QueryState::kFinished) {
+    // Failed: the contract was not honored, so the error budget burns, but
+    // compliance only judges queries the system actually completed.
+    ++st.failed;
+    out.verdict = SloVerdict::kExcluded;
+    out.budget_consumed = true;
+    return out;
+  }
+  const SimTime grace = GraceFor(level);
+  if (grace <= 0) {
+    // No deadline: completing at all is meeting the contract.
+    ++st.met;
+    st.violations.Add(now, /*hit=*/false);
+    out.verdict = SloVerdict::kMet;
+    return out;
+  }
+  const SimTime pending = (start >= 0 && start >= received)
+                              ? start - received
+                              : 0;
+  const bool violated = pending > grace;
+  out.margin_ms = grace - pending;
+  out.scored_margin = true;
+  st.margin_ms.Observe(static_cast<double>(out.margin_ms));
+  st.violations.Add(now, violated);
+  if (violated) {
+    ++st.violated;
+    out.verdict = SloVerdict::kViolated;
+    out.budget_consumed = true;
+  } else {
+    ++st.met;
+    out.verdict = SloVerdict::kMet;
+  }
+  return out;
+}
+
+void SloMonitor::ObserveQueueWait(ServiceLevel level, SimTime now,
+                                  double wait_ms) {
+  StateFor(level).queue_wait.Add(now, wait_ms);
+}
+
+void SloMonitor::ObserveQueueDepth(SimTime now, double depth) {
+  queue_depth_.Add(now, depth);
+}
+
+double SloMonitor::WindowViolationRate(ServiceLevel level, SimTime now) {
+  LevelState& st = StateFor(level);
+  st.violations.AdvanceTo(now);
+  return st.violations.Rate();
+}
+
+double SloMonitor::WindowQueueWaitQuantile(ServiceLevel level, double p,
+                                           SimTime now) {
+  LevelState& st = StateFor(level);
+  st.queue_wait.AdvanceTo(now);
+  return st.queue_wait.Quantile(p);
+}
+
+void SloMonitor::FillLevelReport(ServiceLevel level, SimTime now,
+                                 SloLevelReport* out) {
+  LevelState& st = StateFor(level);
+  st.violations.AdvanceTo(now);
+  st.queue_wait.AdvanceTo(now);
+  out->grace = GraceFor(level);
+  out->settled = st.settled;
+  out->met = st.met;
+  out->violated = st.violated;
+  out->failed = st.failed;
+  out->cancelled = st.cancelled;
+  out->excluded = st.failed + st.cancelled;
+  const uint64_t scored = st.met + st.violated;
+  out->compliance =
+      scored == 0 ? 1.0
+                  : static_cast<double>(st.met) / static_cast<double>(scored);
+  out->window_violation_rate = st.violations.Rate();
+  out->window_queue_wait_p50_ms = st.queue_wait.Quantile(50);
+  out->window_queue_wait_p99_ms = st.queue_wait.Quantile(99);
+  out->budget_allowed =
+      params_.violation_budget * static_cast<double>(scored + st.failed);
+  out->budget_consumed = static_cast<double>(st.violated + st.failed);
+  out->budget_remaining = out->budget_allowed - out->budget_consumed;
+}
+
+SloReport SloMonitor::Report(SimTime now) {
+  SloReport report;
+  report.window = params_.window;
+  queue_depth_.AdvanceTo(now);
+  report.window_queue_depth_mean = queue_depth_.Mean();
+  report.window_queue_depth_max = queue_depth_.Max();
+  for (int i = 0; i < 3; ++i) {
+    FillLevelReport(static_cast<ServiceLevel>(i), now, &report.levels[i]);
+  }
+  return report;
+}
+
+void SloMonitor::MergeInto(MetricsRegistry* out, SimTime now) {
+  const SloReport report = Report(now);
+  for (int i = 0; i < 3; ++i) {
+    const ServiceLevel level = static_cast<ServiceLevel>(i);
+    const SloLevelReport& lr = report.levels[i];
+    const std::string tag =
+        std::string("{level=\"") + ServiceLevelName(level) + "\"}";
+    out->Add("slo_settled_total" + tag, static_cast<double>(lr.settled));
+    out->Add("slo_met_total" + tag, static_cast<double>(lr.met));
+    out->Add("slo_violated_total" + tag, static_cast<double>(lr.violated));
+    out->Add("slo_excluded_total" + tag, static_cast<double>(lr.excluded));
+    out->Add("slo_failed_total" + tag, static_cast<double>(lr.failed));
+    out->Add("slo_cancelled_total" + tag, static_cast<double>(lr.cancelled));
+    out->SetGauge("slo_compliance" + tag, lr.compliance);
+    out->SetGauge("slo_window_violation_rate" + tag,
+                  lr.window_violation_rate);
+    out->SetGauge("slo_error_budget_remaining" + tag, lr.budget_remaining);
+    out->SetGauge("slo_grace_ms" + tag, static_cast<double>(lr.grace));
+    out->MergeHistogram("slo_margin_ms" + tag, StateFor(level).margin_ms);
+  }
+  out->SetGauge("slo_window_queue_depth_mean",
+                report.window_queue_depth_mean);
+}
+
+}  // namespace pixels

@@ -1,0 +1,161 @@
+// SLA compliance monitor (paper §3.2: each service level is a price-backed
+// latency contract). Every settled query is scored in virtual time against
+// its level's grace period:
+//
+//   - finished within grace            -> met
+//   - finished past grace              -> violated (consumes error budget)
+//   - grace <= 0 (Immediate/BestEffort
+//     by default: no deadline)         -> met-if-completed
+//   - failed                           -> excluded from compliance, but
+//                                         still consumes error budget
+//   - cancelled (e.g. held at Stop())  -> excluded, no budget impact
+//
+// so per level `met + violated + excluded == settled` holds exactly.
+//
+// The "deadline" is time-to-start: a Relaxed query's contract is that it
+// begins executing within the grace period (the hold + coordinator queue
+// wait), matching `QueryRecord::PendingTime()` ground truth.
+//
+// Alongside the cumulative report the monitor keeps sliding windows
+// (violation outcomes, per-level queue waits, queue depth) whose rates feed
+// the adaptive-watermark controller in admission.h. Single-writer: only the
+// simulation thread (the server's mailbox pump) touches it.
+#pragma once
+
+#include <cstdint>
+
+#include "cloud/metrics.h"
+#include "cloud/sliding_window.h"
+#include "common/sim_clock.h"
+#include "server/service_level.h"
+#include "turbo/query_task.h"
+
+namespace pixels {
+
+struct SloParams {
+  /// Sliding-window span for violation rates / queue-wait quantiles
+  /// (`slo_window_ms` in docs).
+  SimTime window = 60 * kSeconds;
+  /// Per-level grace periods (time-to-start deadline). <= 0 means "no
+  /// deadline": completed queries always score met. relaxed_grace < 0
+  /// inherits the server's `relaxed_grace_period`.
+  SimTime immediate_grace = 0;
+  SimTime relaxed_grace = -1;
+  SimTime best_effort_grace = 0;
+  /// Allowed fraction of budget-scored queries (finished + failed) that may
+  /// violate/fail before the error budget is exhausted.
+  double violation_budget = 0.05;
+};
+
+enum class SloVerdict : uint8_t { kMet = 0, kViolated = 1, kExcluded = 2 };
+
+const char* SloVerdictName(SloVerdict v);
+
+/// The score of one settled query.
+struct SloOutcome {
+  SloVerdict verdict = SloVerdict::kExcluded;
+  /// grace - time_to_start; only meaningful when `scored_margin` is true
+  /// (finished under a positive grace).
+  SimTime margin_ms = 0;
+  bool scored_margin = false;
+  /// True for violations and failures: both burn the error budget.
+  bool budget_consumed = false;
+};
+
+struct SloLevelReport {
+  SimTime grace = 0;
+  uint64_t settled = 0;
+  uint64_t met = 0;
+  uint64_t violated = 0;
+  uint64_t excluded = 0;  // == failed + cancelled
+  uint64_t failed = 0;
+  uint64_t cancelled = 0;
+  /// met / (met + violated); 1 when nothing was scored.
+  double compliance = 1.0;
+  /// Violations among finished queries inside the sliding window.
+  double window_violation_rate = 0;
+  double window_queue_wait_p50_ms = 0;
+  double window_queue_wait_p99_ms = 0;
+  /// Error budget: allowed = violation_budget * (met + violated + failed),
+  /// consumed = violated + failed; remaining may go negative (budget burn).
+  double budget_allowed = 0;
+  double budget_consumed = 0;
+  double budget_remaining = 0;
+};
+
+struct SloReport {
+  SimTime window = 0;
+  double window_queue_depth_mean = 0;
+  double window_queue_depth_max = 0;
+  SloLevelReport levels[3];
+
+  const SloLevelReport& Level(ServiceLevel level) const {
+    return levels[static_cast<size_t>(level)];
+  }
+};
+
+class SloMonitor {
+ public:
+  /// `default_relaxed_grace` fills `relaxed_grace` when it is negative
+  /// (the server passes its `relaxed_grace_period`).
+  SloMonitor(const SloParams& params, SimTime default_relaxed_grace);
+
+  /// Effective grace for a level (<= 0 means no deadline).
+  SimTime GraceFor(ServiceLevel level) const {
+    return graces_[static_cast<size_t>(level)];
+  }
+  SimTime window() const { return params_.window; }
+
+  /// Scores one settled query. `received` is the server receipt time,
+  /// `start` the execution start (< 0 when it never started), `state` the
+  /// terminal QueryRecord state; `cancelled` marks queries settled without
+  /// running (held at Stop()).
+  SloOutcome OnSettled(ServiceLevel level, QueryState state, bool cancelled,
+                       SimTime received, SimTime start, SimTime now);
+
+  /// Feeds the windowed queue-wait distribution (observed at dispatch).
+  void ObserveQueueWait(ServiceLevel level, SimTime now, double wait_ms);
+  /// Feeds the windowed held-queue depth (observed at each poll).
+  void ObserveQueueDepth(SimTime now, double depth);
+
+  /// Windowed violation rate among finished queries of `level`.
+  double WindowViolationRate(ServiceLevel level, SimTime now);
+  /// Windowed queue-wait percentile (p in [0,100]) for `level`.
+  double WindowQueueWaitQuantile(ServiceLevel level, double p, SimTime now);
+
+  /// Full per-level report (trims windows to `now`).
+  SloReport Report(SimTime now);
+
+  /// Merges counters/gauges/margin-histograms into `out` under
+  /// `slo_*{level="..."}` names.
+  void MergeInto(MetricsRegistry* out, SimTime now);
+
+ private:
+  struct LevelState {
+    uint64_t settled = 0;
+    uint64_t met = 0;
+    uint64_t violated = 0;
+    uint64_t failed = 0;
+    uint64_t cancelled = 0;
+    Histogram margin_ms;
+    SlidingRatio violations;
+    SlidingWindow queue_wait;
+
+    LevelState(SimTime window, std::vector<double> margin_bounds)
+        : margin_ms(std::move(margin_bounds)),
+          violations(window),
+          queue_wait(window) {}
+  };
+
+  LevelState& StateFor(ServiceLevel level) {
+    return levels_[static_cast<size_t>(level)];
+  }
+  void FillLevelReport(ServiceLevel level, SimTime now, SloLevelReport* out);
+
+  SloParams params_;
+  SimTime graces_[3];
+  std::vector<LevelState> levels_;
+  SlidingWindow queue_depth_;
+};
+
+}  // namespace pixels

@@ -314,6 +314,7 @@ Result<CfExecution> ExecuteWithCfPushdown(const PlanPtr& plan,
       rp.tracer = options.tracer;
       rp.trace_parent = options.trace_parent;
       rp.profile = options.profile;
+      rp.event_log = options.event_log;
       Result<ShuffleExecution> shux = ExecuteShuffleDag(graph, rp);
       if (!shux.ok()) {
         // GC the exchange prefix on the failure path too — a failed or

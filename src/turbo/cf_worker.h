@@ -132,6 +132,8 @@ struct CfWorkerOptions {
   Tracer* tracer = nullptr;
   uint64_t trace_parent = 0;
   QueryProfile* profile = nullptr;
+  /// Audit event log for shuffle stage progress (null = off).
+  EventLog* event_log = nullptr;
   /// Vectorized-execution knobs, threaded into every ExecContext this
   /// query creates (workers included, so runtime filters prune billed
   /// scan work across the CF seam). Both are superset-safe: results are

@@ -52,14 +52,21 @@ Coordinator::Coordinator(SimClock* clock, Random* rng,
     // span timestamps.
     RegisterLogClock(clock_);
   }
+  if (params_.event_log != nullptr) {
+    event_log_ = params_.event_log;
+  } else if (params_.event_log_capacity > 0) {
+    owned_event_log_ = std::make_unique<EventLog>(params_.event_log_capacity);
+    event_log_ = owned_event_log_.get();
+  }
   SyncObservability();
 }
 
 Coordinator::~Coordinator() { UnregisterLogClock(clock_); }
 
 void Coordinator::SyncObservability() {
-  if (tracer_ == nullptr || !tracer_->enabled()) return;
   const SimTime now = clock_->Now();
+  if (event_log_ != nullptr) event_log_->SyncTime(now);
+  if (tracer_ == nullptr || !tracer_->enabled()) return;
   tracer_->SyncTime(now);
   SyncLogTime(now);
 }
@@ -142,14 +149,32 @@ bool Coordinator::TryRecall(int64_t id, QuerySpec* spec_out) {
   auto pos = std::find(vm_queue_.begin(), vm_queue_.end(), id);
   if (pos == vm_queue_.end()) return false;  // CF-dispatched or racing
   vm_queue_.erase(pos);
+  SyncObservability();
   if (rec.queue_span_id != 0) {
     tracer_->Annotate(rec.queue_span_id, "released_by", "recalled");
     tracer_->EndSpan(rec.queue_span_id);
     rec.queue_span_id = 0;
   }
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    // Instant span marking the recall decision, nested under the server's
+    // query span when the server shares its tracer (else under ours).
+    const uint64_t parent =
+        rec.spec.trace_parent != 0 ? rec.spec.trace_parent : rec.span_id;
+    const uint64_t recall_span = tracer_->StartSpan("admission.recall", parent);
+    tracer_->Annotate(recall_span, "reason", "immediate-burst");
+    tracer_->Annotate(recall_span, "query_id", static_cast<uint64_t>(id));
+    tracer_->EndSpan(recall_span);
+  }
   if (rec.span_id != 0) {
     tracer_->Annotate(rec.span_id, "state", "recalled");
     tracer_->EndSpan(rec.span_id);
+  }
+  if (event_log_ != nullptr) {
+    Json f = Json::Object();
+    f.Set("query_id", Json(id));
+    f.Set("reason", Json("immediate-burst"));
+    f.Set("queue_depth", Json(static_cast<int64_t>(vm_queue_.size())));
+    event_log_->Emit("admission.recall", std::move(f));
   }
   if (spec_out != nullptr) *spec_out = std::move(rec.spec);
   callbacks_.erase(id);
@@ -237,6 +262,7 @@ void Coordinator::MaybeExecuteReal(QueryRecord* rec, bool via_cf) {
     options.tracer = tracer_;
     options.trace_parent = exec_span;
     options.profile = profiling ? &profile : nullptr;
+    options.event_log = event_log_;
     options.shuffle.enabled = params_.cf_shuffle;
     options.shuffle.partitions = params_.cf_shuffle_partitions;
     options.shuffle.producer_tasks = params_.cf_shuffle_producer_tasks;

@@ -14,6 +14,7 @@
 
 #include "catalog/catalog.h"
 #include "cloud/cf_service.h"
+#include "common/event_log.h"
 #include "cloud/vm_cluster.h"
 #include "mv/mv_store.h"
 #include "storage/buffer_cache.h"
@@ -107,6 +108,13 @@ struct CoordinatorParams {
   /// one trace across both layers). Null + trace_level != kOff = the
   /// coordinator owns its tracer.
   Tracer* tracer = nullptr;
+  /// Structured audit event log (common/event_log.h). 0 = disabled (the
+  /// zero-overhead default). > 0 = the coordinator owns a bounded log of
+  /// that capacity; admission/shuffle decisions append typed JSON events.
+  size_t event_log_capacity = 0;
+  /// Use this log instead of an owned one (lets the query server share one
+  /// audit stream across both layers), same pattern as `tracer`.
+  EventLog* event_log = nullptr;
 };
 
 /// Coordinator of the hybrid serverless query engine.
@@ -189,6 +197,9 @@ class Coordinator {
   /// and no external tracer was supplied.
   Tracer* tracer() { return tracer_; }
 
+  /// The active audit event log (owned or external); null when disabled.
+  EventLog* event_log() { return event_log_; }
+
   /// One merged registry: the coordinator's own counters/series plus the
   /// VM cluster's, the CF service's, and point-in-time gauges for the
   /// chunk cache, the shared footer cache, and the MV store. Feed the
@@ -242,6 +253,9 @@ class Coordinator {
   /// Tracer owned when params request tracing without supplying one.
   std::unique_ptr<Tracer> owned_tracer_;
   Tracer* tracer_ = nullptr;
+  /// Event log owned when params request one without supplying it.
+  std::unique_ptr<EventLog> owned_event_log_;
+  EventLog* event_log_ = nullptr;
 };
 
 }  // namespace pixels

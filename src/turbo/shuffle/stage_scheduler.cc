@@ -131,6 +131,15 @@ Status RunStage(const ShuffleRunParams& params, int stage_id,
   }
   ScopedSpan stage_scope(tracer, stage_span);
   const uint64_t prior_parent = tracer != nullptr ? tracer->ActiveParent() : 0;
+  if (params.event_log != nullptr) {
+    // Emitted on the calling thread before the parallel section, so the
+    // event order is deterministic.
+    Json f = Json::Object();
+    f.Set("stage", Json(stage_id));
+    f.Set("name", Json(stage_name));
+    f.Set("tasks", Json(static_cast<int64_t>(num_tasks)));
+    params.event_log->Emit("shuffle.stage_start", std::move(f));
+  }
 
   std::vector<AttemptOutcome> primary(num_tasks);
   std::vector<AttemptOutcome> hedge(num_tasks);
@@ -280,6 +289,21 @@ Status RunStage(const ShuffleRunParams& params, int stage_id,
     out->winners[t] = hedge_wins ? std::move(hedge[t]) : std::move(primary[t]);
     out->completion_ms[t] = held.completion_ms;
     if (hedge_wins) ++hedges_won;
+    if (params.event_log != nullptr) {
+      // Exactly ONE commit event per (stage, task) slot regardless of how
+      // many attempts raced: emission happens here, in the post-barrier
+      // resolution loop in task order, never at Offer time.
+      Json f = Json::Object();
+      f.Set("stage", Json(stage_id));
+      f.Set("task", Json(static_cast<int64_t>(t)));
+      f.Set("winner", Json(hedge_wins ? "hedge"
+                                      : (fallback[t] ? "vm-fallback"
+                                                     : "primary")));
+      f.Set("completion_ms", Json(held.completion_ms));
+      f.Set("retries", Json(retries[t]));
+      f.Set("path", Json(held.path));
+      params.event_log->Emit("shuffle.task_commit", std::move(f));
+    }
     if (writes_objects) {
       // Best-effort delete of the losing attempt's object; the final
       // prefix sweep catches anything a transient fault leaves behind.
@@ -318,6 +342,16 @@ Status RunStage(const ShuffleRunParams& params, int stage_id,
   exec->hedges_won += hedges_won;
   ++exec->stages;
   exec->stage_wall_ms.push_back(out->wall_ms);
+  if (params.event_log != nullptr) {
+    Json f = Json::Object();
+    f.Set("stage", Json(stage_id));
+    f.Set("name", Json(stage_name));
+    f.Set("wall_ms", Json(out->wall_ms));
+    f.Set("hedges_fired", Json(static_cast<int64_t>(hedged.size())));
+    f.Set("hedges_won", Json(hedges_won));
+    f.Set("bytes", Json(static_cast<int64_t>(stage_scanned)));
+    params.event_log->Emit("shuffle.stage_done", std::move(f));
+  }
   if (tracer != nullptr) {
     tracer->Annotate(stage_span, "wall_ms",
                      static_cast<uint64_t>(std::llround(out->wall_ms)));

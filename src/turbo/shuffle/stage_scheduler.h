@@ -22,6 +22,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/event_log.h"
 #include "common/trace.h"
 #include "exec/profile.h"
 #include "storage/buffer_cache.h"
@@ -106,6 +107,11 @@ struct ShuffleRunParams {
   Tracer* tracer = nullptr;
   uint64_t trace_parent = 0;
   QueryProfile* profile = nullptr;
+  /// Audit event log: stage start/commit/done progress events. Emissions
+  /// happen only at deterministic points (stage setup before the parallel
+  /// section; the post-barrier winner-resolution loop, in task order), so
+  /// identical runs export byte-identical logs. Null = off.
+  EventLog* event_log = nullptr;
 };
 
 /// Outcome of a shuffle DAG run.

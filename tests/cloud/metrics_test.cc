@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -277,6 +278,119 @@ TEST(PercentileTest, EmptyAndSingle) {
 
 TEST(PercentileTest, UnsortedInput) {
   EXPECT_DOUBLE_EQ(Percentile({5, 1, 3}, 50), 3);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram semantics in the Prometheus export (ISSUE 10 satellite)
+
+TEST(PrometheusTest, HistogramBucketsAreCumulativeMonotoneAndSumToCount) {
+  MetricsRegistry reg;
+  for (int i = 0; i < 50; ++i) {
+    reg.Observe("latency_ms", static_cast<double>(i * 40));
+  }
+  const std::string text = reg.ToPrometheusText();
+  std::string error;
+  ASSERT_TRUE(ValidatePrometheusText(text, &error)) << error;
+  // Parse the bucket lines back: values must be non-decreasing and the
+  // +Inf bucket must equal _count.
+  double prev = -1;
+  double inf = -1, count = -1;
+  size_t buckets = 0;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.rfind("pixels_latency_ms_bucket", 0) == 0) {
+      const double v = std::stod(line.substr(line.rfind(' ') + 1));
+      EXPECT_GE(v, prev) << line;
+      prev = v;
+      buckets++;
+      if (line.find("le=\"+Inf\"") != std::string::npos) inf = v;
+    } else if (line.rfind("pixels_latency_ms_count", 0) == 0) {
+      count = std::stod(line.substr(line.rfind(' ') + 1));
+    }
+  }
+  EXPECT_GT(buckets, 1u);
+  EXPECT_EQ(inf, 50.0);
+  EXPECT_EQ(count, 50.0);
+}
+
+TEST(PrometheusTest, ValidatorRejectsNonMonotoneBuckets) {
+  const std::string bad =
+      "pixels_x_bucket{le=\"1\"} 5\n"
+      "pixels_x_bucket{le=\"10\"} 3\n"  // cumulative count went DOWN
+      "pixels_x_bucket{le=\"+Inf\"} 8\n"
+      "pixels_x_sum 40\n"
+      "pixels_x_count 8\n";
+  std::string error;
+  EXPECT_FALSE(ValidatePrometheusText(bad, &error));
+  EXPECT_NE(error.find("non-monotone"), std::string::npos) << error;
+}
+
+TEST(PrometheusTest, ValidatorRejectsInfBucketCountMismatch) {
+  const std::string bad =
+      "pixels_x_bucket{le=\"1\"} 2\n"
+      "pixels_x_bucket{le=\"+Inf\"} 8\n"
+      "pixels_x_sum 40\n"
+      "pixels_x_count 9\n";  // != +Inf bucket
+  std::string error;
+  EXPECT_FALSE(ValidatePrometheusText(bad, &error));
+  EXPECT_NE(error.find("_count"), std::string::npos) << error;
+}
+
+TEST(PrometheusTest, LabeledHistogramsValidateIndependently) {
+  MetricsRegistry reg;
+  reg.Observe("wait_ms{level=\"immediate\"}", 5.0);
+  reg.Observe("wait_ms{level=\"relaxed\"}", 500.0);
+  reg.Observe("wait_ms{level=\"relaxed\"}", 900.0);
+  std::string error;
+  ASSERT_TRUE(ValidatePrometheusText(reg.ToPrometheusText(), &error))
+      << error;
+}
+
+TEST(MetricsRegistryTest, DeclareHistogramKeepsSignedBounds) {
+  MetricsRegistry reg;
+  reg.DeclareHistogram("margin_ms", {-1000, 0, 1000});
+  reg.Observe("margin_ms", -500);   // a violation margin
+  reg.Observe("margin_ms", 250);
+  const Histogram h = reg.GetHistogram("margin_ms");
+  ASSERT_EQ(h.bounds().size(), 3u);
+  EXPECT_EQ(h.bounds()[0], -1000.0);
+  EXPECT_EQ(h.bucket_counts()[1], 1u);  // (-1000, 0]: the -500 sample
+  EXPECT_EQ(h.bucket_counts()[2], 1u);  // (0, 1000]: the 250 sample
+  std::string error;
+  EXPECT_TRUE(ValidatePrometheusText(reg.ToPrometheusText(), &error))
+      << error;
+}
+
+TEST(MetricsRegistryTest, MergeFromPreservesCustomBucketBounds) {
+  MetricsRegistry src;
+  src.DeclareHistogram("margin_ms", {-1000, 0, 1000});
+  src.Observe("margin_ms", -500);
+  MetricsRegistry dst;  // has no margin_ms yet
+  dst.MergeFrom(src);
+  const Histogram h = dst.GetHistogram("margin_ms");
+  // Without copy-on-absent the merge would re-bucket into default bounds
+  // (which start at 1) and the negative sample's bucket would be lost.
+  ASSERT_EQ(h.bounds().size(), 3u);
+  EXPECT_EQ(h.bounds()[0], -1000.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.bucket_counts()[1], 1u);
+}
+
+TEST(MetricsRegistryTest, MergeHistogramCopiesWhenAbsentMergesWhenPresent) {
+  Histogram src({-10, 0, 10});
+  src.Observe(-5);
+  MetricsRegistry reg;
+  reg.MergeHistogram("m", src);
+  EXPECT_EQ(reg.GetHistogram("m").bounds().size(), 3u);
+  EXPECT_EQ(reg.GetHistogram("m").count(), 1u);
+  // Merging again into the now-present histogram accumulates.
+  reg.MergeHistogram("m", src);
+  EXPECT_EQ(reg.GetHistogram("m").count(), 2u);
+  EXPECT_EQ(reg.GetHistogram("m").bucket_counts()[1], 2u);
 }
 
 }  // namespace

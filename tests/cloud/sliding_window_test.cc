@@ -1,0 +1,114 @@
+// SlidingWindow / SlidingRatio unit tests: eviction boundary, incremental
+// sum vs recomputation, exact quantiles, rates, and monotone-time feeds.
+#include "cloud/sliding_window.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pixels {
+namespace {
+
+TEST(SlidingWindowTest, EmptyReadsAreZero) {
+  SlidingWindow w(10 * kSeconds);
+  EXPECT_TRUE(w.Empty());
+  EXPECT_EQ(w.Count(), 0u);
+  EXPECT_EQ(w.Sum(), 0.0);
+  EXPECT_EQ(w.Mean(), 0.0);
+  EXPECT_EQ(w.Quantile(50), 0.0);
+  EXPECT_EQ(w.Max(), 0.0);
+  EXPECT_EQ(w.RatePerSecond(), 0.0);
+}
+
+TEST(SlidingWindowTest, EvictionBoundaryIsHalfOpen) {
+  SlidingWindow w(10 * kSeconds);
+  w.Add(0, 1.0);
+  w.Add(1, 2.0);
+  // At now = window, the sample at t=0 sits exactly `window` in the past
+  // and is evicted; the one at t=1 survives.
+  w.AdvanceTo(10 * kSeconds);
+  EXPECT_EQ(w.Count(), 1u);
+  EXPECT_EQ(w.Sum(), 2.0);
+  w.AdvanceTo(10 * kSeconds + 1);
+  EXPECT_TRUE(w.Empty());
+}
+
+TEST(SlidingWindowTest, IncrementalSumMatchesRecompute) {
+  SlidingWindow w(5 * kSeconds);
+  double expect_sum = 0;
+  std::vector<std::pair<SimTime, double>> added;
+  for (int i = 0; i < 200; ++i) {
+    const SimTime t = static_cast<SimTime>(i) * 100;
+    const double v = static_cast<double>((i * 37) % 11);
+    w.Add(t, v);
+    added.push_back({t, v});
+    // Recompute the retained sum from scratch and compare.
+    expect_sum = 0;
+    for (const auto& [at, val] : added) {
+      if (at > t - 5 * kSeconds) expect_sum += val;
+    }
+    ASSERT_DOUBLE_EQ(w.Sum(), expect_sum) << "at i=" << i;
+  }
+}
+
+TEST(SlidingWindowTest, QuantilesAreExactOverRetained) {
+  SlidingWindow w(1 * kMinutes);
+  for (int i = 1; i <= 100; ++i) {
+    w.Add(i, static_cast<double>(i));  // values 1..100
+  }
+  EXPECT_EQ(w.Quantile(0), 1.0);
+  EXPECT_EQ(w.Quantile(100), 100.0);
+  EXPECT_GE(w.Quantile(50), 50.0);
+  EXPECT_LE(w.Quantile(50), 51.0);
+  EXPECT_GE(w.Quantile(99), 99.0);
+  EXPECT_EQ(w.Max(), 100.0);
+  EXPECT_DOUBLE_EQ(w.Mean(), 50.5);
+}
+
+TEST(SlidingWindowTest, RatePerSecond) {
+  SlidingWindow w(10 * kSeconds);
+  for (int i = 0; i < 20; ++i) w.Add(i * 100, 1.0);
+  // 20 samples over a 10-second window span.
+  EXPECT_DOUBLE_EQ(w.RatePerSecond(), 2.0);
+}
+
+TEST(SlidingWindowTest, ClearResets) {
+  SlidingWindow w;
+  w.Add(1, 5.0);
+  w.Clear();
+  EXPECT_TRUE(w.Empty());
+  EXPECT_EQ(w.Sum(), 0.0);
+}
+
+TEST(SlidingRatioTest, RateOverWindow) {
+  SlidingRatio r(10 * kSeconds);
+  EXPECT_EQ(r.Rate(), 0.0);
+  r.Add(0, true);
+  r.Add(1, false);
+  r.Add(2, false);
+  r.Add(3, true);
+  EXPECT_EQ(r.Total(), 4u);
+  EXPECT_EQ(r.Hits(), 2u);
+  EXPECT_DOUBLE_EQ(r.Rate(), 0.5);
+  // Half-open eviction (outcomes at <= now - window drop): the hit at 0
+  // and miss at 1 leave; the miss at 2 and hit at 3 remain.
+  r.AdvanceTo(10 * kSeconds + 1);
+  EXPECT_EQ(r.Total(), 2u);
+  EXPECT_EQ(r.Hits(), 1u);
+  EXPECT_DOUBLE_EQ(r.Rate(), 0.5);
+  r.AdvanceTo(10 * kSeconds + 4);
+  EXPECT_EQ(r.Total(), 0u);
+  EXPECT_EQ(r.Rate(), 0.0);
+}
+
+TEST(SlidingRatioTest, ClearResets) {
+  SlidingRatio r;
+  r.Add(0, true);
+  r.Clear();
+  EXPECT_EQ(r.Total(), 0u);
+  EXPECT_EQ(r.Hits(), 0u);
+  EXPECT_EQ(r.Rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace pixels

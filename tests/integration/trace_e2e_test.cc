@@ -244,6 +244,101 @@ TEST(TraceE2eTest, FullTraceCoversHoldMvLookupWorkerRetryAndStorage) {
   EXPECT_EQ(doc->Get("traceEvents").size(), tracer.size());
 }
 
+TEST(TraceE2eTest, BurstPreemptionEmitsNestedRecallAndBurstSpans) {
+  // Burst scenario: a single-slot cluster, one queued best-effort query,
+  // then an Immediate burst that recalls it. The preemption must show up
+  // in the trace tree (admission.burst under the triggering Immediate
+  // query, admission.recall under the recalled best-effort query) and in
+  // the audit event log.
+  SimClock clock;
+  Random rng(42);
+  Tracer tracer(TraceLevel::kSpans);
+  CoordinatorParams cparams;
+  cparams.vm.initial_vms = 1;
+  cparams.vm.slots_per_vm = 1;
+  cparams.vm.min_vms = 1;
+  cparams.vm.max_vms = 4;
+  cparams.vm.high_watermark = 2.0;
+  cparams.vm.low_watermark = 2.0;  // permissive best-effort gate
+  cparams.vm.scale_in_cooldown = 0;
+  cparams.cf.max_concurrent_workers = 0;  // immediates queue on VMs too
+  cparams.trace_level = TraceLevel::kSpans;
+  cparams.tracer = &tracer;
+  cparams.event_log_capacity = 4096;
+  Coordinator coordinator(&clock, &rng, cparams);
+  QueryServerParams sparams;
+  sparams.poll_interval = 1 * kSeconds;
+  sparams.admission.preempt_best_effort = true;
+  sparams.admission.burst_window = 10 * kSeconds;
+  sparams.admission.burst_threshold = 3;
+  QueryServer server(&clock, &coordinator, sparams);
+
+  auto work = [](ServiceLevel level, double vcpu_seconds) {
+    Submission s;
+    s.level = level;
+    s.query.work_vcpu_seconds = vcpu_seconds;
+    s.query.bytes_to_scan = 1'000'000'000;
+    return s;
+  };
+  server.Submit(work(ServiceLevel::kImmediate, 600.0));  // occupy the slot
+  const int64_t best_id = server.Submit(work(ServiceLevel::kBestEffort, 5.0));
+  for (int i = 0; i < 3; ++i) {
+    server.Submit(work(ServiceLevel::kImmediate, 30.0));
+  }
+  const SubmissionRecord* best_rec = server.GetRecord(best_id);
+  ASSERT_NE(best_rec, nullptr);
+  EXPECT_EQ(best_rec->coordinator_id, 0);  // recalled
+  const uint64_t best_span = best_rec->span_id;
+
+  std::map<uint64_t, const TraceSpan*> by_id;
+  const auto spans = tracer.Snapshot();
+  for (const auto& s : spans) by_id[s.id] = &s;
+
+  // admission.recall: instant span nested under the best-effort query's
+  // root span, carrying the reason.
+  const auto recalls = tracer.FindSpans("admission.recall");
+  ASSERT_EQ(recalls.size(), 1u);
+  EXPECT_EQ(recalls[0].parent, best_span);
+  EXPECT_GE(recalls[0].end, recalls[0].start);  // instant, but ended
+  bool recall_reason = false;
+  for (const auto& [k, v] : recalls[0].attrs) {
+    if (k == "reason") recall_reason = (v == "immediate-burst");
+  }
+  EXPECT_TRUE(recall_reason);
+
+  // admission.burst: instant span nested under the TRIGGERING Immediate
+  // query's root span (the third burst arrival), with the recall count.
+  const auto bursts = tracer.FindSpans("admission.burst");
+  ASSERT_EQ(bursts.size(), 1u);
+  ASSERT_NE(by_id.find(bursts[0].parent), by_id.end());
+  const TraceSpan* burst_parent = by_id[bursts[0].parent];
+  EXPECT_EQ(burst_parent->name, "query");
+  bool parent_is_immediate = false;
+  for (const auto& [k, v] : burst_parent->attrs) {
+    if (k == "level") parent_is_immediate = (v == "immediate");
+  }
+  EXPECT_TRUE(parent_is_immediate);
+  bool burst_recalled = false;
+  for (const auto& [k, v] : bursts[0].attrs) {
+    if (k == "recalled") burst_recalled = (v == "1");
+  }
+  EXPECT_TRUE(burst_recalled);
+
+  // The audit log saw the same story: the recall (from the coordinator)
+  // and the burst (from the server), in virtual-time order.
+  ASSERT_NE(coordinator.event_log(), nullptr);
+  EXPECT_EQ(coordinator.event_log()->CountOfType("admission.recall"), 1u);
+  EXPECT_EQ(coordinator.event_log()->CountOfType("admission.burst"), 1u);
+  const auto recall_events = coordinator.event_log()->OfType("admission.recall");
+  EXPECT_EQ(recall_events[0].fields.Get("reason").AsString(),
+            "immediate-burst");
+
+  clock.RunUntil(2 * kHours);
+  server.Stop();
+  coordinator.Stop();
+  clock.RunAll();
+}
+
 TEST(TraceE2eTest, TracingNeverChangesResultsBytesOrBills) {
   Tracer off_tracer;
   const RunOutcome off = RunWorkload(TraceLevel::kOff, &off_tracer);

@@ -156,6 +156,92 @@ TEST(AdmissionControllerTest, BurstWindowDetectsImmediateSpikes) {
   EXPECT_TRUE(ac.ShouldReleaseBestEffort(sig, 31'000));
 }
 
+// ---------------------------------------------------------------------------
+// Adaptive best-effort watermark
+
+TEST(AdmissionControllerTest, AdaptiveOffIsNoOp) {
+  AdmissionController ac = MakeController();  // adaptive_watermarks = false
+  AdaptiveInputs in;
+  in.violation_rate = 1.0;  // screaming over budget
+  const WatermarkUpdate u = ac.UpdateAdaptiveWatermark(in, IdleSignals());
+  EXPECT_FALSE(u.changed);
+  EXPECT_DOUBLE_EQ(ac.BestEffortWatermark(IdleSignals()), 0.75);
+}
+
+TEST(AdmissionControllerTest, AdaptiveRaisesWhileOverBudgetAndDecaysBack) {
+  AdmissionParams p;
+  p.adaptive_watermarks = true;
+  p.adaptive_step = 1.0;
+  p.adaptive_max_factor = 4.0;
+  p.adaptive_target_violation_rate = 0.05;
+  AdmissionController ac = MakeController(p);
+  const AdmissionSignals sig = IdleSignals();  // static base = 0.75
+  AdaptiveInputs over;
+  over.violation_rate = 0.5;
+
+  WatermarkUpdate u = ac.UpdateAdaptiveWatermark(over, sig);
+  EXPECT_TRUE(u.changed);
+  EXPECT_TRUE(u.raised);
+  EXPECT_DOUBLE_EQ(u.old_value, 0.75);
+  EXPECT_DOUBLE_EQ(u.new_value, 1.75);
+  EXPECT_DOUBLE_EQ(ac.BestEffortWatermark(sig), 1.75);
+
+  // Keeps raising until the ceiling (max(base*factor, base+step) = 3.0).
+  for (int i = 0; i < 10; ++i) u = ac.UpdateAdaptiveWatermark(over, sig);
+  EXPECT_DOUBLE_EQ(ac.BestEffortWatermark(sig), 3.0);
+  EXPECT_FALSE(u.changed);  // pinned at the ceiling
+
+  // Back under budget: decays one step per update, floored at the base.
+  AdaptiveInputs calm;
+  calm.violation_rate = 0.0;
+  u = ac.UpdateAdaptiveWatermark(calm, sig);
+  EXPECT_TRUE(u.changed);
+  EXPECT_FALSE(u.raised);
+  EXPECT_DOUBLE_EQ(u.new_value, 2.0);
+  for (int i = 0; i < 10; ++i) u = ac.UpdateAdaptiveWatermark(calm, sig);
+  EXPECT_DOUBLE_EQ(ac.BestEffortWatermark(sig), 0.75);
+  EXPECT_FALSE(u.changed);  // resting at the static base
+}
+
+TEST(AdmissionControllerTest, AdaptiveReactsToHoldAgeAndQueueWait) {
+  AdmissionParams p;
+  p.adaptive_watermarks = true;
+  AdmissionController ac = MakeController(p);
+  const AdmissionSignals sig = IdleSignals();
+  // Violation rate fine, but the oldest held query has outlived the
+  // grace: that alone triggers a raise (pre-violation signal).
+  AdaptiveInputs in;
+  in.violation_rate = 0.0;
+  in.grace_ms = 120000;
+  in.oldest_hold_ms = 180000;
+  EXPECT_TRUE(ac.UpdateAdaptiveWatermark(in, sig).raised);
+  // Same for the windowed queue-wait p99.
+  AdmissionController ac2 = MakeController(p);
+  AdaptiveInputs in2;
+  in2.grace_ms = 120000;
+  in2.queue_wait_p99_ms = 150000;
+  EXPECT_TRUE(ac2.UpdateAdaptiveWatermark(in2, sig).raised);
+  // With no grace configured, hold age never triggers (no deadline).
+  AdmissionController ac3 = MakeController(p);
+  AdaptiveInputs in3;
+  in3.grace_ms = 0;
+  in3.oldest_hold_ms = 1e9;
+  const WatermarkUpdate u3 = ac3.UpdateAdaptiveWatermark(in3, sig);
+  EXPECT_FALSE(u3.raised);
+}
+
+TEST(AdmissionControllerTest, DecisionCarriesAuditFields) {
+  AdmissionController ac = MakeController();
+  AdmissionSignals sig = IdleSignals();
+  sig.engine_concurrency = 1.5;
+  const AdmissionDecision d =
+      ac.Decide(ServiceLevel::kRelaxed, 1'000'000'000'000ull, sig, 0);
+  EXPECT_DOUBLE_EQ(d.watermark, 5.0);       // VM high watermark
+  EXPECT_DOUBLE_EQ(d.concurrency, 1.5);
+  EXPECT_DOUBLE_EQ(d.predicted_bill_usd, 1.0);  // 1 TB at $1/TB relaxed
+  EXPECT_GT(d.predicted_cf_cost_usd, 0.0);      // cf_available
+}
+
 TEST(AdmissionControllerTest, BurstDetectionOffByDefault) {
   AdmissionController ac = MakeController();
   for (int i = 0; i < 100; ++i) ac.NoteImmediateArrival(1000 + i);

@@ -6,7 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <utility>
+
 #include "cloud/metrics.h"
+#include "common/event_log.h"
 #include "exec/executor.h"
 #include "plan/binder.h"
 #include "plan/optimizer.h"
@@ -220,6 +224,64 @@ TEST_F(ShuffleSchedulerTest, FailedDagLeavesNoIntermediates) {
 // Coordinator integration: cf_shuffle routes an eligible CF query
 // through the DAG, wires FaultInjectingStorage slow rules into the
 // straggler model, and exports the per-stage metrics.
+// Stage progress in the audit event log: one stage_start/stage_done pair
+// per stage, and exactly ONE task_commit per (stage, task) slot no matter
+// how many attempts raced for it (first-writer-wins emits only from the
+// post-barrier resolution loop).
+TEST_F(ShuffleSchedulerTest, EventLogRecordsExactlyOneCommitPerTaskSlot) {
+  auto run = [&](double slow_ms, EventLog* log) {
+    auto options = ShuffleFleet();
+    options.fleet_parallelism = 0;  // parallel fleet: attempts really race
+    options.event_log = log;
+    if (slow_ms > 0) {
+      options.shuffle.path_slow_ms = [slow_ms](const std::string& path) {
+        return path.find("s0/t0.a") != std::string::npos ? slow_ms : 0.0;
+      };
+    }
+    auto exec = ExecuteWithCfPushdown(Plan(sql_), catalog_.get(), options);
+    EXPECT_TRUE(exec.ok()) << exec.status().ToString();
+    EXPECT_TRUE(exec->shuffle_used);
+    return std::move(*exec);
+  };
+
+  // Hedged run with a forced straggler: the hedge wins task s0/t0, so two
+  // physical attempts finished for that slot.
+  EventLog log;
+  const CfExecution exec = run(/*slow_ms=*/60000.0, &log);
+  ASSERT_EQ(exec.hedges_won, 1);
+
+  const auto starts = log.OfType("shuffle.stage_start");
+  EXPECT_EQ(starts.size(), static_cast<size_t>(exec.shuffle_stages));
+  EXPECT_EQ(log.CountOfType("shuffle.stage_done"),
+            static_cast<size_t>(exec.shuffle_stages));
+  size_t total_slots = 0;
+  for (const auto& e : starts) {
+    total_slots += static_cast<size_t>(e.fields.Get("tasks").AsInt());
+  }
+
+  const auto commits = log.OfType("shuffle.task_commit");
+  // One commit per committed task slot — the racing hedge loser never
+  // produced a second event.
+  EXPECT_EQ(commits.size(), total_slots);
+  std::set<std::pair<int64_t, int64_t>> slots;
+  size_t hedge_wins = 0;
+  for (const auto& e : commits) {
+    const auto slot = std::make_pair(e.fields.Get("stage").AsInt(),
+                                     e.fields.Get("task").AsInt());
+    EXPECT_TRUE(slots.insert(slot).second)
+        << "duplicate commit for stage " << slot.first << " task "
+        << slot.second;
+    if (e.fields.Get("winner").AsString() == "hedge") hedge_wins++;
+  }
+  EXPECT_EQ(hedge_wins, 1u);
+
+  // Identical runs export byte-identical logs (emissions only happen at
+  // deterministic points despite the parallel fleet).
+  EventLog log2;
+  run(/*slow_ms=*/60000.0, &log2);
+  EXPECT_EQ(log.ToJsonLines(), log2.ToJsonLines());
+}
+
 TEST(ShuffleCoordinatorTest, ShuffleMetricsReachPrometheusExport) {
   auto mem = std::make_shared<MemoryStore>();
   FaultInjectionParams fparams;
